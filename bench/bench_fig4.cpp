@@ -1,0 +1,82 @@
+// Reproduction of Fig. 4: the per-instance runtime comparison of iDQ (x)
+// vs HQS (y).  Emits one CSV row per instance and an ASCII log-log scatter
+// with TO/MO rails, mirroring the paper's plot.  Points below the diagonal
+// are HQS wins; the paper reports wins of up to four orders of magnitude.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+using namespace hqs;
+using namespace hqs::bench;
+
+int main()
+{
+    const SuiteParams params = suiteParamsFromEnv();
+    const double limitMs = params.timeoutSeconds * 1000.0;
+
+    std::printf("# Fig. 4 reproduction — runtime scatter, per-instance limit %.1f s\n",
+                params.timeoutSeconds);
+    std::printf("family,instance,expected,hqs_status,hqs_ms,idq_status,idq_ms\n");
+
+    std::vector<RunResult> results;
+    for (const InstanceSpec& spec : buildSuite(params)) {
+        RunResult r = runInstance(spec, params);
+        std::printf("%s,%s,%s,%s,%.3f,%s,%.3f\n", toString(r.family).c_str(), r.name.c_str(),
+                    r.expectedSat ? "SAT" : "UNSAT", toString(r.hqs).c_str(), r.hqsMs,
+                    toString(r.idq).c_str(), r.idqMs);
+        std::fflush(stdout);
+        results.push_back(std::move(r));
+    }
+
+    // ASCII scatter, log scale; unsolved instances clamp to the limit rail.
+    constexpr int W = 64, H = 24;
+    const double loMs = 0.01;
+    auto clampMs = [&](SolveResult s, double ms) {
+        return isConclusive(s) ? std::clamp(ms, loMs, limitMs) : limitMs;
+    };
+    auto axis = [&](double ms, int steps) {
+        const double t = std::log(ms / loMs) / std::log(limitMs / loMs);
+        return std::clamp(static_cast<int>(t * (steps - 1)), 0, steps - 1);
+    };
+
+    std::vector<std::string> grid(H, std::string(W, ' '));
+    for (int i = 0; i < std::min(W, H); ++i) {
+        grid[static_cast<std::size_t>(H - 1 - (i * H) / std::max(W, 1))]
+            [static_cast<std::size_t>(i)] = '.';
+    }
+    int below = 0, above = 0;
+    for (const RunResult& r : results) {
+        const double x = clampMs(r.idq, r.idqMs);
+        const double y = clampMs(r.hqs, r.hqsMs);
+        const int cx = axis(x, W);
+        const int cy = H - 1 - axis(y, H);
+        grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = 'o';
+        if (y < x) {
+            ++below;
+        } else if (y > x) {
+            ++above;
+        }
+    }
+
+    std::printf("\n# ASCII scatter: x = iDQ-like time, y = HQS time (log scale, "
+                "%.2f ms .. %.0f ms; right/top edge = TO/MO rail)\n",
+                loMs, limitMs);
+    std::printf("# 'o' below the diagonal '.' = HQS faster\n");
+    for (const std::string& line : grid) std::printf("# |%s|\n", line.c_str());
+    std::printf("# instances with HQS faster: %d, iDQ faster: %d (of %zu)\n", below, above,
+                results.size());
+
+    // Headline ratio on commonly solved instances.
+    double maxRatio = 0;
+    for (const RunResult& r : results) {
+        if (isConclusive(r.hqs) && isConclusive(r.idq) && r.hqsMs > 0) {
+            maxRatio = std::max(maxRatio, r.idqMs / std::max(r.hqsMs, 0.01));
+        }
+    }
+    std::printf("# max iDQ/HQS speed ratio on commonly solved: %.0fx (paper: up to 1e4)\n",
+                maxRatio);
+    return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) for the substrates: AIG construction
+// and quantification, the Theorem-6 unit/pure traversal, FRAIG sweeping,
+// the CDCL SAT solver, the partial MaxSAT selection, and the end-to-end
+// PEC encoding.
+#include <benchmark/benchmark.h>
+
+#include "src/aig/aig.hpp"
+#include "src/aig/cnf_bridge.hpp"
+#include "src/aig/fraig.hpp"
+#include "src/base/rng.hpp"
+#include "src/dqbf/dependency_graph.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/pec/pec_encoder.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+namespace {
+
+/// Deterministic random cone over `vars` variables with `gates` AND/OR/XOR
+/// nodes.
+AigEdge randomCone(Aig& aig, unsigned vars, unsigned gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<AigEdge> pool;
+    for (Var v = 0; v < vars; ++v) pool.push_back(aig.variable(v));
+    for (unsigned i = 0; i < gates; ++i) {
+        const AigEdge a = pool[rng.below(pool.size())] ^ rng.flip();
+        const AigEdge b = pool[rng.below(pool.size())] ^ rng.flip();
+        switch (rng.below(3)) {
+            case 0: pool.push_back(aig.mkAnd(a, b)); break;
+            case 1: pool.push_back(aig.mkOr(a, b)); break;
+            default: pool.push_back(aig.mkXor(a, b)); break;
+        }
+    }
+    return pool.back();
+}
+
+void BM_AigConstruction(benchmark::State& state)
+{
+    const auto gates = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        Aig aig;
+        benchmark::DoNotOptimize(randomCone(aig, 32, gates, 42));
+    }
+    state.SetItemsProcessed(state.iterations() * gates);
+}
+BENCHMARK(BM_AigConstruction)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AigCofactor(benchmark::State& state)
+{
+    Aig aig;
+    const AigEdge root = randomCone(aig, 32, static_cast<unsigned>(state.range(0)), 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aig.cofactor(root, 5, true));
+    }
+}
+BENCHMARK(BM_AigCofactor)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AigQuantifyExistential(benchmark::State& state)
+{
+    Aig aig;
+    const AigEdge root = randomCone(aig, 32, static_cast<unsigned>(state.range(0)), 11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aig.existsVar(root, 3));
+    }
+}
+BENCHMARK(BM_AigQuantifyExistential)->Arg(1000)->Arg(10000);
+
+void BM_UnitPureDetection(benchmark::State& state)
+{
+    // The paper reports the Theorem-6 traversal at O(|phi| + |V|) and < 4%
+    // of runtime; this measures the raw traversal.
+    Aig aig;
+    const AigEdge root = randomCone(aig, 64, static_cast<unsigned>(state.range(0)), 13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aig.detectUnitPure(root));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UnitPureDetection)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FraigReduce(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Aig aig;
+        const AigEdge root = randomCone(aig, 16, static_cast<unsigned>(state.range(0)), 17);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(fraigReduce(aig, root));
+    }
+}
+BENCHMARK(BM_FraigReduce)->Arg(500)->Arg(2000);
+
+void BM_SatRandom3Sat(benchmark::State& state)
+{
+    const auto n = static_cast<Var>(state.range(0));
+    Rng rng(1234);
+    Cnf f;
+    f.ensureVars(n);
+    for (Var c = 0; c < n * 4; ++c) {
+        Clause cl;
+        for (int j = 0; j < 3; ++j) cl.push(Lit(static_cast<Var>(rng.below(n)), rng.flip()));
+        f.addClause(std::move(cl));
+    }
+    for (auto _ : state) {
+        SatSolver s;
+        s.addCnf(f);
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MaxSatSelection(benchmark::State& state)
+{
+    // The paper: MaxSAT selection took < 0.06 s on every instance.
+    Rng rng(5);
+    DqbfFormula f;
+    const auto nu = static_cast<unsigned>(state.range(0));
+    std::vector<Var> xs;
+    for (unsigned i = 0; i < nu; ++i) xs.push_back(f.addUniversal());
+    for (unsigned i = 0; i < nu; ++i) {
+        std::vector<Var> deps;
+        for (Var x : xs) {
+            if (rng.flip()) deps.push_back(x);
+        }
+        f.addExistential(std::move(deps));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(selectEliminationSetMaxSat(f));
+    }
+}
+BENCHMARK(BM_MaxSatSelection)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PecEncode(benchmark::State& state)
+{
+    const PecInstance inst =
+        makeInstance(Family::Adder, static_cast<unsigned>(state.range(0)), false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(encodePec(inst));
+    }
+}
+BENCHMARK(BM_PecEncode)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HqsEndToEnd(benchmark::State& state)
+{
+    const PecInstance inst =
+        makeInstance(Family::Adder, static_cast<unsigned>(state.range(0)), false);
+    for (auto _ : state) {
+        PecEncoding enc = encodePec(inst);
+        HqsSolver solver;
+        benchmark::DoNotOptimize(solver.solve(std::move(enc.formula)));
+    }
+}
+BENCHMARK(BM_HqsEndToEnd)->Arg(4)->Arg(8);
+
+} // namespace
+} // namespace hqs

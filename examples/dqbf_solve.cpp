@@ -1,0 +1,167 @@
+// dqbf_solve: command-line DQBF/QBF solver over DQDIMACS files.
+//
+//   dqbf_solve [options] <file.dqdimacs>
+//   dqbf_solve [options] -            (read from stdin)
+//
+// Options:
+//   --solver=hqs|idq|expand
+//                         solving engine (default hqs); `expand` decides by
+//                         one SAT call on the full universal expansion
+//   --timeout=<seconds>   wall-clock limit (default: none)
+//   --no-preprocess       disable CNF preprocessing
+//   --no-unitpure         disable Theorem-6 unit/pure detection
+//   --selection=maxsat|greedy|all
+//                         universal-selection strategy (default maxsat)
+//   --skolem              on SAT, compute, verify, and summarize Skolem
+//                         functions (hqs engine only)
+//   --stats               print solver statistics
+//
+// Exit code: 10 = SAT, 20 = UNSAT (SAT-competition convention), 1 = other.
+#include <iostream>
+#include <string>
+
+#include "src/cnf/dimacs.hpp"
+#include "src/dqbf/dqbf_oracle.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/dqbf/skolem_recorder.hpp"
+#include "src/idq/idq_solver.hpp"
+
+using namespace hqs;
+
+namespace {
+
+int usage()
+{
+    std::cerr << "usage: dqbf_solve [--solver=hqs|idq|expand] [--timeout=SECONDS] "
+                 "[--no-preprocess] [--no-unitpure] "
+                 "[--selection=maxsat|greedy|all] [--skolem] [--stats] "
+                 "<file.dqdimacs|->\n";
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string path;
+    std::string engine = "hqs";
+    bool wantStats = false;
+    HqsOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--solver=", 0) == 0) {
+            engine = arg.substr(9);
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            opts.deadline = Deadline::in(std::stod(arg.substr(10)));
+        } else if (arg == "--no-preprocess") {
+            opts.preprocess = false;
+            opts.gateDetection = false;
+        } else if (arg == "--no-unitpure") {
+            opts.unitPure = false;
+        } else if (arg.rfind("--selection=", 0) == 0) {
+            const std::string s = arg.substr(12);
+            if (s == "maxsat") {
+                opts.selection = HqsOptions::Selection::MaxSat;
+            } else if (s == "greedy") {
+                opts.selection = HqsOptions::Selection::Greedy;
+            } else if (s == "all") {
+                opts.selection = HqsOptions::Selection::All;
+            } else {
+                return usage();
+            }
+        } else if (arg == "--skolem") {
+            opts.computeSkolem = true;
+        } else if (arg == "--stats") {
+            wantStats = true;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) return usage();
+
+    DqbfFormula formula;
+    try {
+        const ParsedQdimacs parsed =
+            (path == "-") ? parseDqdimacs(std::cin) : parseDqdimacsFile(path);
+        formula = DqbfFormula::fromParsed(parsed);
+    } catch (const ParseError& e) {
+        std::cerr << "parse error: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cout << "c " << formula.universals().size() << " universals, "
+              << formula.existentials().size() << " existentials, "
+              << formula.matrix().numClauses() << " clauses\n";
+
+    SolveResult result = SolveResult::Unknown;
+    if (engine == "hqs") {
+        const DqbfFormula original = formula; // kept for certificate checks
+        HqsSolver solver(opts);
+        result = solver.solve(std::move(formula));
+        if (opts.computeSkolem && result == SolveResult::Sat) {
+            const auto& cert = solver.skolemCertificate();
+            if (cert) {
+                const bool valid = verifyAigSkolemCertificate(original, *cert);
+                std::cout << "c skolem certificate  : " << cert->functions.size()
+                          << " functions, independently verified: "
+                          << (valid ? "VALID" : "INVALID") << "\n";
+                for (Var y : original.existentials()) {
+                    auto it = cert->functions.find(y);
+                    if (it == cert->functions.end()) continue;
+                    std::cout << "c   s_" << (y + 1) << " : "
+                              << cert->aig->coneSize(it->second) << " AIG nodes over";
+                    for (Var x : cert->aig->support(it->second)) std::cout << ' ' << (x + 1);
+                    std::cout << "\n";
+                }
+            }
+        }
+        if (wantStats) {
+            const HqsStats& st = solver.stats();
+            std::cout << "c decided by          : " << st.decidedBy << "\n"
+                      << "c preprocessing       : " << st.preprocess.unitsPropagated
+                      << " units, " << st.preprocess.universalLiteralsReduced
+                      << " universal reductions, " << st.preprocess.equivalencesSubstituted
+                      << " equivalences, " << st.preprocess.gatesDetected << " gates\n"
+                      << "c incomparable pairs  : " << st.incomparablePairs << "\n"
+                      << "c selected universals : " << st.selectedUniversals << " (MaxSAT "
+                      << st.maxsatMilliseconds << " ms)\n"
+                      << "c eliminations        : " << st.universalsEliminated
+                      << " universal (Thm 1), " << st.existentialsEliminated
+                      << " existential (Thm 2), " << st.unitEliminations << " unit + "
+                      << st.pureEliminations << " pure (Thm 5/6, "
+                      << st.unitPureMilliseconds << " ms)\n"
+                      << "c existential copies  : " << st.copiesIntroduced << "\n"
+                      << "c peak AIG nodes      : " << st.peakConeSize << "\n"
+                      << "c total time          : " << st.totalMilliseconds << " ms\n";
+        }
+    } else if (engine == "expand") {
+        if (formula.universals().size() > 22) {
+            std::cerr << "expand: too many universals ("
+                      << formula.universals().size() << " > 22)\n";
+            return 1;
+        }
+        result = expansionDqbf(formula, opts.deadline);
+    } else if (engine == "idq") {
+        IdqOptions iopts;
+        iopts.deadline = opts.deadline;
+        IdqSolver solver(iopts);
+        result = solver.solve(formula);
+        if (wantStats) {
+            const IdqStats& st = solver.stats();
+            std::cout << "c iterations          : " << st.iterations << "\n"
+                      << "c instantiations      : " << st.instantiations << "\n"
+                      << "c ground clauses      : " << st.groundClauses << "\n"
+                      << "c existential copies  : " << st.existentialCopies << "\n";
+        }
+    } else {
+        return usage();
+    }
+
+    std::cout << "s " << result << "\n";
+    if (result == SolveResult::Sat) return 10;
+    if (result == SolveResult::Unsat) return 20;
+    return 1;
+}

@@ -1,0 +1,102 @@
+// qbf_solve: command-line QBF solver over QDIMACS files with selectable
+// engine — the four backend families this repository implements.
+//
+//   qbf_solve [--engine=aig|bdd|qdpll|search] [--timeout=S] <file.qdimacs|->
+//
+// Exit code: 10 = SAT, 20 = UNSAT, 1 = other.
+#include <iostream>
+#include <string>
+
+#include "src/aig/cnf_bridge.hpp"
+#include "src/qbf/aig_qbf_solver.hpp"
+#include "src/qbf/bdd_qbf_solver.hpp"
+#include "src/qbf/qdpll_solver.hpp"
+#include "src/qbf/search_qbf_solver.hpp"
+
+using namespace hqs;
+
+namespace {
+
+int usage()
+{
+    std::cerr << "usage: qbf_solve [--engine=aig|bdd|qdpll|search] [--timeout=SECONDS] "
+                 "<file.qdimacs|->\n";
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string path;
+    std::string engine = "aig";
+    Deadline deadline = Deadline::unlimited();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--engine=", 0) == 0) {
+            engine = arg.substr(9);
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            deadline = Deadline::in(std::stod(arg.substr(10)));
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) return usage();
+
+    QbfProblem problem;
+    try {
+        const ParsedQdimacs parsed =
+            (path == "-") ? parseDqdimacs(std::cin) : parseDqdimacsFile(path);
+        problem = qbfFromParsed(parsed);
+    } catch (const ParseError& e) {
+        std::cerr << "parse error: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cout << "c " << problem.matrix.numVars() << " vars, "
+              << problem.matrix.numClauses() << " clauses, "
+              << problem.prefix.numBlocks() << " quantifier blocks ("
+              << problem.prefix.numAlternations() << " alternations)\n";
+
+    SolveResult result = SolveResult::Unknown;
+    if (engine == "aig") {
+        Aig aig;
+        const AigEdge matrix = buildFromCnf(aig, problem.matrix);
+        AigQbfOptions opts;
+        opts.deadline = deadline;
+        AigQbfSolver solver(opts);
+        result = solver.solve(aig, matrix, problem.prefix);
+        std::cout << "c eliminations: " << solver.stats().existentialEliminations
+                  << " existential, " << solver.stats().universalEliminations
+                  << " universal; unit/pure: "
+                  << solver.stats().unitEliminations + solver.stats().pureEliminations
+                  << "; peak AIG nodes: " << solver.stats().peakConeSize << "\n";
+    } else if (engine == "bdd") {
+        BddQbfOptions opts;
+        opts.deadline = deadline;
+        BddQbfSolver solver(opts);
+        result = solver.solve(problem.matrix, problem.prefix);
+        std::cout << "c eliminations: " << solver.stats().eliminations
+                  << "; peak BDD nodes: " << solver.stats().peakConeSize << "\n";
+    } else if (engine == "qdpll") {
+        QdpllSolver solver(deadline);
+        result = solver.solve(problem.matrix, problem.prefix);
+        std::cout << "c decisions: " << solver.stats().decisions
+                  << ", propagations: " << solver.stats().propagations
+                  << ", conflicts: " << solver.stats().conflicts << "\n";
+    } else if (engine == "search") {
+        Aig aig;
+        const AigEdge matrix = buildFromCnf(aig, problem.matrix);
+        result = searchQbfSolve(aig, matrix, problem.prefix, deadline);
+    } else {
+        return usage();
+    }
+
+    std::cout << "s " << result << "\n";
+    if (result == SolveResult::Sat) return 10;
+    if (result == SolveResult::Unsat) return 20;
+    return 1;
+}

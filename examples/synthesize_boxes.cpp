@@ -1,0 +1,95 @@
+// Black-box synthesis walkthrough: beyond deciding realizability, a
+// satisfied PEC DQBF carries Skolem functions that ARE the missing
+// implementations.  We take an incomplete 4-bit adder (two full-adder
+// cells are black boxes), synthesize the boxes from a Skolem certificate,
+// print their truth tables, and exhaustively verify that the completed
+// implementation matches the specification.
+//
+//   synthesize_boxes [output-dir]
+//
+// With an output directory, each synthesized box is also written as an
+// ASCII AIGER (.aag) file, ready for downstream logic-synthesis tools.
+#include <fstream>
+#include <iostream>
+
+#include "src/aig/aiger.hpp"
+#include "src/pec/box_synthesis.hpp"
+
+using namespace hqs;
+
+namespace {
+
+/// Build an AIG for a truth table over inputs 0..k-1 (mux tree).
+AigEdge tableToAig(Aig& aig, const std::vector<bool>& table, std::size_t numInputs)
+{
+    std::vector<AigEdge> layer(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        layer[i] = table[i] ? aig.constTrue() : aig.constFalse();
+    }
+    for (std::size_t d = 0; d < numInputs; ++d) {
+        std::vector<AigEdge> next(layer.size() / 2);
+        const AigEdge sel = aig.variable(static_cast<Var>(d));
+        for (std::size_t i = 0; i < next.size(); ++i) {
+            next[i] = aig.mkIte(sel, layer[2 * i + 1], layer[2 * i]);
+        }
+        layer = std::move(next);
+    }
+    return layer[0];
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string outDir = argc > 1 ? argv[1] : "";
+    const PecInstance inst = makeInstance(Family::Adder, 4, true);
+    std::cout << "Instance " << inst.name << ": " << inst.impl.numBoxes()
+              << " black boxes to synthesize\n\n";
+
+    // Skolem functions reconstructed from HQS's own elimination trace (the
+    // expansion-based synthesizeBoxes() exists too, but this scales).
+    const auto boxes = synthesizeBoxesWithHqs(inst);
+    if (!boxes) {
+        std::cout << "not realizable — nothing to synthesize\n";
+        return 1;
+    }
+
+    for (Circuit::BoxId b = 0; b < inst.impl.numBoxes(); ++b) {
+        std::cout << "box '" << inst.impl.boxName(b) << "' ("
+                  << inst.impl.boxInputs(b).size() << " inputs):\n";
+        for (std::size_t out = 0; out < boxes->tables[b].size(); ++out) {
+            std::cout << "  output " << out << " truth table (input index ascending): ";
+            for (bool bit : boxes->tables[b][out]) std::cout << (bit ? '1' : '0');
+            std::cout << '\n';
+        }
+    }
+
+    const bool ok = boxesRealizeSpec(inst, *boxes);
+    std::cout << "\nexhaustive equivalence check of completed design vs spec: "
+              << (ok ? "PASS" : "FAIL") << '\n';
+
+    if (!outDir.empty()) {
+        for (Circuit::BoxId b = 0; b < inst.impl.numBoxes(); ++b) {
+            Aig aig;
+            std::vector<AigEdge> outs;
+            for (const auto& table : boxes->tables[b]) {
+                outs.push_back(tableToAig(aig, table, inst.impl.boxInputs(b).size()));
+            }
+            const std::string path = outDir + "/" + inst.impl.boxName(b) + ".aag";
+            std::ofstream file(path);
+            writeAiger(file, aig, outs);
+            std::cout << "wrote " << path << " (" << aig.coneSize(outs.empty() ? aig.constTrue() : outs[0])
+                      << "+ AND nodes)\n";
+        }
+    }
+
+    // For a full adder cell the expected functions are sum = a^b^cin and
+    // carry = maj(a,b,cin); the synthesized tables above realize exactly
+    // those (up to don't-cares the solver was free to fill).
+    const PecInstance broken = makeInstance(Family::Adder, 4, false);
+    std::cout << "\nFor contrast, " << broken.name << " (boxes cannot see the carry): "
+              << (synthesizeBoxesWithHqs(broken) ? "synthesized (unexpected!)"
+                                                 : "correctly reported unrealizable")
+              << '\n';
+    return ok ? 0 : 1;
+}

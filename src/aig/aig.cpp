@@ -1,0 +1,277 @@
+#include "src/aig/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace hqs {
+
+Aig::Aig()
+{
+    nodes_.push_back(Node{}); // node 0: the constant (FALSE as uncomplemented)
+}
+
+AigEdge Aig::variable(Var v)
+{
+    auto it = inputOfVar_.find(v);
+    if (it != inputOfVar_.end()) return AigEdge(it->second, false);
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.extVar = v;
+    nodes_.push_back(n);
+    inputOfVar_.emplace(v, idx);
+    return AigEdge(idx, false);
+}
+
+bool Aig::hasVariable(Var v) const { return inputOfVar_.contains(v); }
+
+bool Aig::isInput(AigEdge e) const { return node(e).extVar != kNoVar; }
+
+Var Aig::inputVariable(AigEdge e) const
+{
+    assert(isInput(e));
+    return node(e).extVar;
+}
+
+bool Aig::isAnd(AigEdge e) const
+{
+    return e.nodeIndex() != 0 && node(e).extVar == kNoVar;
+}
+
+AigEdge Aig::fanin0(AigEdge e) const
+{
+    assert(isAnd(e));
+    return node(e).fanin0;
+}
+
+AigEdge Aig::fanin1(AigEdge e) const
+{
+    assert(isAnd(e));
+    return node(e).fanin1;
+}
+
+AigEdge Aig::mkAnd(AigEdge a, AigEdge b)
+{
+    // Constant folding and trivial cases.
+    if (a == constFalse() || b == constFalse()) return constFalse();
+    if (a == constTrue()) return b;
+    if (b == constTrue()) return a;
+    if (a == b) return a;
+    if (a == ~b) return constFalse();
+    return mkAndRaw(a, b);
+}
+
+AigEdge Aig::mkAndRaw(AigEdge a, AigEdge b)
+{
+    if (b < a) std::swap(a, b);
+    const std::uint64_t key = andKey(a, b);
+    auto it = strash_.find(key);
+    if (it != strash_.end()) return AigEdge(it->second, false);
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.fanin0 = a;
+    n.fanin1 = b;
+    nodes_.push_back(n);
+    strash_.emplace(key, idx);
+    return AigEdge(idx, false);
+}
+
+AigEdge Aig::mkXor(AigEdge a, AigEdge b)
+{
+    // a ^ b  =  ~(~(a & ~b) & ~(~a & b))
+    return mkOr(mkAnd(a, ~b), mkAnd(~a, b));
+}
+
+AigEdge Aig::mkIte(AigEdge c, AigEdge t, AigEdge e)
+{
+    return mkOr(mkAnd(c, t), mkAnd(~c, e));
+}
+
+AigEdge Aig::mkAndN(const std::vector<AigEdge>& es)
+{
+    AigEdge acc = constTrue();
+    for (AigEdge e : es) acc = mkAnd(acc, e);
+    return acc;
+}
+
+AigEdge Aig::mkOrN(const std::vector<AigEdge>& es)
+{
+    AigEdge acc = constFalse();
+    for (AigEdge e : es) acc = mkOr(acc, e);
+    return acc;
+}
+
+std::vector<Var> Aig::support(AigEdge root) const
+{
+    std::vector<Var> out;
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    std::vector<bool> visited(nodes_.size(), false);
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        if (visited[idx]) continue;
+        visited[idx] = true;
+        const Node& n = nodes_[idx];
+        if (n.extVar != kNoVar) {
+            out.push_back(n.extVar);
+        } else if (idx != 0) {
+            stack.push_back(n.fanin0.nodeIndex());
+            stack.push_back(n.fanin1.nodeIndex());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t Aig::coneSize(AigEdge root) const
+{
+    std::size_t count = 0;
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    std::vector<bool> visited(nodes_.size(), false);
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        if (visited[idx]) continue;
+        visited[idx] = true;
+        const Node& n = nodes_[idx];
+        if (idx != 0 && n.extVar == kNoVar) {
+            ++count;
+            stack.push_back(n.fanin0.nodeIndex());
+            stack.push_back(n.fanin1.nodeIndex());
+        }
+    }
+    return count;
+}
+
+bool Aig::evaluate(AigEdge root, const std::vector<bool>& assignment) const
+{
+    // Iterative post-order evaluation with a per-call value cache.
+    std::vector<std::uint8_t> value(nodes_.size(), 2); // 2 = not computed
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    value[0] = 0;
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (value[idx] != 2) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = nodes_[idx];
+        if (n.extVar != kNoVar) {
+            value[idx] = (n.extVar < assignment.size() && assignment[n.extVar]) ? 1 : 0;
+            stack.pop_back();
+            continue;
+        }
+        const std::uint32_t i0 = n.fanin0.nodeIndex();
+        const std::uint32_t i1 = n.fanin1.nodeIndex();
+        if (value[i0] == 2) {
+            stack.push_back(i0);
+            continue;
+        }
+        if (value[i1] == 2) {
+            stack.push_back(i1);
+            continue;
+        }
+        const bool v0 = (value[i0] != 0) != n.fanin0.complemented();
+        const bool v1 = (value[i1] != 0) != n.fanin1.complemented();
+        value[idx] = (v0 && v1) ? 1 : 0;
+        stack.pop_back();
+    }
+    return (value[root.nodeIndex()] != 0) != root.complemented();
+}
+
+std::uint64_t Aig::simulate(AigEdge root,
+                            const std::unordered_map<Var, std::uint64_t>& inputWords) const
+{
+    std::vector<std::uint64_t> word(nodes_.size(), 0);
+    std::vector<std::uint8_t> done(nodes_.size(), 0);
+    done[0] = 1; // constant: all-zero word (FALSE)
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (done[idx]) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = nodes_[idx];
+        if (n.extVar != kNoVar) {
+            auto it = inputWords.find(n.extVar);
+            word[idx] = (it != inputWords.end()) ? it->second : 0;
+            done[idx] = 1;
+            stack.pop_back();
+            continue;
+        }
+        const std::uint32_t i0 = n.fanin0.nodeIndex();
+        const std::uint32_t i1 = n.fanin1.nodeIndex();
+        if (!done[i0]) {
+            stack.push_back(i0);
+            continue;
+        }
+        if (!done[i1]) {
+            stack.push_back(i1);
+            continue;
+        }
+        const std::uint64_t w0 = n.fanin0.complemented() ? ~word[i0] : word[i0];
+        const std::uint64_t w1 = n.fanin1.complemented() ? ~word[i1] : word[i1];
+        word[idx] = w0 & w1;
+        done[idx] = 1;
+        stack.pop_back();
+    }
+    const std::uint64_t w = word[root.nodeIndex()];
+    return root.complemented() ? ~w : w;
+}
+
+void Aig::garbageCollect(std::vector<AigEdge*> roots)
+{
+    // Mark reachable nodes.
+    std::vector<bool> reachable(nodes_.size(), false);
+    reachable[0] = true;
+    std::vector<std::uint32_t> stack;
+    for (AigEdge* r : roots) stack.push_back(r->nodeIndex());
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        if (reachable[idx]) continue;
+        reachable[idx] = true;
+        const Node& n = nodes_[idx];
+        if (n.extVar == kNoVar && idx != 0) {
+            stack.push_back(n.fanin0.nodeIndex());
+            stack.push_back(n.fanin1.nodeIndex());
+        }
+    }
+
+    // Rebuild node pool in index order (fanins always precede fanouts).
+    std::vector<std::uint32_t> remap(nodes_.size(), 0);
+    std::vector<Node> newNodes;
+    newNodes.reserve(nodes_.size());
+    std::unordered_map<std::uint64_t, std::uint32_t> newStrash;
+    std::unordered_map<Var, std::uint32_t> newInputs;
+    for (std::uint32_t idx = 0; idx < nodes_.size(); ++idx) {
+        if (!reachable[idx]) continue;
+        const Node& n = nodes_[idx];
+        const auto newIdx = static_cast<std::uint32_t>(newNodes.size());
+        remap[idx] = newIdx;
+        Node m = n;
+        if (idx != 0 && n.extVar == kNoVar) {
+            m.fanin0 = AigEdge(remap[n.fanin0.nodeIndex()], n.fanin0.complemented());
+            m.fanin1 = AigEdge(remap[n.fanin1.nodeIndex()], n.fanin1.complemented());
+            newStrash.emplace(andKey(m.fanin0, m.fanin1), newIdx);
+        } else if (n.extVar != kNoVar) {
+            newInputs.emplace(n.extVar, newIdx);
+        }
+        newNodes.push_back(m);
+    }
+    nodes_ = std::move(newNodes);
+    strash_ = std::move(newStrash);
+    inputOfVar_ = std::move(newInputs);
+    for (AigEdge* r : roots) {
+        *r = AigEdge(remap[r->nodeIndex()], r->complemented());
+    }
+}
+
+std::ostream& operator<<(std::ostream& os, AigEdge e)
+{
+    if (!e.isValid()) return os << "edge-invalid";
+    return os << (e.complemented() ? "~n" : "n") << e.nodeIndex();
+}
+
+} // namespace hqs

@@ -1,0 +1,172 @@
+// And-Inverter Graphs: structurally hashed Boolean function representation.
+//
+// This is our stand-in for the `aigpp` library the paper builds on [18].
+// An Aig manager owns a pool of nodes; each node is either the constant,
+// an input (labelled with an external variable), or a two-input AND.
+// Negation is free: edges carry a complement bit.  mkAnd performs constant
+// folding and structural hashing, so structurally identical functions share
+// nodes (full functional reduction — FRAIGing — is in fraig.hpp).
+//
+// On top of the core the manager provides the operations HQS needs:
+// cofactor/compose/parallel substitution (quantify.cpp), single-variable
+// existential and universal quantification, support computation, evaluation
+// and 64-way parallel simulation, mark-and-rebuild garbage collection, the
+// Theorem-6 syntactic unit/pure detection (unit_pure.hpp), and a CNF bridge
+// (cnf_bridge.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/literal.hpp"
+
+namespace hqs {
+
+/// A (possibly complemented) reference to an AIG node.
+class AigEdge {
+public:
+    constexpr AigEdge() : code_(kInvalidCode) {}
+    constexpr AigEdge(std::uint32_t nodeIndex, bool complemented)
+        : code_((nodeIndex << 1) | (complemented ? 1u : 0u))
+    {
+    }
+
+    constexpr std::uint32_t nodeIndex() const { return code_ >> 1; }
+    constexpr bool complemented() const { return (code_ & 1u) != 0; }
+    constexpr std::uint32_t code() const { return code_; }
+    static constexpr AigEdge fromCode(std::uint32_t code)
+    {
+        AigEdge e;
+        e.code_ = code;
+        return e;
+    }
+
+    constexpr bool isValid() const { return code_ != kInvalidCode; }
+
+    constexpr AigEdge operator~() const { return fromCode(code_ ^ 1u); }
+    constexpr AigEdge operator^(bool flip) const { return fromCode(code_ ^ (flip ? 1u : 0u)); }
+
+    constexpr bool operator==(const AigEdge&) const = default;
+    constexpr bool operator<(const AigEdge& o) const { return code_ < o.code_; }
+
+private:
+    static constexpr std::uint32_t kInvalidCode = static_cast<std::uint32_t>(-1);
+    std::uint32_t code_;
+};
+
+/// Per-variable unit/pure classification from the Theorem-6 AIG traversal.
+/// A variable can be unit and pure at the same time; variables outside the
+/// cone's support are reported in `unused`.
+struct UnitPureInfo {
+    std::vector<Var> posUnit;
+    std::vector<Var> negUnit;
+    std::vector<Var> posPure;
+    std::vector<Var> negPure;
+};
+
+class SatSolver; // cnf_bridge / fraig use the SAT solver
+
+/// AIG manager: owns the node pool and the structural-hashing table.
+class Aig {
+public:
+    Aig();
+
+    // ----- leaves ---------------------------------------------------------
+    AigEdge constFalse() const { return AigEdge(0, false); }
+    AigEdge constTrue() const { return AigEdge(0, true); }
+
+    /// The input edge for external variable @p v (created on first use).
+    AigEdge variable(Var v);
+    bool hasVariable(Var v) const;
+    /// Input edge for @p v without creating it (precondition:
+    /// hasVariable(v)).
+    AigEdge existingVariable(Var v) const { return AigEdge(inputOfVar_.at(v), false); }
+
+    bool isConstant(AigEdge e) const { return e.nodeIndex() == 0; }
+    /// Value of a constant edge (precondition: isConstant(e)).
+    bool constantValue(AigEdge e) const { return e.complemented(); }
+    bool isInput(AigEdge e) const;
+    /// External variable of an input edge (precondition: isInput(e)).
+    Var inputVariable(AigEdge e) const;
+
+    // ----- structure ------------------------------------------------------
+    bool isAnd(AigEdge e) const;
+    AigEdge fanin0(AigEdge e) const;
+    AigEdge fanin1(AigEdge e) const;
+
+    // ----- Boolean operations ----------------------------------------------
+    AigEdge mkAnd(AigEdge a, AigEdge b);
+    AigEdge mkOr(AigEdge a, AigEdge b) { return ~mkAnd(~a, ~b); }
+    AigEdge mkXor(AigEdge a, AigEdge b);
+    AigEdge mkEquiv(AigEdge a, AigEdge b) { return ~mkXor(a, b); }
+    AigEdge mkImplies(AigEdge a, AigEdge b) { return mkOr(~a, b); }
+    AigEdge mkIte(AigEdge c, AigEdge t, AigEdge e);
+    AigEdge mkAndN(const std::vector<AigEdge>& es);
+    AigEdge mkOrN(const std::vector<AigEdge>& es);
+
+    // ----- substitution and quantification (quantify.cpp) -------------------
+    /// phi[value/v].
+    AigEdge cofactor(AigEdge root, Var v, bool value);
+    /// phi[g/v] (single composition).
+    AigEdge compose(AigEdge root, Var v, AigEdge g);
+    /// Simultaneous substitution var -> function for every map entry.
+    AigEdge substitute(AigEdge root, const std::unordered_map<Var, AigEdge>& map);
+    /// ∃v. phi  =  phi[0/v] | phi[1/v].
+    AigEdge existsVar(AigEdge root, Var v);
+    /// ∀v. phi  =  phi[0/v] & phi[1/v].
+    AigEdge forallVar(AigEdge root, Var v);
+
+    // ----- inspection -------------------------------------------------------
+    /// External variables the cone of @p root structurally depends on
+    /// (sorted ascending).
+    std::vector<Var> support(AigEdge root) const;
+    /// Number of AND nodes in the cone of @p root.
+    std::size_t coneSize(AigEdge root) const;
+    /// Total nodes currently allocated in the manager (including garbage).
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /// Evaluate under an assignment of external variables (indexed by Var;
+    /// variables beyond the vector are taken as false).
+    bool evaluate(AigEdge root, const std::vector<bool>& assignment) const;
+
+    /// 64-way parallel simulation: @p inputWords maps each external variable
+    /// to a 64-bit pattern word; returns the output word of @p root.
+    std::uint64_t simulate(AigEdge root, const std::unordered_map<Var, std::uint64_t>& inputWords) const;
+
+    // ----- unit/pure detection (unit_pure.cpp) -----------------------------
+    /// Syntactic unit/pure classification of Theorem 6, O(cone + vars).
+    UnitPureInfo detectUnitPure(AigEdge root) const;
+
+    // ----- garbage collection ----------------------------------------------
+    /// Drop every node not reachable from @p roots, rebuilding the manager.
+    /// The edges in @p roots are updated in place.
+    void garbageCollect(std::vector<AigEdge*> roots);
+
+private:
+    struct Node {
+        AigEdge fanin0; // invalid for const/input nodes
+        AigEdge fanin1;
+        Var extVar = kNoVar; // set for input nodes only
+    };
+
+    AigEdge mkAndRaw(AigEdge a, AigEdge b);
+
+    static std::uint64_t andKey(AigEdge a, AigEdge b)
+    {
+        return (static_cast<std::uint64_t>(a.code()) << 32) | b.code();
+    }
+
+    const Node& node(AigEdge e) const { return nodes_[e.nodeIndex()]; }
+
+    std::vector<Node> nodes_;
+    std::unordered_map<std::uint64_t, std::uint32_t> strash_; // (f0,f1) -> node
+    std::unordered_map<Var, std::uint32_t> inputOfVar_;
+
+    friend class AigCnfBridge;
+};
+
+std::ostream& operator<<(std::ostream& os, AigEdge e);
+
+} // namespace hqs

@@ -1,0 +1,144 @@
+#include "src/aig/aiger.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace hqs {
+namespace {
+
+/// Collect the AND nodes of the cones of @p outputs in ascending node-index
+/// order (a topological order, fanins first).
+std::vector<std::uint32_t> coneAnds(const Aig& aig, const std::vector<AigEdge>& outputs)
+{
+    std::vector<std::uint32_t> nodes;
+    std::vector<bool> seen;
+    std::vector<std::uint32_t> stack;
+    for (AigEdge e : outputs) stack.push_back(e.nodeIndex());
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        if (idx >= seen.size()) seen.resize(idx + 1, false);
+        if (seen[idx]) continue;
+        seen[idx] = true;
+        const AigEdge e(idx, false);
+        if (aig.isAnd(e)) {
+            nodes.push_back(idx);
+            stack.push_back(aig.fanin0(e).nodeIndex());
+            stack.push_back(aig.fanin1(e).nodeIndex());
+        }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+}
+
+} // namespace
+
+void writeAiger(std::ostream& os, const Aig& aig, const std::vector<AigEdge>& outputs)
+{
+    // Inputs: union of the supports, ascending external-variable order.
+    std::vector<Var> inputVars;
+    for (AigEdge e : outputs) {
+        const std::vector<Var> s = aig.support(e);
+        inputVars.insert(inputVars.end(), s.begin(), s.end());
+    }
+    std::sort(inputVars.begin(), inputVars.end());
+    inputVars.erase(std::unique(inputVars.begin(), inputVars.end()), inputVars.end());
+
+    const std::vector<std::uint32_t> ands = coneAnds(aig, outputs);
+
+    // AIGER variable assignment: inputs 1..I, ANDs I+1..I+A.
+    std::unordered_map<std::uint32_t, unsigned> aigerVarOfNode;
+    unsigned next = 1;
+    for (Var v : inputVars) {
+        aigerVarOfNode.emplace(aig.existingVariable(v).nodeIndex(), next++);
+    }
+    for (std::uint32_t idx : ands) aigerVarOfNode.emplace(idx, next++);
+
+    auto literalOf = [&](AigEdge e) -> unsigned {
+        if (aig.isConstant(e)) return e.complemented() ? 1u : 0u;
+        return 2 * aigerVarOfNode.at(e.nodeIndex()) + (e.complemented() ? 1u : 0u);
+    };
+
+    const unsigned I = static_cast<unsigned>(inputVars.size());
+    const unsigned A = static_cast<unsigned>(ands.size());
+    os << "aag " << (I + A) << ' ' << I << " 0 " << outputs.size() << ' ' << A << '\n';
+    for (unsigned i = 1; i <= I; ++i) os << 2 * i << '\n';
+    for (AigEdge e : outputs) os << literalOf(e) << '\n';
+    for (std::uint32_t idx : ands) {
+        const AigEdge e(idx, false);
+        os << literalOf(e) << ' ' << literalOf(aig.fanin0(e)) << ' '
+           << literalOf(aig.fanin1(e)) << '\n';
+    }
+    // Symbol table: original external variable names for the inputs.
+    for (unsigned i = 0; i < I; ++i) os << 'i' << i << " v" << inputVars[i] << '\n';
+}
+
+std::string toAigerString(const Aig& aig, const std::vector<AigEdge>& outputs)
+{
+    std::ostringstream os;
+    writeAiger(os, aig, outputs);
+    return os.str();
+}
+
+AigerFile readAiger(std::istream& is, Aig& aig)
+{
+    std::string magic;
+    unsigned M = 0, I = 0, L = 0, O = 0, A = 0;
+    if (!(is >> magic >> M >> I >> L >> O >> A)) throw ParseError("bad aag header");
+    if (magic != "aag") throw ParseError("not an ASCII aiger (aag) file");
+    if (L != 0) throw ParseError("sequential (latch) AIGER files are not supported");
+    if (I + A > M) throw ParseError("aag header: M < I + A");
+
+    auto readLit = [&]() {
+        long v = -1;
+        if (!(is >> v) || v < 0) throw ParseError("bad aag literal");
+        if (static_cast<unsigned>(v) > 2 * M + 1) throw ParseError("aag literal out of range");
+        return static_cast<unsigned>(v);
+    };
+
+    AigerFile out;
+    std::map<unsigned, AigEdge> edgeOfAigerVar; // var index -> uncomplemented edge
+    for (unsigned i = 0; i < I; ++i) {
+        const unsigned lit = readLit();
+        if (lit == 0 || lit % 2 != 0) throw ParseError("input literal must be even, nonzero");
+        if (edgeOfAigerVar.contains(lit / 2)) throw ParseError("duplicate aag input literal");
+        const Var v = static_cast<Var>(i);
+        edgeOfAigerVar.emplace(lit / 2, aig.variable(v));
+        out.inputs.push_back(v);
+    }
+    std::vector<unsigned> outputLits;
+    for (unsigned i = 0; i < O; ++i) outputLits.push_back(readLit());
+
+    auto resolve = [&](unsigned lit) {
+        if (lit == 0) return aig.constFalse();
+        if (lit == 1) return aig.constTrue();
+        auto it = edgeOfAigerVar.find(lit / 2);
+        if (it == edgeOfAigerVar.end()) {
+            throw ParseError("aag literal " + std::to_string(lit) +
+                             " used before definition (file must be topologically ordered)");
+        }
+        return it->second ^ (lit % 2 != 0);
+    };
+
+    for (unsigned i = 0; i < A; ++i) {
+        const unsigned lhs = readLit();
+        if (lhs % 2 != 0 || lhs / 2 <= I) throw ParseError("bad aag AND definition lhs");
+        const unsigned rhs0 = readLit();
+        const unsigned rhs1 = readLit();
+        if (edgeOfAigerVar.contains(lhs / 2)) throw ParseError("duplicate aag definition");
+        edgeOfAigerVar.emplace(lhs / 2, aig.mkAnd(resolve(rhs0), resolve(rhs1)));
+    }
+    for (unsigned lit : outputLits) out.outputs.push_back(resolve(lit));
+    return out;
+}
+
+AigerFile readAigerString(const std::string& text, Aig& aig)
+{
+    std::istringstream is(text);
+    return readAiger(is, aig);
+}
+
+} // namespace hqs

@@ -1,0 +1,34 @@
+// ASCII AIGER ("aag") reader/writer for combinational AIGs.
+//
+// The interchange format of the AIG ecosystem (ABC, aigpp, AIGSOLVE, the
+// HWMCC suites).  Only the combinational subset is supported: latches are
+// rejected on read and never written.  On write, inputs are emitted in
+// ascending external-variable order; on read, the i-th input maps to
+// external variable i.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/aig/aig.hpp"
+#include "src/cnf/dimacs.hpp" // ParseError
+
+namespace hqs {
+
+/// Write the cones of @p outputs in aag format.
+void writeAiger(std::ostream& os, const Aig& aig, const std::vector<AigEdge>& outputs);
+std::string toAigerString(const Aig& aig, const std::vector<AigEdge>& outputs);
+
+struct AigerFile {
+    /// External variables of the inputs, in header order (input i -> var i).
+    std::vector<Var> inputs;
+    std::vector<AigEdge> outputs;
+};
+
+/// Parse an aag file into @p aig.  Throws ParseError on malformed input or
+/// sequential (latch) files.
+AigerFile readAiger(std::istream& is, Aig& aig);
+AigerFile readAigerString(const std::string& text, Aig& aig);
+
+} // namespace hqs

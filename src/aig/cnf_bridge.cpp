@@ -1,0 +1,89 @@
+#include "src/aig/cnf_bridge.hpp"
+
+namespace hqs {
+
+AigEdge buildFromClause(Aig& aig, const Clause& clause)
+{
+    AigEdge acc = aig.constFalse();
+    for (Lit l : clause) {
+        acc = aig.mkOr(acc, aig.variable(l.var()) ^ l.negative());
+    }
+    return acc;
+}
+
+AigEdge buildFromCnf(Aig& aig, const Cnf& cnf)
+{
+    AigEdge acc = aig.constTrue();
+    for (const Clause& c : cnf) {
+        acc = aig.mkAnd(acc, buildFromClause(aig, c));
+    }
+    return acc;
+}
+
+Var AigCnfBridge::satVarForInput(Var v)
+{
+    auto it = inputVar_.find(v);
+    if (it != inputVar_.end()) return it->second;
+    const Var s = sat_.newVar();
+    inputVar_.emplace(v, s);
+    return s;
+}
+
+Var AigCnfBridge::varForNode(std::uint32_t nodeIndex)
+{
+    auto memo = nodeVar_.find(nodeIndex);
+    if (memo != nodeVar_.end()) return memo->second;
+
+    // Encode the cone bottom-up (iterative to avoid deep recursion).
+    std::vector<std::uint32_t> stack{nodeIndex};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (nodeVar_.contains(idx)) {
+            stack.pop_back();
+            continue;
+        }
+        const AigEdge e(idx, false);
+        if (aig_.isConstant(e)) {
+            const Var s = sat_.newVar();
+            sat_.addClause({Lit::neg(s)}); // node 0 is the FALSE function
+            nodeVar_.emplace(idx, s);
+            stack.pop_back();
+            continue;
+        }
+        if (aig_.isInput(e)) {
+            nodeVar_.emplace(idx, satVarForInput(aig_.inputVariable(e)));
+            stack.pop_back();
+            continue;
+        }
+        const AigEdge f0 = aig_.fanin0(e);
+        const AigEdge f1 = aig_.fanin1(e);
+        auto it0 = nodeVar_.find(f0.nodeIndex());
+        auto it1 = nodeVar_.find(f1.nodeIndex());
+        if (it0 == nodeVar_.end()) {
+            stack.push_back(f0.nodeIndex());
+            continue;
+        }
+        if (it1 == nodeVar_.end()) {
+            stack.push_back(f1.nodeIndex());
+            continue;
+        }
+        const Var t = sat_.newVar();
+        const Lit a = Lit(it0->second, false) ^ f0.complemented();
+        const Lit b = Lit(it1->second, false) ^ f1.complemented();
+        // t <-> (a & b)
+        sat_.addClause({Lit::neg(t), a});
+        sat_.addClause({Lit::neg(t), b});
+        sat_.addClause({Lit::pos(t), ~a, ~b});
+        nodeVar_.emplace(idx, t);
+        stack.pop_back();
+    }
+    return nodeVar_.at(nodeIndex);
+}
+
+Lit AigCnfBridge::litFor(AigEdge e)
+{
+    const Var t = varForNode(e.nodeIndex());
+    return Lit(t, false) ^ e.complemented();
+}
+
+} // namespace hqs

@@ -1,0 +1,48 @@
+// Bridges between CNF and AIG representations.
+//
+// * buildFromCnf / buildFromClause: construct an AIG for a CNF matrix
+//   (conjunction of clause disjunctions) — the step "create an AIG
+//   representation from the CNF" in the paper's algorithmic flow (Fig. 3).
+// * AigCnfBridge: incremental Tseitin encoding of AIG cones into a SAT
+//   solver, used by FRAIG SAT-sweeping and by semantic checks in tests.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/aig/aig.hpp"
+#include "src/cnf/cnf.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+
+/// AIG of a single clause (disjunction of its literals).
+AigEdge buildFromClause(Aig& aig, const Clause& clause);
+
+/// AIG of a CNF matrix (conjunction of clauses).  External AIG variables
+/// coincide with the CNF variables.
+AigEdge buildFromCnf(Aig& aig, const Cnf& cnf);
+
+/// Incrementally Tseitin-encodes AIG cones into a SatSolver.  Every AIG node
+/// gets at most one SAT variable; repeated litFor calls share the encoding,
+/// enabling cheap incremental equivalence queries under assumptions.
+class AigCnfBridge {
+public:
+    AigCnfBridge(const Aig& aig, SatSolver& sat) : aig_(aig), sat_(sat) {}
+
+    /// SAT literal equal to the function of @p e; encodes the cone on first
+    /// use.
+    Lit litFor(AigEdge e);
+
+    /// SAT variable backing external AIG variable @p v (created on demand).
+    Var satVarForInput(Var v);
+
+private:
+    Var varForNode(std::uint32_t nodeIndex);
+
+    const Aig& aig_;
+    SatSolver& sat_;
+    std::unordered_map<std::uint32_t, Var> nodeVar_; // AIG node -> SAT var
+    std::unordered_map<Var, Var> inputVar_;          // ext var -> SAT var
+};
+
+} // namespace hqs

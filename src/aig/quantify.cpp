@@ -1,0 +1,82 @@
+// Substitution, cofactoring, and single-variable quantification on AIGs.
+//
+// All operations are implemented on top of one iterative parallel
+// substitution that rebuilds the cone bottom-up with structural hashing.
+// existsVar/forallVar realize ∃v.phi = phi[0/v] | phi[1/v] and
+// ∀v.phi = phi[0/v] & phi[1/v], the primitives behind Theorems 1 and 2.
+#include <cassert>
+
+#include "src/aig/aig.hpp"
+
+namespace hqs {
+
+AigEdge Aig::substitute(AigEdge root, const std::unordered_map<Var, AigEdge>& map)
+{
+    if (map.empty() || isConstant(root)) return root;
+
+    // result[idx] = rebuilt (uncomplemented) edge for old node idx.
+    const std::size_t oldSize = nodes_.size();
+    std::vector<AigEdge> result(oldSize, AigEdge());
+    result[0] = constFalse();
+
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (result[idx].isValid()) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = nodes_[idx];
+        if (n.extVar != kNoVar) {
+            auto it = map.find(n.extVar);
+            result[idx] = (it != map.end()) ? it->second : AigEdge(idx, false);
+            stack.pop_back();
+            continue;
+        }
+        const std::uint32_t i0 = n.fanin0.nodeIndex();
+        const std::uint32_t i1 = n.fanin1.nodeIndex();
+        if (!result[i0].isValid()) {
+            stack.push_back(i0);
+            continue;
+        }
+        if (!result[i1].isValid()) {
+            stack.push_back(i1);
+            continue;
+        }
+        // Note: reading fanins again (n may be dangling after mkAnd grows
+        // nodes_), so re-fetch via index.
+        const AigEdge f0 = nodes_[idx].fanin0;
+        const AigEdge f1 = nodes_[idx].fanin1;
+        const AigEdge a = result[i0] ^ f0.complemented();
+        const AigEdge b = result[i1] ^ f1.complemented();
+        result[idx] = mkAnd(a, b);
+        // mkAnd may complement-normalize: result[] stores the full edge for
+        // the *uncomplemented* old node, so no adjustment needed here.
+        stack.pop_back();
+    }
+    return result[root.nodeIndex()] ^ root.complemented();
+}
+
+AigEdge Aig::cofactor(AigEdge root, Var v, bool value)
+{
+    if (!hasVariable(v)) return root;
+    return substitute(root, {{v, value ? constTrue() : constFalse()}});
+}
+
+AigEdge Aig::compose(AigEdge root, Var v, AigEdge g)
+{
+    if (!hasVariable(v)) return root;
+    return substitute(root, {{v, g}});
+}
+
+AigEdge Aig::existsVar(AigEdge root, Var v)
+{
+    return mkOr(cofactor(root, v, false), cofactor(root, v, true));
+}
+
+AigEdge Aig::forallVar(AigEdge root, Var v)
+{
+    return mkAnd(cofactor(root, v, false), cofactor(root, v, true));
+}
+
+} // namespace hqs

@@ -1,0 +1,68 @@
+// Syntactic unit/pure variable detection on AIGs (Theorem 6 of the paper).
+//
+// One top-down sweep over the cone, processing nodes in descending index
+// order (a node's fanins always have smaller indices, so all parents of a
+// node are handled before the node itself).  Per node we track:
+//   * reachEven / reachOdd — parities of the negation counts over all paths
+//     from the node to the output (the root edge's complement bit counts);
+//   * clean — existence of a negation-free path to the output.
+// Then for an input node n_v:
+//   * positive unit  iff clean(n_v)                      (negation-free path)
+//   * negative unit  iff some clean parent reaches n_v over a complemented
+//     edge (the "only negation right at the variable" case)
+//   * positive pure  iff reachEven and not reachOdd
+//   * negative pure  iff reachOdd  and not reachEven
+// Cost: O(|phi| + |V|), as stated in the paper.
+#include "src/aig/aig.hpp"
+
+namespace hqs {
+
+UnitPureInfo Aig::detectUnitPure(AigEdge root) const
+{
+    UnitPureInfo info;
+    if (isConstant(root)) return info;
+
+    const std::uint32_t rootIdx = root.nodeIndex();
+    std::vector<std::uint8_t> reachEven(rootIdx + 1, 0);
+    std::vector<std::uint8_t> reachOdd(rootIdx + 1, 0);
+    std::vector<std::uint8_t> clean(rootIdx + 1, 0);
+    std::vector<std::uint8_t> negUnit(rootIdx + 1, 0);
+
+    if (root.complemented()) {
+        reachOdd[rootIdx] = 1;
+        // phi = ~v: assigning v = 1 falsifies phi, so v is negative unit.
+        if (nodes_[rootIdx].extVar != kNoVar) negUnit[rootIdx] = 1;
+    } else {
+        reachEven[rootIdx] = 1;
+        clean[rootIdx] = 1;
+    }
+
+    for (std::uint32_t idx = rootIdx; idx > 0; --idx) {
+        if (!reachEven[idx] && !reachOdd[idx]) continue; // outside the cone
+        const Node& n = nodes_[idx];
+        if (n.extVar != kNoVar) {
+            const Var v = n.extVar;
+            if (clean[idx]) info.posUnit.push_back(v);
+            if (negUnit[idx]) info.negUnit.push_back(v);
+            if (reachEven[idx] && !reachOdd[idx]) info.posPure.push_back(v);
+            if (reachOdd[idx] && !reachEven[idx]) info.negPure.push_back(v);
+            continue;
+        }
+        for (const AigEdge f : {n.fanin0, n.fanin1}) {
+            const std::uint32_t child = f.nodeIndex();
+            if (child == 0) continue; // constant
+            if (f.complemented()) {
+                if (reachEven[idx]) reachOdd[child] = 1;
+                if (reachOdd[idx]) reachEven[child] = 1;
+                if (clean[idx] && nodes_[child].extVar != kNoVar) negUnit[child] = 1;
+            } else {
+                if (reachEven[idx]) reachEven[child] = 1;
+                if (reachOdd[idx]) reachOdd[child] = 1;
+                if (clean[idx]) clean[child] = 1;
+            }
+        }
+    }
+    return info;
+}
+
+} // namespace hqs

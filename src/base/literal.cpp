@@ -1,0 +1,29 @@
+#include "src/base/literal.hpp"
+
+#include <ostream>
+
+namespace hqs {
+
+const lbool lbool::True{true};
+const lbool lbool::False{false};
+const lbool lbool::Undef{};
+
+std::ostream& operator<<(std::ostream& os, Lit l)
+{
+    if (l.isUndef()) return os << "lit-undef";
+    if (l.negative()) os << '~';
+    return os << 'v' << l.var();
+}
+
+std::string toString(Lit l)
+{
+    if (l.isUndef()) return "lit-undef";
+    return (l.negative() ? "~v" : "v") + std::to_string(l.var());
+}
+
+std::ostream& operator<<(std::ostream& os, lbool b)
+{
+    return os << (b.isTrue() ? "true" : b.isFalse() ? "false" : "undef");
+}
+
+} // namespace hqs

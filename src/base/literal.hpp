@@ -1,0 +1,111 @@
+// Basic propositional types: variables, literals, and three-valued truth.
+//
+// Variables are dense 0-based indices.  Literals pack a variable and a sign
+// into one 32-bit word (MiniSat convention: lit = 2*var + sign, sign = 1 for
+// the negative literal), which keeps watch lists and clause storage compact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace hqs {
+
+using Var = std::uint32_t;
+
+/// Sentinel for "no variable".
+inline constexpr Var kNoVar = static_cast<Var>(-1);
+
+/// A propositional literal: a variable together with a sign.
+class Lit {
+public:
+    constexpr Lit() : code_(kUndefCode) {}
+    constexpr Lit(Var v, bool negative) : code_((v << 1) | (negative ? 1u : 0u)) {}
+
+    /// The positive literal of @p v.
+    static constexpr Lit pos(Var v) { return Lit(v, false); }
+    /// The negative literal of @p v.
+    static constexpr Lit neg(Var v) { return Lit(v, true); }
+    /// Rebuild a literal from its integer encoding (inverse of code()).
+    static constexpr Lit fromCode(std::uint32_t code)
+    {
+        Lit l;
+        l.code_ = code;
+        return l;
+    }
+
+    constexpr Var var() const { return code_ >> 1; }
+    constexpr bool negative() const { return (code_ & 1u) != 0; }
+    constexpr bool positive() const { return (code_ & 1u) == 0; }
+    /// Integer encoding: 2*var + sign.  Usable as a dense array index.
+    constexpr std::uint32_t code() const { return code_; }
+
+    constexpr bool isUndef() const { return code_ == kUndefCode; }
+
+    constexpr Lit operator~() const { return fromCode(code_ ^ 1u); }
+    /// This literal with sign xor-ed by @p flip.
+    constexpr Lit operator^(bool flip) const { return fromCode(code_ ^ (flip ? 1u : 0u)); }
+
+    constexpr bool operator==(const Lit&) const = default;
+    constexpr bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+    /// DIMACS integer form: +-(var+1).
+    int toDimacs() const { return negative() ? -static_cast<int>(var() + 1) : static_cast<int>(var() + 1); }
+    /// Parse from DIMACS integer form; @p d must be non-zero.
+    static Lit fromDimacs(int d)
+    {
+        return Lit(static_cast<Var>((d < 0 ? -d : d) - 1), d < 0);
+    }
+
+private:
+    static constexpr std::uint32_t kUndefCode = static_cast<std::uint32_t>(-1);
+    std::uint32_t code_;
+};
+
+inline constexpr Lit kUndefLit{};
+
+std::ostream& operator<<(std::ostream& os, Lit l);
+std::string toString(Lit l);
+
+/// Three-valued truth: true / false / undefined.
+class lbool {
+public:
+    constexpr lbool() : v_(2) {}
+    explicit constexpr lbool(bool b) : v_(b ? 1 : 0) {}
+
+    static const lbool True;
+    static const lbool False;
+    static const lbool Undef;
+
+    constexpr bool isTrue() const { return v_ == 1; }
+    constexpr bool isFalse() const { return v_ == 0; }
+    constexpr bool isUndef() const { return v_ == 2; }
+
+    /// Logical negation; Undef stays Undef.
+    constexpr lbool operator~() const { return v_ == 2 ? lbool::makeUndef() : lbool(v_ == 0); }
+    /// Xor with a concrete sign; Undef stays Undef.
+    constexpr lbool operator^(bool flip) const
+    {
+        return v_ == 2 ? lbool::makeUndef() : lbool((v_ == 1) != flip);
+    }
+
+    constexpr bool operator==(const lbool&) const = default;
+
+private:
+    static constexpr lbool makeUndef() { return lbool(); }
+    std::uint8_t v_;
+};
+
+inline constexpr lbool lbool_True{true};
+inline constexpr lbool lbool_False{false};
+inline constexpr lbool lbool_Undef{};
+
+std::ostream& operator<<(std::ostream& os, lbool b);
+
+} // namespace hqs
+
+template <>
+struct std::hash<hqs::Lit> {
+    std::size_t operator()(hqs::Lit l) const noexcept { return std::hash<std::uint32_t>()(l.code()); }
+};

@@ -1,0 +1,21 @@
+#include "src/base/result.hpp"
+
+#include <ostream>
+
+namespace hqs {
+
+std::string toString(SolveResult r)
+{
+    switch (r) {
+        case SolveResult::Sat: return "SAT";
+        case SolveResult::Unsat: return "UNSAT";
+        case SolveResult::Timeout: return "TIMEOUT";
+        case SolveResult::Memout: return "MEMOUT";
+        case SolveResult::Unknown: return "UNKNOWN";
+    }
+    return "INVALID";
+}
+
+std::ostream& operator<<(std::ostream& os, SolveResult r) { return os << toString(r); }
+
+} // namespace hqs

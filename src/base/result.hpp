@@ -1,0 +1,27 @@
+// Outcome types shared by all decision procedures in this repository.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace hqs {
+
+/// Outcome of a (D)QBF / SAT solving run.
+enum class SolveResult {
+    Sat,     ///< formula satisfied / realizable
+    Unsat,   ///< formula unsatisfied / unrealizable
+    Timeout, ///< resource limit: wall-clock budget exhausted
+    Memout,  ///< resource limit: node/memory budget exhausted
+    Unknown, ///< gave up for another reason (incomplete procedure)
+};
+
+std::string toString(SolveResult r);
+std::ostream& operator<<(std::ostream& os, SolveResult r);
+
+/// True for Sat/Unsat, false for the three inconclusive outcomes.
+inline bool isConclusive(SolveResult r)
+{
+    return r == SolveResult::Sat || r == SolveResult::Unsat;
+}
+
+} // namespace hqs

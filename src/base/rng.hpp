@@ -1,0 +1,55 @@
+// Deterministic pseudo-random numbers (xoshiro256**).  Used by benchmark
+// generators and by the AIG simulation/SAT-sweeping code; seeded explicitly
+// everywhere so every run of the harness is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace hqs {
+
+/// Small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to spread a simple seed over the full state.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound).  @p bound must be positive.
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    bool flip() { return (next() & 1u) != 0; }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4];
+};
+
+} // namespace hqs

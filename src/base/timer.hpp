@@ -1,0 +1,58 @@
+// Wall-clock timing and deadline helpers used by solvers and the bench
+// harness.  All solvers accept a Deadline so per-instance timeouts can be
+// enforced without signals.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace hqs {
+
+/// Stopwatch measuring wall-clock time since construction or reset().
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    double elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double elapsedMilliseconds() const { return elapsedSeconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// A point in time after which a solver should abort with Timeout.
+/// A default-constructed Deadline never expires.
+class Deadline {
+public:
+    Deadline() : expiry_(Clock::time_point::max()) {}
+
+    /// Deadline @p seconds from now; non-positive values mean "no limit".
+    static Deadline in(double seconds)
+    {
+        Deadline d;
+        if (seconds > 0) {
+            d.expiry_ = Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(seconds));
+        }
+        return d;
+    }
+
+    static Deadline unlimited() { return Deadline(); }
+
+    bool expired() const { return Clock::now() >= expiry_; }
+
+    bool isUnlimited() const { return expiry_ == Clock::time_point::max(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point expiry_;
+};
+
+} // namespace hqs

@@ -1,0 +1,239 @@
+#include "src/bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hqs {
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+    h ^= b + 0x7f4a7c15u + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= c + 0x94d049bbu + (h << 6) + (h >> 2);
+    h *= 0x94d049bb133111ebull;
+    return h;
+}
+
+} // namespace
+
+Bdd::Bdd()
+{
+    nodes_.push_back(Node{kNoVar, BddRef(), BddRef()}); // 0: false
+    nodes_.push_back(Node{kNoVar, BddRef(), BddRef()}); // 1: true
+}
+
+BddRef Bdd::mkNode(Var v, BddRef low, BddRef high)
+{
+    if (low == high) return low;
+    const std::uint64_t key = mix(v, low.index(), high.index());
+    auto [it, inserted] = unique_.try_emplace(key, 0);
+    if (!inserted) {
+        // Verify (lossless table required for canonicity): on the rare
+        // collision, fall back to a linear check over the bucket chain by
+        // re-probing with a salted key.
+        const Node& n = nodes_[it->second];
+        if (n.var == v && n.low == low && n.high == high) return BddRef(it->second);
+        std::uint64_t salted = key;
+        for (;;) {
+            salted = mix(salted, 0x5bd1e995u, v);
+            auto [it2, ins2] = unique_.try_emplace(salted, 0);
+            if (!ins2) {
+                const Node& m = nodes_[it2->second];
+                if (m.var == v && m.low == low && m.high == high) return BddRef(it2->second);
+                continue;
+            }
+            const auto idx = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.push_back(Node{v, low, high});
+            it2->second = idx;
+            return BddRef(idx);
+        }
+    }
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{v, low, high});
+    it->second = idx;
+    return BddRef(idx);
+}
+
+BddRef Bdd::variable(Var v)
+{
+    return mkNode(v, constFalse(), constTrue());
+}
+
+Var Bdd::topVar(BddRef f, BddRef g, BddRef h) const
+{
+    Var top = kNoVar;
+    for (BddRef r : {f, g, h}) {
+        if (isConstant(r)) continue;
+        const Var v = node(r).var;
+        if (top == kNoVar || v < top) top = v;
+    }
+    return top;
+}
+
+void Bdd::checkLimits()
+{
+    if ((++limitCheckCounter_ & 0x3ff) != 0) return;
+    if (nodeLimit_ != 0 && nodes_.size() > nodeLimit_) throw BddLimitExceeded(true);
+    if (deadline_.expired()) throw BddLimitExceeded(false);
+}
+
+BddRef Bdd::mkIte(BddRef f, BddRef g, BddRef h)
+{
+    checkLimits();
+    // Terminal cases.
+    if (f == constTrue()) return g;
+    if (f == constFalse()) return h;
+    if (g == h) return g;
+    if (g == constTrue() && h == constFalse()) return f;
+
+    const std::uint64_t key = mix(f.index(), g.index(), h.index());
+    auto cached = iteCache_.find(key);
+    if (cached != iteCache_.end() && cached->second[0] == f.index() &&
+        cached->second[1] == g.index() && cached->second[2] == h.index()) {
+        return BddRef(cached->second[3]);
+    }
+
+    const Var v = topVar(f, g, h);
+    auto branch = [&](BddRef r, bool value) {
+        if (isConstant(r) || node(r).var != v) return r;
+        return value ? node(r).high : node(r).low;
+    };
+    const BddRef low = mkIte(branch(f, false), branch(g, false), branch(h, false));
+    const BddRef high = mkIte(branch(f, true), branch(g, true), branch(h, true));
+    const BddRef result = mkNode(v, low, high);
+    iteCache_[key] = {f.index(), g.index(), h.index(), result.index()};
+    return result;
+}
+
+BddRef Bdd::cofactor(BddRef f, Var v, bool value)
+{
+    // Per-call memo over node indices: the cone is a DAG.
+    std::unordered_map<std::uint32_t, BddRef> memo;
+    auto rec = [&](auto&& self, BddRef g) -> BddRef {
+        if (isConstant(g)) return g;
+        const Node n = node(g); // copy: nodes_ may grow below
+        if (n.var > v) return g; // v is above this node: g does not mention it
+        if (n.var == v) return value ? n.high : n.low;
+        auto hit = memo.find(g.index());
+        if (hit != memo.end()) return hit->second;
+        const BddRef low = self(self, n.low);
+        const BddRef high = self(self, n.high);
+        const BddRef result = mkNode(n.var, low, high);
+        memo.emplace(g.index(), result);
+        return result;
+    };
+    return rec(rec, f);
+}
+
+BddRef Bdd::existsVar(BddRef f, Var v)
+{
+    return mkOr(cofactor(f, v, false), cofactor(f, v, true));
+}
+
+BddRef Bdd::forallVar(BddRef f, Var v)
+{
+    return mkAnd(cofactor(f, v, false), cofactor(f, v, true));
+}
+
+BddRef Bdd::fromCnf(const Cnf& cnf)
+{
+    BddRef acc = constTrue();
+    for (const Clause& c : cnf) {
+        BddRef clause = constFalse();
+        // Build the disjunction from the highest variable down so each mkOr
+        // touches a small top region.
+        std::vector<Lit> lits = c.lits();
+        std::sort(lits.begin(), lits.end(),
+                  [](Lit a, Lit b) { return a.var() > b.var(); });
+        for (Lit l : lits) {
+            const BddRef v = variable(l.var());
+            clause = mkOr(clause, l.negative() ? mkNot(v) : v);
+        }
+        acc = mkAnd(acc, clause);
+        if (acc == constFalse()) break;
+    }
+    return acc;
+}
+
+bool Bdd::evaluate(BddRef f, const std::vector<bool>& assignment) const
+{
+    while (!isConstant(f)) {
+        const Node& n = node(f);
+        const bool v = n.var < assignment.size() && assignment[n.var];
+        f = v ? n.high : n.low;
+    }
+    return constantValue(f);
+}
+
+std::vector<Var> Bdd::support(BddRef f) const
+{
+    std::vector<Var> out;
+    std::vector<std::uint32_t> stack{f.index()};
+    std::unordered_map<std::uint32_t, bool> seen;
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        if (idx <= 1 || seen[idx]) continue;
+        seen[idx] = true;
+        out.push_back(nodes_[idx].var);
+        stack.push_back(nodes_[idx].low.index());
+        stack.push_back(nodes_[idx].high.index());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::size_t Bdd::coneSize(BddRef f) const
+{
+    std::size_t count = 0;
+    std::vector<std::uint32_t> stack{f.index()};
+    std::unordered_map<std::uint32_t, bool> seen;
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        if (idx <= 1 || seen[idx]) continue;
+        seen[idx] = true;
+        ++count;
+        stack.push_back(nodes_[idx].low.index());
+        stack.push_back(nodes_[idx].high.index());
+    }
+    return count;
+}
+
+double Bdd::satCount(BddRef f, unsigned numVars) const
+{
+    // Fraction of satisfying minterms, then scale by 2^numVars.
+    std::unordered_map<std::uint32_t, double> memo;
+    std::vector<std::uint32_t> stack{f.index()};
+    memo[0] = 0.0;
+    memo[1] = 1.0;
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (memo.contains(idx)) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = nodes_[idx];
+        const auto lo = n.low.index();
+        const auto hi = n.high.index();
+        if (!memo.contains(lo)) {
+            stack.push_back(lo);
+            continue;
+        }
+        if (!memo.contains(hi)) {
+            stack.push_back(hi);
+            continue;
+        }
+        memo[idx] = 0.5 * (memo[lo] + memo[hi]);
+        stack.pop_back();
+    }
+    double scale = 1.0;
+    for (unsigned i = 0; i < numVars; ++i) scale *= 2.0;
+    return memo[f.index()] * scale;
+}
+
+} // namespace hqs

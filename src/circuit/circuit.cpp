@@ -1,0 +1,152 @@
+#include "src/circuit/circuit.hpp"
+
+#include <algorithm>
+
+namespace hqs {
+
+Circuit::NodeId Circuit::addNode(Node n)
+{
+    for (NodeId f : n.fanins) {
+        assert(f < nodes_.size());
+        (void)f;
+    }
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    return id;
+}
+
+Circuit::NodeId Circuit::addInput(std::string name)
+{
+    const NodeId id = addNode(Node{GateOp::Input, {}, 0, 0, std::move(name)});
+    inputs_.push_back(id);
+    return id;
+}
+
+Circuit::NodeId Circuit::constant(bool value)
+{
+    return addNode(Node{value ? GateOp::Const1 : GateOp::Const0, {}, 0, 0, {}});
+}
+
+Circuit::NodeId Circuit::gate(GateOp op, std::vector<NodeId> fanins)
+{
+    assert(op != GateOp::Input && op != GateOp::BlackBoxOutput && op != GateOp::Const0 &&
+           op != GateOp::Const1);
+    assert((op != GateOp::Not && op != GateOp::Buf) || fanins.size() == 1);
+    assert(!fanins.empty());
+    return addNode(Node{op, std::move(fanins), 0, 0, {}});
+}
+
+Circuit::BoxId Circuit::addBlackBox(std::vector<NodeId> inputs, std::string name)
+{
+    for (NodeId f : inputs) {
+        assert(f < nodes_.size());
+        (void)f;
+    }
+    const BoxId id = static_cast<BoxId>(boxes_.size());
+    boxes_.push_back(Box{std::move(inputs), {}, std::move(name)});
+    return id;
+}
+
+Circuit::NodeId Circuit::blackBoxOutput(BoxId box)
+{
+    assert(box < boxes_.size());
+    Node n{GateOp::BlackBoxOutput, boxes_[box].inputs, box, boxes_[box].outputs.size(), {}};
+    const NodeId id = addNode(std::move(n));
+    boxes_[box].outputs.push_back(id);
+    return id;
+}
+
+void Circuit::addOutput(NodeId n, std::string name)
+{
+    assert(n < nodes_.size());
+    outputs_.push_back(n);
+    if (!name.empty()) nodes_[n].name = std::move(name);
+}
+
+std::size_t Circuit::numGates() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) {
+            return n.op != GateOp::Input && n.op != GateOp::BlackBoxOutput &&
+                   n.op != GateOp::Const0 && n.op != GateOp::Const1;
+        }));
+}
+
+bool evalGateOp(GateOp op, const std::vector<bool>& vals)
+{
+    switch (op) {
+        case GateOp::And:
+        case GateOp::Nand: {
+            const bool a = std::all_of(vals.begin(), vals.end(), [](bool b) { return b; });
+            return op == GateOp::And ? a : !a;
+        }
+        case GateOp::Or:
+        case GateOp::Nor: {
+            const bool a = std::any_of(vals.begin(), vals.end(), [](bool b) { return b; });
+            return op == GateOp::Or ? a : !a;
+        }
+        case GateOp::Xor:
+        case GateOp::Xnor: {
+            bool a = false;
+            for (bool b : vals) a = a != b;
+            return op == GateOp::Xor ? a : !a;
+        }
+        case GateOp::Not:
+            return !vals[0];
+        case GateOp::Buf:
+            return vals[0];
+        case GateOp::Const0:
+            return false;
+        case GateOp::Const1:
+            return true;
+        case GateOp::Input:
+        case GateOp::BlackBoxOutput:
+            break;
+    }
+    assert(false && "evalGateOp: not a gate");
+    return false;
+}
+
+std::vector<bool> Circuit::simulate(const std::vector<bool>& inputValues,
+                                    const BoxFunction& boxFn) const
+{
+    assert(inputValues.size() == inputs_.size());
+    std::vector<bool> value(nodes_.size(), false);
+    std::size_t nextInput = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        switch (n.op) {
+            case GateOp::Input:
+                value[id] = inputValues[nextInput++];
+                break;
+            case GateOp::BlackBoxOutput: {
+                assert(boxFn && "simulating an incomplete circuit requires a box function");
+                std::vector<bool> ins;
+                ins.reserve(n.fanins.size());
+                for (NodeId f : n.fanins) ins.push_back(value[f]);
+                value[id] = boxFn(n.box, n.boxOutputIndex, ins);
+                break;
+            }
+            default: {
+                std::vector<bool> ins;
+                ins.reserve(n.fanins.size());
+                for (NodeId f : n.fanins) ins.push_back(value[f]);
+                value[id] = evalGateOp(n.op, ins);
+                break;
+            }
+        }
+    }
+    return value;
+}
+
+std::vector<bool> Circuit::evaluateOutputs(const std::vector<bool>& inputValues,
+                                           const BoxFunction& boxFn) const
+{
+    const std::vector<bool> value = simulate(inputValues, boxFn);
+    std::vector<bool> out;
+    out.reserve(outputs_.size());
+    for (NodeId o : outputs_) out.push_back(value[o]);
+    return out;
+}
+
+} // namespace hqs

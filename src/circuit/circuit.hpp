@@ -1,0 +1,123 @@
+// Gate-level combinational netlists with black boxes.
+//
+// This models the paper's reference application: partial equivalence
+// checking (PEC) of incomplete designs, where some modules are not yet
+// implemented ("black boxes").  A Circuit is a DAG of primary inputs,
+// gates, and black-box outputs; every output of a black box is a free
+// function of exactly that box's input signals.  Nodes reference only
+// earlier nodes, so creation order is a topological order.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hqs {
+
+enum class GateOp : std::uint8_t {
+    Input,
+    Const0,
+    Const1,
+    And,  ///< n-ary
+    Or,   ///< n-ary
+    Xor,  ///< n-ary (parity)
+    Nand, ///< n-ary
+    Nor,  ///< n-ary
+    Xnor, ///< n-ary (inverted parity)
+    Not,  ///< unary
+    Buf,  ///< unary
+    BlackBoxOutput,
+};
+
+class Circuit {
+public:
+    using NodeId = std::uint32_t;
+    using BoxId = std::uint32_t;
+
+    // ----- construction -----------------------------------------------------
+    NodeId addInput(std::string name = "");
+    NodeId constant(bool value);
+    /// n-ary gate; @p fanins must reference existing nodes.
+    NodeId gate(GateOp op, std::vector<NodeId> fanins);
+    NodeId gate2(GateOp op, NodeId a, NodeId b) { return gate(op, {a, b}); }
+    NodeId notGate(NodeId a) { return gate(GateOp::Not, {a}); }
+
+    /// Declare a black box reading the given signals.
+    BoxId addBlackBox(std::vector<NodeId> inputs, std::string name = "");
+    /// Add one output of box @p box (a fresh free function of its inputs).
+    NodeId blackBoxOutput(BoxId box);
+
+    void addOutput(NodeId n, std::string name = "");
+
+    // ----- access -------------------------------------------------------------
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numGates() const;
+    const std::vector<NodeId>& inputs() const { return inputs_; }
+    const std::vector<NodeId>& outputs() const { return outputs_; }
+    std::size_t numBoxes() const { return boxes_.size(); }
+    const std::vector<NodeId>& boxInputs(BoxId b) const { return boxes_[b].inputs; }
+    const std::vector<NodeId>& boxOutputs(BoxId b) const { return boxes_[b].outputs; }
+    const std::string& boxName(BoxId b) const { return boxes_[b].name; }
+
+    GateOp op(NodeId n) const { return nodes_[n].op; }
+    const std::vector<NodeId>& fanins(NodeId n) const { return nodes_[n].fanins; }
+    /// Box of a BlackBoxOutput node.
+    BoxId boxOf(NodeId n) const
+    {
+        assert(op(n) == GateOp::BlackBoxOutput);
+        return nodes_[n].box;
+    }
+    /// Output position of a BlackBoxOutput node within its box.
+    std::size_t boxOutputIndex(NodeId n) const
+    {
+        assert(op(n) == GateOp::BlackBoxOutput);
+        return nodes_[n].boxOutputIndex;
+    }
+
+    bool isComplete() const { return boxes_.empty(); }
+
+    // ----- simulation ------------------------------------------------------------
+    /// Value provider for black-box outputs: (box, outputIndex, inputValues)
+    /// -> output bit.
+    using BoxFunction =
+        std::function<bool(BoxId, std::size_t, const std::vector<bool>&)>;
+
+    /// Evaluate all nodes under the given primary-input values; black-box
+    /// outputs are supplied by @p boxFn (may be null for complete circuits).
+    /// Returns the value of every node.
+    std::vector<bool> simulate(const std::vector<bool>& inputValues,
+                               const BoxFunction& boxFn = nullptr) const;
+
+    /// Values of the designated outputs only.
+    std::vector<bool> evaluateOutputs(const std::vector<bool>& inputValues,
+                                      const BoxFunction& boxFn = nullptr) const;
+
+private:
+    struct Node {
+        GateOp op;
+        std::vector<NodeId> fanins;
+        BoxId box = 0;
+        std::size_t boxOutputIndex = 0;
+        std::string name;
+    };
+    struct Box {
+        std::vector<NodeId> inputs;
+        std::vector<NodeId> outputs;
+        std::string name;
+    };
+
+    NodeId addNode(Node n);
+
+    std::vector<Node> nodes_;
+    std::vector<Box> boxes_;
+    std::vector<NodeId> inputs_;
+    std::vector<NodeId> outputs_;
+};
+
+/// Evaluate a single gate function over fanin values (not for Input /
+/// BlackBoxOutput).
+bool evalGateOp(GateOp op, const std::vector<bool>& vals);
+
+} // namespace hqs

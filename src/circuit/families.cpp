@@ -1,0 +1,381 @@
+#include "src/circuit/families.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace hqs {
+namespace {
+
+using NodeId = Circuit::NodeId;
+
+/// Shared builder context: each family builds spec (withBoxes = false) and
+/// impl (withBoxes = true) from the same code path so the two circuits have
+/// identical input/output order.
+struct BuildMode {
+    bool withBoxes;
+    bool realizable;   ///< only meaningful when withBoxes
+    unsigned boxes = 2;
+
+    bool boxed(unsigned cell) const { return withBoxes && positions.contains(cell); }
+    std::set<unsigned> positions; ///< boxed cell indices (cell-based families)
+};
+
+/// Spread @p k box positions over cells 1..n-1 (cell 0 stays a gate so the
+/// first box sees a genuine internal chain signal).
+std::set<unsigned> spreadPositions(unsigned n, unsigned k)
+{
+    std::set<unsigned> pos;
+    if (n <= 1) return pos;
+    k = std::min(k, n - 1);
+    for (unsigned i = 0; i < k; ++i) {
+        pos.insert(std::min(n - 1, 1 + (i * (n - 1)) / k));
+    }
+    return pos;
+}
+
+// ---------------------------------------------------------------------------
+// adder: n-bit ripple-carry adder; two full-adder cells become black boxes.
+// Unrealizable variant: the boxes lose their carry-in.
+// ---------------------------------------------------------------------------
+Circuit buildAdder(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<NodeId> a(n), b(n);
+    for (unsigned i = 0; i < n; ++i) a[i] = c.addInput("a" + std::to_string(i));
+    for (unsigned i = 0; i < n; ++i) b[i] = c.addInput("b" + std::to_string(i));
+    NodeId carry = c.addInput("cin");
+
+    std::vector<NodeId> sum(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (m.boxed(i)) {
+            std::vector<NodeId> boxIns{a[i], b[i]};
+            if (m.realizable) boxIns.push_back(carry);
+            const auto box = c.addBlackBox(std::move(boxIns), "fa" + std::to_string(i));
+            sum[i] = c.blackBoxOutput(box);
+            carry = c.blackBoxOutput(box);
+        } else {
+            const NodeId axb = c.gate2(GateOp::Xor, a[i], b[i]);
+            sum[i] = c.gate2(GateOp::Xor, axb, carry);
+            const NodeId maj =
+                c.gate2(GateOp::Or, c.gate2(GateOp::And, a[i], b[i]),
+                        c.gate2(GateOp::And, axb, carry));
+            carry = maj;
+        }
+    }
+    for (unsigned i = 0; i < n; ++i) c.addOutput(sum[i], "s" + std::to_string(i));
+    c.addOutput(carry, "cout");
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// bitcell: fixed-priority arbiter as a chain of bit cells [31]:
+// grant_i = req_i & ~carry_i;  carry_{i+1} = carry_i | req_i.
+// Two cells become black boxes; unrealizable: they lose the carry input.
+// ---------------------------------------------------------------------------
+Circuit buildBitcell(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<NodeId> req(n);
+    for (unsigned i = 0; i < n; ++i) req[i] = c.addInput("req" + std::to_string(i));
+    NodeId carry = c.constant(false);
+
+    std::vector<NodeId> grant(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (m.boxed(i)) {
+            std::vector<NodeId> boxIns{req[i]};
+            if (m.realizable) boxIns.push_back(carry);
+            const auto box = c.addBlackBox(std::move(boxIns), "cell" + std::to_string(i));
+            grant[i] = c.blackBoxOutput(box);
+            carry = c.blackBoxOutput(box);
+        } else {
+            grant[i] = c.gate2(GateOp::And, req[i], c.notGate(carry));
+            carry = c.gate2(GateOp::Or, carry, req[i]);
+        }
+    }
+    for (unsigned i = 0; i < n; ++i) c.addOutput(grant[i], "gnt" + std::to_string(i));
+    c.addOutput(carry, "busy");
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// lookahead: the same arbiter function computed with a two-level lookahead
+// structure [31]: the low half produces a group request that gates the high
+// half.  The two half-arbiters become black boxes; unrealizable: the high
+// box loses the group-carry signal.
+// ---------------------------------------------------------------------------
+Circuit buildLookahead(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<NodeId> req(n);
+    for (unsigned i = 0; i < n; ++i) req[i] = c.addInput("req" + std::to_string(i));
+    const unsigned h = n / 2;
+
+    std::vector<NodeId> grant(n);
+    NodeId groupAny = 0;
+    if (m.withBoxes) {
+        // Low half-box: sees its requests, produces grants + group-or.
+        std::vector<NodeId> lowIns(req.begin(), req.begin() + h);
+        const auto lowBox = c.addBlackBox(std::move(lowIns), "low");
+        for (unsigned i = 0; i < h; ++i) grant[i] = c.blackBoxOutput(lowBox);
+        groupAny = c.blackBoxOutput(lowBox);
+
+        std::vector<NodeId> highIns(req.begin() + static_cast<int>(h), req.end());
+        if (m.realizable) highIns.push_back(groupAny);
+        const auto highBox = c.addBlackBox(std::move(highIns), "high");
+        for (unsigned i = h; i < n; ++i) grant[i] = c.blackBoxOutput(highBox);
+    } else {
+        NodeId carry = c.constant(false);
+        for (unsigned i = 0; i < h; ++i) {
+            grant[i] = c.gate2(GateOp::And, req[i], c.notGate(carry));
+            carry = c.gate2(GateOp::Or, carry, req[i]);
+        }
+        groupAny = carry;
+        NodeId hcarry = groupAny;
+        for (unsigned i = h; i < n; ++i) {
+            grant[i] = c.gate2(GateOp::And, req[i], c.notGate(hcarry));
+            hcarry = c.gate2(GateOp::Or, hcarry, req[i]);
+        }
+    }
+    for (unsigned i = 0; i < n; ++i) c.addOutput(grant[i], "gnt" + std::to_string(i));
+    c.addOutput(groupAny, "lowAny");
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// pec_xor: out = x0 XOR ... XOR x_{n-1} [15].  Implementation: the parity of
+// each half comes from a black box and the halves are xor-ed together.
+// Unrealizable: the high box does not see the last input.
+// ---------------------------------------------------------------------------
+Circuit buildPecXor(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<NodeId> x(n);
+    for (unsigned i = 0; i < n; ++i) x[i] = c.addInput("x" + std::to_string(i));
+
+    NodeId out = 0;
+    if (m.withBoxes) {
+        // k segments, each contributing its parity from a black box.
+        const unsigned k = std::max(2u, std::min(m.boxes, n / 2));
+        std::vector<NodeId> parities;
+        for (unsigned seg = 0; seg < k; ++seg) {
+            const unsigned lo = (seg * n) / k;
+            const unsigned hi = ((seg + 1) * n) / k;
+            std::vector<NodeId> ins(x.begin() + lo, x.begin() + hi);
+            // Unrealizable: the last segment's box cannot see its last input.
+            if (!m.realizable && seg == k - 1) ins.pop_back();
+            const auto box = c.addBlackBox(std::move(ins), "seg" + std::to_string(seg));
+            parities.push_back(c.blackBoxOutput(box));
+        }
+        out = c.gate(GateOp::Xor, parities);
+    } else {
+        out = c.gate(GateOp::Xor, x);
+    }
+    c.addOutput(out, "parity");
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// z4: carry-skip-adder PEC in the spirit of the ISCAS-85 z4ml instances.
+// The implementation computes the low block's carry and the whole high
+// block inside black boxes (block-level boxes, unlike `adder`'s cell-level
+// ones).  Unrealizable: the low box loses cin.
+// ---------------------------------------------------------------------------
+Circuit buildZ4(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<NodeId> a(n), b(n);
+    for (unsigned i = 0; i < n; ++i) a[i] = c.addInput("a" + std::to_string(i));
+    for (unsigned i = 0; i < n; ++i) b[i] = c.addInput("b" + std::to_string(i));
+    const NodeId cin = c.addInput("cin");
+    const unsigned h = n / 2;
+
+    std::vector<NodeId> sum(n);
+    NodeId cout = 0;
+    auto rippleRange = [&](unsigned lo, unsigned hi, NodeId carry) {
+        for (unsigned i = lo; i < hi; ++i) {
+            const NodeId axb = c.gate2(GateOp::Xor, a[i], b[i]);
+            sum[i] = c.gate2(GateOp::Xor, axb, carry);
+            carry = c.gate2(GateOp::Or, c.gate2(GateOp::And, a[i], b[i]),
+                            c.gate2(GateOp::And, axb, carry));
+        }
+        return carry;
+    };
+
+    if (m.withBoxes) {
+        // Low block sums ripple normally, but the block carry-out comes from
+        // a box over the whole low block.
+        const NodeId lowCarry = rippleRange(0, h, cin);
+        std::vector<NodeId> lowIns;
+        for (unsigned i = 0; i < h; ++i) {
+            lowIns.push_back(a[i]);
+            lowIns.push_back(b[i]);
+        }
+        if (m.realizable) lowIns.push_back(cin);
+        const auto lowBox = c.addBlackBox(std::move(lowIns), "skip");
+        const NodeId blockCarry = c.blackBoxOutput(lowBox);
+        (void)lowCarry; // replaced by the box in the implementation
+
+        // High block entirely inside a second box.
+        std::vector<NodeId> highIns;
+        for (unsigned i = h; i < n; ++i) {
+            highIns.push_back(a[i]);
+            highIns.push_back(b[i]);
+        }
+        highIns.push_back(blockCarry);
+        const auto highBox = c.addBlackBox(std::move(highIns), "highblk");
+        for (unsigned i = h; i < n; ++i) sum[i] = c.blackBoxOutput(highBox);
+        cout = c.blackBoxOutput(highBox);
+    } else {
+        const NodeId mid = rippleRange(0, h, cin);
+        cout = rippleRange(h, n, mid);
+    }
+    for (unsigned i = 0; i < n; ++i) c.addOutput(sum[i], "s" + std::to_string(i));
+    c.addOutput(cout, "cout");
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// comp: n-bit magnitude comparator (greater / equal), MSB-first chain.
+// Two chain cells become black boxes; unrealizable: they lose the equal-so-
+// far input.
+// ---------------------------------------------------------------------------
+Circuit buildComp(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<NodeId> a(n), b(n);
+    for (unsigned i = 0; i < n; ++i) a[i] = c.addInput("a" + std::to_string(i));
+    for (unsigned i = 0; i < n; ++i) b[i] = c.addInput("b" + std::to_string(i));
+
+    NodeId gt = c.constant(false);
+    NodeId eq = c.constant(true);
+    for (unsigned idx = 0; idx < n; ++idx) {
+        const unsigned i = n - 1 - idx; // MSB first
+        if (m.boxed(idx)) {
+            std::vector<NodeId> boxIns{a[i], b[i], gt};
+            if (m.realizable) boxIns.push_back(eq);
+            const auto box = c.addBlackBox(std::move(boxIns), "cmp" + std::to_string(i));
+            gt = c.blackBoxOutput(box);
+            eq = c.blackBoxOutput(box);
+        } else {
+            const NodeId aiGtBi = c.gate2(GateOp::And, a[i], c.notGate(b[i]));
+            const NodeId aiEqBi = c.gate2(GateOp::Xnor, a[i], b[i]);
+            gt = c.gate2(GateOp::Or, gt, c.gate2(GateOp::And, eq, aiGtBi));
+            eq = c.gate2(GateOp::And, eq, aiEqBi);
+        }
+    }
+    c.addOutput(gt, "gt");
+    c.addOutput(eq, "eq");
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// c432: priority interrupt controller in the spirit of ISCAS-85 C432:
+// three groups of n request lines with enables; group 0 has priority; within
+// a selected group the lowest line wins.  Two of the three within-group
+// priority encoders become black boxes; unrealizable: they lose the
+// group-select signal.
+// ---------------------------------------------------------------------------
+Circuit buildC432(unsigned n, BuildMode m)
+{
+    Circuit c;
+    std::vector<std::vector<NodeId>> r(3, std::vector<NodeId>(n));
+    std::vector<NodeId> en(3);
+    for (unsigned g = 0; g < 3; ++g) {
+        for (unsigned i = 0; i < n; ++i)
+            r[g][i] = c.addInput("r" + std::to_string(g) + "_" + std::to_string(i));
+        en[g] = c.addInput("en" + std::to_string(g));
+    }
+
+    // Group selection with priority 0 > 1 > 2.
+    std::vector<NodeId> any(3), sel(3);
+    for (unsigned g = 0; g < 3; ++g) any[g] = c.gate(GateOp::Or, r[g]);
+    sel[0] = c.gate2(GateOp::And, any[0], en[0]);
+    sel[1] = c.gate2(GateOp::And, c.gate2(GateOp::And, any[1], en[1]), c.notGate(sel[0]));
+    sel[2] = c.gate2(GateOp::And, c.gate2(GateOp::And, any[2], en[2]),
+                     c.gate2(GateOp::Nor, sel[0], sel[1]));
+
+    // Within-group priority encoders; the last min(boxes, 3) groups become
+    // black boxes (group 0 last, so two boxes leave the top-priority
+    // encoder implemented as in the original instances).
+    const unsigned numBoxed = m.withBoxes ? std::min(m.boxes, 3u) : 0;
+    for (unsigned g = 0; g < 3; ++g) {
+        const bool boxed = m.withBoxes && g >= 3 - numBoxed;
+        if (boxed) {
+            std::vector<NodeId> boxIns = r[g];
+            if (m.realizable) boxIns.push_back(sel[g]);
+            const auto box = c.addBlackBox(std::move(boxIns), "enc" + std::to_string(g));
+            for (unsigned i = 0; i < n; ++i)
+                c.addOutput(c.blackBoxOutput(box),
+                            "ack" + std::to_string(g) + "_" + std::to_string(i));
+        } else {
+            NodeId blocked = c.constant(false);
+            for (unsigned i = 0; i < n; ++i) {
+                const NodeId win = c.gate2(GateOp::And, r[g][i], c.notGate(blocked));
+                c.addOutput(c.gate2(GateOp::And, win, sel[g]),
+                            "ack" + std::to_string(g) + "_" + std::to_string(i));
+                blocked = c.gate2(GateOp::Or, blocked, r[g][i]);
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+std::string toString(Family f)
+{
+    switch (f) {
+        case Family::Adder: return "adder";
+        case Family::Bitcell: return "bitcell";
+        case Family::Lookahead: return "lookahead";
+        case Family::PecXor: return "pec_xor";
+        case Family::Z4: return "z4";
+        case Family::Comp: return "comp";
+        case Family::C432: return "c432";
+    }
+    return "invalid";
+}
+
+std::vector<Family> allFamilies()
+{
+    return {Family::Adder,  Family::Bitcell, Family::Lookahead, Family::PecXor,
+            Family::Z4,     Family::Comp,    Family::C432};
+}
+
+PecInstance makeInstance(Family family, unsigned width, bool realizable)
+{
+    return makeInstance(family, width, realizable, 2);
+}
+
+PecInstance makeInstance(Family family, unsigned width, bool realizable, unsigned boxes)
+{
+    assert(width >= 3 && boxes >= 2);
+    auto build = [&](BuildMode mode) {
+        mode.boxes = boxes;
+        mode.positions = spreadPositions(width, boxes);
+        switch (family) {
+            case Family::Adder: return buildAdder(width, mode);
+            case Family::Bitcell: return buildBitcell(width, mode);
+            case Family::Lookahead: return buildLookahead(width, mode);
+            case Family::PecXor: return buildPecXor(width, mode);
+            case Family::Z4: return buildZ4(width, mode);
+            case Family::Comp: return buildComp(width, mode);
+            case Family::C432: return buildC432(width, mode);
+        }
+        return Circuit{};
+    };
+    PecInstance inst;
+    inst.family = family;
+    inst.name = toString(family) + "_w" + std::to_string(width) +
+                (boxes != 2 ? "_b" + std::to_string(boxes) : "") +
+                (realizable ? "_sat" : "_unsat");
+    inst.spec = build(BuildMode{false, true, 2, {}});
+    inst.impl = build(BuildMode{true, realizable, 2, {}});
+    inst.expectedRealizable = realizable;
+    assert(inst.spec.inputs().size() == inst.impl.inputs().size());
+    assert(inst.spec.outputs().size() == inst.impl.outputs().size());
+    return inst;
+}
+
+} // namespace hqs

@@ -1,0 +1,54 @@
+// Parametric generators for the paper's seven PEC benchmark families.
+//
+// The original evaluation uses 1820 partial-equivalence-checking instances:
+// adders, the `bitcell` and `lookahead` arbiter implementations from Dally &
+// Harting [31], the `pec_xor` family from Finkbeiner & Tentrup [15], and PEC
+// problems on the ISCAS-85-derived circuits z4 (carry-skip adder), comp
+// (magnitude comparator), and C432 (27-channel priority interrupt
+// controller).  Those exact netlists are not redistributable, so each
+// generator here produces a structurally matching parametric circuit pair:
+// a complete specification and an implementation with two (or more) black
+// boxes whose input cones are incomparable — the source of the genuine
+// Henkin dependencies that make these problems DQBF-hard.  The `realizable`
+// flag selects whether the black boxes see enough signals to implement the
+// missing logic (SAT) or are starved of a needed signal (UNSAT), which is
+// exactly how the original families mix satisfiable and unsatisfiable
+// instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/circuit/circuit.hpp"
+
+namespace hqs {
+
+enum class Family { Adder, Bitcell, Lookahead, PecXor, Z4, Comp, C432 };
+
+std::string toString(Family f);
+std::vector<Family> allFamilies();
+
+/// A PEC problem: does some implementation of the black boxes make `impl`
+/// equivalent to `spec`?  `expectedRealizable` is the ground truth by
+/// construction (used by tests and reported by the bench harness).
+struct PecInstance {
+    std::string name;
+    Family family;
+    Circuit spec; ///< complete reference circuit
+    Circuit impl; ///< same I/O, with black boxes
+    bool expectedRealizable;
+};
+
+/// Build one instance.  @p width scales the circuit (bits / request lines);
+/// minimum sensible width is 3.
+PecInstance makeInstance(Family family, unsigned width, bool realizable);
+
+/// Extended form: @p boxes controls how many black boxes the implementation
+/// has (>= 2; capped by the family's structure — cell-based families can
+/// place up to width-1 boxes, pec_xor up to width/2 segments, c432 at most
+/// 3 group encoders, lookahead and z4 are fixed at 2).  More boxes mean
+/// more pairwise-incomparable dependency sets, i.e. a larger minimum
+/// elimination set for the MaxSAT selection.
+PecInstance makeInstance(Family family, unsigned width, bool realizable, unsigned boxes);
+
+} // namespace hqs

@@ -1,0 +1,115 @@
+#include "src/circuit/tseitin.hpp"
+
+namespace hqs {
+namespace {
+
+/// Emit clauses for O == AND(as) (O and as are literals).
+void encodeAnd(Cnf& out, Lit o, const std::vector<Lit>& as)
+{
+    Clause big;
+    big.push(o);
+    for (Lit a : as) {
+        out.addClause({~o, a});
+        big.push(~a);
+    }
+    out.addClause(big);
+}
+
+/// Emit clauses for O == OR(as).
+void encodeOr(Cnf& out, Lit o, const std::vector<Lit>& as)
+{
+    Clause big;
+    big.push(~o);
+    for (Lit a : as) {
+        out.addClause({o, ~a});
+        big.push(a);
+    }
+    out.addClause(big);
+}
+
+/// Emit clauses for O == a XOR b.
+void encodeXor2(Cnf& out, Lit o, Lit a, Lit b)
+{
+    out.addClause({~o, a, b});
+    out.addClause({~o, ~a, ~b});
+    out.addClause({o, ~a, b});
+    out.addClause({o, a, ~b});
+}
+
+} // namespace
+
+std::vector<Var> tseitinEncode(const Circuit& c, Cnf& out,
+                               const std::unordered_map<Circuit::NodeId, Var>& fixed,
+                               const std::function<Var()>& freshVar)
+{
+    std::vector<Var> nodeVar(c.numNodes(), kNoVar);
+    for (Circuit::NodeId id = 0; id < c.numNodes(); ++id) {
+        auto pin = fixed.find(id);
+        nodeVar[id] = (pin != fixed.end()) ? pin->second : freshVar();
+        out.ensureVars(nodeVar[id] + 1);
+
+        const GateOp op = c.op(id);
+        if (op == GateOp::Input || op == GateOp::BlackBoxOutput) continue;
+
+        const Lit o = Lit::pos(nodeVar[id]);
+        std::vector<Lit> as;
+        as.reserve(c.fanins(id).size());
+        for (Circuit::NodeId f : c.fanins(id)) as.push_back(Lit::pos(nodeVar[f]));
+
+        switch (op) {
+            case GateOp::Const0:
+                out.addClause({~o});
+                break;
+            case GateOp::Const1:
+                out.addClause({o});
+                break;
+            case GateOp::And:
+                encodeAnd(out, o, as);
+                break;
+            case GateOp::Nand:
+                encodeAnd(out, ~o, as);
+                break;
+            case GateOp::Or:
+                encodeOr(out, o, as);
+                break;
+            case GateOp::Nor:
+                encodeOr(out, ~o, as);
+                break;
+            case GateOp::Not:
+                out.addClause({~o, ~as[0]});
+                out.addClause({o, as[0]});
+                break;
+            case GateOp::Buf:
+                out.addClause({~o, as[0]});
+                out.addClause({o, ~as[0]});
+                break;
+            case GateOp::Xor:
+            case GateOp::Xnor: {
+                // Fold the parity chain with fresh intermediates; the final
+                // link targets o (complemented for XNOR).
+                Lit acc = as[0];
+                for (std::size_t i = 1; i + 1 < as.size(); ++i) {
+                    const Var t = freshVar();
+                    out.ensureVars(t + 1);
+                    encodeXor2(out, Lit::pos(t), acc, as[i]);
+                    acc = Lit::pos(t);
+                }
+                const Lit target = (op == GateOp::Xor) ? o : ~o;
+                if (as.size() == 1) {
+                    // Degenerate single-input parity: o == a (or ~a).
+                    out.addClause({~target, acc});
+                    out.addClause({target, ~acc});
+                } else {
+                    encodeXor2(out, target, acc, as.back());
+                }
+                break;
+            }
+            case GateOp::Input:
+            case GateOp::BlackBoxOutput:
+                break;
+        }
+    }
+    return nodeVar;
+}
+
+} // namespace hqs

@@ -1,0 +1,27 @@
+// Tseitin encoding of circuits into CNF.
+//
+// Each node gets one CNF variable; inputs and black-box outputs can be
+// pinned to caller-chosen variables (the PEC encoder pins primary inputs to
+// universal variables shared between specification and implementation, and
+// black-box outputs to the Henkin-quantified existentials).  The emitted
+// clause patterns for AND/OR/XOR are exactly the ones the preprocessor's
+// gate detection recognizes, mirroring the paper's pipeline where the CNF
+// "was generated from a circuit".
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/circuit/circuit.hpp"
+#include "src/cnf/cnf.hpp"
+
+namespace hqs {
+
+/// Encode @p c into @p out.  Nodes present in @p fixed use the given
+/// variable; every other node's variable comes from @p freshVar.
+/// Returns the CNF variable of every node.
+std::vector<Var> tseitinEncode(const Circuit& c, Cnf& out,
+                               const std::unordered_map<Circuit::NodeId, Var>& fixed,
+                               const std::function<Var()>& freshVar);
+
+} // namespace hqs

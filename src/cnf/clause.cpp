@@ -1,0 +1,34 @@
+#include "src/cnf/clause.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace hqs {
+
+bool Clause::normalize()
+{
+    std::sort(lits_.begin(), lits_.end());
+    lits_.erase(std::unique(lits_.begin(), lits_.end()), lits_.end());
+    // After sorting by code, v and ~v are adjacent (codes 2v and 2v+1).
+    for (std::size_t i = 0; i + 1 < lits_.size(); ++i) {
+        if (lits_[i].var() == lits_[i + 1].var()) return true;
+    }
+    return false;
+}
+
+bool Clause::contains(Lit l) const
+{
+    return std::find(lits_.begin(), lits_.end(), l) != lits_.end();
+}
+
+std::ostream& operator<<(std::ostream& os, const Clause& c)
+{
+    os << '(';
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (i > 0) os << " | ";
+        os << c[i];
+    }
+    return os << ')';
+}
+
+} // namespace hqs

@@ -1,0 +1,49 @@
+// A clause: a disjunction of literals.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "src/base/literal.hpp"
+
+namespace hqs {
+
+/// A disjunction of literals.  normalize() sorts, removes duplicate
+/// literals, and reports whether the clause is a tautology (contains v and
+/// ~v); callers typically drop tautological clauses.
+class Clause {
+public:
+    Clause() = default;
+    explicit Clause(std::vector<Lit> lits) : lits_(std::move(lits)) {}
+    Clause(std::initializer_list<Lit> lits) : lits_(lits) {}
+
+    /// Sort and deduplicate.  Returns true iff the clause is a tautology.
+    bool normalize();
+
+    bool empty() const { return lits_.empty(); }
+    std::size_t size() const { return lits_.size(); }
+    Lit operator[](std::size_t i) const { return lits_[i]; }
+    Lit& operator[](std::size_t i) { return lits_[i]; }
+
+    bool contains(Lit l) const;
+
+    void push(Lit l) { lits_.push_back(l); }
+
+    const std::vector<Lit>& lits() const { return lits_; }
+    std::vector<Lit>& lits() { return lits_; }
+
+    auto begin() const { return lits_.begin(); }
+    auto end() const { return lits_.end(); }
+    auto begin() { return lits_.begin(); }
+    auto end() { return lits_.end(); }
+
+    bool operator==(const Clause&) const = default;
+
+private:
+    std::vector<Lit> lits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Clause& c);
+
+} // namespace hqs

@@ -1,0 +1,44 @@
+#include "src/cnf/cnf.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace hqs {
+
+bool Cnf::addClause(Clause c)
+{
+    if (c.normalize()) return false;
+    for (Lit l : c) ensureVars(l.var() + 1);
+    clauses_.push_back(std::move(c));
+    return true;
+}
+
+bool Cnf::hasEmptyClause() const
+{
+    return std::any_of(clauses_.begin(), clauses_.end(),
+                       [](const Clause& c) { return c.empty(); });
+}
+
+bool Cnf::evaluate(const std::vector<bool>& assignment) const
+{
+    for (const Clause& c : clauses_) {
+        bool sat = false;
+        for (Lit l : c) {
+            if (assignment[l.var()] != l.negative()) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat) return false;
+    }
+    return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Cnf& f)
+{
+    os << "cnf[" << f.numVars() << " vars, " << f.numClauses() << " clauses]";
+    for (const Clause& c : f) os << ' ' << c;
+    return os;
+}
+
+} // namespace hqs

@@ -1,0 +1,165 @@
+#include "src/cnf/dimacs.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hqs {
+namespace {
+
+/// Tokenizing cursor over the whole input; DIMACS is whitespace-separated,
+/// so line structure only matters for `c` comments.
+class Tokens {
+public:
+    explicit Tokens(std::istream& in)
+    {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (!line.empty() && line[0] == 'c') continue; // comment
+            std::istringstream ls(line);
+            std::string tok;
+            while (ls >> tok) toks_.push_back(tok);
+        }
+    }
+
+    bool done() const { return pos_ >= toks_.size(); }
+    const std::string& peek() const { return toks_[pos_]; }
+    std::string take() { return toks_[pos_++]; }
+
+    long takeInt()
+    {
+        if (done()) throw ParseError("unexpected end of input, expected integer");
+        const std::string t = take();
+        try {
+            std::size_t used = 0;
+            long v = std::stol(t, &used);
+            if (used != t.size()) throw ParseError("bad integer token '" + t + "'");
+            return v;
+        } catch (const std::logic_error&) {
+            throw ParseError("bad integer token '" + t + "'");
+        }
+    }
+
+private:
+    std::vector<std::string> toks_;
+    std::size_t pos_ = 0;
+};
+
+Var takeVar(Tokens& t, Var numVars)
+{
+    long v = t.takeInt();
+    if (v <= 0 || static_cast<Var>(v) > numVars) {
+        throw ParseError("variable " + std::to_string(v) + " out of range 1.." +
+                         std::to_string(numVars));
+    }
+    return static_cast<Var>(v - 1);
+}
+
+} // namespace
+
+ParsedQdimacs parseDqdimacs(std::istream& in)
+{
+    Tokens t(in);
+    if (t.done() || t.take() != "p") throw ParseError("missing 'p cnf' header");
+    if (t.done() || t.take() != "cnf") throw ParseError("header is not 'p cnf'");
+    const long nv = t.takeInt();
+    const long nc = t.takeInt();
+    if (nv < 0 || nc < 0) throw ParseError("negative counts in header");
+
+    ParsedQdimacs out;
+    out.matrix.ensureVars(static_cast<Var>(nv));
+
+    bool inPrefix = true;
+    while (!t.done() && inPrefix) {
+        const std::string& tok = t.peek();
+        if (tok == "a" || tok == "e") {
+            PrefixBlockSpec block;
+            block.kind = (t.take() == "a") ? QuantKind::Forall : QuantKind::Exists;
+            for (;;) {
+                long v = t.takeInt();
+                if (v == 0) break;
+                if (v < 0) throw ParseError("negative variable in quantifier block");
+                if (static_cast<Var>(v) > out.matrix.numVars())
+                    throw ParseError("prefix variable out of range");
+                block.vars.push_back(static_cast<Var>(v - 1));
+            }
+            out.blocks.push_back(std::move(block));
+        } else if (tok == "d") {
+            t.take();
+            DependencySpec dep;
+            dep.var = takeVar(t, out.matrix.numVars());
+            for (;;) {
+                long v = t.takeInt();
+                if (v == 0) break;
+                if (v < 0) throw ParseError("negative variable in dependency line");
+                if (static_cast<Var>(v) > out.matrix.numVars())
+                    throw ParseError("dependency variable out of range");
+                dep.deps.push_back(static_cast<Var>(v - 1));
+            }
+            out.henkin.push_back(std::move(dep));
+        } else {
+            inPrefix = false;
+        }
+    }
+
+    // Clauses: integers terminated by 0.
+    Clause c;
+    while (!t.done()) {
+        long v = t.takeInt();
+        if (v == 0) {
+            out.matrix.addClause(std::move(c));
+            c = Clause();
+        } else {
+            if (static_cast<Var>(v < 0 ? -v : v) > out.matrix.numVars())
+                throw ParseError("clause literal out of range");
+            c.push(Lit::fromDimacs(static_cast<int>(v)));
+        }
+    }
+    if (!c.empty()) throw ParseError("last clause not terminated by 0");
+    if (out.matrix.numClauses() != static_cast<std::size_t>(nc)) {
+        // Many generators get the header count wrong; accept but only if
+        // clauses were parsable.  Strictness here would reject real files.
+    }
+    return out;
+}
+
+ParsedQdimacs parseDqdimacsFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw ParseError("cannot open file '" + path + "'");
+    return parseDqdimacs(in);
+}
+
+ParsedQdimacs parseDqdimacsString(const std::string& text)
+{
+    std::istringstream in(text);
+    return parseDqdimacs(in);
+}
+
+void writeDqdimacs(std::ostream& os, const ParsedQdimacs& f)
+{
+    os << "p cnf " << f.matrix.numVars() << ' ' << f.matrix.numClauses() << '\n';
+    for (const PrefixBlockSpec& b : f.blocks) {
+        os << (b.kind == QuantKind::Forall ? 'a' : 'e');
+        for (Var v : b.vars) os << ' ' << (v + 1);
+        os << " 0\n";
+    }
+    for (const DependencySpec& d : f.henkin) {
+        os << "d " << (d.var + 1);
+        for (Var v : d.deps) os << ' ' << (v + 1);
+        os << " 0\n";
+    }
+    for (const Clause& c : f.matrix) {
+        for (Lit l : c) os << l.toDimacs() << ' ';
+        os << "0\n";
+    }
+}
+
+std::string toDqdimacsString(const ParsedQdimacs& f)
+{
+    std::ostringstream os;
+    writeDqdimacs(os, f);
+    return os.str();
+}
+
+} // namespace hqs

@@ -1,0 +1,163 @@
+#include "src/dqbf/dependency_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+#include "src/maxsat/maxsat.hpp"
+
+namespace hqs {
+namespace {
+
+/// a \ b for sorted vectors.
+std::vector<Var> setDifference(const std::vector<Var>& a, const std::vector<Var>& b)
+{
+    std::vector<Var> out;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+bool isSubset(const std::vector<Var>& a, const std::vector<Var>& b)
+{
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+} // namespace
+
+std::vector<std::pair<Var, Var>> incomparablePairs(const DqbfFormula& f)
+{
+    std::vector<std::pair<Var, Var>> pairs;
+    const auto& ys = f.existentials();
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        for (std::size_t j = i + 1; j < ys.size(); ++j) {
+            const auto& di = f.dependencies(ys[i]);
+            const auto& dj = f.dependencies(ys[j]);
+            if (!isSubset(di, dj) && !isSubset(dj, di)) {
+                pairs.emplace_back(ys[i], ys[j]);
+            }
+        }
+    }
+    return pairs;
+}
+
+bool hasEquivalentQbfPrefix(const DqbfFormula& f)
+{
+    // Theorem 4: cyclic iff some pair is subset-incomparable.
+    return incomparablePairs(f).empty();
+}
+
+QbfPrefix linearizePrefix(const DqbfFormula& f)
+{
+    assert(hasEquivalentQbfPrefix(f));
+    // With pairwise comparable dependency sets, sorting existentials by
+    // |D_y| yields the block order of the Theorem-3 construction; equal
+    // sets share a block.
+    std::vector<Var> ys = f.existentials();
+    std::sort(ys.begin(), ys.end(), [&](Var a, Var b) {
+        return f.dependencies(a).size() < f.dependencies(b).size();
+    });
+
+    QbfPrefix prefix;
+    std::vector<Var> placedUniversals; // sorted set of universals already bound
+    std::size_t i = 0;
+    while (i < ys.size()) {
+        // Block of equal dependency sets.
+        std::size_t j = i;
+        while (j < ys.size() && f.dependencies(ys[j]) == f.dependencies(ys[i])) ++j;
+
+        const std::vector<Var> newUniversals =
+            setDifference(f.dependencies(ys[i]), placedUniversals);
+        prefix.addBlock(QuantKind::Forall, newUniversals);
+        placedUniversals.insert(placedUniversals.end(), newUniversals.begin(),
+                                newUniversals.end());
+        std::sort(placedUniversals.begin(), placedUniversals.end());
+
+        prefix.addBlock(QuantKind::Exists, std::vector<Var>(ys.begin() + i, ys.begin() + j));
+        i = j;
+    }
+    // Trailing universals nobody depends on (X_{k+1} in the paper).
+    std::vector<Var> allUniversals = f.universals();
+    std::sort(allUniversals.begin(), allUniversals.end());
+    prefix.addBlock(QuantKind::Forall, setDifference(allUniversals, placedUniversals));
+    return prefix;
+}
+
+std::optional<std::vector<Var>> selectEliminationSetMaxSat(const DqbfFormula& f,
+                                                           Deadline deadline)
+{
+    const auto pairs = incomparablePairs(f);
+    if (pairs.empty()) return std::vector<Var>{};
+
+    // MaxSAT variable x-hat per universal; index mapping.
+    MaxSatSolver maxsat;
+    std::unordered_map<Var, Var> hatOf;
+    for (Var x : f.universals()) hatOf.emplace(x, maxsat.newVar());
+
+    // Equation 1 (hard): for each incomparable pair {y, y'}, eliminate all
+    // of D_y \ D_y' or all of D_y' \ D_y.  The disjunction of conjunctions
+    // is encoded with one selector variable per pair.
+    for (const auto& [y1, y2] : pairs) {
+        const auto left = setDifference(f.dependencies(y1), f.dependencies(y2));
+        const auto right = setDifference(f.dependencies(y2), f.dependencies(y1));
+        const Var sel = maxsat.newVar();
+        for (Var x : left) maxsat.addHard({Lit::neg(sel), Lit::pos(hatOf.at(x))});
+        for (Var x : right) maxsat.addHard({Lit::pos(sel), Lit::pos(hatOf.at(x))});
+    }
+    // Equation 2 (soft): prefer keeping each universal.
+    for (Var x : f.universals()) maxsat.addSoft({Lit::neg(hatOf.at(x))});
+
+    const auto res = maxsat.solve(deadline);
+    if (!res) return std::nullopt; // only a deadline can fail: Eq. 1 is satisfiable
+
+    std::vector<Var> out;
+    for (Var x : f.universals()) {
+        if (res->model[hatOf.at(x)]) out.push_back(x);
+    }
+    return out;
+}
+
+std::vector<Var> selectEliminationSetGreedy(const DqbfFormula& f)
+{
+    auto pairs = incomparablePairs(f);
+    std::vector<Var> chosen;
+    std::vector<bool> eliminated(f.numVars(), false);
+
+    auto diffWithoutEliminated = [&](Var y1, Var y2) {
+        std::vector<Var> d = setDifference(f.dependencies(y1), f.dependencies(y2));
+        std::erase_if(d, [&](Var x) { return eliminated[x]; });
+        return d;
+    };
+
+    for (;;) {
+        // Score each universal by how many pending difference sets it hits.
+        std::map<Var, std::size_t> score;
+        bool anyPending = false;
+        for (const auto& [y1, y2] : pairs) {
+            const auto left = diffWithoutEliminated(y1, y2);
+            const auto right = diffWithoutEliminated(y2, y1);
+            if (left.empty() || right.empty()) continue; // pair already resolved
+            anyPending = true;
+            for (Var x : left) ++score[x];
+            for (Var x : right) ++score[x];
+        }
+        if (!anyPending) break;
+        Var best = score.begin()->first;
+        for (const auto& [x, s] : score) {
+            if (s > score[best]) best = x;
+        }
+        eliminated[best] = true;
+        chosen.push_back(best);
+    }
+    return chosen;
+}
+
+std::vector<Var> orderEliminationSet(const DqbfFormula& f, std::vector<Var> set)
+{
+    std::stable_sort(set.begin(), set.end(), [&](Var a, Var b) {
+        return f.dependersOf(a).size() < f.dependersOf(b).size();
+    });
+    return set;
+}
+
+} // namespace hqs

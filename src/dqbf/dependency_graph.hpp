@@ -1,0 +1,50 @@
+// Dependency graphs over the existential variables of a DQBF
+// (Definition 4) and the machinery built on them:
+//
+//  * Theorem 3/4: a DQBF has an equivalent QBF prefix iff the graph is
+//    acyclic, iff no two dependency sets are subset-incomparable;
+//  * the Theorem-3 construction of an equivalent linear prefix;
+//  * the partial MaxSAT selection (Equations 1 and 2) of a minimum set of
+//    universal variables whose elimination makes the graph acyclic, plus a
+//    greedy alternative used by the ablation benchmarks;
+//  * the paper's elimination ordering (fewest introduced existential copies
+//    first).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+#include "src/qbf/qbf_prefix.hpp"
+
+namespace hqs {
+
+/// Unordered pairs {y, y'} with subset-incomparable dependency sets — the
+/// binary cycles C_psi of the paper's Section III-A.
+std::vector<std::pair<Var, Var>> incomparablePairs(const DqbfFormula& f);
+
+/// Theorem 3/4: true iff the dependency graph is acyclic, i.e. the formula
+/// has an equivalent linear (QBF) prefix.
+bool hasEquivalentQbfPrefix(const DqbfFormula& f);
+
+/// Theorem-3 construction: an equivalent QBF prefix for a linearizable
+/// DQBF.  Precondition: hasEquivalentQbfPrefix(f).
+QbfPrefix linearizePrefix(const DqbfFormula& f);
+
+/// Minimum set of universal variables whose elimination linearizes the
+/// prefix, found with partial MaxSAT per Equations 1 and 2.  Returns
+/// std::nullopt only if @p deadline expires.
+std::optional<std::vector<Var>> selectEliminationSetMaxSat(
+    const DqbfFormula& f, Deadline deadline = Deadline::unlimited());
+
+/// Greedy alternative (ablation baseline): repeatedly eliminate the
+/// universal variable occurring in the most difference sets of incomparable
+/// pairs until none remain.  Not minimum in general.
+std::vector<Var> selectEliminationSetGreedy(const DqbfFormula& f);
+
+/// Order the selected universals by elimination cost: ascending number of
+/// existential copies Theorem 1 would introduce (|E_x|).
+std::vector<Var> orderEliminationSet(const DqbfFormula& f, std::vector<Var> set);
+
+} // namespace hqs

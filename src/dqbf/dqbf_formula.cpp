@@ -1,0 +1,222 @@
+#include "src/dqbf/dqbf_formula.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace hqs {
+
+void DqbfFormula::ensureInfo(Var v)
+{
+    if (v >= info_.size()) info_.resize(v + 1);
+    matrix_.ensureVars(v + 1);
+}
+
+DqbfFormula::VarInfo& DqbfFormula::info(Var v)
+{
+    ensureInfo(v);
+    return info_[v];
+}
+
+const DqbfFormula::VarInfo* DqbfFormula::infoOrNull(Var v) const
+{
+    return v < info_.size() ? &info_[v] : nullptr;
+}
+
+Var DqbfFormula::addUniversal()
+{
+    const Var v = std::max<Var>(matrix_.numVars(), static_cast<Var>(info_.size()));
+    makeUniversal(v);
+    return v;
+}
+
+Var DqbfFormula::addExistential(std::vector<Var> deps)
+{
+    const Var v = std::max<Var>(matrix_.numVars(), static_cast<Var>(info_.size()));
+    makeExistential(v, std::move(deps));
+    return v;
+}
+
+void DqbfFormula::makeUniversal(Var v)
+{
+    VarInfo& i = info(v);
+    assert(i.kind == DqbfVarKind::Unquantified);
+    i.kind = DqbfVarKind::Universal;
+    universals_.push_back(v);
+}
+
+void DqbfFormula::makeExistential(Var v, std::vector<Var> deps)
+{
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    VarInfo& i = info(v);
+    assert(i.kind == DqbfVarKind::Unquantified);
+    i.kind = DqbfVarKind::Existential;
+    i.deps = std::move(deps);
+    existentials_.push_back(v);
+}
+
+DqbfVarKind DqbfFormula::kindOf(Var v) const
+{
+    const VarInfo* i = infoOrNull(v);
+    return i ? i->kind : DqbfVarKind::Unquantified;
+}
+
+const std::vector<Var>& DqbfFormula::dependencies(Var y) const
+{
+    const VarInfo* i = infoOrNull(y);
+    assert(i && i->kind == DqbfVarKind::Existential);
+    return i->deps;
+}
+
+bool DqbfFormula::dependsOn(Var y, Var x) const
+{
+    const auto& d = dependencies(y);
+    return std::binary_search(d.begin(), d.end(), x);
+}
+
+std::vector<Var> DqbfFormula::dependersOf(Var x) const
+{
+    std::vector<Var> out;
+    for (Var y : existentials_) {
+        if (dependsOn(y, x)) out.push_back(y);
+    }
+    return out;
+}
+
+bool DqbfFormula::dependsOnAllUniversals(Var y) const
+{
+    return dependencies(y).size() == universals_.size();
+}
+
+void DqbfFormula::removeUniversal(Var x)
+{
+    assert(isUniversal(x));
+    info_[x].kind = DqbfVarKind::Unquantified;
+    universals_.erase(std::find(universals_.begin(), universals_.end(), x));
+    for (Var y : existentials_) {
+        auto& d = info_[y].deps;
+        auto it = std::lower_bound(d.begin(), d.end(), x);
+        if (it != d.end() && *it == x) d.erase(it);
+    }
+}
+
+void DqbfFormula::removeExistential(Var y)
+{
+    assert(isExistential(y));
+    info_[y].kind = DqbfVarKind::Unquantified;
+    info_[y].deps.clear();
+    existentials_.erase(std::find(existentials_.begin(), existentials_.end(), y));
+}
+
+void DqbfFormula::setDependencies(Var y, std::vector<Var> deps)
+{
+    assert(isExistential(y));
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    info_[y].deps = std::move(deps);
+}
+
+Var DqbfFormula::numVars() const
+{
+    return std::max<Var>(matrix_.numVars(), static_cast<Var>(info_.size()));
+}
+
+DqbfFormula DqbfFormula::fromParsed(const ParsedQdimacs& parsed)
+{
+    DqbfFormula f;
+    f.matrix_ = parsed.matrix;
+    f.ensureInfo(parsed.matrix.numVars() == 0 ? 0 : parsed.matrix.numVars() - 1);
+
+    // QDIMACS blocks: an `e` variable depends on all `a` variables to its
+    // left.
+    std::vector<Var> universalsSoFar;
+    for (const PrefixBlockSpec& b : parsed.blocks) {
+        if (b.kind == QuantKind::Forall) {
+            for (Var v : b.vars) {
+                f.makeUniversal(v);
+                universalsSoFar.push_back(v);
+            }
+        } else {
+            for (Var v : b.vars) f.makeExistential(v, universalsSoFar);
+        }
+    }
+    // Henkin lines: explicit dependency sets.
+    for (const DependencySpec& d : parsed.henkin) {
+        f.makeExistential(d.var, d.deps);
+    }
+    // Free matrix variables: existentials with empty dependencies.
+    for (Var v = 0; v < parsed.matrix.numVars(); ++v) {
+        if (f.kindOf(v) == DqbfVarKind::Unquantified) f.makeExistential(v, {});
+    }
+    return f;
+}
+
+ParsedQdimacs DqbfFormula::toParsed() const
+{
+    ParsedQdimacs out;
+    out.matrix = matrix_;
+    if (!universals_.empty()) {
+        out.blocks.push_back(PrefixBlockSpec{QuantKind::Forall, universals_});
+    }
+    for (Var y : existentials_) {
+        out.henkin.push_back(DependencySpec{y, dependencies(y)});
+    }
+    return out;
+}
+
+std::vector<std::string> validate(const DqbfFormula& f)
+{
+    std::vector<std::string> problems;
+    auto report = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+    std::vector<int> seen(f.numVars(), 0);
+    for (Var x : f.universals()) {
+        if (f.kindOf(x) != DqbfVarKind::Universal) {
+            report("universal list entry v" + std::to_string(x) + " not tagged universal");
+        }
+        if (seen[x]++) report("variable v" + std::to_string(x) + " listed twice in prefix");
+    }
+    for (Var y : f.existentials()) {
+        if (f.kindOf(y) != DqbfVarKind::Existential) {
+            report("existential list entry v" + std::to_string(y) + " not tagged existential");
+        }
+        if (seen[y]++) report("variable v" + std::to_string(y) + " listed twice in prefix");
+        for (Var x : f.dependencies(y)) {
+            if (!f.isUniversal(x)) {
+                report("dependency v" + std::to_string(x) + " of v" + std::to_string(y) +
+                       " is not a universal variable");
+            }
+        }
+    }
+    std::vector<bool> reportedUnquantified(f.numVars(), false);
+    for (const Clause& c : f.matrix()) {
+        for (Lit l : c) {
+            if (f.kindOf(l.var()) == DqbfVarKind::Unquantified &&
+                !reportedUnquantified[l.var()]) {
+                reportedUnquantified[l.var()] = true;
+                report("matrix variable v" + std::to_string(l.var()) + " is unquantified");
+            }
+        }
+    }
+    return problems;
+}
+
+std::ostream& operator<<(std::ostream& os, const DqbfFormula& f)
+{
+    os << "forall";
+    for (Var x : f.universals()) os << " v" << x;
+    for (Var y : f.existentials()) {
+        os << " exists v" << y << '(';
+        bool first = true;
+        for (Var x : f.dependencies(y)) {
+            if (!first) os << ',';
+            os << 'v' << x;
+            first = false;
+        }
+        os << ')';
+    }
+    return os << " : " << f.matrix();
+}
+
+} // namespace hqs

@@ -1,0 +1,109 @@
+// Dependency quantified Boolean formulas (Definitions 1 and 2 of the paper):
+//   forall x1..xn  exists y1(D_y1) .. ym(D_ym) :  matrix
+// where each dependency set D_y is a subset of the universal variables.
+//
+// Variables are shared with the CNF matrix.  Dependency sets are kept as
+// sorted vectors so that the subset tests driving the dependency graph
+// (Theorems 3 and 4) are linear-time merges.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/base/literal.hpp"
+#include "src/cnf/cnf.hpp"
+#include "src/cnf/dimacs.hpp"
+
+namespace hqs {
+
+enum class DqbfVarKind : std::uint8_t {
+    Unquantified, ///< variable id not (or no longer) in the prefix
+    Universal,
+    Existential,
+};
+
+class DqbfFormula {
+public:
+    DqbfFormula() = default;
+
+    // ----- prefix construction ---------------------------------------------
+    /// Allocate a fresh universal variable.
+    Var addUniversal();
+    /// Allocate a fresh existential variable with the given dependency set.
+    Var addExistential(std::vector<Var> deps);
+
+    /// Declare an existing matrix variable universal.
+    void makeUniversal(Var v);
+    /// Declare an existing matrix variable existential with dependencies
+    /// @p deps (must all be universal at call time or declared later).
+    void makeExistential(Var v, std::vector<Var> deps);
+
+    // ----- prefix access ----------------------------------------------------
+    DqbfVarKind kindOf(Var v) const;
+    bool isUniversal(Var v) const { return kindOf(v) == DqbfVarKind::Universal; }
+    bool isExistential(Var v) const { return kindOf(v) == DqbfVarKind::Existential; }
+
+    /// Universal variables in declaration order.
+    const std::vector<Var>& universals() const { return universals_; }
+    /// Existential variables in declaration order.
+    const std::vector<Var>& existentials() const { return existentials_; }
+
+    /// Dependency set of existential @p y (sorted ascending).
+    const std::vector<Var>& dependencies(Var y) const;
+    /// True iff universal @p x is in D_y.
+    bool dependsOn(Var y, Var x) const;
+    /// E_x = existential variables depending on universal @p x (Theorem 1).
+    std::vector<Var> dependersOf(Var x) const;
+
+    /// D_y == set of all current universals?
+    bool dependsOnAllUniversals(Var y) const;
+
+    // ----- prefix mutation (used by the solver) -----------------------------
+    /// Remove universal @p x from the prefix and from every dependency set.
+    void removeUniversal(Var x);
+    /// Remove existential @p y from the prefix.
+    void removeExistential(Var y);
+    /// Replace D_y by @p deps (sorted internally).
+    void setDependencies(Var y, std::vector<Var> deps);
+
+    // ----- matrix ------------------------------------------------------------
+    Cnf& matrix() { return matrix_; }
+    const Cnf& matrix() const { return matrix_; }
+
+    /// Total variable count (matrix + prefix ids).
+    Var numVars() const;
+
+    // ----- conversion ---------------------------------------------------------
+    /// Build from parsed DQDIMACS.  `a`/`e` blocks get QDIMACS semantics
+    /// (an `e` variable depends on all universals to its left); `d` lines
+    /// give explicit dependency sets.  Free matrix variables become
+    /// existentials with empty dependencies.
+    static DqbfFormula fromParsed(const ParsedQdimacs& parsed);
+    ParsedQdimacs toParsed() const;
+
+private:
+    struct VarInfo {
+        DqbfVarKind kind = DqbfVarKind::Unquantified;
+        std::vector<Var> deps; // sorted; meaningful for existentials
+    };
+
+    VarInfo& info(Var v);
+    const VarInfo* infoOrNull(Var v) const;
+    void ensureInfo(Var v);
+
+    std::vector<VarInfo> info_;
+    std::vector<Var> universals_;
+    std::vector<Var> existentials_;
+    Cnf matrix_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DqbfFormula& f);
+
+/// Well-formedness diagnostics for a formula built through the API or a
+/// parser: every dependency refers to a universal variable, prefix entries
+/// are unique and correctly tagged, and every matrix variable is
+/// quantified.  Returns human-readable problems; empty means valid.
+std::vector<std::string> validate(const DqbfFormula& f);
+
+} // namespace hqs

@@ -1,0 +1,117 @@
+#include "src/dqbf/dqbf_oracle.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+namespace {
+
+/// Index of the assignment sigma restricted to the (sorted) dependency set:
+/// bit i of the result is sigma's value of deps[i].
+std::uint32_t restrictionIndex(std::uint64_t sigma, const std::vector<Var>& deps,
+                               const std::unordered_map<Var, unsigned>& universalPos)
+{
+    std::uint32_t idx = 0;
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+        if ((sigma >> universalPos.at(deps[i])) & 1u) idx |= 1u << i;
+    }
+    return idx;
+}
+
+} // namespace
+
+bool bruteForceDqbf(const DqbfFormula& f)
+{
+    const auto& universals = f.universals();
+    const unsigned n = static_cast<unsigned>(universals.size());
+    std::unordered_map<Var, unsigned> universalPos;
+    for (unsigned i = 0; i < n; ++i) universalPos.emplace(universals[i], i);
+
+    // Existentials plus free matrix variables (empty dependencies).
+    struct Sk {
+        Var y;
+        std::vector<Var> deps;
+        unsigned tableBits;  // 2^|deps|
+        unsigned tableShift; // offset into the global table-bit vector
+    };
+    std::vector<Sk> skolems;
+    unsigned totalBits = 0;
+    auto addSkolem = [&](Var y, const std::vector<Var>& deps) {
+        const unsigned bits = 1u << deps.size();
+        skolems.push_back(Sk{y, deps, bits, totalBits});
+        totalBits += bits;
+    };
+    for (Var y : f.existentials()) addSkolem(y, f.dependencies(y));
+    for (Var v = 0; v < f.matrix().numVars(); ++v) {
+        if (f.kindOf(v) == DqbfVarKind::Unquantified) addSkolem(v, {});
+    }
+    assert(totalBits <= 24 && n <= 16);
+
+    std::vector<bool> assignment(f.matrix().numVars(), false);
+    for (std::uint64_t tables = 0; tables < (1ull << totalBits); ++tables) {
+        bool allSigmaOk = true;
+        for (std::uint64_t sigma = 0; sigma < (1ull << n) && allSigmaOk; ++sigma) {
+            for (unsigned i = 0; i < n; ++i) assignment[universals[i]] = (sigma >> i) & 1u;
+            for (const Sk& sk : skolems) {
+                const std::uint32_t idx = restrictionIndex(sigma, sk.deps, universalPos);
+                assignment[sk.y] = (tables >> (sk.tableShift + idx)) & 1u;
+            }
+            if (!f.matrix().evaluate(assignment)) allSigmaOk = false;
+        }
+        if (allSigmaOk) return true;
+    }
+    return false;
+}
+
+SolveResult expansionDqbf(const DqbfFormula& f, Deadline deadline)
+{
+    const auto& universals = f.universals();
+    const unsigned n = static_cast<unsigned>(universals.size());
+    assert(n <= 22);
+    std::unordered_map<Var, unsigned> universalPos;
+    for (unsigned i = 0; i < n; ++i) universalPos.emplace(universals[i], i);
+
+    SatSolver sat;
+    // (existential var, restriction index) -> SAT copy variable.
+    std::unordered_map<std::uint64_t, Var> copyVar;
+    auto copyOf = [&](Var y, std::uint32_t idx) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(y) << 32) | idx;
+        auto it = copyVar.find(key);
+        if (it != copyVar.end()) return it->second;
+        const Var s = sat.newVar();
+        copyVar.emplace(key, s);
+        return s;
+    };
+    auto depsOf = [&](Var v) -> const std::vector<Var>& {
+        static const std::vector<Var> kEmpty;
+        return f.isExistential(v) ? f.dependencies(v) : kEmpty;
+    };
+
+    for (std::uint64_t sigma = 0; sigma < (1ull << n); ++sigma) {
+        if (deadline.expired()) return SolveResult::Timeout;
+        for (const Clause& c : f.matrix()) {
+            std::vector<Lit> inst;
+            bool satisfied = false;
+            for (Lit l : c) {
+                if (f.isUniversal(l.var())) {
+                    const bool value = (sigma >> universalPos.at(l.var())) & 1u;
+                    if (value != l.negative()) {
+                        satisfied = true;
+                        break;
+                    }
+                    continue; // literal false under sigma: drop
+                }
+                const std::uint32_t idx = restrictionIndex(sigma, depsOf(l.var()), universalPos);
+                inst.push_back(Lit(copyOf(l.var(), idx), l.negative()));
+            }
+            if (!satisfied && !sat.addClause(std::move(inst))) {
+                return SolveResult::Unsat;
+            }
+        }
+    }
+    return sat.solve({}, deadline);
+}
+
+} // namespace hqs

@@ -1,0 +1,27 @@
+// Reference decision procedures for DQBF used by the test suite.
+//
+//  * bruteForceDqbf — enumerate every combination of Skolem functions
+//    (Definition 2 verbatim).  Doubly exponential; tiny instances only.
+//  * expansionDqbf — full universal expansion into SAT: one copy y_tau of
+//    each existential y per assignment tau of D_y; each clause is
+//    instantiated for every assignment of all universals.  Exact, single
+//    SAT call; exponential in the number of universals.
+//
+// The two are independent implementations of the DQBF semantics and are
+// cross-checked against each other in the tests.
+#pragma once
+
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+
+namespace hqs {
+
+/// Definition-2 semantics by Skolem-function enumeration.
+/// Precondition (asserted): the total enumeration space is <= ~2^24.
+bool bruteForceDqbf(const DqbfFormula& f);
+
+/// Full-expansion decision.  Returns Sat/Unsat (or Timeout on deadline).
+SolveResult expansionDqbf(const DqbfFormula& f, Deadline deadline = Deadline::unlimited());
+
+} // namespace hqs

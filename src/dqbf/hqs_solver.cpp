@@ -1,0 +1,398 @@
+#include "src/dqbf/hqs_solver.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/aig/cnf_bridge.hpp"
+#include "src/aig/fraig.hpp"
+#include "src/sat/sat_solver.hpp"
+#include "src/dqbf/dependency_graph.hpp"
+#include "src/qbf/bdd_qbf_solver.hpp"
+#include "src/qbf/search_qbf_solver.hpp"
+
+namespace hqs {
+namespace {
+
+/// Compose detected gate definitions into the matrix AIG, in an order where
+/// no composed output can be re-introduced by a later composition (if gate
+/// g's definition mentions gate output h, g is composed before h).
+AigEdge composeGates(Aig& aig, AigEdge matrix, const std::vector<GateDef>& gates,
+                     DqbfFormula& f, SkolemRecorder* rec)
+{
+    std::unordered_map<Var, const GateDef*> defOf;
+    for (const GateDef& g : gates) defOf.emplace(g.target.var(), &g);
+
+    // Topological order over "g uses h" edges via DFS.
+    std::vector<const GateDef*> order;
+    std::unordered_map<Var, int> state; // 0 = new, 1 = visiting, 2 = done
+    // Iterative DFS emitting g after all gates that use g... we need the
+    // reverse: compose g before any gate output h appearing in g's inputs.
+    // DFS from each gate, post-order over the "uses" relation, then reverse.
+    std::vector<Var> stack;
+    for (const GateDef& g : gates) {
+        if (state[g.target.var()] != 0) continue;
+        stack.push_back(g.target.var());
+        while (!stack.empty()) {
+            const Var v = stack.back();
+            if (state[v] == 0) {
+                state[v] = 1;
+                for (Lit in : defOf.at(v)->inputs) {
+                    const Var u = in.var();
+                    if (defOf.contains(u) && state[u] == 0) stack.push_back(u);
+                }
+            } else {
+                if (state[v] == 1) {
+                    state[v] = 2;
+                    order.push_back(defOf.at(v));
+                }
+                stack.pop_back();
+            }
+        }
+    }
+    // Post-order lists used gates before users; composing users first
+    // requires the reverse.
+    std::reverse(order.begin(), order.end());
+
+    for (const GateDef* g : order) {
+        // Record in composition order: a gate using another gate's output is
+        // recorded first, so reverse (reconstruction) order resolves the
+        // used gate's Skolem before the user needs it.
+        if (rec) rec->record(SkolemRecorder::AliasGate{*g});
+        AigEdge def;
+        if (g->kind == GateKind::Or) {
+            def = aig.constFalse();
+            for (Lit in : g->inputs) def = aig.mkOr(def, aig.variable(in.var()) ^ in.negative());
+        } else {
+            def = aig.mkXor(aig.variable(g->inputs[0].var()) ^ g->inputs[0].negative(),
+                            aig.variable(g->inputs[1].var()) ^ g->inputs[1].negative());
+        }
+        // target == def, so the output variable equals def ^ target-sign.
+        matrix = aig.compose(matrix, g->target.var(), def ^ g->target.negative());
+        if (f.isExistential(g->target.var())) f.removeExistential(g->target.var());
+    }
+    return matrix;
+}
+
+} // namespace
+
+SolveResult HqsSolver::solve(DqbfFormula f)
+{
+    stats_ = HqsStats{};
+    skolemCertificate_.reset();
+    Timer total;
+
+    // Skolem tracking state: the elimination trace, the original prefix for
+    // reconstruction, and a shared manager kept alive inside the
+    // certificate.
+    std::optional<SkolemRecorder> recorder;
+    std::optional<DqbfFormula> original;
+    if (opts_.computeSkolem) {
+        recorder.emplace();
+        original = f;
+    }
+    SkolemRecorder* rec = recorder ? &*recorder : nullptr;
+    auto aigPtr = std::make_shared<Aig>();
+    Aig& aig = *aigPtr;
+
+    auto finish = [&](SolveResult r, const char* stage) {
+        stats_.totalMilliseconds = total.elapsedMilliseconds();
+        stats_.decidedBy = stage;
+        if (r == SolveResult::Sat && rec) {
+            skolemCertificate_ = reconstructSkolem(*original, aigPtr, *recorder);
+        }
+        return r;
+    };
+
+    // ----- preprocessing ---------------------------------------------------
+    std::vector<GateDef> gates;
+    if (opts_.preprocess) {
+        PreprocessOptions popts;
+        popts.gateDetection = opts_.gateDetection;
+        PreprocessResult pres = preprocess(f, popts, rec);
+        stats_.preprocess = pres.stats;
+        gates = std::move(pres.gates);
+        if (pres.decided != SolveResult::Unknown) return finish(pres.decided, "preprocess");
+    }
+
+    // ----- SAT probe (Section IV: catch single-SAT-call refutations) --------
+    if (opts_.satProbe) {
+        // The existential abstraction over-approximates the DQBF: if even
+        // "all variables existential" has no model, the DQBF is UNSAT.
+        // (Gate definitions removed by preprocessing are equisatisfiable
+        // extensions, so probing the remaining matrix plus definitions is
+        // unnecessary — the remaining matrix alone is an abstraction.)
+        SatSolver probe;
+        probe.addCnf(f.matrix());
+        const SolveResult pr = probe.solve({}, Deadline::in(opts_.satProbeSeconds));
+        if (pr == SolveResult::Unsat) return finish(SolveResult::Unsat, "sat-probe");
+    }
+
+    // ----- AIG construction -------------------------------------------------
+    AigEdge matrix = buildFromCnf(aig, f.matrix());
+    matrix = composeGates(aig, matrix, gates, f, rec);
+
+    auto constantResult = [&]() {
+        return aig.constantValue(matrix) ? SolveResult::Sat : SolveResult::Unsat;
+    };
+    if (aig.isConstant(matrix)) return finish(constantResult(), "elimination");
+
+    // ----- selection of universals to eliminate ------------------------------
+    stats_.incomparablePairs = incomparablePairs(f).size();
+    auto selectOrdered = [&]() -> std::optional<std::vector<Var>> {
+        Timer t;
+        std::vector<Var> set;
+        switch (opts_.selection) {
+            case HqsOptions::Selection::MaxSat: {
+                auto r = selectEliminationSetMaxSat(f, opts_.deadline);
+                if (!r) return std::nullopt;
+                set = std::move(*r);
+                break;
+            }
+            case HqsOptions::Selection::Greedy:
+                set = selectEliminationSetGreedy(f);
+                break;
+            case HqsOptions::Selection::All:
+                set = f.universals();
+                break;
+        }
+        stats_.maxsatMilliseconds += t.elapsedMilliseconds();
+        return orderEliminationSet(f, std::move(set));
+    };
+    auto selected = selectOrdered();
+    if (!selected) return finish(SolveResult::Timeout, "selection");
+    stats_.selectedUniversals = selected->size();
+    std::size_t nextPick = 0;
+
+    // ----- helpers for the main loop -----------------------------------------
+    std::size_t lastFraigSize = 0;
+    auto housekeeping = [&]() -> SolveResult {
+        const std::size_t cone = aig.coneSize(matrix);
+        stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
+        if (opts_.deadline.expired()) return SolveResult::Timeout;
+        if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
+        if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
+            FraigOptions fopts;
+            fopts.deadline = opts_.deadline;
+            matrix = fraigReduce(aig, matrix, fopts);
+            lastFraigSize = aig.coneSize(matrix);
+            ++stats_.fraigRuns;
+        }
+        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
+            std::vector<AigEdge*> roots{&matrix};
+            if (rec) rec->appendGcRoots(roots);
+            aig.garbageCollect(std::move(roots));
+        }
+        return SolveResult::Unknown;
+    };
+
+    // Each cofactor in the loops below leaves O(cone) garbage; without
+    // collection a long unit/pure chain multiplies memory by the number of
+    // eliminations.  Collect whenever garbage dominates.
+    auto collectIfBloated = [&]() {
+        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
+            std::vector<AigEdge*> roots{&matrix};
+            if (rec) rec->appendGcRoots(roots);
+            aig.garbageCollect(std::move(roots));
+        }
+    };
+
+    // Theorem 5 applied to Theorem-6 detections.  Returns Unsat on a
+    // universal unit, Unknown otherwise.
+    auto unitPurePass = [&]() -> SolveResult {
+        if (!opts_.unitPure) return SolveResult::Unknown;
+        Timer t;
+        bool changed = true;
+        while (changed && !aig.isConstant(matrix) && !opts_.deadline.expired()) {
+            changed = false;
+            collectIfBloated();
+            const UnitPureInfo info = aig.detectUnitPure(matrix);
+            for (const auto& [vars, positive] :
+                 {std::pair{&info.posUnit, true}, std::pair{&info.negUnit, false}}) {
+                for (Var v : *vars) {
+                    if (f.isUniversal(v)) {
+                        stats_.unitPureMilliseconds += t.elapsedMilliseconds();
+                        return SolveResult::Unsat;
+                    }
+                    if (!f.isExistential(v)) continue;
+                    if (rec) rec->record(SkolemRecorder::Constant{v, positive});
+                    matrix = aig.cofactor(matrix, v, positive);
+                    f.removeExistential(v);
+                    ++stats_.unitEliminations;
+                    changed = true;
+                    break;
+                }
+                if (changed) break;
+            }
+            if (changed) continue;
+            for (const auto& [vars, positive] :
+                 {std::pair{&info.posPure, true}, std::pair{&info.negPure, false}}) {
+                for (Var v : *vars) {
+                    if (f.isExistential(v)) {
+                        if (rec) rec->record(SkolemRecorder::Constant{v, positive});
+                        matrix = aig.cofactor(matrix, v, positive);
+                        f.removeExistential(v);
+                    } else if (f.isUniversal(v)) {
+                        matrix = aig.cofactor(matrix, v, !positive);
+                        f.removeUniversal(v);
+                    } else {
+                        continue;
+                    }
+                    ++stats_.pureEliminations;
+                    changed = true;
+                    break;
+                }
+                if (changed) break;
+            }
+        }
+        stats_.unitPureMilliseconds += t.elapsedMilliseconds();
+        return SolveResult::Unknown;
+    };
+
+    /// Remove prefix variables that no longer occur in the matrix.
+    auto dropUnsupported = [&]() {
+        const std::vector<Var> supp = aig.support(matrix);
+        const std::unordered_set<Var> suppSet(supp.begin(), supp.end());
+        for (Var y : std::vector<Var>(f.existentials())) {
+            if (!suppSet.contains(y)) {
+                if (rec) rec->record(SkolemRecorder::Constant{y, false});
+                f.removeExistential(y);
+                ++stats_.droppedUnsupported;
+            }
+        }
+        for (Var x : std::vector<Var>(f.universals())) {
+            if (!suppSet.contains(x)) {
+                f.removeUniversal(x);
+                ++stats_.droppedUnsupported;
+            }
+        }
+    };
+
+    // ----- main loop (Fig. 3) -------------------------------------------------
+    for (;;) {
+        if (SolveResult r = housekeeping(); r != SolveResult::Unknown)
+            return finish(r, "elimination");
+        if (SolveResult r = unitPurePass(); r != SolveResult::Unknown)
+            return finish(r, "elimination");
+        if (aig.isConstant(matrix)) return finish(constantResult(), "elimination");
+
+        // Theorem 2: eliminate existentials depending on all universals.
+        {
+            bool eliminated = true;
+            while (eliminated && !aig.isConstant(matrix) && !opts_.deadline.expired()) {
+                eliminated = false;
+                collectIfBloated();
+                for (Var y : std::vector<Var>(f.existentials())) {
+                    if (!f.dependsOnAllUniversals(y)) continue;
+                    if (!aig.hasVariable(y)) {
+                        if (rec) rec->record(SkolemRecorder::Constant{y, false});
+                        f.removeExistential(y);
+                        continue;
+                    }
+                    const AigEdge cof0 = aig.cofactor(matrix, y, false);
+                    const AigEdge cof1 = aig.cofactor(matrix, y, true);
+                    if (rec) rec->record(SkolemRecorder::Exists{y, cof1});
+                    matrix = aig.mkOr(cof0, cof1);
+                    f.removeExistential(y);
+                    ++stats_.existentialsEliminated;
+                    eliminated = true;
+                    // Hundreds of full-dependency auxiliaries can be
+                    // eliminated in one sweep; collect the cofactor garbage
+                    // as we go or memory multiplies by the sweep length.
+                    collectIfBloated();
+                    if (aig.isConstant(matrix) || opts_.deadline.expired()) break;
+                }
+            }
+        }
+        if (aig.isConstant(matrix)) return finish(constantResult(), "elimination");
+        dropUnsupported();
+
+        // Done when the dependency graph is acyclic (Theorem 3/4) — except
+        // in All mode, which reproduces [10] by eliminating every universal.
+        const bool done = (opts_.selection == HqsOptions::Selection::All)
+                              ? f.universals().empty()
+                              : hasEquivalentQbfPrefix(f);
+        if (done) break;
+
+        // Pick the next universal from the ordered elimination list.
+        Var pick = kNoVar;
+        while (nextPick < selected->size()) {
+            const Var candidate = (*selected)[nextPick++];
+            if (f.isUniversal(candidate) && aig.hasVariable(candidate)) {
+                pick = candidate;
+                break;
+            }
+        }
+        if (pick == kNoVar) {
+            // List exhausted but the graph is still cyclic (earlier unit or
+            // pure eliminations can strand the precomputed list): reselect.
+            selected = selectOrdered();
+            if (!selected) return finish(SolveResult::Timeout, "selection");
+            nextPick = 0;
+            continue;
+        }
+
+        // Theorem 1: psi == forall-rest: phi[0/x] & phi[1/x][y'/y for y in E_x].
+        const AigEdge cof0 = aig.cofactor(matrix, pick, false);
+        AigEdge cof1 = aig.cofactor(matrix, pick, true);
+        const std::vector<Var> supp1 = aig.support(cof1);
+        const std::unordered_set<Var> supp1Set(supp1.begin(), supp1.end());
+
+        std::unordered_map<Var, AigEdge> renaming;
+        SkolemRecorder::UniversalSplit split{pick, {}};
+        for (Var y : std::vector<Var>(f.dependersOf(pick))) {
+            if (!supp1Set.contains(y)) continue; // a copy would not occur
+            std::vector<Var> deps = f.dependencies(y);
+            std::erase(deps, pick);
+            const Var fresh = f.addExistential(std::move(deps));
+            renaming.emplace(y, aig.variable(fresh));
+            split.copies.emplace_back(y, fresh);
+            ++stats_.copiesIntroduced;
+        }
+        if (rec && !split.copies.empty()) rec->record(std::move(split));
+        cof1 = aig.substitute(cof1, renaming);
+        matrix = aig.mkAnd(cof0, cof1);
+        f.removeUniversal(pick);
+        ++stats_.universalsEliminated;
+    }
+
+    if (aig.isConstant(matrix)) return finish(constantResult(), "elimination");
+
+    // ----- QBF backend on the linearized prefix -------------------------------
+    stats_.usedQbfBackend = true;
+    const QbfPrefix prefix = linearizePrefix(f);
+    if (opts_.backend == HqsOptions::Backend::Search && !opts_.computeSkolem) {
+        return finish(searchQbfSolve(aig, matrix, prefix, opts_.deadline), "qbf-backend");
+    }
+    if (opts_.backend == HqsOptions::Backend::BddElimination && !opts_.computeSkolem) {
+        BddQbfOptions bopts;
+        bopts.deadline = opts_.deadline;
+        bopts.nodeLimit = opts_.nodeLimit;
+        BddQbfSolver backend(bopts);
+        Bdd bdd;
+        bdd.setResourceLimits(bopts.nodeLimit, bopts.deadline);
+        SolveResult r;
+        try {
+            const BddRef bddMatrix = bddFromAig(bdd, aig, matrix);
+            r = backend.solve(bdd, bddMatrix, prefix);
+        } catch (const BddLimitExceeded& e) {
+            r = e.byNodeLimit() ? SolveResult::Memout : SolveResult::Timeout;
+        }
+        stats_.peakConeSize = std::max(stats_.peakConeSize, backend.stats().peakConeSize);
+        return finish(r, "qbf-backend");
+    }
+    AigQbfOptions qopts;
+    qopts.recorder = rec;
+    qopts.unitPure = opts_.unitPure;
+    qopts.fraig = opts_.fraig;
+    qopts.fraigThresholdNodes = opts_.fraigThresholdNodes;
+    qopts.nodeLimit = opts_.nodeLimit;
+    qopts.deadline = opts_.deadline;
+    AigQbfSolver backend(qopts);
+    const SolveResult r = backend.solve(aig, matrix, prefix);
+    stats_.qbfStats = backend.stats();
+    stats_.peakConeSize = std::max(stats_.peakConeSize, backend.stats().peakConeSize);
+    return finish(r, "qbf-backend");
+}
+
+} // namespace hqs

@@ -1,0 +1,554 @@
+#include "src/dqbf/preprocess.hpp"
+
+#include "src/dqbf/skolem_recorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+namespace hqs {
+namespace {
+
+/// Sorted literal codes of a clause — canonical key for clause lookups.
+std::vector<std::uint32_t> clauseKey(const Clause& c)
+{
+    std::vector<std::uint32_t> key;
+    key.reserve(c.size());
+    for (Lit l : c) key.push_back(l.code());
+    std::sort(key.begin(), key.end());
+    return key;
+}
+
+class Preprocessor {
+public:
+    Preprocessor(DqbfFormula& f, const PreprocessOptions& opts, SkolemRecorder* recorder)
+        : f_(f), opts_(opts), recorder_(recorder) {}
+
+    PreprocessResult run()
+    {
+        if (!renormalize()) return res_;
+        for (int round = 0; round < opts_.maxRounds; ++round) {
+            ++res_.stats.rounds;
+            bool changed = false;
+            if (opts_.unitPropagation) changed |= propagateUnits();
+            if (decided()) return res_;
+            if (opts_.universalReduction) changed |= universalReduce();
+            if (decided()) return res_;
+            if (opts_.subsumption) changed |= subsumeAndStrengthen();
+            if (decided()) return res_;
+            if (opts_.equivalences) changed |= substituteEquivalences();
+            if (decided()) return res_;
+            if (!changed) break;
+        }
+        if (f_.matrix().numClauses() == 0) {
+            res_.decided = SolveResult::Sat;
+            return res_;
+        }
+        if (opts_.gateDetection) detectGates();
+        return res_;
+    }
+
+private:
+    bool decided() const { return res_.decided != SolveResult::Unknown; }
+
+    /// Re-normalize all clauses, dropping tautologies and duplicates.
+    /// Returns false (and decides Unsat) on an empty clause.
+    bool renormalize()
+    {
+        std::vector<Clause> kept;
+        std::set<std::vector<std::uint32_t>> seen;
+        for (Clause& c : f_.matrix().clauses()) {
+            if (c.normalize()) continue;
+            if (c.empty()) {
+                res_.decided = SolveResult::Unsat;
+                return false;
+            }
+            if (seen.insert(clauseKey(c)).second) kept.push_back(std::move(c));
+        }
+        f_.matrix().clauses() = std::move(kept);
+        return true;
+    }
+
+    /// Theorem 5 at CNF level: existential units are assigned, a universal
+    /// unit decides Unsat.
+    bool propagateUnits()
+    {
+        bool any = false;
+        for (;;) {
+            Lit unit = kUndefLit;
+            for (const Clause& c : f_.matrix()) {
+                if (c.size() == 1) {
+                    unit = c[0];
+                    break;
+                }
+            }
+            if (unit.isUndef()) break;
+            if (f_.isUniversal(unit.var())) {
+                res_.decided = SolveResult::Unsat;
+                return true;
+            }
+            assign(unit);
+            ++res_.stats.unitsPropagated;
+            any = true;
+            if (decided()) return true;
+        }
+        return any;
+    }
+
+    /// Set literal @p l true: drop satisfied clauses, shorten the rest.
+    void assign(Lit l)
+    {
+        if (f_.isExistential(l.var())) {
+            if (recorder_) {
+                recorder_->record(SkolemRecorder::Constant{l.var(), l.positive()});
+            }
+            f_.removeExistential(l.var());
+        }
+        std::vector<Clause> kept;
+        for (Clause& c : f_.matrix().clauses()) {
+            if (c.contains(l)) continue;
+            std::erase(c.lits(), ~l);
+            if (c.empty()) {
+                res_.decided = SolveResult::Unsat;
+                return;
+            }
+            kept.push_back(std::move(c));
+        }
+        f_.matrix().clauses() = std::move(kept);
+    }
+
+    /// Generalized universal reduction [13]: drop universal literal u from a
+    /// clause when no existential literal of the clause depends on u.
+    bool universalReduce()
+    {
+        bool any = false;
+        for (Clause& c : f_.matrix().clauses()) {
+            std::vector<Lit> keep;
+            keep.reserve(c.size());
+            for (Lit l : c) {
+                if (!f_.isUniversal(l.var())) {
+                    keep.push_back(l);
+                    continue;
+                }
+                const bool needed = std::any_of(c.begin(), c.end(), [&](Lit m) {
+                    return f_.isExistential(m.var()) && f_.dependsOn(m.var(), l.var());
+                });
+                if (needed) {
+                    keep.push_back(l);
+                } else {
+                    ++res_.stats.universalLiteralsReduced;
+                    any = true;
+                }
+            }
+            if (keep.size() != c.size()) c.lits() = std::move(keep);
+            if (c.empty()) {
+                res_.decided = SolveResult::Unsat;
+                return true;
+            }
+        }
+        if (any) renormalize();
+        return any;
+    }
+
+    // ----- subsumption and self-subsuming resolution ------------------------
+
+    /// Remove clauses subsumed by another clause (C subset of D removes D)
+    /// and strengthen clauses by self-subsuming resolution: when
+    /// C = C' or l  and  C' subset of (D minus ~l), drop ~l from D.  Both
+    /// preserve the matrix as a propositional formula, hence are DQBF-sound.
+    bool subsumeAndStrengthen()
+    {
+        auto& clauses = f_.matrix().clauses();
+        bool any = false;
+
+        // Occurrence lists: literal code -> clause indices (alive only).
+        auto buildOcc = [&]() {
+            std::vector<std::vector<std::size_t>> occ(2 * f_.numVars());
+            for (std::size_t i = 0; i < clauses.size(); ++i) {
+                for (Lit l : clauses[i]) occ[l.code()].push_back(i);
+            }
+            return occ;
+        };
+
+        // isSubset works on normalized (sorted) clauses.
+        auto isSubsetOf = [](const Clause& a, const Clause& b) {
+            return std::includes(b.begin(), b.end(), a.begin(), a.end());
+        };
+
+        std::vector<bool> dead(clauses.size(), false);
+        const std::vector<std::vector<std::size_t>> occ = buildOcc();
+
+        // Candidate pairs via the least-occurring literal of each clause.
+        auto candidatesOf = [&](const Clause& c) -> const std::vector<std::size_t>& {
+            const Lit* best = nullptr;
+            std::size_t bestCount = static_cast<std::size_t>(-1);
+            for (const Lit& l : c.lits()) {
+                if (occ[l.code()].size() < bestCount) {
+                    bestCount = occ[l.code()].size();
+                    best = &l;
+                }
+            }
+            return occ[best->code()];
+        };
+
+        for (std::size_t i = 0; i < clauses.size(); ++i) {
+            if (dead[i]) continue;
+            const Clause& c = clauses[i];
+            if (c.empty()) continue;
+            // Plain subsumption: remove supersets of c.
+            for (std::size_t j : candidatesOf(c)) {
+                if (j == i || dead[j]) continue;
+                if (clauses[j].size() >= c.size() && isSubsetOf(c, clauses[j])) {
+                    // Tie-break equal clauses by index to avoid removing both.
+                    if (clauses[j].size() == c.size() && j < i) continue;
+                    dead[j] = true;
+                    ++res_.stats.clausesSubsumed;
+                    any = true;
+                }
+            }
+            // Self-subsuming resolution: for each literal l of c, find D
+            // containing ~l with c \ {l} subset of D \ {~l}; strengthen D.
+            for (std::size_t li = 0; li < c.size(); ++li) {
+                const Lit l = c[li];
+                Clause cWithout;
+                for (Lit m : c) {
+                    if (m != l) cWithout.push(m);
+                }
+                for (std::size_t j : occ[(~l).code()]) {
+                    if (j == i || dead[j]) continue;
+                    Clause& d = clauses[j];
+                    if (!d.contains(~l)) continue; // stale occurrence
+                    Clause dWithout;
+                    for (Lit m : d) {
+                        if (m != ~l) dWithout.push(m);
+                    }
+                    if (isSubsetOf(cWithout, dWithout)) {
+                        d = std::move(dWithout);
+                        ++res_.stats.literalsStrengthened;
+                        any = true;
+                        if (d.empty()) {
+                            res_.decided = SolveResult::Unsat;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        if (any) {
+            std::vector<Clause> kept;
+            for (std::size_t i = 0; i < clauses.size(); ++i) {
+                if (!dead[i]) kept.push_back(std::move(clauses[i]));
+            }
+            clauses = std::move(kept);
+            renormalize();
+        }
+        return any;
+    }
+
+    // ----- equivalent variables (binary-clause SCCs) -----------------------
+
+    /// Tarjan SCC over the binary implication graph; substitutes one
+    /// representative per component with the DQBF soundness side conditions.
+    bool substituteEquivalences()
+    {
+        const std::uint32_t numLits = 2 * f_.numVars();
+        std::vector<std::vector<std::uint32_t>> adj(numLits);
+        bool haveBinary = false;
+        for (const Clause& c : f_.matrix()) {
+            if (c.size() != 2) continue;
+            haveBinary = true;
+            adj[(~c[0]).code()].push_back(c[1].code());
+            adj[(~c[1]).code()].push_back(c[0].code());
+        }
+        if (!haveBinary) return false;
+
+        // Iterative Tarjan.
+        constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+        std::vector<std::uint32_t> index(numLits, kUnvisited), low(numLits, 0),
+            comp(numLits, kUnvisited);
+        std::vector<bool> onStack(numLits, false);
+        std::vector<std::uint32_t> sccStack;
+        std::uint32_t nextIndex = 0, nextComp = 0;
+
+        struct Frame {
+            std::uint32_t node;
+            std::size_t child;
+        };
+        for (std::uint32_t start = 0; start < numLits; ++start) {
+            if (index[start] != kUnvisited) continue;
+            std::vector<Frame> frames{{start, 0}};
+            index[start] = low[start] = nextIndex++;
+            sccStack.push_back(start);
+            onStack[start] = true;
+            while (!frames.empty()) {
+                Frame& fr = frames.back();
+                if (fr.child < adj[fr.node].size()) {
+                    const std::uint32_t next = adj[fr.node][fr.child++];
+                    if (index[next] == kUnvisited) {
+                        index[next] = low[next] = nextIndex++;
+                        sccStack.push_back(next);
+                        onStack[next] = true;
+                        frames.push_back({next, 0});
+                    } else if (onStack[next]) {
+                        low[fr.node] = std::min(low[fr.node], index[next]);
+                    }
+                } else {
+                    if (low[fr.node] == index[fr.node]) {
+                        for (;;) {
+                            const std::uint32_t w = sccStack.back();
+                            sccStack.pop_back();
+                            onStack[w] = false;
+                            comp[w] = nextComp;
+                            if (w == fr.node) break;
+                        }
+                        ++nextComp;
+                    }
+                    const std::uint32_t done = fr.node;
+                    frames.pop_back();
+                    if (!frames.empty()) {
+                        low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+                    }
+                }
+            }
+        }
+
+        // Group literals by component.
+        std::unordered_map<std::uint32_t, std::vector<Lit>> members;
+        for (std::uint32_t code = 0; code < numLits; ++code) {
+            if (comp[code] != kUnvisited) members[comp[code]].push_back(Lit::fromCode(code));
+        }
+
+        bool any = false;
+        for (auto& [id, lits] : members) {
+            if (lits.size() < 2) continue;
+            // l and ~l in one component: matrix is propositionally unsat.
+            for (Lit l : lits) {
+                if (comp[l.code()] == comp[(~l).code()]) {
+                    res_.decided = SolveResult::Unsat;
+                    return true;
+                }
+            }
+            // Components come in complementary mirror pairs encoding the
+            // same equivalences; process only the one whose minimum literal
+            // is positive (its mirror has the negative minimum).
+            const Lit minLit = *std::min_element(lits.begin(), lits.end());
+            if (minLit.negative()) continue;
+            if (!mergeComponent(lits)) return true; // decided Unsat
+            any = true;
+        }
+        if (any) renormalize();
+        return any;
+    }
+
+    /// Merge one equivalence class of literals.  Returns false when the
+    /// merge shows the formula unsatisfiable.
+    bool mergeComponent(const std::vector<Lit>& lits)
+    {
+        // Partition into universal and existential literals; skip variables
+        // already removed by earlier merges this round.
+        std::vector<Lit> universalLits, existentialLits;
+        for (Lit l : lits) {
+            if (f_.isUniversal(l.var())) {
+                universalLits.push_back(l);
+            } else if (f_.isExistential(l.var())) {
+                existentialLits.push_back(l);
+            }
+        }
+        if (universalLits.size() + existentialLits.size() < 2) return true;
+        if (universalLits.size() >= 2) {
+            // Two universals forced equivalent: falsifiable by the adversary.
+            res_.decided = SolveResult::Unsat;
+            return false;
+        }
+
+        Lit rep;
+        if (universalLits.size() == 1) {
+            rep = universalLits[0];
+            for (Lit ly : existentialLits) {
+                if (!f_.dependsOn(ly.var(), rep.var())) {
+                    // s_y would have to equal a universal outside D_y.
+                    res_.decided = SolveResult::Unsat;
+                    return false;
+                }
+            }
+        } else {
+            rep = existentialLits[0];
+            // Merged Skolem function must be expressible over every member's
+            // dependency set, hence over their intersection.
+            std::vector<Var> inter = f_.dependencies(rep.var());
+            for (Lit ly : existentialLits) {
+                const auto& d = f_.dependencies(ly.var());
+                std::vector<Var> next;
+                std::set_intersection(inter.begin(), inter.end(), d.begin(), d.end(),
+                                      std::back_inserter(next));
+                inter = std::move(next);
+            }
+            f_.setDependencies(rep.var(), std::move(inter));
+        }
+
+        for (Lit ly : existentialLits) {
+            if (ly.var() == rep.var()) continue;
+            // ly == rep, so the positive literal of var(ly) maps to
+            // rep ^ ly.negative().
+            substituteVar(ly.var(), rep ^ ly.negative());
+            ++res_.stats.equivalencesSubstituted;
+        }
+        return true;
+    }
+
+    /// Replace every literal of @p y by the corresponding phase of @p rep.
+    void substituteVar(Var y, Lit rep)
+    {
+        if (recorder_) recorder_->record(SkolemRecorder::AliasLit{y, rep});
+        f_.removeExistential(y);
+        for (Clause& c : f_.matrix().clauses()) {
+            for (Lit& l : c.lits()) {
+                if (l.var() == y) l = rep ^ l.negative();
+            }
+        }
+    }
+
+    // ----- gate detection ----------------------------------------------------
+
+    void detectGates()
+    {
+        auto& clauses = f_.matrix().clauses();
+        std::map<std::vector<std::uint32_t>, std::size_t> byKey;
+        for (std::size_t i = 0; i < clauses.size(); ++i) byKey.emplace(clauseKey(clauses[i]), i);
+
+        auto findClause = [&](std::vector<Lit> lits) -> std::optional<std::size_t> {
+            std::vector<std::uint32_t> key;
+            key.reserve(lits.size());
+            for (Lit l : lits) key.push_back(l.code());
+            std::sort(key.begin(), key.end());
+            auto it = byKey.find(key);
+            if (it == byKey.end()) return std::nullopt;
+            return it->second;
+        };
+
+        std::unordered_map<Var, std::vector<Var>> acceptedInputs; // output -> input vars
+        std::vector<bool> removed(clauses.size(), false);
+
+        // True iff @p target is reachable from @p from through accepted
+        // definitions (used to keep the definition DAG acyclic).
+        auto reaches = [&](Var from, Var target) {
+            std::vector<Var> stack{from};
+            std::set<Var> seen;
+            while (!stack.empty()) {
+                const Var v = stack.back();
+                stack.pop_back();
+                if (v == target) return true;
+                if (!seen.insert(v).second) continue;
+                auto it = acceptedInputs.find(v);
+                if (it != acceptedInputs.end()) {
+                    stack.insert(stack.end(), it->second.begin(), it->second.end());
+                }
+            }
+            return false;
+        };
+
+        auto inputsAdmissible = [&](Var g, const std::vector<Lit>& inputs) {
+            if (!f_.isExistential(g)) return false;
+            if (acceptedInputs.contains(g)) return false; // one definition per output
+            for (Lit m : inputs) {
+                const Var u = m.var();
+                if (u == g) return false;
+                if (f_.isUniversal(u)) {
+                    if (!f_.dependsOn(g, u)) return false;
+                } else if (f_.isExistential(u)) {
+                    const auto& du = f_.dependencies(u);
+                    const auto& dg = f_.dependencies(g);
+                    if (!std::includes(dg.begin(), dg.end(), du.begin(), du.end())) return false;
+                } else {
+                    return false;
+                }
+                if (reaches(u, g)) return false; // would close a cycle
+            }
+            return true;
+        };
+
+        auto accept = [&](Var g, GateKind kind, Lit target, std::vector<Lit> inputs,
+                          const std::vector<std::size_t>& defClauses) {
+            std::vector<Var> inputVars;
+            for (Lit m : inputs) inputVars.push_back(m.var());
+            acceptedInputs.emplace(g, std::move(inputVars));
+            for (std::size_t idx : defClauses) removed[idx] = true;
+            // Note: AliasGate records for Skolem reconstruction are emitted
+            // at composition time (composeGates) in topological order, not
+            // here — reconstruction requires user-before-used chronology.
+            res_.gates.push_back(GateDef{target, kind, std::move(inputs)});
+            ++res_.stats.gatesDetected;
+        };
+
+        for (std::size_t ci = 0; ci < clauses.size(); ++ci) {
+            if (removed[ci]) continue;
+            const Clause& c = clauses[ci];
+            if (c.size() < 3) continue;
+
+            for (std::size_t oi = 0; oi < c.size(); ++oi) {
+                const Lit L = c[oi];
+                const Var g = L.var();
+                std::vector<Lit> others;
+                for (std::size_t k = 0; k < c.size(); ++k) {
+                    if (k != oi) others.push_back(c[k]);
+                }
+
+                // AND/OR pattern: big clause (L | m1 | ... | mk) plus the
+                // binaries (~L | ~mi)  ==>  ~L == OR(m1..mk).
+                {
+                    std::vector<std::size_t> defs{ci};
+                    bool ok = true;
+                    for (Lit m : others) {
+                        const auto bin = findClause({~L, ~m});
+                        if (!bin || removed[*bin]) {
+                            ok = false;
+                            break;
+                        }
+                        defs.push_back(*bin);
+                    }
+                    if (ok && inputsAdmissible(g, others)) {
+                        accept(g, GateKind::Or, ~L, others, defs);
+                        break; // clause ci consumed
+                    }
+                }
+
+                // XOR pattern (ternary clauses only): (L|u|v) with
+                // (L|~u|~v), (~L|~u|v), (~L|u|~v)  ==>  ~L == u XOR v.
+                if (c.size() == 3) {
+                    const Lit u = others[0], v = others[1];
+                    const auto c2 = findClause({L, ~u, ~v});
+                    const auto c3 = findClause({~L, ~u, v});
+                    const auto c4 = findClause({~L, u, ~v});
+                    if (c2 && c3 && c4 && !removed[*c2] && !removed[*c3] && !removed[*c4] &&
+                        inputsAdmissible(g, others)) {
+                        accept(g, GateKind::Xor, ~L, others, {ci, *c2, *c3, *c4});
+                        break;
+                    }
+                }
+            }
+        }
+
+        std::vector<Clause> kept;
+        for (std::size_t i = 0; i < clauses.size(); ++i) {
+            if (!removed[i]) kept.push_back(std::move(clauses[i]));
+        }
+        clauses = std::move(kept);
+    }
+
+    DqbfFormula& f_;
+    const PreprocessOptions& opts_;
+    SkolemRecorder* recorder_;
+    PreprocessResult res_;
+};
+
+} // namespace
+
+PreprocessResult preprocess(DqbfFormula& f, const PreprocessOptions& opts,
+                            SkolemRecorder* recorder)
+{
+    return Preprocessor(f, opts, recorder).run();
+}
+
+} // namespace hqs

@@ -1,0 +1,160 @@
+#include "src/dqbf/skolem.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "src/aig/aig.hpp"
+#include "src/aig/cnf_bridge.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+
+bool SkolemFunction::evaluate(const std::vector<bool>& universalAssignment) const
+{
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+        const Var x = deps[i];
+        if (x < universalAssignment.size() && universalAssignment[x]) idx |= 1u << i;
+    }
+    return table[idx];
+}
+
+const SkolemFunction* SkolemCertificate::functionFor(Var y) const
+{
+    for (const SkolemFunction& s : functions) {
+        if (s.var == y) return &s;
+    }
+    return nullptr;
+}
+
+std::optional<SkolemCertificate> extractSkolemByExpansion(const DqbfFormula& f,
+                                                          Deadline deadline)
+{
+    const std::vector<Var>& universals = f.universals();
+    const unsigned n = static_cast<unsigned>(universals.size());
+    assert(n <= 22);
+    std::unordered_map<Var, unsigned> universalPos;
+    for (unsigned i = 0; i < n; ++i) universalPos.emplace(universals[i], i);
+
+    auto depsOf = [&](Var v) -> const std::vector<Var>& {
+        static const std::vector<Var> kEmpty;
+        return f.isExistential(v) ? f.dependencies(v) : kEmpty;
+    };
+    auto restrictionIndex = [&](std::uint64_t sigma, const std::vector<Var>& deps) {
+        std::uint32_t idx = 0;
+        for (std::size_t i = 0; i < deps.size(); ++i) {
+            if ((sigma >> universalPos.at(deps[i])) & 1u) idx |= 1u << i;
+        }
+        return idx;
+    };
+
+    SatSolver sat;
+    std::unordered_map<std::uint64_t, Var> copyVar;
+    auto copyOf = [&](Var y, std::uint32_t idx) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(y) << 32) | idx;
+        auto it = copyVar.find(key);
+        if (it != copyVar.end()) return it->second;
+        const Var s = sat.newVar();
+        copyVar.emplace(key, s);
+        return s;
+    };
+
+    for (std::uint64_t sigma = 0; sigma < (1ull << n); ++sigma) {
+        if (deadline.expired()) return std::nullopt;
+        for (const Clause& c : f.matrix()) {
+            std::vector<Lit> inst;
+            bool satisfied = false;
+            for (Lit l : c) {
+                if (f.isUniversal(l.var())) {
+                    if (((sigma >> universalPos.at(l.var())) & 1u) != l.negative()) {
+                        satisfied = true;
+                        break;
+                    }
+                    continue;
+                }
+                inst.push_back(
+                    Lit(copyOf(l.var(), restrictionIndex(sigma, depsOf(l.var()))), l.negative()));
+            }
+            if (!satisfied && !sat.addClause(std::move(inst))) return std::nullopt;
+        }
+    }
+    if (sat.solve({}, deadline) != SolveResult::Sat) return std::nullopt;
+
+    SkolemCertificate cert;
+    auto addFunction = [&](Var y, const std::vector<Var>& deps) {
+        SkolemFunction fn;
+        fn.var = y;
+        fn.deps = deps;
+        fn.table.assign(1ull << deps.size(), false);
+        for (std::size_t idx = 0; idx < fn.table.size(); ++idx) {
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(y) << 32) | static_cast<std::uint32_t>(idx);
+            auto it = copyVar.find(key);
+            // Copies that never appear are unconstrained; keep the default.
+            if (it != copyVar.end()) fn.table[idx] = sat.modelValue(it->second).isTrue();
+        }
+        cert.functions.push_back(std::move(fn));
+    };
+    for (Var y : f.existentials()) addFunction(y, f.dependencies(y));
+    for (Var v = 0; v < f.matrix().numVars(); ++v) {
+        if (f.kindOf(v) == DqbfVarKind::Unquantified) addFunction(v, {});
+    }
+    return cert;
+}
+
+bool verifySkolemCertificate(const DqbfFormula& f, const SkolemCertificate& cert,
+                             Deadline deadline)
+{
+    // Coverage and dependency-set discipline.
+    for (Var y : f.existentials()) {
+        const SkolemFunction* s = cert.functionFor(y);
+        if (s == nullptr) return false;
+        const auto& declared = f.dependencies(y);
+        if (s->deps.size() != declared.size()) return false;
+        for (std::size_t i = 0; i < declared.size(); ++i) {
+            if (s->deps[i] != declared[i]) return false;
+        }
+        if (s->table.size() != (1ull << s->deps.size())) return false;
+    }
+
+    // Build the substituted matrix as an AIG over the universals and check
+    // that its negation is unsatisfiable.
+    Aig aig;
+    const AigEdge matrix = buildFromCnf(aig, f.matrix());
+
+    auto tableAig = [&](const SkolemFunction& s) {
+        // Shannon decomposition over the deps (mux tree), built bottom-up
+        // over table halves.
+        std::vector<AigEdge> layer(s.table.size());
+        for (std::size_t i = 0; i < s.table.size(); ++i) {
+            layer[i] = s.table[i] ? aig.constTrue() : aig.constFalse();
+        }
+        for (std::size_t d = 0; d < s.deps.size(); ++d) {
+            // deps[d] is the NEXT selector; pairs (i, i + half) differ in it.
+            std::vector<AigEdge> next(layer.size() / 2);
+            const AigEdge sel = aig.variable(s.deps[d]);
+            for (std::size_t i = 0; i < next.size(); ++i) {
+                next[i] = aig.mkIte(sel, layer[2 * i + 1], layer[2 * i]);
+            }
+            layer = std::move(next);
+        }
+        return layer[0];
+    };
+
+    std::unordered_map<Var, AigEdge> subst;
+    for (const SkolemFunction& s : cert.functions) subst.emplace(s.var, tableAig(s));
+    const AigEdge substituted = aig.substitute(matrix, subst);
+
+    // No existential variable may survive the substitution.
+    for (Var v : aig.support(substituted)) {
+        if (!f.isUniversal(v)) return false;
+    }
+    if (aig.isConstant(substituted)) return aig.constantValue(substituted);
+
+    SatSolver sat;
+    AigCnfBridge bridge(aig, sat);
+    const Lit notMatrix = bridge.litFor(~substituted);
+    return sat.solve({notMatrix}, deadline) == SolveResult::Unsat;
+}
+
+} // namespace hqs

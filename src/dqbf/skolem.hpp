@@ -1,0 +1,65 @@
+// Skolem functions and certificates for DQBF.
+//
+// By Definition 2, a DQBF is satisfied iff there are Skolem functions
+// s_y : A(D_y) -> {0,1} making the matrix a tautology.  This module makes
+// the witness explicit:
+//
+//  * SkolemFunction — one function as a truth table over the variable's
+//    dependency set;
+//  * extractSkolemByExpansion — compute a full certificate from one SAT
+//    call on the universal expansion (exponential in the number of
+//    universals; meant for moderate prefixes);
+//  * verifySkolemCertificate — independent check that substituting the
+//    functions really yields a tautology (AIG + SAT on the negation).
+//
+// For the paper's PEC application a certificate is exactly a synthesized
+// implementation of the design's black boxes (see src/pec and the
+// synthesize_boxes example).  Certificate extraction is listed as future
+// work in the paper (it later appeared for HQS in Wimmer et al.); the
+// expansion-based extractor here trades scalability for simplicity and
+// verifiability.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+
+namespace hqs {
+
+/// One Skolem function as an explicit truth table.
+struct SkolemFunction {
+    Var var;
+    /// Sorted dependency set; table index bit i corresponds to deps[i].
+    std::vector<Var> deps;
+    /// 2^|deps| entries.
+    std::vector<bool> table;
+
+    /// Value under an assignment of the universal variables (indexed by
+    /// Var; variables beyond the vector read as false).
+    bool evaluate(const std::vector<bool>& universalAssignment) const;
+};
+
+/// A full certificate: one function per existential variable.
+struct SkolemCertificate {
+    std::vector<SkolemFunction> functions;
+
+    const SkolemFunction* functionFor(Var y) const;
+};
+
+/// Extract a certificate via full universal expansion + one SAT call.
+/// Returns std::nullopt when the formula is UNSAT or the deadline expires.
+/// Precondition: the expansion is tractable (<= ~22 universals and modest
+/// dependency sets).
+std::optional<SkolemCertificate> extractSkolemByExpansion(
+    const DqbfFormula& f, Deadline deadline = Deadline::unlimited());
+
+/// Independently verify a certificate: every existential is covered, each
+/// function's support is inside the declared dependency set (by
+/// construction of the table), and substituting the functions makes the
+/// matrix a tautology over the universals.
+bool verifySkolemCertificate(const DqbfFormula& f, const SkolemCertificate& cert,
+                             Deadline deadline = Deadline::unlimited());
+
+} // namespace hqs

@@ -1,0 +1,127 @@
+#include "src/dqbf/skolem_recorder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/aig/cnf_bridge.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+
+SkolemFunction AigSkolemCertificate::toTable(Var y, const std::vector<Var>& deps) const
+{
+    assert(deps.size() <= 20);
+    SkolemFunction fn;
+    fn.var = y;
+    fn.deps = deps;
+    fn.table.assign(1ull << deps.size(), false);
+    const AigEdge f = functions.at(y);
+    std::vector<bool> assignment;
+    for (std::size_t idx = 0; idx < fn.table.size(); ++idx) {
+        assignment.assign(deps.empty() ? 0 : *std::max_element(deps.begin(), deps.end()) + 1,
+                          false);
+        for (std::size_t i = 0; i < deps.size(); ++i) {
+            assignment[deps[i]] = (idx >> i) & 1u;
+        }
+        fn.table[idx] = aig->evaluate(f, assignment);
+    }
+    return fn;
+}
+
+AigSkolemCertificate reconstructSkolem(const DqbfFormula& original, std::shared_ptr<Aig> aig,
+                                       const SkolemRecorder& recorder)
+{
+    AigSkolemCertificate cert;
+    cert.aig = std::move(aig);
+    Aig& mgr = *cert.aig;
+    auto& skolem = cert.functions;
+
+    auto lookup = [&](Var v) -> AigEdge {
+        auto it = skolem.find(v);
+        // A variable without a record was never constrained; constant false
+        // is as good as any function.
+        return it != skolem.end() ? it->second : mgr.constFalse();
+    };
+
+    const auto& records = recorder.records();
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        std::visit(
+            [&](const auto& r) {
+                using T = std::decay_t<decltype(r)>;
+                if constexpr (std::is_same_v<T, SkolemRecorder::Constant>) {
+                    skolem[r.var] = r.value ? mgr.constTrue() : mgr.constFalse();
+                } else if constexpr (std::is_same_v<T, SkolemRecorder::AliasLit>) {
+                    const Var rep = r.rep.var();
+                    const AigEdge base =
+                        original.isUniversal(rep) ? mgr.variable(rep) : lookup(rep);
+                    skolem[r.var] = base ^ r.rep.negative();
+                } else if constexpr (std::is_same_v<T, SkolemRecorder::AliasGate>) {
+                    AigEdge def;
+                    auto inputEdge = [&](Lit in) {
+                        const AigEdge base = original.isUniversal(in.var())
+                                                 ? mgr.variable(in.var())
+                                                 : lookup(in.var());
+                        return base ^ in.negative();
+                    };
+                    if (r.def.kind == GateKind::Or) {
+                        def = mgr.constFalse();
+                        for (Lit in : r.def.inputs) def = mgr.mkOr(def, inputEdge(in));
+                    } else {
+                        def = mgr.mkXor(inputEdge(r.def.inputs[0]), inputEdge(r.def.inputs[1]));
+                    }
+                    skolem[r.def.target.var()] = def ^ r.def.target.negative();
+                } else if constexpr (std::is_same_v<T, SkolemRecorder::Exists>) {
+                    // Replace every existential in the stored cofactor by
+                    // its (later-eliminated, hence already known) Skolem.
+                    std::unordered_map<Var, AigEdge> subst;
+                    for (Var v : mgr.support(r.cofactor1)) {
+                        if (!original.isUniversal(v)) subst.emplace(v, lookup(v));
+                    }
+                    skolem[r.var] = mgr.substitute(r.cofactor1, subst);
+                } else if constexpr (std::is_same_v<T, SkolemRecorder::UniversalSplit>) {
+                    const AigEdge x = mgr.variable(r.universal);
+                    for (const auto& [kept, copy] : r.copies) {
+                        skolem[kept] = mgr.mkIte(x, lookup(copy), lookup(kept));
+                        skolem.erase(copy);
+                    }
+                }
+            },
+            *it);
+    }
+
+    // Guarantee coverage of every original existential.
+    for (Var y : original.existentials()) {
+        if (!skolem.contains(y)) skolem.emplace(y, mgr.constFalse());
+    }
+    return cert;
+}
+
+bool verifyAigSkolemCertificate(const DqbfFormula& f, const AigSkolemCertificate& cert,
+                                Deadline deadline)
+{
+    Aig& mgr = *cert.aig;
+
+    std::unordered_map<Var, AigEdge> subst;
+    for (Var y : f.existentials()) {
+        auto it = cert.functions.find(y);
+        if (it == cert.functions.end()) return false;
+        // Support must lie inside the declared dependency set.
+        for (Var v : mgr.support(it->second)) {
+            if (!f.dependsOn(y, v)) return false;
+        }
+        subst.emplace(y, it->second);
+    }
+
+    AigEdge matrix = buildFromCnf(mgr, f.matrix());
+    const AigEdge substituted = mgr.substitute(matrix, subst);
+    for (Var v : mgr.support(substituted)) {
+        if (!f.isUniversal(v)) return false; // an existential survived
+    }
+    if (mgr.isConstant(substituted)) return mgr.constantValue(substituted);
+
+    SatSolver sat;
+    AigCnfBridge bridge(mgr, sat);
+    return sat.solve({bridge.litFor(~substituted)}, deadline) == SolveResult::Unsat;
+}
+
+} // namespace hqs

@@ -1,0 +1,189 @@
+#include "src/idq/idq_solver.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "src/aig/aig.hpp"
+#include "src/aig/cnf_bridge.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+namespace {
+
+using Assignment = std::vector<bool>; // indexed by universal position
+
+} // namespace
+
+SolveResult IdqSolver::solve(const DqbfFormula& f)
+{
+    stats_ = IdqStats{};
+    certificate_.reset();
+    const std::vector<Var>& universals = f.universals();
+    const std::size_t n = universals.size();
+    std::unordered_map<Var, std::size_t> universalPos;
+    for (std::size_t i = 0; i < n; ++i) universalPos.emplace(universals[i], i);
+
+    if (f.matrix().hasEmptyClause()) return SolveResult::Unsat;
+
+    auto depsOf = [&](Var v) -> const std::vector<Var>& {
+        static const std::vector<Var> kEmpty;
+        return f.isExistential(v) ? f.dependencies(v) : kEmpty;
+    };
+
+    // Ground instance (grows monotonically).
+    SatSolver ground;
+    std::map<std::pair<Var, Assignment>, Var> copyVar; // (y, tau) -> SAT var
+    auto copyOf = [&](Var y, Assignment tau) {
+        auto [it, inserted] = copyVar.try_emplace({y, std::move(tau)}, 0);
+        if (inserted) {
+            it->second = ground.newVar();
+            ++stats_.existentialCopies;
+        }
+        return it->second;
+    };
+
+    auto restriction = [&](const Assignment& sigma, const std::vector<Var>& deps) {
+        Assignment tau(deps.size());
+        for (std::size_t i = 0; i < deps.size(); ++i) tau[i] = sigma[universalPos.at(deps[i])];
+        return tau;
+    };
+
+    /// Instantiate every matrix clause under sigma into the ground solver.
+    /// Returns false if the ground instance became trivially UNSAT.
+    auto instantiate = [&](const Assignment& sigma) {
+        ++stats_.instantiations;
+        bool ok = true;
+        for (const Clause& c : f.matrix()) {
+            std::vector<Lit> inst;
+            bool satisfied = false;
+            for (Lit l : c) {
+                auto pos = universalPos.find(l.var());
+                if (pos != universalPos.end()) {
+                    if (sigma[pos->second] != l.negative()) {
+                        satisfied = true;
+                        break;
+                    }
+                    continue;
+                }
+                inst.push_back(Lit(copyOf(l.var(), restriction(sigma, depsOf(l.var()))),
+                                   l.negative()));
+            }
+            if (!satisfied) {
+                ++stats_.groundClauses;
+                ok = ground.addClause(std::move(inst)) && ok;
+            }
+        }
+        return ok;
+    };
+
+    // Matrix as an AIG over universal + existential variables, used by the
+    // counterexample search.
+    Aig aig;
+    AigEdge matrixAig = buildFromCnf(aig, f.matrix());
+
+    /// On Sat: turn the final candidate table into an explicit certificate
+    /// (unseen rows keep the default value false, matching the candidate
+    /// the counterexample check just validated).
+    auto buildCertificate = [&]() {
+        SkolemCertificate cert;
+        std::unordered_map<Var, std::size_t> indexOf;
+        auto functionFor = [&](Var y) -> SkolemFunction& {
+            auto [it, inserted] = indexOf.try_emplace(y, cert.functions.size());
+            if (inserted) {
+                SkolemFunction fn;
+                fn.var = y;
+                fn.deps = depsOf(y);
+                fn.table.assign(1ull << fn.deps.size(), false);
+                cert.functions.push_back(std::move(fn));
+            }
+            return cert.functions[it->second];
+        };
+        for (Var y : f.existentials()) functionFor(y);
+        for (Var v = 0; v < f.matrix().numVars(); ++v) {
+            if (f.kindOf(v) == DqbfVarKind::Unquantified) functionFor(v);
+        }
+        for (const auto& [key, satVar] : copyVar) {
+            const auto& [y, tau] = key;
+            SkolemFunction& fn = functionFor(y);
+            std::size_t idx = 0;
+            for (std::size_t i = 0; i < tau.size(); ++i) {
+                if (tau[i]) idx |= 1ull << i;
+            }
+            fn.table[idx] = ground.modelValue(satVar).isTrue();
+        }
+        certificate_ = std::move(cert);
+    };
+
+    std::map<Assignment, bool> seen; // the set A
+    for (;;) {
+        ++stats_.iterations;
+        if (opts_.deadline.expired()) return SolveResult::Timeout;
+        if (opts_.groundClauseLimit != 0 && stats_.groundClauses > opts_.groundClauseLimit) {
+            return SolveResult::Memout;
+        }
+
+        const SolveResult groundRes = ground.solve({}, opts_.deadline);
+        if (groundRes == SolveResult::Timeout) return SolveResult::Timeout;
+        if (groundRes == SolveResult::Unsat) return SolveResult::Unsat;
+
+        // Candidate Skolem table from the ground model; unseen entries
+        // default to false.  Build val_y(sigma) = OR over true table rows of
+        // "sigma|D_y == tau".
+        std::unordered_map<Var, AigEdge> skolemOf;
+        for (Var y : f.existentials()) skolemOf.emplace(y, aig.constFalse());
+        for (Var v = 0; v < f.matrix().numVars(); ++v) {
+            if (f.kindOf(v) == DqbfVarKind::Unquantified) {
+                skolemOf.emplace(v, aig.constFalse());
+            }
+        }
+        for (const auto& [key, satVar] : copyVar) {
+            if (!ground.modelValue(satVar).isTrue()) continue;
+            const auto& [y, tau] = key;
+            const auto& deps = depsOf(y);
+            AigEdge match = aig.constTrue();
+            for (std::size_t i = 0; i < deps.size(); ++i) {
+                match = aig.mkAnd(match, aig.variable(deps[i]) ^ !tau[i]);
+            }
+            skolemOf[y] = aig.mkOr(skolemOf[y], match);
+        }
+
+        // Counterexample search: a universal assignment falsifying the
+        // matrix under the candidate table.
+        const AigEdge instantiated = aig.substitute(matrixAig, skolemOf);
+        const AigEdge cexCondition = ~instantiated;
+        if (aig.isConstant(cexCondition) && !aig.constantValue(cexCondition)) {
+            buildCertificate(); // matrix is a tautology under the table
+            return SolveResult::Sat;
+        }
+
+        SatSolver cexSat;
+        AigCnfBridge bridge(aig, cexSat);
+        const Lit cexLit = bridge.litFor(cexCondition);
+        const SolveResult cexRes = cexSat.solve({cexLit}, opts_.deadline);
+        if (cexRes == SolveResult::Timeout) return SolveResult::Timeout;
+        if (cexRes == SolveResult::Unsat) {
+            buildCertificate();
+            return SolveResult::Sat;
+        }
+
+        Assignment sigma(n, false);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (aig.hasVariable(universals[i])) {
+                sigma[i] = cexSat.modelValue(bridge.satVarForInput(universals[i])).isTrue();
+            }
+        }
+        if (seen.contains(sigma)) {
+            // Cannot happen for a genuine counterexample; fail safe.
+            return SolveResult::Unknown;
+        }
+        seen.emplace(sigma, true);
+        if (!instantiate(sigma)) return SolveResult::Unsat;
+
+        // The per-iteration Skolem expressions are garbage now.
+        if (aig.numNodes() > 4 * aig.coneSize(matrixAig) + 50000) {
+            aig.garbageCollect({&matrixAig});
+        }
+    }
+}
+
+} // namespace hqs

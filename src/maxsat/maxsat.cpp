@@ -1,0 +1,83 @@
+#include "src/maxsat/maxsat.hpp"
+
+namespace hqs {
+
+void MaxSatSolver::addHard(Clause c)
+{
+    for (Lit l : c) ensureVars(l.var() + 1);
+    hard_.push_back(std::move(c));
+}
+
+void MaxSatSolver::addSoft(Clause c)
+{
+    for (Lit l : c) ensureVars(l.var() + 1);
+    soft_.push_back(std::move(c));
+}
+
+std::optional<MaxSatResult> MaxSatSolver::solve(Deadline deadline)
+{
+    SatSolver sat;
+    sat.ensureVars(numVars_);
+    for (const Clause& c : hard_) {
+        if (!sat.addClause(c.lits())) return std::nullopt;
+    }
+
+    const std::size_t n = soft_.size();
+    // Relaxation variables: b_i true <=> soft clause i is (allowed to be)
+    // falsified.
+    std::vector<Lit> relax;
+    relax.reserve(n);
+    for (const Clause& c : soft_) {
+        const Var b = sat.newVar();
+        std::vector<Lit> lits = c.lits();
+        lits.push_back(Lit::pos(b));
+        if (!sat.addClause(std::move(lits))) return std::nullopt;
+        relax.push_back(Lit::pos(b));
+    }
+
+    auto extract = [&](std::size_t cost) {
+        MaxSatResult res;
+        res.cost = cost;
+        res.model.resize(numVars_);
+        for (Var v = 0; v < numVars_; ++v) res.model[v] = sat.modelValue(v).isTrue();
+        return res;
+    };
+
+    if (n == 0) {
+        const SolveResult r = sat.solve({}, deadline);
+        if (r != SolveResult::Sat) return std::nullopt;
+        return extract(0);
+    }
+
+    // Sequential counter (Sinz encoding), monotone direction only:
+    // count(b_1..b_i) >= j  implies  s[i][j] is true.  Assuming ~s[n][k+1]
+    // then enforces "at most k relaxed".
+    // s is 1-based in j; s[i][j] for i in [0,n), j in [1, i+1].
+    std::vector<std::vector<Lit>> s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        s[i].resize(i + 2, kUndefLit); // index 1..i+1
+        for (std::size_t j = 1; j <= i + 1; ++j) s[i][j] = Lit::pos(sat.newVar());
+        // b_i -> s[i][1]
+        sat.addClause({~relax[i], s[i][1]});
+        if (i > 0) {
+            for (std::size_t j = 1; j <= i; ++j) {
+                // s[i-1][j] -> s[i][j]
+                sat.addClause({~s[i - 1][j], s[i][j]});
+                // b_i & s[i-1][j] -> s[i][j+1]
+                sat.addClause({~relax[i], ~s[i - 1][j], s[i][j + 1]});
+            }
+        }
+    }
+
+    // Linear search for the minimum number of falsified softs.
+    for (std::size_t k = 0; k <= n; ++k) {
+        std::vector<Lit> assumptions;
+        if (k < n) assumptions.push_back(~s[n - 1][k + 1]);
+        const SolveResult r = sat.solve(assumptions, deadline);
+        if (r == SolveResult::Sat) return extract(k);
+        if (r != SolveResult::Unsat) return std::nullopt; // timeout
+    }
+    return std::nullopt; // hard clauses unsatisfiable
+}
+
+} // namespace hqs

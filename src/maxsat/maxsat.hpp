@@ -1,0 +1,64 @@
+// Partial MaxSAT solver (unit weights).
+//
+// Stands in for the `antom` solver the paper uses to pick the minimum set of
+// universal variables whose elimination linearizes the DQBF prefix
+// (Section III-A, Equations 1 and 2).  Hard clauses must hold; the solver
+// maximizes the number of satisfied soft clauses.
+//
+// Algorithm: every soft clause C_i is relaxed to (C_i ∨ b_i); a sequential
+// counter over the b_i yields monotone "at least j relaxed" outputs, and a
+// linear UNSAT→SAT search over k with assumption ¬out_{k+1} finds the
+// minimum number of falsified soft clauses.  Exact, and fast at the sizes
+// the HQS selection problem produces (the paper reports < 0.06 s per
+// instance).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/base/literal.hpp"
+#include "src/base/timer.hpp"
+#include "src/cnf/cnf.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+
+/// Result of a MaxSAT call.
+struct MaxSatResult {
+    /// Model over the original variables (indexed by Var; size = numVars at
+    /// solve time).
+    std::vector<bool> model;
+    /// Number of falsified soft clauses in the optimum.
+    std::size_t cost = 0;
+};
+
+class MaxSatSolver {
+public:
+    MaxSatSolver() = default;
+
+    Var newVar() { return numVars_++; }
+    void ensureVars(Var n)
+    {
+        if (n > numVars_) numVars_ = n;
+    }
+    Var numVars() const { return numVars_; }
+
+    void addHard(Clause c);
+    void addHard(std::initializer_list<Lit> lits) { addHard(Clause(lits)); }
+    void addSoft(Clause c);
+    void addSoft(std::initializer_list<Lit> lits) { addSoft(Clause(lits)); }
+
+    std::size_t numSoft() const { return soft_.size(); }
+
+    /// Minimize the number of falsified soft clauses subject to the hard
+    /// clauses.  Returns std::nullopt iff the hard clauses are unsatisfiable
+    /// or the deadline expired.
+    std::optional<MaxSatResult> solve(Deadline deadline = Deadline::unlimited());
+
+private:
+    Var numVars_ = 0;
+    std::vector<Clause> hard_;
+    std::vector<Clause> soft_;
+};
+
+} // namespace hqs

@@ -1,0 +1,50 @@
+// Black-box synthesis for partial equivalence checking.
+//
+// When the PEC DQBF is satisfied, its Skolem functions ARE implementations
+// of the missing black boxes (each box output's function reads exactly the
+// box's input copies).  This module turns a SkolemCertificate back into
+// per-box truth tables and a Circuit::BoxFunction, completing the PEC
+// story: not only "is the design realizable?" but "here are the missing
+// modules".
+#pragma once
+
+#include <optional>
+
+#include "src/dqbf/skolem.hpp"
+#include "src/pec/pec_encoder.hpp"
+
+namespace hqs {
+
+/// Implementations for every black box of a PEC instance.
+struct SynthesizedBoxes {
+    /// tables[box][output][index]: index bit i corresponds to the box's
+    /// i-th input signal (Circuit::boxInputs order).
+    std::vector<std::vector<std::vector<bool>>> tables;
+
+    /// Adapter for Circuit::simulate.
+    Circuit::BoxFunction asBoxFunction() const;
+};
+
+/// Extract box implementations from a certificate for @p enc's formula.
+/// Returns std::nullopt when the certificate does not cover the box
+/// outputs (e.g. it belongs to a different encoding).
+std::optional<SynthesizedBoxes> boxesFromCertificate(const PecEncoding& enc,
+                                                     const SkolemCertificate& cert);
+
+/// One-call convenience: encode the PEC instance, decide it by expansion,
+/// and synthesize the boxes.  std::nullopt iff unrealizable (or deadline).
+std::optional<SynthesizedBoxes> synthesizeBoxes(const PecInstance& inst,
+                                                Deadline deadline = Deadline::unlimited());
+
+/// Same, but decide with HQS (computeSkolem) and reconstruct the boxes from
+/// the elimination-trace certificate — scales much further than the
+/// expansion-based extractor.
+std::optional<SynthesizedBoxes> synthesizeBoxesWithHqs(
+    const PecInstance& inst, Deadline deadline = Deadline::unlimited());
+
+/// Exhaustively check (over all primary-input assignments) that the
+/// implementation with the synthesized boxes matches the specification.
+/// Precondition: the instance has <= ~20 primary inputs.
+bool boxesRealizeSpec(const PecInstance& inst, const SynthesizedBoxes& boxes);
+
+} // namespace hqs

@@ -1,0 +1,100 @@
+#include "src/pec/pec_encoder.hpp"
+
+#include <cassert>
+
+#include "src/circuit/tseitin.hpp"
+
+namespace hqs {
+
+PecEncoding encodePec(const Circuit& spec, const Circuit& impl)
+{
+    assert(spec.isComplete());
+    assert(spec.inputs().size() == impl.inputs().size());
+    assert(spec.outputs().size() == impl.outputs().size());
+
+    PecEncoding enc;
+    DqbfFormula& f = enc.formula;
+
+    // Universals: primary inputs X, then the copies Z_b of box inputs.
+    for (std::size_t i = 0; i < spec.inputs().size(); ++i) {
+        enc.primaryInputs.push_back(f.addUniversal());
+    }
+    enc.boxInputCopies.resize(impl.numBoxes());
+    for (Circuit::BoxId b = 0; b < impl.numBoxes(); ++b) {
+        for (std::size_t k = 0; k < impl.boxInputs(b).size(); ++k) {
+            enc.boxInputCopies[b].push_back(f.addUniversal());
+        }
+    }
+    const std::vector<Var> allUniversals = f.universals();
+
+    // Existentials: box outputs with D = Z_b (the Henkin part).
+    enc.boxOutputVars.resize(impl.numBoxes());
+    std::unordered_map<Circuit::NodeId, Var> implFixed;
+    for (Circuit::BoxId b = 0; b < impl.numBoxes(); ++b) {
+        for (Circuit::NodeId out : impl.boxOutputs(b)) {
+            const Var y = f.addExistential(enc.boxInputCopies[b]);
+            enc.boxOutputVars[b].push_back(y);
+            implFixed.emplace(out, y);
+        }
+    }
+
+    // Tseitin auxiliaries depend on all universals.
+    auto freshAux = [&]() { return f.addExistential(allUniversals); };
+
+    // Encode both circuits over the shared inputs.
+    std::unordered_map<Circuit::NodeId, Var> specFixed;
+    for (std::size_t i = 0; i < spec.inputs().size(); ++i) {
+        specFixed.emplace(spec.inputs()[i], enc.primaryInputs[i]);
+    }
+    const std::vector<Var> specVar = tseitinEncode(spec, f.matrix(), specFixed, freshAux);
+
+    for (std::size_t i = 0; i < impl.inputs().size(); ++i) {
+        implFixed.emplace(impl.inputs()[i], enc.primaryInputs[i]);
+    }
+    const std::vector<Var> implVar = tseitinEncode(impl, f.matrix(), implFixed, freshAux);
+
+    // Premise literals: e_{b,k} == (z_{b,k} == implVar(box input node)).
+    auto encodeXnor = [&](Var out, Var lhs, Var rhs) {
+        const Lit o = Lit::pos(out), a = Lit::pos(lhs), b = Lit::pos(rhs);
+        f.matrix().addClause({~o, a, ~b});
+        f.matrix().addClause({~o, ~a, b});
+        f.matrix().addClause({o, a, b});
+        f.matrix().addClause({o, ~a, ~b});
+    };
+
+    Clause finalClause;
+    for (Circuit::BoxId b = 0; b < impl.numBoxes(); ++b) {
+        const auto& ins = impl.boxInputs(b);
+        for (std::size_t k = 0; k < ins.size(); ++k) {
+            const Var e = freshAux();
+            encodeXnor(e, enc.boxInputCopies[b][k], implVar[ins[k]]);
+            finalClause.push(Lit::neg(e));
+        }
+    }
+
+    // Miter: eq == AND over output pairs of (spec_j == impl_j).
+    std::vector<Lit> equalities;
+    for (std::size_t j = 0; j < spec.outputs().size(); ++j) {
+        const Var m = freshAux();
+        encodeXnor(m, specVar[spec.outputs()[j]], implVar[impl.outputs()[j]]);
+        equalities.push_back(Lit::pos(m));
+    }
+    const Var eq = freshAux();
+    {
+        const Lit o = Lit::pos(eq);
+        Clause big;
+        big.push(o);
+        for (Lit m : equalities) {
+            f.matrix().addClause({~o, m});
+            big.push(~m);
+        }
+        f.matrix().addClause(big);
+    }
+
+    // (AND premises) -> eq, as a single clause.
+    finalClause.push(Lit::pos(eq));
+    f.matrix().addClause(finalClause);
+    return enc;
+}
+
+} // namespace hqs

@@ -1,0 +1,43 @@
+// Partial equivalence checking (PEC) encoded as DQBF, following the
+// encoding of Gitina et al. [10] / Scholl & Becker [20], [32]:
+//
+//   forall X  forall Z  exists Y_b(Z_b) exists aux(X u Z) :
+//       ( AND_b  Z_b == cone_b(X, Y) )  ->  ( impl(X, Y) == spec(X) )
+//
+// X are the shared primary inputs, Z_b fresh universal copies of black box
+// b's input signals, and Y_b the box outputs, each depending exactly on its
+// own box's copies — dependencies that a linear QBF prefix cannot express
+// once the design has more than one black box (the paper's motivation).
+// Tseitin auxiliaries depend on all universals.  The DQBF is satisfied iff
+// the incomplete design is realizable: the Skolem functions for Y_b are
+// precisely the missing implementations.
+#pragma once
+
+#include <vector>
+
+#include "src/circuit/families.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+
+namespace hqs {
+
+struct PecEncoding {
+    DqbfFormula formula;
+    /// Universal variable per primary input (shared by spec and impl).
+    std::vector<Var> primaryInputs;
+    /// Per implementation box: the universal copies Z_b of its inputs.
+    std::vector<std::vector<Var>> boxInputCopies;
+    /// Per implementation box: the existential output variables Y_b.
+    std::vector<std::vector<Var>> boxOutputVars;
+};
+
+/// Encode "does some implementation of impl's black boxes make impl
+/// equivalent to spec" as a DQBF.  spec must be complete; spec and impl
+/// must agree on input and output counts.
+PecEncoding encodePec(const Circuit& spec, const Circuit& impl);
+
+inline PecEncoding encodePec(const PecInstance& inst)
+{
+    return encodePec(inst.spec, inst.impl);
+}
+
+} // namespace hqs

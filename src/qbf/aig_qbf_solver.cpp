@@ -1,0 +1,204 @@
+#include "src/qbf/aig_qbf_solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/aig/cnf_bridge.hpp"
+#include "src/dqbf/skolem_recorder.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+namespace {
+
+/// Occurrence count (number of AND-node fanin references) of every variable
+/// in the cone of @p root.  Variables with no entry do not occur.
+std::unordered_map<Var, std::size_t> occurrenceCounts(const Aig& aig, AigEdge root)
+{
+    std::unordered_map<Var, std::size_t> counts;
+    if (aig.isConstant(root)) return counts;
+    if (aig.isInput(root)) {
+        counts[aig.inputVariable(root)] = 1;
+        return counts;
+    }
+    std::unordered_set<std::uint32_t> visited;
+    std::vector<AigEdge> stack{root};
+    while (!stack.empty()) {
+        const AigEdge e = stack.back();
+        stack.pop_back();
+        if (!visited.insert(e.nodeIndex()).second) continue;
+        if (!aig.isAnd(e)) continue;
+        for (const AigEdge f : {aig.fanin0(e), aig.fanin1(e)}) {
+            if (aig.isConstant(f)) continue;
+            if (aig.isInput(f)) {
+                ++counts[aig.inputVariable(f)];
+            } else {
+                stack.push_back(f);
+            }
+        }
+    }
+    return counts;
+}
+
+} // namespace
+
+SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
+{
+    stats_ = AigQbfStats{};
+    std::size_t lastFraigSize = 0;
+
+    auto trackPeak = [&]() {
+        stats_.peakConeSize = std::max(stats_.peakConeSize, aig.coneSize(matrix));
+    };
+
+    // Returns Unknown to continue, or a final resource-limit result.
+    auto housekeeping = [&]() -> SolveResult {
+        const std::size_t cone = aig.coneSize(matrix);
+        stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
+        if (opts_.deadline.expired()) return SolveResult::Timeout;
+        if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
+        if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
+            FraigOptions fopts;
+            fopts.deadline = opts_.deadline;
+            matrix = fraigReduce(aig, matrix, fopts);
+            lastFraigSize = aig.coneSize(matrix);
+            ++stats_.fraigRuns;
+        }
+        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
+            std::vector<AigEdge*> roots{&matrix};
+            if (opts_.recorder) opts_.recorder->appendGcRoots(roots);
+            aig.garbageCollect(std::move(roots));
+        }
+        return SolveResult::Unknown;
+    };
+
+    // Theorem-5 applications of the Theorem-6 syntactic detection; returns
+    // Unsat when a universal unit is found, Unknown otherwise.
+    auto unitPurePass = [&]() -> SolveResult {
+        if (!opts_.unitPure) return SolveResult::Unknown;
+        bool changed = true;
+        while (changed && !aig.isConstant(matrix) && !opts_.deadline.expired()) {
+            changed = false;
+            if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
+                std::vector<AigEdge*> roots{&matrix};
+                if (opts_.recorder) opts_.recorder->appendGcRoots(roots);
+                aig.garbageCollect(std::move(roots));
+            }
+            const UnitPureInfo info = aig.detectUnitPure(matrix);
+            // Units first: a universal unit decides the formula.
+            for (const auto& [vars, positive] :
+                 {std::pair{&info.posUnit, true}, std::pair{&info.negUnit, false}}) {
+                for (Var v : *vars) {
+                    if (!prefix.contains(v)) continue;
+                    if (prefix.kindOf(v) == QuantKind::Forall) return SolveResult::Unsat;
+                    if (opts_.recorder) {
+                        opts_.recorder->record(SkolemRecorder::Constant{v, positive});
+                    }
+                    matrix = aig.cofactor(matrix, v, positive);
+                    prefix.removeVar(v);
+                    ++stats_.unitEliminations;
+                    changed = true;
+                    break;
+                }
+                if (changed) break;
+            }
+            if (changed) continue;
+            for (const auto& [vars, positive] :
+                 {std::pair{&info.posPure, true}, std::pair{&info.negPure, false}}) {
+                for (Var v : *vars) {
+                    if (!prefix.contains(v)) continue;
+                    const bool existential = prefix.kindOf(v) == QuantKind::Exists;
+                    // Existential pure: keep the helpful cofactor; universal
+                    // pure: the adversary picks the harmful one.
+                    if (existential && opts_.recorder) {
+                        opts_.recorder->record(SkolemRecorder::Constant{v, positive});
+                    }
+                    matrix = aig.cofactor(matrix, v, existential == positive);
+                    prefix.removeVar(v);
+                    ++stats_.pureEliminations;
+                    changed = true;
+                    break;
+                }
+                if (changed) break;
+            }
+        }
+        return SolveResult::Unknown;
+    };
+
+    trackPeak();
+    if (SolveResult r = unitPurePass(); r != SolveResult::Unknown) return r;
+
+    while (!prefix.empty() && !aig.isConstant(matrix)) {
+        if (SolveResult r = housekeeping(); r != SolveResult::Unknown) return r;
+
+        const QbfBlock& block = prefix.blocks().back();
+        const auto counts = occurrenceCounts(aig, matrix);
+
+        // Drop block variables that no longer occur; pick the cheapest
+        // occurring one.
+        Var pick = kNoVar;
+        std::size_t best = std::numeric_limits<std::size_t>::max();
+        std::vector<Var> unsupported;
+        for (Var v : block.vars) {
+            auto it = counts.find(v);
+            if (it == counts.end()) {
+                unsupported.push_back(v);
+            } else if (it->second < best) {
+                best = it->second;
+                pick = v;
+            }
+        }
+        for (Var v : unsupported) {
+            if (opts_.recorder && prefix.kindOf(v) == QuantKind::Exists) {
+                opts_.recorder->record(SkolemRecorder::Constant{v, false});
+            }
+            prefix.removeVar(v);
+            ++stats_.droppedUnsupported;
+        }
+        if (pick == kNoVar) continue; // whole block vanished
+
+        const QuantKind kind = prefix.kindOf(pick);
+        if (kind == QuantKind::Exists) {
+            const AigEdge cof0 = aig.cofactor(matrix, pick, false);
+            const AigEdge cof1 = aig.cofactor(matrix, pick, true);
+            if (opts_.recorder) {
+                opts_.recorder->record(SkolemRecorder::Exists{pick, cof1});
+            }
+            matrix = aig.mkOr(cof0, cof1);
+        } else {
+            matrix = aig.forallVar(matrix, pick);
+        }
+        prefix.removeVar(pick);
+        if (kind == QuantKind::Exists) {
+            ++stats_.existentialEliminations;
+        } else {
+            ++stats_.universalEliminations;
+        }
+        trackPeak();
+
+        if (SolveResult r = unitPurePass(); r != SolveResult::Unknown) return r;
+    }
+
+    if (aig.isConstant(matrix)) {
+        return aig.constantValue(matrix) ? SolveResult::Sat : SolveResult::Unsat;
+    }
+    // Prefix exhausted, non-constant matrix: remaining support variables are
+    // free, i.e. outermost existentials — a non-constant function is
+    // satisfiable.  For Skolem tracking, pin them to values from a model.
+    if (opts_.recorder) {
+        SatSolver sat;
+        AigCnfBridge bridge(aig, sat);
+        const Lit out = bridge.litFor(matrix);
+        if (sat.solve({out}, opts_.deadline) != SolveResult::Sat) {
+            return SolveResult::Timeout; // deadline hit mid-certification
+        }
+        for (Var v : aig.support(matrix)) {
+            const lbool val = sat.modelValue(bridge.satVarForInput(v));
+            opts_.recorder->record(SkolemRecorder::Constant{v, val.isTrue()});
+        }
+    }
+    return SolveResult::Sat;
+}
+
+} // namespace hqs

@@ -1,0 +1,93 @@
+#include "src/qbf/bdd_qbf_solver.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hqs {
+
+BddRef bddFromAig(Bdd& bdd, const Aig& aig, AigEdge root)
+{
+    // Bottom-up over the cone; memo maps AIG node -> BDD of the
+    // uncomplemented node function.
+    std::unordered_map<std::uint32_t, BddRef> memo;
+    memo.emplace(0, bdd.constFalse());
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (memo.contains(idx)) {
+            stack.pop_back();
+            continue;
+        }
+        const AigEdge e(idx, false);
+        if (aig.isInput(e)) {
+            memo.emplace(idx, bdd.variable(aig.inputVariable(e)));
+            stack.pop_back();
+            continue;
+        }
+        const AigEdge f0 = aig.fanin0(e);
+        const AigEdge f1 = aig.fanin1(e);
+        auto it0 = memo.find(f0.nodeIndex());
+        auto it1 = memo.find(f1.nodeIndex());
+        if (it0 == memo.end()) {
+            stack.push_back(f0.nodeIndex());
+            continue;
+        }
+        if (it1 == memo.end()) {
+            stack.push_back(f1.nodeIndex());
+            continue;
+        }
+        const BddRef b0 = f0.complemented() ? bdd.mkNot(it0->second) : it0->second;
+        const BddRef b1 = f1.complemented() ? bdd.mkNot(it1->second) : it1->second;
+        memo.emplace(idx, bdd.mkAnd(b0, b1));
+        stack.pop_back();
+    }
+    const BddRef r = memo.at(root.nodeIndex());
+    return root.complemented() ? bdd.mkNot(r) : r;
+}
+
+SolveResult BddQbfSolver::solve(const Cnf& matrix, const QbfPrefix& prefix)
+{
+    Bdd bdd;
+    bdd.setResourceLimits(opts_.nodeLimit, opts_.deadline);
+    BddRef f;
+    try {
+        f = bdd.fromCnf(matrix);
+    } catch (const BddLimitExceeded& e) {
+        return e.byNodeLimit() ? SolveResult::Memout : SolveResult::Timeout;
+    }
+    return solve(bdd, f, prefix);
+}
+
+SolveResult BddQbfSolver::solve(Bdd& bdd, BddRef f, const QbfPrefix& prefix)
+{
+    stats_ = BddQbfStats{};
+    bdd.setResourceLimits(opts_.nodeLimit, opts_.deadline);
+    stats_.peakConeSize = std::max(stats_.peakConeSize, bdd.coneSize(f));
+
+    const auto& blocks = prefix.blocks();
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+        for (Var v : it->vars) {
+            if (bdd.isConstant(f)) break;
+            if (opts_.deadline.expired()) return SolveResult::Timeout;
+            if (opts_.nodeLimit != 0 && bdd.numNodes() > opts_.nodeLimit) {
+                return SolveResult::Memout;
+            }
+            try {
+                f = (it->kind == QuantKind::Exists) ? bdd.existsVar(f, v)
+                                                    : bdd.forallVar(f, v);
+            } catch (const BddLimitExceeded& e) {
+                return e.byNodeLimit() ? SolveResult::Memout : SolveResult::Timeout;
+            }
+            ++stats_.eliminations;
+            stats_.peakConeSize = std::max(stats_.peakConeSize, bdd.coneSize(f));
+        }
+    }
+    if (bdd.isConstant(f)) {
+        return bdd.constantValue(f) ? SolveResult::Sat : SolveResult::Unsat;
+    }
+    // Remaining support variables are free (outermost existential); a
+    // non-constant BDD always has a satisfying path.
+    return SolveResult::Sat;
+}
+
+} // namespace hqs

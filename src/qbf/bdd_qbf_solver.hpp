@@ -1,0 +1,53 @@
+// BDD-based QBF solver by quantifier elimination.
+//
+// The canonical-representation counterpart of AigQbfSolver: builds the
+// matrix as a ROBDD and quantifies the prefix from the innermost block
+// outwards.  Exists to measure the paper's motivating claim that AIGs can
+// be "potentially more compact than BDDs" (Section II-C): bench_ablation
+// compares the two backends' node counts and runtimes on the same
+// linearized instances.
+#pragma once
+
+#include "src/aig/aig.hpp"
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+#include "src/bdd/bdd.hpp"
+#include "src/qbf/qbf_prefix.hpp"
+
+namespace hqs {
+
+/// Convert an AIG cone into @p bdd (shared external variables).
+BddRef bddFromAig(Bdd& bdd, const Aig& aig, AigEdge root);
+
+struct BddQbfOptions {
+    /// Abort with Memout when the manager exceeds this many nodes
+    /// (0 = unlimited).
+    std::size_t nodeLimit = 0;
+    Deadline deadline = Deadline::unlimited();
+};
+
+struct BddQbfStats {
+    std::size_t eliminations = 0;
+    std::size_t peakConeSize = 0;
+};
+
+class BddQbfSolver {
+public:
+    explicit BddQbfSolver(BddQbfOptions opts = {}) : opts_(opts) {}
+
+    /// Decide the closed QBF `prefix : matrix`.  Free matrix variables are
+    /// treated as outermost existentials.
+    SolveResult solve(const Cnf& matrix, const QbfPrefix& prefix);
+
+    /// Same, over a matrix already built in a BDD manager (e.g. converted
+    /// from the HQS AIG via bddFromAig).
+    SolveResult solve(Bdd& bdd, BddRef matrix, const QbfPrefix& prefix);
+
+    const BddQbfStats& stats() const { return stats_; }
+
+private:
+    BddQbfOptions opts_;
+    BddQbfStats stats_;
+};
+
+} // namespace hqs

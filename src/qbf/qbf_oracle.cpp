@@ -1,0 +1,44 @@
+#include "src/qbf/qbf_oracle.hpp"
+
+#include <vector>
+
+namespace hqs {
+namespace {
+
+bool decide(const Cnf& matrix, const std::vector<std::pair<QuantKind, Var>>& order,
+            std::size_t depth, std::vector<bool>& assignment)
+{
+    if (depth == order.size()) return matrix.evaluate(assignment);
+    const auto [kind, v] = order[depth];
+    assignment[v] = false;
+    const bool r0 = decide(matrix, order, depth + 1, assignment);
+    if (kind == QuantKind::Exists && r0) return true;
+    if (kind == QuantKind::Forall && !r0) return false;
+    assignment[v] = true;
+    return decide(matrix, order, depth + 1, assignment);
+}
+
+} // namespace
+
+bool bruteForceQbf(const QbfProblem& problem)
+{
+    std::vector<std::pair<QuantKind, Var>> order;
+    std::vector<bool> inPrefix(problem.matrix.numVars(), false);
+    for (const QbfBlock& b : problem.prefix.blocks()) {
+        for (Var v : b.vars) {
+            order.emplace_back(b.kind, v);
+            if (v < inPrefix.size()) inPrefix[v] = true;
+        }
+    }
+    // Free variables: outermost existentials.
+    std::vector<std::pair<QuantKind, Var>> full;
+    for (Var v = 0; v < problem.matrix.numVars(); ++v) {
+        if (!inPrefix[v]) full.emplace_back(QuantKind::Exists, v);
+    }
+    full.insert(full.end(), order.begin(), order.end());
+
+    std::vector<bool> assignment(problem.matrix.numVars(), false);
+    return decide(problem.matrix, full, 0, assignment);
+}
+
+} // namespace hqs

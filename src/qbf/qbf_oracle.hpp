@@ -1,0 +1,14 @@
+// Brute-force QBF oracle: decides a QBF by full recursion over the prefix
+// and exhaustive evaluation of the CNF matrix.  Reference semantics for
+// tests; exponential, use only on small instances (<= ~20 variables).
+#pragma once
+
+#include "src/qbf/qbf_prefix.hpp"
+
+namespace hqs {
+
+/// True iff the closed QBF `problem.prefix : problem.matrix` is satisfied.
+/// Free matrix variables are treated as outermost existentials.
+bool bruteForceQbf(const QbfProblem& problem);
+
+} // namespace hqs

@@ -1,0 +1,95 @@
+#include "src/qbf/qbf_prefix.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+namespace hqs {
+
+void QbfPrefix::addBlock(QuantKind kind, std::vector<Var> vars)
+{
+    if (vars.empty()) return;
+    if (!blocks_.empty() && blocks_.back().kind == kind) {
+        auto& dst = blocks_.back().vars;
+        dst.insert(dst.end(), vars.begin(), vars.end());
+        return;
+    }
+    blocks_.push_back(QbfBlock{kind, std::move(vars)});
+}
+
+std::size_t QbfPrefix::numVars() const
+{
+    return std::accumulate(blocks_.begin(), blocks_.end(), std::size_t{0},
+                           [](std::size_t acc, const QbfBlock& b) { return acc + b.vars.size(); });
+}
+
+bool QbfPrefix::contains(Var v) const
+{
+    return std::any_of(blocks_.begin(), blocks_.end(), [v](const QbfBlock& b) {
+        return std::find(b.vars.begin(), b.vars.end(), v) != b.vars.end();
+    });
+}
+
+QuantKind QbfPrefix::kindOf(Var v) const
+{
+    for (const QbfBlock& b : blocks_) {
+        if (std::find(b.vars.begin(), b.vars.end(), v) != b.vars.end()) return b.kind;
+    }
+    return QuantKind::Exists; // unreachable under the precondition
+}
+
+void QbfPrefix::removeVar(Var v)
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        auto& vars = blocks_[i].vars;
+        auto it = std::find(vars.begin(), vars.end(), v);
+        if (it == vars.end()) continue;
+        vars.erase(it);
+        if (vars.empty()) {
+            blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+            // Merge now-adjacent blocks of the same kind.
+            if (i > 0 && i < blocks_.size() && blocks_[i - 1].kind == blocks_[i].kind) {
+                auto& dst = blocks_[i - 1].vars;
+                dst.insert(dst.end(), blocks_[i].vars.begin(), blocks_[i].vars.end());
+                blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+        }
+        return;
+    }
+}
+
+QbfProblem qbfFromParsed(const ParsedQdimacs& parsed)
+{
+    if (!parsed.henkin.empty()) {
+        throw ParseError("input contains Henkin dependency lines: it is a DQBF, not a QBF");
+    }
+    QbfProblem out;
+    out.matrix = parsed.matrix;
+
+    std::vector<bool> quantified(parsed.matrix.numVars(), false);
+    for (const PrefixBlockSpec& b : parsed.blocks) {
+        for (Var v : b.vars) {
+            if (v < quantified.size()) quantified[v] = true;
+        }
+    }
+    // Free variables are outermost existentials (QDIMACS convention).
+    std::vector<Var> free;
+    for (Var v = 0; v < parsed.matrix.numVars(); ++v) {
+        if (!quantified[v]) free.push_back(v);
+    }
+    out.prefix.addBlock(QuantKind::Exists, std::move(free));
+    for (const PrefixBlockSpec& b : parsed.blocks) out.prefix.addBlock(b.kind, b.vars);
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const QbfPrefix& p)
+{
+    for (const QbfBlock& b : p.blocks()) {
+        os << (b.kind == QuantKind::Forall ? "forall" : "exists");
+        for (Var v : b.vars) os << " v" << v;
+        os << ". ";
+    }
+    return os;
+}
+
+} // namespace hqs

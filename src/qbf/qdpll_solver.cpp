@@ -1,0 +1,177 @@
+#include "src/qbf/qdpll_solver.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace hqs {
+namespace {
+
+constexpr std::uint32_t kNoDepth = static_cast<std::uint32_t>(-1);
+
+struct VarData {
+    QuantKind kind = QuantKind::Exists;
+    std::uint32_t depth = kNoDepth; ///< position in the flattened prefix
+};
+
+} // namespace
+
+SolveResult QdpllSolver::solve(const Cnf& matrix, const QbfPrefix& prefix)
+{
+    stats_ = QdpllStats{};
+    if (matrix.hasEmptyClause()) return SolveResult::Unsat;
+
+    const Var numVars = matrix.numVars();
+    std::vector<VarData> vars(numVars);
+
+    // Flattened decision order: free variables (outermost existentials)
+    // first, then the prefix blocks.
+    std::vector<Var> order;
+    {
+        std::vector<bool> quantified(numVars, false);
+        for (const QbfBlock& b : prefix.blocks()) {
+            for (Var v : b.vars) {
+                if (v < numVars) quantified[v] = true;
+            }
+        }
+        for (Var v = 0; v < numVars; ++v) {
+            if (!quantified[v]) order.push_back(v);
+        }
+        for (const QbfBlock& b : prefix.blocks()) {
+            for (Var v : b.vars) {
+                if (v >= numVars) continue; // prefix var absent from matrix
+                vars[v].kind = b.kind;
+                order.push_back(v);
+            }
+        }
+        for (std::uint32_t i = 0; i < order.size(); ++i) vars[order[i]].depth = i;
+    }
+
+    std::vector<lbool> value(numVars, lbool::Undef);
+    std::vector<Var> trail;
+
+    struct Decision {
+        Var var;
+        bool currentValue;
+        bool triedBoth;
+        std::size_t trailMark; ///< trail size before this decision
+    };
+    std::vector<Decision> decisions;
+
+    auto assign = [&](Var v, bool b) {
+        value[v] = lbool(b);
+        trail.push_back(v);
+    };
+    auto litValue = [&](Lit l) { return value[l.var()] ^ l.negative(); };
+
+    /// QBF unit propagation + conflict detection by full rescan.
+    /// Returns false on conflict.
+    auto propagate = [&]() {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const Clause& c : matrix) {
+                bool anyTrue = false;
+                Lit unitExist = kUndefLit;
+                int unassignedExist = 0;
+                std::uint32_t minUnassignedUniversalDepth = kNoDepth;
+                for (Lit l : c) {
+                    const lbool lv = litValue(l);
+                    if (lv.isTrue()) {
+                        anyTrue = true;
+                        break;
+                    }
+                    if (lv.isUndef()) {
+                        if (vars[l.var()].kind == QuantKind::Exists) {
+                            ++unassignedExist;
+                            unitExist = l;
+                        } else {
+                            minUnassignedUniversalDepth =
+                                std::min(minUnassignedUniversalDepth, vars[l.var()].depth);
+                        }
+                    }
+                }
+                if (anyTrue) continue;
+                if (unassignedExist == 0) {
+                    // All existentials false; the adversary falsifies the
+                    // remaining universals.
+                    ++stats_.conflicts;
+                    return false;
+                }
+                if (unassignedExist == 1 &&
+                    minUnassignedUniversalDepth > vars[unitExist.var()].depth) {
+                    // Unit: the inner unassigned universals are reducible.
+                    assign(unitExist.var(), unitExist.positive());
+                    ++stats_.propagations;
+                    changed = true;
+                }
+            }
+        }
+        return true;
+    };
+
+    /// Undo the top decision's assignments (including the decision var).
+    auto popDecision = [&]() {
+        const Decision d = decisions.back();
+        decisions.pop_back();
+        while (trail.size() > d.trailMark) {
+            value[trail.back()] = lbool::Undef;
+            trail.pop_back();
+        }
+        return d;
+    };
+
+    // Branch outcome propagation: `result` is the value of the branch just
+    // completed; unwind the decision stack accordingly.
+    // Returns Unknown to continue searching, or the final result.
+    enum class Branch { False, True };
+    auto unwind = [&](Branch outcome) -> SolveResult {
+        for (;;) {
+            if (decisions.empty()) {
+                return outcome == Branch::True ? SolveResult::Sat : SolveResult::Unsat;
+            }
+            Decision d = popDecision();
+            const bool existential = vars[d.var].kind == QuantKind::Exists;
+            const bool shortCircuit =
+                (outcome == Branch::True) ? existential : !existential;
+            if (shortCircuit || d.triedBoth) continue; // branch value decided
+
+            // Re-enter with the flipped value.
+            d.currentValue = !d.currentValue;
+            d.triedBoth = true;
+            d.trailMark = trail.size();
+            decisions.push_back(d);
+            assign(d.var, d.currentValue);
+            ++stats_.decisions;
+            if (propagate()) return SolveResult::Unknown; // resume descent
+            outcome = Branch::False; // flipped branch conflicts immediately
+        }
+    };
+
+    if (!propagate()) return SolveResult::Unsat;
+
+    for (;;) {
+        if ((stats_.decisions & 0xff) == 0 && deadline_.expired()) return SolveResult::Timeout;
+
+        // Next decision: first unassigned variable in prefix order.
+        Var pick = kNoVar;
+        for (Var v : order) {
+            if (value[v].isUndef()) {
+                pick = v;
+                break;
+            }
+        }
+        SolveResult r = SolveResult::Unknown;
+        if (pick == kNoVar) {
+            ++stats_.satLeaves; // every clause satisfied (no conflict seen)
+            r = unwind(Branch::True);
+        } else {
+            decisions.push_back(Decision{pick, false, false, trail.size()});
+            assign(pick, false);
+            ++stats_.decisions;
+            if (!propagate()) r = unwind(Branch::False);
+        }
+        if (r != SolveResult::Unknown) return r;
+    }
+}
+
+} // namespace hqs

@@ -1,0 +1,54 @@
+// Clausal QDPLL: search-based QBF decision procedure on CNF.
+//
+// The paper's Section III-A names search-based solvers (DepQBF [25]) as the
+// alternative family to elimination-based ones; this is our clausal
+// representative.  Classic QDPLL (Cadoli, Giunchiglia et al.):
+//
+//  * decisions strictly in prefix order (outermost block first);
+//  * QBF unit propagation — a clause with no true literal implies its last
+//    unassigned existential literal when every other unassigned literal is
+//    a universal quantified INNER to it (those are reducible: the adversary
+//    may falsify them afterwards);
+//  * QBF conflicts — a clause with no true literal whose unassigned
+//    literals are all universal is falsified (the adversary finishes it);
+//  * the game tree is evaluated by backtracking: a conflict fails the
+//    current branch (unwind to the last existential decision with an
+//    untried value), a fully satisfying assignment succeeds it (unwind to
+//    the last universal decision with an untried value).
+//
+// No clause learning — this solver exists as an independently-implemented
+// cross-check for the elimination solvers and as a bench comparator, where
+// simplicity and obvious correctness beat speed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+#include "src/qbf/qbf_prefix.hpp"
+
+namespace hqs {
+
+struct QdpllStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t satLeaves = 0;
+};
+
+class QdpllSolver {
+public:
+    explicit QdpllSolver(Deadline deadline = Deadline::unlimited()) : deadline_(deadline) {}
+
+    /// Decide the closed QBF `prefix : matrix`.  Free matrix variables are
+    /// treated as outermost existentials.
+    SolveResult solve(const Cnf& matrix, const QbfPrefix& prefix);
+
+    const QdpllStats& stats() const { return stats_; }
+
+private:
+    Deadline deadline_;
+    QdpllStats stats_;
+};
+
+} // namespace hqs

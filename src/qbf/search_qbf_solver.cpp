@@ -1,0 +1,68 @@
+#include "src/qbf/search_qbf_solver.hpp"
+
+#include <unordered_map>
+
+namespace hqs {
+namespace {
+
+class Searcher {
+public:
+    Searcher(Aig& aig, const std::vector<std::pair<QuantKind, Var>>& order, Deadline deadline)
+        : aig_(aig), order_(order), deadline_(deadline)
+    {
+    }
+
+    SolveResult run(AigEdge matrix) { return decide(0, matrix); }
+
+private:
+    SolveResult decide(std::size_t depth, AigEdge matrix)
+    {
+        if (aig_.isConstant(matrix)) {
+            return aig_.constantValue(matrix) ? SolveResult::Sat : SolveResult::Unsat;
+        }
+        if (depth == order_.size()) {
+            // Non-constant matrix over free (existential) variables.
+            return SolveResult::Sat;
+        }
+        if (deadline_.expired()) return SolveResult::Timeout;
+
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(depth) << 32) | matrix.code();
+        auto hit = cache_.find(key);
+        if (hit != cache_.end()) return hit->second;
+
+        const auto [kind, v] = order_[depth];
+        const SolveResult r0 = decide(depth + 1, aig_.cofactor(matrix, v, false));
+        SolveResult result;
+        if (r0 == SolveResult::Timeout) {
+            result = r0;
+        } else if (kind == QuantKind::Exists && r0 == SolveResult::Sat) {
+            result = SolveResult::Sat;
+        } else if (kind == QuantKind::Forall && r0 == SolveResult::Unsat) {
+            result = SolveResult::Unsat;
+        } else {
+            result = decide(depth + 1, aig_.cofactor(matrix, v, true));
+        }
+        if (result != SolveResult::Timeout) cache_.emplace(key, result);
+        return result;
+    }
+
+    Aig& aig_;
+    const std::vector<std::pair<QuantKind, Var>>& order_;
+    Deadline deadline_;
+    std::unordered_map<std::uint64_t, SolveResult> cache_;
+};
+
+} // namespace
+
+SolveResult searchQbfSolve(Aig& aig, AigEdge matrix, const QbfPrefix& prefix, Deadline deadline)
+{
+    std::vector<std::pair<QuantKind, Var>> order;
+    for (const QbfBlock& b : prefix.blocks()) {
+        for (Var v : b.vars) order.emplace_back(b.kind, v);
+    }
+    Searcher searcher(aig, order, deadline);
+    return searcher.run(matrix);
+}
+
+} // namespace hqs

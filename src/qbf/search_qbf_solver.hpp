@@ -1,0 +1,20 @@
+// Search-based QBF decision procedure on AIGs (simple QDPLL-style branching
+// in prefix order with memoization).  Used as an independent cross-check for
+// the elimination-based solver in tests and as a secondary backend; no
+// learning, so intended for small/medium instances.
+#pragma once
+
+#include "src/aig/aig.hpp"
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+#include "src/qbf/qbf_prefix.hpp"
+
+namespace hqs {
+
+/// Decide the closed QBF `prefix : matrix` by branching on variables in
+/// prefix order.  Free matrix variables are treated as outermost
+/// existentials.  Returns Sat/Unsat, or Timeout when @p deadline expires.
+SolveResult searchQbfSolve(Aig& aig, AigEdge matrix, const QbfPrefix& prefix,
+                           Deadline deadline = Deadline::unlimited());
+
+} // namespace hqs

@@ -1,0 +1,184 @@
+// Unit tests for src/base: literals, three-valued logic, RNG, deadlines.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/base/literal.hpp"
+#include "src/base/result.hpp"
+#include "src/base/rng.hpp"
+#include "src/base/timer.hpp"
+
+namespace hqs {
+namespace {
+
+TEST(Lit, EncodesVarAndSign)
+{
+    const Lit p = Lit::pos(7);
+    EXPECT_EQ(p.var(), 7u);
+    EXPECT_TRUE(p.positive());
+    EXPECT_FALSE(p.negative());
+
+    const Lit n = Lit::neg(7);
+    EXPECT_EQ(n.var(), 7u);
+    EXPECT_TRUE(n.negative());
+    EXPECT_NE(p, n);
+}
+
+TEST(Lit, NegationIsInvolution)
+{
+    for (Var v : {0u, 1u, 5u, 1000u}) {
+        const Lit p = Lit::pos(v);
+        EXPECT_EQ(~p, Lit::neg(v));
+        EXPECT_EQ(~~p, p);
+    }
+}
+
+TEST(Lit, XorWithBoolFlipsSign)
+{
+    const Lit p = Lit::pos(3);
+    EXPECT_EQ(p ^ true, Lit::neg(3));
+    EXPECT_EQ(p ^ false, p);
+    EXPECT_EQ((p ^ true) ^ true, p);
+}
+
+TEST(Lit, CodeIsDenseAndInvertible)
+{
+    EXPECT_EQ(Lit::pos(0).code(), 0u);
+    EXPECT_EQ(Lit::neg(0).code(), 1u);
+    EXPECT_EQ(Lit::pos(1).code(), 2u);
+    EXPECT_EQ(Lit::fromCode(Lit::neg(42).code()), Lit::neg(42));
+}
+
+TEST(Lit, DimacsRoundTrip)
+{
+    EXPECT_EQ(Lit::pos(0).toDimacs(), 1);
+    EXPECT_EQ(Lit::neg(0).toDimacs(), -1);
+    EXPECT_EQ(Lit::fromDimacs(5), Lit::pos(4));
+    EXPECT_EQ(Lit::fromDimacs(-5), Lit::neg(4));
+    for (int d : {1, -1, 17, -23}) EXPECT_EQ(Lit::fromDimacs(d).toDimacs(), d);
+}
+
+TEST(Lit, UndefIsDistinct)
+{
+    EXPECT_TRUE(kUndefLit.isUndef());
+    EXPECT_FALSE(Lit::pos(0).isUndef());
+}
+
+TEST(Lit, Ordering)
+{
+    EXPECT_LT(Lit::pos(0), Lit::neg(0));
+    EXPECT_LT(Lit::neg(0), Lit::pos(1));
+}
+
+TEST(Lit, StreamOutput)
+{
+    std::ostringstream os;
+    os << Lit::pos(2) << ' ' << Lit::neg(3);
+    EXPECT_EQ(os.str(), "v2 ~v3");
+}
+
+TEST(Lbool, ThreeValues)
+{
+    EXPECT_TRUE(lbool::True.isTrue());
+    EXPECT_TRUE(lbool::False.isFalse());
+    EXPECT_TRUE(lbool::Undef.isUndef());
+    EXPECT_NE(lbool::True, lbool::False);
+    EXPECT_NE(lbool::True, lbool::Undef);
+}
+
+TEST(Lbool, NegationAndXor)
+{
+    EXPECT_EQ(~lbool::True, lbool::False);
+    EXPECT_EQ(~lbool::False, lbool::True);
+    EXPECT_EQ(~lbool::Undef, lbool::Undef);
+    EXPECT_EQ(lbool::True ^ true, lbool::False);
+    EXPECT_EQ(lbool::False ^ true, lbool::True);
+    EXPECT_EQ(lbool::Undef ^ true, lbool::Undef);
+    EXPECT_EQ(lbool::True ^ false, lbool::True);
+}
+
+TEST(Result, ToString)
+{
+    EXPECT_EQ(toString(SolveResult::Sat), "SAT");
+    EXPECT_EQ(toString(SolveResult::Unsat), "UNSAT");
+    EXPECT_EQ(toString(SolveResult::Timeout), "TIMEOUT");
+    EXPECT_EQ(toString(SolveResult::Memout), "MEMOUT");
+    EXPECT_TRUE(isConclusive(SolveResult::Sat));
+    EXPECT_TRUE(isConclusive(SolveResult::Unsat));
+    EXPECT_FALSE(isConclusive(SolveResult::Timeout));
+    EXPECT_FALSE(isConclusive(SolveResult::Memout));
+    EXPECT_FALSE(isConclusive(SolveResult::Unknown));
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 16; ++i)
+        if (a.next() != b.next()) ++differing;
+    EXPECT_GT(differing, 8);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Rng, FlipIsRoughlyBalanced)
+{
+    Rng r(3);
+    int heads = 0;
+    for (int i = 0; i < 1000; ++i) heads += r.flip() ? 1 : 0;
+    EXPECT_GT(heads, 400);
+    EXPECT_LT(heads, 600);
+}
+
+TEST(Deadline, UnlimitedNeverExpires)
+{
+    EXPECT_FALSE(Deadline::unlimited().expired());
+    EXPECT_TRUE(Deadline::unlimited().isUnlimited());
+}
+
+TEST(Deadline, PastDeadlineExpires)
+{
+    // "in 0 or negative seconds" means unlimited per the API contract.
+    EXPECT_TRUE(Deadline::in(-1).isUnlimited());
+    const Deadline d = Deadline::in(1e-9);
+    // A nanosecond deadline must expire essentially immediately.
+    Timer t;
+    while (!d.expired() && t.elapsedSeconds() < 1.0) {
+    }
+    EXPECT_TRUE(d.expired());
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    EXPECT_GE(t.elapsedSeconds(), 0.0);
+    t.reset();
+    EXPECT_LT(t.elapsedSeconds(), 1.0);
+}
+
+} // namespace
+} // namespace hqs

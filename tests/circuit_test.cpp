@@ -1,0 +1,394 @@
+// Tests for the circuit netlist, Tseitin encoding, and the seven benchmark
+// family generators.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.hpp"
+#include "src/circuit/families.hpp"
+#include "src/circuit/tseitin.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+namespace {
+
+TEST(Circuit, GateEvaluation)
+{
+    EXPECT_TRUE(evalGateOp(GateOp::And, {true, true, true}));
+    EXPECT_FALSE(evalGateOp(GateOp::And, {true, false}));
+    EXPECT_TRUE(evalGateOp(GateOp::Nand, {true, false}));
+    EXPECT_TRUE(evalGateOp(GateOp::Or, {false, true}));
+    EXPECT_TRUE(evalGateOp(GateOp::Nor, {false, false}));
+    EXPECT_TRUE(evalGateOp(GateOp::Xor, {true, true, true}));
+    EXPECT_FALSE(evalGateOp(GateOp::Xor, {true, true}));
+    EXPECT_TRUE(evalGateOp(GateOp::Xnor, {true, true}));
+    EXPECT_FALSE(evalGateOp(GateOp::Not, {true}));
+    EXPECT_TRUE(evalGateOp(GateOp::Buf, {true}));
+    EXPECT_FALSE(evalGateOp(GateOp::Const0, {}));
+    EXPECT_TRUE(evalGateOp(GateOp::Const1, {}));
+}
+
+TEST(Circuit, SimulateHalfAdder)
+{
+    Circuit c;
+    const auto a = c.addInput("a");
+    const auto b = c.addInput("b");
+    c.addOutput(c.gate2(GateOp::Xor, a, b), "sum");
+    c.addOutput(c.gate2(GateOp::And, a, b), "carry");
+    EXPECT_EQ(c.evaluateOutputs({false, false}), (std::vector<bool>{false, false}));
+    EXPECT_EQ(c.evaluateOutputs({true, false}), (std::vector<bool>{true, false}));
+    EXPECT_EQ(c.evaluateOutputs({true, true}), (std::vector<bool>{false, true}));
+}
+
+TEST(Circuit, BlackBoxSimulationUsesCallback)
+{
+    Circuit c;
+    const auto a = c.addInput();
+    const auto b = c.addInput();
+    const auto box = c.addBlackBox({a, b}, "bb");
+    const auto y = c.blackBoxOutput(box);
+    c.addOutput(c.gate2(GateOp::Or, y, a));
+    EXPECT_FALSE(c.isComplete());
+    EXPECT_EQ(c.numBoxes(), 1u);
+
+    auto nandBox = [](Circuit::BoxId, std::size_t, const std::vector<bool>& ins) {
+        return !(ins[0] && ins[1]);
+    };
+    EXPECT_EQ(c.evaluateOutputs({false, false}, nandBox), (std::vector<bool>{true}));
+    EXPECT_EQ(c.evaluateOutputs({true, true}, nandBox), (std::vector<bool>{true}));
+}
+
+TEST(Circuit, CountsAndStructure)
+{
+    Circuit c;
+    const auto a = c.addInput();
+    const auto b = c.addInput();
+    const auto g = c.gate2(GateOp::And, a, b);
+    EXPECT_EQ(c.numGates(), 1u);
+    EXPECT_EQ(c.op(g), GateOp::And);
+    EXPECT_EQ(c.fanins(g), (std::vector<Circuit::NodeId>{a, b}));
+}
+
+// ----- Tseitin encoding ------------------------------------------------------
+
+/// Exhaustively check that the Tseitin encoding of a complete circuit is
+/// functionally faithful: for every input assignment, the CNF restricted to
+/// those inputs is satisfiable and forces the encoded output variables to
+/// the simulated values.
+void checkTseitinFaithful(const Circuit& c)
+{
+    ASSERT_TRUE(c.isComplete());
+    Cnf cnf;
+    std::unordered_map<Circuit::NodeId, Var> fixed;
+    std::vector<Var> inputVars;
+    for (Circuit::NodeId in : c.inputs()) {
+        const Var v = cnf.newVar();
+        fixed.emplace(in, v);
+        inputVars.push_back(v);
+    }
+    const std::vector<Var> nodeVar =
+        tseitinEncode(c, cnf, fixed, [&]() { return cnf.newVar(); });
+
+    const std::size_t n = c.inputs().size();
+    ASSERT_LE(n, 12u);
+    for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+        std::vector<bool> ins(n);
+        for (std::size_t i = 0; i < n; ++i) ins[i] = (bits >> i) & 1u;
+        const std::vector<bool> expect = c.evaluateOutputs(ins);
+
+        SatSolver sat;
+        sat.addCnf(cnf);
+        std::vector<Lit> assumptions;
+        for (std::size_t i = 0; i < n; ++i) assumptions.push_back(Lit(inputVars[i], !ins[i]));
+        ASSERT_EQ(sat.solve(assumptions), SolveResult::Sat) << "inputs " << bits;
+        for (std::size_t j = 0; j < c.outputs().size(); ++j) {
+            EXPECT_EQ(sat.modelValue(nodeVar[c.outputs()[j]]).isTrue(), expect[j])
+                << "inputs " << bits << " output " << j;
+        }
+    }
+}
+
+TEST(Tseitin, FaithfulOnMixedGates)
+{
+    Circuit c;
+    const auto a = c.addInput();
+    const auto b = c.addInput();
+    const auto d = c.addInput();
+    const auto n1 = c.gate(GateOp::Nand, {a, b, d});
+    const auto n2 = c.gate(GateOp::Xor, {a, b, d});
+    const auto n3 = c.gate(GateOp::Nor, {n1, n2});
+    const auto n4 = c.gate2(GateOp::Xnor, n1, d);
+    c.addOutput(c.gate2(GateOp::Or, n3, n4));
+    c.addOutput(c.notGate(n2));
+    checkTseitinFaithful(c);
+}
+
+TEST(Tseitin, FaithfulOnConstantsAndBuffers)
+{
+    Circuit c;
+    const auto a = c.addInput();
+    const auto k1 = c.constant(true);
+    const auto k0 = c.constant(false);
+    c.addOutput(c.gate2(GateOp::And, a, k1));
+    c.addOutput(c.gate2(GateOp::Or, a, k0));
+    c.addOutput(c.gate(GateOp::Buf, {a}));
+    checkTseitinFaithful(c);
+}
+
+TEST(Tseitin, FaithfulOnFamilySpecs)
+{
+    for (Family fam : allFamilies()) {
+        const PecInstance inst = makeInstance(fam, 3, true);
+        if (inst.spec.inputs().size() <= 12) {
+            checkTseitinFaithful(inst.spec);
+        }
+    }
+}
+
+// ----- family generators -----------------------------------------------------
+
+TEST(Families, NamesAndEnumeration)
+{
+    EXPECT_EQ(allFamilies().size(), 7u);
+    EXPECT_EQ(toString(Family::Adder), "adder");
+    EXPECT_EQ(toString(Family::PecXor), "pec_xor");
+    EXPECT_EQ(toString(Family::C432), "c432");
+}
+
+TEST(Families, SpecsAreCompleteImplsHaveBoxes)
+{
+    for (Family fam : allFamilies()) {
+        for (unsigned width : {3u, 4u, 6u}) {
+            for (bool realizable : {true, false}) {
+                const PecInstance inst = makeInstance(fam, width, realizable);
+                EXPECT_TRUE(inst.spec.isComplete()) << inst.name;
+                EXPECT_GE(inst.impl.numBoxes(), 2u) << inst.name;
+                EXPECT_EQ(inst.spec.inputs().size(), inst.impl.inputs().size()) << inst.name;
+                EXPECT_EQ(inst.spec.outputs().size(), inst.impl.outputs().size()) << inst.name;
+                EXPECT_EQ(inst.expectedRealizable, realizable);
+            }
+        }
+    }
+}
+
+TEST(Families, AdderSpecAdds)
+{
+    const PecInstance inst = makeInstance(Family::Adder, 4, true);
+    // inputs: a0..a3, b0..b3, cin ; outputs s0..s3, cout.
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b : {0u, 3u, 9u, 15u}) {
+            for (unsigned cin : {0u, 1u}) {
+                std::vector<bool> ins;
+                for (unsigned i = 0; i < 4; ++i) ins.push_back((a >> i) & 1u);
+                for (unsigned i = 0; i < 4; ++i) ins.push_back((b >> i) & 1u);
+                ins.push_back(cin != 0);
+                const auto outs = inst.spec.evaluateOutputs(ins);
+                unsigned result = 0;
+                for (unsigned i = 0; i < 4; ++i) result |= static_cast<unsigned>(outs[i]) << i;
+                result |= static_cast<unsigned>(outs[4]) << 4;
+                EXPECT_EQ(result, a + b + cin);
+            }
+        }
+    }
+}
+
+TEST(Families, BitcellSpecGrantsHighestPriority)
+{
+    const PecInstance inst = makeInstance(Family::Bitcell, 5, true);
+    // Exactly the lowest-index active request is granted.
+    for (unsigned req = 0; req < 32; ++req) {
+        std::vector<bool> ins;
+        for (unsigned i = 0; i < 5; ++i) ins.push_back((req >> i) & 1u);
+        const auto outs = inst.spec.evaluateOutputs(ins);
+        int expectedWinner = -1;
+        for (unsigned i = 0; i < 5; ++i) {
+            if ((req >> i) & 1u) {
+                expectedWinner = static_cast<int>(i);
+                break;
+            }
+        }
+        for (unsigned i = 0; i < 5; ++i) {
+            EXPECT_EQ(outs[i], static_cast<int>(i) == expectedWinner) << "req=" << req;
+        }
+        EXPECT_EQ(outs[5], req != 0); // busy
+    }
+}
+
+TEST(Families, LookaheadSpecMatchesBitcellSpec)
+{
+    const PecInstance look = makeInstance(Family::Lookahead, 6, true);
+    const PecInstance cell = makeInstance(Family::Bitcell, 6, true);
+    for (unsigned req = 0; req < 64; ++req) {
+        std::vector<bool> ins;
+        for (unsigned i = 0; i < 6; ++i) ins.push_back((req >> i) & 1u);
+        const auto a = look.spec.evaluateOutputs(ins);
+        const auto b = cell.spec.evaluateOutputs(ins);
+        // grants coincide (the extra outputs differ in meaning).
+        for (unsigned i = 0; i < 6; ++i) EXPECT_EQ(a[i], b[i]) << "req=" << req;
+    }
+}
+
+TEST(Families, PecXorSpecIsParity)
+{
+    const PecInstance inst = makeInstance(Family::PecXor, 5, true);
+    for (unsigned x = 0; x < 32; ++x) {
+        std::vector<bool> ins;
+        bool parity = false;
+        for (unsigned i = 0; i < 5; ++i) {
+            const bool bit = (x >> i) & 1u;
+            ins.push_back(bit);
+            parity = parity != bit;
+        }
+        EXPECT_EQ(inst.spec.evaluateOutputs(ins)[0], parity);
+    }
+}
+
+TEST(Families, Z4SpecEqualsAdderSpec)
+{
+    const PecInstance z4 = makeInstance(Family::Z4, 4, true);
+    const PecInstance add = makeInstance(Family::Adder, 4, true);
+    for (unsigned bits = 0; bits < (1u << 9); ++bits) {
+        std::vector<bool> ins;
+        for (unsigned i = 0; i < 9; ++i) ins.push_back((bits >> i) & 1u);
+        EXPECT_EQ(z4.spec.evaluateOutputs(ins), add.spec.evaluateOutputs(ins));
+    }
+}
+
+TEST(Families, CompSpecCompares)
+{
+    const PecInstance inst = makeInstance(Family::Comp, 3, true);
+    for (unsigned a = 0; a < 8; ++a) {
+        for (unsigned b = 0; b < 8; ++b) {
+            std::vector<bool> ins;
+            for (unsigned i = 0; i < 3; ++i) ins.push_back((a >> i) & 1u);
+            for (unsigned i = 0; i < 3; ++i) ins.push_back((b >> i) & 1u);
+            const auto outs = inst.spec.evaluateOutputs(ins);
+            EXPECT_EQ(outs[0], a > b) << a << " vs " << b;
+            EXPECT_EQ(outs[1], a == b) << a << " vs " << b;
+        }
+    }
+}
+
+TEST(Families, C432SpecPrioritizesGroupsAndLines)
+{
+    const PecInstance inst = makeInstance(Family::C432, 3, true);
+    // Inputs: r0_0..r0_2, en0, r1_0..r1_2, en1, r2_0..r2_2, en2.
+    // All groups requesting line 1, all enabled: group 0 line 1 wins.
+    std::vector<bool> ins(12, false);
+    ins[1] = true;  // r0_1
+    ins[3] = true;  // en0
+    ins[5] = true;  // r1_1
+    ins[7] = true;  // en1
+    ins[9] = true;  // r2_1
+    ins[11] = true; // en2
+    const auto outs = inst.spec.evaluateOutputs(ins);
+    // Outputs: ack0_0..ack0_2, ack1_0..2, ack2_0..2.
+    EXPECT_TRUE(outs[1]);
+    for (unsigned j = 0; j < 9; ++j) {
+        if (j != 1) {
+            EXPECT_FALSE(outs[j]) << "ack index " << j;
+        }
+    }
+
+    // Group 0 disabled: group 1 wins.
+    ins[3] = false;
+    const auto outs2 = inst.spec.evaluateOutputs(ins);
+    EXPECT_TRUE(outs2[4]); // ack1_1
+    EXPECT_FALSE(outs2[1]);
+}
+
+/// Ground truth by simulation: realizable instances really are realizable —
+/// plugging the reference implementation into the boxes reproduces the spec.
+class FamilyRealizabilityWitness
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(FamilyRealizabilityWitness, SpecCellsImplementTheBoxes)
+{
+    const Family fam = allFamilies()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+    const unsigned width = std::get<1>(GetParam());
+    const PecInstance inst = makeInstance(fam, width, true);
+    const std::size_t n = inst.spec.inputs().size();
+    if (n > 14) GTEST_SKIP() << "too many inputs for exhaustive check";
+
+    // The reference box implementations, family by family.  Each box output
+    // is a function of the box's declared inputs only.
+    auto boxFn = [&](Circuit::BoxId b, std::size_t outIdx,
+                     const std::vector<bool>& ins) -> bool {
+        switch (fam) {
+            case Family::Adder: {
+                const bool a = ins[0], bb = ins[1], cin = ins[2];
+                return outIdx == 0 ? (a != bb) != cin : ((a && bb) || ((a != bb) && cin));
+            }
+            case Family::Bitcell: {
+                const bool req = ins[0], carry = ins[1];
+                return outIdx == 0 ? (req && !carry) : (carry || req);
+            }
+            case Family::Lookahead: {
+                // Low box (b==0): ins are the low requests; outputs are the
+                // grants then the group-or.  High box (b==1): ins are the
+                // high requests plus the group carry (last element).
+                const bool isLow = (b == 0);
+                const std::size_t numReq = isLow ? ins.size() : ins.size() - 1;
+                if (isLow && outIdx == numReq) {
+                    bool any = false;
+                    for (std::size_t i = 0; i < numReq; ++i) any = any || ins[i];
+                    return any;
+                }
+                bool carry = isLow ? false : ins.back();
+                for (std::size_t i = 0; i < numReq; ++i) {
+                    const bool grant = ins[i] && !carry;
+                    if (outIdx == i) return grant;
+                    carry = carry || ins[i];
+                }
+                return false;
+            }
+            case Family::PecXor: {
+                bool parity = false;
+                for (bool v : ins) parity = parity != v;
+                return parity;
+            }
+            case Family::Z4: {
+                // Low box: pairs (a_i, b_i) then cin -> carry out of block.
+                // High box: pairs then carry-in -> sums then cout.
+                const std::size_t pairs = (ins.size() - 1) / 2;
+                bool carry = ins.back();
+                std::vector<bool> sums;
+                for (std::size_t i = 0; i < pairs; ++i) {
+                    const bool a = ins[2 * i], bb = ins[2 * i + 1];
+                    sums.push_back((a != bb) != carry);
+                    carry = (a && bb) || ((a != bb) && carry);
+                }
+                if (b == 0) return carry; // low box: single carry output
+                return outIdx < pairs ? sums[outIdx] : carry;
+            }
+            case Family::Comp: {
+                const bool a = ins[0], bb = ins[1], gt = ins[2], eq = ins[3];
+                return outIdx == 0 ? (gt || (eq && a && !bb)) : (eq && (a == bb));
+            }
+            case Family::C432: {
+                const std::size_t numReq = ins.size() - 1;
+                const bool sel = ins.back();
+                bool blocked = false;
+                for (std::size_t i = 0; i < numReq; ++i) {
+                    const bool win = ins[i] && !blocked;
+                    if (outIdx == i) return win && sel;
+                    blocked = blocked || ins[i];
+                }
+                return false;
+            }
+        }
+        return false;
+    };
+
+    for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+        std::vector<bool> ins(n);
+        for (std::size_t i = 0; i < n; ++i) ins[i] = (bits >> i) & 1u;
+        ASSERT_EQ(inst.impl.evaluateOutputs(ins, boxFn), inst.spec.evaluateOutputs(ins))
+            << inst.name << " inputs " << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyRealizabilityWitness,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(3u, 4u)));
+
+} // namespace
+} // namespace hqs

@@ -1,0 +1,163 @@
+// Unit tests for src/cnf: clause normalization, CNF evaluation, and the
+// DIMACS/QDIMACS/DQDIMACS reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cnf/clause.hpp"
+#include "src/cnf/cnf.hpp"
+#include "src/cnf/dimacs.hpp"
+
+namespace hqs {
+namespace {
+
+TEST(Clause, NormalizeSortsAndDeduplicates)
+{
+    Clause c{Lit::pos(3), Lit::neg(1), Lit::pos(3), Lit::pos(0)};
+    EXPECT_FALSE(c.normalize());
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0], Lit::pos(0));
+    EXPECT_EQ(c[1], Lit::neg(1));
+    EXPECT_EQ(c[2], Lit::pos(3));
+}
+
+TEST(Clause, NormalizeDetectsTautology)
+{
+    Clause c{Lit::pos(2), Lit::neg(2)};
+    EXPECT_TRUE(c.normalize());
+}
+
+TEST(Clause, EmptyClause)
+{
+    Clause c;
+    EXPECT_FALSE(c.normalize());
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Clause, Contains)
+{
+    Clause c{Lit::pos(1), Lit::neg(2)};
+    EXPECT_TRUE(c.contains(Lit::pos(1)));
+    EXPECT_TRUE(c.contains(Lit::neg(2)));
+    EXPECT_FALSE(c.contains(Lit::neg(1)));
+}
+
+TEST(Cnf, AddClauseGrowsVars)
+{
+    Cnf f;
+    f.addClause({Lit::pos(4)});
+    EXPECT_EQ(f.numVars(), 5u);
+    EXPECT_EQ(f.numClauses(), 1u);
+}
+
+TEST(Cnf, TautologiesAreDropped)
+{
+    Cnf f;
+    EXPECT_FALSE(f.addClause({Lit::pos(0), Lit::neg(0)}));
+    EXPECT_EQ(f.numClauses(), 0u);
+}
+
+TEST(Cnf, EvaluateRespectsSemantics)
+{
+    // (x0 | ~x1) & (x1 | x2)
+    Cnf f;
+    f.addClause({Lit::pos(0), Lit::neg(1)});
+    f.addClause({Lit::pos(1), Lit::pos(2)});
+    EXPECT_TRUE(f.evaluate({true, true, false}));
+    EXPECT_TRUE(f.evaluate({false, false, true}));
+    EXPECT_FALSE(f.evaluate({false, true, false}));
+    EXPECT_FALSE(f.evaluate({false, false, false}));
+}
+
+TEST(Cnf, EmptyClauseDetected)
+{
+    Cnf f;
+    f.addClause(Clause{});
+    EXPECT_TRUE(f.hasEmptyClause());
+    EXPECT_FALSE(f.evaluate({}));
+}
+
+TEST(Dimacs, ParsePlainCnf)
+{
+    const auto p = parseDqdimacsString("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(p.matrix.numVars(), 3u);
+    ASSERT_EQ(p.matrix.numClauses(), 2u);
+    EXPECT_TRUE(p.blocks.empty());
+    EXPECT_TRUE(p.henkin.empty());
+    EXPECT_TRUE(p.matrix.clause(0).contains(Lit::pos(0)));
+    EXPECT_TRUE(p.matrix.clause(0).contains(Lit::neg(1)));
+}
+
+TEST(Dimacs, ParseQdimacsPrefix)
+{
+    const auto p = parseDqdimacsString("p cnf 4 1\na 1 2 0\ne 3 4 0\n1 3 0\n");
+    ASSERT_EQ(p.blocks.size(), 2u);
+    EXPECT_EQ(p.blocks[0].kind, QuantKind::Forall);
+    EXPECT_EQ(p.blocks[0].vars, (std::vector<Var>{0, 1}));
+    EXPECT_EQ(p.blocks[1].kind, QuantKind::Exists);
+    EXPECT_EQ(p.blocks[1].vars, (std::vector<Var>{2, 3}));
+}
+
+TEST(Dimacs, ParseDqdimacsHenkinLines)
+{
+    // Example 1 from the paper: forall x1 x2 exists y1(x1) y2(x2).
+    const auto p = parseDqdimacsString(
+        "p cnf 4 2\na 1 2 0\nd 3 1 0\nd 4 2 0\n1 3 0\n-2 4 0\n");
+    ASSERT_EQ(p.henkin.size(), 2u);
+    EXPECT_EQ(p.henkin[0].var, 2u);
+    EXPECT_EQ(p.henkin[0].deps, (std::vector<Var>{0}));
+    EXPECT_EQ(p.henkin[1].var, 3u);
+    EXPECT_EQ(p.henkin[1].deps, (std::vector<Var>{1}));
+}
+
+TEST(Dimacs, RoundTripPreservesStructure)
+{
+    const std::string text =
+        "p cnf 5 3\na 1 2 0\ne 5 0\nd 3 1 0\nd 4 2 0\n1 3 5 0\n-2 4 0\n-3 -4 0\n";
+    const auto p1 = parseDqdimacsString(text);
+    const auto p2 = parseDqdimacsString(toDqdimacsString(p1));
+    EXPECT_EQ(p1.blocks, p2.blocks);
+    EXPECT_EQ(p1.henkin, p2.henkin);
+    ASSERT_EQ(p1.matrix.numClauses(), p2.matrix.numClauses());
+    for (std::size_t i = 0; i < p1.matrix.numClauses(); ++i)
+        EXPECT_EQ(p1.matrix.clause(i), p2.matrix.clause(i));
+}
+
+TEST(Dimacs, MissingHeaderThrows)
+{
+    EXPECT_THROW(parseDqdimacsString("1 2 0\n"), ParseError);
+    EXPECT_THROW(parseDqdimacsString("p dnf 1 1\n1 0\n"), ParseError);
+}
+
+TEST(Dimacs, OutOfRangeLiteralThrows)
+{
+    EXPECT_THROW(parseDqdimacsString("p cnf 2 1\n3 0\n"), ParseError);
+    EXPECT_THROW(parseDqdimacsString("p cnf 2 1\na 5 0\n1 0\n"), ParseError);
+    EXPECT_THROW(parseDqdimacsString("p cnf 2 1\nd 1 5 0\n1 0\n"), ParseError);
+}
+
+TEST(Dimacs, UnterminatedClauseThrows)
+{
+    EXPECT_THROW(parseDqdimacsString("p cnf 2 1\n1 2\n"), ParseError);
+}
+
+TEST(Dimacs, BadTokenThrows)
+{
+    EXPECT_THROW(parseDqdimacsString("p cnf 2 1\n1 x 0\n"), ParseError);
+}
+
+TEST(Dimacs, CommentsIgnoredEverywhere)
+{
+    const auto p = parseDqdimacsString(
+        "c head\np cnf 2 1\nc mid\na 1 0\nc before clause\n1 -2 0\n");
+    EXPECT_EQ(p.blocks.size(), 1u);
+    EXPECT_EQ(p.matrix.numClauses(), 1u);
+}
+
+TEST(Dimacs, FileNotFoundThrows)
+{
+    EXPECT_THROW(parseDqdimacsFile("/nonexistent/file.dqdimacs"), ParseError);
+}
+
+} // namespace
+} // namespace hqs

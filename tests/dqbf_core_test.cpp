@@ -1,0 +1,658 @@
+// Tests for the DQBF core: formula representation, dependency graphs and
+// elimination-set selection, CNF preprocessing, and the reference oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/base/rng.hpp"
+#include "src/dqbf/dependency_graph.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+#include "src/dqbf/dqbf_oracle.hpp"
+#include "src/dqbf/preprocess.hpp"
+
+namespace hqs {
+namespace {
+
+/// The paper's Example 1: forall x1 x2 exists y1(x1) y2(x2).
+DqbfFormula example1Prefix()
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    f.addExistential({x1});
+    f.addExistential({x2});
+    return f;
+}
+
+/// Random DQBF generator used across the property sweeps.
+DqbfFormula randomDqbf(Rng& rng, unsigned numUniv, unsigned numExist, unsigned numClauses)
+{
+    DqbfFormula f;
+    std::vector<Var> xs, ys;
+    for (unsigned i = 0; i < numUniv; ++i) xs.push_back(f.addUniversal());
+    for (unsigned i = 0; i < numExist; ++i) {
+        std::vector<Var> deps;
+        for (Var x : xs) {
+            if (rng.flip()) deps.push_back(x);
+        }
+        ys.push_back(f.addExistential(std::move(deps)));
+    }
+    std::vector<Var> all = xs;
+    all.insert(all.end(), ys.begin(), ys.end());
+    for (unsigned c = 0; c < numClauses; ++c) {
+        Clause cl;
+        const unsigned k = 2 + static_cast<unsigned>(rng.below(2));
+        for (unsigned j = 0; j < k; ++j) {
+            cl.push(Lit(all[rng.below(all.size())], rng.flip()));
+        }
+        f.matrix().addClause(std::move(cl));
+    }
+    return f;
+}
+
+// ----- DqbfFormula -----------------------------------------------------------
+
+TEST(DqbfFormula, PrefixConstruction)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({x});
+    EXPECT_TRUE(f.isUniversal(x));
+    EXPECT_TRUE(f.isExistential(y));
+    EXPECT_EQ(f.dependencies(y), (std::vector<Var>{x}));
+    EXPECT_TRUE(f.dependsOn(y, x));
+    EXPECT_EQ(f.dependersOf(x), (std::vector<Var>{y}));
+    EXPECT_TRUE(f.dependsOnAllUniversals(y));
+}
+
+TEST(DqbfFormula, RemoveUniversalUpdatesDependencySets)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    const Var y = f.addExistential({x1, x2});
+    f.removeUniversal(x1);
+    EXPECT_FALSE(f.isUniversal(x1));
+    EXPECT_EQ(f.dependencies(y), (std::vector<Var>{x2}));
+    EXPECT_TRUE(f.dependsOnAllUniversals(y));
+}
+
+TEST(DqbfFormula, FromParsedQdimacsBlocksGiveLinearDeps)
+{
+    // forall x1. exists y1. forall x2. exists y2 — y1 sees {x1}, y2 sees both.
+    const auto parsed =
+        parseDqdimacsString("p cnf 4 1\na 1 0\ne 2 0\na 3 0\ne 4 0\n1 2 3 4 0\n");
+    const DqbfFormula f = DqbfFormula::fromParsed(parsed);
+    EXPECT_EQ(f.dependencies(1), (std::vector<Var>{0}));
+    EXPECT_EQ(f.dependencies(3), (std::vector<Var>{0, 2}));
+}
+
+TEST(DqbfFormula, FromParsedHenkinAndFreeVars)
+{
+    const auto parsed = parseDqdimacsString("p cnf 4 1\na 1 2 0\nd 3 2 0\n1 3 4 0\n");
+    const DqbfFormula f = DqbfFormula::fromParsed(parsed);
+    EXPECT_EQ(f.dependencies(2), (std::vector<Var>{1}));
+    // Var 4 (index 3) is free -> existential with empty deps.
+    EXPECT_TRUE(f.isExistential(3));
+    EXPECT_TRUE(f.dependencies(3).empty());
+}
+
+TEST(DqbfFormula, ToParsedRoundTrip)
+{
+    DqbfFormula f = example1Prefix();
+    f.matrix().addClause({Lit::pos(0), Lit::pos(2)});
+    const DqbfFormula g = DqbfFormula::fromParsed(f.toParsed());
+    EXPECT_EQ(g.universals(), f.universals());
+    EXPECT_EQ(g.existentials(), f.existentials());
+    for (Var y : f.existentials()) EXPECT_EQ(g.dependencies(y), f.dependencies(y));
+    EXPECT_EQ(g.matrix().numClauses(), f.matrix().numClauses());
+}
+
+TEST(DqbfFormula, ValidateAcceptsWellFormedFormulas)
+{
+    DqbfFormula f = example1Prefix();
+    f.matrix().addClause({Lit::pos(0), Lit::pos(2)});
+    EXPECT_TRUE(validate(f).empty());
+}
+
+TEST(DqbfFormula, ValidateFlagsUnquantifiedMatrixVars)
+{
+    DqbfFormula f;
+    f.addUniversal();
+    f.matrix().addClause({Lit::pos(0), Lit::pos(5)}); // v5 never quantified
+    const auto problems = validate(f);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("v5"), std::string::npos);
+}
+
+TEST(DqbfFormula, ValidateFlagsNonUniversalDependencies)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y1 = f.addExistential({x});
+    const Var y2 = f.addExistential({x, y1}); // y1 is existential: invalid dep
+    (void)y2;
+    const auto problems = validate(f);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("not a universal"), std::string::npos);
+}
+
+// ----- dependency graph -----------------------------------------------------
+
+TEST(DependencyGraph, Example1IsCyclic)
+{
+    const DqbfFormula f = example1Prefix();
+    EXPECT_FALSE(hasEquivalentQbfPrefix(f));
+    const auto pairs = incomparablePairs(f);
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(pairs[0], (std::pair<Var, Var>{2, 3}));
+}
+
+TEST(DependencyGraph, LinearDepsAreAcyclic)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    f.addExistential({x1});
+    f.addExistential({x1, x2});
+    EXPECT_TRUE(hasEquivalentQbfPrefix(f));
+}
+
+TEST(DependencyGraph, EqualDepsAreAcyclic)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    f.addExistential({x});
+    f.addExistential({x});
+    EXPECT_TRUE(hasEquivalentQbfPrefix(f));
+}
+
+TEST(DependencyGraph, LinearizeBuildsTheoremThreePrefix)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    const Var x3 = f.addUniversal();
+    const Var y1 = f.addExistential({x1});
+    const Var y2 = f.addExistential({x1, x2});
+    const QbfPrefix p = linearizePrefix(f);
+    // Expected: forall x1 exists y1 forall x2 exists y2 forall x3.
+    ASSERT_EQ(p.blocks().size(), 5u);
+    EXPECT_EQ(p.blocks()[0].kind, QuantKind::Forall);
+    EXPECT_EQ(p.blocks()[0].vars, (std::vector<Var>{x1}));
+    EXPECT_EQ(p.blocks()[1].vars, (std::vector<Var>{y1}));
+    EXPECT_EQ(p.blocks()[2].vars, (std::vector<Var>{x2}));
+    EXPECT_EQ(p.blocks()[3].vars, (std::vector<Var>{y2}));
+    EXPECT_EQ(p.blocks()[4].vars, (std::vector<Var>{x3}));
+}
+
+TEST(DependencyGraph, LinearizeEmptyDepsFirst)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y0 = f.addExistential({});
+    const Var y1 = f.addExistential({x});
+    const QbfPrefix p = linearizePrefix(f);
+    ASSERT_GE(p.blocks().size(), 3u);
+    EXPECT_EQ(p.blocks()[0].kind, QuantKind::Exists);
+    EXPECT_EQ(p.blocks()[0].vars, (std::vector<Var>{y0}));
+    EXPECT_EQ(p.blocks()[1].vars, (std::vector<Var>{x}));
+    EXPECT_EQ(p.blocks()[2].vars, (std::vector<Var>{y1}));
+}
+
+TEST(DependencyGraph, MaxSatSelectionOnExample1IsSingleton)
+{
+    const DqbfFormula f = example1Prefix();
+    const auto set = selectEliminationSetMaxSat(f);
+    ASSERT_TRUE(set.has_value());
+    EXPECT_EQ(set->size(), 1u); // eliminating x1 or x2 suffices
+}
+
+TEST(DependencyGraph, MaxSatSelectionEmptyWhenAcyclic)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    f.addExistential({x});
+    const auto set = selectEliminationSetMaxSat(f);
+    ASSERT_TRUE(set.has_value());
+    EXPECT_TRUE(set->empty());
+}
+
+/// Applying the selected set must linearize the formula, and the set must be
+/// minimum (checked against exhaustive search on small instances).
+class MaxSatSelectionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSatSelectionSweep, SelectionIsLinearizingAndMinimum)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 2);
+    DqbfFormula f = randomDqbf(rng, 4 + static_cast<unsigned>(rng.below(3)),
+                               3 + static_cast<unsigned>(rng.below(3)), 0);
+    const auto set = selectEliminationSetMaxSat(f);
+    ASSERT_TRUE(set.has_value());
+
+    auto linearizesAfterRemoving = [&](const std::vector<Var>& remove) {
+        DqbfFormula g = f; // copy
+        for (Var x : remove) g.removeUniversal(x);
+        return hasEquivalentQbfPrefix(g);
+    };
+    EXPECT_TRUE(linearizesAfterRemoving(*set));
+
+    // Exhaustive minimality check.
+    const auto& xs = f.universals();
+    std::size_t best = xs.size();
+    for (std::uint64_t bits = 0; bits < (1ull << xs.size()); ++bits) {
+        std::vector<Var> remove;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            if ((bits >> i) & 1u) remove.push_back(xs[i]);
+        }
+        if (remove.size() < best && linearizesAfterRemoving(remove)) best = remove.size();
+    }
+    EXPECT_EQ(set->size(), best);
+
+    // Greedy must also linearize (though not necessarily minimally).
+    EXPECT_TRUE(linearizesAfterRemoving(selectEliminationSetGreedy(f)));
+    EXPECT_GE(selectEliminationSetGreedy(f).size(), best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxSatSelectionSweep, ::testing::Range(0, 30));
+
+TEST(DependencyGraph, OrderByIntroducedCopies)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    f.addExistential({x1});
+    f.addExistential({x1, x2});
+    f.addExistential({x1});
+    // |E_x1| = 3, |E_x2| = 1: x2 must come first.
+    const auto ordered = orderEliminationSet(f, {x1, x2});
+    EXPECT_EQ(ordered, (std::vector<Var>{x2, x1}));
+}
+
+// ----- oracles ---------------------------------------------------------------
+
+TEST(DqbfOracle, PaperStyleCopycatIsSat)
+{
+    // forall x1 exists y1(x1): y1 == x1.
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({x});
+    f.matrix().addClause({Lit::neg(x), Lit::pos(y)});
+    f.matrix().addClause({Lit::pos(x), Lit::neg(y)});
+    EXPECT_TRUE(bruteForceDqbf(f));
+    EXPECT_EQ(expansionDqbf(f), SolveResult::Sat);
+}
+
+TEST(DqbfOracle, CopycatWithoutDependencyIsUnsat)
+{
+    // forall x1 exists y1(empty): y1 == x1 — y1 cannot see x1.
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({});
+    f.matrix().addClause({Lit::neg(x), Lit::pos(y)});
+    f.matrix().addClause({Lit::pos(x), Lit::neg(y)});
+    EXPECT_FALSE(bruteForceDqbf(f));
+    EXPECT_EQ(expansionDqbf(f), SolveResult::Unsat);
+}
+
+TEST(DqbfOracle, CrossDependencyNeedsHenkin)
+{
+    // forall x1 x2 exists y1(x2) y2(x1): (y1==x2) & (y2==x1) — SAT, but any
+    // linearization of the *swapped* variant (y1 sees x1 only, must equal
+    // x2) is UNSAT.
+    DqbfFormula sat;
+    {
+        const Var x1 = sat.addUniversal();
+        const Var x2 = sat.addUniversal();
+        const Var y1 = sat.addExistential({x2});
+        const Var y2 = sat.addExistential({x1});
+        sat.matrix().addClause({Lit::neg(x2), Lit::pos(y1)});
+        sat.matrix().addClause({Lit::pos(x2), Lit::neg(y1)});
+        sat.matrix().addClause({Lit::neg(x1), Lit::pos(y2)});
+        sat.matrix().addClause({Lit::pos(x1), Lit::neg(y2)});
+    }
+    EXPECT_TRUE(bruteForceDqbf(sat));
+    EXPECT_EQ(expansionDqbf(sat), SolveResult::Sat);
+
+    DqbfFormula unsat;
+    {
+        const Var x1 = unsat.addUniversal();
+        const Var x2 = unsat.addUniversal();
+        const Var y1 = unsat.addExistential({x1}); // wrong dependency
+        unsat.matrix().addClause({Lit::neg(x2), Lit::pos(y1)});
+        unsat.matrix().addClause({Lit::pos(x2), Lit::neg(y1)});
+    }
+    EXPECT_FALSE(bruteForceDqbf(unsat));
+    EXPECT_EQ(expansionDqbf(unsat), SolveResult::Unsat);
+}
+
+class OracleAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleAgreement, BruteForceMatchesExpansion)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 29);
+    // Keep the Skolem enumeration space tiny: 2 universals, <=3 existentials.
+    DqbfFormula f = randomDqbf(rng, 2, 2 + static_cast<unsigned>(rng.below(2)),
+                               4 + static_cast<unsigned>(rng.below(6)));
+    const bool brute = bruteForceDqbf(f);
+    const SolveResult exp = expansionDqbf(f);
+    ASSERT_TRUE(isConclusive(exp));
+    EXPECT_EQ(brute, exp == SolveResult::Sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OracleAgreement, ::testing::Range(0, 50));
+
+// ----- preprocessing ----------------------------------------------------------
+
+TEST(Preprocess, ExistentialUnitIsAssigned)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({x});
+    f.matrix().addClause({Lit::pos(y)});
+    f.matrix().addClause({Lit::pos(x), Lit::neg(y)});
+    const auto res = preprocess(f);
+    // y=1 satisfies everything: clause 2 gone (contains ~y? no — contains
+    // ~y: removed literal; remaining (x) is a universal unit -> Unsat).
+    // Actually (x | ~y) with y=1 shrinks to (x), universal unit: Unsat.
+    EXPECT_EQ(res.decided, SolveResult::Unsat);
+    EXPECT_GE(res.stats.unitsPropagated, 1u);
+}
+
+TEST(Preprocess, UniversalUnitIsUnsat)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    f.addExistential({x});
+    f.matrix().addClause({Lit::pos(x)});
+    const auto res = preprocess(f);
+    EXPECT_EQ(res.decided, SolveResult::Unsat);
+}
+
+TEST(Preprocess, EmptyMatrixIsSat)
+{
+    DqbfFormula f;
+    f.addUniversal();
+    const auto res = preprocess(f);
+    EXPECT_EQ(res.decided, SolveResult::Sat);
+}
+
+TEST(Preprocess, UniversalReductionDropsIndependentUniversals)
+{
+    // Clause (x1 | y) where y does not depend on x1: x1 is reducible,
+    // leaving existential unit y.
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    const Var y = f.addExistential({x2});
+    f.matrix().addClause({Lit::pos(x1), Lit::pos(y)});
+    f.matrix().addClause({Lit::neg(y), Lit::pos(x2), Lit::pos(y)}); // tautology, dropped
+    const auto res = preprocess(f);
+    EXPECT_EQ(res.decided, SolveResult::Sat); // y := 1 satisfies all
+    EXPECT_GE(res.stats.universalLiteralsReduced, 1u);
+}
+
+TEST(Preprocess, UniversalReductionToEmptyClauseIsUnsat)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    f.addExistential({});
+    f.matrix().addClause({Lit::pos(x1), Lit::neg(x2)});
+    const auto res = preprocess(f);
+    EXPECT_EQ(res.decided, SolveResult::Unsat);
+}
+
+TEST(Preprocess, EquivalentExistentialsMergeWithIntersection)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    const Var y1 = f.addExistential({x1});
+    const Var y2 = f.addExistential({x2});
+    // y1 <-> y2 plus a clause keeping the matrix alive.
+    f.matrix().addClause({Lit::neg(y1), Lit::pos(y2)});
+    f.matrix().addClause({Lit::pos(y1), Lit::neg(y2)});
+    f.matrix().addClause({Lit::pos(y1), Lit::pos(x1), Lit::neg(x2)});
+    const auto res = preprocess(f);
+    EXPECT_GE(res.stats.equivalencesSubstituted, 1u);
+    // After the merge the survivor has the empty intersection dependency
+    // set, so universal reduction strips x1/~x2 from the third clause and
+    // the resulting unit decides SAT (Skolem: constant 1).
+    EXPECT_EQ(res.decided, SolveResult::Sat);
+
+    // With the follow-up steps disabled, the merge itself is observable.
+    DqbfFormula g;
+    const Var gx1 = g.addUniversal();
+    const Var gx2 = g.addUniversal();
+    const Var gy1 = g.addExistential({gx1});
+    const Var gy2 = g.addExistential({gx2});
+    g.matrix().addClause({Lit::neg(gy1), Lit::pos(gy2)});
+    g.matrix().addClause({Lit::pos(gy1), Lit::neg(gy2)});
+    g.matrix().addClause({Lit::pos(gy1), Lit::pos(gx1), Lit::neg(gx2)});
+    PreprocessOptions onlyEquiv;
+    onlyEquiv.unitPropagation = false;
+    onlyEquiv.universalReduction = false;
+    onlyEquiv.gateDetection = false;
+    const auto res2 = preprocess(g, onlyEquiv);
+    EXPECT_EQ(res2.decided, SolveResult::Unknown);
+    const bool y1Alive = g.isExistential(gy1);
+    const bool y2Alive = g.isExistential(gy2);
+    EXPECT_NE(y1Alive, y2Alive);
+    EXPECT_TRUE(g.dependencies(y1Alive ? gy1 : gy2).empty());
+}
+
+TEST(Preprocess, ExistentialEqualUniversalRequiresDependency)
+{
+    // y <-> x with x in D_y: fine (y is substituted).  Without: Unsat.
+    DqbfFormula ok;
+    {
+        const Var x = ok.addUniversal();
+        const Var y = ok.addExistential({x});
+        const Var z = ok.addExistential({x});
+        ok.matrix().addClause({Lit::neg(y), Lit::pos(x)});
+        ok.matrix().addClause({Lit::pos(y), Lit::neg(x)});
+        ok.matrix().addClause({Lit::pos(y), Lit::pos(z)});
+    }
+    const auto res1 = preprocess(ok);
+    EXPECT_NE(res1.decided, SolveResult::Unsat);
+
+    DqbfFormula bad;
+    {
+        const Var x = bad.addUniversal();
+        const Var y = bad.addExistential({});
+        const Var z = bad.addExistential({x});
+        bad.matrix().addClause({Lit::neg(y), Lit::pos(x)});
+        bad.matrix().addClause({Lit::pos(y), Lit::neg(x)});
+        bad.matrix().addClause({Lit::pos(y), Lit::pos(z)});
+    }
+    const auto res2 = preprocess(bad);
+    EXPECT_EQ(res2.decided, SolveResult::Unsat);
+}
+
+TEST(Preprocess, TwoUniversalsEquivalentIsUnsat)
+{
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    const Var y = f.addExistential({x1, x2});
+    f.matrix().addClause({Lit::neg(x1), Lit::pos(x2)});
+    f.matrix().addClause({Lit::pos(x1), Lit::neg(x2)});
+    f.matrix().addClause({Lit::pos(y)});
+    const auto res = preprocess(f);
+    EXPECT_EQ(res.decided, SolveResult::Unsat);
+}
+
+TEST(Preprocess, ContradictorySccIsUnsat)
+{
+    DqbfFormula f;
+    const Var y1 = f.addExistential({});
+    const Var y2 = f.addExistential({});
+    f.matrix().addClause({Lit::neg(y1), Lit::pos(y2)});
+    f.matrix().addClause({Lit::neg(y2), Lit::neg(y1)});
+    f.matrix().addClause({Lit::pos(y1), Lit::pos(y2)});
+    f.matrix().addClause({Lit::pos(y1), Lit::neg(y2)});
+    const auto res = preprocess(f);
+    EXPECT_EQ(res.decided, SolveResult::Unsat);
+}
+
+TEST(Preprocess, DetectsAndGate)
+{
+    // g <-> (a & b) in Tseitin form, plus a clause using g.
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var a = f.addExistential({x});
+    const Var b = f.addExistential({x});
+    const Var g = f.addExistential({x});
+    PreprocessOptions opts;
+    opts.unitPropagation = opts.universalReduction = opts.equivalences = false;
+    f.matrix().addClause({Lit::pos(g), Lit::neg(a), Lit::neg(b)});
+    f.matrix().addClause({Lit::neg(g), Lit::pos(a)});
+    f.matrix().addClause({Lit::neg(g), Lit::pos(b)});
+    f.matrix().addClause({Lit::pos(g), Lit::pos(x)});
+    const auto res = preprocess(f, opts);
+    EXPECT_EQ(res.decided, SolveResult::Unknown);
+    ASSERT_EQ(res.gates.size(), 1u);
+    EXPECT_EQ(res.gates[0].kind, GateKind::Or);
+    EXPECT_EQ(res.gates[0].target.var(), g);
+    EXPECT_EQ(f.matrix().numClauses(), 1u); // defining clauses removed
+}
+
+TEST(Preprocess, DetectsXorGate)
+{
+    DqbfFormula f;
+    const Var a = f.addExistential({});
+    const Var b = f.addExistential({});
+    const Var g = f.addExistential({});
+    PreprocessOptions opts;
+    opts.unitPropagation = opts.universalReduction = opts.equivalences = false;
+    // g <-> a xor b.
+    f.matrix().addClause({Lit::neg(g), Lit::pos(a), Lit::pos(b)});
+    f.matrix().addClause({Lit::neg(g), Lit::neg(a), Lit::neg(b)});
+    f.matrix().addClause({Lit::pos(g), Lit::neg(a), Lit::pos(b)});
+    f.matrix().addClause({Lit::pos(g), Lit::pos(a), Lit::neg(b)});
+    f.matrix().addClause({Lit::pos(g), Lit::pos(a), Lit::pos(b), Lit::neg(a), Lit::neg(g)});
+    const auto res = preprocess(f, opts);
+    ASSERT_GE(res.gates.size(), 1u);
+    EXPECT_EQ(res.gates[0].kind, GateKind::Xor);
+}
+
+TEST(Preprocess, GateRejectedWhenDependenciesInsufficient)
+{
+    // g(x1) <-> (a & b) with a depending on x2 not in D_g: must NOT be
+    // detected as a gate.
+    DqbfFormula f;
+    const Var x1 = f.addUniversal();
+    const Var x2 = f.addUniversal();
+    const Var a = f.addExistential({x2});
+    const Var b = f.addExistential({x1});
+    const Var g = f.addExistential({x1});
+    PreprocessOptions opts;
+    opts.unitPropagation = opts.universalReduction = opts.equivalences = false;
+    f.matrix().addClause({Lit::pos(g), Lit::neg(a), Lit::neg(b)});
+    f.matrix().addClause({Lit::neg(g), Lit::pos(a)});
+    f.matrix().addClause({Lit::neg(g), Lit::pos(b)});
+    const auto res = preprocess(f, opts);
+    EXPECT_TRUE(res.gates.empty());
+}
+
+TEST(Preprocess, SubsumptionRemovesSupersets)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({x});
+    const Var z = f.addExistential({x});
+    PreprocessOptions opts;
+    opts.unitPropagation = opts.universalReduction = opts.equivalences = false;
+    opts.gateDetection = false;
+    f.matrix().addClause({Lit::pos(y), Lit::pos(z)});
+    f.matrix().addClause({Lit::pos(y), Lit::pos(z), Lit::pos(x)}); // subsumed
+    f.matrix().addClause({Lit::neg(y), Lit::pos(x)});
+    const auto res = preprocess(f, opts);
+    EXPECT_GE(res.stats.clausesSubsumed, 1u);
+    EXPECT_EQ(f.matrix().numClauses(), 2u);
+}
+
+TEST(Preprocess, SelfSubsumingResolutionStrengthens)
+{
+    DqbfFormula f;
+    const Var a = f.addExistential({});
+    const Var b = f.addExistential({});
+    const Var c = f.addExistential({});
+    PreprocessOptions opts;
+    opts.unitPropagation = opts.universalReduction = opts.equivalences = false;
+    opts.gateDetection = false;
+    // (a | b) and (~a | b | c): resolving on a gives (b | c)... the second
+    // clause strengthens to (b | c) since {b} subset of {b,c}.
+    f.matrix().addClause({Lit::pos(a), Lit::pos(b)});
+    f.matrix().addClause({Lit::neg(a), Lit::pos(b), Lit::pos(c)});
+    const auto res = preprocess(f, opts);
+    EXPECT_GE(res.stats.literalsStrengthened, 1u);
+    bool foundStrengthened = false;
+    for (const Clause& cl : f.matrix()) {
+        if (cl.size() == 2 && cl.contains(Lit::pos(b)) && cl.contains(Lit::pos(c))) {
+            foundStrengthened = true;
+        }
+        EXPECT_FALSE(cl.contains(Lit::neg(a)));
+    }
+    EXPECT_TRUE(foundStrengthened);
+}
+
+TEST(Preprocess, DuplicateClausesCollapse)
+{
+    DqbfFormula f;
+    const Var a = f.addExistential({});
+    const Var b = f.addExistential({});
+    PreprocessOptions opts;
+    opts.unitPropagation = opts.universalReduction = opts.equivalences = false;
+    opts.gateDetection = false;
+    f.matrix().addClause({Lit::pos(a), Lit::pos(b)});
+    f.matrix().addClause({Lit::pos(b), Lit::pos(a)});
+    preprocess(f, opts);
+    EXPECT_EQ(f.matrix().numClauses(), 1u);
+}
+
+/// Preprocessing must preserve the DQBF's truth value.  We compare the
+/// expansion oracle's verdict before and after preprocessing (with gates
+/// re-conjoined as clauses via their defining semantics).
+class PreprocessEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessEquivalence, PreservesTruthValue)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 601 + 41);
+    DqbfFormula f = randomDqbf(rng, 3, 3, 8 + static_cast<unsigned>(rng.below(8)));
+    const SolveResult before = expansionDqbf(f);
+    ASSERT_TRUE(isConclusive(before));
+
+    DqbfFormula g = f;
+    const auto res = preprocess(g);
+    if (res.decided != SolveResult::Unknown) {
+        EXPECT_EQ(res.decided, before);
+        return;
+    }
+    // Re-encode detected gates as clauses so the oracle sees the full
+    // formula.
+    for (const GateDef& gd : res.gates) {
+        const Lit t = gd.target;
+        if (gd.kind == GateKind::Or) {
+            Clause big;
+            big.push(~t);
+            for (Lit in : gd.inputs) big.push(in);
+            g.matrix().addClause(big);
+            for (Lit in : gd.inputs) g.matrix().addClause({t, ~in});
+        } else {
+            const Lit u = gd.inputs[0], v = gd.inputs[1];
+            g.matrix().addClause({~t, u, v});
+            g.matrix().addClause({~t, ~u, ~v});
+            g.matrix().addClause({t, ~u, v});
+            g.matrix().addClause({t, u, ~v});
+        }
+    }
+    const SolveResult after = expansionDqbf(g);
+    EXPECT_EQ(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PreprocessEquivalence, ::testing::Range(0, 60));
+
+} // namespace
+} // namespace hqs

@@ -1,0 +1,181 @@
+// Tests for the partial MaxSAT solver, including randomized agreement with a
+// brute-force optimum.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.hpp"
+#include "src/maxsat/maxsat.hpp"
+
+namespace hqs {
+namespace {
+
+/// Brute-force minimum number of falsified soft clauses subject to hard
+/// clauses; returns -1 when the hard clauses are unsatisfiable.
+int bruteForceMinCost(Var n, const std::vector<Clause>& hard, const std::vector<Clause>& soft)
+{
+    int best = -1;
+    std::vector<bool> a(n, false);
+    for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+        for (Var v = 0; v < n; ++v) a[v] = (bits >> v) & 1u;
+        auto satisfied = [&](const Clause& c) {
+            for (Lit l : c)
+                if (a[l.var()] != l.negative()) return true;
+            return false;
+        };
+        bool hardOk = true;
+        for (const Clause& c : hard)
+            if (!satisfied(c)) {
+                hardOk = false;
+                break;
+            }
+        if (!hardOk) continue;
+        int cost = 0;
+        for (const Clause& c : soft)
+            if (!satisfied(c)) ++cost;
+        if (best < 0 || cost < best) best = cost;
+    }
+    return best;
+}
+
+TEST(MaxSat, NoSoftClausesJustSat)
+{
+    MaxSatSolver m;
+    m.addHard({Lit::pos(0), Lit::pos(1)});
+    auto res = m.solve();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->cost, 0u);
+    EXPECT_TRUE(res->model[0] || res->model[1]);
+}
+
+TEST(MaxSat, HardUnsatReturnsNullopt)
+{
+    MaxSatSolver m;
+    m.addHard({Lit::pos(0)});
+    m.addHard({Lit::neg(0)});
+    m.addSoft({Lit::pos(1)});
+    EXPECT_FALSE(m.solve().has_value());
+}
+
+TEST(MaxSat, AllSoftSatisfiable)
+{
+    MaxSatSolver m;
+    m.addSoft({Lit::pos(0)});
+    m.addSoft({Lit::pos(1)});
+    auto res = m.solve();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->cost, 0u);
+    EXPECT_TRUE(res->model[0]);
+    EXPECT_TRUE(res->model[1]);
+}
+
+TEST(MaxSat, ConflictingSoftsCostOne)
+{
+    MaxSatSolver m;
+    m.addSoft({Lit::pos(0)});
+    m.addSoft({Lit::neg(0)});
+    auto res = m.solve();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->cost, 1u);
+}
+
+TEST(MaxSat, HardForcesSoftViolation)
+{
+    // Hard: x0.  Soft: ~x0, ~x0 (twice as separate clauses over var 0 and 1
+    // chained by equivalence): cost must reflect forced falsifications.
+    MaxSatSolver m;
+    m.addHard({Lit::pos(0)});
+    m.addHard({Lit::neg(0), Lit::pos(1)}); // x0 -> x1
+    m.addSoft({Lit::neg(0)});
+    m.addSoft({Lit::neg(1)});
+    m.addSoft({Lit::pos(1)});
+    auto res = m.solve();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->cost, 2u);
+    EXPECT_TRUE(res->model[0]);
+    EXPECT_TRUE(res->model[1]);
+}
+
+TEST(MaxSat, MinimumVertexCoverOnTriangle)
+{
+    // Vertex cover of a triangle: hard edge constraints (u|v), soft ~v per
+    // vertex; optimum cover has size 2.
+    MaxSatSolver m;
+    m.addHard({Lit::pos(0), Lit::pos(1)});
+    m.addHard({Lit::pos(1), Lit::pos(2)});
+    m.addHard({Lit::pos(0), Lit::pos(2)});
+    for (Var v = 0; v < 3; ++v) m.addSoft({Lit::neg(v)});
+    auto res = m.solve();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->cost, 2u);
+    EXPECT_EQ(res->model[0] + res->model[1] + res->model[2], 2);
+}
+
+TEST(MaxSat, ElectionStyleDisjointChoices)
+{
+    // The HQS Eq.-1 shape: (a & b) | (c) expressed as hard clauses with a
+    // selector, softs prefer everything false.
+    MaxSatSolver m;
+    const Var a = 0, b = 1, c = 2, s = 3;
+    m.addHard({Lit::neg(s), Lit::pos(a)});
+    m.addHard({Lit::neg(s), Lit::pos(b)});
+    m.addHard({Lit::pos(s), Lit::pos(c)});
+    for (Var v : {a, b, c}) m.addSoft({Lit::neg(v)});
+    auto res = m.solve();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->cost, 1u); // pick c alone
+    EXPECT_TRUE(res->model[c]);
+    EXPECT_FALSE(res->model[a]);
+    EXPECT_FALSE(res->model[b]);
+}
+
+class RandomMaxSatAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMaxSatAgreement, MatchesBruteForceOptimum)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+    const Var n = 5 + static_cast<Var>(rng.below(4)); // 5..8 vars
+    std::vector<Clause> hard, soft;
+    const int nh = static_cast<int>(rng.below(6));
+    const int ns = 2 + static_cast<int>(rng.below(7));
+    for (int i = 0; i < nh; ++i) {
+        Clause c;
+        for (int j = 0; j < 2 + static_cast<int>(rng.below(2)); ++j)
+            c.push(Lit(static_cast<Var>(rng.below(n)), rng.flip()));
+        hard.push_back(std::move(c));
+    }
+    for (int i = 0; i < ns; ++i) {
+        Clause c;
+        for (int j = 0; j < 1 + static_cast<int>(rng.below(2)); ++j)
+            c.push(Lit(static_cast<Var>(rng.below(n)), rng.flip()));
+        soft.push_back(std::move(c));
+    }
+
+    MaxSatSolver m;
+    m.ensureVars(n);
+    for (const Clause& c : hard) m.addHard(c);
+    for (const Clause& c : soft) m.addSoft(c);
+    const auto res = m.solve();
+    const int expected = bruteForceMinCost(n, hard, soft);
+    if (expected < 0) {
+        EXPECT_FALSE(res.has_value());
+    } else {
+        ASSERT_TRUE(res.has_value());
+        EXPECT_EQ(static_cast<int>(res->cost), expected);
+        // The returned model must satisfy all hard clauses and falsify
+        // exactly `cost` soft clauses.
+        auto satisfied = [&](const Clause& c) {
+            for (Lit l : c)
+                if (res->model[l.var()] != l.negative()) return true;
+            return false;
+        };
+        for (const Clause& c : hard) EXPECT_TRUE(satisfied(c));
+        int cost = 0;
+        for (const Clause& c : soft)
+            if (!satisfied(c)) ++cost;
+        EXPECT_EQ(cost, static_cast<int>(res->cost));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomMaxSatAgreement, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace hqs

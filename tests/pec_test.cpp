@@ -1,0 +1,223 @@
+// Tests for the PEC -> DQBF encoder and end-to-end realizability decisions:
+// the HQS solver and the iDQ-style baseline must both reproduce the
+// by-construction ground truth of every family, and the encoding itself is
+// validated against the expansion oracle on the smallest instances.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.hpp"
+#include "src/dqbf/dependency_graph.hpp"
+#include "src/dqbf/dqbf_oracle.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/idq/idq_solver.hpp"
+#include "src/pec/pec_encoder.hpp"
+
+namespace hqs {
+namespace {
+
+TEST(PecEncoder, StructureOfEncoding)
+{
+    const PecInstance inst = makeInstance(Family::Adder, 3, true);
+    const PecEncoding enc = encodePec(inst);
+    EXPECT_EQ(enc.primaryInputs.size(), inst.spec.inputs().size());
+    ASSERT_EQ(enc.boxInputCopies.size(), inst.impl.numBoxes());
+    ASSERT_EQ(enc.boxOutputVars.size(), inst.impl.numBoxes());
+    for (Circuit::BoxId b = 0; b < inst.impl.numBoxes(); ++b) {
+        EXPECT_EQ(enc.boxInputCopies[b].size(), inst.impl.boxInputs(b).size());
+        EXPECT_EQ(enc.boxOutputVars[b].size(), inst.impl.boxOutputs(b).size());
+        // Box outputs depend exactly on their box's copies.
+        for (Var y : enc.boxOutputVars[b]) {
+            EXPECT_EQ(enc.formula.dependencies(y), enc.boxInputCopies[b]);
+        }
+    }
+    // Multiple boxes -> genuinely non-linear dependencies.
+    EXPECT_GT(enc.formula.universals().size(), enc.primaryInputs.size());
+}
+
+TEST(PecEncoder, EncodingIsDqbfHard)
+{
+    // The dependency sets of outputs of different boxes are incomparable, so
+    // there is no equivalent QBF prefix (Theorems 3/4) — the paper's
+    // motivation for DQBF.
+    const PecInstance inst = makeInstance(Family::PecXor, 4, true);
+    const PecEncoding enc = encodePec(inst);
+    const Var y0 = enc.boxOutputVars[0][0];
+    const Var y1 = enc.boxOutputVars[1][0];
+    const auto& d0 = enc.formula.dependencies(y0);
+    const auto& d1 = enc.formula.dependencies(y1);
+    EXPECT_FALSE(std::includes(d0.begin(), d0.end(), d1.begin(), d1.end()));
+    EXPECT_FALSE(std::includes(d1.begin(), d1.end(), d0.begin(), d0.end()));
+}
+
+/// The encoder's verdict on the tiniest instances matches the expansion
+/// oracle applied to the very same DQBF — validating encoder + solvers
+/// against an independent semantics.
+TEST(PecEncoder, OracleAgreesOnTinyInstances)
+{
+    for (Family fam : {Family::PecXor, Family::Bitcell}) {
+        for (bool realizable : {true, false}) {
+            const PecInstance inst = makeInstance(fam, 3, realizable);
+            PecEncoding enc = encodePec(inst);
+            if (enc.formula.universals().size() > 12) continue;
+            const SolveResult oracle = expansionDqbf(enc.formula);
+            ASSERT_TRUE(isConclusive(oracle)) << inst.name;
+            EXPECT_EQ(oracle == SolveResult::Sat, realizable) << inst.name;
+        }
+    }
+}
+
+/// End-to-end: HQS decides every family instance according to the
+/// by-construction ground truth.
+class HqsOnFamilies : public ::testing::TestWithParam<std::tuple<int, unsigned, bool>> {};
+
+TEST_P(HqsOnFamilies, DecidesRealizabilityCorrectly)
+{
+    const Family fam = allFamilies()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+    const unsigned width = std::get<1>(GetParam());
+    const bool realizable = std::get<2>(GetParam());
+    const PecInstance inst = makeInstance(fam, width, realizable);
+    PecEncoding enc = encodePec(inst);
+
+    HqsOptions opts;
+    opts.deadline = Deadline::in(60);
+    HqsSolver solver(opts);
+    const SolveResult r = solver.solve(enc.formula);
+    ASSERT_TRUE(isConclusive(r)) << inst.name << " result " << r;
+    EXPECT_EQ(r == SolveResult::Sat, realizable) << inst.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, HqsOnFamilies,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(3u, 4u),
+                                            ::testing::Bool()));
+
+/// Multi-box instances: more boxes mean more pairwise-incomparable
+/// dependency sets, and realizability ground truth must be preserved.
+class HqsOnMultiBox : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(HqsOnMultiBox, ThreeBoxInstancesDecideCorrectly)
+{
+    const Family fam = allFamilies()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+    const bool realizable = std::get<1>(GetParam());
+    if (fam == Family::Lookahead || fam == Family::Z4) {
+        GTEST_SKIP() << "family has a fixed two-box structure";
+    }
+    // pec_xor needs width >= 2*boxes for three segments.
+    const unsigned width = (fam == Family::PecXor) ? 6 : 5;
+    const PecInstance inst = makeInstance(fam, width, realizable, 3);
+    EXPECT_GE(inst.impl.numBoxes(), 3u);
+
+    PecEncoding enc = encodePec(inst);
+    // k boxes give at least k*(k-1)/2 incomparable pairs among box outputs.
+    EXPECT_GE(incomparablePairs(enc.formula).size(), 3u);
+
+    HqsOptions opts;
+    opts.deadline = Deadline::in(20);
+    opts.nodeLimit = 200000; // keep the test's memory bounded
+    HqsSolver solver(opts);
+    const SolveResult r = solver.solve(enc.formula);
+    if (!isConclusive(r)) {
+        // Three-box instances are substantially harder (more Theorem-1
+        // copies); resource exhaustion under the tight test budget is
+        // acceptable for the heavy families, wrong answers are not.
+        GTEST_SKIP() << inst.name << ": " << r << " under test budget";
+    }
+    EXPECT_EQ(r == SolveResult::Sat, realizable) << inst.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(MultiBox, HqsOnMultiBox,
+                         ::testing::Combine(::testing::Range(0, 7), ::testing::Bool()));
+
+TEST(MultiBox, MoreBoxesMoreIncomparablePairs)
+{
+    const PecEncoding two = encodePec(makeInstance(Family::Adder, 8, false, 2));
+    const PecEncoding four = encodePec(makeInstance(Family::Adder, 8, false, 4));
+    EXPECT_GT(incomparablePairs(four.formula).size(),
+              incomparablePairs(two.formula).size());
+}
+
+/// The iDQ-style baseline agrees on small instances.
+class IdqOnFamilies : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(IdqOnFamilies, DecidesRealizabilityCorrectly)
+{
+    const Family fam = allFamilies()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+    const bool realizable = std::get<1>(GetParam());
+    const PecInstance inst = makeInstance(fam, 3, realizable);
+    PecEncoding enc = encodePec(inst);
+
+    IdqOptions opts;
+    opts.deadline = Deadline::in(10);
+    IdqSolver solver(opts);
+    const SolveResult r = solver.solve(enc.formula);
+    // Instantiation-based solving genuinely struggles on several families —
+    // in the paper iDQ leaves large parts of z4 (129/240), comp (215/240),
+    // C432 (220/240), adder (84/300), bitcell and lookahead unsolved while
+    // HQS solves them.  Timeouts on those families are the expected
+    // behaviour, not bugs; whenever the solver IS conclusive it must agree
+    // with the ground truth.  pec_xor is the family iDQ fully solves in the
+    // paper, so there we insist on a verdict.
+    if (r == SolveResult::Timeout && fam != Family::PecXor) {
+        GTEST_SKIP() << inst.name << ": timeout, consistent with Table I";
+    }
+    ASSERT_TRUE(isConclusive(r)) << inst.name << " result " << r;
+    EXPECT_EQ(r == SolveResult::Sat, realizable) << inst.name;
+    EXPECT_GE(solver.stats().iterations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, IdqOnFamilies,
+                         ::testing::Combine(::testing::Range(0, 7), ::testing::Bool()));
+
+/// The iDQ baseline agrees with the expansion oracle on random DQBFs (same
+/// harness as the HQS agreement sweep).
+class IdqAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdqAgreement, MatchesExpansionOracle)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 523 + 19);
+    DqbfFormula f;
+    std::vector<Var> xs, ys;
+    for (unsigned i = 0; i < 3; ++i) xs.push_back(f.addUniversal());
+    for (unsigned i = 0; i < 3; ++i) {
+        std::vector<Var> deps;
+        for (Var x : xs) {
+            if (rng.flip()) deps.push_back(x);
+        }
+        ys.push_back(f.addExistential(std::move(deps)));
+    }
+    std::vector<Var> all = xs;
+    all.insert(all.end(), ys.begin(), ys.end());
+    const unsigned numClauses = 5 + static_cast<unsigned>(rng.below(8));
+    for (unsigned c = 0; c < numClauses; ++c) {
+        Clause cl;
+        for (unsigned j = 0; j < 2 + rng.below(2); ++j) {
+            cl.push(Lit(all[rng.below(all.size())], rng.flip()));
+        }
+        f.matrix().addClause(std::move(cl));
+    }
+    const SolveResult expected = expansionDqbf(f);
+    ASSERT_TRUE(isConclusive(expected));
+    IdqSolver solver;
+    EXPECT_EQ(solver.solve(f), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IdqAgreement, ::testing::Range(0, 60));
+
+TEST(IdqSolver, ResourceLimits)
+{
+    const PecInstance inst = makeInstance(Family::Adder, 6, false);
+    PecEncoding enc = encodePec(inst);
+    IdqOptions opts;
+    opts.deadline = Deadline::in(1e-9);
+    IdqSolver solver(opts);
+    const SolveResult r = solver.solve(enc.formula);
+    EXPECT_TRUE(r == SolveResult::Timeout || isConclusive(r));
+
+    IdqOptions memOpts;
+    memOpts.groundClauseLimit = 1;
+    IdqSolver memSolver(memOpts);
+    const SolveResult r2 = memSolver.solve(enc.formula);
+    EXPECT_TRUE(r2 == SolveResult::Memout || isConclusive(r2));
+}
+
+} // namespace
+} // namespace hqs

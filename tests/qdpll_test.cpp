@@ -1,0 +1,157 @@
+// Tests for the clausal QDPLL solver: hand cases, QBF-specific propagation
+// behaviour, and randomized agreement with the brute-force oracle and the
+// other three QBF engines.
+#include <gtest/gtest.h>
+
+#include "src/aig/cnf_bridge.hpp"
+#include "src/base/rng.hpp"
+#include "src/qbf/aig_qbf_solver.hpp"
+#include "src/qbf/bdd_qbf_solver.hpp"
+#include "src/qbf/qbf_oracle.hpp"
+#include "src/qbf/qdpll_solver.hpp"
+#include "src/qbf/search_qbf_solver.hpp"
+
+namespace hqs {
+namespace {
+
+TEST(Qdpll, EmptyMatrixIsSat)
+{
+    QbfProblem q;
+    q.prefix.addVar(QuantKind::Forall, 0);
+    q.matrix.ensureVars(1);
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Sat);
+}
+
+TEST(Qdpll, EmptyClauseIsUnsat)
+{
+    QbfProblem q;
+    q.matrix.addClause(Clause{});
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Unsat);
+}
+
+TEST(Qdpll, ForallExistsCopycat)
+{
+    // forall x exists y: x == y  — SAT.
+    QbfProblem q;
+    q.matrix.addClause({Lit::pos(0), Lit::neg(1)});
+    q.matrix.addClause({Lit::neg(0), Lit::pos(1)});
+    q.prefix.addVar(QuantKind::Forall, 0);
+    q.prefix.addVar(QuantKind::Exists, 1);
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Sat);
+    EXPECT_GT(solver.stats().decisions, 0u);
+}
+
+TEST(Qdpll, ExistsForallCopycatIsUnsat)
+{
+    QbfProblem q;
+    q.matrix.addClause({Lit::pos(0), Lit::neg(1)});
+    q.matrix.addClause({Lit::neg(0), Lit::pos(1)});
+    q.prefix.addVar(QuantKind::Exists, 1);
+    q.prefix.addVar(QuantKind::Forall, 0);
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Unsat);
+}
+
+TEST(Qdpll, AllExistentialFalseClauseConflicts)
+{
+    // exists y forall x: (y) & (~y | x): after y=1 the second clause has
+    // only the universal x left -> the adversary falsifies it: UNSAT.
+    QbfProblem q;
+    q.matrix.addClause({Lit::pos(0)});
+    q.matrix.addClause({Lit::neg(0), Lit::pos(1)});
+    q.prefix.addVar(QuantKind::Exists, 0);
+    q.prefix.addVar(QuantKind::Forall, 1);
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Unsat);
+}
+
+TEST(Qdpll, InnerUniversalsAreReducibleForUnits)
+{
+    // forall x1 exists y forall x2: (y | x2) — y is unit (x2 is inner), so
+    // y=1 and the formula is SAT.
+    QbfProblem q;
+    q.matrix.addClause({Lit::pos(1), Lit::pos(2)});
+    q.prefix.addVar(QuantKind::Forall, 0);
+    q.prefix.addVar(QuantKind::Exists, 1);
+    q.prefix.addVar(QuantKind::Forall, 2);
+    q.matrix.ensureVars(3);
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Sat);
+}
+
+TEST(Qdpll, OuterUniversalBlocksUnit)
+{
+    // forall x exists y: (y | x) & (~y | ~x): satisfiable with y = ~x; the
+    // clause (y | x) must NOT imply y while x is undecided-outer.
+    QbfProblem q;
+    q.matrix.addClause({Lit::pos(1), Lit::pos(0)});
+    q.matrix.addClause({Lit::neg(1), Lit::neg(0)});
+    q.prefix.addVar(QuantKind::Forall, 0);
+    q.prefix.addVar(QuantKind::Exists, 1);
+    QdpllSolver solver;
+    EXPECT_EQ(solver.solve(q.matrix, q.prefix), SolveResult::Sat);
+}
+
+TEST(Qdpll, DeadlineYieldsTimeout)
+{
+    Rng rng(17);
+    QbfProblem q;
+    const Var n = 30;
+    q.matrix.ensureVars(n);
+    for (int c = 0; c < 120; ++c) {
+        Clause cl;
+        for (int j = 0; j < 3; ++j) cl.push(Lit(static_cast<Var>(rng.below(n)), rng.flip()));
+        q.matrix.addClause(std::move(cl));
+    }
+    for (Var v = 0; v < n; ++v)
+        q.prefix.addVar(v % 2 ? QuantKind::Exists : QuantKind::Forall, v);
+    QdpllSolver solver(Deadline::in(1e-9));
+    const SolveResult r = solver.solve(q.matrix, q.prefix);
+    EXPECT_TRUE(r == SolveResult::Timeout || isConclusive(r));
+}
+
+/// Four-engine agreement sweep: QDPLL vs AIG elimination vs BDD elimination
+/// vs AIG search, all against the brute-force oracle.
+class QbfEngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(QbfEngineAgreement, AllEnginesAgreeWithOracle)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 41);
+    const Var n = 5 + static_cast<Var>(rng.below(4));
+    QbfProblem q;
+    q.matrix.ensureVars(n);
+    const int m = static_cast<int>(n) * 2 + static_cast<int>(rng.below(2 * n));
+    for (int c = 0; c < m; ++c) {
+        Clause cl;
+        for (int j = 0; j < 2 + static_cast<int>(rng.below(2)); ++j) {
+            cl.push(Lit(static_cast<Var>(rng.below(n)), rng.flip()));
+        }
+        q.matrix.addClause(std::move(cl));
+    }
+    for (Var v = 0; v < n; ++v) {
+        q.prefix.addVar(rng.flip() ? QuantKind::Forall : QuantKind::Exists, v);
+    }
+    const bool expected = bruteForceQbf(q);
+
+    QdpllSolver qdpll;
+    EXPECT_EQ(qdpll.solve(q.matrix, q.prefix) == SolveResult::Sat, expected) << "qdpll";
+
+    BddQbfSolver bdd;
+    EXPECT_EQ(bdd.solve(q.matrix, q.prefix) == SolveResult::Sat, expected) << "bdd";
+
+    Aig aig;
+    const AigEdge matrix = buildFromCnf(aig, q.matrix);
+    AigQbfSolver aigElim;
+    EXPECT_EQ(aigElim.solve(aig, matrix, q.prefix) == SolveResult::Sat, expected)
+        << "aig-elimination";
+    EXPECT_EQ(searchQbfSolve(aig, matrix, q.prefix) == SolveResult::Sat, expected)
+        << "aig-search";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QbfEngineAgreement, ::testing::Range(0, 60));
+
+} // namespace
+} // namespace hqs

@@ -1,0 +1,207 @@
+// Tests for Skolem certificates: extraction by expansion, independent
+// verification, the iDQ solver's certificates, and black-box synthesis for
+// PEC instances.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.hpp"
+#include "src/dqbf/dqbf_oracle.hpp"
+#include "src/dqbf/skolem.hpp"
+#include "src/idq/idq_solver.hpp"
+#include "src/pec/box_synthesis.hpp"
+
+namespace hqs {
+namespace {
+
+DqbfFormula randomDqbf(Rng& rng, unsigned numUniv, unsigned numExist, unsigned numClauses)
+{
+    DqbfFormula f;
+    std::vector<Var> xs, ys;
+    for (unsigned i = 0; i < numUniv; ++i) xs.push_back(f.addUniversal());
+    for (unsigned i = 0; i < numExist; ++i) {
+        std::vector<Var> deps;
+        for (Var x : xs) {
+            if (rng.flip()) deps.push_back(x);
+        }
+        ys.push_back(f.addExistential(std::move(deps)));
+    }
+    std::vector<Var> all = xs;
+    all.insert(all.end(), ys.begin(), ys.end());
+    for (unsigned c = 0; c < numClauses; ++c) {
+        Clause cl;
+        for (unsigned j = 0; j < 2 + rng.below(2); ++j)
+            cl.push(Lit(all[rng.below(all.size())], rng.flip()));
+        f.matrix().addClause(std::move(cl));
+    }
+    return f;
+}
+
+TEST(SkolemFunction, EvaluateIndexesByDependencyOrder)
+{
+    SkolemFunction fn;
+    fn.var = 9;
+    fn.deps = {2, 5};
+    fn.table = {false, true, false, true}; // equals value of var 2
+    std::vector<bool> assignment(6, false);
+    EXPECT_FALSE(fn.evaluate(assignment));
+    assignment[2] = true;
+    EXPECT_TRUE(fn.evaluate(assignment));
+    assignment[5] = true;
+    EXPECT_TRUE(fn.evaluate(assignment));
+    assignment[2] = false;
+    EXPECT_FALSE(fn.evaluate(assignment));
+}
+
+TEST(Skolem, CopycatCertificateIsIdentity)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({x});
+    f.matrix().addClause({Lit::neg(x), Lit::pos(y)});
+    f.matrix().addClause({Lit::pos(x), Lit::neg(y)});
+    const auto cert = extractSkolemByExpansion(f);
+    ASSERT_TRUE(cert.has_value());
+    const SkolemFunction* fn = cert->functionFor(y);
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->table, (std::vector<bool>{false, true})); // s_y(x) = x
+    EXPECT_TRUE(verifySkolemCertificate(f, *cert));
+}
+
+TEST(Skolem, UnsatFormulaYieldsNoCertificate)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({});
+    f.matrix().addClause({Lit::neg(x), Lit::pos(y)});
+    f.matrix().addClause({Lit::pos(x), Lit::neg(y)});
+    EXPECT_FALSE(extractSkolemByExpansion(f).has_value());
+}
+
+TEST(Skolem, VerifierRejectsWrongTables)
+{
+    DqbfFormula f;
+    const Var x = f.addUniversal();
+    const Var y = f.addExistential({x});
+    f.matrix().addClause({Lit::neg(x), Lit::pos(y)});
+    f.matrix().addClause({Lit::pos(x), Lit::neg(y)});
+
+    SkolemCertificate bad;
+    bad.functions.push_back(SkolemFunction{y, {x}, {true, false}}); // s_y = ~x
+    EXPECT_FALSE(verifySkolemCertificate(f, bad));
+
+    SkolemCertificate incomplete; // misses y entirely
+    EXPECT_FALSE(verifySkolemCertificate(f, incomplete));
+
+    SkolemCertificate wrongDeps;
+    wrongDeps.functions.push_back(SkolemFunction{y, {}, {true}});
+    EXPECT_FALSE(verifySkolemCertificate(f, wrongDeps));
+}
+
+TEST(Skolem, VerifierAcceptsConstantMatrixCertificates)
+{
+    DqbfFormula f;
+    f.addUniversal();
+    const Var y = f.addExistential({});
+    // Empty matrix: any function works.
+    SkolemCertificate cert;
+    cert.functions.push_back(SkolemFunction{y, {}, {false}});
+    EXPECT_TRUE(verifySkolemCertificate(f, cert));
+}
+
+class SkolemExtractionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkolemExtractionSweep, ExtractedCertificatesVerify)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 887 + 31);
+    DqbfFormula f = randomDqbf(rng, 3, 3, 5 + static_cast<unsigned>(rng.below(9)));
+    const SolveResult expected = expansionDqbf(f);
+    ASSERT_TRUE(isConclusive(expected));
+
+    const auto cert = extractSkolemByExpansion(f);
+    EXPECT_EQ(cert.has_value(), expected == SolveResult::Sat);
+    if (cert) {
+        EXPECT_TRUE(verifySkolemCertificate(f, *cert));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SkolemExtractionSweep, ::testing::Range(0, 60));
+
+class IdqCertificateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdqCertificateSweep, SatAnswersCarryValidCertificates)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 1543 + 11);
+    DqbfFormula f = randomDqbf(rng, 3, 3, 4 + static_cast<unsigned>(rng.below(8)));
+    IdqSolver solver;
+    const SolveResult r = solver.solve(f);
+    ASSERT_TRUE(isConclusive(r));
+    if (r == SolveResult::Sat) {
+        ASSERT_TRUE(solver.certificate().has_value());
+        EXPECT_TRUE(verifySkolemCertificate(f, *solver.certificate()));
+    } else {
+        EXPECT_FALSE(solver.certificate().has_value());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IdqCertificateSweep, ::testing::Range(0, 60));
+
+// ----- black-box synthesis ----------------------------------------------------
+
+TEST(BoxSynthesis, RealizableAdderSynthesizesFullAdderCells)
+{
+    const PecInstance inst = makeInstance(Family::Adder, 3, true);
+    const auto boxes = synthesizeBoxes(inst);
+    ASSERT_TRUE(boxes.has_value());
+    EXPECT_TRUE(boxesRealizeSpec(inst, *boxes));
+    // Only the FIRST box's sum is uniquely determined (its carry-in is the
+    // true ripple carry and its sum is a primary output): it must be
+    // a XOR b XOR cin (index bits: 0=a, 1=b, 2=cin).  The second box's
+    // functions have don't-care freedom — e.g. the solver may pick an
+    // inverted carry convention between the first box's carry output and
+    // the second box, as long as the pair is consistent (which
+    // boxesRealizeSpec above already verified).
+    const std::vector<bool>& sum = boxes->tables[0][0];
+    for (unsigned idx = 0; idx < 8; ++idx) {
+        const bool a = idx & 1, b = idx & 2, cin = idx & 4;
+        EXPECT_EQ(sum[idx], (a != b) != cin) << "index " << idx;
+    }
+}
+
+TEST(BoxSynthesis, UnrealizableInstancesYieldNothing)
+{
+    EXPECT_FALSE(synthesizeBoxes(makeInstance(Family::Adder, 3, false)).has_value());
+    EXPECT_FALSE(synthesizeBoxes(makeInstance(Family::PecXor, 4, false)).has_value());
+}
+
+class BoxSynthesisAllFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxSynthesisAllFamilies, SynthesizedBoxesRealizeEveryFamily)
+{
+    const Family fam = allFamilies()[static_cast<std::size_t>(GetParam())];
+    const PecInstance inst = makeInstance(fam, 3, true);
+    if (encodePec(inst).formula.universals().size() > 16) {
+        GTEST_SKIP() << "expansion too large for the extraction oracle";
+    }
+    const auto boxes = synthesizeBoxes(inst, Deadline::in(60));
+    ASSERT_TRUE(boxes.has_value()) << inst.name;
+    EXPECT_TRUE(boxesRealizeSpec(inst, *boxes)) << inst.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, BoxSynthesisAllFamilies, ::testing::Range(0, 7));
+
+TEST(BoxSynthesis, CertificateFromIdqSolverAlsoSynthesizes)
+{
+    const PecInstance inst = makeInstance(Family::Bitcell, 3, true);
+    PecEncoding enc = encodePec(inst);
+    IdqOptions opts;
+    opts.deadline = Deadline::in(60);
+    IdqSolver solver(opts);
+    const SolveResult r = solver.solve(enc.formula);
+    if (r != SolveResult::Sat) GTEST_SKIP() << "baseline timed out: " << r;
+    ASSERT_TRUE(solver.certificate().has_value());
+    const auto boxes = boxesFromCertificate(enc, *solver.certificate());
+    ASSERT_TRUE(boxes.has_value());
+    EXPECT_TRUE(boxesRealizeSpec(inst, *boxes));
+}
+
+} // namespace
+} // namespace hqs
