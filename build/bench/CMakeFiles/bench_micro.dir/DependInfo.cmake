@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dqbf/CMakeFiles/hqs_dqbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pec/CMakeFiles/hqs_pec.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbf/CMakeFiles/hqs_qbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hqs_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxsat/CMakeFiles/hqs_maxsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/hqs_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/hqs_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hqs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/hqs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

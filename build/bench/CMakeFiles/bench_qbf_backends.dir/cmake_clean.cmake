@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qbf_backends.dir/bench_qbf_backends.cpp.o"
+  "CMakeFiles/bench_qbf_backends.dir/bench_qbf_backends.cpp.o.d"
+  "bench_qbf_backends"
+  "bench_qbf_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qbf_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqbf_fuzz.dir/dqbf_fuzz.cpp.o"
+  "CMakeFiles/dqbf_fuzz.dir/dqbf_fuzz.cpp.o.d"
+  "dqbf_fuzz"
+  "dqbf_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqbf_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqbf_solve.dir/dqbf_solve.cpp.o"
+  "CMakeFiles/dqbf_solve.dir/dqbf_solve.cpp.o.d"
+  "dqbf_solve"
+  "dqbf_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqbf_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

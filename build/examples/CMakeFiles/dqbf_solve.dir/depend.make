@@ -1,0 +1,2 @@
+# Empty dependencies file for dqbf_solve.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_explorer.dir/family_explorer.cpp.o"
+  "CMakeFiles/family_explorer.dir/family_explorer.cpp.o.d"
+  "family_explorer"
+  "family_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

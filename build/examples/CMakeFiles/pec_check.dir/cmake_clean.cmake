@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_check.dir/pec_check.cpp.o"
+  "CMakeFiles/pec_check.dir/pec_check.cpp.o.d"
+  "pec_check"
+  "pec_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

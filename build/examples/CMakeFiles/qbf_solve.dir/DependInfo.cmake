@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qbf_solve.cpp" "examples/CMakeFiles/qbf_solve.dir/qbf_solve.cpp.o" "gcc" "examples/CMakeFiles/qbf_solve.dir/qbf_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qbf/CMakeFiles/hqs_qbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/hqs_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/hqs_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hqs_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/hqs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

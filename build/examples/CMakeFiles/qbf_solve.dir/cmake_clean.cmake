@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbf_solve.dir/qbf_solve.cpp.o"
+  "CMakeFiles/qbf_solve.dir/qbf_solve.cpp.o.d"
+  "qbf_solve"
+  "qbf_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbf_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

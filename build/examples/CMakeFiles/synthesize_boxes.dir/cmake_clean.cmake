@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_boxes.dir/synthesize_boxes.cpp.o"
+  "CMakeFiles/synthesize_boxes.dir/synthesize_boxes.cpp.o.d"
+  "synthesize_boxes"
+  "synthesize_boxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_boxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for synthesize_boxes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("cnf")
+subdirs("sat")
+subdirs("maxsat")
+subdirs("aig")
+subdirs("bdd")
+subdirs("qbf")
+subdirs("circuit")
+subdirs("pec")
+subdirs("dqbf")
+subdirs("idq")

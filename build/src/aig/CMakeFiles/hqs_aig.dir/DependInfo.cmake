@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "src/aig/CMakeFiles/hqs_aig.dir/aig.cpp.o" "gcc" "src/aig/CMakeFiles/hqs_aig.dir/aig.cpp.o.d"
+  "/root/repo/src/aig/aiger.cpp" "src/aig/CMakeFiles/hqs_aig.dir/aiger.cpp.o" "gcc" "src/aig/CMakeFiles/hqs_aig.dir/aiger.cpp.o.d"
+  "/root/repo/src/aig/cnf_bridge.cpp" "src/aig/CMakeFiles/hqs_aig.dir/cnf_bridge.cpp.o" "gcc" "src/aig/CMakeFiles/hqs_aig.dir/cnf_bridge.cpp.o.d"
+  "/root/repo/src/aig/fraig.cpp" "src/aig/CMakeFiles/hqs_aig.dir/fraig.cpp.o" "gcc" "src/aig/CMakeFiles/hqs_aig.dir/fraig.cpp.o.d"
+  "/root/repo/src/aig/quantify.cpp" "src/aig/CMakeFiles/hqs_aig.dir/quantify.cpp.o" "gcc" "src/aig/CMakeFiles/hqs_aig.dir/quantify.cpp.o.d"
+  "/root/repo/src/aig/unit_pure.cpp" "src/aig/CMakeFiles/hqs_aig.dir/unit_pure.cpp.o" "gcc" "src/aig/CMakeFiles/hqs_aig.dir/unit_pure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/hqs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/hqs_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_aig.dir/aig.cpp.o"
+  "CMakeFiles/hqs_aig.dir/aig.cpp.o.d"
+  "CMakeFiles/hqs_aig.dir/aiger.cpp.o"
+  "CMakeFiles/hqs_aig.dir/aiger.cpp.o.d"
+  "CMakeFiles/hqs_aig.dir/cnf_bridge.cpp.o"
+  "CMakeFiles/hqs_aig.dir/cnf_bridge.cpp.o.d"
+  "CMakeFiles/hqs_aig.dir/fraig.cpp.o"
+  "CMakeFiles/hqs_aig.dir/fraig.cpp.o.d"
+  "CMakeFiles/hqs_aig.dir/quantify.cpp.o"
+  "CMakeFiles/hqs_aig.dir/quantify.cpp.o.d"
+  "CMakeFiles/hqs_aig.dir/unit_pure.cpp.o"
+  "CMakeFiles/hqs_aig.dir/unit_pure.cpp.o.d"
+  "libhqs_aig.a"
+  "libhqs_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_base.dir/literal.cpp.o"
+  "CMakeFiles/hqs_base.dir/literal.cpp.o.d"
+  "CMakeFiles/hqs_base.dir/result.cpp.o"
+  "CMakeFiles/hqs_base.dir/result.cpp.o.d"
+  "libhqs_base.a"
+  "libhqs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

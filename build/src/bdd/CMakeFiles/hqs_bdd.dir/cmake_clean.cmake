@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/hqs_bdd.dir/bdd.cpp.o.d"
+  "libhqs_bdd.a"
+  "libhqs_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

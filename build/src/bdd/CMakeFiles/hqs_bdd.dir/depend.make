@@ -1,0 +1,2 @@
+# Empty dependencies file for hqs_bdd.
+# This may be replaced when dependencies are built.

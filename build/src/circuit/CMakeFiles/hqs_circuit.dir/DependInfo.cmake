@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/hqs_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/hqs_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/families.cpp" "src/circuit/CMakeFiles/hqs_circuit.dir/families.cpp.o" "gcc" "src/circuit/CMakeFiles/hqs_circuit.dir/families.cpp.o.d"
+  "/root/repo/src/circuit/tseitin.cpp" "src/circuit/CMakeFiles/hqs_circuit.dir/tseitin.cpp.o" "gcc" "src/circuit/CMakeFiles/hqs_circuit.dir/tseitin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/hqs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/hqs_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/hqs_circuit.dir/families.cpp.o"
+  "CMakeFiles/hqs_circuit.dir/families.cpp.o.d"
+  "CMakeFiles/hqs_circuit.dir/tseitin.cpp.o"
+  "CMakeFiles/hqs_circuit.dir/tseitin.cpp.o.d"
+  "libhqs_circuit.a"
+  "libhqs_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhqs_circuit.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnf/clause.cpp" "src/cnf/CMakeFiles/hqs_cnf.dir/clause.cpp.o" "gcc" "src/cnf/CMakeFiles/hqs_cnf.dir/clause.cpp.o.d"
+  "/root/repo/src/cnf/cnf.cpp" "src/cnf/CMakeFiles/hqs_cnf.dir/cnf.cpp.o" "gcc" "src/cnf/CMakeFiles/hqs_cnf.dir/cnf.cpp.o.d"
+  "/root/repo/src/cnf/dimacs.cpp" "src/cnf/CMakeFiles/hqs_cnf.dir/dimacs.cpp.o" "gcc" "src/cnf/CMakeFiles/hqs_cnf.dir/dimacs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_cnf.dir/clause.cpp.o"
+  "CMakeFiles/hqs_cnf.dir/clause.cpp.o.d"
+  "CMakeFiles/hqs_cnf.dir/cnf.cpp.o"
+  "CMakeFiles/hqs_cnf.dir/cnf.cpp.o.d"
+  "CMakeFiles/hqs_cnf.dir/dimacs.cpp.o"
+  "CMakeFiles/hqs_cnf.dir/dimacs.cpp.o.d"
+  "libhqs_cnf.a"
+  "libhqs_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

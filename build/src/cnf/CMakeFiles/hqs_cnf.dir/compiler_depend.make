@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hqs_cnf.
+# This may be replaced when dependencies are built.

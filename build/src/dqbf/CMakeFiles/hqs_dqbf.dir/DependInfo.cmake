@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dqbf/dependency_graph.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/dependency_graph.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/dqbf/dqbf_formula.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/dqbf_formula.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/dqbf_formula.cpp.o.d"
+  "/root/repo/src/dqbf/dqbf_oracle.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/dqbf_oracle.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/dqbf_oracle.cpp.o.d"
+  "/root/repo/src/dqbf/hqs_solver.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/hqs_solver.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/hqs_solver.cpp.o.d"
+  "/root/repo/src/dqbf/preprocess.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/preprocess.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/preprocess.cpp.o.d"
+  "/root/repo/src/dqbf/skolem.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/skolem.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/skolem.cpp.o.d"
+  "/root/repo/src/dqbf/skolem_recorder.cpp" "src/dqbf/CMakeFiles/hqs_dqbf.dir/skolem_recorder.cpp.o" "gcc" "src/dqbf/CMakeFiles/hqs_dqbf.dir/skolem_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qbf/CMakeFiles/hqs_qbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxsat/CMakeFiles/hqs_maxsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/hqs_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/hqs_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hqs_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/hqs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_dqbf.dir/dependency_graph.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/hqs_dqbf.dir/dqbf_formula.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/dqbf_formula.cpp.o.d"
+  "CMakeFiles/hqs_dqbf.dir/dqbf_oracle.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/dqbf_oracle.cpp.o.d"
+  "CMakeFiles/hqs_dqbf.dir/hqs_solver.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/hqs_solver.cpp.o.d"
+  "CMakeFiles/hqs_dqbf.dir/preprocess.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/preprocess.cpp.o.d"
+  "CMakeFiles/hqs_dqbf.dir/skolem.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/skolem.cpp.o.d"
+  "CMakeFiles/hqs_dqbf.dir/skolem_recorder.cpp.o"
+  "CMakeFiles/hqs_dqbf.dir/skolem_recorder.cpp.o.d"
+  "libhqs_dqbf.a"
+  "libhqs_dqbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_dqbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_idq.dir/idq_solver.cpp.o"
+  "CMakeFiles/hqs_idq.dir/idq_solver.cpp.o.d"
+  "libhqs_idq.a"
+  "libhqs_idq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_idq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

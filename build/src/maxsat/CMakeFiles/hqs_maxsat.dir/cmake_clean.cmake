@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_maxsat.dir/maxsat.cpp.o"
+  "CMakeFiles/hqs_maxsat.dir/maxsat.cpp.o.d"
+  "libhqs_maxsat.a"
+  "libhqs_maxsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_maxsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

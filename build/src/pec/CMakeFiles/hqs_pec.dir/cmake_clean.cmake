@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_pec.dir/box_synthesis.cpp.o"
+  "CMakeFiles/hqs_pec.dir/box_synthesis.cpp.o.d"
+  "CMakeFiles/hqs_pec.dir/pec_encoder.cpp.o"
+  "CMakeFiles/hqs_pec.dir/pec_encoder.cpp.o.d"
+  "libhqs_pec.a"
+  "libhqs_pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

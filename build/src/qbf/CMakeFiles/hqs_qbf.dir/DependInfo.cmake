@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qbf/aig_qbf_solver.cpp" "src/qbf/CMakeFiles/hqs_qbf.dir/aig_qbf_solver.cpp.o" "gcc" "src/qbf/CMakeFiles/hqs_qbf.dir/aig_qbf_solver.cpp.o.d"
+  "/root/repo/src/qbf/bdd_qbf_solver.cpp" "src/qbf/CMakeFiles/hqs_qbf.dir/bdd_qbf_solver.cpp.o" "gcc" "src/qbf/CMakeFiles/hqs_qbf.dir/bdd_qbf_solver.cpp.o.d"
+  "/root/repo/src/qbf/qbf_oracle.cpp" "src/qbf/CMakeFiles/hqs_qbf.dir/qbf_oracle.cpp.o" "gcc" "src/qbf/CMakeFiles/hqs_qbf.dir/qbf_oracle.cpp.o.d"
+  "/root/repo/src/qbf/qbf_prefix.cpp" "src/qbf/CMakeFiles/hqs_qbf.dir/qbf_prefix.cpp.o" "gcc" "src/qbf/CMakeFiles/hqs_qbf.dir/qbf_prefix.cpp.o.d"
+  "/root/repo/src/qbf/qdpll_solver.cpp" "src/qbf/CMakeFiles/hqs_qbf.dir/qdpll_solver.cpp.o" "gcc" "src/qbf/CMakeFiles/hqs_qbf.dir/qdpll_solver.cpp.o.d"
+  "/root/repo/src/qbf/search_qbf_solver.cpp" "src/qbf/CMakeFiles/hqs_qbf.dir/search_qbf_solver.cpp.o" "gcc" "src/qbf/CMakeFiles/hqs_qbf.dir/search_qbf_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aig/CMakeFiles/hqs_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hqs_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/hqs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/hqs_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

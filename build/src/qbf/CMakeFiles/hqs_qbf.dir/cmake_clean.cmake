@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_qbf.dir/aig_qbf_solver.cpp.o"
+  "CMakeFiles/hqs_qbf.dir/aig_qbf_solver.cpp.o.d"
+  "CMakeFiles/hqs_qbf.dir/bdd_qbf_solver.cpp.o"
+  "CMakeFiles/hqs_qbf.dir/bdd_qbf_solver.cpp.o.d"
+  "CMakeFiles/hqs_qbf.dir/qbf_oracle.cpp.o"
+  "CMakeFiles/hqs_qbf.dir/qbf_oracle.cpp.o.d"
+  "CMakeFiles/hqs_qbf.dir/qbf_prefix.cpp.o"
+  "CMakeFiles/hqs_qbf.dir/qbf_prefix.cpp.o.d"
+  "CMakeFiles/hqs_qbf.dir/qdpll_solver.cpp.o"
+  "CMakeFiles/hqs_qbf.dir/qdpll_solver.cpp.o.d"
+  "CMakeFiles/hqs_qbf.dir/search_qbf_solver.cpp.o"
+  "CMakeFiles/hqs_qbf.dir/search_qbf_solver.cpp.o.d"
+  "libhqs_qbf.a"
+  "libhqs_qbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_qbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

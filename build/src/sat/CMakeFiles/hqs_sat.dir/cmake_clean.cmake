@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_sat.dir/sat_solver.cpp.o"
+  "CMakeFiles/hqs_sat.dir/sat_solver.cpp.o.d"
+  "libhqs_sat.a"
+  "libhqs_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aig_test.dir/aig_test.cpp.o"
+  "CMakeFiles/aig_test.dir/aig_test.cpp.o.d"
+  "aig_test"
+  "aig_test.pdb"
+  "aig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiger_test.dir/aiger_test.cpp.o"
+  "CMakeFiles/aiger_test.dir/aiger_test.cpp.o.d"
+  "aiger_test"
+  "aiger_test.pdb"
+  "aiger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

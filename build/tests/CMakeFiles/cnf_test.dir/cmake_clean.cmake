@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnf_test.dir/cnf_test.cpp.o"
+  "CMakeFiles/cnf_test.dir/cnf_test.cpp.o.d"
+  "cnf_test"
+  "cnf_test.pdb"
+  "cnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

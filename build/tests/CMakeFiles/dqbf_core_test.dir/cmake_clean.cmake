@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqbf_core_test.dir/dqbf_core_test.cpp.o"
+  "CMakeFiles/dqbf_core_test.dir/dqbf_core_test.cpp.o.d"
+  "dqbf_core_test"
+  "dqbf_core_test.pdb"
+  "dqbf_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqbf_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

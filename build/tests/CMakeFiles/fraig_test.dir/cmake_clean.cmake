@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraig_test.dir/fraig_test.cpp.o"
+  "CMakeFiles/fraig_test.dir/fraig_test.cpp.o.d"
+  "fraig_test"
+  "fraig_test.pdb"
+  "fraig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

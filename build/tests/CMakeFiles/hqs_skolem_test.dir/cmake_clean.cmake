@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_skolem_test.dir/hqs_skolem_test.cpp.o"
+  "CMakeFiles/hqs_skolem_test.dir/hqs_skolem_test.cpp.o.d"
+  "hqs_skolem_test"
+  "hqs_skolem_test.pdb"
+  "hqs_skolem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_skolem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqs_solver_test.dir/hqs_solver_test.cpp.o"
+  "CMakeFiles/hqs_solver_test.dir/hqs_solver_test.cpp.o.d"
+  "hqs_solver_test"
+  "hqs_solver_test.pdb"
+  "hqs_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqs_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxsat_test.dir/maxsat_test.cpp.o"
+  "CMakeFiles/maxsat_test.dir/maxsat_test.cpp.o.d"
+  "maxsat_test"
+  "maxsat_test.pdb"
+  "maxsat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

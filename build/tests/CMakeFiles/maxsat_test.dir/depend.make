@@ -1,0 +1,2 @@
+# Empty dependencies file for maxsat_test.
+# This may be replaced when dependencies are built.

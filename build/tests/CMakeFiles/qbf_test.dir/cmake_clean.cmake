@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbf_test.dir/qbf_test.cpp.o"
+  "CMakeFiles/qbf_test.dir/qbf_test.cpp.o.d"
+  "qbf_test"
+  "qbf_test.pdb"
+  "qbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

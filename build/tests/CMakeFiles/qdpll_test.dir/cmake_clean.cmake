@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdpll_test.dir/qdpll_test.cpp.o"
+  "CMakeFiles/qdpll_test.dir/qdpll_test.cpp.o.d"
+  "qdpll_test"
+  "qdpll_test.pdb"
+  "qdpll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdpll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

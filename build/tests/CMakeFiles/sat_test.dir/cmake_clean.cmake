@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_test.dir/sat_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat_test.cpp.o.d"
+  "sat_test"
+  "sat_test.pdb"
+  "sat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skolem_test.dir/skolem_test.cpp.o"
+  "CMakeFiles/skolem_test.dir/skolem_test.cpp.o.d"
+  "skolem_test"
+  "skolem_test.pdb"
+  "skolem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skolem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

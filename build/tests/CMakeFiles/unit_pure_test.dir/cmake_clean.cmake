@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_pure_test.dir/unit_pure_test.cpp.o"
+  "CMakeFiles/unit_pure_test.dir/unit_pure_test.cpp.o.d"
+  "unit_pure_test"
+  "unit_pure_test.pdb"
+  "unit_pure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_pure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/cnf_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/maxsat_test[1]_include.cmake")
+include("/root/repo/build/tests/aig_test[1]_include.cmake")
+include("/root/repo/build/tests/unit_pure_test[1]_include.cmake")
+include("/root/repo/build/tests/fraig_test[1]_include.cmake")
+include("/root/repo/build/tests/aiger_test[1]_include.cmake")
+include("/root/repo/build/tests/qbf_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/qdpll_test[1]_include.cmake")
+include("/root/repo/build/tests/dqbf_core_test[1]_include.cmake")
+include("/root/repo/build/tests/hqs_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/pec_test[1]_include.cmake")
+include("/root/repo/build/tests/skolem_test[1]_include.cmake")
+include("/root/repo/build/tests/hqs_skolem_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
