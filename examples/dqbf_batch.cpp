@@ -1,0 +1,139 @@
+// dqbf_batch: solve a directory (or explicit list) of DQDIMACS instances in
+// parallel and stream structured results.
+//
+//   dqbf_batch [options] <dir | file.dqdimacs ...>
+//
+// Options:
+//   --workers=N           worker threads (default: hardware concurrency)
+//   --timeout=SECONDS     per-job wall-clock budget (default: none)
+//   --node-limit=N        per-job AIG-node budget, the 8 GB memout stand-in
+//   --portfolio[=N]       race the first N default engines per instance
+//   --no-retry            disable the degraded retry after a memout
+//   --jsonl=FILE          stream one JSON object per result to FILE
+//                         (default: stdout, prefixed lines suppressed)
+//
+// JSONL schema per line:
+//   {"instance": str, "result": "Sat|Unsat|Timeout|Memout|Unknown",
+//    "wall_ms": num, "engine": str, "attempts": int, "degraded": bool,
+//    "error"?: str}
+//
+// Exit code: 0 when every instance was definitively decided, 1 otherwise.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/runtime/batch.hpp"
+
+using namespace hqs;
+
+namespace {
+
+int usage()
+{
+    std::cerr << "usage: dqbf_batch [--workers=N] [--timeout=SECONDS] "
+                 "[--node-limit=N] [--portfolio[=N]] [--no-retry] "
+                 "[--jsonl=FILE] <dir | file.dqdimacs ...>\n";
+    return 1;
+}
+
+// Numeric flag values must parse in full; a trailing suffix or garbage is a
+// usage error rather than an uncaught std::sto* exception.
+bool parseSize(const std::string& text, std::size_t& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = static_cast<std::size_t>(std::stoul(text, &pos));
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parseSeconds(const std::string& text, double& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stod(text, &pos);
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    BatchOptions opts;
+    std::string jsonlPath;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--workers=", 0) == 0) {
+            if (!parseSize(arg.substr(10), opts.numWorkers)) return usage();
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            if (!parseSeconds(arg.substr(10), opts.jobTimeoutSeconds)) return usage();
+        } else if (arg.rfind("--node-limit=", 0) == 0) {
+            if (!parseSize(arg.substr(13), opts.nodeLimit)) return usage();
+        } else if (arg == "--portfolio") {
+            opts.portfolio = true;
+        } else if (arg.rfind("--portfolio=", 0) == 0) {
+            opts.portfolio = true;
+            if (!parseSize(arg.substr(12), opts.portfolioEngines)) return usage();
+        } else if (arg == "--no-retry") {
+            opts.retryOnMemout = false;
+        } else if (arg.rfind("--jsonl=", 0) == 0) {
+            jsonlPath = arg.substr(8);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) return usage();
+
+    // A single directory argument expands to its *.dqdimacs files.
+    std::vector<std::string> files;
+    if (inputs.size() == 1 && !inputs[0].ends_with(".dqdimacs")) {
+        try {
+            files = BatchScheduler::collectInstances(inputs[0]);
+        } catch (const std::exception& e) {
+            std::cerr << "dqbf_batch: " << e.what() << "\n";
+            return 1;
+        }
+        if (files.empty()) {
+            std::cerr << "dqbf_batch: no .dqdimacs files in " << inputs[0] << "\n";
+            return 1;
+        }
+    } else {
+        files = inputs;
+    }
+
+    std::ofstream jsonlFile;
+    std::ostream* jsonl = &std::cout;
+    if (!jsonlPath.empty()) {
+        jsonlFile.open(jsonlPath);
+        if (!jsonlFile) {
+            std::cerr << "dqbf_batch: cannot open " << jsonlPath << "\n";
+            return 1;
+        }
+        jsonl = &jsonlFile;
+    }
+
+    BatchScheduler scheduler(opts);
+    const std::vector<BatchJobResult> results = scheduler.run(files, jsonl);
+
+    std::size_t sat = 0, unsat = 0, other = 0;
+    for (const BatchJobResult& r : results) {
+        if (r.result == SolveResult::Sat) ++sat;
+        else if (r.result == SolveResult::Unsat) ++unsat;
+        else ++other;
+    }
+    if (!jsonlPath.empty()) {
+        std::cout << "c " << results.size() << " instances: " << sat << " SAT, "
+                  << unsat << " UNSAT, " << other << " unresolved\n";
+    }
+    return other == 0 ? 0 : 1;
+}

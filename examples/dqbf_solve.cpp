@@ -7,6 +7,9 @@
 //   --solver=hqs|idq|expand
 //                         solving engine (default hqs); `expand` decides by
 //                         one SAT call on the full universal expansion
+//   --portfolio[=N]       race the first N default engine configurations
+//                         (all 5 when N is omitted) and answer with the
+//                         first definitive result, cancelling the losers
 //   --timeout=<seconds>   wall-clock limit (default: none)
 //   --no-preprocess       disable CNF preprocessing
 //   --no-unitpure         disable Theorem-6 unit/pure detection
@@ -25,6 +28,7 @@
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/dqbf/skolem_recorder.hpp"
 #include "src/idq/idq_solver.hpp"
+#include "src/runtime/portfolio.hpp"
 
 using namespace hqs;
 
@@ -32,11 +36,35 @@ namespace {
 
 int usage()
 {
-    std::cerr << "usage: dqbf_solve [--solver=hqs|idq|expand] [--timeout=SECONDS] "
-                 "[--no-preprocess] [--no-unitpure] "
+    std::cerr << "usage: dqbf_solve [--solver=hqs|idq|expand] [--portfolio[=N]] "
+                 "[--timeout=SECONDS] [--no-preprocess] [--no-unitpure] "
                  "[--selection=maxsat|greedy|all] [--skolem] [--stats] "
                  "<file.dqdimacs|->\n";
     return 1;
+}
+
+// Numeric flag values must parse in full; a trailing suffix or garbage is a
+// usage error rather than an uncaught std::sto* exception.
+bool parseSize(const std::string& text, std::size_t& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = static_cast<std::size_t>(std::stoul(text, &pos));
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parseSeconds(const std::string& text, double& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stod(text, &pos);
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
 }
 
 } // namespace
@@ -46,14 +74,22 @@ int main(int argc, char** argv)
     std::string path;
     std::string engine = "hqs";
     bool wantStats = false;
+    std::size_t portfolioEngines = 0;
     HqsOptions opts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--solver=", 0) == 0) {
             engine = arg.substr(9);
+        } else if (arg == "--portfolio") {
+            engine = "portfolio";
+        } else if (arg.rfind("--portfolio=", 0) == 0) {
+            engine = "portfolio";
+            if (!parseSize(arg.substr(12), portfolioEngines)) return usage();
         } else if (arg.rfind("--timeout=", 0) == 0) {
-            opts.deadline = Deadline::in(std::stod(arg.substr(10)));
+            double seconds = 0.0;
+            if (!parseSeconds(arg.substr(10), seconds)) return usage();
+            opts.deadline = Deadline::in(seconds);
         } else if (arg == "--no-preprocess") {
             opts.preprocess = false;
             opts.gateDetection = false;
@@ -144,6 +180,31 @@ int main(int argc, char** argv)
             return 1;
         }
         result = expansionDqbf(formula, opts.deadline);
+    } else if (engine == "portfolio") {
+        PortfolioOptions popts;
+        popts.maxEngines = portfolioEngines;
+        popts.deadline = opts.deadline;
+        PortfolioSolver solver(popts);
+        result = solver.solve(formula);
+        const PortfolioStats& st = solver.stats();
+        std::cout << "c portfolio winner    : "
+                  << (st.winnerName.empty() ? "(none)" : st.winnerName) << "\n";
+        if (wantStats) {
+            for (const EngineRunStats& es : st.engines) {
+                std::cout << "c engine " << es.name << " : " << toString(es.result)
+                          << " in " << es.elapsedMilliseconds << " ms";
+                if (es.winner) {
+                    std::cout << "  [winner]";
+                } else if (es.cancelLatencyMilliseconds > 0) {
+                    std::cout << "  (cancel latency " << es.cancelLatencyMilliseconds
+                              << " ms)";
+                }
+                std::cout << "\n";
+            }
+            std::cout << "c total time          : " << st.totalMilliseconds << " ms\n";
+            if (st.disagreement)
+                std::cout << "c WARNING             : engines disagreed on the verdict\n";
+        }
     } else if (engine == "idq") {
         IdqOptions iopts;
         iopts.deadline = opts.deadline;

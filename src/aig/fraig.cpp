@@ -191,11 +191,16 @@ AigEdge fraigReduce(Aig& aig, AigEdge root, const FraigOptions& opts, FraigStats
         return e;
     };
 
-    // Rebuild bottom-up with merging.
+    // Rebuild bottom-up with merging.  Signature computation alone is
+    // O(cone * simWords), so on huge cones we must notice an expired budget
+    // mid-sweep: once it is gone, keep rebuilding (cheap, and required to
+    // return a valid edge) but stop proving candidates.
+    bool proving = true;
     std::vector<AigEdge> rebuilt(rootIdx + 1, AigEdge());
     rebuilt[0] = aig.constFalse();
     for (std::uint32_t idx = 1; idx <= rootIdx; ++idx) {
         if (!inCone[idx]) continue;
+        if (proving && (idx & 0xff) == 0 && opts.deadline.expired()) proving = false;
         const AigEdge e(idx, false);
         if (aig.isInput(e)) {
             // Register inputs as representatives (a cone can collapse to a
@@ -211,7 +216,7 @@ AigEdge fraigReduce(Aig& aig, AigEdge root, const FraigOptions& opts, FraigStats
         const AigEdge a = rebuilt[f0.nodeIndex()] ^ f0.complemented();
         const AigEdge b = rebuilt[f1.nodeIndex()] ^ f1.complemented();
         AigEdge merged = aig.mkAnd(a, b);
-        if (!aig.isConstant(merged)) merged = tryMerge(merged);
+        if (proving && !aig.isConstant(merged)) merged = tryMerge(merged);
         rebuilt[idx] = merged;
     }
     return rebuilt[rootIdx] ^ root.complemented();

@@ -1,0 +1,40 @@
+// Cooperative cancellation for solver runs.
+//
+// A CancelToken is a shared atomic flag: the runtime (portfolio racer, batch
+// scheduler, a signal handler) sets it from one thread, and every solver loop
+// observes it through Deadline::expired() on the thread doing the work.  No
+// signals, no thread kills — a cancelled solver unwinds normally and returns
+// SolveResult::Timeout from the next loop head it reaches.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace hqs {
+
+/// Shared cancellation flag.  Copies refer to the same flag; firing any copy
+/// fires them all.  Cheap to copy (one shared_ptr), safe to fire and poll
+/// concurrently from any number of threads.
+class CancelToken {
+public:
+    CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /// Request cancellation.  Idempotent; thread-safe.
+    void requestCancel() const noexcept { flag_->store(true, std::memory_order_relaxed); }
+
+    /// Has cancellation been requested (on this token or any copy of it)?
+    bool cancelled() const noexcept { return flag_->load(std::memory_order_relaxed); }
+
+    /// Re-arm a fired token for reuse.  Not synchronized with concurrent
+    /// requestCancel(); only call between runs.
+    void reset() const noexcept { flag_->store(false, std::memory_order_relaxed); }
+
+    /// The underlying flag, shared with every Deadline derived from this
+    /// token via Deadline::withCancel().
+    const std::shared_ptr<std::atomic<bool>>& flag() const { return flag_; }
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace hqs

@@ -1,10 +1,17 @@
 // Wall-clock timing and deadline helpers used by solvers and the bench
 // harness.  All solvers accept a Deadline so per-instance timeouts can be
-// enforced without signals.
+// enforced without signals.  A Deadline can additionally carry a CancelToken
+// (see cancel.hpp): expired() then also reports true once the token fires,
+// which makes every deadline-checking solver loop cooperatively cancellable
+// from another thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <memory>
+
+#include "src/base/cancel.hpp"
 
 namespace hqs {
 
@@ -46,13 +53,37 @@ public:
 
     static Deadline unlimited() { return Deadline(); }
 
-    bool expired() const { return Clock::now() >= expiry_; }
+    /// This deadline, additionally expiring as soon as @p token fires.  The
+    /// time budget is unchanged; copies share the token's flag.
+    Deadline withCancel(const CancelToken& token) const
+    {
+        Deadline d = *this;
+        d.cancel_ = token.flag();
+        return d;
+    }
 
-    bool isUnlimited() const { return expiry_ == Clock::time_point::max(); }
+    bool expired() const
+    {
+        if (cancel_ && cancel_->load(std::memory_order_relaxed)) return true;
+        return Clock::now() >= expiry_;
+    }
+
+    /// Expired specifically because an attached CancelToken fired (the time
+    /// budget may or may not also be gone).
+    bool cancelled() const
+    {
+        return cancel_ && cancel_->load(std::memory_order_relaxed);
+    }
+
+    bool isUnlimited() const
+    {
+        return expiry_ == Clock::time_point::max() && !cancel_;
+    }
 
 private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point expiry_;
+    std::shared_ptr<const std::atomic<bool>> cancel_;
 };
 
 } // namespace hqs

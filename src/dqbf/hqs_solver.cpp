@@ -283,6 +283,9 @@ SolveResult HqsSolver::solve(DqbfFormula f)
                 eliminated = false;
                 collectIfBloated();
                 for (Var y : std::vector<Var>(f.existentials())) {
+                    // Re-check the budget per candidate: a single cofactor
+                    // pair on a huge cone can dwarf the loop-head check.
+                    if (opts_.deadline.expired()) break;
                     if (!f.dependsOnAllUniversals(y)) continue;
                     if (!aig.hasVariable(y)) {
                         if (rec) rec->record(SkolemRecorder::Constant{y, false});
@@ -333,8 +336,14 @@ SolveResult HqsSolver::solve(DqbfFormula f)
         }
 
         // Theorem 1: psi == forall-rest: phi[0/x] & phi[1/x][y'/y for y in E_x].
+        // Each of the two cofactors and the substitution below copies O(cone)
+        // nodes; on huge cones that overshoots the budget badly if only the
+        // loop head checks — so check between the expensive steps too.
+        if (opts_.deadline.expired()) return finish(SolveResult::Timeout, "elimination");
         const AigEdge cof0 = aig.cofactor(matrix, pick, false);
+        if (opts_.deadline.expired()) return finish(SolveResult::Timeout, "elimination");
         AigEdge cof1 = aig.cofactor(matrix, pick, true);
+        if (opts_.deadline.expired()) return finish(SolveResult::Timeout, "elimination");
         const std::vector<Var> supp1 = aig.support(cof1);
         const std::unordered_set<Var> supp1Set(supp1.begin(), supp1.end());
 

@@ -1,0 +1,165 @@
+#include "src/runtime/batch.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "src/base/timer.hpp"
+#include "src/cnf/dimacs.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/runtime/portfolio.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace hqs {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+void writeJsonString(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+struct SolveOutcome {
+    SolveResult result = SolveResult::Unknown;
+    std::string engine;
+};
+
+SolveOutcome solveOnce(const DqbfFormula& f, const BatchOptions& opts, bool degraded)
+{
+    const std::size_t nodeLimit =
+        degraded ? std::max<std::size_t>(1, opts.nodeLimit / 2) : opts.nodeLimit;
+    const Deadline deadline =
+        Deadline::in(opts.jobTimeoutSeconds).withCancel(opts.cancel);
+    if (opts.portfolio) {
+        PortfolioOptions popts;
+        popts.maxEngines = opts.portfolioEngines;
+        popts.deadline = deadline;
+        popts.nodeLimit = nodeLimit;
+        popts.engines = PortfolioSolver::defaultEngines(nodeLimit, /*fraig=*/!degraded);
+        PortfolioSolver solver(popts);
+        SolveOutcome out;
+        out.result = solver.solve(f);
+        out.engine = solver.stats().winnerName;
+        return out;
+    }
+    HqsOptions hopts;
+    hopts.nodeLimit = nodeLimit;
+    hopts.deadline = deadline;
+    hopts.fraig = !degraded;
+    HqsSolver solver(hopts);
+    SolveOutcome out;
+    out.result = solver.solve(f);
+    out.engine = "hqs";
+    return out;
+}
+
+} // namespace
+
+void writeJsonl(const BatchJobResult& r, std::ostream& os)
+{
+    os << "{\"instance\":";
+    writeJsonString(os, r.instance);
+    os << ",\"result\":";
+    writeJsonString(os, toString(r.result));
+    os << ",\"wall_ms\":" << r.wallMilliseconds;
+    os << ",\"engine\":";
+    writeJsonString(os, r.engine);
+    os << ",\"attempts\":" << r.attempts;
+    os << ",\"degraded\":" << (r.degraded ? "true" : "false");
+    if (!r.error.empty()) {
+        os << ",\"error\":";
+        writeJsonString(os, r.error);
+    }
+    os << "}\n";
+}
+
+std::vector<std::string> BatchScheduler::collectInstances(const std::string& dir)
+{
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        if (entry.path().extension() == ".dqdimacs") files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& files,
+                                                std::ostream* jsonl)
+{
+    std::vector<BatchJobResult> results(files.size());
+    std::size_t workers = opts_.numWorkers;
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    // A portfolio job spawns its own racer threads; sharding the batch wide
+    // AND racing wide oversubscribes, but that is the caller's knob to turn.
+
+    std::mutex outMu;
+    {
+        ThreadPool pool(workers);
+        for (std::size_t i = 0; i < files.size(); ++i) {
+            pool.submit([&, i] {
+                BatchJobResult& r = results[i];
+                r.instance = files[i];
+                Timer t;
+                if (opts_.cancel.cancelled()) {
+                    r.result = SolveResult::Timeout;
+                    r.error = "cancelled before start";
+                } else {
+                    DqbfFormula formula;
+                    bool parsed = false;
+                    try {
+                        formula = DqbfFormula::fromParsed(parseDqdimacsFile(files[i]));
+                        parsed = true;
+                    } catch (const std::exception& e) {
+                        r.result = SolveResult::Unknown;
+                        r.error = e.what();
+                    }
+                    if (parsed) {
+                        SolveOutcome out = solveOnce(formula, opts_, /*degraded=*/false);
+                        r.attempts = 1;
+                        if (out.result == SolveResult::Memout && opts_.retryOnMemout &&
+                            !opts_.cancel.cancelled()) {
+                            out = solveOnce(formula, opts_, /*degraded=*/true);
+                            r.attempts = 2;
+                            r.degraded = true;
+                        }
+                        r.result = out.result;
+                        r.engine = out.engine;
+                        if (opts_.cancel.cancelled() && !isConclusive(r.result))
+                            r.error = "batch cancelled";
+                    }
+                }
+                r.wallMilliseconds = t.elapsedMilliseconds();
+                if (jsonl) {
+                    std::lock_guard<std::mutex> lock(outMu);
+                    writeJsonl(r, *jsonl);
+                    jsonl->flush();
+                }
+            });
+        }
+        pool.wait();
+    }
+    return results;
+}
+
+} // namespace hqs

@@ -1,0 +1,77 @@
+// Batch job scheduler: shard a set of .dqdimacs instances across a worker
+// pool with per-job wall-clock and AIG-node budgets.
+//
+// Each job parses one file and solves it with either the paper's HQS
+// configuration or a portfolio race.  A job that dies on the node budget is
+// retried once with a degraded fail-fast configuration (FRAIG off, node
+// limit halved) so a memout resolves quickly instead of burning the rest of
+// its wall-clock.  Results stream out as one JSON object per line (JSONL),
+// the format the bench harness ingests.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/base/cancel.hpp"
+#include "src/base/result.hpp"
+
+namespace hqs {
+
+struct BatchOptions {
+    /// Worker threads (0 = std::thread::hardware_concurrency()).
+    std::size_t numWorkers = 0;
+    /// Per-job wall-clock budget in seconds (0 = unlimited).
+    double jobTimeoutSeconds = 0.0;
+    /// Per-job AIG-node budget, the stand-in for the paper's 8 GB memout
+    /// (0 = unlimited; also caps the iDQ ground-clause count in portfolio
+    /// mode).
+    std::size_t nodeLimit = 0;
+    /// Solve each instance with a portfolio race instead of single HQS.
+    bool portfolio = false;
+    /// In portfolio mode: race only the first N default engines (0 = all).
+    std::size_t portfolioEngines = 0;
+    /// Retry a Memout once with the degraded config (FRAIG off, nodeLimit
+    /// halved) before reporting it.
+    bool retryOnMemout = true;
+    /// Fires to abandon the whole batch: running jobs unwind with Timeout,
+    /// queued jobs are reported as cancelled without being solved.
+    CancelToken cancel;
+};
+
+/// Result of one instance, in input order.
+struct BatchJobResult {
+    std::string instance;  ///< path as given
+    SolveResult result = SolveResult::Unknown;
+    double wallMilliseconds = 0.0;
+    /// Engine that produced the verdict: "hqs" or the portfolio winner's
+    /// name ("" while no engine was definitive).
+    std::string engine;
+    unsigned attempts = 0;  ///< 1, or 2 after a memout retry
+    bool degraded = false;  ///< verdict came from the degraded retry config
+    std::string error;      ///< non-empty on parse failure / cancellation
+};
+
+/// Serialize @p r as a single JSONL line (no trailing newline appended by
+/// the caller — this writes one).
+void writeJsonl(const BatchJobResult& r, std::ostream& os);
+
+class BatchScheduler {
+public:
+    explicit BatchScheduler(BatchOptions opts = {}) : opts_(opts) {}
+
+    /// All *.dqdimacs files directly inside @p dir, sorted by name.
+    static std::vector<std::string> collectInstances(const std::string& dir);
+
+    /// Solve every file, @p opts.numWorkers at a time.  Results come back in
+    /// input order; when @p jsonl is non-null each result is additionally
+    /// streamed to it (in completion order) as soon as its job finishes.
+    std::vector<BatchJobResult> run(const std::vector<std::string>& files,
+                                    std::ostream* jsonl = nullptr);
+
+private:
+    BatchOptions opts_;
+};
+
+} // namespace hqs

@@ -1,0 +1,153 @@
+#include "src/runtime/portfolio.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "src/dqbf/dqbf_oracle.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/idq/idq_solver.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace hqs {
+
+std::vector<PortfolioEngine> PortfolioSolver::defaultEngines(std::size_t nodeLimit, bool fraig)
+{
+    auto hqsEngine = [nodeLimit, fraig](HqsOptions::Selection sel, HqsOptions::Backend backend) {
+        return [nodeLimit, fraig, sel, backend](const DqbfFormula& f, const Deadline& dl) {
+            HqsOptions opts;
+            opts.selection = sel;
+            opts.backend = backend;
+            opts.nodeLimit = nodeLimit;
+            opts.fraig = fraig;
+            opts.deadline = dl;
+            HqsSolver solver(opts);
+            return solver.solve(f);
+        };
+    };
+    std::vector<PortfolioEngine> engines;
+    engines.push_back({"hqs-maxsat", hqsEngine(HqsOptions::Selection::MaxSat,
+                                               HqsOptions::Backend::AigElimination)});
+    engines.push_back({"hqs-greedy", hqsEngine(HqsOptions::Selection::Greedy,
+                                               HqsOptions::Backend::AigElimination)});
+    engines.push_back({"hqs-bdd", hqsEngine(HqsOptions::Selection::MaxSat,
+                                            HqsOptions::Backend::BddElimination)});
+    engines.push_back({"idq", [nodeLimit](const DqbfFormula& f, const Deadline& dl) {
+                           IdqOptions opts;
+                           opts.deadline = dl;
+                           opts.groundClauseLimit = nodeLimit;
+                           IdqSolver solver(opts);
+                           return solver.solve(f);
+                       }});
+    engines.push_back({"expand", [](const DqbfFormula& f, const Deadline& dl) {
+                           // Full expansion is exponential in the universal
+                           // count; beyond ~22 it would only burn a core.
+                           if (f.universals().size() > 22) return SolveResult::Unknown;
+                           return expansionDqbf(f, dl);
+                       }});
+    return engines;
+}
+
+SolveResult PortfolioSolver::solve(const DqbfFormula& f)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<PortfolioEngine> engines =
+        opts_.engines.empty() ? defaultEngines(opts_.nodeLimit) : opts_.engines;
+    if (opts_.maxEngines != 0 && engines.size() > opts_.maxEngines)
+        engines.resize(opts_.maxEngines);
+
+    stats_ = PortfolioStats{};
+    stats_.engines.resize(engines.size());
+    for (std::size_t i = 0; i < engines.size(); ++i)
+        stats_.engines[i].name = engines[i].name;
+    if (engines.empty()) return SolveResult::Unknown;
+
+    Timer total;
+    std::vector<CancelToken> tokens(engines.size());
+
+    std::mutex mu;
+    std::optional<std::size_t> winner;
+    std::optional<Clock::time_point> cancelBroadcastAt;
+    SolveResult verdict = SolveResult::Unknown;
+
+    {
+        ThreadPool pool(engines.size(), engines.size());
+        for (std::size_t i = 0; i < engines.size(); ++i) {
+            pool.submit([&, i] {
+                // Each racer observes the shared budget, the portfolio-wide
+                // kill switch, and its own loser-cancellation token.
+                Deadline dl = opts_.deadline.withCancel(tokens[i]);
+                Timer t;
+                SolveResult r = SolveResult::Unknown;
+                try {
+                    r = engines[i].run(f, dl);
+                } catch (...) {
+                    // An engine crashing must not take the race down.
+                }
+                const double elapsed = t.elapsedMilliseconds();
+                const Clock::time_point returnedAt = Clock::now();
+
+                std::lock_guard<std::mutex> lock(mu);
+                EngineRunStats& es = stats_.engines[i];
+                es.result = r;
+                es.elapsedMilliseconds = elapsed;
+                if (isConclusive(r) && !winner) {
+                    winner = i;
+                    verdict = r;
+                    es.winner = true;
+                    cancelBroadcastAt = Clock::now();
+                    for (std::size_t j = 0; j < tokens.size(); ++j)
+                        if (j != i) tokens[j].requestCancel();
+                } else {
+                    if (isConclusive(r) && isConclusive(verdict) && r != verdict)
+                        stats_.disagreement = true;
+                    if (cancelBroadcastAt) {
+                        es.cancelLatencyMilliseconds =
+                            std::chrono::duration<double, std::milli>(returnedAt -
+                                                                      *cancelBroadcastAt)
+                                .count();
+                    }
+                }
+            });
+        }
+        // Forward the external kill switch to every racer's token, including
+        // when it fires mid-race.  Polling at 1 ms keeps the monitor trivial
+        // (no extra condition variables) and is far below any solver budget.
+        std::atomic<bool> raceDone{false};
+        std::thread monitor;
+        if (opts_.cancel) {
+            monitor = std::thread([&] {
+                while (!raceDone.load(std::memory_order_relaxed)) {
+                    if (opts_.cancel->cancelled()) {
+                        for (CancelToken& t : tokens) t.requestCancel();
+                        return;
+                    }
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                }
+            });
+        }
+        pool.wait();
+        raceDone.store(true, std::memory_order_relaxed);
+        if (monitor.joinable()) monitor.join();
+    }
+
+    stats_.totalMilliseconds = total.elapsedMilliseconds();
+    if (winner) {
+        stats_.winnerName = engines[*winner].name;
+        return verdict;
+    }
+    // No definitive answer: report the most informative inconclusive result.
+    bool sawTimeout = false, sawMemout = false;
+    for (const EngineRunStats& es : stats_.engines) {
+        sawTimeout |= es.result == SolveResult::Timeout;
+        sawMemout |= es.result == SolveResult::Memout;
+    }
+    if (sawTimeout) return SolveResult::Timeout;
+    if (sawMemout) return SolveResult::Memout;
+    return SolveResult::Unknown;
+}
+
+} // namespace hqs

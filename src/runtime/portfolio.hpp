@@ -1,0 +1,92 @@
+// Portfolio racing over DQBF engine configurations.
+//
+// HQS's elimination order, iDQ-style instantiation, and the alternative
+// backends win on disjoint instance families, so racing complementary
+// configurations on the same formula dominates any single engine: the
+// portfolio answers as soon as the first engine returns a definitive
+// Sat/Unsat, and cancels the rest through the CancelToken threaded into
+// every solver's Deadline.  Losers unwind cooperatively at their next
+// deadline check — no signals, no detached threads left running.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/cancel.hpp"
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+
+namespace hqs {
+
+/// One racer: a named engine configuration.  run() receives its own copy of
+/// the formula and a Deadline that already carries this racer's CancelToken;
+/// it must poll the deadline and return Timeout once it expires.
+struct PortfolioEngine {
+    std::string name;
+    std::function<SolveResult(const DqbfFormula&, const Deadline&)> run;
+};
+
+struct PortfolioOptions {
+    /// Race only the first N engines of the configured list (0 = all).
+    std::size_t maxEngines = 0;
+    /// Global wall-clock budget shared by every racer.
+    Deadline deadline = Deadline::unlimited();
+    /// Per-engine AIG-node / ground-clause budget (0 = none), applied when
+    /// building the default engine list.
+    std::size_t nodeLimit = 0;
+    /// Engine list; empty means PortfolioSolver::defaultEngines(nodeLimit).
+    std::vector<PortfolioEngine> engines;
+    /// External kill switch for the whole race (batch scheduler shutdown).
+    /// When set, a monitor thread forwards it to every racer mid-run.
+    std::optional<CancelToken> cancel;
+};
+
+/// Outcome of a single racer within one solve() call.
+struct EngineRunStats {
+    std::string name;
+    SolveResult result = SolveResult::Unknown;
+    double elapsedMilliseconds = 0.0;
+    /// Time from the winner's cancel broadcast to this engine returning;
+    /// 0 for the winner itself and for engines that finished before the
+    /// broadcast.
+    double cancelLatencyMilliseconds = 0.0;
+    bool winner = false;
+};
+
+struct PortfolioStats {
+    std::vector<EngineRunStats> engines;
+    std::string winnerName;            ///< empty when no engine was definitive
+    double totalMilliseconds = 0.0;
+    /// Two racers returned contradictory definitive answers — a solver bug.
+    bool disagreement = false;
+};
+
+class PortfolioSolver {
+public:
+    explicit PortfolioSolver(PortfolioOptions opts = {}) : opts_(std::move(opts)) {}
+
+    /// Race all engines on @p f; first definitive Sat/Unsat wins and cancels
+    /// the rest.  With no definitive answer: Timeout if any racer timed out,
+    /// else Memout if any hit a resource budget, else Unknown.
+    SolveResult solve(const DqbfFormula& f);
+
+    const PortfolioStats& stats() const { return stats_; }
+
+    /// The standard racer lineup, in priority order: HQS/maxsat (the paper's
+    /// configuration), HQS/greedy selection, HQS with the BDD backend, the
+    /// iDQ-style instantiation solver, and single-call expansion SAT (which
+    /// sits out instances with too many universals).  @p fraig = false is the
+    /// batch scheduler's degraded memout-retry configuration.
+    static std::vector<PortfolioEngine> defaultEngines(std::size_t nodeLimit = 0,
+                                                       bool fraig = true);
+
+private:
+    PortfolioOptions opts_;
+    PortfolioStats stats_;
+};
+
+} // namespace hqs

@@ -1,0 +1,69 @@
+#include "src/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hqs {
+
+ThreadPool::ThreadPool(std::size_t numThreads, std::size_t queueCapacity)
+    : capacity_(std::max<std::size_t>(1, queueCapacity))
+{
+    const std::size_t n = std::max<std::size_t>(1, numThreads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    spaceReady_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        spaceReady_.wait(lock, [this] { return stop_ || queue_.size() < capacity_; });
+        if (stop_) return false;
+        queue_.push_back(std::move(job));
+    }
+    workReady_.notify_one();
+    return true;
+}
+
+void ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allIdle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workReady_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            // Drain-on-stop: keep taking jobs until the queue is empty, so
+            // destruct-while-busy completes everything already accepted.
+            if (queue_.empty()) return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        spaceReady_.notify_one();
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace hqs
