@@ -7,6 +7,7 @@
 #include "src/aig/aig.hpp"
 #include "src/aig/cnf_bridge.hpp"
 #include "src/aig/fraig.hpp"
+#include "src/base/fault.hpp"
 #include "src/base/rng.hpp"
 #include "src/dqbf/dependency_graph.hpp"
 #include "src/dqbf/hqs_solver.hpp"
@@ -140,6 +141,33 @@ void BM_PecEncode(benchmark::State& state)
     }
 }
 BENCHMARK(BM_PecEncode)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FaultCheckpointDisarmed(benchmark::State& state)
+{
+    // The aig-alloc checkpoint sits on the AND-node allocation hot path; its
+    // disarmed cost (one relaxed atomic load) must stay in the noise.
+    fault::disarm();
+    for (auto _ : state) {
+        fault::checkpoint("aig-alloc");
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultCheckpointDisarmed);
+
+void BM_AigConstructionWithDisarmedCheckpoint(benchmark::State& state)
+{
+    // End-to-end view of the same question: node construction throughput
+    // with the checkpoint compiled in but nothing armed (compare against
+    // BM_AigConstruction at the same arg).
+    fault::disarm();
+    const auto gates = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        Aig aig;
+        benchmark::DoNotOptimize(randomCone(aig, 32, gates, 42));
+    }
+    state.SetItemsProcessed(state.iterations() * gates);
+}
+BENCHMARK(BM_AigConstructionWithDisarmedCheckpoint)->Arg(10000);
 
 void BM_HqsEndToEnd(benchmark::State& state)
 {

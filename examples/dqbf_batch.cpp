@@ -2,25 +2,35 @@
 // parallel and stream structured results.
 //
 //   dqbf_batch [options] <dir | file.dqdimacs ...>
+//   dqbf_batch --resume=out.jsonl [options] [dir | file.dqdimacs ...]
 //
 // Options:
 //   --workers=N           worker threads (default: hardware concurrency)
 //   --timeout=SECONDS     per-job wall-clock budget (default: none)
 //   --node-limit=N        per-job AIG-node budget, the 8 GB memout stand-in
+//   --rss-limit=MB        cooperative memout when process RSS crosses MB
 //   --portfolio[=N]       race the first N default engines per instance
-//   --no-retry            disable the degraded retry after a memout
+//   --no-retry            disable the degradation ladder (single attempt)
 //   --jsonl=FILE          stream one JSON object per result to FILE
 //                         (default: stdout, prefixed lines suppressed)
+//   --resume=FILE         treat FILE as the journal of an earlier run:
+//                         skip instances it records as conclusive, re-queue
+//                         everything else, and append new results to FILE.
+//                         Without explicit inputs the instance list is taken
+//                         from the journal itself.
 //
 // JSONL schema per line:
-//   {"instance": str, "result": "Sat|Unsat|Timeout|Memout|Unknown",
+//   {"instance": str, "result": "SAT|UNSAT|TIMEOUT|MEMOUT|UNKNOWN",
 //    "wall_ms": num, "engine": str, "attempts": int, "degraded": bool,
+//    "rung"?: str, "failure"?: {"kind": str, "site": str, "what": str},
 //    "error"?: str}
 //
 // Exit code: 0 when every instance was definitively decided, 1 otherwise.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/runtime/batch.hpp"
@@ -32,8 +42,9 @@ namespace {
 int usage()
 {
     std::cerr << "usage: dqbf_batch [--workers=N] [--timeout=SECONDS] "
-                 "[--node-limit=N] [--portfolio[=N]] [--no-retry] "
-                 "[--jsonl=FILE] <dir | file.dqdimacs ...>\n";
+                 "[--node-limit=N] [--rss-limit=MB] [--portfolio[=N]] "
+                 "[--no-retry] [--jsonl=FILE] [--resume=FILE] "
+                 "<dir | file.dqdimacs ...>\n";
     return 1;
 }
 
@@ -67,6 +78,7 @@ int main(int argc, char** argv)
 {
     BatchOptions opts;
     std::string jsonlPath;
+    std::string resumePath;
     std::vector<std::string> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -77,26 +89,51 @@ int main(int argc, char** argv)
             if (!parseSeconds(arg.substr(10), opts.jobTimeoutSeconds)) return usage();
         } else if (arg.rfind("--node-limit=", 0) == 0) {
             if (!parseSize(arg.substr(13), opts.nodeLimit)) return usage();
+        } else if (arg.rfind("--rss-limit=", 0) == 0) {
+            std::size_t mb = 0;
+            if (!parseSize(arg.substr(12), mb)) return usage();
+            opts.rssLimitBytes = mb * 1024 * 1024;
         } else if (arg == "--portfolio") {
             opts.portfolio = true;
         } else if (arg.rfind("--portfolio=", 0) == 0) {
             opts.portfolio = true;
             if (!parseSize(arg.substr(12), opts.portfolioEngines)) return usage();
         } else if (arg == "--no-retry") {
-            opts.retryOnMemout = false;
+            opts.ladder.resize(1);
         } else if (arg.rfind("--jsonl=", 0) == 0) {
             jsonlPath = arg.substr(8);
+        } else if (arg.rfind("--resume=", 0) == 0) {
+            resumePath = arg.substr(9);
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
             inputs.push_back(arg);
         }
     }
-    if (inputs.empty()) return usage();
+    if (inputs.empty() && resumePath.empty()) return usage();
 
-    // A single directory argument expands to its *.dqdimacs files.
+    // The journal of the interrupted run: its conclusive verdicts stand,
+    // everything else (crashed, cancelled, timed out, never started) is
+    // re-queued.
+    std::vector<BatchJobResult> journal;
+    std::unordered_set<std::string> alreadyDone;
+    if (!resumePath.empty()) {
+        std::ifstream in(resumePath);
+        if (!in) {
+            std::cerr << "dqbf_batch: cannot read resume journal " << resumePath << "\n";
+            return 1;
+        }
+        journal = readJournal(in);
+        alreadyDone = conclusiveInstances(journal);
+    }
+
+    // A single directory argument expands to its *.dqdimacs files; with
+    // --resume and no inputs, the journal supplies the instance list.
     std::vector<std::string> files;
-    if (inputs.size() == 1 && !inputs[0].ends_with(".dqdimacs")) {
+    if (inputs.empty()) {
+        for (const BatchJobResult& r : journal) files.push_back(r.instance);
+        std::sort(files.begin(), files.end());
+    } else if (inputs.size() == 1 && !inputs[0].ends_with(".dqdimacs")) {
         try {
             files = BatchScheduler::collectInstances(inputs[0]);
         } catch (const std::exception& e) {
@@ -111,10 +148,18 @@ int main(int argc, char** argv)
         files = inputs;
     }
 
+    std::vector<std::string> toRun;
+    for (const std::string& f : files)
+        if (!alreadyDone.contains(f)) toRun.push_back(f);
+
     std::ofstream jsonlFile;
     std::ostream* jsonl = &std::cout;
+    if (!resumePath.empty() && jsonlPath.empty()) jsonlPath = resumePath;
     if (!jsonlPath.empty()) {
-        jsonlFile.open(jsonlPath);
+        // Appending keeps the journal's history; readJournal takes the last
+        // entry per instance, so re-runs supersede their old records.
+        const auto mode = (jsonlPath == resumePath) ? std::ios::app : std::ios::out;
+        jsonlFile.open(jsonlPath, mode);
         if (!jsonlFile) {
             std::cerr << "dqbf_batch: cannot open " << jsonlPath << "\n";
             return 1;
@@ -123,17 +168,38 @@ int main(int argc, char** argv)
     }
 
     BatchScheduler scheduler(opts);
-    const std::vector<BatchJobResult> results = scheduler.run(files, jsonl);
+    const std::vector<BatchJobResult> fresh = scheduler.run(toRun, jsonl);
 
-    std::size_t sat = 0, unsat = 0, other = 0;
-    for (const BatchJobResult& r : results) {
+    // Final tally: carried-over conclusive verdicts plus this run's results.
+    std::size_t sat = 0, unsat = 0, other = 0, carried = 0;
+    auto tally = [&](const BatchJobResult& r) {
         if (r.result == SolveResult::Sat) ++sat;
         else if (r.result == SolveResult::Unsat) ++unsat;
         else ++other;
+    };
+    for (const std::string& f : files) {
+        if (!alreadyDone.contains(f)) continue;
+        for (const BatchJobResult& r : journal) {
+            if (r.instance == f) {
+                tally(r);
+                ++carried;
+                break;
+            }
+        }
     }
+    for (const BatchJobResult& r : fresh) tally(r);
+
     if (!jsonlPath.empty()) {
-        std::cout << "c " << results.size() << " instances: " << sat << " SAT, "
-                  << unsat << " UNSAT, " << other << " unresolved\n";
+        std::cout << "c " << (carried + fresh.size()) << " instances: " << sat << " SAT, "
+                  << unsat << " UNSAT, " << other << " unresolved";
+        if (carried != 0) std::cout << " (" << carried << " carried from journal)";
+        std::cout << "\n";
+        for (const RungStats& rs : scheduler.rungStats()) {
+            if (rs.attempts == 0) continue;
+            std::cout << "c rung " << rs.name << ": " << rs.attempts << " attempts, "
+                      << rs.conclusive << " conclusive, " << rs.memouts << " memouts, "
+                      << rs.failures << " failures\n";
+        }
     }
     return other == 0 ? 0 : 1;
 }

@@ -17,7 +17,13 @@
 //                         universal-selection strategy (default maxsat)
 //   --skolem              on SAT, compute, verify, and summarize Skolem
 //                         functions (hqs engine only)
+//   --rss-limit=MB        guard the run with an RSS watchdog: cooperative
+//                         MEMOUT when process RSS crosses MB
 //   --stats               print solver statistics
+//
+// Every engine call runs under the guard layer: an engine crash (or an
+// injected HQS_FAULT) prints a structured `c failure` line and exits 1
+// instead of terminating on an unhandled exception.
 //
 // Exit code: 10 = SAT, 20 = UNSAT (SAT-competition convention), 1 = other.
 #include <iostream>
@@ -28,6 +34,7 @@
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/dqbf/skolem_recorder.hpp"
 #include "src/idq/idq_solver.hpp"
+#include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
 
 using namespace hqs;
@@ -37,9 +44,9 @@ namespace {
 int usage()
 {
     std::cerr << "usage: dqbf_solve [--solver=hqs|idq|expand] [--portfolio[=N]] "
-                 "[--timeout=SECONDS] [--no-preprocess] [--no-unitpure] "
-                 "[--selection=maxsat|greedy|all] [--skolem] [--stats] "
-                 "<file.dqdimacs|->\n";
+                 "[--timeout=SECONDS] [--rss-limit=MB] [--no-preprocess] "
+                 "[--no-unitpure] [--selection=maxsat|greedy|all] [--skolem] "
+                 "[--stats] <file.dqdimacs|->\n";
     return 1;
 }
 
@@ -75,6 +82,7 @@ int main(int argc, char** argv)
     std::string engine = "hqs";
     bool wantStats = false;
     std::size_t portfolioEngines = 0;
+    std::size_t rssLimitBytes = 0;
     HqsOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -90,6 +98,10 @@ int main(int argc, char** argv)
             double seconds = 0.0;
             if (!parseSeconds(arg.substr(10), seconds)) return usage();
             opts.deadline = Deadline::in(seconds);
+        } else if (arg.rfind("--rss-limit=", 0) == 0) {
+            std::size_t mb = 0;
+            if (!parseSize(arg.substr(12), mb)) return usage();
+            rssLimitBytes = mb * 1024 * 1024;
         } else if (arg == "--no-preprocess") {
             opts.preprocess = false;
             opts.gateDetection = false;
@@ -123,8 +135,12 @@ int main(int argc, char** argv)
         const ParsedQdimacs parsed =
             (path == "-") ? parseDqdimacs(std::cin) : parseDqdimacsFile(path);
         formula = DqbfFormula::fromParsed(parsed);
-    } catch (const ParseError& e) {
-        std::cerr << "parse error: " << e.what() << "\n";
+    } catch (...) {
+        // Not only ParseError: an injected parse-site fault (HQS_FAULT=parse)
+        // must produce the same structured report, not std::terminate.
+        const FailureInfo f = classifyException(std::current_exception());
+        std::cerr << "parse failed: kind=" << toString(f.kind) << " what=\"" << f.what
+                  << "\"\n";
         return 1;
     }
 
@@ -133,10 +149,29 @@ int main(int argc, char** argv)
               << formula.matrix().numClauses() << " clauses\n";
 
     SolveResult result = SolveResult::Unknown;
+    FailureInfo failure;
+    // Every engine call runs guarded: exceptions become a structured
+    // `c failure` line, and --rss-limit arms the cooperative-memout
+    // watchdog.
+    GuardOptions gopts;
+    gopts.deadline = opts.deadline;
+    gopts.rssLimitBytes = rssLimitBytes;
+    auto guarded = [&](const std::function<SolveResult(const Deadline&)>& body) {
+        const GuardedOutcome out = runGuarded(gopts, body);
+        failure = out.failure;
+        return out.result;
+    };
     if (engine == "hqs") {
         const DqbfFormula original = formula; // kept for certificate checks
-        HqsSolver solver(opts);
-        result = solver.solve(std::move(formula));
+        std::optional<HqsSolver> solverSlot;
+        result = guarded([&](const Deadline& dl) {
+            HqsOptions runOpts = opts;
+            runOpts.deadline = dl;
+            solverSlot.emplace(runOpts);
+            return solverSlot->solve(std::move(formula));
+        });
+        if (!solverSlot) solverSlot.emplace(opts); // body died before construction
+        HqsSolver& solver = *solverSlot;
         if (opts.computeSkolem && result == SolveResult::Sat) {
             const auto& cert = solver.skolemCertificate();
             if (cert) {
@@ -179,13 +214,20 @@ int main(int argc, char** argv)
                       << formula.universals().size() << " > 22)\n";
             return 1;
         }
-        result = expansionDqbf(formula, opts.deadline);
+        result = guarded(
+            [&](const Deadline& dl) { return expansionDqbf(formula, dl); });
     } else if (engine == "portfolio") {
-        PortfolioOptions popts;
-        popts.maxEngines = portfolioEngines;
-        popts.deadline = opts.deadline;
-        PortfolioSolver solver(popts);
-        result = solver.solve(formula);
+        std::optional<PortfolioSolver> solverSlot;
+        result = guarded([&](const Deadline& dl) {
+            PortfolioOptions popts;
+            popts.maxEngines = portfolioEngines;
+            popts.deadline = dl;
+            solverSlot.emplace(std::move(popts));
+            return solverSlot->solve(formula);
+        });
+        if (!solverSlot) solverSlot.emplace();
+        PortfolioSolver& solver = *solverSlot;
+        if (solver.stats().failure && !failure) failure = solver.stats().failure;
         const PortfolioStats& st = solver.stats();
         std::cout << "c portfolio winner    : "
                   << (st.winnerName.empty() ? "(none)" : st.winnerName) << "\n";
@@ -206,10 +248,15 @@ int main(int argc, char** argv)
                 std::cout << "c WARNING             : engines disagreed on the verdict\n";
         }
     } else if (engine == "idq") {
-        IdqOptions iopts;
-        iopts.deadline = opts.deadline;
-        IdqSolver solver(iopts);
-        result = solver.solve(formula);
+        std::optional<IdqSolver> solverSlot;
+        result = guarded([&](const Deadline& dl) {
+            IdqOptions iopts;
+            iopts.deadline = dl;
+            solverSlot.emplace(iopts);
+            return solverSlot->solve(formula);
+        });
+        if (!solverSlot) solverSlot.emplace();
+        IdqSolver& solver = *solverSlot;
         if (wantStats) {
             const IdqStats& st = solver.stats();
             std::cout << "c iterations          : " << st.iterations << "\n"
@@ -221,6 +268,11 @@ int main(int argc, char** argv)
         return usage();
     }
 
+    if (failure) {
+        std::cout << "c failure             : kind=" << toString(failure.kind)
+                  << (failure.site.empty() ? "" : " site=" + failure.site) << " what=\""
+                  << failure.what << "\"\n";
+    }
     std::cout << "s " << result << "\n";
     if (result == SolveResult::Sat) return 10;
     if (result == SolveResult::Unsat) return 20;

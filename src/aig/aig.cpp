@@ -4,6 +4,8 @@
 #include <cassert>
 #include <ostream>
 
+#include "src/base/fault.hpp"
+
 namespace hqs {
 
 Aig::Aig()
@@ -67,6 +69,10 @@ AigEdge Aig::mkAndRaw(AigEdge a, AigEdge b)
     const std::uint64_t key = andKey(a, b);
     auto it = strash_.find(key);
     if (it != strash_.end()) return AigEdge(it->second, false);
+    // Each strash miss allocates a node: the memory hot path, and therefore
+    // an injection site for testing bad_alloc recovery (one relaxed atomic
+    // load when no fault is armed).
+    fault::checkpointAlloc("aig-alloc");
     const auto idx = static_cast<std::uint32_t>(nodes_.size());
     Node n;
     n.fanin0 = a;

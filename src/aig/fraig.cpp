@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/aig/cnf_bridge.hpp"
+#include "src/base/fault.hpp"
 #include "src/base/rng.hpp"
 #include "src/base/timer.hpp"
 #include "src/sat/sat_solver.hpp"
@@ -111,6 +112,10 @@ std::uint64_t hashSig(const std::vector<std::uint64_t>& s)
 
 AigEdge fraigReduce(Aig& aig, AigEdge root, const FraigOptions& opts, FraigStats* stats)
 {
+    // The sweep's signature tables are the largest transient allocation in
+    // the solver; injecting bad_alloc here exercises the degradation
+    // ladder's FRAIG-off rung.
+    fault::checkpointAlloc("fraig");
     FraigStats localStats;
     FraigStats& st = stats ? *stats : localStats;
     if (aig.isConstant(root) || aig.isInput(root)) return root;

@@ -1,10 +1,15 @@
 // Cooperative cancellation for solver runs.
 //
 // A CancelToken is a shared atomic flag: the runtime (portfolio racer, batch
-// scheduler, a signal handler) sets it from one thread, and every solver loop
-// observes it through Deadline::expired() on the thread doing the work.  No
-// signals, no thread kills — a cancelled solver unwinds normally and returns
-// SolveResult::Timeout from the next loop head it reaches.
+// scheduler, the guard layer's resource watchdog) sets it from one thread,
+// and every solver loop observes it through Deadline::expired() on the
+// thread doing the work.  No signals, no thread kills — a cancelled solver
+// unwinds normally from the next loop head it reaches.
+//
+// A fired token carries a CancelReason so the unwinding solver can report
+// the right outcome: a plain cancellation surfaces as Timeout, while the
+// RSS watchdog fires with CancelReason::Memout and the solver's
+// deadlineExceededResult() (timer.hpp) turns that into SolveResult::Memout.
 #pragma once
 
 #include <atomic>
@@ -12,29 +17,60 @@
 
 namespace hqs {
 
+/// Why a CancelToken fired.  Ordered by precedence: the first requestCancel
+/// wins; later requests do not overwrite the recorded reason.
+enum class CancelReason : unsigned char {
+    None = 0,   ///< token has not fired
+    User = 1,   ///< external cancellation (shutdown, portfolio loser, Ctrl-C)
+    Memout = 2, ///< resource watchdog: unwind as Memout, not Timeout
+};
+
 /// Shared cancellation flag.  Copies refer to the same flag; firing any copy
 /// fires them all.  Cheap to copy (one shared_ptr), safe to fire and poll
 /// concurrently from any number of threads.
 class CancelToken {
 public:
-    CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+    CancelToken() : state_(std::make_shared<State>()) {}
 
-    /// Request cancellation.  Idempotent; thread-safe.
-    void requestCancel() const noexcept { flag_->store(true, std::memory_order_relaxed); }
+    /// Request cancellation.  Idempotent; thread-safe.  The first caller's
+    /// @p reason sticks.
+    void requestCancel(CancelReason reason = CancelReason::User) const noexcept
+    {
+        unsigned char expected = 0;
+        state_->reason.compare_exchange_strong(expected, static_cast<unsigned char>(reason),
+                                               std::memory_order_relaxed);
+        state_->fired.store(true, std::memory_order_release);
+    }
 
     /// Has cancellation been requested (on this token or any copy of it)?
-    bool cancelled() const noexcept { return flag_->load(std::memory_order_relaxed); }
+    bool cancelled() const noexcept { return state_->fired.load(std::memory_order_acquire); }
+
+    /// Why the token fired; None while it has not.
+    CancelReason reason() const noexcept
+    {
+        if (!cancelled()) return CancelReason::None;
+        return static_cast<CancelReason>(state_->reason.load(std::memory_order_relaxed));
+    }
 
     /// Re-arm a fired token for reuse.  Not synchronized with concurrent
     /// requestCancel(); only call between runs.
-    void reset() const noexcept { flag_->store(false, std::memory_order_relaxed); }
+    void reset() const noexcept
+    {
+        state_->reason.store(0, std::memory_order_relaxed);
+        state_->fired.store(false, std::memory_order_release);
+    }
 
-    /// The underlying flag, shared with every Deadline derived from this
-    /// token via Deadline::withCancel().
-    const std::shared_ptr<std::atomic<bool>>& flag() const { return flag_; }
+    /// Shared flag + reason pair, shared with every Deadline derived from
+    /// this token via Deadline::withCancel().
+    struct State {
+        std::atomic<bool> fired{false};
+        std::atomic<unsigned char> reason{0};
+    };
+
+    const std::shared_ptr<State>& state() const { return state_; }
 
 private:
-    std::shared_ptr<std::atomic<bool>> flag_;
+    std::shared_ptr<State> state_;
 };
 
 } // namespace hqs

@@ -1,0 +1,93 @@
+#include "src/base/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace hqs::fault {
+namespace detail {
+
+std::atomic<bool> enabled{false};
+
+namespace {
+
+std::mutex mu;
+std::string armedSiteName;       // under mu
+unsigned long armedNth = 1;      // under mu
+unsigned long hits = 0;          // under mu
+std::once_flag envOnce;
+
+void armLocked(const std::string& site, unsigned long nth)
+{
+    armedSiteName = site;
+    armedNth = nth == 0 ? 1 : nth;
+    hits = 0;
+    enabled.store(!site.empty(), std::memory_order_relaxed);
+}
+
+} // namespace
+
+void initFromEnvOnce()
+{
+    std::call_once(envOnce, [] {
+        const char* spec = std::getenv("HQS_FAULT");
+        if (!spec || !*spec) return;
+        std::string site(spec);
+        unsigned long nth = 1;
+        if (const auto colon = site.find(':'); colon != std::string::npos) {
+            try {
+                nth = std::stoul(site.substr(colon + 1));
+            } catch (const std::logic_error&) {
+                nth = 1; // malformed count: fire on the first hit
+            }
+            site.resize(colon);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        // Programmatic arm() before first checkpoint wins over the env var.
+        if (armedSiteName.empty()) armLocked(site, nth);
+    });
+}
+
+unsigned long hitSlow(const char* site)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (armedSiteName.empty() || armedSiteName != site) return 0;
+    if (++hits < armedNth) return 0;
+    const unsigned long firedAt = hits;
+    armLocked("", 1); // one-shot: disarm so retries run clean
+    return firedAt;
+}
+
+namespace {
+// Read HQS_FAULT at startup so env-armed checkpoints fire without any
+// programmatic call ever touching the registry.  All referenced statics
+// are defined earlier in this translation unit.
+[[maybe_unused]] const bool initAtStartup = [] {
+    initFromEnvOnce();
+    return true;
+}();
+} // namespace
+
+} // namespace detail
+
+void arm(const std::string& site, unsigned long nth)
+{
+    detail::initFromEnvOnce();
+    std::lock_guard<std::mutex> lock(detail::mu);
+    detail::armLocked(site, nth);
+}
+
+void disarm()
+{
+    detail::initFromEnvOnce();
+    std::lock_guard<std::mutex> lock(detail::mu);
+    detail::armLocked("", 1);
+}
+
+std::string armedSite()
+{
+    detail::initFromEnvOnce();
+    std::lock_guard<std::mutex> lock(detail::mu);
+    return detail::armedSiteName;
+}
+
+} // namespace hqs::fault

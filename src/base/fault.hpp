@@ -1,0 +1,100 @@
+// Deterministic fault injection for testing recovery paths.
+//
+// Production code marks interesting failure points with a named checkpoint:
+//
+//     fault::checkpoint("sat");            // throws fault::InjectedFault
+//     fault::checkpointAlloc("aig-alloc"); // throws std::bad_alloc
+//
+// Exactly one site may be armed at a time, either programmatically
+// (fault::arm / fault::ScopedFault in tests) or through the environment
+// variable `HQS_FAULT=site[:nth]`, read once at first use.  An armed site
+// fires exactly once, at its @p nth dynamic hit (1-based, default 1), and
+// then disarms itself — so a recovery path that retries the failed work
+// observes exactly one fault, which is what makes ladder/retry tests
+// deterministic.
+//
+// When nothing is armed a checkpoint costs one relaxed atomic load, cheap
+// enough for hot paths like AIG node allocation.
+//
+// Registered sites (keep in sync with README "Failure handling"):
+//   parse          DQDIMACS parser entry            -> InjectedFault
+//   aig-alloc      every AIG AND-node allocation    -> std::bad_alloc
+//   fraig          FRAIG sweep entry                -> std::bad_alloc
+//   sat            CDCL SAT solve entry             -> InjectedFault
+//   pool-dispatch  thread-pool job dispatch         -> InjectedFault
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace hqs::fault {
+
+/// Thrown by checkpoint() at an armed site.  Carries the site name so the
+/// guard layer can report where the fault was injected.
+class InjectedFault : public std::runtime_error {
+public:
+    InjectedFault(const std::string& site, unsigned long hit)
+        : std::runtime_error("injected fault at site '" + site + "' (hit " +
+                             std::to_string(hit) + ")"),
+          site_(site)
+    {
+    }
+
+    const std::string& site() const { return site_; }
+
+private:
+    std::string site_;
+};
+
+/// Arm @p site to fire at its @p nth dynamic hit (1-based).  Replaces any
+/// previously armed site and resets the hit counter.
+void arm(const std::string& site, unsigned long nth = 1);
+
+/// Disarm whatever is armed (idempotent).
+void disarm();
+
+/// The currently armed site ("" when disarmed).  Triggers the one-time
+/// HQS_FAULT environment lookup, so tests driven by the env var can ask
+/// which site the harness armed.
+std::string armedSite();
+
+namespace detail {
+extern std::atomic<bool> enabled;
+/// Returns the 1-based hit number if this call is the armed site's nth hit
+/// (and disarms), 0 otherwise.
+unsigned long hitSlow(const char* site);
+void initFromEnvOnce();
+} // namespace detail
+
+/// True exactly once: at the armed site's nth hit.  Free when disarmed.
+inline unsigned long shouldInject(const char* site)
+{
+    if (!detail::enabled.load(std::memory_order_relaxed)) return 0;
+    return detail::hitSlow(site);
+}
+
+/// Throw InjectedFault when @p site is armed and this is its nth hit.
+inline void checkpoint(const char* site)
+{
+    if (const unsigned long hit = shouldInject(site)) throw InjectedFault(site, hit);
+}
+
+/// Memory-pressure variant: throws std::bad_alloc, exactly what a real
+/// allocation failure at this site would look like to the recovery code.
+inline void checkpointAlloc(const char* site)
+{
+    if (shouldInject(site)) throw std::bad_alloc();
+}
+
+/// RAII arming for tests: arms on construction, disarms on destruction
+/// (even when the fault never fired).
+class ScopedFault {
+public:
+    explicit ScopedFault(const std::string& site, unsigned long nth = 1) { arm(site, nth); }
+    ~ScopedFault() { disarm(); }
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+} // namespace hqs::fault

@@ -18,4 +18,13 @@ std::string toString(SolveResult r)
 
 std::ostream& operator<<(std::ostream& os, SolveResult r) { return os << toString(r); }
 
+std::optional<SolveResult> solveResultFromString(const std::string& s)
+{
+    for (SolveResult r : {SolveResult::Sat, SolveResult::Unsat, SolveResult::Timeout,
+                          SolveResult::Memout, SolveResult::Unknown}) {
+        if (s == toString(r)) return r;
+    }
+    return std::nullopt;
+}
+
 } // namespace hqs

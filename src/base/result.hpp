@@ -2,6 +2,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 namespace hqs {
@@ -17,6 +18,10 @@ enum class SolveResult {
 
 std::string toString(SolveResult r);
 std::ostream& operator<<(std::ostream& os, SolveResult r);
+
+/// Inverse of toString (exact match); nullopt for anything else.  Used by
+/// the batch journal reader when resuming from a JSONL file.
+std::optional<SolveResult> solveResultFromString(const std::string& s);
 
 /// True for Sat/Unsat, false for the three inconclusive outcomes.
 inline bool isConclusive(SolveResult r)

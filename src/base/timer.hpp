@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/base/cancel.hpp"
+#include "src/base/result.hpp"
 
 namespace hqs {
 
@@ -58,13 +59,13 @@ public:
     Deadline withCancel(const CancelToken& token) const
     {
         Deadline d = *this;
-        d.cancel_ = token.flag();
+        d.cancel_ = token.state();
         return d;
     }
 
     bool expired() const
     {
-        if (cancel_ && cancel_->load(std::memory_order_relaxed)) return true;
+        if (cancelled()) return true;
         return Clock::now() >= expiry_;
     }
 
@@ -72,7 +73,14 @@ public:
     /// budget may or may not also be gone).
     bool cancelled() const
     {
-        return cancel_ && cancel_->load(std::memory_order_relaxed);
+        return cancel_ && cancel_->fired.load(std::memory_order_acquire);
+    }
+
+    /// Why the attached token fired; None without a token or while unfired.
+    CancelReason cancelReason() const
+    {
+        if (!cancelled()) return CancelReason::None;
+        return static_cast<CancelReason>(cancel_->reason.load(std::memory_order_relaxed));
     }
 
     bool isUnlimited() const
@@ -83,7 +91,18 @@ public:
 private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point expiry_;
-    std::shared_ptr<const std::atomic<bool>> cancel_;
+    std::shared_ptr<const CancelToken::State> cancel_;
 };
+
+/// The SolveResult a solver should return when @p d has expired: Memout when
+/// a resource watchdog fired the attached token with CancelReason::Memout,
+/// Timeout for the time budget and every other cancellation.  Every
+/// deadline-polling solver loop reports expiry through this helper so the
+/// guard layer's cooperative memout is visible end to end.
+inline SolveResult deadlineExceededResult(const Deadline& d)
+{
+    return d.cancelReason() == CancelReason::Memout ? SolveResult::Memout
+                                                    : SolveResult::Timeout;
+}
 
 } // namespace hqs

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/base/fault.hpp"
+
 namespace hqs {
 namespace {
 
@@ -59,6 +61,7 @@ Var takeVar(Tokens& t, Var numVars)
 
 ParsedQdimacs parseDqdimacs(std::istream& in)
 {
+    fault::checkpoint("parse");
     Tokens t(in);
     if (t.done() || t.take() != "p") throw ParseError("missing 'p cnf' header");
     if (t.done() || t.take() != "cnf") throw ParseError("header is not 'p cnf'");

@@ -160,7 +160,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
         return orderEliminationSet(f, std::move(set));
     };
     auto selected = selectOrdered();
-    if (!selected) return finish(SolveResult::Timeout, "selection");
+    if (!selected) return finish(deadlineExceededResult(opts_.deadline), "selection");
     stats_.selectedUniversals = selected->size();
     std::size_t nextPick = 0;
 
@@ -169,7 +169,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     auto housekeeping = [&]() -> SolveResult {
         const std::size_t cone = aig.coneSize(matrix);
         stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
-        if (opts_.deadline.expired()) return SolveResult::Timeout;
+        if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
         if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
         if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
             FraigOptions fopts;
@@ -330,7 +330,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
             // List exhausted but the graph is still cyclic (earlier unit or
             // pure eliminations can strand the precomputed list): reselect.
             selected = selectOrdered();
-            if (!selected) return finish(SolveResult::Timeout, "selection");
+            if (!selected) return finish(deadlineExceededResult(opts_.deadline), "selection");
             nextPick = 0;
             continue;
         }
@@ -339,11 +339,11 @@ SolveResult HqsSolver::solve(DqbfFormula f)
         // Each of the two cofactors and the substitution below copies O(cone)
         // nodes; on huge cones that overshoots the budget badly if only the
         // loop head checks — so check between the expensive steps too.
-        if (opts_.deadline.expired()) return finish(SolveResult::Timeout, "elimination");
+        if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
         const AigEdge cof0 = aig.cofactor(matrix, pick, false);
-        if (opts_.deadline.expired()) return finish(SolveResult::Timeout, "elimination");
+        if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
         AigEdge cof1 = aig.cofactor(matrix, pick, true);
-        if (opts_.deadline.expired()) return finish(SolveResult::Timeout, "elimination");
+        if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
         const std::vector<Var> supp1 = aig.support(cof1);
         const std::unordered_set<Var> supp1Set(supp1.begin(), supp1.end());
 
@@ -385,7 +385,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
             const BddRef bddMatrix = bddFromAig(bdd, aig, matrix);
             r = backend.solve(bdd, bddMatrix, prefix);
         } catch (const BddLimitExceeded& e) {
-            r = e.byNodeLimit() ? SolveResult::Memout : SolveResult::Timeout;
+            r = e.byNodeLimit() ? SolveResult::Memout : deadlineExceededResult(opts_.deadline);
         }
         stats_.peakConeSize = std::max(stats_.peakConeSize, backend.stats().peakConeSize);
         return finish(r, "qbf-backend");

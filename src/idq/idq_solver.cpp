@@ -117,13 +117,13 @@ SolveResult IdqSolver::solve(const DqbfFormula& f)
     std::map<Assignment, bool> seen; // the set A
     for (;;) {
         ++stats_.iterations;
-        if (opts_.deadline.expired()) return SolveResult::Timeout;
+        if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
         if (opts_.groundClauseLimit != 0 && stats_.groundClauses > opts_.groundClauseLimit) {
             return SolveResult::Memout;
         }
 
         const SolveResult groundRes = ground.solve({}, opts_.deadline);
-        if (groundRes == SolveResult::Timeout) return SolveResult::Timeout;
+        if (groundRes == SolveResult::Timeout || groundRes == SolveResult::Memout) return groundRes;
         if (groundRes == SolveResult::Unsat) return SolveResult::Unsat;
 
         // Candidate Skolem table from the ground model; unseen entries
@@ -160,7 +160,7 @@ SolveResult IdqSolver::solve(const DqbfFormula& f)
         AigCnfBridge bridge(aig, cexSat);
         const Lit cexLit = bridge.litFor(cexCondition);
         const SolveResult cexRes = cexSat.solve({cexLit}, opts_.deadline);
-        if (cexRes == SolveResult::Timeout) return SolveResult::Timeout;
+        if (cexRes == SolveResult::Timeout || cexRes == SolveResult::Memout) return cexRes;
         if (cexRes == SolveResult::Unsat) {
             buildCertificate();
             return SolveResult::Sat;

@@ -56,7 +56,7 @@ SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
     auto housekeeping = [&]() -> SolveResult {
         const std::size_t cone = aig.coneSize(matrix);
         stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
-        if (opts_.deadline.expired()) return SolveResult::Timeout;
+        if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
         if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
         if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
             FraigOptions fopts;
@@ -191,7 +191,7 @@ SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
         AigCnfBridge bridge(aig, sat);
         const Lit out = bridge.litFor(matrix);
         if (sat.solve({out}, opts_.deadline) != SolveResult::Sat) {
-            return SolveResult::Timeout; // deadline hit mid-certification
+            return deadlineExceededResult(opts_.deadline); // deadline hit mid-certification
         }
         for (Var v : aig.support(matrix)) {
             const lbool val = sat.modelValue(bridge.satVarForInput(v));

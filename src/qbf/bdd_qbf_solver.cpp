@@ -53,7 +53,7 @@ SolveResult BddQbfSolver::solve(const Cnf& matrix, const QbfPrefix& prefix)
     try {
         f = bdd.fromCnf(matrix);
     } catch (const BddLimitExceeded& e) {
-        return e.byNodeLimit() ? SolveResult::Memout : SolveResult::Timeout;
+        return e.byNodeLimit() ? SolveResult::Memout : deadlineExceededResult(opts_.deadline);
     }
     return solve(bdd, f, prefix);
 }
@@ -68,7 +68,7 @@ SolveResult BddQbfSolver::solve(Bdd& bdd, BddRef f, const QbfPrefix& prefix)
     for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
         for (Var v : it->vars) {
             if (bdd.isConstant(f)) break;
-            if (opts_.deadline.expired()) return SolveResult::Timeout;
+            if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
             if (opts_.nodeLimit != 0 && bdd.numNodes() > opts_.nodeLimit) {
                 return SolveResult::Memout;
             }
@@ -76,7 +76,7 @@ SolveResult BddQbfSolver::solve(Bdd& bdd, BddRef f, const QbfPrefix& prefix)
                 f = (it->kind == QuantKind::Exists) ? bdd.existsVar(f, v)
                                                     : bdd.forallVar(f, v);
             } catch (const BddLimitExceeded& e) {
-                return e.byNodeLimit() ? SolveResult::Memout : SolveResult::Timeout;
+                return e.byNodeLimit() ? SolveResult::Memout : deadlineExceededResult(opts_.deadline);
             }
             ++stats_.eliminations;
             stats_.peakConeSize = std::max(stats_.peakConeSize, bdd.coneSize(f));

@@ -150,7 +150,7 @@ SolveResult QdpllSolver::solve(const Cnf& matrix, const QbfPrefix& prefix)
     if (!propagate()) return SolveResult::Unsat;
 
     for (;;) {
-        if ((stats_.decisions & 0xff) == 0 && deadline_.expired()) return SolveResult::Timeout;
+        if ((stats_.decisions & 0xff) == 0 && deadline_.expired()) return deadlineExceededResult(deadline_);
 
         // Next decision: first unassigned variable in prefix order.
         Var pick = kNoVar;

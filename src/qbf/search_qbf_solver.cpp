@@ -24,7 +24,7 @@ private:
             // Non-constant matrix over free (existential) variables.
             return SolveResult::Sat;
         }
-        if (deadline_.expired()) return SolveResult::Timeout;
+        if (deadline_.expired()) return deadlineExceededResult(deadline_);
 
         const std::uint64_t key =
             (static_cast<std::uint64_t>(depth) << 32) | matrix.code();
@@ -34,7 +34,7 @@ private:
         const auto [kind, v] = order_[depth];
         const SolveResult r0 = decide(depth + 1, aig_.cofactor(matrix, v, false));
         SolveResult result;
-        if (r0 == SolveResult::Timeout) {
+        if (r0 == SolveResult::Timeout || r0 == SolveResult::Memout) {
             result = r0;
         } else if (kind == QuantKind::Exists && r0 == SolveResult::Sat) {
             result = SolveResult::Sat;
@@ -43,7 +43,7 @@ private:
         } else {
             result = decide(depth + 1, aig_.cofactor(matrix, v, true));
         }
-        if (result != SolveResult::Timeout) cache_.emplace(key, result);
+        if (isConclusive(result)) cache_.emplace(key, result);
         return result;
     }
 

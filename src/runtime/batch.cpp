@@ -1,10 +1,12 @@
 #include "src/runtime/batch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <mutex>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
 
 #include "src/base/timer.hpp"
 #include "src/cnf/dimacs.hpp"
@@ -39,38 +41,114 @@ void writeJsonString(std::ostream& os, const std::string& s)
     os << '"';
 }
 
+/// Extract the JSON string value following `"key":` in @p line (as written
+/// by writeJsonString).  Returns false when the key is absent or the value
+/// is torn (unterminated — a killed writer mid-line).
+bool readJsonStringField(const std::string& line, const std::string& key, std::string& out)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t start = line.find(needle);
+    if (start == std::string::npos) return false;
+    out.clear();
+    std::size_t i = start + needle.size();
+    while (i < line.size()) {
+        const char c = line[i];
+        if (c == '"') return true;
+        if (c == '\\') {
+            if (i + 1 >= line.size()) return false;
+            const char esc = line[i + 1];
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    // Only \u00XX is ever produced by writeJsonString.
+                    if (i + 5 >= line.size()) return false;
+                    const std::string hex = line.substr(i + 2, 4);
+                    out.push_back(static_cast<char>(std::stoul(hex, nullptr, 16)));
+                    i += 4;
+                    break;
+                }
+                default: return false;
+            }
+            i += 2;
+        } else {
+            out.push_back(c);
+            ++i;
+        }
+    }
+    return false; // ran off the end inside the string: torn line
+}
+
 struct SolveOutcome {
     SolveResult result = SolveResult::Unknown;
     std::string engine;
+    FailureInfo failure;
 };
 
-SolveOutcome solveOnce(const DqbfFormula& f, const BatchOptions& opts, bool degraded)
+/// One guarded attempt at rung @p rung.
+SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
+                         const DegradationRung& rung)
 {
-    const std::size_t nodeLimit =
-        degraded ? std::max<std::size_t>(1, opts.nodeLimit / 2) : opts.nodeLimit;
-    const Deadline deadline =
-        Deadline::in(opts.jobTimeoutSeconds).withCancel(opts.cancel);
-    if (opts.portfolio) {
-        PortfolioOptions popts;
-        popts.maxEngines = opts.portfolioEngines;
-        popts.deadline = deadline;
-        popts.nodeLimit = nodeLimit;
-        popts.engines = PortfolioSolver::defaultEngines(nodeLimit, /*fraig=*/!degraded);
-        PortfolioSolver solver(popts);
-        SolveOutcome out;
-        out.result = solver.solve(f);
-        out.engine = solver.stats().winnerName;
-        return out;
-    }
-    HqsOptions hopts;
-    hopts.nodeLimit = nodeLimit;
-    hopts.deadline = deadline;
-    hopts.fraig = !degraded;
-    HqsSolver solver(hopts);
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(opts.nodeLimit) * rung.nodeLimitScale);
+    const std::size_t nodeLimit = opts.nodeLimit == 0 ? 0 : std::max<std::size_t>(1, scaled);
+
+    GuardOptions gopts;
+    gopts.deadline = Deadline::in(opts.jobTimeoutSeconds);
+    gopts.cancel = opts.cancel;
+    gopts.rssLimitBytes = opts.rssLimitBytes;
+
     SolveOutcome out;
-    out.result = solver.solve(f);
-    out.engine = "hqs";
+    const GuardedOutcome guarded = runGuarded(gopts, [&](const Deadline& dl) {
+        // Parsing runs inside the guard too: a malformed instance becomes a
+        // ParseError failure record, not a dead worker.  Re-parsing per rung
+        // costs little against a solve and keeps attempts independent.
+        const DqbfFormula formula = DqbfFormula::fromParsed(parseDqdimacsFile(path));
+        if (opts.portfolio) {
+            PortfolioOptions popts;
+            popts.maxEngines = opts.portfolioEngines;
+            popts.deadline = dl;
+            popts.nodeLimit = nodeLimit;
+            popts.engines = PortfolioSolver::defaultEngines(nodeLimit, rung.fraig);
+            PortfolioSolver solver(popts);
+            const SolveResult r = solver.solve(formula);
+            out.engine = solver.stats().winnerName;
+            if (solver.stats().failure) out.failure = solver.stats().failure;
+            return r;
+        }
+        HqsOptions hopts;
+        hopts.nodeLimit = nodeLimit;
+        hopts.deadline = dl;
+        hopts.fraig = rung.fraig;
+        if (opts.fraigThresholdNodes != 0)
+            hopts.fraigThresholdNodes = opts.fraigThresholdNodes;
+        if (rung.bddBackend) hopts.backend = HqsOptions::Backend::BddElimination;
+        HqsSolver solver(hopts);
+        const SolveResult r = solver.solve(formula);
+        out.engine = "hqs";
+        return r;
+    });
+    out.result = guarded.result;
+    if (guarded.failure) out.failure = guarded.failure;
     return out;
+}
+
+/// Should the ladder advance past an attempt that ended like @p out?
+/// Resource exhaustion and crash-style failures are retryable at a cheaper
+/// rung; parse errors and cancellations are terminal.
+bool rungRetryable(const SolveOutcome& out)
+{
+    if (isConclusive(out.result)) return false;
+    if (out.result == SolveResult::Memout) return true;
+    switch (out.failure.kind) {
+        case FailureKind::BadAlloc:
+        case FailureKind::InjectedFault:
+        case FailureKind::EngineError: return true;
+        default: return false;
+    }
 }
 
 } // namespace
@@ -86,11 +164,78 @@ void writeJsonl(const BatchJobResult& r, std::ostream& os)
     writeJsonString(os, r.engine);
     os << ",\"attempts\":" << r.attempts;
     os << ",\"degraded\":" << (r.degraded ? "true" : "false");
+    if (!r.rung.empty()) {
+        os << ",\"rung\":";
+        writeJsonString(os, r.rung);
+    }
+    if (r.failure) {
+        os << ",\"failure\":{\"kind\":";
+        writeJsonString(os, toString(r.failure.kind));
+        os << ",\"site\":";
+        writeJsonString(os, r.failure.site);
+        os << ",\"what\":";
+        writeJsonString(os, r.failure.what);
+        os << '}';
+    }
     if (!r.error.empty()) {
         os << ",\"error\":";
         writeJsonString(os, r.error);
     }
     os << "}\n";
+}
+
+bool readJsonl(const std::string& line, BatchJobResult& out)
+{
+    if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+    BatchJobResult r;
+    if (!readJsonStringField(line, "instance", r.instance)) return false;
+    std::string resultText;
+    if (!readJsonStringField(line, "result", resultText)) return false;
+    const std::optional<SolveResult> parsed = solveResultFromString(resultText);
+    if (!parsed) return false;
+    r.result = *parsed;
+    readJsonStringField(line, "engine", r.engine);      // optional for resume
+    readJsonStringField(line, "rung", r.rung);          // optional
+    std::string kindText;
+    if (readJsonStringField(line, "kind", kindText)) {
+        for (FailureKind k : {FailureKind::ParseError, FailureKind::BadAlloc,
+                              FailureKind::RssLimit, FailureKind::InjectedFault,
+                              FailureKind::EngineError, FailureKind::Disagreement,
+                              FailureKind::Cancelled}) {
+            if (kindText == toString(k)) r.failure.kind = k;
+        }
+        readJsonStringField(line, "site", r.failure.site);
+        readJsonStringField(line, "what", r.failure.what);
+    }
+    readJsonStringField(line, "error", r.error);
+    out = std::move(r);
+    return true;
+}
+
+std::vector<BatchJobResult> readJournal(std::istream& in)
+{
+    std::vector<BatchJobResult> entries;
+    std::unordered_map<std::string, std::size_t> indexOf;
+    std::string line;
+    while (std::getline(in, line)) {
+        BatchJobResult r;
+        if (!readJsonl(line, r)) continue; // torn/garbage line: skip
+        const auto [it, inserted] = indexOf.emplace(r.instance, entries.size());
+        if (inserted) {
+            entries.push_back(std::move(r));
+        } else {
+            entries[it->second] = std::move(r); // later run of the same instance wins
+        }
+    }
+    return entries;
+}
+
+std::unordered_set<std::string> conclusiveInstances(const std::vector<BatchJobResult>& journal)
+{
+    std::unordered_set<std::string> done;
+    for (const BatchJobResult& r : journal)
+        if (isConclusive(r.result)) done.insert(r.instance);
+    return done;
 }
 
 std::vector<std::string> BatchScheduler::collectInstances(const std::string& dir)
@@ -113,7 +258,12 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
     // A portfolio job spawns its own racer threads; sharding the batch wide
     // AND racing wide oversubscribes, but that is the caller's knob to turn.
 
-    std::mutex outMu;
+    const std::vector<DegradationRung> ladder =
+        opts_.ladder.empty() ? defaultDegradationLadder() : opts_.ladder;
+    rungStats_.assign(ladder.size(), RungStats{});
+    for (std::size_t i = 0; i < ladder.size(); ++i) rungStats_[i].name = ladder[i].name;
+
+    std::mutex outMu; // serializes the JSONL stream and the rung counters
     {
         ThreadPool pool(workers);
         for (std::size_t i = 0; i < files.size(); ++i) {
@@ -123,32 +273,40 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                 Timer t;
                 if (opts_.cancel.cancelled()) {
                     r.result = SolveResult::Timeout;
-                    r.error = "cancelled before start";
+                    r.failure = {FailureKind::Cancelled, "batch", "cancelled before start"};
                 } else {
-                    DqbfFormula formula;
-                    bool parsed = false;
-                    try {
-                        formula = DqbfFormula::fromParsed(parseDqdimacsFile(files[i]));
-                        parsed = true;
-                    } catch (const std::exception& e) {
-                        r.result = SolveResult::Unknown;
-                        r.error = e.what();
-                    }
-                    if (parsed) {
-                        SolveOutcome out = solveOnce(formula, opts_, /*degraded=*/false);
-                        r.attempts = 1;
-                        if (out.result == SolveResult::Memout && opts_.retryOnMemout &&
-                            !opts_.cancel.cancelled()) {
-                            out = solveOnce(formula, opts_, /*degraded=*/true);
-                            r.attempts = 2;
-                            r.degraded = true;
+                    SolveOutcome out;
+                    std::size_t rungIdx = 0;
+                    for (;; ++rungIdx) {
+                        const DegradationRung& rung = ladder[rungIdx];
+                        if (rung.backoffSeconds > 0 && rungIdx > 0) {
+                            std::this_thread::sleep_for(std::chrono::duration<double>(
+                                rung.backoffSeconds));
                         }
-                        r.result = out.result;
-                        r.engine = out.engine;
-                        if (opts_.cancel.cancelled() && !isConclusive(r.result))
-                            r.error = "batch cancelled";
+                        out = solveAtRung(files[i], opts_, rung);
+                        {
+                            std::lock_guard<std::mutex> lock(outMu);
+                            RungStats& rs = rungStats_[rungIdx];
+                            ++rs.attempts;
+                            if (isConclusive(out.result)) ++rs.conclusive;
+                            if (out.result == SolveResult::Memout) ++rs.memouts;
+                            if (out.failure) ++rs.failures;
+                        }
+                        r.attempts = static_cast<unsigned>(rungIdx + 1);
+                        if (rungIdx + 1 >= ladder.size() || !rungRetryable(out) ||
+                            opts_.cancel.cancelled()) {
+                            break;
+                        }
                     }
+                    r.result = out.result;
+                    r.engine = out.engine;
+                    r.failure = out.failure;
+                    r.rung = ladder[rungIdx].name;
+                    r.degraded = rungIdx > 0;
+                    if (opts_.cancel.cancelled() && !isConclusive(r.result) && !r.failure)
+                        r.failure = {FailureKind::Cancelled, "batch", "batch cancelled"};
                 }
+                if (r.failure && r.error.empty()) r.error = r.failure.what;
                 r.wallMilliseconds = t.elapsedMilliseconds();
                 if (jsonl) {
                     std::lock_guard<std::mutex> lock(outMu);

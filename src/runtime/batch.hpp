@@ -1,21 +1,32 @@
 // Batch job scheduler: shard a set of .dqdimacs instances across a worker
-// pool with per-job wall-clock and AIG-node budgets.
+// pool with per-job wall-clock, AIG-node, and RSS budgets.
 //
 // Each job parses one file and solves it with either the paper's HQS
-// configuration or a portfolio race.  A job that dies on the node budget is
-// retried once with a degraded fail-fast configuration (FRAIG off, node
-// limit halved) so a memout resolves quickly instead of burning the rest of
-// its wall-clock.  Results stream out as one JSON object per line (JSONL),
-// the format the bench harness ingests.
+// configuration or a portfolio race.  Every attempt runs under the guard
+// layer (guard.hpp): exceptions become structured FailureInfo records, and
+// an optional RSS watchdog converts imminent memory exhaustion into a
+// cooperative Memout.  A job that dies on a resource budget (or crashes)
+// walks down a configurable degradation ladder — full -> FRAIG off -> node
+// budget halved -> BDD fallback engine — so a memout resolves into the
+// cheapest configuration that still answers instead of burning the rest of
+// its wall-clock.
+//
+// Results stream out as one JSON object per line (JSONL).  The stream
+// doubles as a journal: readJournal() parses it back (tolerating a
+// truncated final line from a killed run), and conclusiveInstances() tells
+// a resuming run which instances it can skip.  `dqbf_batch --resume` wires
+// the two together.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/cancel.hpp"
 #include "src/base/result.hpp"
+#include "src/runtime/guard.hpp"
 
 namespace hqs {
 
@@ -26,15 +37,25 @@ struct BatchOptions {
     double jobTimeoutSeconds = 0.0;
     /// Per-job AIG-node budget, the stand-in for the paper's 8 GB memout
     /// (0 = unlimited; also caps the iDQ ground-clause count in portfolio
-    /// mode).
+    /// mode).  Rungs of the degradation ladder scale this down.
     std::size_t nodeLimit = 0;
+    /// Process-RSS budget in bytes (0 = no watchdog).  The guard layer fires
+    /// a cooperative Memout before the OS OOM-killer would act.  RSS is
+    /// process-wide: under concurrent jobs the first breach degrades every
+    /// running job, which is the intended load-shedding behavior.
+    std::size_t rssLimitBytes = 0;
+    /// FRAIG sweep threshold forwarded to HQS (node count above which the
+    /// main loop sweeps).  Exposed mainly so tests can force a sweep on
+    /// small instances; 0 keeps the solver default.
+    std::size_t fraigThresholdNodes = 0;
     /// Solve each instance with a portfolio race instead of single HQS.
     bool portfolio = false;
     /// In portfolio mode: race only the first N default engines (0 = all).
     std::size_t portfolioEngines = 0;
-    /// Retry a Memout once with the degraded config (FRAIG off, nodeLimit
-    /// halved) before reporting it.
-    bool retryOnMemout = true;
+    /// Degradation ladder; rung 0 is the primary configuration.  An attempt
+    /// that ends in Memout or a crash-style failure moves to the next rung
+    /// (after that rung's backoff).  Resize to one rung to disable retries.
+    std::vector<DegradationRung> ladder = defaultDegradationLadder();
     /// Fires to abandon the whole batch: running jobs unwind with Timeout,
     /// queued jobs are reported as cancelled without being solved.
     CancelToken cancel;
@@ -48,18 +69,33 @@ struct BatchJobResult {
     /// Engine that produced the verdict: "hqs" or the portfolio winner's
     /// name ("" while no engine was definitive).
     std::string engine;
-    unsigned attempts = 0;  ///< 1, or 2 after a memout retry
-    bool degraded = false;  ///< verdict came from the degraded retry config
-    std::string error;      ///< non-empty on parse failure / cancellation
+    unsigned attempts = 0;   ///< rungs tried (1 = answered at the full config)
+    bool degraded = false;   ///< verdict came from a rung below "full"
+    std::string rung;        ///< name of the rung that produced the verdict
+    /// Structured failure from the final attempt (kind None on clean runs).
+    FailureInfo failure;
+    std::string error;       ///< human-readable mirror of `failure.what`
 };
 
-/// Serialize @p r as a single JSONL line (no trailing newline appended by
-/// the caller — this writes one).
+/// Serialize @p r as a single JSONL line (terminating newline included).
 void writeJsonl(const BatchJobResult& r, std::ostream& os);
+
+/// Parse one JSONL line previously produced by writeJsonl.  Returns false
+/// on garbage (e.g. the torn final line of a killed run).
+bool readJsonl(const std::string& line, BatchJobResult& out);
+
+/// Parse a whole journal stream, skipping unparsable lines.  When a run was
+/// resumed into the same file an instance can appear more than once; the
+/// last entry wins.
+std::vector<BatchJobResult> readJournal(std::istream& in);
+
+/// The instances of @p journal that already carry a conclusive (Sat/Unsat)
+/// verdict — the set a resuming run skips.
+std::unordered_set<std::string> conclusiveInstances(const std::vector<BatchJobResult>& journal);
 
 class BatchScheduler {
 public:
-    explicit BatchScheduler(BatchOptions opts = {}) : opts_(opts) {}
+    explicit BatchScheduler(BatchOptions opts = {}) : opts_(std::move(opts)) {}
 
     /// All *.dqdimacs files directly inside @p dir, sorted by name.
     static std::vector<std::string> collectInstances(const std::string& dir);
@@ -70,8 +106,12 @@ public:
     std::vector<BatchJobResult> run(const std::vector<std::string>& files,
                                     std::ostream* jsonl = nullptr);
 
+    /// Per-rung counters for the last run(), one entry per ladder rung.
+    const std::vector<RungStats>& rungStats() const { return rungStats_; }
+
 private:
     BatchOptions opts_;
+    std::vector<RungStats> rungStats_;
 };
 
 } // namespace hqs

@@ -1,0 +1,159 @@
+#include "src/runtime/guard.hpp"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "src/base/fault.hpp"
+#include "src/cnf/dimacs.hpp"
+
+#ifdef __linux__
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace hqs {
+
+const char* toString(FailureKind k)
+{
+    switch (k) {
+        case FailureKind::None: return "none";
+        case FailureKind::ParseError: return "parse-error";
+        case FailureKind::BadAlloc: return "bad-alloc";
+        case FailureKind::RssLimit: return "rss-limit";
+        case FailureKind::InjectedFault: return "injected-fault";
+        case FailureKind::EngineError: return "engine-error";
+        case FailureKind::Disagreement: return "disagreement";
+        case FailureKind::Cancelled: return "cancelled";
+    }
+    return "invalid";
+}
+
+FailureInfo classifyException(const std::exception_ptr& e)
+{
+    FailureInfo info;
+    if (!e) return info;
+    try {
+        std::rethrow_exception(e);
+    } catch (const fault::InjectedFault& f) {
+        info = {FailureKind::InjectedFault, f.site(), f.what()};
+    } catch (const ParseError& p) {
+        info = {FailureKind::ParseError, "parse", p.what()};
+    } catch (const std::bad_alloc& b) {
+        info = {FailureKind::BadAlloc, "", b.what()};
+    } catch (const std::exception& x) {
+        info = {FailureKind::EngineError, "", x.what()};
+    } catch (...) {
+        info = {FailureKind::EngineError, "", "non-standard exception"};
+    }
+    return info;
+}
+
+std::size_t readRssBytes()
+{
+#ifdef __linux__
+    // /proc/self/statm field 2 is the resident set in pages; reading it is a
+    // few microseconds, fine for a 10 ms poll loop.
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (!f) return 0;
+    unsigned long sizePages = 0, rssPages = 0;
+    const int n = std::fscanf(f, "%lu %lu", &sizePages, &rssPages);
+    std::fclose(f);
+    if (n != 2) return 0;
+    return static_cast<std::size_t>(rssPages) *
+           static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+    return 0;
+#endif
+}
+
+GuardedOutcome runGuarded(const GuardOptions& opts,
+                          const std::function<SolveResult(const Deadline&)>& body)
+{
+    GuardedOutcome out;
+
+    CancelToken inner;
+    const Deadline dl = opts.deadline.withCancel(inner);
+
+    // The watchdog owns two duties: forward the external kill switch, and
+    // trip a cooperative Memout when RSS crosses the budget.  Without either
+    // duty no thread is spawned.
+    const bool wantWatchdog = opts.cancel.has_value() || opts.rssLimitBytes != 0;
+    std::atomic<bool> done{false};
+    std::atomic<bool> rssTripped{false};
+    std::atomic<std::size_t> peakRss{0};
+    std::thread watchdog;
+    if (wantWatchdog) {
+        const auto poll = std::chrono::duration<double, std::milli>(
+            opts.watchdogPollMilliseconds > 0 ? opts.watchdogPollMilliseconds : 10.0);
+        watchdog = std::thread([&, poll] {
+            const std::function<std::size_t()> probe =
+                opts.memoryProbe ? opts.memoryProbe : std::function<std::size_t()>(&readRssBytes);
+            while (!done.load(std::memory_order_acquire)) {
+                if (opts.cancel && opts.cancel->cancelled()) {
+                    inner.requestCancel(CancelReason::User);
+                    return;
+                }
+                if (opts.rssLimitBytes != 0) {
+                    const std::size_t rss = probe();
+                    if (rss > peakRss.load(std::memory_order_relaxed))
+                        peakRss.store(rss, std::memory_order_relaxed);
+                    if (rss > opts.rssLimitBytes) {
+                        rssTripped.store(true, std::memory_order_release);
+                        inner.requestCancel(CancelReason::Memout);
+                        return;
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(poll));
+            }
+        });
+    }
+
+    try {
+        out.result = body(dl);
+    } catch (...) {
+        out.failure = classifyException(std::current_exception());
+        // A memory failure maps onto the resource-budget outcome the rest of
+        // the runtime already understands (degradation ladder, retry).
+        out.result = out.failure.kind == FailureKind::BadAlloc ? SolveResult::Memout
+                                                               : SolveResult::Unknown;
+    }
+
+    done.store(true, std::memory_order_release);
+    if (watchdog.joinable()) watchdog.join();
+    out.peakRssBytes = peakRss.load(std::memory_order_relaxed);
+
+    if (!isConclusive(out.result)) {
+        if (rssTripped.load(std::memory_order_acquire)) {
+            // Cooperative memout: the solver unwound because we fired the
+            // token.  Normalize the result and attach the structured record.
+            out.result = SolveResult::Memout;
+            if (!out.failure) {
+                out.failure = {FailureKind::RssLimit, "rss-watchdog",
+                               "process RSS exceeded " +
+                                   std::to_string(opts.rssLimitBytes) + " bytes"};
+            }
+        } else if (opts.cancel && opts.cancel->cancelled() && !out.failure) {
+            out.failure = {FailureKind::Cancelled, "", "run cancelled"};
+        }
+    }
+    return out;
+}
+
+std::vector<DegradationRung> defaultDegradationLadder()
+{
+    return {
+        {"full", /*fraig=*/true, /*nodeLimitScale=*/1.0, /*bddBackend=*/false,
+         /*backoffSeconds=*/0.0},
+        {"no-fraig", /*fraig=*/false, /*nodeLimitScale=*/1.0, /*bddBackend=*/false,
+         /*backoffSeconds=*/0.0},
+        {"half-nodes", /*fraig=*/false, /*nodeLimitScale=*/0.5, /*bddBackend=*/false,
+         /*backoffSeconds=*/0.01},
+        {"bdd", /*fraig=*/false, /*nodeLimitScale=*/0.5, /*bddBackend=*/true,
+         /*backoffSeconds=*/0.01},
+    };
+}
+
+} // namespace hqs

@@ -1,0 +1,122 @@
+// Guarded execution: structured failures, a resource watchdog, and the
+// batch scheduler's degradation ladder.
+//
+// The paper's evaluation runs 1820 instances under an 8 GB / 3600 s budget,
+// so resource exhaustion is the common case.  runGuarded() executes one
+// engine call and guarantees the process survives whatever that call does:
+//
+//   * every exception (std::bad_alloc, ParseError, an injected fault, any
+//     engine bug) is converted into a FailureInfo carried alongside the
+//     SolveResult instead of unwinding into the worker pool;
+//   * a watchdog thread polls the process RSS and fires the run's
+//     CancelToken with CancelReason::Memout before the OS OOM-killer would
+//     act, so the solver unwinds cooperatively and reports Memout;
+//   * an external kill switch (batch shutdown) is forwarded into the run.
+//
+// The failure taxonomy (FailureKind) is shared by the thread pool, the
+// portfolio racer, and the batch scheduler's JSONL output.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/cancel.hpp"
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+
+namespace hqs {
+
+/// What went wrong, taxonomized.  `None` means the run completed without a
+/// structured failure (its SolveResult may still be Timeout/Unknown).
+enum class FailureKind {
+    None,
+    ParseError,    ///< malformed input (cnf/dimacs.cpp ParseError)
+    BadAlloc,      ///< allocation failure (std::bad_alloc, real or injected)
+    RssLimit,      ///< guard watchdog tripped the RSS budget
+    InjectedFault, ///< fault::InjectedFault from an armed checkpoint
+    EngineError,   ///< any other exception escaping an engine
+    Disagreement,  ///< two engines returned contradictory conclusive verdicts
+    Cancelled,     ///< run abandoned by an external kill switch
+};
+
+const char* toString(FailureKind k);
+
+/// Structured failure record: what kind, where, and the exception text.
+struct FailureInfo {
+    FailureKind kind = FailureKind::None;
+    std::string site;  ///< injection site / subsystem ("" when unknown)
+    std::string what;  ///< exception message or human-readable detail
+
+    explicit operator bool() const { return kind != FailureKind::None; }
+};
+
+/// Classify the in-flight exception of a catch block into a FailureInfo.
+/// Call with std::current_exception(); never throws.
+FailureInfo classifyException(const std::exception_ptr& e);
+
+/// Current process resident-set size in bytes; 0 when the platform gives no
+/// cheap answer (non-Linux).
+std::size_t readRssBytes();
+
+struct GuardOptions {
+    /// Wall-clock budget for the guarded call (cancel tokens are attached by
+    /// the guard itself; see `cancel`).
+    Deadline deadline = Deadline::unlimited();
+    /// External kill switch, forwarded into the run by the watchdog.
+    std::optional<CancelToken> cancel;
+    /// Fire a cooperative Memout when process RSS exceeds this many bytes
+    /// (0 = no RSS watchdog).  NOTE: RSS is process-wide; with several
+    /// guarded runs in flight the first budget breach degrades all of them,
+    /// which is the intended behavior one step before the OOM-killer.
+    std::size_t rssLimitBytes = 0;
+    /// Memory probe override for tests (default: readRssBytes).
+    std::function<std::size_t()> memoryProbe;
+    /// Watchdog poll interval.
+    double watchdogPollMilliseconds = 10.0;
+};
+
+struct GuardedOutcome {
+    SolveResult result = SolveResult::Unknown;
+    FailureInfo failure;          ///< kind == None on a clean run
+    std::size_t peakRssBytes = 0; ///< highest probe reading (0 without watchdog)
+};
+
+/// Run @p body under the guard.  The Deadline handed to @p body carries the
+/// guard's internal CancelToken: the body must poll it (all solvers do) and
+/// return deadlineExceededResult() on expiry.  Exceptions thrown by the body
+/// are classified, never propagated.
+GuardedOutcome runGuarded(const GuardOptions& opts,
+                          const std::function<SolveResult(const Deadline&)>& body);
+
+// ----------------------------------------------------------------- ladder
+
+/// One rung of the batch scheduler's degradation ladder: a cheaper engine
+/// configuration tried after the previous rung died on a resource budget or
+/// crashed.  Scales/flags apply relative to the batch options.
+struct DegradationRung {
+    std::string name;            ///< JSONL `rung` value ("full", "no-fraig", ...)
+    bool fraig = true;           ///< FRAIG sweeping on this rung
+    double nodeLimitScale = 1.0; ///< multiplies the configured node budget
+    bool bddBackend = false;     ///< use the BDD elimination fallback engine
+    double backoffSeconds = 0.0; ///< sleep before attempting this rung
+};
+
+/// The default ladder: full -> FRAIG off -> node budget halved -> BDD
+/// fallback engine.  Backoffs are tiny: rungs exist to shed memory pressure,
+/// not to wait out external services.
+std::vector<DegradationRung> defaultDegradationLadder();
+
+/// Per-rung counters accumulated by the batch scheduler.
+struct RungStats {
+    std::string name;
+    std::size_t attempts = 0;   ///< jobs that ran this rung
+    std::size_t conclusive = 0; ///< verdicts (Sat/Unsat) produced here
+    std::size_t memouts = 0;    ///< attempts that died on a resource budget
+    std::size_t failures = 0;   ///< attempts with a structured failure
+};
+
+} // namespace hqs

@@ -82,10 +82,14 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
                 Deadline dl = opts_.deadline.withCancel(tokens[i]);
                 Timer t;
                 SolveResult r = SolveResult::Unknown;
+                FailureInfo failure;
                 try {
                     r = engines[i].run(f, dl);
                 } catch (...) {
-                    // An engine crashing must not take the race down.
+                    // An engine crashing must not take the race down; record
+                    // what it died on so the stats tell the story.
+                    failure = classifyException(std::current_exception());
+                    if (failure.kind == FailureKind::BadAlloc) r = SolveResult::Memout;
                 }
                 const double elapsed = t.elapsedMilliseconds();
                 const Clock::time_point returnedAt = Clock::now();
@@ -93,6 +97,7 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
                 std::lock_guard<std::mutex> lock(mu);
                 EngineRunStats& es = stats_.engines[i];
                 es.result = r;
+                es.failure = std::move(failure);
                 es.elapsedMilliseconds = elapsed;
                 if (isConclusive(r) && !winner) {
                     winner = i;
@@ -135,10 +140,33 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
     }
 
     stats_.totalMilliseconds = total.elapsedMilliseconds();
+
+    // Cross-check every conclusive racer before answering: two engines
+    // contradicting each other means at least one solver is wrong, and
+    // answering with whichever happened to finish first would silently
+    // launder the bug into a verdict.  Report Unknown with a structured
+    // disagreement record instead.
+    for (const EngineRunStats& a : stats_.engines) {
+        if (!isConclusive(a.result)) continue;
+        for (const EngineRunStats& b : stats_.engines) {
+            if (isConclusive(b.result) && a.result != b.result) {
+                stats_.disagreement = true;
+                stats_.failure = {FailureKind::Disagreement, "portfolio",
+                                  a.name + "=" + toString(a.result) + " vs " + b.name +
+                                      "=" + toString(b.result)};
+                stats_.winnerName.clear();
+                for (EngineRunStats& es : stats_.engines) es.winner = false;
+                return SolveResult::Unknown;
+            }
+        }
+    }
+
     if (winner) {
         stats_.winnerName = engines[*winner].name;
         return verdict;
     }
+    if (opts_.cancel && opts_.cancel->cancelled())
+        stats_.failure = {FailureKind::Cancelled, "portfolio", "race cancelled"};
     // No definitive answer: report the most informative inconclusive result.
     bool sawTimeout = false, sawMemout = false;
     for (const EngineRunStats& es : stats_.engines) {

@@ -19,6 +19,7 @@
 #include "src/base/result.hpp"
 #include "src/base/timer.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
+#include "src/runtime/guard.hpp"
 
 namespace hqs {
 
@@ -55,6 +56,9 @@ struct EngineRunStats {
     /// broadcast.
     double cancelLatencyMilliseconds = 0.0;
     bool winner = false;
+    /// Structured record of the exception this racer died on (kind None for
+    /// a racer that returned normally).
+    FailureInfo failure;
 };
 
 struct PortfolioStats {
@@ -62,7 +66,12 @@ struct PortfolioStats {
     std::string winnerName;            ///< empty when no engine was definitive
     double totalMilliseconds = 0.0;
     /// Two racers returned contradictory definitive answers — a solver bug.
+    /// The race then reports Unknown (never a coin-flip verdict) and
+    /// `failure` names the contradicting engines.
     bool disagreement = false;
+    /// Race-level failure: Disagreement, or Cancelled when the external
+    /// kill switch fired before any verdict.
+    FailureInfo failure;
 };
 
 class PortfolioSolver {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/base/fault.hpp"
+
 namespace hqs {
 
 ThreadPool::ThreadPool(std::size_t numThreads, std::size_t queueCapacity)
@@ -42,6 +44,18 @@ void ThreadPool::wait()
     allIdle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+std::vector<FailureInfo> ThreadPool::failures() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return failures_;
+}
+
+std::size_t ThreadPool::failedJobs() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return failures_.size();
+}
+
 void ThreadPool::workerLoop()
 {
     for (;;) {
@@ -57,9 +71,18 @@ void ThreadPool::workerLoop()
             ++active_;
         }
         spaceReady_.notify_one();
-        job();
+        FailureInfo failure;
+        try {
+            fault::checkpoint("pool-dispatch");
+            job();
+        } catch (...) {
+            // A throwing job marks itself failed; the worker survives to run
+            // the rest of the queue.
+            failure = classifyException(std::current_exception());
+        }
         {
             std::unique_lock<std::mutex> lock(mu_);
+            if (failure) failures_.push_back(std::move(failure));
             --active_;
             if (queue_.empty() && active_ == 0) allIdle_.notify_all();
         }

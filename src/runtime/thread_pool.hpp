@@ -11,8 +11,12 @@
 //   * the destructor stops accepting work, drains the queue, and joins —
 //     destruct-while-busy is safe and completes all accepted jobs.
 //
-// Jobs must not throw (they run on worker threads with nowhere to report);
-// wrap fallible work and encode failure in the job's result channel.
+// Jobs may throw: an exception escaping a job is classified into a
+// FailureInfo (see guard.hpp) and recorded on the pool — the worker moves
+// on to the next job and the process never std::terminates.  Jobs that need
+// per-job failure reporting should still catch their own exceptions (the
+// batch scheduler runs each job under runGuarded); the pool-level record is
+// the last line of defense.
 #pragma once
 
 #include <condition_variable>
@@ -22,6 +26,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/runtime/guard.hpp"
 
 namespace hqs {
 
@@ -51,12 +57,17 @@ public:
 
     std::size_t numThreads() const { return workers_.size(); }
 
+    /// Failures recorded from jobs whose exception escaped into the worker,
+    /// in completion order.  Thread-safe; typically read after wait().
+    std::vector<FailureInfo> failures() const;
+    std::size_t failedJobs() const;
+
     static constexpr std::size_t kDefaultQueueCapacity = 1024;
 
 private:
     void workerLoop();
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable workReady_;   ///< queue non-empty or stopping
     std::condition_variable spaceReady_;  ///< queue below capacity
     std::condition_variable allIdle_;     ///< queue empty and no active job
@@ -64,6 +75,7 @@ private:
     std::size_t capacity_;
     std::size_t active_ = 0; ///< jobs currently executing
     bool stop_ = false;
+    std::vector<FailureInfo> failures_; ///< under mu_
     std::vector<std::thread> workers_;
 };
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/base/fault.hpp"
+
 namespace hqs {
 namespace {
 
@@ -480,7 +482,8 @@ struct SatSolver::Impl {
                 }
                 varDecay();
                 claDecay();
-                if ((stats.conflicts & 0xff) == 0 && deadline.expired()) return SolveResult::Timeout;
+                if ((stats.conflicts & 0xff) == 0 && deadline.expired())
+                    return deadlineExceededResult(deadline);
             } else {
                 if (conflictsHere >= conflictBudget) {
                     cancelUntil(0);
@@ -516,6 +519,7 @@ struct SatSolver::Impl {
 
     SolveResult solve(const std::vector<Lit>& assumptions, const Deadline& deadline)
     {
+        fault::checkpoint("sat");
         if (topConflict) return SolveResult::Unsat;
         for (Lit a : assumptions) ensureVars(a.var() + 1);
         model.clear();
@@ -526,7 +530,7 @@ struct SatSolver::Impl {
             const auto budget = static_cast<std::uint64_t>(luby(2.0, restart) * 100.0);
             res = search(budget, assumptions, deadline);
             if (res == SolveResult::Unknown) ++stats.restarts;
-            if (deadline.expired() && res == SolveResult::Unknown) res = SolveResult::Timeout;
+            if (deadline.expired() && res == SolveResult::Unknown) res = deadlineExceededResult(deadline);
         }
         if (res == SolveResult::Sat) {
             model.assign(assigns.begin(), assigns.end());

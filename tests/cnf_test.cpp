@@ -2,6 +2,7 @@
 // DIMACS/QDIMACS/DQDIMACS reader/writer.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "src/cnf/clause.hpp"
@@ -157,6 +158,24 @@ TEST(Dimacs, CommentsIgnoredEverywhere)
 TEST(Dimacs, FileNotFoundThrows)
 {
     EXPECT_THROW(parseDqdimacsFile("/nonexistent/file.dqdimacs"), ParseError);
+}
+
+// Every file in the corrupt-input corpus must be rejected with a ParseError
+// (not accepted, not crash).  Each file exercises one throw branch of
+// parseDqdimacs; the batch scheduler's survival on the same corpus is
+// covered in fault_test.cpp.
+TEST(Dimacs, CorruptCorpusIsRejectedWithParseError)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(HQS_TEST_DATA_DIR) / "corrupt";
+    std::size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".dqdimacs") continue;
+        ++count;
+        EXPECT_THROW(parseDqdimacsFile(entry.path().string()), ParseError)
+            << "accepted corrupt file " << entry.path();
+    }
+    EXPECT_GE(count, 13u); // one per ParseError branch of the parser
 }
 
 } // namespace

@@ -398,11 +398,13 @@ TEST(Batch, ParseFailureIsReportedNotThrown)
     const std::vector<BatchJobResult> results = scheduler.run({bad.string()});
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].result, SolveResult::Unknown);
+    EXPECT_EQ(results[0].failure.kind, FailureKind::ParseError);
+    EXPECT_EQ(results[0].attempts, 1u); // parse errors are terminal, no retry
     EXPECT_FALSE(results[0].error.empty());
     std::filesystem::remove_all(dir);
 }
 
-TEST(Batch, MemoutRetriesOnceWithDegradedConfig)
+TEST(Batch, MemoutWalksTheWholeLadderWithDegradedConfigs)
 {
     if (!hardFormula()) GTEST_SKIP() << "no instance slow enough on this machine";
     const std::filesystem::path dir =
@@ -415,15 +417,25 @@ TEST(Batch, MemoutRetriesOnceWithDegradedConfig)
     }
 
     BatchOptions opts;
-    opts.nodeLimit = 10; // absurdly small: guaranteed memout, fast
+    opts.nodeLimit = 10; // absurdly small: every rung memouts, fast
     BatchScheduler scheduler(opts);
     std::ostringstream jsonl;
     const std::vector<BatchJobResult> results = scheduler.run({file.string()}, &jsonl);
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].result, SolveResult::Memout);
-    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_EQ(results[0].attempts, 4u); // full -> no-fraig -> half-nodes -> bdd
     EXPECT_TRUE(results[0].degraded);
+    EXPECT_EQ(results[0].rung, "bdd");
     EXPECT_NE(jsonl.str().find("\"degraded\":true"), std::string::npos);
+    EXPECT_NE(jsonl.str().find("\"rung\":\"bdd\""), std::string::npos);
+
+    const std::vector<RungStats>& stats = scheduler.rungStats();
+    ASSERT_EQ(stats.size(), 4u);
+    for (const RungStats& rs : stats) {
+        EXPECT_EQ(rs.attempts, 1u) << rs.name;
+        EXPECT_EQ(rs.memouts, 1u) << rs.name;
+        EXPECT_EQ(rs.conclusive, 0u) << rs.name;
+    }
     std::filesystem::remove_all(dir);
 }
 
@@ -437,6 +449,7 @@ TEST(Batch, PreFiredCancelSkipsAllJobs)
     ASSERT_EQ(results.size(), 2u);
     for (const BatchJobResult& r : results) {
         EXPECT_EQ(r.result, SolveResult::Timeout);
+        EXPECT_EQ(r.failure.kind, FailureKind::Cancelled);
         EXPECT_FALSE(r.error.empty());
     }
 }
