@@ -1,8 +1,20 @@
 // Microbenchmarks (google-benchmark) for the substrates: AIG construction
 // and quantification, the Theorem-6 unit/pure traversal, FRAIG sweeping,
-// the CDCL SAT solver, the partial MaxSAT selection, and the end-to-end
-// PEC encoding.
+// the CDCL SAT solver, the partial MaxSAT selection, the end-to-end PEC
+// encoding, and the disarmed cost of the fault/observability hooks.
+//
+//   bench_micro [--json=FILE] [google-benchmark flags]
+//
+// With --json=FILE the run additionally writes a machine-readable report
+// (schema hqs-bench-micro/v1) whose `overhead_ns` block distills the
+// per-operation cost of the always-compiled instrumentation.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "src/aig/aig.hpp"
 #include "src/aig/cnf_bridge.hpp"
@@ -11,6 +23,8 @@
 #include "src/base/rng.hpp"
 #include "src/dqbf/dependency_graph.hpp"
 #include "src/dqbf/hqs_solver.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/report.hpp"
 #include "src/pec/pec_encoder.hpp"
 #include "src/sat/sat_solver.hpp"
 
@@ -169,6 +183,59 @@ void BM_AigConstructionWithDisarmedCheckpoint(benchmark::State& state)
 }
 BENCHMARK(BM_AigConstructionWithDisarmedCheckpoint)->Arg(10000);
 
+void BM_ObsSpanDisarmed(benchmark::State& state)
+{
+    // OBS_SPAN with tracing off: the constructor must reduce to one relaxed
+    // atomic load, the same budget as the disarmed fault checkpoint.
+    for (auto _ : state) {
+        OBS_SPAN(span, "bench.disarmed");
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisarmed);
+
+void BM_ObsCounterAdd(benchmark::State& state)
+{
+    // OBS_COUNT on the hot path (e.g. aig.ands): one relaxed fetch_add.
+    for (auto _ : state) {
+        OBS_COUNT("bench.counter", 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state)
+{
+    // OBS_OBSERVE: three relaxed atomics (count, sum, bucket) plus a CAS max.
+    std::int64_t v = 0;
+    for (auto _ : state) {
+        OBS_OBSERVE("bench.histogram", v);
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanEnabled(benchmark::State& state)
+{
+    // Armed cost for comparison: clock reads plus a per-thread chunk append.
+    // Fixed iteration count bounds the trace buffer growth.
+#if HQS_OBS_ENABLED
+    hqs::obs::enableTracing(true);
+#endif
+    for (auto _ : state) {
+        OBS_SPAN(span, "bench.enabled");
+        benchmark::DoNotOptimize(&span);
+    }
+#if HQS_OBS_ENABLED
+    hqs::obs::enableTracing(false);
+    hqs::obs::clearTrace();
+#endif
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled)->Iterations(1 << 16);
+
 void BM_HqsEndToEnd(benchmark::State& state)
 {
     const PecInstance inst =
@@ -181,5 +248,94 @@ void BM_HqsEndToEnd(benchmark::State& state)
 }
 BENCHMARK(BM_HqsEndToEnd)->Arg(4)->Arg(8);
 
+/// Console reporter that additionally captures every per-iteration run for
+/// the --json report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+    std::vector<obs::BenchMicroRow> rows;
+
+    void ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            obs::BenchMicroRow row;
+            row.name = run.benchmark_name();
+            row.iterations = static_cast<std::int64_t>(run.iterations);
+            if (run.iterations > 0) {
+                row.realNs = run.real_accumulated_time * 1e9 /
+                             static_cast<double>(run.iterations);
+                row.cpuNs = run.cpu_accumulated_time * 1e9 /
+                            static_cast<double>(run.iterations);
+            }
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end()) row.itemsPerSecond = it->second;
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+/// Mean per-iteration CPU time of @p name across the captured rows, or 0
+/// when the benchmark did not run (e.g. filtered out).
+double meanCpuNs(const std::vector<obs::BenchMicroRow>& rows, const std::string& name)
+{
+    double sum = 0;
+    int n = 0;
+    for (const obs::BenchMicroRow& row : rows) {
+        if (row.name == name) {
+            sum += row.cpuNs;
+            ++n;
+        }
+    }
+    return n > 0 ? sum / n : 0.0;
+}
+
 } // namespace
 } // namespace hqs
+
+int main(int argc, char** argv)
+{
+    // --json=FILE is ours; everything else passes through to the benchmark
+    // library (--benchmark_filter, --benchmark_min_time, ...).
+    std::string jsonPath;
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = arg.substr(7);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int benchArgc = static_cast<int>(args.size());
+    benchmark::Initialize(&benchArgc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(benchArgc, args.data())) return 1;
+
+    hqs::CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!jsonPath.empty()) {
+        hqs::obs::BenchMicroReport report;
+        report.benchmarks = reporter.rows;
+        report.overheadNs = {
+            {"span_disarmed_ns", hqs::meanCpuNs(reporter.rows, "BM_ObsSpanDisarmed")},
+            {"span_enabled_ns",
+             hqs::meanCpuNs(reporter.rows, "BM_ObsSpanEnabled/iterations:65536")},
+            {"counter_add_ns", hqs::meanCpuNs(reporter.rows, "BM_ObsCounterAdd")},
+            {"histogram_observe_ns",
+             hqs::meanCpuNs(reporter.rows, "BM_ObsHistogramObserve")},
+            {"checkpoint_disarmed_ns",
+             hqs::meanCpuNs(reporter.rows, "BM_FaultCheckpointDisarmed")},
+        };
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        hqs::obs::writeBenchMicroJson(out, report);
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return 0;
+}

@@ -10,9 +10,13 @@
 // and being orders of magnitude faster on commonly solved instances —
 // reproduces.
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <string>
 
 #include "bench/bench_common.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
 
 using namespace hqs;
 using namespace hqs::bench;
@@ -27,10 +31,32 @@ struct FamilyRow {
     int wrongResults = 0;
 };
 
+obs::BenchFamilyRow toReportRow(const std::string& family, const FamilyRow& row)
+{
+    obs::BenchFamilyRow out;
+    out.family = family;
+    out.instances = row.instances;
+    out.hqs = {row.hqsSat, row.hqsUnsat, row.hqsTimeout, row.hqsMemout, row.hqsCommonMs};
+    out.idq = {row.idqSat, row.idqUnsat, row.idqTimeout, row.idqMemout, row.idqCommonMs};
+    out.wrongResults = row.wrongResults;
+    return out;
+}
+
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = arg.substr(7);
+        } else {
+            std::fprintf(stderr, "usage: bench_table1 [--json=FILE]\n");
+            return 1;
+        }
+    }
+
     const SuiteParams params = suiteParamsFromEnv();
     std::printf("Table I reproduction — PEC instances, per-instance limits: %.1f s / %zu "
                 "AIG-node (HQS) / %zu ground-clause (iDQ) budgets\n\n",
@@ -84,8 +110,10 @@ int main()
                 "-------------------------------------------------------");
     FamilyRow total;
     int wrongTotal = 0;
+    obs::BenchTable1Report report;
     for (Family fam : allFamilies()) {
         const FamilyRow& row = rows[fam];
+        report.families.push_back(toReportRow(toString(fam), row));
         const int hqsSolved = row.hqsSat + row.hqsUnsat;
         const int idqSolved = row.idqSat + row.idqUnsat;
         std::printf("%-10s %5d | %6d  (%3d/%4d) %9d  (%3d/%3d) %12.1f | %6d  (%3d/%4d) %9d  "
@@ -128,5 +156,28 @@ int main()
     std::printf("  max unit/pure share of runtime   : %.1f%% (paper: < 4%%)\n",
                 100.0 * unitPureShareMax);
     std::printf("  results contradicting ground truth: %d (must be 0)\n", wrongTotal);
+
+    if (!jsonPath.empty()) {
+        total.wrongResults = wrongTotal;
+        report.families.push_back(toReportRow("total", total));
+        report.timeoutSeconds = params.timeoutSeconds;
+        report.hqsNodeLimit = params.hqsNodeLimit;
+        report.idqGroundClauseLimit = params.idqGroundClauseLimit;
+        report.hqsSolvedTotal = hqsSolvedTotal;
+        report.idqSolvedTotal = idqSolvedTotal;
+        report.solvedUnderOneSecond = solvedUnderOneSecond;
+        report.hqsOnlySolved = hqsOnlySolved;
+        report.maxMaxSatMs = maxMaxSatMs;
+        report.unitPureShareMax = unitPureShareMax;
+        report.wrongResults = wrongTotal;
+        report.metrics = obs::globalRegistry().snapshot();
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        obs::writeBenchTable1Json(out, report);
+        std::printf("\nwrote %s\n", jsonPath.c_str());
+    }
     return wrongTotal == 0 ? 0 : 1;
 }

@@ -23,7 +23,13 @@
 //   {"instance": str, "result": "SAT|UNSAT|TIMEOUT|MEMOUT|UNKNOWN",
 //    "wall_ms": num, "engine": str, "attempts": int, "degraded": bool,
 //    "rung"?: str, "failure"?: {"kind": str, "site": str, "what": str},
-//    "error"?: str}
+//    "error"?: str,
+//    "metrics"?: {"preprocess_ms": num, "elim_ms": num, "qbf_ms": num,
+//                 "fraig_ms": num, "peak_aig_nodes": int,
+//                 "eliminations": int, "copies": int}}
+// The "metrics" block comes from the per-job metrics-registry scope
+// (src/obs/); it survives the JSONL round-trip, so --resume keeps the
+// fields recorded for already-conclusive instances.
 //
 // Exit code: 0 when every instance was definitively decided, 1 otherwise.
 #include <algorithm>

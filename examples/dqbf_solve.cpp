@@ -19,13 +19,19 @@
 //                         functions (hqs engine only)
 //   --rss-limit=MB        guard the run with an RSS watchdog: cooperative
 //                         MEMOUT when process RSS crosses MB
-//   --stats               print solver statistics
+//   --stats               print solver statistics, including machine-readable
+//                         `c stat <name> <value>` lines from the metrics
+//                         registry (DIMACS-comment-safe)
+//   --trace=FILE          record span traces of the solve and write them as
+//                         Chrome trace_event JSON (open in Perfetto or
+//                         chrome://tracing)
 //
 // Every engine call runs under the guard layer: an engine crash (or an
 // injected HQS_FAULT) prints a structured `c failure` line and exits 1
 // instead of terminating on an unhandled exception.
 //
 // Exit code: 10 = SAT, 20 = UNSAT (SAT-competition convention), 1 = other.
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -34,6 +40,8 @@
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/dqbf/skolem_recorder.hpp"
 #include "src/idq/idq_solver.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/report.hpp"
 #include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
 
@@ -46,7 +54,7 @@ int usage()
     std::cerr << "usage: dqbf_solve [--solver=hqs|idq|expand] [--portfolio[=N]] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--no-preprocess] "
                  "[--no-unitpure] [--selection=maxsat|greedy|all] [--skolem] "
-                 "[--stats] <file.dqdimacs|->\n";
+                 "[--stats] [--trace=FILE] <file.dqdimacs|->\n";
     return 1;
 }
 
@@ -80,6 +88,7 @@ int main(int argc, char** argv)
 {
     std::string path;
     std::string engine = "hqs";
+    std::string tracePath;
     bool wantStats = false;
     std::size_t portfolioEngines = 0;
     std::size_t rssLimitBytes = 0;
@@ -122,6 +131,9 @@ int main(int argc, char** argv)
             opts.computeSkolem = true;
         } else if (arg == "--stats") {
             wantStats = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            tracePath = arg.substr(8);
+            if (tracePath.empty()) return usage();
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             return usage();
         } else {
@@ -147,6 +159,11 @@ int main(int argc, char** argv)
     std::cout << "c " << formula.universals().size() << " universals, "
               << formula.existentials().size() << " existentials, "
               << formula.matrix().numClauses() << " clauses\n";
+
+    if (!tracePath.empty()) obs::enableTracing(true);
+    // Metric updates of this solve (including portfolio racer threads) land
+    // in a local scope, so the `c stat` lines describe this instance alone.
+    obs::MetricScope metricScope;
 
     SolveResult result = SolveResult::Unknown;
     FailureInfo failure;
@@ -268,6 +285,17 @@ int main(int argc, char** argv)
         return usage();
     }
 
+    if (wantStats) obs::writeStatLines(std::cout, metricScope.snapshot());
+    if (!tracePath.empty()) {
+        std::ofstream traceOut(tracePath);
+        if (traceOut) {
+            obs::writeChromeTrace(traceOut);
+            std::cout << "c trace               : " << obs::traceSpanCount()
+                      << " spans -> " << tracePath << "\n";
+        } else {
+            std::cerr << "cannot write trace file: " << tracePath << "\n";
+        }
+    }
     if (failure) {
         std::cout << "c failure             : kind=" << toString(failure.kind)
                   << (failure.site.empty() ? "" : " site=" + failure.site) << " what=\""

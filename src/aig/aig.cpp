@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "src/base/fault.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hqs {
 
@@ -73,6 +74,7 @@ AigEdge Aig::mkAndRaw(AigEdge a, AigEdge b)
     // an injection site for testing bad_alloc recovery (one relaxed atomic
     // load when no fault is armed).
     fault::checkpointAlloc("aig-alloc");
+    OBS_COUNT("aig.ands", 1);
     const auto idx = static_cast<std::uint32_t>(nodes_.size());
     Node n;
     n.fanin0 = a;

@@ -5,6 +5,7 @@
 #include "src/aig/cnf_bridge.hpp"
 #include "src/base/fault.hpp"
 #include "src/base/rng.hpp"
+#include "src/obs/obs.hpp"
 #include "src/base/timer.hpp"
 #include "src/sat/sat_solver.hpp"
 
@@ -119,6 +120,9 @@ AigEdge fraigReduce(Aig& aig, AigEdge root, const FraigOptions& opts, FraigStats
     FraigStats localStats;
     FraigStats& st = stats ? *stats : localStats;
     if (aig.isConstant(root) || aig.isInput(root)) return root;
+    OBS_PHASE(fraigSpan, "hqs.fraig", "phase.fraig.us");
+    OBS_COUNT("fraig.runs", 1);
+    const std::size_t coneBefore = aig.coneSize(root);
 
     // Collect the cone of the (old) root: mark reachable descending, then
     // process ascending so fanins are rebuilt before fanouts.
@@ -224,7 +228,18 @@ AigEdge fraigReduce(Aig& aig, AigEdge root, const FraigOptions& opts, FraigStats
         if (proving && !aig.isConstant(merged)) merged = tryMerge(merged);
         rebuilt[idx] = merged;
     }
-    return rebuilt[rootIdx] ^ root.complemented();
+    const AigEdge result = rebuilt[rootIdx] ^ root.complemented();
+    OBS_COUNT("fraig.merged", static_cast<std::int64_t>(st.merged));
+    const std::size_t coneAfter = aig.coneSize(result);
+    if (coneBefore > 0 && coneAfter <= coneBefore) {
+        const std::int64_t permille =
+            static_cast<std::int64_t>((coneBefore - coneAfter) * 1000 / coneBefore);
+        OBS_OBSERVE("fraig.reduction_permille", permille);
+        fraigSpan.arg("reduction_permille", permille);
+    }
+    fraigSpan.arg("nodes_before", static_cast<std::int64_t>(coneBefore));
+    fraigSpan.arg("nodes_after", static_cast<std::int64_t>(coneAfter));
+    return result;
 }
 
 } // namespace hqs

@@ -6,6 +6,7 @@
 
 #include "src/aig/cnf_bridge.hpp"
 #include "src/aig/fraig.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sat/sat_solver.hpp"
 #include "src/dqbf/dependency_graph.hpp"
 #include "src/qbf/bdd_qbf_solver.hpp"
@@ -81,6 +82,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     stats_ = HqsStats{};
     skolemCertificate_.reset();
     Timer total;
+    OBS_SPAN(solveSpan, "hqs.solve");
 
     // Skolem tracking state: the elimination trace, the original prefix for
     // reconstruction, and a shared manager kept alive inside the
@@ -107,11 +109,13 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     // ----- preprocessing ---------------------------------------------------
     std::vector<GateDef> gates;
     if (opts_.preprocess) {
+        OBS_PHASE(prepSpan, "hqs.preprocess", "phase.preprocess.us");
         PreprocessOptions popts;
         popts.gateDetection = opts_.gateDetection;
         PreprocessResult pres = preprocess(f, popts, rec);
         stats_.preprocess = pres.stats;
         gates = std::move(pres.gates);
+        prepSpan.arg("gates", static_cast<std::int64_t>(gates.size()));
         if (pres.decided != SolveResult::Unknown) return finish(pres.decided, "preprocess");
     }
 
@@ -122,6 +126,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
         // (Gate definitions removed by preprocessing are equisatisfiable
         // extensions, so probing the remaining matrix plus definitions is
         // unnecessary — the remaining matrix alone is an abstraction.)
+        OBS_PHASE(probeSpan, "hqs.sat_probe", "phase.sat_probe.us");
         SatSolver probe;
         probe.addCnf(f.matrix());
         const SolveResult pr = probe.solve({}, Deadline::in(opts_.satProbeSeconds));
@@ -129,8 +134,13 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     }
 
     // ----- AIG construction -------------------------------------------------
-    AigEdge matrix = buildFromCnf(aig, f.matrix());
-    matrix = composeGates(aig, matrix, gates, f, rec);
+    AigEdge matrix;
+    {
+        OBS_PHASE(buildSpan, "hqs.build_aig", "phase.build_aig.us");
+        matrix = buildFromCnf(aig, f.matrix());
+        matrix = composeGates(aig, matrix, gates, f, rec);
+        buildSpan.arg("nodes", static_cast<std::int64_t>(aig.numNodes()));
+    }
 
     auto constantResult = [&]() {
         return aig.constantValue(matrix) ? SolveResult::Sat : SolveResult::Unsat;
@@ -140,6 +150,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     // ----- selection of universals to eliminate ------------------------------
     stats_.incomparablePairs = incomparablePairs(f).size();
     auto selectOrdered = [&]() -> std::optional<std::vector<Var>> {
+        OBS_PHASE(selSpan, "hqs.select", "phase.select.us");
         Timer t;
         std::vector<Var> set;
         switch (opts_.selection) {
@@ -169,6 +180,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     auto housekeeping = [&]() -> SolveResult {
         const std::size_t cone = aig.coneSize(matrix);
         stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
+        OBS_GAUGE_MAX("aig.peak_cone", cone);
         if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
         if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
         if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
@@ -201,6 +213,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     // universal unit, Unknown otherwise.
     auto unitPurePass = [&]() -> SolveResult {
         if (!opts_.unitPure) return SolveResult::Unknown;
+        OBS_PHASE(upSpan, "hqs.unit_pure", "phase.unit_pure.us");
         Timer t;
         bool changed = true;
         while (changed && !aig.isConstant(matrix) && !opts_.deadline.expired()) {
@@ -219,6 +232,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
                     matrix = aig.cofactor(matrix, v, positive);
                     f.removeExistential(v);
                     ++stats_.unitEliminations;
+                    OBS_COUNT("hqs.elim.unit", 1);
                     changed = true;
                     break;
                 }
@@ -239,6 +253,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
                         continue;
                     }
                     ++stats_.pureEliminations;
+                    OBS_COUNT("hqs.elim.pure", 1);
                     changed = true;
                     break;
                 }
@@ -278,6 +293,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
 
         // Theorem 2: eliminate existentials depending on all universals.
         {
+            OBS_PHASE(exSpan, "hqs.elim_exists", "phase.elim_exists.us");
             bool eliminated = true;
             while (eliminated && !aig.isConstant(matrix) && !opts_.deadline.expired()) {
                 eliminated = false;
@@ -298,6 +314,7 @@ SolveResult HqsSolver::solve(DqbfFormula f)
                     matrix = aig.mkOr(cof0, cof1);
                     f.removeExistential(y);
                     ++stats_.existentialsEliminated;
+                    OBS_COUNT("hqs.elim.existential", 1);
                     eliminated = true;
                     // Hundreds of full-dependency auxiliaries can be
                     // eliminated in one sweep; collect the cofactor garbage
@@ -340,34 +357,49 @@ SolveResult HqsSolver::solve(DqbfFormula f)
         // nodes; on huge cones that overshoots the budget badly if only the
         // loop head checks — so check between the expensive steps too.
         if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
-        const AigEdge cof0 = aig.cofactor(matrix, pick, false);
-        if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
-        AigEdge cof1 = aig.cofactor(matrix, pick, true);
-        if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
-        const std::vector<Var> supp1 = aig.support(cof1);
-        const std::unordered_set<Var> supp1Set(supp1.begin(), supp1.end());
+        {
+            OBS_PHASE(unSpan, "hqs.elim_universal", "phase.elim_universal.us");
+            const std::size_t nodesBefore = aig.numNodes();
+            const AigEdge cof0 = aig.cofactor(matrix, pick, false);
+            if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
+            AigEdge cof1 = aig.cofactor(matrix, pick, true);
+            if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
+            const std::vector<Var> supp1 = aig.support(cof1);
+            const std::unordered_set<Var> supp1Set(supp1.begin(), supp1.end());
 
-        std::unordered_map<Var, AigEdge> renaming;
-        SkolemRecorder::UniversalSplit split{pick, {}};
-        for (Var y : std::vector<Var>(f.dependersOf(pick))) {
-            if (!supp1Set.contains(y)) continue; // a copy would not occur
-            std::vector<Var> deps = f.dependencies(y);
-            std::erase(deps, pick);
-            const Var fresh = f.addExistential(std::move(deps));
-            renaming.emplace(y, aig.variable(fresh));
-            split.copies.emplace_back(y, fresh);
-            ++stats_.copiesIntroduced;
+            std::unordered_map<Var, AigEdge> renaming;
+            SkolemRecorder::UniversalSplit split{pick, {}};
+            for (Var y : std::vector<Var>(f.dependersOf(pick))) {
+                if (!supp1Set.contains(y)) continue; // a copy would not occur
+                std::vector<Var> deps = f.dependencies(y);
+                std::erase(deps, pick);
+                const Var fresh = f.addExistential(std::move(deps));
+                renaming.emplace(y, aig.variable(fresh));
+                split.copies.emplace_back(y, fresh);
+                ++stats_.copiesIntroduced;
+            }
+            const std::int64_t copies = static_cast<std::int64_t>(split.copies.size());
+            if (rec && !split.copies.empty()) rec->record(std::move(split));
+            cof1 = aig.substitute(cof1, renaming);
+            matrix = aig.mkAnd(cof0, cof1);
+            f.removeUniversal(pick);
+            ++stats_.universalsEliminated;
+            OBS_COUNT("hqs.elim.universal", 1);
+            OBS_COUNT("hqs.elim.copies", copies);
+            const std::int64_t delta =
+                static_cast<std::int64_t>(aig.numNodes()) -
+                static_cast<std::int64_t>(nodesBefore);
+            OBS_OBSERVE("hqs.elim.node_delta", delta);
+            unSpan.arg("copies", copies);
+            unSpan.arg("node_delta", delta);
         }
-        if (rec && !split.copies.empty()) rec->record(std::move(split));
-        cof1 = aig.substitute(cof1, renaming);
-        matrix = aig.mkAnd(cof0, cof1);
-        f.removeUniversal(pick);
-        ++stats_.universalsEliminated;
     }
 
     if (aig.isConstant(matrix)) return finish(constantResult(), "elimination");
 
     // ----- QBF backend on the linearized prefix -------------------------------
+    OBS_PHASE(qbfSpan, "hqs.qbf_backend", "phase.qbf.us");
+    OBS_COUNT("qbf.backend_calls", 1);
     stats_.usedQbfBackend = true;
     const QbfPrefix prefix = linearizePrefix(f);
     if (opts_.backend == HqsOptions::Backend::Search && !opts_.computeSkolem) {

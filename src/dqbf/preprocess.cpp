@@ -1,6 +1,7 @@
 #include "src/dqbf/preprocess.hpp"
 
 #include "src/dqbf/skolem_recorder.hpp"
+#include "src/obs/obs.hpp"
 
 #include <algorithm>
 #include <map>
@@ -548,7 +549,18 @@ private:
 PreprocessResult preprocess(DqbfFormula& f, const PreprocessOptions& opts,
                             SkolemRecorder* recorder)
 {
-    return Preprocessor(f, opts, recorder).run();
+    PreprocessResult res = Preprocessor(f, opts, recorder).run();
+    OBS_COUNT("preprocess.rounds", res.stats.rounds);
+    OBS_COUNT("preprocess.units", static_cast<std::int64_t>(res.stats.unitsPropagated));
+    OBS_COUNT("preprocess.universal_reductions",
+              static_cast<std::int64_t>(res.stats.universalLiteralsReduced));
+    OBS_COUNT("preprocess.equivalences",
+              static_cast<std::int64_t>(res.stats.equivalencesSubstituted));
+    OBS_COUNT("preprocess.gates_detected",
+              static_cast<std::int64_t>(res.stats.gatesDetected));
+    OBS_COUNT("preprocess.clauses_subsumed",
+              static_cast<std::int64_t>(res.stats.clausesSubsumed));
+    return res;
 }
 
 } // namespace hqs

@@ -1,0 +1,159 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hqs::obs {
+namespace {
+
+struct MetricInfo {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t cell;
+};
+
+/// Process-wide name -> id intern table.  Locked only at registration and
+/// snapshot time, never on the metric update path.
+struct InternTable {
+    std::mutex mu;
+    std::unordered_map<std::string, MetricId> byName;
+    std::vector<MetricInfo> infos;
+    std::uint32_t nextCell = 0;
+
+    static InternTable& instance()
+    {
+        static InternTable t;
+        return t;
+    }
+};
+
+std::uint32_t cellsFor(MetricKind kind)
+{
+    return kind == MetricKind::Histogram ? kHistogramCells : 1;
+}
+
+} // namespace
+
+const char* toString(MetricKind k)
+{
+    switch (k) {
+        case MetricKind::Counter: return "counter";
+        case MetricKind::Gauge: return "gauge";
+        case MetricKind::Histogram: return "histogram";
+    }
+    return "invalid";
+}
+
+MetricId metric(const std::string& name, MetricKind kind)
+{
+    InternTable& t = InternTable::instance();
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto it = t.byName.find(name);
+    if (it != t.byName.end()) {
+        if (it->second.kind != kind) {
+            throw std::logic_error("metric '" + name + "' re-registered as " +
+                                   toString(kind) + ", was " + toString(it->second.kind));
+        }
+        return it->second;
+    }
+    if (t.nextCell + cellsFor(kind) > kMaxCells) {
+        throw std::length_error("metric cell table full registering '" + name + "'");
+    }
+    const MetricId id{t.nextCell, kind};
+    t.nextCell += cellsFor(kind);
+    t.byName.emplace(name, id);
+    t.infos.push_back({name, kind, id.cell});
+    return id;
+}
+
+Registry::Registry() : cells_(new std::atomic<std::int64_t>[kMaxCells])
+{
+    for (std::uint32_t i = 0; i < kMaxCells; ++i)
+        cells_[i].store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t Registry::bucketIndex(std::int64_t value)
+{
+    if (value <= 0) return 0;
+    const unsigned width = std::bit_width(static_cast<std::uint64_t>(value));
+    return std::min(width, kHistogramBuckets - 1);
+}
+
+std::vector<MetricValue> Registry::snapshot(bool skipZero) const
+{
+    std::vector<MetricInfo> infos;
+    {
+        InternTable& t = InternTable::instance();
+        std::lock_guard<std::mutex> lock(t.mu);
+        infos = t.infos;
+    }
+    std::vector<MetricValue> out;
+    out.reserve(infos.size());
+    for (const MetricInfo& info : infos) {
+        MetricValue v;
+        v.name = info.name;
+        v.kind = info.kind;
+        if (info.kind == MetricKind::Histogram) {
+            const std::atomic<std::int64_t>* h = &cells_[info.cell];
+            v.count = h[0].load(std::memory_order_relaxed);
+            v.sum = h[1].load(std::memory_order_relaxed);
+            v.max = h[2].load(std::memory_order_relaxed);
+            for (std::uint32_t b = 0; b < kHistogramBuckets; ++b)
+                v.buckets[b] = h[3 + b].load(std::memory_order_relaxed);
+            v.value = v.count;
+            if (skipZero && v.count == 0) continue;
+        } else {
+            v.value = cells_[info.cell].load(std::memory_order_relaxed);
+            if (skipZero && v.value == 0) continue;
+        }
+        out.push_back(std::move(v));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+    return out;
+}
+
+void Registry::mergeInto(Registry& dst) const
+{
+    std::vector<MetricInfo> infos;
+    {
+        InternTable& t = InternTable::instance();
+        std::lock_guard<std::mutex> lock(t.mu);
+        infos = t.infos;
+    }
+    for (const MetricInfo& info : infos) {
+        if (info.kind == MetricKind::Gauge) {
+            dst.setMax({info.cell, info.kind},
+                       cells_[info.cell].load(std::memory_order_relaxed));
+            continue;
+        }
+        // Counters and every histogram cell except the max accumulate by
+        // addition; the histogram max cell merges by max.
+        const std::uint32_t n = cellsFor(info.kind);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::int64_t v = cells_[info.cell + i].load(std::memory_order_relaxed);
+            if (info.kind == MetricKind::Histogram && i == 2) {
+                dst.setMax({info.cell + i, MetricKind::Gauge}, v);
+            } else if (v != 0) {
+                dst.cells_[info.cell + i].fetch_add(v, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void Registry::reset()
+{
+    for (std::uint32_t i = 0; i < kMaxCells; ++i)
+        cells_[i].store(0, std::memory_order_relaxed);
+}
+
+Registry& globalRegistry()
+{
+    static Registry* r = new Registry(); // leaked: outlives every static dtor
+    return *r;
+}
+
+} // namespace hqs::obs

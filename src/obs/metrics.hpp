@@ -1,0 +1,203 @@
+// Metrics registry: named counters, gauges, and histograms behind
+// near-zero-cost operations (relaxed atomics, same budget discipline as the
+// fault.hpp checkpoints).
+//
+// Metric *names* are interned process-wide into a MetricId exactly once (a
+// mutex-protected table, hit only at first use per call site); metric
+// *values* live in a Registry — a flat table of atomic cells indexed by the
+// id.  An update is therefore one thread-local read plus one relaxed atomic
+// RMW, cheap enough for hot paths like AIG node allocation.
+//
+// Registries stack: the thread-local "current" registry defaults to the
+// process-wide global one, a MetricScope pushes a fresh local registry for
+// one unit of work (one batch job, one solve) and merges it into its parent
+// when the scope closes, and BindRegistry routes a worker thread into a
+// scope owned by another thread (the portfolio racer pattern).  All cell
+// operations are plain atomics, so concurrent writers, readers, and merges
+// need no further synchronization.
+//
+// Kinds:
+//   Counter    add(delta)          monotonic sum
+//   Gauge      setMax(value)       high-water mark (peak AIG nodes, peak RSS)
+//   Histogram  observe(value)      count/sum/max + 16 log2 buckets
+//
+// Use through the OBS_* macros in obs.hpp, which compile to nothing under
+// -DHQS_OBS=OFF.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hqs::obs {
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+const char* toString(MetricKind k);
+
+/// Interned handle for one named metric: the first cell of its block in any
+/// Registry's cell table, plus the kind (fixed at first registration).
+struct MetricId {
+    std::uint32_t cell = 0;
+    MetricKind kind = MetricKind::Counter;
+};
+
+inline constexpr std::uint32_t kHistogramBuckets = 16;
+/// Histogram cell block layout: [count, sum, max, bucket0..bucket15].
+inline constexpr std::uint32_t kHistogramCells = 3 + kHistogramBuckets;
+/// Cell capacity of every Registry.  Exceeding it (hundreds of distinct
+/// histograms) throws at registration time, never on the update path.
+inline constexpr std::uint32_t kMaxCells = 4096;
+
+/// Intern @p name, registering it on first use.  Throws std::logic_error on
+/// a kind mismatch with an earlier registration and std::length_error when
+/// the cell table is full.  Thread-safe; call-site macros cache the result
+/// in a function-local static so the table lock is paid once per site.
+MetricId metric(const std::string& name, MetricKind kind);
+
+/// One metric's value as captured by Registry::snapshot().
+struct MetricValue {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::int64_t value = 0; ///< counter sum / gauge high-water mark
+    // Histogram-only fields.
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t max = 0;
+    std::array<std::int64_t, kHistogramBuckets> buckets{};
+};
+
+/// A flat table of atomic cells holding the values of every interned
+/// metric.  All operations are thread-safe and lock-free.
+class Registry {
+public:
+    Registry();
+
+    void add(MetricId id, std::int64_t delta)
+    {
+        cells_[id.cell].fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /// Gauge update with high-water-mark semantics.
+    void setMax(MetricId id, std::int64_t value) { cellMax(cells_[id.cell], value); }
+
+    void observe(MetricId id, std::int64_t value)
+    {
+        std::atomic<std::int64_t>* h = &cells_[id.cell];
+        h[0].fetch_add(1, std::memory_order_relaxed);
+        h[1].fetch_add(value, std::memory_order_relaxed);
+        cellMax(h[2], value);
+        h[3 + bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Counter sum / gauge high-water mark; a histogram's observation count.
+    std::int64_t value(MetricId id) const
+    {
+        return cells_[id.cell].load(std::memory_order_relaxed);
+    }
+
+    /// Histogram sum (0 for other kinds' ids).
+    std::int64_t histogramSum(MetricId id) const
+    {
+        if (id.kind != MetricKind::Histogram) return 0;
+        return cells_[id.cell + 1].load(std::memory_order_relaxed);
+    }
+
+    /// Every interned metric with its current value in this registry,
+    /// sorted by name.  Metrics that were never touched report zeros; pass
+    /// @p skipZero to drop them (the common want for reports).
+    std::vector<MetricValue> snapshot(bool skipZero = true) const;
+
+    /// Accumulate this registry's cells into @p dst (counters and histogram
+    /// cells add; gauges take the max).
+    void mergeInto(Registry& dst) const;
+
+    void reset();
+
+    /// Log2 bucket of @p value: bucket i counts values in [2^(i-1), 2^i),
+    /// clamped into the table; negatives land in bucket 0.
+    static std::uint32_t bucketIndex(std::int64_t value);
+
+private:
+    static void cellMax(std::atomic<std::int64_t>& cell, std::int64_t value)
+    {
+        std::int64_t cur = cell.load(std::memory_order_relaxed);
+        while (value > cur &&
+               !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::unique_ptr<std::atomic<std::int64_t>[]> cells_;
+};
+
+/// The process-wide registry that everything merges into by default.
+Registry& globalRegistry();
+
+namespace detail {
+// Inline so hot-path accesses compile to a direct TLS slot read instead of
+// a call through the cross-TU thread_local wrapper.
+inline thread_local Registry* tlCurrentRegistry = nullptr;
+} // namespace detail
+
+/// The registry OBS_* updates on this thread land in: the innermost
+/// MetricScope / BindRegistry, or the global registry.
+inline Registry& currentRegistry()
+{
+    Registry* r = detail::tlCurrentRegistry;
+    return r ? *r : globalRegistry();
+}
+
+/// Route this thread's metric updates into an existing registry owned
+/// elsewhere, without merge-on-exit (the target *is* the accumulator).
+/// Used by worker threads executing one logical task on behalf of a scope
+/// on another thread — e.g. portfolio racers writing into the solve's
+/// MetricScope.
+class BindRegistry {
+public:
+    explicit BindRegistry(Registry& r) : prev_(detail::tlCurrentRegistry)
+    {
+        detail::tlCurrentRegistry = &r;
+    }
+    ~BindRegistry() { detail::tlCurrentRegistry = prev_; }
+    BindRegistry(const BindRegistry&) = delete;
+    BindRegistry& operator=(const BindRegistry&) = delete;
+
+private:
+    Registry* prev_;
+};
+
+/// A fresh registry for one unit of work on the current thread.  While the
+/// scope is open all OBS_* updates from this thread (and from threads bound
+/// to it via BindRegistry) accumulate locally, readable through value() /
+/// snapshot(); when it closes everything is merged into the enclosing
+/// scope — or the global registry — so process totals still add up.
+class MetricScope {
+public:
+    MetricScope() : prev_(detail::tlCurrentRegistry)
+    {
+        detail::tlCurrentRegistry = &local_;
+    }
+    ~MetricScope()
+    {
+        detail::tlCurrentRegistry = prev_;
+        local_.mergeInto(prev_ ? *prev_ : globalRegistry());
+    }
+    MetricScope(const MetricScope&) = delete;
+    MetricScope& operator=(const MetricScope&) = delete;
+
+    Registry& registry() { return local_; }
+    std::int64_t value(MetricId id) const { return local_.value(id); }
+    std::vector<MetricValue> snapshot(bool skipZero = true) const
+    {
+        return local_.snapshot(skipZero);
+    }
+
+private:
+    Registry local_;
+    Registry* prev_;
+};
+
+} // namespace hqs::obs

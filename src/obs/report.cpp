@@ -1,0 +1,260 @@
+#include "src/obs/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace hqs::obs {
+
+// --------------------------------------------------------------------------
+// JsonWriter
+// --------------------------------------------------------------------------
+
+std::string JsonWriter::escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::newlineIndent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().count > 0) os_ << ',';
+    ++stack_.back().count;
+    newlineIndent();
+}
+
+JsonWriter& JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back({false, 0});
+    return *this;
+}
+
+JsonWriter& JsonWriter::endObject()
+{
+    const bool empty = stack_.back().count == 0;
+    stack_.pop_back();
+    if (!empty) newlineIndent();
+    os_ << '}';
+    if (stack_.empty()) os_ << '\n';
+    return *this;
+}
+
+JsonWriter& JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back({true, 0});
+    return *this;
+}
+
+JsonWriter& JsonWriter::endArray()
+{
+    const bool empty = stack_.back().count == 0;
+    stack_.pop_back();
+    if (!empty) newlineIndent();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k)
+{
+    if (stack_.back().count > 0) os_ << ',';
+    ++stack_.back().count;
+    newlineIndent();
+    os_ << '"' << escape(k) << "\": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v)
+{
+    beforeValue();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v)
+{
+    beforeValue();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+// --------------------------------------------------------------------------
+// Metric formatting
+// --------------------------------------------------------------------------
+
+void writeStatLines(std::ostream& os, const std::vector<MetricValue>& metrics)
+{
+    for (const MetricValue& m : metrics) {
+        if (m.kind == MetricKind::Histogram) {
+            os << "c stat " << m.name << ".count " << m.count << '\n';
+            os << "c stat " << m.name << ".sum " << m.sum << '\n';
+            os << "c stat " << m.name << ".max " << m.max << '\n';
+        } else {
+            os << "c stat " << m.name << ' ' << m.value << '\n';
+        }
+    }
+}
+
+void writeMetricsJson(JsonWriter& w, const std::vector<MetricValue>& metrics)
+{
+    w.beginObject();
+    for (const MetricValue& m : metrics) {
+        w.key(m.name);
+        if (m.kind == MetricKind::Histogram) {
+            w.beginObject();
+            w.key("count").value(m.count);
+            w.key("sum").value(m.sum);
+            w.key("max").value(m.max);
+            std::uint32_t last = kHistogramBuckets;
+            while (last > 0 && m.buckets[last - 1] == 0) --last;
+            w.key("buckets").beginArray();
+            for (std::uint32_t b = 0; b < last; ++b) w.value(m.buckets[b]);
+            w.endArray();
+            w.endObject();
+        } else {
+            w.value(m.value);
+        }
+    }
+    w.endObject();
+}
+
+void writeMetricsJson(std::ostream& os, const std::vector<MetricValue>& metrics)
+{
+    JsonWriter w(os);
+    writeMetricsJson(w, metrics);
+}
+
+// --------------------------------------------------------------------------
+// BENCH_table1.json
+// --------------------------------------------------------------------------
+
+namespace {
+
+void writeSolverCells(JsonWriter& w, const BenchSolverCells& c)
+{
+    w.beginObject();
+    w.key("solved").value(c.sat + c.unsat);
+    w.key("sat").value(c.sat);
+    w.key("unsat").value(c.unsat);
+    w.key("timeout").value(c.timeout);
+    w.key("memout").value(c.memout);
+    w.key("common_time_ms").value(c.commonMs);
+    w.endObject();
+}
+
+} // namespace
+
+void writeBenchTable1Json(std::ostream& os, const BenchTable1Report& report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("hqs-bench-table1/v1");
+    w.key("params").beginObject();
+    w.key("timeout_seconds").value(report.timeoutSeconds);
+    w.key("hqs_node_limit").value(report.hqsNodeLimit);
+    w.key("idq_ground_clause_limit").value(report.idqGroundClauseLimit);
+    w.endObject();
+    w.key("families").beginArray();
+    for (const BenchFamilyRow& row : report.families) {
+        w.beginObject();
+        w.key("family").value(row.family);
+        w.key("instances").value(row.instances);
+        w.key("hqs");
+        writeSolverCells(w, row.hqs);
+        w.key("idq");
+        writeSolverCells(w, row.idq);
+        w.key("wrong_results").value(row.wrongResults);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("aggregates").beginObject();
+    w.key("hqs_solved_total").value(report.hqsSolvedTotal);
+    w.key("idq_solved_total").value(report.idqSolvedTotal);
+    w.key("solved_under_one_second").value(report.solvedUnderOneSecond);
+    w.key("hqs_only_solved").value(report.hqsOnlySolved);
+    w.key("max_maxsat_ms").value(report.maxMaxSatMs);
+    w.key("unit_pure_share_max").value(report.unitPureShareMax);
+    w.key("wrong_results").value(report.wrongResults);
+    w.endObject();
+    w.key("metrics");
+    writeMetricsJson(w, report.metrics);
+    w.endObject();
+}
+
+// --------------------------------------------------------------------------
+// BENCH_micro.json
+// --------------------------------------------------------------------------
+
+void writeBenchMicroJson(std::ostream& os, const BenchMicroReport& report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("hqs-bench-micro/v1");
+    w.key("overhead_ns").beginObject();
+    for (const auto& [name, ns] : report.overheadNs) w.key(name).value(ns);
+    w.endObject();
+    w.key("benchmarks").beginArray();
+    for (const BenchMicroRow& row : report.benchmarks) {
+        w.beginObject();
+        w.key("name").value(row.name);
+        w.key("iterations").value(row.iterations);
+        w.key("real_ns").value(row.realNs);
+        w.key("cpu_ns").value(row.cpuNs);
+        if (row.itemsPerSecond > 0) w.key("items_per_second").value(row.itemsPerSecond);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace hqs::obs

@@ -1,0 +1,130 @@
+// Machine-readable reporting: DIMACS-safe stat lines, metrics-registry JSON,
+// and the schema-versioned bench reports (BENCH_table1.json /
+// BENCH_micro.json) written by the `bench_report` target.
+//
+// All JSON here is hand-rolled through JsonWriter — deterministic key order
+// and formatting, so the golden-file tests can compare byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace hqs::obs {
+
+/// Minimal streaming JSON writer with stable, pretty-printed output
+/// (2-space indent, "%.6g" doubles).  The caller supplies structure; the
+/// writer supplies commas, quoting, and escaping.
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+    JsonWriter& key(const std::string& k);
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(unsigned v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(std::uint64_t v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(bool v);
+
+    static std::string escape(const std::string& s);
+
+private:
+    struct Level {
+        bool array;
+        int count;
+    };
+    void beforeValue();
+    void newlineIndent();
+
+    std::ostream& os_;
+    std::vector<Level> stack_;
+    bool pendingKey_ = false;
+};
+
+/// Print one `c stat <name> <value>` line per metric — safe to interleave
+/// with DIMACS/QDIMACS output, which treats 'c' lines as comments.
+/// Histograms expand to `<name>.count`, `<name>.sum`, and `<name>.max`.
+void writeStatLines(std::ostream& os, const std::vector<MetricValue>& metrics);
+
+/// JSON object mapping metric name to value; histograms become
+/// {"count":..,"sum":..,"max":..,"buckets":[..]} with trailing zero buckets
+/// trimmed.  Used for the per-instance "metrics" blocks in bench reports.
+void writeMetricsJson(JsonWriter& w, const std::vector<MetricValue>& metrics);
+void writeMetricsJson(std::ostream& os, const std::vector<MetricValue>& metrics);
+
+// ---------------------------------------------------------------------------
+// BENCH_table1.json  (schema "hqs-bench-table1/v1")
+// ---------------------------------------------------------------------------
+
+/// One solver's cells of a Table I row.
+struct BenchSolverCells {
+    int sat = 0;
+    int unsat = 0;
+    int timeout = 0;
+    int memout = 0;
+    double commonMs = 0; ///< total time on instances solved by both solvers
+};
+
+struct BenchFamilyRow {
+    std::string family;
+    int instances = 0;
+    BenchSolverCells hqs;
+    BenchSolverCells idq;
+    int wrongResults = 0;
+};
+
+struct BenchTable1Report {
+    // Suite parameters (the scaled-down regime the numbers were produced in).
+    double timeoutSeconds = 0;
+    std::uint64_t hqsNodeLimit = 0;
+    std::uint64_t idqGroundClauseLimit = 0;
+
+    std::vector<BenchFamilyRow> families; ///< per-family rows + computed total
+
+    // Section IV aggregates.
+    int hqsSolvedTotal = 0;
+    int idqSolvedTotal = 0;
+    int solvedUnderOneSecond = 0;
+    int hqsOnlySolved = 0;
+    double maxMaxSatMs = 0;
+    double unitPureShareMax = 0;
+    int wrongResults = 0;
+
+    /// Registry snapshot of the whole run (phase timings, eliminations, ...).
+    std::vector<MetricValue> metrics;
+};
+
+void writeBenchTable1Json(std::ostream& os, const BenchTable1Report& report);
+
+// ---------------------------------------------------------------------------
+// BENCH_micro.json  (schema "hqs-bench-micro/v1")
+// ---------------------------------------------------------------------------
+
+struct BenchMicroRow {
+    std::string name; ///< full benchmark name, e.g. "BM_AigConstruction/1000"
+    std::int64_t iterations = 0;
+    double realNs = 0; ///< mean wall time per iteration
+    double cpuNs = 0;  ///< mean CPU time per iteration
+    double itemsPerSecond = 0; ///< 0 when the benchmark reports none
+};
+
+struct BenchMicroReport {
+    std::vector<BenchMicroRow> benchmarks;
+    /// Named per-operation overhead costs distilled from the rows
+    /// (span_disarmed_ns, counter_add_ns, checkpoint_disarmed_ns, ...).
+    std::vector<std::pair<std::string, double>> overheadNs;
+};
+
+void writeBenchMicroJson(std::ostream& os, const BenchMicroReport& report);
+
+} // namespace hqs::obs

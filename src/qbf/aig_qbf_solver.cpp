@@ -7,6 +7,7 @@
 
 #include "src/aig/cnf_bridge.hpp"
 #include "src/dqbf/skolem_recorder.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sat/sat_solver.hpp"
 
 namespace hqs {
@@ -45,6 +46,7 @@ std::unordered_map<Var, std::size_t> occurrenceCounts(const Aig& aig, AigEdge ro
 
 SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
 {
+    OBS_SPAN(qbfSpan, "qbf.aig_eliminate");
     stats_ = AigQbfStats{};
     std::size_t lastFraigSize = 0;
 
@@ -172,8 +174,10 @@ SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
         prefix.removeVar(pick);
         if (kind == QuantKind::Exists) {
             ++stats_.existentialEliminations;
+            OBS_COUNT("qbf.elim.existential", 1);
         } else {
             ++stats_.universalEliminations;
+            OBS_COUNT("qbf.elim.universal", 1);
         }
         trackPeak();
 

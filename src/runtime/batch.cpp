@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <ostream>
@@ -10,6 +11,7 @@
 
 #include "src/base/timer.hpp"
 #include "src/cnf/dimacs.hpp"
+#include "src/obs/obs.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/runtime/portfolio.hpp"
@@ -82,11 +84,50 @@ bool readJsonStringField(const std::string& line, const std::string& key, std::s
     return false; // ran off the end inside the string: torn line
 }
 
+/// Extract the JSON number following `"key":` in @p line.  Returns false
+/// when the key is absent or not followed by a number.
+bool readJsonNumberField(const std::string& line, const std::string& key, double& out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t start = line.find(needle);
+    if (start == std::string::npos) return false;
+    const char* begin = line.c_str() + start + needle.size();
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    out = v;
+    return true;
+}
+
 struct SolveOutcome {
     SolveResult result = SolveResult::Unknown;
     std::string engine;
     FailureInfo failure;
+    BatchJobMetrics metrics;
 };
+
+/// Distill one job's registry scope into the JSONL metric fields.
+BatchJobMetrics collectJobMetrics(const obs::MetricScope& scope)
+{
+    using obs::MetricKind;
+    auto counter = [&](const char* name) {
+        return scope.value(obs::metric(name, MetricKind::Counter));
+    };
+    BatchJobMetrics m;
+    m.preprocessMs = static_cast<double>(counter("phase.preprocess.us")) / 1000.0;
+    m.elimMs = static_cast<double>(counter("phase.elim_exists.us") +
+                                   counter("phase.elim_universal.us") +
+                                   counter("phase.unit_pure.us")) /
+               1000.0;
+    m.qbfMs = static_cast<double>(counter("phase.qbf.us")) / 1000.0;
+    m.fraigMs = static_cast<double>(counter("phase.fraig.us")) / 1000.0;
+    m.peakAigNodes = scope.value(obs::metric("aig.peak_cone", MetricKind::Gauge));
+    m.eliminations = counter("hqs.elim.universal") + counter("hqs.elim.existential") +
+                     counter("hqs.elim.unit") + counter("hqs.elim.pure") +
+                     counter("qbf.elim.universal") + counter("qbf.elim.existential");
+    m.copies = counter("hqs.elim.copies");
+    return m;
+}
 
 /// One guarded attempt at rung @p rung.
 SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
@@ -102,6 +143,10 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
     gopts.rssLimitBytes = opts.rssLimitBytes;
 
     SolveOutcome out;
+    // All OBS_* updates of this attempt — including portfolio racer threads,
+    // which bind to this scope — accumulate locally, become the job's JSONL
+    // metric fields, and then merge into the enclosing registry.
+    obs::MetricScope scope;
     const GuardedOutcome guarded = runGuarded(gopts, [&](const Deadline& dl) {
         // Parsing runs inside the guard too: a malformed instance becomes a
         // ParseError failure record, not a dead worker.  Re-parsing per rung
@@ -133,6 +178,7 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
     });
     out.result = guarded.result;
     if (guarded.failure) out.failure = guarded.failure;
+    out.metrics = collectJobMetrics(scope);
     return out;
 }
 
@@ -181,6 +227,14 @@ void writeJsonl(const BatchJobResult& r, std::ostream& os)
         os << ",\"error\":";
         writeJsonString(os, r.error);
     }
+    if (r.metrics.any()) {
+        const BatchJobMetrics& m = r.metrics;
+        os << ",\"metrics\":{\"preprocess_ms\":" << m.preprocessMs
+           << ",\"elim_ms\":" << m.elimMs << ",\"qbf_ms\":" << m.qbfMs
+           << ",\"fraig_ms\":" << m.fraigMs << ",\"peak_aig_nodes\":" << m.peakAigNodes
+           << ",\"eliminations\":" << m.eliminations << ",\"copies\":" << m.copies
+           << '}';
+    }
     os << "}\n";
 }
 
@@ -208,6 +262,18 @@ bool readJsonl(const std::string& line, BatchJobResult& out)
         readJsonStringField(line, "what", r.failure.what);
     }
     readJsonStringField(line, "error", r.error);
+    double num = 0;
+    if (readJsonNumberField(line, "wall_ms", num)) r.wallMilliseconds = num;
+    if (readJsonNumberField(line, "preprocess_ms", num)) r.metrics.preprocessMs = num;
+    if (readJsonNumberField(line, "elim_ms", num)) r.metrics.elimMs = num;
+    if (readJsonNumberField(line, "qbf_ms", num)) r.metrics.qbfMs = num;
+    if (readJsonNumberField(line, "fraig_ms", num)) r.metrics.fraigMs = num;
+    if (readJsonNumberField(line, "peak_aig_nodes", num))
+        r.metrics.peakAigNodes = static_cast<std::int64_t>(num);
+    if (readJsonNumberField(line, "eliminations", num))
+        r.metrics.eliminations = static_cast<std::int64_t>(num);
+    if (readJsonNumberField(line, "copies", num))
+        r.metrics.copies = static_cast<std::int64_t>(num);
     out = std::move(r);
     return true;
 }
@@ -292,6 +358,26 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                             if (out.result == SolveResult::Memout) ++rs.memouts;
                             if (out.failure) ++rs.failures;
                         }
+#if HQS_OBS_ENABLED
+                        {
+                            // Per-rung outcome counters (dynamic names, so
+                            // the OBS_COUNT static-id cache does not apply).
+                            using obs::MetricKind;
+                            obs::Registry& reg = obs::currentRegistry();
+                            const std::string base = "batch.rung." + rung.name;
+                            reg.add(obs::metric(base + ".attempts",
+                                                MetricKind::Counter), 1);
+                            if (isConclusive(out.result))
+                                reg.add(obs::metric(base + ".conclusive",
+                                                    MetricKind::Counter), 1);
+                            if (out.result == SolveResult::Memout)
+                                reg.add(obs::metric(base + ".memouts",
+                                                    MetricKind::Counter), 1);
+                            if (out.failure)
+                                reg.add(obs::metric(base + ".failures",
+                                                    MetricKind::Counter), 1);
+                        }
+#endif
                         r.attempts = static_cast<unsigned>(rungIdx + 1);
                         if (rungIdx + 1 >= ladder.size() || !rungRetryable(out) ||
                             opts_.cancel.cancelled()) {
@@ -301,6 +387,7 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                     r.result = out.result;
                     r.engine = out.engine;
                     r.failure = out.failure;
+                    r.metrics = out.metrics;
                     r.rung = ladder[rungIdx].name;
                     r.degraded = rungIdx > 0;
                     if (opts_.cancel.cancelled() && !isConclusive(r.result) && !r.failure)

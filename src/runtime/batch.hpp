@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <unordered_set>
@@ -61,6 +62,26 @@ struct BatchOptions {
     CancelToken cancel;
 };
 
+/// Per-instance solver metrics pulled from the metrics registry scope the
+/// job ran under (src/obs/): phase wall-clock, peak AIG cone, elimination
+/// counts.  All zero when the obs instrumentation is compiled out
+/// (-DHQS_OBS=OFF) or when the entry was journaled by an older build.
+struct BatchJobMetrics {
+    double preprocessMs = 0.0; ///< CNF preprocessing
+    double elimMs = 0.0;       ///< Theorem-1/2 + unit/pure elimination
+    double qbfMs = 0.0;        ///< linearized-QBF backend
+    double fraigMs = 0.0;      ///< FRAIG sweeps
+    std::int64_t peakAigNodes = 0;  ///< peak matrix cone size
+    std::int64_t eliminations = 0;  ///< all quantifier eliminations performed
+    std::int64_t copies = 0;        ///< existential copies from Theorem 1
+
+    bool any() const
+    {
+        return preprocessMs != 0 || elimMs != 0 || qbfMs != 0 || fraigMs != 0 ||
+               peakAigNodes != 0 || eliminations != 0 || copies != 0;
+    }
+};
+
 /// Result of one instance, in input order.
 struct BatchJobResult {
     std::string instance;  ///< path as given
@@ -75,6 +96,9 @@ struct BatchJobResult {
     /// Structured failure from the final attempt (kind None on clean runs).
     FailureInfo failure;
     std::string error;       ///< human-readable mirror of `failure.what`
+    /// Registry metrics of the final attempt; survives a JSONL round-trip,
+    /// so --resume keeps the fields of already-solved instances.
+    BatchJobMetrics metrics;
 };
 
 /// Serialize @p r as a single JSONL line (terminating newline included).

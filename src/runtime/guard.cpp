@@ -6,6 +6,7 @@
 
 #include "src/base/fault.hpp"
 #include "src/cnf/dimacs.hpp"
+#include "src/obs/obs.hpp"
 
 #ifdef __linux__
 #include <unistd.h>
@@ -111,10 +112,17 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
         });
     }
 
+    OBS_COUNT("guard.runs", 1);
+    obs::clearDeathSite();
     try {
         out.result = body(dl);
     } catch (...) {
         out.failure = classifyException(std::current_exception());
+        // Exceptions that carry no site of their own get the innermost span
+        // the unwind crossed (see obs::deathSite()): "bad-alloc somewhere"
+        // becomes "bad-alloc in hqs.fraig".
+        if (out.failure.site.empty()) out.failure.site = obs::deathSite();
+        OBS_COUNT("guard.failures", 1);
         // A memory failure maps onto the resource-budget outcome the rest of
         // the runtime already understands (degradation ladder, retry).
         out.result = out.failure.kind == FailureKind::BadAlloc ? SolveResult::Memout
@@ -124,6 +132,7 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
     done.store(true, std::memory_order_release);
     if (watchdog.joinable()) watchdog.join();
     out.peakRssBytes = peakRss.load(std::memory_order_relaxed);
+    if (out.peakRssBytes != 0) OBS_GAUGE_MAX("guard.peak_rss_bytes", out.peakRssBytes);
 
     if (!isConclusive(out.result)) {
         if (rssTripped.load(std::memory_order_acquire)) {

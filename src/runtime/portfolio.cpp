@@ -9,6 +9,7 @@
 #include "src/dqbf/dqbf_oracle.hpp"
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/idq/idq_solver.hpp"
+#include "src/obs/obs.hpp"
 #include "src/runtime/thread_pool.hpp"
 
 namespace hqs {
@@ -66,6 +67,15 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
     if (engines.empty()) return SolveResult::Unknown;
 
     Timer total;
+    OBS_SPAN(raceSpan, "portfolio.race");
+    OBS_COUNT("portfolio.races", 1);
+    // Racers run on pool workers whose thread-local registry would be the
+    // global one; bind them to the registry current *here* so per-solve
+    // MetricScopes (batch jobs, CLI --stats) see the engines' metrics.
+    obs::Registry& parentRegistry = obs::currentRegistry();
+    std::vector<std::string> spanLabels;
+    spanLabels.reserve(engines.size());
+    for (const PortfolioEngine& e : engines) spanLabels.push_back("engine:" + e.name);
     std::vector<CancelToken> tokens(engines.size());
 
     std::mutex mu;
@@ -79,6 +89,8 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
             pool.submit([&, i] {
                 // Each racer observes the shared budget, the portfolio-wide
                 // kill switch, and its own loser-cancellation token.
+                obs::BindRegistry bind(parentRegistry);
+                OBS_SPAN(engineSpan, spanLabels[i].c_str());
                 Deadline dl = opts_.deadline.withCancel(tokens[i]);
                 Timer t;
                 SolveResult r = SolveResult::Unknown;
@@ -114,6 +126,8 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
                             std::chrono::duration<double, std::milli>(returnedAt -
                                                                       *cancelBroadcastAt)
                                 .count();
+                        OBS_OBSERVE("portfolio.cancel_latency_us",
+                                    es.cancelLatencyMilliseconds * 1000.0);
                     }
                 }
             });
@@ -163,6 +177,13 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
 
     if (winner) {
         stats_.winnerName = engines[*winner].name;
+#if HQS_OBS_ENABLED
+        // Dynamic metric name (one counter per engine), so the per-call-site
+        // static cache of OBS_COUNT does not apply.
+        obs::currentRegistry().add(
+            obs::metric("portfolio.win." + stats_.winnerName, obs::MetricKind::Counter),
+            1);
+#endif
         return verdict;
     }
     if (opts_.cancel && opts_.cancel->cancelled())

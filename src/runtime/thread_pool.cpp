@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/fault.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hqs {
 
@@ -28,11 +29,12 @@ ThreadPool::~ThreadPool()
 
 bool ThreadPool::submit(std::function<void()> job)
 {
+    const std::uint64_t now = HQS_OBS_ENABLED ? obs::detail::nowNs() : 0;
     {
         std::unique_lock<std::mutex> lock(mu_);
         spaceReady_.wait(lock, [this] { return stop_ || queue_.size() < capacity_; });
         if (stop_) return false;
-        queue_.push_back(std::move(job));
+        queue_.push_back({std::move(job), now});
     }
     workReady_.notify_one();
     return true;
@@ -59,7 +61,7 @@ std::size_t ThreadPool::failedJobs() const
 void ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
+        QueuedJob job;
         {
             std::unique_lock<std::mutex> lock(mu_);
             workReady_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -71,14 +73,23 @@ void ThreadPool::workerLoop()
             ++active_;
         }
         spaceReady_.notify_one();
+        if (job.enqueueNs != 0) {
+            OBS_OBSERVE("pool.queue_latency_us",
+                        (obs::detail::nowNs() - job.enqueueNs) / 1000);
+        }
         FailureInfo failure;
+        obs::clearDeathSite();
         try {
             fault::checkpoint("pool-dispatch");
-            job();
+            OBS_SPAN(jobSpan, "pool.job");
+            job.fn();
         } catch (...) {
             // A throwing job marks itself failed; the worker survives to run
-            // the rest of the queue.
+            // the rest of the queue.  Tag the failure with the innermost
+            // span the exception unwound out of.
             failure = classifyException(std::current_exception());
+            if (failure.site.empty()) failure.site = obs::deathSite();
+            OBS_COUNT("pool.job_failures", 1);
         }
         {
             std::unique_lock<std::mutex> lock(mu_);

@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -65,13 +66,18 @@ public:
     static constexpr std::size_t kDefaultQueueCapacity = 1024;
 
 private:
+    struct QueuedJob {
+        std::function<void()> fn;
+        std::uint64_t enqueueNs = 0; ///< trace-epoch stamp for queue latency
+    };
+
     void workerLoop();
 
     mutable std::mutex mu_;
     std::condition_variable workReady_;   ///< queue non-empty or stopping
     std::condition_variable spaceReady_;  ///< queue below capacity
     std::condition_variable allIdle_;     ///< queue empty and no active job
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedJob> queue_;
     std::size_t capacity_;
     std::size_t active_ = 0; ///< jobs currently executing
     bool stop_ = false;

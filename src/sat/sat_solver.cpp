@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/base/fault.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hqs {
 namespace {
@@ -560,6 +561,7 @@ bool SatSolver::addCnf(const Cnf& f)
 
 SolveResult SatSolver::solve(const std::vector<Lit>& assumptions, Deadline deadline)
 {
+    OBS_COUNT("sat.solves", 1);
     return impl_->solve(assumptions, deadline);
 }
 

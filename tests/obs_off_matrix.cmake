@@ -1,0 +1,38 @@
+# Build-matrix check for -DHQS_OBS=OFF, run as a ctest entry (see
+# tests/CMakeLists.txt): configure the tree with the observability macros
+# compiled out into a persistent nested build directory, build a
+# representative slice (the CLI driver plus the core solver tests), and run
+# the solver tests.  The nested directory is reused across runs, so after
+# the first configure+build the check is an incremental no-op.
+#
+# Usage: cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<dir> -P obs_off_matrix.cmake
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "obs_off_matrix.cmake needs -DSOURCE_DIR and -DBUILD_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR} -DHQS_OBS=OFF
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "HQS_OBS=OFF configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
+          --target dqbf_solve hqs_solver_test obs_test
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "HQS_OBS=OFF build failed")
+endif()
+
+# Tier-1 representative: the core solver suite must pass with the macros
+# compiled out, and the obs suite itself must pass against the no-op macros.
+execute_process(COMMAND ${BUILD_DIR}/tests/hqs_solver_test RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hqs_solver_test failed under HQS_OBS=OFF")
+endif()
+
+execute_process(COMMAND ${BUILD_DIR}/tests/obs_test RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_test failed under HQS_OBS=OFF")
+endif()

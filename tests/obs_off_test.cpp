@@ -1,0 +1,50 @@
+// Compile-out check for -DHQS_OBS=OFF: this translation unit forces
+// HQS_OBS_ENABLED=0 before including obs.hpp, so every OBS_* macro here is
+// the no-op expansion.  The tests prove the disabled macros still parse
+// their arguments (unevaluated), leave the registries untouched, and that
+// the obs runtime stays linkable next to disabled call sites — the same
+// mix the HQS_OBS=OFF build matrix exercises tree-wide.
+#define HQS_OBS_ENABLED 0
+
+#include <gtest/gtest.h>
+
+#include "src/obs/obs.hpp"
+
+using namespace hqs;
+
+namespace {
+
+TEST(ObsOff, MacrosDoNotEvaluateArguments)
+{
+    int evaluations = 0;
+    OBS_COUNT("off.counter", ++evaluations);
+    OBS_GAUGE_MAX("off.gauge", ++evaluations);
+    OBS_OBSERVE("off.hist", ++evaluations);
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsOff, SpansAreNullAndSilent)
+{
+    obs::clearTrace();
+    {
+        OBS_SPAN(span, "off.span");
+        span.arg("nodes", 42);
+        OBS_PHASE(phase, "off.phase", "off.phase.us");
+        phase.arg("gates", 7);
+    }
+    EXPECT_EQ(obs::traceSpanCount(), 0u);
+}
+
+TEST(ObsOff, RegistryStaysEmptyButUsable)
+{
+    // The runtime API is still there for readers: an explicit registration
+    // works even though no disabled macro ever feeds it.
+    obs::MetricScope scope;
+    OBS_COUNT("off.never", 123);
+    EXPECT_TRUE(scope.snapshot().empty());
+    const obs::MetricId id = obs::metric("off.direct", obs::MetricKind::Counter);
+    scope.registry().add(id, 2);
+    EXPECT_EQ(scope.value(id), 2);
+}
+
+} // namespace
