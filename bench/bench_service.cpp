@@ -1,0 +1,209 @@
+// bench_service: throughput and latency of the solver service under load.
+//
+//   bench_service [--connections=N] [--requests=N] [--max-inflight=N]
+//                 [--queue=N] [--jsonl] [--json=FILE]
+//
+// Starts an in-process SolverService on a loopback ephemeral port, floods it
+// from N client threads solving a small DQDIMACS instance, and reports
+// throughput plus p50/p90/p99 latency taken from the service's own
+// `service.solve_latency_us` log2 histogram in the obs registry (the same
+// histogram GET /metrics exposes).  --json=FILE additionally writes the
+// schema-versioned report consumed by the golden-file test and committed as
+// BENCH_service.json.
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+
+using namespace hqs;
+using namespace hqs::service;
+
+namespace {
+
+// Forall u1 u2 exists e3(u1) e4(u2): (u1 <-> e3) and (u2 <-> e4) — SAT, and
+// small enough that one solve is dominated by service overhead, which is the
+// thing this benchmark measures.
+const char* kFormula =
+    "p cnf 4 4\n"
+    "a 1 2 0\n"
+    "d 3 1 0\n"
+    "d 4 2 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+bool parseSize(const std::string& text, std::size_t& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = static_cast<std::size_t>(std::stoul(text, &pos));
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    ignoreSigpipe();
+
+    std::size_t connections = 8;
+    std::size_t requests = 256;
+    std::size_t maxInflight = 4;
+    std::size_t maxQueue = 64;
+    bool jsonl = false;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto val = [&](const std::string& prefix) {
+            return arg.substr(prefix.size());
+        };
+        std::size_t n = 0;
+        if (arg.rfind("--connections=", 0) == 0 && parseSize(val("--connections="), n) &&
+            n > 0) {
+            connections = n;
+        } else if (arg.rfind("--requests=", 0) == 0 && parseSize(val("--requests="), n)) {
+            requests = n;
+        } else if (arg.rfind("--max-inflight=", 0) == 0 &&
+                   parseSize(val("--max-inflight="), n)) {
+            maxInflight = n;
+        } else if (arg.rfind("--queue=", 0) == 0 && parseSize(val("--queue="), n)) {
+            maxQueue = n;
+        } else if (arg == "--jsonl") {
+            jsonl = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = val("--json=");
+        } else {
+            std::cerr << "usage: bench_service [--connections=N] [--requests=N] "
+                         "[--max-inflight=N] [--queue=N] [--jsonl] [--json=FILE]\n";
+            return 1;
+        }
+    }
+
+    ServiceOptions sopts;
+    sopts.maxInflight = maxInflight;
+    sopts.maxQueue = maxQueue;
+    sopts.defaultTimeoutSeconds = 10.0;
+    SolverService service(sopts);
+    std::string error;
+    if (!service.start(&error)) {
+        std::cerr << "bench_service: " << error << "\n";
+        return 1;
+    }
+    const std::uint16_t port = jsonl ? service.jsonlPort() : service.httpPort();
+
+    std::mutex mu;
+    std::size_t ok = 0, rejected = 0, errors = 0;
+    std::atomic<std::size_t> nextRequest{0};
+    Timer wall;
+
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t t = 0; t < connections; ++t) {
+        threads.emplace_back([&, t] {
+            std::size_t localOk = 0, localRejected = 0, localErrors = 0;
+            BlockingClient client;
+            if (!client.connect("127.0.0.1", port)) {
+                std::lock_guard<std::mutex> lock(mu);
+                ++errors;
+                return;
+            }
+            SolveRequestOptions ropts;
+            while (true) {
+                const std::size_t seq = nextRequest.fetch_add(1);
+                if (seq >= requests) break;
+                bool sent;
+                if (jsonl) {
+                    sent = client.sendAll(buildJsonlSolveRequest(
+                        std::to_string(t) + "-" + std::to_string(seq), kFormula, ropts));
+                } else {
+                    sent = client.sendAll(
+                        buildHttpSolveRequest(kFormula, ropts, /*keepAlive=*/true));
+                }
+                if (!sent) {
+                    ++localErrors;
+                    break;
+                }
+                if (jsonl) {
+                    std::string row;
+                    if (!client.readLine(row)) {
+                        ++localErrors;
+                        break;
+                    }
+                    std::string verdict;
+                    if (jsonStringField(row, "result", verdict))
+                        ++localOk;
+                    else if (row.find("\"busy\"") != std::string::npos)
+                        ++localRejected;
+                    else
+                        ++localErrors;
+                } else {
+                    HttpResponseMsg rsp;
+                    if (!client.readResponse(rsp)) {
+                        ++localErrors;
+                        break;
+                    }
+                    if (rsp.status == 200)
+                        ++localOk;
+                    else if (rsp.status == 429)
+                        ++localRejected;
+                    else
+                        ++localErrors;
+                }
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            ok += localOk;
+            rejected += localRejected;
+            errors += localErrors;
+        });
+    }
+    for (std::thread& th : threads) th.join();
+    const double wallMs = wall.elapsedMilliseconds();
+    service.stop();
+
+    obs::BenchServiceReport report;
+    report.connections = static_cast<std::int64_t>(connections);
+    report.requests = static_cast<std::int64_t>(requests);
+    report.maxInflight = static_cast<std::int64_t>(maxInflight);
+    report.maxQueue = static_cast<std::int64_t>(maxQueue);
+    report.jsonlMode = jsonl;
+    report.ok = static_cast<std::int64_t>(ok);
+    report.rejected = static_cast<std::int64_t>(rejected);
+    report.errors = static_cast<std::int64_t>(errors);
+    report.wallMs = wallMs;
+    report.throughputRps = wallMs > 0 ? static_cast<double>(ok) * 1000.0 / wallMs : 0;
+    report.metrics = obs::globalRegistry().snapshot();
+    for (const obs::MetricValue& m : report.metrics) {
+        if (m.name == "service.solve_latency_us")
+            report.latency = obs::latencyFromHistogram(m);
+    }
+
+    std::cout << "mode=" << (jsonl ? "jsonl" : "http") << " connections=" << connections
+              << " requests=" << requests << " ok=" << ok << " rejected=" << rejected
+              << " errors=" << errors << "\n";
+    std::cout << "wall_ms=" << wallMs << " throughput_rps=" << report.throughputRps
+              << " latency_us p50=" << report.latency.p50Us
+              << " p99=" << report.latency.p99Us << "\n";
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::cerr << "bench_service: cannot write " << jsonPath << "\n";
+            return 1;
+        }
+        obs::writeBenchServiceJson(out, report);
+        std::cout << "wrote " << jsonPath << "\n";
+    }
+    return ok + rejected == requests ? 0 : 1;
+}

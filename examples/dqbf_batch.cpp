@@ -164,6 +164,11 @@ int main(int argc, char** argv)
     if (!jsonlPath.empty()) {
         // Appending keeps the journal's history; readJournal takes the last
         // entry per instance, so re-runs supersede their old records.
+        // Unbuffered + O_APPEND ("app") makes each row exactly one write(2)
+        // of a pre-formatted line (see toJsonlLine), so a kill can truncate
+        // only the final row and a concurrent writer can never interleave
+        // bytes inside a row.
+        jsonlFile.rdbuf()->pubsetbuf(nullptr, 0);
         const auto mode = (jsonlPath == resumePath) ? std::ios::app : std::ios::out;
         jsonlFile.open(jsonlPath, mode);
         if (!jsonlFile) {

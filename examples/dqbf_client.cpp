@@ -1,0 +1,212 @@
+// dqbf_client: load generator and one-shot client for dqbf_serve.
+//
+//   dqbf_client --file=FORMULA.dqdimacs [options]
+//
+// Options:
+//   --host=ADDR          server address (default 127.0.0.1)
+//   --port=N             server port (default 8080)
+//   --jsonl              speak the newline-JSON protocol instead of HTTP
+//   --connections=N      concurrent client connections (default 1)
+//   --requests=N         total solve requests across all connections
+//                        (default: one per connection)
+//   --timeout-ms=N       per-request solver budget header/field
+//   --rss-limit-mb=N     per-request memory budget header/field
+//   --engine=NAME        hqs | hqs-bdd | portfolio[:N]
+//
+// Each connection sends its share of requests back to back (JSONL mode
+// pipelines them) and tallies verdicts, busy rejections, and errors.  Exact
+// latency percentiles are computed from the recorded per-request times.
+// Exit code 0 when every request got a verdict, 1 otherwise.
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/service/client.hpp"
+
+using namespace hqs;
+using namespace hqs::service;
+
+namespace {
+
+int usage()
+{
+    std::cerr << "usage: dqbf_client --file=FORMULA.dqdimacs [--host=ADDR] "
+                 "[--port=N] [--jsonl] [--connections=N] [--requests=N] "
+                 "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME]\n";
+    return 1;
+}
+
+bool parseSize(const std::string& text, std::size_t& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = static_cast<std::size_t>(std::stoul(text, &pos));
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+struct Tally {
+    std::size_t ok = 0;      ///< verdict received (any SolveResult)
+    std::size_t busy = 0;    ///< 429 / busy row
+    std::size_t errors = 0;  ///< transport failures, non-200 responses
+    std::vector<double> latenciesUs;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    ignoreSigpipe();
+
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 8080;
+    bool jsonl = false;
+    std::size_t connections = 1;
+    std::size_t requests = 0;
+    std::string file;
+    SolveRequestOptions ropts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto val = [&](const std::string& prefix) {
+            return arg.substr(prefix.size());
+        };
+        std::size_t n = 0;
+        if (arg.rfind("--host=", 0) == 0) {
+            host = val("--host=");
+        } else if (arg.rfind("--port=", 0) == 0 && parseSize(val("--port="), n)) {
+            port = static_cast<std::uint16_t>(n);
+        } else if (arg == "--jsonl") {
+            jsonl = true;
+        } else if (arg.rfind("--connections=", 0) == 0 &&
+                   parseSize(val("--connections="), n) && n > 0) {
+            connections = n;
+        } else if (arg.rfind("--requests=", 0) == 0 && parseSize(val("--requests="), n)) {
+            requests = n;
+        } else if (arg.rfind("--file=", 0) == 0) {
+            file = val("--file=");
+        } else if (arg.rfind("--timeout-ms=", 0) == 0 &&
+                   parseSize(val("--timeout-ms="), n)) {
+            ropts.timeoutSeconds = static_cast<double>(n) / 1000.0;
+        } else if (arg.rfind("--rss-limit-mb=", 0) == 0 &&
+                   parseSize(val("--rss-limit-mb="), n)) {
+            ropts.rssLimitBytes = n * 1024 * 1024;
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            ropts.engine = val("--engine=");
+        } else {
+            return usage();
+        }
+    }
+    if (file.empty()) return usage();
+    std::ifstream in(file);
+    if (!in) {
+        std::cerr << "dqbf_client: cannot read " << file << "\n";
+        return 1;
+    }
+    std::ostringstream formulaStream;
+    formulaStream << in.rdbuf();
+    const std::string formula = formulaStream.str();
+    if (requests == 0) requests = connections;
+
+    std::mutex mu;
+    Tally total;
+    std::atomic<std::size_t> nextRequest{0};
+    Timer wall;
+
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t t = 0; t < connections; ++t) {
+        threads.emplace_back([&, t] {
+            Tally local;
+            BlockingClient client;
+            std::string error;
+            if (!client.connect(host, port, &error)) {
+                std::lock_guard<std::mutex> lock(mu);
+                std::cerr << "dqbf_client: " << error << "\n";
+                total.errors += 1;
+                return;
+            }
+            while (true) {
+                const std::size_t seq = nextRequest.fetch_add(1);
+                if (seq >= requests) break;
+                Timer perRequest;
+                bool sent;
+                if (jsonl) {
+                    sent = client.sendAll(buildJsonlSolveRequest(
+                        "c" + std::to_string(t) + "-" + std::to_string(seq), formula,
+                        ropts));
+                } else {
+                    sent = client.sendAll(
+                        buildHttpSolveRequest(formula, ropts, /*keepAlive=*/true));
+                }
+                if (!sent) {
+                    // Short or failed write: the server went away — count a
+                    // disconnect and stop this connection, never abort.
+                    local.errors += 1;
+                    break;
+                }
+                bool gotReply = false;
+                if (jsonl) {
+                    std::string row;
+                    gotReply = client.readLine(row);
+                    if (gotReply) {
+                        std::string verdict;
+                        if (jsonStringField(row, "result", verdict))
+                            local.ok += 1;
+                        else if (row.find("\"busy\"") != std::string::npos)
+                            local.busy += 1;
+                        else
+                            local.errors += 1;
+                    }
+                } else {
+                    HttpResponseMsg rsp;
+                    gotReply = client.readResponse(rsp);
+                    if (gotReply) {
+                        if (rsp.status == 200)
+                            local.ok += 1;
+                        else if (rsp.status == 429)
+                            local.busy += 1;
+                        else
+                            local.errors += 1;
+                    }
+                }
+                if (!gotReply) {
+                    local.errors += 1;
+                    break;
+                }
+                local.latenciesUs.push_back(perRequest.elapsedSeconds() * 1e6);
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            total.ok += local.ok;
+            total.busy += local.busy;
+            total.errors += local.errors;
+            total.latenciesUs.insert(total.latenciesUs.end(), local.latenciesUs.begin(),
+                                     local.latenciesUs.end());
+        });
+    }
+    for (std::thread& th : threads) th.join();
+
+    const double wallMs = wall.elapsedMilliseconds();
+    std::sort(total.latenciesUs.begin(), total.latenciesUs.end());
+    const auto pct = [&](double q) -> double {
+        if (total.latenciesUs.empty()) return 0;
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(total.latenciesUs.size() - 1) + 0.5);
+        return total.latenciesUs[idx];
+    };
+    std::cout << "requests=" << requests << " ok=" << total.ok << " busy=" << total.busy
+              << " errors=" << total.errors << " wall_ms=" << wallMs << "\n";
+    if (!total.latenciesUs.empty()) {
+        std::cout << "latency_us p50=" << pct(0.50) << " p90=" << pct(0.90)
+                  << " p99=" << pct(0.99) << " max=" << total.latenciesUs.back() << "\n";
+    }
+    return total.ok == requests ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// dqbf_serve: put the DQBF solver stack behind a socket.
+//
+//   dqbf_serve [options]
+//
+// Options:
+//   --host=ADDR           bind address (default: 127.0.0.1)
+//   --port=N              HTTP port (default 8080; 0 = ephemeral)
+//   --jsonl-port=N        newline-JSON port (default 8081; 0 = ephemeral)
+//   --no-jsonl            disable the JSONL listener
+//   --max-inflight=N      concurrent solves (default: hardware concurrency)
+//   --queue=N             admitted-but-waiting solves beyond max-inflight
+//                         before 429/busy (default 64)
+//   --timeout=SECONDS     default per-request wall-clock budget (0 = none)
+//   --rss-limit=MB        default cooperative memout budget (0 = none)
+//   --node-limit=N        AIG-node budget forwarded to the engines
+//   --retry-after=SECONDS advisory Retry-After on 429 (default 1)
+//
+// Endpoints: POST /solve (DQDIMACS body; timeout-ms / rss-limit-mb / engine
+// headers), GET /metrics (Prometheus), GET /healthz, GET /stats.  The JSONL
+// port takes one {"id":...,"formula":...} row per line.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight solves,
+// flush every response, exit 0.  A second signal cancels in-flight solves.
+#include <iostream>
+#include <string>
+
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+
+using namespace hqs;
+using namespace hqs::service;
+
+namespace {
+
+int usage()
+{
+    std::cerr << "usage: dqbf_serve [--host=ADDR] [--port=N] [--jsonl-port=N] "
+                 "[--no-jsonl] [--max-inflight=N] [--queue=N] "
+                 "[--timeout=SECONDS] [--rss-limit=MB] [--node-limit=N] "
+                 "[--retry-after=SECONDS]\n";
+    return 1;
+}
+
+bool parseSize(const std::string& text, std::size_t& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = static_cast<std::size_t>(std::stoul(text, &pos));
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parseSeconds(const std::string& text, double& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stod(text, &pos);
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    ignoreSigpipe();
+
+    ServiceOptions opts;
+    opts.httpPort = 8080;
+    opts.jsonlPort = 8081;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto val = [&](const std::string& prefix) {
+            return arg.substr(prefix.size());
+        };
+        std::size_t n = 0;
+        double secs = 0;
+        if (arg.rfind("--host=", 0) == 0) {
+            opts.bindAddress = val("--host=");
+        } else if (arg.rfind("--port=", 0) == 0 && parseSize(val("--port="), n)) {
+            opts.httpPort = static_cast<std::uint16_t>(n);
+        } else if (arg.rfind("--jsonl-port=", 0) == 0 &&
+                   parseSize(val("--jsonl-port="), n)) {
+            opts.jsonlPort = static_cast<std::uint16_t>(n);
+        } else if (arg == "--no-jsonl") {
+            opts.enableJsonl = false;
+        } else if (arg.rfind("--max-inflight=", 0) == 0 &&
+                   parseSize(val("--max-inflight="), n)) {
+            opts.maxInflight = n;
+        } else if (arg.rfind("--queue=", 0) == 0 && parseSize(val("--queue="), n)) {
+            opts.maxQueue = n;
+        } else if (arg.rfind("--timeout=", 0) == 0 &&
+                   parseSeconds(val("--timeout="), secs)) {
+            opts.defaultTimeoutSeconds = secs;
+        } else if (arg.rfind("--rss-limit=", 0) == 0 &&
+                   parseSize(val("--rss-limit="), n)) {
+            opts.defaultRssLimitBytes = n * 1024 * 1024;
+        } else if (arg.rfind("--node-limit=", 0) == 0 &&
+                   parseSize(val("--node-limit="), n)) {
+            opts.nodeLimit = n;
+        } else if (arg.rfind("--retry-after=", 0) == 0 &&
+                   parseSeconds(val("--retry-after="), secs)) {
+            opts.retryAfterSeconds = secs;
+        } else {
+            return usage();
+        }
+    }
+
+    SolverService service(opts);
+    std::string error;
+    if (!service.start(&error)) {
+        std::cerr << "dqbf_serve: " << error << "\n";
+        return 1;
+    }
+    SolverService::installSignalDrain(&service);
+
+    std::cout << "dqbf_serve listening: http=" << opts.bindAddress << ":"
+              << service.httpPort();
+    if (opts.enableJsonl)
+        std::cout << " jsonl=" << opts.bindAddress << ":" << service.jsonlPort();
+    std::cout << std::endl;
+
+    service.waitForDrained();
+    const ServiceCounters& c = service.counters();
+    std::cout << "dqbf_serve drained: requests="
+              << c.requests.load() << " solved=" << c.solvesCompleted.load()
+              << " rejected=" << (c.rejectedBusy.load() + c.rejectedDraining.load())
+              << " disconnect_cancels=" << c.disconnectCancels.load() << std::endl;
+    return 0;
+}

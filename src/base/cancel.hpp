@@ -20,10 +20,23 @@ namespace hqs {
 /// Why a CancelToken fired.  Ordered by precedence: the first requestCancel
 /// wins; later requests do not overwrite the recorded reason.
 enum class CancelReason : unsigned char {
-    None = 0,   ///< token has not fired
-    User = 1,   ///< external cancellation (shutdown, portfolio loser, Ctrl-C)
-    Memout = 2, ///< resource watchdog: unwind as Memout, not Timeout
+    None = 0,         ///< token has not fired
+    User = 1,         ///< external cancellation (shutdown, portfolio loser, Ctrl-C)
+    Memout = 2,       ///< resource watchdog: unwind as Memout, not Timeout
+    Disconnected = 3, ///< the caller went away (service client closed its socket)
 };
+
+/// Stable lower-case label for @p r, used in metric names and logs.
+inline const char* toString(CancelReason r)
+{
+    switch (r) {
+        case CancelReason::None: return "none";
+        case CancelReason::User: return "user";
+        case CancelReason::Memout: return "memout";
+        case CancelReason::Disconnected: return "disconnected";
+    }
+    return "invalid";
+}
 
 /// Shared cancellation flag.  Copies refer to the same flag; firing any copy
 /// fires them all.  Cheap to copy (one shared_ptr), safe to fire and poll

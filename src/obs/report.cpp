@@ -1,5 +1,6 @@
 #include "src/obs/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 
@@ -254,6 +255,122 @@ void writeBenchMicroJson(std::ostream& os, const BenchMicroReport& report)
         w.endObject();
     }
     w.endArray();
+    w.endObject();
+}
+
+// --------------------------------------------------------------------------
+// Prometheus text exposition
+// --------------------------------------------------------------------------
+
+std::string prometheusName(const std::string& name)
+{
+    std::string out = "hqs_";
+    out.reserve(name.size() + 4);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void writePrometheusText(std::ostream& os, const std::vector<MetricValue>& metrics)
+{
+    for (const MetricValue& m : metrics) {
+        const std::string name = prometheusName(m.name);
+        switch (m.kind) {
+            case MetricKind::Counter:
+                os << "# TYPE " << name << " counter\n";
+                os << name << ' ' << m.value << '\n';
+                break;
+            case MetricKind::Gauge:
+                os << "# TYPE " << name << " gauge\n";
+                os << name << ' ' << m.value << '\n';
+                break;
+            case MetricKind::Histogram: {
+                os << "# TYPE " << name << " histogram\n";
+                // Bucket i of the registry counts values in [2^(i-1), 2^i);
+                // Prometheus buckets are cumulative with inclusive upper
+                // bounds, so emit le="2^i" edges and fold the clamped top
+                // bucket into +Inf.
+                std::int64_t cumulative = 0;
+                for (std::uint32_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+                    cumulative += m.buckets[i];
+                    os << name << "_bucket{le=\"" << (std::int64_t{1} << i) << "\"} "
+                       << cumulative << '\n';
+                }
+                os << name << "_bucket{le=\"+Inf\"} " << m.count << '\n';
+                os << name << "_sum " << m.sum << '\n';
+                os << name << "_count " << m.count << '\n';
+                break;
+            }
+        }
+    }
+}
+
+double histogramQuantile(const MetricValue& h, double q)
+{
+    if (h.kind != MetricKind::Histogram || h.count <= 0) return 0;
+    if (q <= 0) return 0;
+    if (q > 1) q = 1;
+    const auto rank = static_cast<std::int64_t>(q * static_cast<double>(h.count) + 0.5);
+    std::int64_t cumulative = 0;
+    for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+        cumulative += h.buckets[i];
+        if (cumulative >= rank) {
+            const double upper = i + 1 == kHistogramBuckets
+                                     ? static_cast<double>(h.max)
+                                     : static_cast<double>(std::int64_t{1} << i);
+            return std::min(upper, static_cast<double>(h.max));
+        }
+    }
+    return static_cast<double>(h.max);
+}
+
+BenchServiceLatency latencyFromHistogram(const MetricValue& h)
+{
+    BenchServiceLatency l;
+    if (h.kind != MetricKind::Histogram || h.count == 0) return l;
+    l.p50Us = histogramQuantile(h, 0.50);
+    l.p90Us = histogramQuantile(h, 0.90);
+    l.p99Us = histogramQuantile(h, 0.99);
+    l.maxUs = static_cast<double>(h.max);
+    l.meanUs = static_cast<double>(h.sum) / static_cast<double>(h.count);
+    return l;
+}
+
+// --------------------------------------------------------------------------
+// BENCH_service.json
+// --------------------------------------------------------------------------
+
+void writeBenchServiceJson(std::ostream& os, const BenchServiceReport& report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("hqs-bench-service/v1");
+    w.key("params").beginObject();
+    w.key("connections").value(report.connections);
+    w.key("requests").value(report.requests);
+    w.key("max_inflight").value(report.maxInflight);
+    w.key("max_queue").value(report.maxQueue);
+    w.key("mode").value(report.jsonlMode ? "jsonl" : "http");
+    w.endObject();
+    w.key("results").beginObject();
+    w.key("ok").value(report.ok);
+    w.key("rejected").value(report.rejected);
+    w.key("errors").value(report.errors);
+    w.key("wall_ms").value(report.wallMs);
+    w.key("throughput_rps").value(report.throughputRps);
+    w.key("latency_us").beginObject();
+    w.key("p50").value(report.latency.p50Us);
+    w.key("p90").value(report.latency.p90Us);
+    w.key("p99").value(report.latency.p99Us);
+    w.key("max").value(report.latency.maxUs);
+    w.key("mean").value(report.latency.meanUs);
+    w.endObject();
+    w.endObject();
+    w.key("metrics");
+    writeMetricsJson(w, report.metrics);
     w.endObject();
 }
 

@@ -62,6 +62,62 @@ void writeStatLines(std::ostream& os, const std::vector<MetricValue>& metrics);
 void writeMetricsJson(JsonWriter& w, const std::vector<MetricValue>& metrics);
 void writeMetricsJson(std::ostream& os, const std::vector<MetricValue>& metrics);
 
+/// Render @p metrics in the Prometheus text exposition format (the solver
+/// service's GET /metrics payload).  Names are prefixed "hqs_" and every
+/// character outside [a-zA-Z0-9_] becomes '_'; counters and gauges emit one
+/// sample, histograms emit cumulative `_bucket{le="..."}` samples at the
+/// log2 bucket upper bounds plus `_sum` and `_count`.  Deterministic output
+/// (metrics arrive sorted from Registry::snapshot).
+void writePrometheusText(std::ostream& os, const std::vector<MetricValue>& metrics);
+
+/// Prometheus-safe name for one metric: "hqs_" + sanitized @p name.
+std::string prometheusName(const std::string& name);
+
+/// Upper-bound estimate of the @p q quantile (0 < q <= 1) of a log2
+/// histogram MetricValue: the upper edge of the bucket holding the rank,
+/// clamped to the observed max (exact for the top bucket).  Returns 0 for
+/// an empty histogram or a non-histogram value.
+double histogramQuantile(const MetricValue& h, double q);
+
+// ---------------------------------------------------------------------------
+// BENCH_service.json  (schema "hqs-bench-service/v1")
+// ---------------------------------------------------------------------------
+
+/// Latency quantiles in microseconds, distilled from a log2 histogram via
+/// histogramQuantile.
+struct BenchServiceLatency {
+    double p50Us = 0;
+    double p90Us = 0;
+    double p99Us = 0;
+    double maxUs = 0;
+    double meanUs = 0;
+};
+
+BenchServiceLatency latencyFromHistogram(const MetricValue& h);
+
+struct BenchServiceReport {
+    // Load parameters.
+    int connections = 0;
+    int requests = 0;
+    std::uint64_t maxInflight = 0;
+    std::uint64_t maxQueue = 0;
+    bool jsonlMode = false;
+
+    // Outcome counts: every request resolved into exactly one of these.
+    int ok = 0;
+    int rejected = 0; ///< 429 / busy rows
+    int errors = 0;   ///< transport failures, non-2xx other than 429
+
+    double wallMs = 0;
+    double throughputRps = 0;
+    BenchServiceLatency latency; ///< client-observed request latency
+
+    /// Registry snapshot of the run (service.* counters, solve latency).
+    std::vector<MetricValue> metrics;
+};
+
+void writeBenchServiceJson(std::ostream& os, const BenchServiceReport& report);
+
 // ---------------------------------------------------------------------------
 // BENCH_table1.json  (schema "hqs-bench-table1/v1")
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 
@@ -199,8 +200,9 @@ bool rungRetryable(const SolveOutcome& out)
 
 } // namespace
 
-void writeJsonl(const BatchJobResult& r, std::ostream& os)
+std::string toJsonlLine(const BatchJobResult& r)
 {
+    std::ostringstream os;
     os << "{\"instance\":";
     writeJsonString(os, r.instance);
     os << ",\"result\":";
@@ -236,6 +238,15 @@ void writeJsonl(const BatchJobResult& r, std::ostream& os)
            << '}';
     }
     os << "}\n";
+    return std::move(os).str();
+}
+
+void writeJsonl(const BatchJobResult& r, std::ostream& os)
+{
+    // One formatted row, one write call: a row can be truncated by a kill
+    // but never interleaved with a concurrent writer's row.
+    const std::string row = toJsonlLine(r);
+    os.write(row.data(), static_cast<std::streamsize>(row.size()));
 }
 
 bool readJsonl(const std::string& line, BatchJobResult& out)
@@ -255,7 +266,7 @@ bool readJsonl(const std::string& line, BatchJobResult& out)
         for (FailureKind k : {FailureKind::ParseError, FailureKind::BadAlloc,
                               FailureKind::RssLimit, FailureKind::InjectedFault,
                               FailureKind::EngineError, FailureKind::Disagreement,
-                              FailureKind::Cancelled}) {
+                              FailureKind::Cancelled, FailureKind::ClientGone}) {
             if (kindText == toString(k)) r.failure.kind = k;
         }
         readJsonStringField(line, "site", r.failure.site);

@@ -101,7 +101,15 @@ struct BatchJobResult {
     BatchJobMetrics metrics;
 };
 
-/// Serialize @p r as a single JSONL line (terminating newline included).
+/// Serialize @p r as one JSONL row, terminating newline included.  The row
+/// is always a single line (writeJsonString escapes embedded newlines), so
+/// emitting it with one write keeps the journal torn-row free: a killed
+/// writer can truncate the *last* row but never interleave two rows, and
+/// concurrent appenders to an O_APPEND fd cannot shear each other's rows.
+std::string toJsonlLine(const BatchJobResult& r);
+
+/// Write toJsonlLine(r) to @p os as a single os.write() call (on an
+/// unbuffered or line-buffered stream this is one write(2) per row).
 void writeJsonl(const BatchJobResult& r, std::ostream& os);
 
 /// Parse one JSONL line previously produced by writeJsonl.  Returns false

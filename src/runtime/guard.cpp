@@ -1,6 +1,8 @@
 #include "src/runtime/guard.hpp"
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <new>
 #include <thread>
 
@@ -27,6 +29,7 @@ const char* toString(FailureKind k)
         case FailureKind::EngineError: return "engine-error";
         case FailureKind::Disagreement: return "disagreement";
         case FailureKind::Cancelled: return "cancelled";
+        case FailureKind::ClientGone: return "client-gone";
     }
     return "invalid";
 }
@@ -77,11 +80,25 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
     CancelToken inner;
     const Deadline dl = opts.deadline.withCancel(inner);
 
+    // A token fired before the run starts (e.g. the client disconnected
+    // while the job sat in the admission queue) is forwarded synchronously,
+    // so the body sees an expired deadline from its first poll instead of
+    // racing the watchdog's first wakeup.
+    if (opts.cancel && opts.cancel->cancelled()) {
+        const CancelReason why = opts.cancel->reason();
+        inner.requestCancel(why == CancelReason::None ? CancelReason::User : why);
+    }
+
     // The watchdog owns two duties: forward the external kill switch, and
     // trip a cooperative Memout when RSS crosses the budget.  Without either
-    // duty no thread is spawned.
+    // duty no thread is spawned.  It sleeps on a condition variable the
+    // completing run notifies, so joining it costs a wakeup, not the rest of
+    // a poll interval — sub-millisecond guarded runs (the solver service's
+    // common case) would otherwise pay the full poll in added latency.
     const bool wantWatchdog = opts.cancel.has_value() || opts.rssLimitBytes != 0;
-    std::atomic<bool> done{false};
+    std::mutex watchdogMu;
+    std::condition_variable watchdogCv;
+    bool done = false; // guarded by watchdogMu
     std::atomic<bool> rssTripped{false};
     std::atomic<std::size_t> peakRss{0};
     std::thread watchdog;
@@ -91,9 +108,14 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
         watchdog = std::thread([&, poll] {
             const std::function<std::size_t()> probe =
                 opts.memoryProbe ? opts.memoryProbe : std::function<std::size_t()>(&readRssBytes);
-            while (!done.load(std::memory_order_acquire)) {
+            std::unique_lock<std::mutex> lock(watchdogMu);
+            while (!done) {
                 if (opts.cancel && opts.cancel->cancelled()) {
-                    inner.requestCancel(CancelReason::User);
+                    // Forward the external token's reason so the unwinding
+                    // solver (and the failure record below) can tell a
+                    // shutdown from a client disconnect or external memout.
+                    const CancelReason why = opts.cancel->reason();
+                    inner.requestCancel(why == CancelReason::None ? CancelReason::User : why);
                     return;
                 }
                 if (opts.rssLimitBytes != 0) {
@@ -106,8 +128,7 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
                         return;
                     }
                 }
-                std::this_thread::sleep_for(
-                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(poll));
+                watchdogCv.wait_for(lock, poll);
             }
         });
     }
@@ -129,7 +150,11 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
                                                                : SolveResult::Unknown;
     }
 
-    done.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(watchdogMu);
+        done = true;
+    }
+    watchdogCv.notify_all();
     if (watchdog.joinable()) watchdog.join();
     out.peakRssBytes = peakRss.load(std::memory_order_relaxed);
     if (out.peakRssBytes != 0) OBS_GAUGE_MAX("guard.peak_rss_bytes", out.peakRssBytes);
@@ -145,7 +170,10 @@ GuardedOutcome runGuarded(const GuardOptions& opts,
                                    std::to_string(opts.rssLimitBytes) + " bytes"};
             }
         } else if (opts.cancel && opts.cancel->cancelled() && !out.failure) {
-            out.failure = {FailureKind::Cancelled, "", "run cancelled"};
+            if (opts.cancel->reason() == CancelReason::Disconnected)
+                out.failure = {FailureKind::ClientGone, "service", "client disconnected"};
+            else
+                out.failure = {FailureKind::Cancelled, "", "run cancelled"};
         }
     }
     return out;

@@ -41,6 +41,7 @@ enum class FailureKind {
     EngineError,   ///< any other exception escaping an engine
     Disagreement,  ///< two engines returned contradictory conclusive verdicts
     Cancelled,     ///< run abandoned by an external kill switch
+    ClientGone,    ///< caller disconnected mid-run (CancelReason::Disconnected)
 };
 
 const char* toString(FailureKind k);

@@ -128,6 +128,19 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
                                 .count();
                         OBS_OBSERVE("portfolio.cancel_latency_us",
                                     es.cancelLatencyMilliseconds * 1000.0);
+#if HQS_OBS_ENABLED
+                        // Labeled companion histogram: why this racer was
+                        // told to stop (loser cancellation fires with User,
+                        // a service client disconnect with Disconnected, the
+                        // RSS watchdog with Memout).  Dynamic name, so the
+                        // OBS_OBSERVE static-id cache does not apply.
+                        obs::currentRegistry().observe(
+                            obs::metric(std::string("portfolio.cancel_latency_us.") +
+                                            toString(tokens[i].reason()),
+                                        obs::MetricKind::Histogram),
+                            static_cast<std::int64_t>(es.cancelLatencyMilliseconds *
+                                                      1000.0));
+#endif
                     }
                 }
             });
@@ -141,7 +154,18 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
             monitor = std::thread([&] {
                 while (!raceDone.load(std::memory_order_relaxed)) {
                     if (opts_.cancel->cancelled()) {
-                        for (CancelToken& t : tokens) t.requestCancel();
+                        // Forward the external token's reason (shutdown vs
+                        // client disconnect vs memout) and stamp the
+                        // broadcast time so the racers' cancel latency is
+                        // measured for this path too.
+                        const CancelReason why = opts_.cancel->reason();
+                        const CancelReason fwd =
+                            why == CancelReason::None ? CancelReason::User : why;
+                        {
+                            std::lock_guard<std::mutex> lock(mu);
+                            if (!cancelBroadcastAt) cancelBroadcastAt = Clock::now();
+                        }
+                        for (CancelToken& t : tokens) t.requestCancel(fwd);
                         return;
                     }
                     std::this_thread::sleep_for(std::chrono::milliseconds(1));

@@ -1,0 +1,140 @@
+#include "src/service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace hqs::service {
+
+void ignoreSigpipe()
+{
+    struct sigaction sa{};
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_)),
+      parser_(other.parser_)
+{
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buf_ = std::move(other.buf_);
+        parser_ = other.parser_;
+    }
+    return *this;
+}
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port,
+                             std::string* error)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        if (error) *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error) *error = "bad address: " + host;
+        close();
+        return false;
+    }
+    while (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (errno == EINTR) continue;
+        if (error) *error = std::string("connect: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+}
+
+bool BlockingClient::sendAll(std::string_view data)
+{
+    while (!data.empty()) {
+        // MSG_NOSIGNAL: a server that already hung up yields EPIPE here, a
+        // short write is retried — either way no signal, no partial frame
+        // treated as success.
+        const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            data.remove_prefix(static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool BlockingClient::readResponse(HttpResponseMsg& out)
+{
+    while (true) {
+        const HttpParser::Status st = parser_.consumeResponse(buf_, out);
+        if (st == HttpParser::Status::Ready) return true;
+        if (st == HttpParser::Status::Error) return false;
+        char chunk[16 * 1024];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false; // EOF or reset with no complete response
+    }
+}
+
+bool BlockingClient::readLine(std::string& out)
+{
+    while (true) {
+        const std::size_t eol = buf_.find('\n');
+        if (eol != std::string::npos) {
+            out = buf_.substr(0, eol);
+            buf_.erase(0, eol + 1);
+            if (!out.empty() && out.back() == '\r') out.pop_back();
+            return true;
+        }
+        char chunk[16 * 1024];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+    }
+}
+
+void BlockingClient::shutdownWrite()
+{
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+} // namespace hqs::service

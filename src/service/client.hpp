@@ -1,0 +1,62 @@
+// Blocking TCP client for the solver service: the counterpart of the epoll
+// server used by the dqbf_client load generator, bench_service, and the
+// loopback tests.  One connection per object, synchronous send/receive —
+// concurrency in the callers comes from running many clients on many
+// threads, which is exactly the load shape the server's admission control
+// is tested against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/service/http.hpp"
+
+namespace hqs::service {
+
+/// Ignore SIGPIPE process-wide.  Every service binary calls this first so a
+/// peer closing its socket mid-write surfaces as an EPIPE error return
+/// (handled as a disconnect) instead of killing the process.
+void ignoreSigpipe();
+
+class BlockingClient {
+public:
+    BlockingClient() = default;
+    ~BlockingClient() { close(); }
+
+    BlockingClient(BlockingClient&& other) noexcept;
+    BlockingClient& operator=(BlockingClient&& other) noexcept;
+    BlockingClient(const BlockingClient&) = delete;
+    BlockingClient& operator=(const BlockingClient&) = delete;
+
+    /// Connect to @p host : @p port.  False (with @p error filled) on failure.
+    bool connect(const std::string& host, std::uint16_t port,
+                 std::string* error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Send all of @p data.  False when the peer is gone (EPIPE/reset) — the
+    /// connection is closed, never a signal or an abort.
+    bool sendAll(std::string_view data);
+
+    /// Read one full HTTP response.  False on EOF, error, or malformed
+    /// framing; pipelined responses queue in the internal buffer.
+    bool readResponse(HttpResponseMsg& out);
+
+    /// Read one newline-terminated row (newline stripped).  False on EOF or
+    /// error with no complete line buffered.
+    bool readLine(std::string& out);
+
+    /// Half-close the write side (signals end-of-requests in JSONL mode).
+    void shutdownWrite();
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::string buf_;
+    HttpParser parser_;
+};
+
+} // namespace hqs::service

@@ -1,0 +1,928 @@
+#include "src/service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/cancel.hpp"
+#include "src/cnf/dimacs.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/report.hpp"
+#include "src/runtime/guard.hpp"
+#include "src/runtime/portfolio.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace hqs::service {
+namespace {
+
+/// Which engine a request asked for (`engine` header / row field).
+struct EngineSpec {
+    enum class Kind { Hqs, HqsBdd, Portfolio };
+    Kind kind = Kind::Hqs;
+    std::size_t maxEngines = 0; ///< portfolio lineup cap (0 = all)
+};
+
+bool parseEngineSpec(const std::string& s, EngineSpec& out)
+{
+    if (s.empty() || s == "hqs") {
+        out.kind = EngineSpec::Kind::Hqs;
+        return true;
+    }
+    if (s == "hqs-bdd") {
+        out.kind = EngineSpec::Kind::HqsBdd;
+        return true;
+    }
+    if (s == "portfolio") {
+        out.kind = EngineSpec::Kind::Portfolio;
+        return true;
+    }
+    if (s.rfind("portfolio:", 0) == 0) {
+        char* end = nullptr;
+        const unsigned long n = std::strtoul(s.c_str() + 10, &end, 10);
+        if (end != s.c_str() + s.size() || n == 0) return false;
+        out.kind = EngineSpec::Kind::Portfolio;
+        out.maxEngines = n;
+        return true;
+    }
+    return false;
+}
+
+/// The signal hook (installSignalDrain): the handler only bumps a counter
+/// and writes the registered eventfd; the loop thread does the actual
+/// drain/stop when the wakeup arrives.
+std::atomic<int> gSignalWakeFd{-1};
+std::atomic<unsigned> gSignalCount{0};
+
+extern "C" void serviceSignalHandler(int)
+{
+    gSignalCount.fetch_add(1, std::memory_order_relaxed);
+    const int fd = gSignalWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof one);
+    }
+}
+
+} // namespace
+
+struct SolverService::Impl {
+    explicit Impl(ServiceOptions o) : opts(std::move(o))
+    {
+        if (opts.maxInflight == 0)
+            opts.maxInflight = std::max(1u, std::thread::hardware_concurrency());
+    }
+
+    // ------------------------------------------------------------ state --
+
+    ServiceOptions opts;
+    ServiceCounters counters;
+    Timer uptime;
+
+    int epollFd = -1;
+    int wakeFd = -1;
+    int httpListenFd = -1;
+    int jsonlListenFd = -1;
+    std::uint16_t boundHttpPort = 0;
+    std::uint16_t boundJsonlPort = 0;
+
+    std::thread loopThread;
+    bool started = false;
+
+    std::atomic<bool> drainRequested{false};
+    std::atomic<bool> hardStopRequested{false};
+    std::atomic<bool> drainOnSignal{false};
+    unsigned signalsSeen = 0; ///< loop-thread-only: consumed gSignalCount
+
+    std::mutex drainMu;
+    std::condition_variable drainCv;
+    bool drained = false;
+
+    struct Completion {
+        std::uint64_t reqId = 0;
+        std::string bodyFragment; ///< `"result":...` JSON fields, no braces
+    };
+    std::mutex completionMu;
+    std::vector<Completion> completions;
+
+    struct Conn {
+        int fd = -1;
+        bool jsonl = false;
+        bool wantWrite = false; ///< EPOLLOUT currently armed
+        bool closeAfterFlush = false;
+        std::string in;
+        std::string out; ///< unsent bytes (already-sent prefix erased)
+        std::vector<std::uint64_t> outstanding;
+        HttpParser parser;
+    };
+    std::unordered_map<int, Conn> conns;
+
+    struct Pending {
+        int connFd = -1; ///< -1 once the client is gone (response discarded)
+        bool jsonl = false;
+        bool keepAlive = true;
+        std::string rowId; ///< JSONL `id` echo
+        CancelToken token;
+    };
+    std::unordered_map<std::uint64_t, Pending> pending;
+    std::uint64_t nextReqId = 1;
+
+    // Workers.  Queue capacity exceeds the admission bound so submit()
+    // never blocks the event loop.
+    std::unique_ptr<ThreadPool> pool;
+
+    // ------------------------------------------------------------ setup --
+
+    int listenOn(std::uint16_t port, std::uint16_t& boundPort, std::string* error)
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+        if (fd < 0) {
+            if (error) *error = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        if (::inet_pton(AF_INET, opts.bindAddress.c_str(), &addr.sin_addr) != 1) {
+            if (error) *error = "bad bind address: " + opts.bindAddress;
+            ::close(fd);
+            return -1;
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+            ::listen(fd, 128) != 0) {
+            if (error) *error = std::string("bind/listen: ") + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        socklen_t len = sizeof addr;
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+        boundPort = ntohs(addr.sin_port);
+        return fd;
+    }
+
+    bool epollAdd(int fd, std::uint32_t events)
+    {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.fd = fd;
+        return ::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+
+    void epollMod(int fd, std::uint32_t events)
+    {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.fd = fd;
+        ::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev);
+    }
+
+    bool start(std::string* error)
+    {
+        epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+        wakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+        if (epollFd < 0 || wakeFd < 0) {
+            if (error) *error = std::string("epoll/eventfd: ") + std::strerror(errno);
+            return false;
+        }
+        httpListenFd = listenOn(opts.httpPort, boundHttpPort, error);
+        if (httpListenFd < 0) return false;
+        if (opts.enableJsonl) {
+            jsonlListenFd = listenOn(opts.jsonlPort, boundJsonlPort, error);
+            if (jsonlListenFd < 0) return false;
+        }
+        if (!epollAdd(wakeFd, EPOLLIN) || !epollAdd(httpListenFd, EPOLLIN) ||
+            (jsonlListenFd >= 0 && !epollAdd(jsonlListenFd, EPOLLIN))) {
+            if (error) *error = std::string("epoll_ctl: ") + std::strerror(errno);
+            return false;
+        }
+        pool = std::make_unique<ThreadPool>(opts.maxInflight,
+                                            opts.maxInflight + opts.maxQueue + 1);
+        loopThread = std::thread([this] { runLoop(); });
+        started = true;
+        return true;
+    }
+
+    // ------------------------------------------------------------- loop --
+
+    void runLoop()
+    {
+        epoll_event events[64];
+        bool running = true;
+        while (running) {
+            // The 500 ms cap is a belt-and-braces heartbeat: every real
+            // transition also writes wakeFd.
+            const int n = ::epoll_wait(epollFd, events, 64, 500);
+            for (int i = 0; i < n; ++i) {
+                const int fd = events[i].data.fd;
+                const std::uint32_t ev = events[i].events;
+                if (fd == wakeFd) {
+                    drainWakeups();
+                } else if (fd == httpListenFd || fd == jsonlListenFd) {
+                    acceptAll(fd, fd == jsonlListenFd);
+                } else {
+                    auto it = conns.find(fd);
+                    if (it == conns.end()) continue; // closed earlier this batch
+                    if (ev & (EPOLLHUP | EPOLLERR)) {
+                        closeConn(it->second, /*peerClosed=*/true);
+                        continue;
+                    }
+                    if (ev & (EPOLLIN | EPOLLRDHUP)) {
+                        if (!readConn(it->second)) continue; // conn destroyed
+                    }
+                    if (ev & EPOLLOUT) {
+                        auto again = conns.find(fd);
+                        if (again != conns.end()) flushOut(again->second);
+                    }
+                }
+            }
+            handleSignals();
+            processCompletions();
+            if (hardStopRequested.load(std::memory_order_acquire)) cancelAllPending();
+            running = !readyToExit();
+        }
+        shutdownLoop();
+    }
+
+    void drainWakeups()
+    {
+        std::uint64_t buf;
+        while (::read(wakeFd, &buf, sizeof buf) > 0) {
+        }
+        if (drainRequested.load(std::memory_order_acquire)) closeListeners();
+    }
+
+    void handleSignals()
+    {
+        if (!drainOnSignal.load(std::memory_order_relaxed)) return;
+        const unsigned seen = gSignalCount.load(std::memory_order_relaxed);
+        if (seen == signalsSeen) return;
+        signalsSeen = seen;
+        // First signal: graceful drain.  Any further signal: cancel the
+        // in-flight solves too.
+        if (!drainRequested.load(std::memory_order_acquire)) {
+            drainRequested.store(true, std::memory_order_release);
+            closeListeners();
+        } else {
+            hardStopRequested.store(true, std::memory_order_release);
+        }
+        if (seen > 1) hardStopRequested.store(true, std::memory_order_release);
+    }
+
+    void closeListeners()
+    {
+        for (int* fd : {&httpListenFd, &jsonlListenFd}) {
+            if (*fd >= 0) {
+                ::epoll_ctl(epollFd, EPOLL_CTL_DEL, *fd, nullptr);
+                ::close(*fd);
+                *fd = -1;
+            }
+        }
+    }
+
+    void cancelAllPending()
+    {
+        for (auto& [id, p] : pending) p.token.requestCancel(CancelReason::User);
+    }
+
+    bool readyToExit()
+    {
+        if (!drainRequested.load(std::memory_order_acquire)) return false;
+        if (!pending.empty()) return false;
+        for (const auto& [fd, c] : conns)
+            if (!c.out.empty()) return false;
+        return true;
+    }
+
+    void shutdownLoop()
+    {
+        closeListeners();
+        std::vector<int> fds;
+        fds.reserve(conns.size());
+        for (const auto& [fd, c] : conns) fds.push_back(fd);
+        for (int fd : fds) {
+            auto it = conns.find(fd);
+            if (it != conns.end()) closeConn(it->second, /*peerClosed=*/false);
+        }
+        {
+            std::lock_guard<std::mutex> lock(drainMu);
+            drained = true;
+        }
+        drainCv.notify_all();
+    }
+
+    // ------------------------------------------------------ connections --
+
+    void acceptAll(int listenFd, bool jsonl)
+    {
+        while (true) {
+            const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                     SOCK_CLOEXEC | SOCK_NONBLOCK);
+            if (fd < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+                if (errno == EINTR) continue;
+                return; // transient accept failure; the listener stays armed
+            }
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            Conn& c = conns[fd];
+            c.fd = fd;
+            c.jsonl = jsonl;
+            c.parser = HttpParser(64 * 1024, opts.maxBodyBytes);
+            if (!epollAdd(fd, EPOLLIN | EPOLLRDHUP)) {
+                conns.erase(fd);
+                ::close(fd);
+                continue;
+            }
+            counters.connectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+            counters.openConnections.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("service.connections", 1);
+        }
+    }
+
+    /// Tear down @p c: cancel its outstanding solves (client-gone), orphan
+    /// their pending records, unregister and close the socket.
+    void closeConn(Conn& c, bool peerClosed)
+    {
+        if (peerClosed) {
+            counters.disconnects.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("service.disconnects", 1);
+        }
+        for (std::uint64_t reqId : c.outstanding) {
+            auto it = pending.find(reqId);
+            if (it == pending.end()) continue;
+            it->second.connFd = -1;
+            if (peerClosed) {
+                it->second.token.requestCancel(CancelReason::Disconnected);
+                counters.disconnectCancels.fetch_add(1, std::memory_order_relaxed);
+                OBS_COUNT("service.disconnect_cancels", 1);
+            }
+        }
+        const int fd = c.fd;
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        conns.erase(fd); // invalidates c
+        counters.openConnections.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /// Read everything available.  Returns false when the connection was
+    /// destroyed (peer close, fatal error, or protocol error).
+    bool readConn(Conn& c)
+    {
+        char buf[64 * 1024];
+        bool sawEof = false;
+        while (true) {
+            const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+            if (n > 0) {
+                c.in.append(buf, static_cast<std::size_t>(n));
+                // A JSONL peer streaming an endless unterminated line would
+                // otherwise grow the buffer without bound.
+                if (c.jsonl && c.in.size() > opts.maxBodyBytes + 4096) {
+                    queueWrite(c, "{\"error\":\"line too long\"}\n");
+                    c.closeAfterFlush = true;
+                    c.in.clear();
+                    return flushOrKeep(c);
+                }
+                continue;
+            }
+            if (n == 0) {
+                sawEof = true;
+                break;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            sawEof = true; // ECONNRESET & friends: treat as disconnect
+            break;
+        }
+        if (!c.in.empty() && !parseLoop(c)) return false;
+        if (sawEof) {
+            auto it = conns.find(c.fd);
+            if (it != conns.end()) closeConn(it->second, /*peerClosed=*/true);
+            return false;
+        }
+        return true;
+    }
+
+    /// Parse and dispatch every complete message in @p c's input buffer.
+    /// Returns false when the connection was destroyed.
+    bool parseLoop(Conn& c)
+    {
+        if (c.jsonl) {
+            std::size_t eol;
+            while ((eol = c.in.find('\n')) != std::string::npos) {
+                std::string line = c.in.substr(0, eol);
+                c.in.erase(0, eol + 1);
+                if (!line.empty() && line.back() == '\r') line.pop_back();
+                if (!line.empty()) handleJsonlLine(c, line);
+            }
+            return true;
+        }
+        while (true) {
+            // Hold pipelined HTTP requests until the outstanding solve has
+            // answered, so responses always come back in request order.
+            if (!c.outstanding.empty()) return true;
+            HttpRequest req;
+            const HttpParser::Status st = c.parser.consumeRequest(c.in, req);
+            if (st == HttpParser::Status::NeedMore) return true;
+            if (st == HttpParser::Status::Error) {
+                counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+                queueWrite(c, httpResponse(c.parser.errorStatus(), "application/json",
+                                           "{\"error\":\"" +
+                                               jsonEscape(c.parser.errorReason()) + "\"}",
+                                           /*keepAlive=*/false));
+                c.closeAfterFlush = true;
+                return flushOrKeep(c);
+            }
+            if (!handleHttpRequest(c, req)) return false;
+        }
+    }
+
+    // -------------------------------------------------------- endpoints --
+
+    bool handleHttpRequest(Conn& c, const HttpRequest& req)
+    {
+        counters.requests.fetch_add(1, std::memory_order_relaxed);
+        OBS_COUNT("service.requests", 1);
+        const bool keepAlive = req.keepAlive();
+        if (!keepAlive) c.closeAfterFlush = true;
+
+        if (req.method == "GET" && req.target == "/healthz") {
+            const bool drain = drainRequested.load(std::memory_order_acquire);
+            queueWrite(c, httpResponse(drain ? 503 : 200, "text/plain",
+                                       drain ? "draining\n" : "ok\n", keepAlive));
+            return flushOrKeep(c);
+        }
+        if (req.method == "GET" && req.target == "/metrics") {
+            std::ostringstream os;
+            obs::writePrometheusText(os, obs::globalRegistry().snapshot());
+            queueWrite(c, httpResponse(200, "text/plain; version=0.0.4", os.str(),
+                                       keepAlive));
+            return flushOrKeep(c);
+        }
+        if (req.method == "GET" && req.target == "/stats") {
+            queueWrite(c, httpResponse(200, "application/json", statsJson(), keepAlive));
+            return flushOrKeep(c);
+        }
+        if (req.method == "POST" && req.target == "/solve") {
+            return handleSolveRequest(c, req, keepAlive);
+        }
+        counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+        queueWrite(c, httpResponse(req.method == "GET" || req.method == "POST" ? 404 : 405,
+                                   "application/json", "{\"error\":\"no such endpoint\"}",
+                                   keepAlive));
+        return flushOrKeep(c);
+    }
+
+    bool handleSolveRequest(Conn& c, const HttpRequest& req, bool keepAlive)
+    {
+        SolveRequestOptions ropts;
+        EngineSpec spec;
+        std::string problem;
+        if (req.body.empty()) {
+            problem = "empty body";
+        } else if (const std::string* v = req.header("timeout-ms");
+                   v && !parseMilliseconds(*v, ropts.timeoutSeconds)) {
+            problem = "malformed timeout-ms";
+        } else if (const std::string* r = req.header("rss-limit-mb");
+                   r && !parseMegabytes(*r, ropts.rssLimitBytes)) {
+            problem = "malformed rss-limit-mb";
+        } else if (const std::string* e = req.header("engine");
+                   !parseEngineSpec(e ? *e : "", spec)) {
+            problem = "unknown engine";
+        }
+        if (!problem.empty()) {
+            counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+            queueWrite(c, httpResponse(400, "application/json",
+                                       "{\"error\":\"" + jsonEscape(problem) + "\"}",
+                                       keepAlive));
+            return flushOrKeep(c);
+        }
+        std::string reject;
+        std::string extraHeaders;
+        int status = admissionStatus(&reject, &extraHeaders);
+        if (status != 200) {
+            queueWrite(c, httpResponse(status, "application/json", reject, keepAlive,
+                                       extraHeaders));
+            return flushOrKeep(c);
+        }
+        admit(c, /*rowId=*/"", keepAlive, req.body, ropts, spec);
+        return true;
+    }
+
+    void handleJsonlLine(Conn& c, const std::string& line)
+    {
+        counters.requests.fetch_add(1, std::memory_order_relaxed);
+        OBS_COUNT("service.requests", 1);
+        std::string id;
+        jsonStringField(line, "id", id);
+        const std::string idPrefix =
+            id.empty() ? std::string() : "\"id\":\"" + jsonEscape(id) + "\",";
+
+        std::string formula;
+        SolveRequestOptions ropts;
+        EngineSpec spec;
+        std::string engine;
+        double num = 0;
+        if (jsonNumberField(line, "timeout_ms", num) && num > 0)
+            ropts.timeoutSeconds = num / 1000.0;
+        if (jsonNumberField(line, "rss_limit_mb", num) && num > 0)
+            ropts.rssLimitBytes = static_cast<std::size_t>(num) * 1024 * 1024;
+        jsonStringField(line, "engine", engine);
+        if (!jsonStringField(line, "formula", formula) || formula.empty()) {
+            counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+            queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
+            flushOrKeep(c);
+            return;
+        }
+        if (!parseEngineSpec(engine, spec)) {
+            counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+            queueWrite(c, "{" + idPrefix + "\"error\":\"unknown engine\"}\n");
+            flushOrKeep(c);
+            return;
+        }
+        std::string reject;
+        const int status = admissionStatus(&reject, nullptr);
+        if (status != 200) {
+            queueWrite(c, "{" + idPrefix + reject.substr(1) + "\n"); // splice id in
+            flushOrKeep(c);
+            return;
+        }
+        admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
+    }
+
+    /// 200 when a solve may be admitted right now; otherwise the rejection
+    /// status with its JSON body (and Retry-After header for HTTP).
+    int admissionStatus(std::string* body, std::string* extraHeaders)
+    {
+        if (drainRequested.load(std::memory_order_acquire)) {
+            counters.rejectedDraining.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("service.rejected.draining", 1);
+            *body = "{\"error\":\"draining\"}";
+            return 503;
+        }
+        const std::uint64_t inflight =
+            counters.pendingSolves.load(std::memory_order_relaxed);
+        if (inflight >= opts.maxInflight + opts.maxQueue) {
+            counters.rejectedBusy.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("service.rejected.busy", 1);
+            const auto retryMs =
+                static_cast<long long>(opts.retryAfterSeconds * 1000.0 + 0.5);
+            *body = "{\"error\":\"busy\",\"retry_after_ms\":" + std::to_string(retryMs) +
+                    "}";
+            if (extraHeaders) {
+                const long long secs = (retryMs + 999) / 1000;
+                *extraHeaders = "Retry-After: " + std::to_string(secs) + "\r\n";
+            }
+            return 429;
+        }
+        return 200;
+    }
+
+    void admit(Conn& c, const std::string& rowId, bool keepAlive, std::string formula,
+               SolveRequestOptions ropts, EngineSpec spec)
+    {
+        if (ropts.timeoutSeconds <= 0) ropts.timeoutSeconds = opts.defaultTimeoutSeconds;
+        if (ropts.rssLimitBytes == 0) ropts.rssLimitBytes = opts.defaultRssLimitBytes;
+
+        const std::uint64_t reqId = nextReqId++;
+        Pending& p = pending[reqId];
+        p.connFd = c.fd;
+        p.jsonl = c.jsonl;
+        p.keepAlive = keepAlive;
+        p.rowId = rowId;
+        c.outstanding.push_back(reqId);
+
+        counters.solvesAdmitted.fetch_add(1, std::memory_order_relaxed);
+        counters.pendingSolves.fetch_add(1, std::memory_order_relaxed);
+        OBS_COUNT("service.solves.admitted", 1);
+        OBS_GAUGE_MAX("service.pending.max",
+                      counters.pendingSolves.load(std::memory_order_relaxed));
+
+        const CancelToken token = p.token;
+        pool->submit([this, reqId, token, formula = std::move(formula), ropts, spec] {
+            runSolveJob(reqId, token, formula, ropts, spec);
+        });
+    }
+
+    // ----------------------------------------------------- worker side --
+
+    void runSolveJob(std::uint64_t reqId, const CancelToken& token,
+                     const std::string& formula, const SolveRequestOptions& ropts,
+                     const EngineSpec& spec)
+    {
+        Timer t;
+        std::string engineName = spec.kind == EngineSpec::Kind::HqsBdd ? "hqs-bdd" : "hqs";
+        FailureInfo raceFailure;
+
+        GuardOptions gopts;
+        gopts.deadline = Deadline::in(ropts.timeoutSeconds);
+        gopts.cancel = token;
+        gopts.rssLimitBytes = ropts.rssLimitBytes;
+        const GuardedOutcome outcome = runGuarded(gopts, [&](const Deadline& dl) {
+            if (opts.solveOverride) return opts.solveOverride(formula, ropts, dl);
+            const DqbfFormula f = DqbfFormula::fromParsed(parseDqdimacsString(formula));
+            if (spec.kind == EngineSpec::Kind::Portfolio) {
+                PortfolioOptions popts;
+                popts.deadline = dl;
+                popts.nodeLimit = opts.nodeLimit;
+                popts.maxEngines = spec.maxEngines;
+                PortfolioSolver solver(popts);
+                const SolveResult r = solver.solve(f);
+                engineName = solver.stats().winnerName;
+                if (solver.stats().failure) raceFailure = solver.stats().failure;
+                return r;
+            }
+            HqsOptions hopts;
+            hopts.deadline = dl;
+            hopts.nodeLimit = opts.nodeLimit;
+            if (spec.kind == EngineSpec::Kind::HqsBdd)
+                hopts.backend = HqsOptions::Backend::BddElimination;
+            HqsSolver solver(hopts);
+            return solver.solve(f);
+        });
+
+        const double wallMs = t.elapsedMilliseconds();
+        OBS_COUNT("service.solves.completed", 1);
+        OBS_OBSERVE("service.solve_latency_us", wallMs * 1000.0);
+#if HQS_OBS_ENABLED
+        obs::currentRegistry().add(
+            obs::metric(std::string("service.result.") + toString(outcome.result),
+                        obs::MetricKind::Counter),
+            1);
+#endif
+
+        const FailureInfo& failure = outcome.failure ? outcome.failure : raceFailure;
+        std::string body = "\"result\":\"" + toString(outcome.result) + "\"";
+        body += ",\"wall_ms\":" + std::to_string(wallMs);
+        if (!engineName.empty()) body += ",\"engine\":\"" + jsonEscape(engineName) + "\"";
+        if (failure) {
+            body += ",\"failure\":{\"kind\":\"" + std::string(toString(failure.kind)) +
+                    "\",\"site\":\"" + jsonEscape(failure.site) + "\",\"what\":\"" +
+                    jsonEscape(failure.what) + "\"}";
+        }
+        {
+            std::lock_guard<std::mutex> lock(completionMu);
+            completions.push_back({reqId, std::move(body)});
+        }
+        wake();
+    }
+
+    // -------------------------------------------------- loop: responses --
+
+    void processCompletions()
+    {
+        std::vector<Completion> batch;
+        {
+            std::lock_guard<std::mutex> lock(completionMu);
+            batch.swap(completions);
+        }
+        for (Completion& done : batch) {
+            auto it = pending.find(done.reqId);
+            if (it == pending.end()) continue;
+            Pending p = std::move(it->second);
+            pending.erase(it);
+            counters.pendingSolves.fetch_sub(1, std::memory_order_relaxed);
+            counters.solvesCompleted.fetch_add(1, std::memory_order_relaxed);
+            if (p.connFd < 0) continue; // client gone; verdict dropped
+
+            auto cit = conns.find(p.connFd);
+            if (cit == conns.end()) continue;
+            Conn& c = cit->second;
+            std::erase(c.outstanding, done.reqId);
+            if (p.jsonl) {
+                std::string row = "{";
+                if (!p.rowId.empty()) row += "\"id\":\"" + jsonEscape(p.rowId) + "\",";
+                row += done.bodyFragment;
+                row += "}\n";
+                queueWrite(c, row);
+            } else {
+                queueWrite(c, httpResponse(200, "application/json",
+                                           "{" + done.bodyFragment + "}", p.keepAlive));
+                if (!p.keepAlive) c.closeAfterFlush = true;
+            }
+            if (flushOrKeep(c) && !c.jsonl) {
+                // The response unblocked request ordering; parse whatever
+                // the client pipelined behind it.
+                auto alive = conns.find(p.connFd);
+                if (alive != conns.end() && !alive->second.in.empty())
+                    parseLoop(alive->second);
+            }
+        }
+    }
+
+    // ---------------------------------------------------- loop: writing --
+
+    void queueWrite(Conn& c, std::string data)
+    {
+        if (c.out.empty())
+            c.out = std::move(data);
+        else
+            c.out += data;
+    }
+
+    /// Flush as much of @p c's output as the socket accepts.  Returns false
+    /// when the connection was destroyed (peer reset, or close-after-flush
+    /// completed).
+    bool flushOrKeep(Conn& c) { return flushOut(c); }
+
+    bool flushOut(Conn& c)
+    {
+        while (!c.out.empty()) {
+            // MSG_NOSIGNAL: a dead peer yields EPIPE instead of SIGPIPE —
+            // writes to gone clients are disconnects, never aborts.
+            const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+            if (n > 0) {
+                c.out.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                if (!c.wantWrite) {
+                    c.wantWrite = true;
+                    epollMod(c.fd, EPOLLIN | EPOLLRDHUP | EPOLLOUT);
+                }
+                return true;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            // EPIPE / ECONNRESET / short-circuit: the peer is gone.
+            auto it = conns.find(c.fd);
+            if (it != conns.end()) closeConn(it->second, /*peerClosed=*/true);
+            return false;
+        }
+        if (c.wantWrite) {
+            c.wantWrite = false;
+            epollMod(c.fd, EPOLLIN | EPOLLRDHUP);
+        }
+        if (c.closeAfterFlush) {
+            auto it = conns.find(c.fd);
+            if (it != conns.end()) closeConn(it->second, /*peerClosed=*/false);
+            return false;
+        }
+        return true;
+    }
+
+    // ------------------------------------------------------------ misc --
+
+    std::string statsJson()
+    {
+        std::ostringstream os;
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.key("draining").value(drainRequested.load(std::memory_order_acquire));
+        w.key("uptime_ms").value(uptime.elapsedMilliseconds());
+        w.key("pending_solves")
+            .value(static_cast<std::int64_t>(
+                counters.pendingSolves.load(std::memory_order_relaxed)));
+        w.key("open_connections")
+            .value(static_cast<std::int64_t>(
+                counters.openConnections.load(std::memory_order_relaxed)));
+        w.key("counters").beginObject();
+        const auto put = [&](const char* name, const std::atomic<std::uint64_t>& v) {
+            w.key(name).value(static_cast<std::int64_t>(v.load(std::memory_order_relaxed)));
+        };
+        put("connections_accepted", counters.connectionsAccepted);
+        put("requests", counters.requests);
+        put("solves_admitted", counters.solvesAdmitted);
+        put("solves_completed", counters.solvesCompleted);
+        put("rejected_busy", counters.rejectedBusy);
+        put("rejected_draining", counters.rejectedDraining);
+        put("bad_requests", counters.badRequests);
+        put("disconnects", counters.disconnects);
+        put("disconnect_cancels", counters.disconnectCancels);
+        w.endObject();
+        w.key("limits").beginObject();
+        w.key("max_inflight").value(static_cast<std::int64_t>(opts.maxInflight));
+        w.key("max_queue").value(static_cast<std::int64_t>(opts.maxQueue));
+        w.endObject();
+        w.endObject();
+        return os.str();
+    }
+
+    void wake()
+    {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t n = ::write(wakeFd, &one, sizeof one);
+    }
+
+    bool parseMilliseconds(const std::string& text, double& outSeconds)
+    {
+        char* end = nullptr;
+        const double ms = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size() || ms < 0) return false;
+        outSeconds = ms / 1000.0;
+        return true;
+    }
+
+    bool parseMegabytes(const std::string& text, std::size_t& outBytes)
+    {
+        char* end = nullptr;
+        const unsigned long long mb = std::strtoull(text.c_str(), &end, 10);
+        if (end != text.c_str() + text.size()) return false;
+        outBytes = static_cast<std::size_t>(mb) * 1024 * 1024;
+        return true;
+    }
+
+    ~Impl()
+    {
+        if (wakeFd >= 0) ::close(wakeFd);
+        if (epollFd >= 0) ::close(epollFd);
+    }
+};
+
+SolverService::SolverService(ServiceOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{
+}
+
+SolverService::~SolverService()
+{
+    installSignalDrain(nullptr);
+    stop();
+}
+
+bool SolverService::start(std::string* error)
+{
+    std::string err;
+    if (!impl_->start(&err)) {
+        if (error) *error = err;
+        // Release any fds a partial start left behind.
+        if (impl_->httpListenFd >= 0) ::close(impl_->httpListenFd);
+        if (impl_->jsonlListenFd >= 0) ::close(impl_->jsonlListenFd);
+        impl_->httpListenFd = impl_->jsonlListenFd = -1;
+        return false;
+    }
+    return true;
+}
+
+std::uint16_t SolverService::httpPort() const { return impl_->boundHttpPort; }
+std::uint16_t SolverService::jsonlPort() const { return impl_->boundJsonlPort; }
+
+void SolverService::beginDrain()
+{
+    impl_->drainRequested.store(true, std::memory_order_release);
+    impl_->wake();
+}
+
+bool SolverService::waitForDrained(double timeoutSeconds)
+{
+    std::unique_lock<std::mutex> lock(impl_->drainMu);
+    if (timeoutSeconds <= 0) {
+        impl_->drainCv.wait(lock, [this] { return impl_->drained; });
+        return true;
+    }
+    return impl_->drainCv.wait_for(lock, std::chrono::duration<double>(timeoutSeconds),
+                                   [this] { return impl_->drained; });
+}
+
+void SolverService::stop()
+{
+    if (!impl_->started) return;
+    impl_->drainRequested.store(true, std::memory_order_release);
+    impl_->hardStopRequested.store(true, std::memory_order_release);
+    impl_->wake();
+    if (impl_->loopThread.joinable()) impl_->loopThread.join();
+    impl_->pool.reset(); // drains any still-queued jobs
+    impl_->started = false;
+}
+
+bool SolverService::draining() const
+{
+    return impl_->drainRequested.load(std::memory_order_acquire);
+}
+
+const ServiceCounters& SolverService::counters() const { return impl_->counters; }
+
+void SolverService::installSignalDrain(SolverService* s)
+{
+    if (!s) {
+        gSignalWakeFd.store(-1, std::memory_order_relaxed);
+        return;
+    }
+    s->impl_->drainOnSignal.store(true, std::memory_order_relaxed);
+    gSignalWakeFd.store(s->impl_->wakeFd, std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = serviceSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+} // namespace hqs::service

@@ -1,0 +1,139 @@
+// Solver service: an epoll front end that puts the runtime stack (guarded
+// execution, portfolio racing, the shared worker pool) behind a socket.
+//
+// One event-loop thread owns every connection and all admission state; the
+// worker pool only solves.  The loop and the workers meet at a completion
+// queue drained through an eventfd wakeup, so no connection state is ever
+// touched off the loop thread — the design TSan verifies in the service/*
+// test partition.
+//
+// Two listeners:
+//   * HTTP/1.1 — `POST /solve` (DQDIMACS body; per-request `timeout-ms`,
+//     `rss-limit-mb`, `engine` headers) plus `GET /metrics` (Prometheus
+//     text from the obs registry), `GET /healthz`, and `GET /stats`;
+//   * JSONL — one JSON request row per line, pipelined responses tagged by
+//     the row's `id`, for batch clients that want many solves per
+//     connection without HTTP framing overhead.
+//
+// Serving guarantees, enforced by the loopback stress tests:
+//   * bounded admission: at most maxInflight + maxQueue solves are admitted;
+//     beyond that HTTP callers get 429 + Retry-After and JSONL callers a
+//     `busy` row — the solve queue cannot grow without bound;
+//   * exactly one response per request: a verdict, a structured rejection,
+//     or a clean disconnect — never silence, never a crash;
+//   * a client that disconnects mid-solve fires its request's CancelToken
+//     with CancelReason::Disconnected, so the solver unwinds at its next
+//     deadline poll instead of burning a worker for a dead socket;
+//   * graceful drain (SIGTERM in dqbf_serve): stop accepting, answer new
+//     requests on live connections with 503, finish every in-flight solve,
+//     flush all responses, then exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/base/result.hpp"
+#include "src/base/timer.hpp"
+#include "src/service/http.hpp"
+
+namespace hqs::service {
+
+struct ServiceOptions {
+    std::string bindAddress = "127.0.0.1";
+    /// HTTP listener port; 0 binds an ephemeral port (read it back through
+    /// SolverService::httpPort(), the loopback-test pattern).
+    std::uint16_t httpPort = 0;
+    /// JSONL listener; disable with enableJsonl = false.
+    bool enableJsonl = true;
+    std::uint16_t jsonlPort = 0;
+
+    /// Concurrent solves (worker threads); 0 = hardware concurrency.
+    std::size_t maxInflight = 0;
+    /// Admitted-but-not-started solves beyond maxInflight before requests
+    /// are rejected with 429/busy.
+    std::size_t maxQueue = 64;
+    /// Advisory Retry-After for 429 responses, in seconds (rounded up).
+    double retryAfterSeconds = 1.0;
+
+    /// Defaults for requests that carry no per-request option.
+    double defaultTimeoutSeconds = 0;
+    std::size_t defaultRssLimitBytes = 0;
+    /// AIG-node / ground-clause budget forwarded to the engines (0 = none).
+    std::size_t nodeLimit = 0;
+
+    std::size_t maxBodyBytes = 16u << 20;
+
+    /// Test hook: when set, replaces the real parse+solve of every request.
+    /// Receives the raw formula text and the request's Deadline (which
+    /// carries the disconnect/drain CancelToken); must poll the deadline
+    /// like a real engine.  Lets the stress tests hold solves open
+    /// deterministically.
+    std::function<SolveResult(const std::string& formula, const SolveRequestOptions& opts,
+                              const Deadline& deadline)>
+        solveOverride;
+};
+
+/// Live counters, updated with relaxed atomics from the loop thread and
+/// readable from anywhere (tests poll them; GET /stats renders them).
+struct ServiceCounters {
+    std::atomic<std::uint64_t> connectionsAccepted{0};
+    std::atomic<std::uint64_t> requests{0};         ///< parsed requests, any endpoint
+    std::atomic<std::uint64_t> solvesAdmitted{0};
+    std::atomic<std::uint64_t> solvesCompleted{0};  ///< includes orphaned completions
+    std::atomic<std::uint64_t> rejectedBusy{0};     ///< 429 / busy rows
+    std::atomic<std::uint64_t> rejectedDraining{0}; ///< 503 / draining rows
+    std::atomic<std::uint64_t> badRequests{0};
+    std::atomic<std::uint64_t> disconnects{0};        ///< peer-closed connections
+    std::atomic<std::uint64_t> disconnectCancels{0};  ///< solves cancelled by one
+    std::atomic<std::uint64_t> pendingSolves{0};      ///< admitted, not yet answered
+    std::atomic<std::uint64_t> openConnections{0};
+};
+
+class SolverService {
+public:
+    explicit SolverService(ServiceOptions opts = {});
+    ~SolverService(); ///< stop()s if still running
+
+    SolverService(const SolverService&) = delete;
+    SolverService& operator=(const SolverService&) = delete;
+
+    /// Bind, listen, and start the event-loop thread.  False (with @p error
+    /// filled) when a socket step fails; the service is then inert.
+    bool start(std::string* error = nullptr);
+
+    /// Bound ports (valid after start(); the ephemeral-port answer).
+    std::uint16_t httpPort() const;
+    std::uint16_t jsonlPort() const;
+
+    /// Graceful drain: stop accepting connections, reject new solve
+    /// requests with 503, let in-flight solves finish, flush every
+    /// response, then shut the loop down.  Thread- and signal-context-safe
+    /// apart from errno clobbering (it only writes an eventfd).
+    void beginDrain();
+
+    /// Block until the loop thread has fully drained and exited.
+    /// @p timeoutSeconds 0 waits forever.  True when drained.
+    bool waitForDrained(double timeoutSeconds = 0);
+
+    /// Hard stop: beginDrain() plus cancelling every in-flight solve, then
+    /// join.  Safe to call repeatedly.
+    void stop();
+
+    bool draining() const;
+    const ServiceCounters& counters() const;
+
+    /// Route SIGTERM/SIGINT to beginDrain() of @p s (a second signal
+    /// escalates to stop-style cancellation of in-flight solves).  The
+    /// handler only writes an eventfd, so it is async-signal-safe.  Pass
+    /// nullptr to detach before @p s dies.
+    static void installSignalDrain(SolverService* s);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace hqs::service

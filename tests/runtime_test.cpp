@@ -469,3 +469,71 @@ TEST(Batch, JsonlEscapesSpecialCharacters)
     EXPECT_NE(line.find("\\n"), std::string::npos);
     EXPECT_EQ(line.find('\n'), line.size() - 1); // exactly one real newline
 }
+
+TEST(Batch, JsonlRowIsOneAtomicLine)
+{
+    // toJsonlLine is the single-write row used for torn-row-free journals:
+    // it must equal the streamed form byte for byte, carry exactly one real
+    // newline (the terminator), and round-trip through readJsonl.
+    BatchJobResult r;
+    r.instance = "multi\nline\ninstance.dqdimacs";
+    r.result = SolveResult::Memout;
+    r.wallMilliseconds = 12.5;
+    r.engine = "hqs";
+    r.attempts = 2;
+    r.degraded = true;
+    r.rung = "no-fraig";
+    r.failure = {FailureKind::ClientGone, "service", "client disconnected"};
+    r.error = "client disconnected";
+
+    const std::string row = toJsonlLine(r);
+    std::ostringstream os;
+    writeJsonl(r, os);
+    EXPECT_EQ(row, os.str());
+    EXPECT_EQ(row.find('\n'), row.size() - 1);
+
+    BatchJobResult back;
+    ASSERT_TRUE(readJsonl(row.substr(0, row.size() - 1), back));
+    EXPECT_EQ(back.instance, r.instance);
+    EXPECT_EQ(back.result, SolveResult::Memout);
+    EXPECT_EQ(back.failure.kind, FailureKind::ClientGone);
+    EXPECT_EQ(back.rung, "no-fraig");
+}
+
+TEST(Guard, DisconnectedCancelMapsToClientGone)
+{
+    CancelToken cancel;
+    cancel.requestCancel(CancelReason::Disconnected);
+    GuardOptions opts;
+    opts.cancel = cancel;
+    const GuardedOutcome out = runGuarded(opts, [](const Deadline& d) {
+        EXPECT_TRUE(d.expired());
+        return deadlineExceededResult(d);
+    });
+    EXPECT_EQ(out.result, SolveResult::Timeout);
+    EXPECT_EQ(out.failure.kind, FailureKind::ClientGone);
+    EXPECT_EQ(out.failure.site, "service");
+    EXPECT_STREQ(toString(out.failure.kind), "client-gone");
+}
+
+TEST(Guard, DisconnectedCancelForwardedMidRun)
+{
+    // The watchdog forwards an external Disconnected cancel into the run
+    // with its reason intact, so the solver's deadline reports the right
+    // CancelReason and the outcome carries the client-gone failure.
+    CancelToken cancel;
+    GuardOptions opts;
+    opts.cancel = cancel;
+    opts.watchdogPollMilliseconds = 1.0;
+    std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        cancel.requestCancel(CancelReason::Disconnected);
+    });
+    const GuardedOutcome out = runGuarded(opts, [](const Deadline& d) {
+        while (!d.expired()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_EQ(d.cancelReason(), CancelReason::Disconnected);
+        return deadlineExceededResult(d);
+    });
+    killer.join();
+    EXPECT_EQ(out.failure.kind, FailureKind::ClientGone);
+}

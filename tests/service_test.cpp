@@ -1,0 +1,681 @@
+// Solver-service tests: HTTP codec units, loopback end-to-end round trips,
+// and the serving guarantees — bounded admission (429 + Retry-After under
+// flood), disconnect-storm cancellation through CancelReason::Disconnected,
+// graceful drain (programmatic and via SIGTERM), and the /metrics
+// Prometheus schema.  The whole file also compiles into the tsan/* and
+// asan/* runtime binaries, so the epoll loop's single-writer discipline is
+// sanitizer-checked, not just asserted in comments.
+//
+// Golden files live in tests/data/golden/; regenerate with
+// HQS_UPDATE_GOLDEN=1 after an intentional schema change.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/service/client.hpp"
+#include "src/service/http.hpp"
+#include "src/service/server.hpp"
+
+using namespace hqs;
+using namespace hqs::service;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Forall u1 u2 exists e3(u1) e4(u2): (u1 <-> e3) and (u2 <-> e4) — SAT.
+const char* kSatFormula =
+    "p cnf 4 4\n"
+    "a 1 2 0\n"
+    "d 3 1 0\n"
+    "d 4 2 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+// Forall u1 exists e2 with empty support: e2 <-> u1 — UNSAT.
+const char* kUnsatFormula =
+    "p cnf 2 2\n"
+    "a 1 0\n"
+    "d 2 0\n"
+    "1 -2 0\n"
+    "-1 2 0\n";
+
+std::string goldenPath(const std::string& name)
+{
+    return std::string(HQS_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+void expectMatchesGolden(const std::string& actual, const std::string& name)
+{
+    const std::string path = goldenPath(name);
+    if (std::getenv("HQS_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (regenerate with HQS_UPDATE_GOLDEN=1)";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(want.str(), actual) << "golden mismatch for " << name;
+}
+
+/// Poll @p cond (a counter predicate) for up to @p seconds.
+bool eventually(const std::function<bool()>& cond, double seconds = 10.0)
+{
+    Timer t;
+    while (t.elapsedSeconds() < seconds) {
+        if (cond()) return true;
+        std::this_thread::sleep_for(1ms);
+    }
+    return cond();
+}
+
+} // namespace
+
+// --- HTTP codec -------------------------------------------------------------
+
+TEST(ServiceHttp, ParsesRequestAndPipelinedSuccessor)
+{
+    HttpParser parser;
+    std::string buf = "POST /solve HTTP/1.1\r\nContent-Length: 3\r\n"
+                      "timeout-ms: 250\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+    HttpRequest req;
+    ASSERT_EQ(parser.consumeRequest(buf, req), HttpParser::Status::Ready);
+    EXPECT_EQ(req.method, "POST");
+    EXPECT_EQ(req.target, "/solve");
+    EXPECT_EQ(req.body, "abc");
+    ASSERT_NE(req.header("timeout-ms"), nullptr);
+    EXPECT_EQ(*req.header("timeout-ms"), "250");
+    EXPECT_TRUE(req.keepAlive());
+
+    ASSERT_EQ(parser.consumeRequest(buf, req), HttpParser::Status::Ready);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/healthz");
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(ServiceHttp, IncompleteBodyNeedsMore)
+{
+    HttpParser parser;
+    std::string buf = "POST /solve HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+    HttpRequest req;
+    EXPECT_EQ(parser.consumeRequest(buf, req), HttpParser::Status::NeedMore);
+}
+
+TEST(ServiceHttp, EnforcesLimits)
+{
+    {
+        HttpParser parser(/*maxHeaderBytes=*/64, /*maxBodyBytes=*/1024);
+        std::string buf = "GET / HTTP/1.1\r\nx: " + std::string(200, 'a') + "\r\n\r\n";
+        HttpRequest req;
+        EXPECT_EQ(parser.consumeRequest(buf, req), HttpParser::Status::Error);
+        EXPECT_EQ(parser.errorStatus(), 431);
+    }
+    {
+        HttpParser parser(/*maxHeaderBytes=*/1024, /*maxBodyBytes=*/8);
+        std::string buf = "POST /solve HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        HttpRequest req;
+        EXPECT_EQ(parser.consumeRequest(buf, req), HttpParser::Status::Error);
+        EXPECT_EQ(parser.errorStatus(), 413);
+    }
+    {
+        HttpParser parser;
+        std::string buf = "not-http\r\n\r\n";
+        HttpRequest req;
+        EXPECT_EQ(parser.consumeRequest(buf, req), HttpParser::Status::Error);
+        EXPECT_EQ(parser.errorStatus(), 400);
+    }
+}
+
+TEST(ServiceHttp, JsonlRowRoundTrip)
+{
+    SolveRequestOptions opts;
+    opts.timeoutSeconds = 0.25;
+    opts.engine = "portfolio:2";
+    const std::string row = buildJsonlSolveRequest("job-1", kSatFormula, opts);
+    EXPECT_EQ(row.find('\n'), row.size() - 1) << "row must be a single line";
+
+    std::string id, formula, engine;
+    double timeoutMs = 0;
+    EXPECT_TRUE(jsonStringField(row, "id", id));
+    EXPECT_TRUE(jsonStringField(row, "formula", formula));
+    EXPECT_TRUE(jsonStringField(row, "engine", engine));
+    EXPECT_TRUE(jsonNumberField(row, "timeout_ms", timeoutMs));
+    EXPECT_EQ(id, "job-1");
+    EXPECT_EQ(formula, kSatFormula);
+    EXPECT_EQ(engine, "portfolio:2");
+    EXPECT_EQ(timeoutMs, 250);
+}
+
+// --- loopback round trips ---------------------------------------------------
+
+TEST(ServiceLoopback, HttpSolveRoundTrip)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    // SAT and UNSAT verdicts on one keep-alive connection.
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kUnsatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "UNSAT");
+
+    // The portfolio engine answers too and reports its winner.
+    ropts.engine = "portfolio:2";
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    std::string engine;
+    EXPECT_TRUE(jsonStringField(rsp.body, "engine", engine));
+    EXPECT_FALSE(engine.empty());
+
+    // Unknown engine is a 400, not a hang.
+    ropts.engine = "no-such-engine";
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 400);
+
+    // /healthz and /stats.
+    ASSERT_TRUE(client.sendAll("GET /healthz HTTP/1.1\r\n\r\n"));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    EXPECT_EQ(rsp.body, "ok\n");
+    ASSERT_TRUE(client.sendAll("GET /stats HTTP/1.1\r\n\r\n"));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    EXPECT_NE(rsp.body.find("\"solves_completed\""), std::string::npos);
+
+    service.stop();
+    EXPECT_EQ(service.counters().solvesCompleted.load(), 3u);
+    EXPECT_EQ(service.counters().badRequests.load(), 1u);
+}
+
+TEST(ServiceLoopback, JsonlPipelinedRoundTrip)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 4;
+    opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+
+    // Pipeline several rows, then collect every tagged response.
+    SolveRequestOptions ropts;
+    const int kRows = 6;
+    std::string burst;
+    for (int i = 0; i < kRows; ++i) {
+        burst += buildJsonlSolveRequest("row-" + std::to_string(i),
+                                        i % 2 == 0 ? kSatFormula : kUnsatFormula, ropts);
+    }
+    ASSERT_TRUE(client.sendAll(burst));
+
+    std::vector<std::string> verdicts(kRows);
+    for (int i = 0; i < kRows; ++i) {
+        std::string row;
+        ASSERT_TRUE(client.readLine(row)) << "missing response row " << i;
+        std::string id, verdict;
+        ASSERT_TRUE(jsonStringField(row, "id", id)) << row;
+        ASSERT_TRUE(jsonStringField(row, "result", verdict)) << row;
+        ASSERT_TRUE(id.rfind("row-", 0) == 0);
+        const int idx = std::atoi(id.c_str() + 4);
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, kRows);
+        verdicts[static_cast<std::size_t>(idx)] = verdict;
+    }
+    for (int i = 0; i < kRows; ++i)
+        EXPECT_EQ(verdicts[static_cast<std::size_t>(i)], i % 2 == 0 ? "SAT" : "UNSAT");
+
+    // A row without a formula gets an error row, and the connection lives on.
+    ASSERT_TRUE(client.sendAll("{\"id\":\"bad\"}\n"));
+    std::string row;
+    ASSERT_TRUE(client.readLine(row));
+    EXPECT_NE(row.find("\"error\""), std::string::npos);
+
+    service.stop();
+}
+
+// --- backpressure -----------------------------------------------------------
+
+TEST(ServiceLoopback, FloodGets429WithRetryAfterAndExactlyOneResponseEach)
+{
+    std::atomic<bool> release{false};
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    opts.maxQueue = 0;
+    opts.retryAfterSeconds = 2.0;
+    opts.solveOverride = [&](const std::string&, const SolveRequestOptions&,
+                             const Deadline& dl) {
+        while (!release.load(std::memory_order_acquire) && !dl.expired())
+            std::this_thread::sleep_for(1ms);
+        return dl.cancelled() ? SolveResult::Unknown : SolveResult::Sat;
+    };
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    // 64 concurrent clients, one solve each, against a single admission slot
+    // that is held open: exactly one is admitted, the rest bounce with 429,
+    // and every single one hears back.
+    const std::size_t kClients = 64;
+    std::atomic<std::size_t> ok{0}, busy{0}, retryAfterSeen{0}, failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+        threads.emplace_back([&] {
+            BlockingClient client;
+            if (!client.connect("127.0.0.1", service.httpPort())) {
+                failures.fetch_add(1);
+                return;
+            }
+            SolveRequestOptions ropts;
+            if (!client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, false))) {
+                failures.fetch_add(1);
+                return;
+            }
+            HttpResponseMsg rsp;
+            if (!client.readResponse(rsp)) {
+                failures.fetch_add(1);
+                return;
+            }
+            if (rsp.status == 200) {
+                ok.fetch_add(1);
+            } else if (rsp.status == 429) {
+                busy.fetch_add(1);
+                if (rsp.header("retry-after") && *rsp.header("retry-after") == "2")
+                    retryAfterSeen.fetch_add(1);
+                double retryMs = 0;
+                if (!jsonNumberField(rsp.body, "retry_after_ms", retryMs) ||
+                    retryMs != 2000)
+                    failures.fetch_add(1);
+            } else {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    // Let the flood finish rejecting, then release the one admitted solve.
+    ASSERT_TRUE(eventually([&] {
+        return service.counters().rejectedBusy.load() +
+                   service.counters().solvesAdmitted.load() >=
+               kClients;
+    }));
+    release.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(ok.load(), 1u);
+    EXPECT_EQ(busy.load(), kClients - 1);
+    EXPECT_EQ(retryAfterSeen.load(), busy.load());
+    EXPECT_EQ(service.counters().solvesAdmitted.load(), 1u);
+    EXPECT_EQ(service.counters().rejectedBusy.load(), kClients - 1);
+    service.stop();
+}
+
+TEST(ServiceLoopback, JsonlBusyRowCarriesRetryAfter)
+{
+    std::atomic<bool> release{false};
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    opts.maxQueue = 0;
+    opts.retryAfterSeconds = 0.5;
+    opts.solveOverride = [&](const std::string&, const SolveRequestOptions&,
+                             const Deadline& dl) {
+        while (!release.load(std::memory_order_acquire) && !dl.expired())
+            std::this_thread::sleep_for(1ms);
+        return dl.cancelled() ? SolveResult::Unknown : SolveResult::Sat;
+    };
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildJsonlSolveRequest("first", kSatFormula, ropts) +
+                               buildJsonlSolveRequest("second", kSatFormula, ropts)));
+
+    // The second row bounces immediately with the busy error.
+    std::string row;
+    ASSERT_TRUE(client.readLine(row));
+    std::string id, errField;
+    ASSERT_TRUE(jsonStringField(row, "id", id));
+    EXPECT_EQ(id, "second");
+    ASSERT_TRUE(jsonStringField(row, "error", errField));
+    EXPECT_EQ(errField, "busy");
+    double retryMs = 0;
+    ASSERT_TRUE(jsonNumberField(row, "retry_after_ms", retryMs));
+    EXPECT_EQ(retryMs, 500);
+
+    release.store(true, std::memory_order_release);
+    ASSERT_TRUE(client.readLine(row));
+    ASSERT_TRUE(jsonStringField(row, "id", id));
+    EXPECT_EQ(id, "first");
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(row, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    service.stop();
+}
+
+// --- disconnect cancellation ------------------------------------------------
+
+TEST(ServiceLoopback, DisconnectStormCancelsInFlightSolves)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 8;
+    opts.maxQueue = 64;
+    opts.defaultTimeoutSeconds = 60; // backstop only; cancellation must win
+    opts.solveOverride = [](const std::string&, const SolveRequestOptions&,
+                            const Deadline& dl) {
+        while (!dl.expired()) std::this_thread::sleep_for(1ms);
+        return dl.cancelled() ? SolveResult::Unknown : SolveResult::Timeout;
+    };
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    // A storm of clients that fire a solve and hang up without reading.
+    const std::size_t kClients = 32;
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+        threads.emplace_back([&] {
+            BlockingClient client;
+            if (!client.connect("127.0.0.1", service.httpPort())) return;
+            SolveRequestOptions ropts;
+            client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true));
+            client.close(); // mid-solve hangup
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Every solve the server admitted must be cancelled by the hangups and
+    // unwind long before the 60 s deadline backstop.
+    ASSERT_TRUE(eventually([&] {
+        const ServiceCounters& c = service.counters();
+        return c.solvesAdmitted.load() == c.solvesCompleted.load() &&
+               c.pendingSolves.load() == 0 && c.solvesAdmitted.load() > 0;
+    }))
+        << "admitted=" << service.counters().solvesAdmitted.load()
+        << " completed=" << service.counters().solvesCompleted.load();
+    EXPECT_GT(service.counters().disconnectCancels.load(), 0u);
+    EXPECT_EQ(service.counters().disconnectCancels.load(),
+              service.counters().solvesAdmitted.load());
+
+    // The service is still healthy for a well-behaved client afterwards.
+    // (The override never returns Sat un-cancelled, so use /healthz.)
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    ASSERT_TRUE(client.sendAll("GET /healthz HTTP/1.1\r\n\r\n"));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    service.stop();
+}
+
+// --- graceful drain ---------------------------------------------------------
+
+TEST(ServiceLoopback, DrainFinishesInFlightAndRejectsNew)
+{
+    std::atomic<bool> release{false};
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.solveOverride = [&](const std::string&, const SolveRequestOptions&,
+                             const Deadline& dl) {
+        while (!release.load(std::memory_order_acquire) && !dl.expired())
+            std::this_thread::sleep_for(1ms);
+        return dl.cancelled() ? SolveResult::Unknown : SolveResult::Sat;
+    };
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient inflight;
+    ASSERT_TRUE(inflight.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(inflight.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    ASSERT_TRUE(eventually([&] { return service.counters().pendingSolves.load() == 1; }));
+
+    // Second client connects before the drain begins; its request arrives
+    // after and must be answered 503, exactly once.
+    BlockingClient late;
+    ASSERT_TRUE(late.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    service.beginDrain();
+    EXPECT_TRUE(service.draining());
+    ASSERT_TRUE(late.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(late.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 503);
+    ASSERT_TRUE(late.sendAll("GET /healthz HTTP/1.1\r\n\r\n"));
+    ASSERT_TRUE(late.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 503);
+
+    // The in-flight solve still completes and its response is flushed
+    // before the loop exits.
+    release.store(true, std::memory_order_release);
+    ASSERT_TRUE(inflight.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+
+    EXPECT_TRUE(service.waitForDrained(/*timeoutSeconds=*/10));
+    EXPECT_EQ(service.counters().solvesCompleted.load(), 1u);
+    EXPECT_EQ(service.counters().rejectedDraining.load(), 1u);
+}
+
+TEST(ServiceLoopback, SigtermDrainsAndSecondSignalCancels)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 60; // backstop; the signals must win
+    opts.solveOverride = [](const std::string&, const SolveRequestOptions&,
+                            const Deadline& dl) {
+        while (!dl.expired()) std::this_thread::sleep_for(1ms);
+        return SolveResult::Unknown;
+    };
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+    SolverService::installSignalDrain(&service);
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    ASSERT_TRUE(eventually([&] { return service.counters().pendingSolves.load() == 1; }));
+
+    // First SIGTERM: graceful drain — the solve keeps running.
+    std::raise(SIGTERM);
+    ASSERT_TRUE(eventually([&] { return service.draining(); }));
+    EXPECT_EQ(service.counters().pendingSolves.load(), 1u);
+
+    // Second SIGTERM escalates: the in-flight solve is cancelled, its
+    // response flushed, and the loop exits.
+    std::raise(SIGTERM);
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    EXPECT_TRUE(service.waitForDrained(/*timeoutSeconds=*/10));
+    SolverService::installSignalDrain(nullptr);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(ServiceLoopback, MetricsEndpointSpeaksPrometheus)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200);
+
+    ASSERT_TRUE(client.sendAll("GET /metrics HTTP/1.1\r\n\r\n"));
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200);
+    ASSERT_NE(rsp.header("content-type"), nullptr);
+    EXPECT_NE(rsp.header("content-type")->find("text/plain"), std::string::npos);
+#if HQS_OBS_ENABLED
+    // Counter and histogram samples in Prometheus text exposition format.
+    EXPECT_NE(rsp.body.find("# TYPE hqs_service_requests counter"),
+              std::string::npos)
+        << rsp.body;
+    EXPECT_NE(rsp.body.find("# TYPE hqs_service_solve_latency_us histogram"),
+              std::string::npos);
+    EXPECT_NE(rsp.body.find("hqs_service_solve_latency_us_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(rsp.body.find("hqs_service_solve_latency_us_count 1"),
+              std::string::npos);
+#endif
+    service.stop();
+}
+
+TEST(ServicePrometheus, WriterFormatsAllKinds)
+{
+    std::vector<obs::MetricValue> metrics;
+    obs::MetricValue counter;
+    counter.name = "service.requests";
+    counter.kind = obs::MetricKind::Counter;
+    counter.value = 7;
+    metrics.push_back(counter);
+    obs::MetricValue gauge;
+    gauge.name = "service.pending.max";
+    gauge.kind = obs::MetricKind::Gauge;
+    gauge.value = 3;
+    metrics.push_back(gauge);
+    obs::MetricValue hist;
+    hist.name = "service.solve_latency_us";
+    hist.kind = obs::MetricKind::Histogram;
+    hist.count = 3;
+    hist.sum = 11;
+    hist.max = 8;
+    hist.buckets[1] = 1; // one observation of 1
+    hist.buckets[2] = 1; // one in [2,4)
+    hist.buckets[4] = 1; // one in [8,16)
+    metrics.push_back(hist);
+
+    std::ostringstream os;
+    obs::writePrometheusText(os, metrics);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE hqs_service_requests counter\n"
+                        "hqs_service_requests 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE hqs_service_pending_max gauge\n"
+                        "hqs_service_pending_max 3\n"),
+              std::string::npos);
+    // Registry bucket i counts [2^(i-1), 2^i), emitted at the le="2^i" edge:
+    // the observation of 1 lands at le="2", the one in [2,4) at le="4".
+    EXPECT_NE(text.find("hqs_service_solve_latency_us_bucket{le=\"2\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hqs_service_solve_latency_us_bucket{le=\"4\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hqs_service_solve_latency_us_bucket{le=\"16\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hqs_service_solve_latency_us_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hqs_service_solve_latency_us_sum 11\n"), std::string::npos);
+    EXPECT_NE(text.find("hqs_service_solve_latency_us_count 3\n"), std::string::npos);
+}
+
+TEST(ServicePrometheus, HistogramQuantilesFromLog2Buckets)
+{
+    obs::MetricValue hist;
+    hist.kind = obs::MetricKind::Histogram;
+    hist.count = 100;
+    hist.sum = 0;
+    hist.max = 900;
+    hist.buckets[5] = 90;  // 90 observations in [16, 32)
+    hist.buckets[10] = 10; // 10 observations in [512, 1024)
+    EXPECT_EQ(obs::histogramQuantile(hist, 0.50), 32);
+    EXPECT_EQ(obs::histogramQuantile(hist, 0.90), 32);
+    // The top occupied bucket's upper edge is clamped to the observed max.
+    EXPECT_EQ(obs::histogramQuantile(hist, 0.99), 900);
+    EXPECT_EQ(obs::histogramQuantile(hist, 1.0), 900);
+}
+
+// --- bench report schema ----------------------------------------------------
+
+TEST(ServiceReport, BenchServiceMatchesGoldenSchema)
+{
+    obs::BenchServiceReport report;
+    report.connections = 8;
+    report.requests = 256;
+    report.maxInflight = 4;
+    report.maxQueue = 64;
+    report.jsonlMode = false;
+    report.ok = 250;
+    report.rejected = 6;
+    report.errors = 0;
+    report.wallMs = 1234.5;
+    report.throughputRps = 202.5;
+    report.latency.p50Us = 2048;
+    report.latency.p90Us = 4096;
+    report.latency.p99Us = 8192;
+    report.latency.maxUs = 9000;
+    report.latency.meanUs = 2500.25;
+
+    obs::MetricValue counter;
+    counter.name = "service.requests";
+    counter.kind = obs::MetricKind::Counter;
+    counter.value = 256;
+    report.metrics.push_back(counter);
+    obs::MetricValue hist;
+    hist.name = "service.solve_latency_us";
+    hist.kind = obs::MetricKind::Histogram;
+    hist.count = 250;
+    hist.sum = 625062;
+    hist.max = 9000;
+    hist.buckets[11] = 200;
+    hist.buckets[12] = 40;
+    hist.buckets[13] = 10;
+    report.metrics.push_back(hist);
+
+    std::ostringstream os;
+    obs::writeBenchServiceJson(os, report);
+    expectMatchesGolden(os.str(), "bench_service.json");
+}
