@@ -21,6 +21,7 @@
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight solves,
 // flush every response, exit 0.  A second signal cancels in-flight solves.
+#include <cmath>
 #include <iostream>
 #include <string>
 
@@ -57,7 +58,7 @@ bool parseSeconds(const std::string& text, double& out)
     try {
         std::size_t pos = 0;
         out = std::stod(text, &pos);
-        return pos == text.size();
+        return pos == text.size() && std::isfinite(out) && out >= 0;
     } catch (const std::exception&) {
         return false;
     }

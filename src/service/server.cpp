@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <csignal>
 #include <cstring>
@@ -64,6 +65,10 @@ bool parseEngineSpec(const std::string& s, EngineSpec& out)
     }
     return false;
 }
+
+/// Header-block cap handed to HttpParser and used to bound per-connection
+/// input buffering.
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 
 /// The signal hook (installSignalDrain): the handler only bumps a counter
 /// and writes the registered eventfd; the loop thread does the actual
@@ -346,7 +351,7 @@ struct SolverService::Impl {
             Conn& c = conns[fd];
             c.fd = fd;
             c.jsonl = jsonl;
-            c.parser = HttpParser(64 * 1024, opts.maxBodyBytes);
+            c.parser = HttpParser(kMaxHeaderBytes, opts.maxBodyBytes);
             if (!epollAdd(fd, EPOLLIN | EPOLLRDHUP)) {
                 conns.erase(fd);
                 ::close(fd);
@@ -401,6 +406,20 @@ struct SolverService::Impl {
                     c.in.clear();
                     return flushOrKeep(c);
                 }
+                // An HTTP peer can keep streaming while parseLoop holds a
+                // pipelined request behind an outstanding solve; bound that
+                // buffering to one full request plus slack.
+                if (!c.jsonl &&
+                    c.in.size() > kMaxHeaderBytes + opts.maxBodyBytes + 4096) {
+                    counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+                    queueWrite(c, httpResponse(413, "application/json",
+                                               "{\"error\":\"pipelined input exceeds "
+                                               "limit\"}",
+                                               /*keepAlive=*/false));
+                    c.closeAfterFlush = true;
+                    c.in.clear();
+                    return flushOrKeep(c);
+                }
                 continue;
             }
             if (n == 0) {
@@ -431,7 +450,7 @@ struct SolverService::Impl {
                 std::string line = c.in.substr(0, eol);
                 c.in.erase(0, eol + 1);
                 if (!line.empty() && line.back() == '\r') line.pop_back();
-                if (!line.empty()) handleJsonlLine(c, line);
+                if (!line.empty() && !handleJsonlLine(c, line)) return false;
             }
             return true;
         }
@@ -527,7 +546,10 @@ struct SolverService::Impl {
         return true;
     }
 
-    void handleJsonlLine(Conn& c, const std::string& line)
+    /// Handle one JSONL request row.  Returns false when the connection was
+    /// destroyed (same contract as handleHttpRequest): the error/reject
+    /// paths flush immediately, and a flush failure tears the conn down.
+    bool handleJsonlLine(Conn& c, const std::string& line)
     {
         counters.requests.fetch_add(1, std::memory_order_relaxed);
         OBS_COUNT("service.requests", 1);
@@ -541,31 +563,29 @@ struct SolverService::Impl {
         EngineSpec spec;
         std::string engine;
         double num = 0;
-        if (jsonNumberField(line, "timeout_ms", num) && num > 0)
+        if (jsonNumberField(line, "timeout_ms", num) && std::isfinite(num) && num > 0)
             ropts.timeoutSeconds = num / 1000.0;
-        if (jsonNumberField(line, "rss_limit_mb", num) && num > 0)
+        if (jsonNumberField(line, "rss_limit_mb", num) && std::isfinite(num) && num > 0)
             ropts.rssLimitBytes = static_cast<std::size_t>(num) * 1024 * 1024;
         jsonStringField(line, "engine", engine);
         if (!jsonStringField(line, "formula", formula) || formula.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
-            flushOrKeep(c);
-            return;
+            return flushOrKeep(c);
         }
         if (!parseEngineSpec(engine, spec)) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"unknown engine\"}\n");
-            flushOrKeep(c);
-            return;
+            return flushOrKeep(c);
         }
         std::string reject;
         const int status = admissionStatus(&reject, nullptr);
         if (status != 200) {
             queueWrite(c, "{" + idPrefix + reject.substr(1) + "\n"); // splice id in
-            flushOrKeep(c);
-            return;
+            return flushOrKeep(c);
         }
         admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
+        return true;
     }
 
     /// 200 when a solve may be admitted right now; otherwise the rejection
@@ -825,7 +845,8 @@ struct SolverService::Impl {
     {
         char* end = nullptr;
         const double ms = std::strtod(text.c_str(), &end);
-        if (end != text.c_str() + text.size() || ms < 0) return false;
+        if (end != text.c_str() + text.size() || !std::isfinite(ms) || ms < 0)
+            return false;
         outSeconds = ms / 1000.0;
         return true;
     }

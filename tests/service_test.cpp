@@ -10,6 +10,8 @@
 // HQS_UPDATE_GOLDEN=1 after an intentional schema change.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -267,6 +269,122 @@ TEST(ServiceLoopback, JsonlPipelinedRoundTrip)
     ASSERT_TRUE(client.readLine(row));
     EXPECT_NE(row.find("\"error\""), std::string::npos);
 
+    service.stop();
+}
+
+TEST(ServiceLoopback, RejectsNonFiniteTimeoutHeader)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    // strtod happily parses "nan" and "inf"; both must bounce as 400, not
+    // become an undefined Deadline.
+    for (const char* bad : {"nan", "inf", "-inf"}) {
+        const std::string body = kSatFormula;
+        std::string req = "POST /solve HTTP/1.1\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\ntimeout-ms: " + bad +
+                          "\r\n\r\n" + body;
+        ASSERT_TRUE(client.sendAll(req));
+        HttpResponseMsg rsp;
+        ASSERT_TRUE(client.readResponse(rsp)) << bad;
+        EXPECT_EQ(rsp.status, 400) << bad;
+        EXPECT_NE(rsp.body.find("malformed timeout-ms"), std::string::npos) << bad;
+    }
+    service.stop();
+    EXPECT_EQ(service.counters().solvesAdmitted.load(), 0u);
+}
+
+TEST(ServiceLoopback, HttpInputBoundedWhileSolveOutstanding)
+{
+    // parseLoop holds pipelined HTTP input behind an outstanding solve; a
+    // hostile peer streaming bytes into that window must hit the buffer cap
+    // (413 + close), not balloon c.in until the solve finishes.
+    std::atomic<bool> release{false};
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    opts.maxBodyBytes = 4096;
+    opts.solveOverride = [&](const std::string&, const SolveRequestOptions&,
+                             const Deadline& dl) {
+        while (!release.load(std::memory_order_acquire) && !dl.cancelled())
+            std::this_thread::sleep_for(1ms);
+        return SolveResult::Sat;
+    };
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    ASSERT_TRUE(eventually([&] { return service.counters().pendingSolves.load() == 1; }));
+
+    // Stream well past maxHeaderBytes + maxBodyBytes while the solve blocks.
+    // sendAll may fail partway once the server tears the connection down.
+    const std::string chunk(64 * 1024, 'x');
+    for (int i = 0; i < 8; ++i) {
+        if (!client.sendAll(chunk)) break;
+        if (service.counters().badRequests.load() > 0) break;
+    }
+    ASSERT_TRUE(eventually([&] { return service.counters().badRequests.load() == 1; }));
+
+    // The server answers 413 and closes.  If it closed with garbage still
+    // unread in its receive buffer the close degrades to a RST that may
+    // outrun the 413, so a reset counts as torn-down too.
+    HttpResponseMsg rsp;
+    if (client.readResponse(rsp)) {
+        EXPECT_EQ(rsp.status, 413);
+        EXPECT_NE(rsp.body.find("exceeds limit"), std::string::npos);
+        EXPECT_FALSE(client.readResponse(rsp)) << "connection must close after 413";
+    }
+
+    release.store(true, std::memory_order_release);
+    ASSERT_TRUE(eventually([&] { return service.counters().pendingSolves.load() == 0; }));
+    service.stop();
+}
+
+TEST(ServiceLoopback, JsonlMalformedBurstSurvivesPeerReset)
+{
+    // Regression for a use-after-free: a JSONL client pipelines several
+    // malformed rows and resets the connection; if an error-row flush fails
+    // mid-burst the parse loop must stop, not keep using the destroyed conn.
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    std::string burst;
+    for (int i = 0; i < 64; ++i) burst += "{\"id\":\"bad-" + std::to_string(i) + "\"}\n";
+    for (int attempt = 0; attempt < 20; ++attempt) {
+        BlockingClient client;
+        ASSERT_TRUE(client.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+        ASSERT_TRUE(client.sendAll(burst));
+        // SO_LINGER 0 turns close() into a RST, so the server's error-row
+        // writes race against a dead socket.
+        struct linger lin{};
+        lin.l_onoff = 1;
+        lin.l_linger = 0;
+        ::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &lin, sizeof lin);
+        client.close();
+    }
+
+    // The service survives the storm and still answers a polite client.
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildJsonlSolveRequest("ok", kSatFormula, ropts)));
+    std::string row;
+    ASSERT_TRUE(client.readLine(row));
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(row, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
     service.stop();
 }
 
