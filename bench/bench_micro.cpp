@@ -1,12 +1,14 @@
 // Microbenchmarks (google-benchmark) for the substrates: AIG construction
-// and quantification, the Theorem-6 unit/pure traversal, FRAIG sweeping,
-// the CDCL SAT solver, the partial MaxSAT selection, the end-to-end PEC
-// encoding, and the disarmed cost of the fault/observability hooks.
+// and quantification, the dense strash hit path, Substitution-based
+// composition, mark-and-compact garbage collection, the Theorem-6
+// unit/pure traversal, FRAIG sweeping, the CDCL SAT solver, the partial
+// MaxSAT selection, the end-to-end PEC encoding, and the disarmed cost of
+// the fault/observability hooks.
 //
 //   bench_micro [--json=FILE] [google-benchmark flags]
 //
 // With --json=FILE the run additionally writes a machine-readable report
-// (schema hqs-bench-micro/v1) whose `overhead_ns` block distills the
+// (schema hqs-bench-micro/v2) whose `overhead_ns` block distills the
 // per-operation cost of the always-compiled instrumentation.
 #include <benchmark/benchmark.h>
 
@@ -80,6 +82,68 @@ void BM_AigQuantifyExistential(benchmark::State& state)
     }
 }
 BENCHMARK(BM_AigQuantifyExistential)->Arg(1000)->Arg(10000);
+
+void BM_StrashHitLookup(benchmark::State& state)
+{
+    // Pure hit path of the dense strash: every mkAnd below resolves to an
+    // existing node, so the loop measures hash + probe + return with no
+    // allocation.  The table size scales with the arg.
+    Aig aig;
+    Rng rng(19);
+    std::vector<AigEdge> pool;
+    for (Var v = 0; v < 32; ++v) pool.push_back(aig.variable(v));
+    std::vector<std::pair<AigEdge, AigEdge>> pairs;
+    const auto gates = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < gates; ++i) {
+        const AigEdge a = pool[rng.below(pool.size())] ^ rng.flip();
+        const AigEdge b = pool[rng.below(pool.size())] ^ rng.flip();
+        pool.push_back(aig.mkAnd(a, b));
+        pairs.emplace_back(a, b);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& p = pairs[i];
+        i = (i + 1 == pairs.size()) ? 0 : i + 1;
+        benchmark::DoNotOptimize(aig.mkAnd(p.first, p.second));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StrashHitLookup)->Arg(1000)->Arg(100000);
+
+void BM_AigSubstitute(benchmark::State& state)
+{
+    // Simultaneous 8-variable substitution through the dense Substitution
+    // builder and the manager-owned traversal cache.  After the first
+    // iteration the image nodes exist, so this measures the steady-state
+    // rebuild a Theorem-1 renaming pays.
+    Aig aig;
+    const AigEdge root = randomCone(aig, 32, static_cast<unsigned>(state.range(0)), 23);
+    for (auto _ : state) {
+        Substitution& sub = aig.scratchSubstitution();
+        for (Var v = 0; v < 8; ++v)
+            sub.set(v, aig.variable(v + 8) ^ ((v & 1) != 0));
+        benchmark::DoNotOptimize(aig.substitute(root, sub));
+    }
+}
+BENCHMARK(BM_AigSubstitute)->Arg(1000)->Arg(10000);
+
+void BM_GcMarkCompact(benchmark::State& state)
+{
+    // Mark-and-compact with half the pool garbage: rebuild the node vector,
+    // rewire the kept root, rehash the strash, remap the op cache.
+    const auto gates = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        Aig aig;
+        AigEdge keep = randomCone(aig, 32, gates, 29);
+        randomCone(aig, 32, gates, 31); // stranded on purpose
+        state.ResumeTiming();
+        aig.garbageCollect({&keep});
+        benchmark::DoNotOptimize(keep);
+    }
+    state.SetItemsProcessed(state.iterations() * gates);
+}
+BENCHMARK(BM_GcMarkCompact)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_UnitPureDetection(benchmark::State& state)
 {

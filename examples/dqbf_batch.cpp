@@ -39,6 +39,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/runtime/api.hpp"
 #include "src/runtime/batch.hpp"
 
 using namespace hqs;
@@ -54,35 +55,14 @@ int usage()
     return 1;
 }
 
-// Numeric flag values must parse in full; a trailing suffix or garbage is a
-// usage error rather than an uncaught std::sto* exception.
-bool parseSize(const std::string& text, std::size_t& out)
-{
-    try {
-        std::size_t pos = 0;
-        out = static_cast<std::size_t>(std::stoul(text, &pos));
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
-}
-
-bool parseSeconds(const std::string& text, double& out)
-{
-    try {
-        std::size_t pos = 0;
-        out = std::stod(text, &pos);
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
-}
-
 } // namespace
 
 int main(int argc, char** argv)
 {
     BatchOptions opts;
+    // Budgets funnel through the shared SolveRequest so a nan/negative
+    // timeout is rejected by the same validate() every entry point uses.
+    api::SolveRequest request;
     std::string jsonlPath;
     std::string resumePath;
     std::vector<std::string> inputs;
@@ -90,20 +70,17 @@ int main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--workers=", 0) == 0) {
-            if (!parseSize(arg.substr(10), opts.numWorkers)) return usage();
+            if (!api::parseSize(arg.substr(10), &opts.numWorkers)) return usage();
         } else if (arg.rfind("--timeout=", 0) == 0) {
-            if (!parseSeconds(arg.substr(10), opts.jobTimeoutSeconds)) return usage();
+            if (!api::parseSeconds(arg.substr(10), &request.timeoutSeconds)) return usage();
         } else if (arg.rfind("--node-limit=", 0) == 0) {
-            if (!parseSize(arg.substr(13), opts.nodeLimit)) return usage();
+            if (!api::parseSize(arg.substr(13), &request.nodeLimit)) return usage();
         } else if (arg.rfind("--rss-limit=", 0) == 0) {
-            std::size_t mb = 0;
-            if (!parseSize(arg.substr(12), mb)) return usage();
-            opts.rssLimitBytes = mb * 1024 * 1024;
+            if (!api::parseMegabytes(arg.substr(12), &request.rssLimitBytes)) return usage();
         } else if (arg == "--portfolio") {
-            opts.portfolio = true;
+            request.engine = "portfolio";
         } else if (arg.rfind("--portfolio=", 0) == 0) {
-            opts.portfolio = true;
-            if (!parseSize(arg.substr(12), opts.portfolioEngines)) return usage();
+            request.engine = "portfolio:" + arg.substr(12);
         } else if (arg == "--no-retry") {
             opts.ladder.resize(1);
         } else if (arg.rfind("--jsonl=", 0) == 0) {
@@ -117,6 +94,18 @@ int main(int argc, char** argv)
         }
     }
     if (inputs.empty() && resumePath.empty()) return usage();
+    if (const std::string err = request.firstError(); !err.empty()) {
+        std::cerr << "dqbf_batch: invalid request: " << err << "\n";
+        return usage();
+    }
+    opts.jobTimeoutSeconds = request.timeoutSeconds;
+    opts.nodeLimit = request.nodeLimit;
+    opts.rssLimitBytes = request.rssLimitBytes;
+    if (const api::EngineSpec spec = *request.parsedEngine();
+        spec.kind == api::EngineSpec::Kind::Portfolio) {
+        opts.portfolio = true;
+        opts.portfolioEngines = spec.portfolioEngines;
+    }
 
     // The journal of the interrupted run: its conclusive verdicts stand,
     // everything else (crashed, cancelled, timed out, never started) is

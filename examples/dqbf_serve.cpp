@@ -25,6 +25,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/runtime/api.hpp"
 #include "src/service/client.hpp"
 #include "src/service/server.hpp"
 
@@ -42,28 +43,6 @@ int usage()
     return 1;
 }
 
-bool parseSize(const std::string& text, std::size_t& out)
-{
-    try {
-        std::size_t pos = 0;
-        out = static_cast<std::size_t>(std::stoul(text, &pos));
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
-}
-
-bool parseSeconds(const std::string& text, double& out)
-{
-    try {
-        std::size_t pos = 0;
-        out = std::stod(text, &pos);
-        return pos == text.size() && std::isfinite(out) && out >= 0;
-    } catch (const std::exception&) {
-        return false;
-    }
-}
-
 } // namespace
 
 int main(int argc, char** argv)
@@ -73,6 +52,10 @@ int main(int argc, char** argv)
     ServiceOptions opts;
     opts.httpPort = 8080;
     opts.jsonlPort = 8081;
+    // The server-wide default budgets go through the same SolveRequest
+    // validation as per-request budgets, so `--timeout=nan` is rejected here
+    // exactly as a `timeout-ms: nan` header would be.
+    api::SolveRequest defaults;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto val = [&](const std::string& prefix) {
@@ -82,34 +65,42 @@ int main(int argc, char** argv)
         double secs = 0;
         if (arg.rfind("--host=", 0) == 0) {
             opts.bindAddress = val("--host=");
-        } else if (arg.rfind("--port=", 0) == 0 && parseSize(val("--port="), n)) {
+        } else if (arg.rfind("--port=", 0) == 0 && api::parseSize(val("--port="), &n)) {
             opts.httpPort = static_cast<std::uint16_t>(n);
         } else if (arg.rfind("--jsonl-port=", 0) == 0 &&
-                   parseSize(val("--jsonl-port="), n)) {
+                   api::parseSize(val("--jsonl-port="), &n)) {
             opts.jsonlPort = static_cast<std::uint16_t>(n);
         } else if (arg == "--no-jsonl") {
             opts.enableJsonl = false;
         } else if (arg.rfind("--max-inflight=", 0) == 0 &&
-                   parseSize(val("--max-inflight="), n)) {
+                   api::parseSize(val("--max-inflight="), &n)) {
             opts.maxInflight = n;
-        } else if (arg.rfind("--queue=", 0) == 0 && parseSize(val("--queue="), n)) {
+        } else if (arg.rfind("--queue=", 0) == 0 && api::parseSize(val("--queue="), &n)) {
             opts.maxQueue = n;
         } else if (arg.rfind("--timeout=", 0) == 0 &&
-                   parseSeconds(val("--timeout="), secs)) {
-            opts.defaultTimeoutSeconds = secs;
+                   api::parseSeconds(val("--timeout="), &defaults.timeoutSeconds)) {
+            // validated below
         } else if (arg.rfind("--rss-limit=", 0) == 0 &&
-                   parseSize(val("--rss-limit="), n)) {
-            opts.defaultRssLimitBytes = n * 1024 * 1024;
+                   api::parseMegabytes(val("--rss-limit="), &defaults.rssLimitBytes)) {
+            // validated below
         } else if (arg.rfind("--node-limit=", 0) == 0 &&
-                   parseSize(val("--node-limit="), n)) {
-            opts.nodeLimit = n;
+                   api::parseSize(val("--node-limit="), &defaults.nodeLimit)) {
+            // validated below
         } else if (arg.rfind("--retry-after=", 0) == 0 &&
-                   parseSeconds(val("--retry-after="), secs)) {
+                   api::parseSeconds(val("--retry-after="), &secs) &&
+                   std::isfinite(secs) && secs >= 0) {
             opts.retryAfterSeconds = secs;
         } else {
             return usage();
         }
     }
+    if (const std::string err = defaults.firstError(); !err.empty()) {
+        std::cerr << "dqbf_serve: invalid request defaults: " << err << "\n";
+        return usage();
+    }
+    opts.defaultTimeoutSeconds = defaults.timeoutSeconds;
+    opts.defaultRssLimitBytes = defaults.rssLimitBytes;
+    opts.nodeLimit = defaults.nodeLimit;
 
     SolverService service(opts);
     std::string error;

@@ -4,9 +4,10 @@
 //   dqbf_solve [options] -            (read from stdin)
 //
 // Options:
-//   --solver=hqs|idq|expand
-//                         solving engine (default hqs); `expand` decides by
-//                         one SAT call on the full universal expansion
+//   --solver=hqs|hqs-bdd|idq|expand
+//                         solving engine (default hqs); `hqs-bdd` swaps in
+//                         the BDD QBF backend, `expand` decides by one SAT
+//                         call on the full universal expansion
 //   --portfolio[=N]       race the first N default engine configurations
 //                         (all 5 when N is omitted) and answer with the
 //                         first definitive result, cancelling the losers
@@ -42,6 +43,7 @@
 #include "src/idq/idq_solver.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/report.hpp"
+#include "src/runtime/api.hpp"
 #include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
 
@@ -51,66 +53,37 @@ namespace {
 
 int usage()
 {
-    std::cerr << "usage: dqbf_solve [--solver=hqs|idq|expand] [--portfolio[=N]] "
+    std::cerr << "usage: dqbf_solve [--solver=hqs|hqs-bdd|idq|expand] [--portfolio[=N]] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--no-preprocess] "
                  "[--no-unitpure] [--selection=maxsat|greedy|all] [--skolem] "
                  "[--stats] [--trace=FILE] <file.dqdimacs|->\n";
     return 1;
 }
 
-// Numeric flag values must parse in full; a trailing suffix or garbage is a
-// usage error rather than an uncaught std::sto* exception.
-bool parseSize(const std::string& text, std::size_t& out)
-{
-    try {
-        std::size_t pos = 0;
-        out = static_cast<std::size_t>(std::stoul(text, &pos));
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
-}
-
-bool parseSeconds(const std::string& text, double& out)
-{
-    try {
-        std::size_t pos = 0;
-        out = std::stod(text, &pos);
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
-}
-
 } // namespace
 
 int main(int argc, char** argv)
 {
-    std::string path;
-    std::string engine = "hqs";
+    // All budgets and the engine selector accumulate into the shared
+    // SolveRequest; flag values that fail the syntax parsers are usage
+    // errors, semantic violations (nan timeout, unknown engine) are caught
+    // by the single validate() below.
+    api::SolveRequest request;
     std::string tracePath;
-    bool wantStats = false;
-    std::size_t portfolioEngines = 0;
-    std::size_t rssLimitBytes = 0;
     HqsOptions opts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--solver=", 0) == 0) {
-            engine = arg.substr(9);
+            request.engine = arg.substr(9);
         } else if (arg == "--portfolio") {
-            engine = "portfolio";
+            request.engine = "portfolio";
         } else if (arg.rfind("--portfolio=", 0) == 0) {
-            engine = "portfolio";
-            if (!parseSize(arg.substr(12), portfolioEngines)) return usage();
+            request.engine = "portfolio:" + arg.substr(12);
         } else if (arg.rfind("--timeout=", 0) == 0) {
-            double seconds = 0.0;
-            if (!parseSeconds(arg.substr(10), seconds)) return usage();
-            opts.deadline = Deadline::in(seconds);
+            if (!api::parseSeconds(arg.substr(10), &request.timeoutSeconds)) return usage();
         } else if (arg.rfind("--rss-limit=", 0) == 0) {
-            std::size_t mb = 0;
-            if (!parseSize(arg.substr(12), mb)) return usage();
-            rssLimitBytes = mb * 1024 * 1024;
+            if (!api::parseMegabytes(arg.substr(12), &request.rssLimitBytes)) return usage();
         } else if (arg == "--no-preprocess") {
             opts.preprocess = false;
             opts.gateDetection = false;
@@ -130,17 +103,26 @@ int main(int argc, char** argv)
         } else if (arg == "--skolem") {
             opts.computeSkolem = true;
         } else if (arg == "--stats") {
-            wantStats = true;
+            request.stats = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
             tracePath = arg.substr(8);
             if (tracePath.empty()) return usage();
+            request.trace = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             return usage();
         } else {
-            path = arg;
+            request.source = arg;
         }
     }
-    if (path.empty()) return usage();
+    if (request.source.empty()) return usage();
+    if (const std::string err = request.firstError(); !err.empty()) {
+        std::cerr << "dqbf_solve: invalid request: " << err << "\n";
+        return usage();
+    }
+    const api::EngineSpec spec = *request.parsedEngine();
+    const bool wantStats = request.stats;
+    const std::string& path = request.source;
+    if (request.timeoutSeconds > 0) opts.deadline = Deadline::in(request.timeoutSeconds);
 
     DqbfFormula formula;
     try {
@@ -172,13 +154,15 @@ int main(int argc, char** argv)
     // watchdog.
     GuardOptions gopts;
     gopts.deadline = opts.deadline;
-    gopts.rssLimitBytes = rssLimitBytes;
+    gopts.rssLimitBytes = request.rssLimitBytes;
     auto guarded = [&](const std::function<SolveResult(const Deadline&)>& body) {
         const GuardedOutcome out = runGuarded(gopts, body);
         failure = out.failure;
         return out.result;
     };
-    if (engine == "hqs") {
+    if (spec.kind == api::EngineSpec::Kind::Hqs || spec.kind == api::EngineSpec::Kind::HqsBdd) {
+        if (spec.kind == api::EngineSpec::Kind::HqsBdd)
+            opts.backend = HqsOptions::Backend::BddElimination;
         const DqbfFormula original = formula; // kept for certificate checks
         std::optional<HqsSolver> solverSlot;
         result = guarded([&](const Deadline& dl) {
@@ -225,7 +209,7 @@ int main(int argc, char** argv)
                       << "c peak AIG nodes      : " << st.peakConeSize << "\n"
                       << "c total time          : " << st.totalMilliseconds << " ms\n";
         }
-    } else if (engine == "expand") {
+    } else if (spec.kind == api::EngineSpec::Kind::Expand) {
         if (formula.universals().size() > 22) {
             std::cerr << "expand: too many universals ("
                       << formula.universals().size() << " > 22)\n";
@@ -233,12 +217,11 @@ int main(int argc, char** argv)
         }
         result = guarded(
             [&](const Deadline& dl) { return expansionDqbf(formula, dl); });
-    } else if (engine == "portfolio") {
+    } else if (spec.kind == api::EngineSpec::Kind::Portfolio) {
         std::optional<PortfolioSolver> solverSlot;
         result = guarded([&](const Deadline& dl) {
-            PortfolioOptions popts;
-            popts.maxEngines = portfolioEngines;
-            popts.deadline = dl;
+            PortfolioOptions popts = PortfolioSolver::optionsFromRequest(request);
+            popts.deadline = dl; // the guard owns the timeout
             solverSlot.emplace(std::move(popts));
             return solverSlot->solve(formula);
         });
@@ -264,7 +247,7 @@ int main(int argc, char** argv)
             if (st.disagreement)
                 std::cout << "c WARNING             : engines disagreed on the verdict\n";
         }
-    } else if (engine == "idq") {
+    } else {
         std::optional<IdqSolver> solverSlot;
         result = guarded([&](const Deadline& dl) {
             IdqOptions iopts;
@@ -281,8 +264,6 @@ int main(int argc, char** argv)
                       << "c ground clauses      : " << st.groundClauses << "\n"
                       << "c existential copies  : " << st.existentialCopies << "\n";
         }
-    } else {
-        return usage();
     }
 
     if (wantStats) obs::writeStatLines(std::cout, metricScope.snapshot());

@@ -9,9 +9,24 @@
 
 namespace hqs {
 
+namespace {
+
+/// Smallest power of two >= @p n (and >= @p floor).
+std::size_t nextPow2(std::size_t n, std::size_t floor)
+{
+    std::size_t cap = floor;
+    while (cap < n) cap <<= 1;
+    return cap;
+}
+
+constexpr std::size_t kStrashInitialSize = 1u << 10;
+
+} // namespace
+
 Aig::Aig()
 {
     nodes_.push_back(Node{}); // node 0: the constant (FALSE as uncomplemented)
+    strash_.assign(kStrashInitialSize, 0u);
 }
 
 AigEdge Aig::variable(Var v)
@@ -23,6 +38,7 @@ AigEdge Aig::variable(Var v)
     n.extVar = v;
     nodes_.push_back(n);
     inputOfVar_.emplace(v, idx);
+    stats_.peakAllocatedNodes = std::max<std::uint64_t>(stats_.peakAllocatedNodes, nodes_.size());
     return AigEdge(idx, false);
 }
 
@@ -64,12 +80,41 @@ AigEdge Aig::mkAnd(AigEdge a, AigEdge b)
     return mkAndRaw(a, b);
 }
 
+std::uint64_t Aig::strashHash(std::uint32_t aCode, std::uint32_t bCode)
+{
+    // splitmix64 finalizer over the packed fanin pair: cheap and uniform
+    // enough that linear probing stays short at <= 0.7 load.
+    std::uint64_t z = (static_cast<std::uint64_t>(aCode) << 32) | bCode;
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z;
+}
+
+std::uint64_t Aig::opHash(std::uint32_t nodeIdx, Var v, std::uint32_t gCode)
+{
+    return strashHash(nodeIdx, gCode) ^
+           (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull);
+}
+
 AigEdge Aig::mkAndRaw(AigEdge a, AigEdge b)
 {
     if (b < a) std::swap(a, b);
-    const std::uint64_t key = andKey(a, b);
-    auto it = strash_.find(key);
-    if (it != strash_.end()) return AigEdge(it->second, false);
+    const std::size_t mask = strash_.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(strashHash(a.code(), b.code())) & mask;
+    std::uint64_t probes = 1;
+    while (const std::uint32_t entry = strash_[slot]) {
+        const Node& n = nodes_[entry - 1];
+        if (n.fanin0 == a && n.fanin1 == b) {
+            stats_.strashProbes += probes;
+            return AigEdge(entry - 1, false);
+        }
+        slot = (slot + 1) & mask;
+        ++probes;
+    }
+    stats_.strashProbes += probes;
     // Each strash miss allocates a node: the memory hot path, and therefore
     // an injection site for testing bad_alloc recovery (one relaxed atomic
     // load when no fault is armed).
@@ -80,8 +125,32 @@ AigEdge Aig::mkAndRaw(AigEdge a, AigEdge b)
     n.fanin0 = a;
     n.fanin1 = b;
     nodes_.push_back(n);
-    strash_.emplace(key, idx);
+    stats_.peakAllocatedNodes = std::max<std::uint64_t>(stats_.peakAllocatedNodes, nodes_.size());
+    strash_[slot] = idx + 1;
+    ++strashCount_;
+    // Grow at 0.7 load so probe chains stay short.
+    if ((strashCount_ + 1) * 10 >= strash_.size() * 7) strashGrow();
     return AigEdge(idx, false);
+}
+
+void Aig::strashInsertNew(std::uint32_t idx)
+{
+    const Node& n = nodes_[idx];
+    const std::size_t mask = strash_.size() - 1;
+    std::size_t slot =
+        static_cast<std::size_t>(strashHash(n.fanin0.code(), n.fanin1.code())) & mask;
+    while (strash_[slot] != 0) slot = (slot + 1) & mask;
+    strash_[slot] = idx + 1;
+}
+
+void Aig::strashGrow()
+{
+    std::vector<std::uint32_t> old = std::move(strash_);
+    strash_.assign(old.size() * 2, 0u);
+    for (const std::uint32_t entry : old) {
+        if (entry != 0) strashInsertNew(entry - 1);
+    }
+    ++stats_.strashResizes;
 }
 
 AigEdge Aig::mkXor(AigEdge a, AigEdge b)
@@ -112,19 +181,20 @@ AigEdge Aig::mkOrN(const std::vector<AigEdge>& es)
 std::vector<Var> Aig::support(AigEdge root) const
 {
     std::vector<Var> out;
-    std::vector<std::uint32_t> stack{root.nodeIndex()};
-    std::vector<bool> visited(nodes_.size(), false);
-    while (!stack.empty()) {
-        const std::uint32_t idx = stack.back();
-        stack.pop_back();
-        if (visited[idx]) continue;
-        visited[idx] = true;
+    trav_.reset(nodes_.size());
+    stack_.clear();
+    stack_.push_back(root.nodeIndex());
+    while (!stack_.empty()) {
+        const std::uint32_t idx = stack_.back();
+        stack_.pop_back();
+        if (trav_.has(idx)) continue;
+        trav_.set(idx, 1);
         const Node& n = nodes_[idx];
         if (n.extVar != kNoVar) {
             out.push_back(n.extVar);
         } else if (idx != 0) {
-            stack.push_back(n.fanin0.nodeIndex());
-            stack.push_back(n.fanin1.nodeIndex());
+            stack_.push_back(n.fanin0.nodeIndex());
+            stack_.push_back(n.fanin1.nodeIndex());
         }
     }
     std::sort(out.begin(), out.end());
@@ -134,18 +204,19 @@ std::vector<Var> Aig::support(AigEdge root) const
 std::size_t Aig::coneSize(AigEdge root) const
 {
     std::size_t count = 0;
-    std::vector<std::uint32_t> stack{root.nodeIndex()};
-    std::vector<bool> visited(nodes_.size(), false);
-    while (!stack.empty()) {
-        const std::uint32_t idx = stack.back();
-        stack.pop_back();
-        if (visited[idx]) continue;
-        visited[idx] = true;
+    trav_.reset(nodes_.size());
+    stack_.clear();
+    stack_.push_back(root.nodeIndex());
+    while (!stack_.empty()) {
+        const std::uint32_t idx = stack_.back();
+        stack_.pop_back();
+        if (trav_.has(idx)) continue;
+        trav_.set(idx, 1);
         const Node& n = nodes_[idx];
         if (idx != 0 && n.extVar == kNoVar) {
             ++count;
-            stack.push_back(n.fanin0.nodeIndex());
-            stack.push_back(n.fanin1.nodeIndex());
+            stack_.push_back(n.fanin0.nodeIndex());
+            stack_.push_back(n.fanin1.nodeIndex());
         }
     }
     return count;
@@ -153,85 +224,161 @@ std::size_t Aig::coneSize(AigEdge root) const
 
 bool Aig::evaluate(AigEdge root, const std::vector<bool>& assignment) const
 {
-    // Iterative post-order evaluation with a per-call value cache.
-    std::vector<std::uint8_t> value(nodes_.size(), 2); // 2 = not computed
-    std::vector<std::uint32_t> stack{root.nodeIndex()};
-    value[0] = 0;
-    while (!stack.empty()) {
-        const std::uint32_t idx = stack.back();
-        if (value[idx] != 2) {
-            stack.pop_back();
+    // Iterative post-order evaluation; slot holds the node's value.
+    trav_.reset(nodes_.size());
+    trav_.set(0, 0);
+    stack_.clear();
+    stack_.push_back(root.nodeIndex());
+    while (!stack_.empty()) {
+        const std::uint32_t idx = stack_.back();
+        if (trav_.has(idx)) {
+            stack_.pop_back();
             continue;
         }
         const Node& n = nodes_[idx];
         if (n.extVar != kNoVar) {
-            value[idx] = (n.extVar < assignment.size() && assignment[n.extVar]) ? 1 : 0;
-            stack.pop_back();
+            trav_.set(idx, (n.extVar < assignment.size() && assignment[n.extVar]) ? 1 : 0);
+            stack_.pop_back();
             continue;
         }
         const std::uint32_t i0 = n.fanin0.nodeIndex();
         const std::uint32_t i1 = n.fanin1.nodeIndex();
-        if (value[i0] == 2) {
-            stack.push_back(i0);
+        if (!trav_.has(i0)) {
+            stack_.push_back(i0);
             continue;
         }
-        if (value[i1] == 2) {
-            stack.push_back(i1);
+        if (!trav_.has(i1)) {
+            stack_.push_back(i1);
             continue;
         }
-        const bool v0 = (value[i0] != 0) != n.fanin0.complemented();
-        const bool v1 = (value[i1] != 0) != n.fanin1.complemented();
-        value[idx] = (v0 && v1) ? 1 : 0;
-        stack.pop_back();
+        const bool v0 = (trav_.get(i0) != 0) != n.fanin0.complemented();
+        const bool v1 = (trav_.get(i1) != 0) != n.fanin1.complemented();
+        trav_.set(idx, (v0 && v1) ? 1 : 0);
+        stack_.pop_back();
     }
-    return (value[root.nodeIndex()] != 0) != root.complemented();
+    return (trav_.get(root.nodeIndex()) != 0) != root.complemented();
 }
 
 std::uint64_t Aig::simulate(AigEdge root,
                             const std::unordered_map<Var, std::uint64_t>& inputWords) const
 {
-    std::vector<std::uint64_t> word(nodes_.size(), 0);
-    std::vector<std::uint8_t> done(nodes_.size(), 0);
-    done[0] = 1; // constant: all-zero word (FALSE)
-    std::vector<std::uint32_t> stack{root.nodeIndex()};
-    while (!stack.empty()) {
-        const std::uint32_t idx = stack.back();
-        if (done[idx]) {
-            stack.pop_back();
+    // Iterative post-order simulation; slot holds the node's 64-bit word.
+    trav_.reset(nodes_.size());
+    trav_.set(0, 0); // constant: all-zero word (FALSE)
+    stack_.clear();
+    stack_.push_back(root.nodeIndex());
+    while (!stack_.empty()) {
+        const std::uint32_t idx = stack_.back();
+        if (trav_.has(idx)) {
+            stack_.pop_back();
             continue;
         }
         const Node& n = nodes_[idx];
         if (n.extVar != kNoVar) {
             auto it = inputWords.find(n.extVar);
-            word[idx] = (it != inputWords.end()) ? it->second : 0;
-            done[idx] = 1;
+            trav_.set(idx, (it != inputWords.end()) ? it->second : 0);
+            stack_.pop_back();
+            continue;
+        }
+        const std::uint32_t i0 = n.fanin0.nodeIndex();
+        const std::uint32_t i1 = n.fanin1.nodeIndex();
+        if (!trav_.has(i0)) {
+            stack_.push_back(i0);
+            continue;
+        }
+        if (!trav_.has(i1)) {
+            stack_.push_back(i1);
+            continue;
+        }
+        const std::uint64_t w0 = n.fanin0.complemented() ? ~trav_.get(i0) : trav_.get(i0);
+        const std::uint64_t w1 = n.fanin1.complemented() ? ~trav_.get(i1) : trav_.get(i1);
+        trav_.set(idx, w0 & w1);
+        stack_.pop_back();
+    }
+    const std::uint64_t w = trav_.get(root.nodeIndex());
+    return root.complemented() ? ~w : w;
+}
+
+AigEdge Aig::cofactorInto(Aig& dst, AigEdge root, Var v, bool value) const
+{
+    // Thread-safety contract: read-only on *this*, local scratch only (no
+    // trav_/stack_/opCache_/stats_), all mutation confined to dst.
+    const AigEdge image = value ? dst.constTrue() : dst.constFalse();
+    std::vector<AigEdge> result(nodes_.size(), AigEdge());
+    result[0] = dst.constFalse();
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (result[idx].isValid()) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = nodes_[idx];
+        if (n.extVar != kNoVar) {
+            result[idx] = (n.extVar == v) ? image : dst.variable(n.extVar);
             stack.pop_back();
             continue;
         }
         const std::uint32_t i0 = n.fanin0.nodeIndex();
         const std::uint32_t i1 = n.fanin1.nodeIndex();
-        if (!done[i0]) {
+        if (!result[i0].isValid()) {
             stack.push_back(i0);
             continue;
         }
-        if (!done[i1]) {
+        if (!result[i1].isValid()) {
             stack.push_back(i1);
             continue;
         }
-        const std::uint64_t w0 = n.fanin0.complemented() ? ~word[i0] : word[i0];
-        const std::uint64_t w1 = n.fanin1.complemented() ? ~word[i1] : word[i1];
-        word[idx] = w0 & w1;
-        done[idx] = 1;
+        const AigEdge a = result[i0] ^ n.fanin0.complemented();
+        const AigEdge b = result[i1] ^ n.fanin1.complemented();
+        result[idx] = dst.mkAnd(a, b);
         stack.pop_back();
     }
-    const std::uint64_t w = word[root.nodeIndex()];
-    return root.complemented() ? ~w : w;
+    return result[root.nodeIndex()] ^ root.complemented();
+}
+
+AigEdge Aig::importCone(const Aig& src, AigEdge root)
+{
+    std::vector<AigEdge> result(src.nodes_.size(), AigEdge());
+    result[0] = constFalse();
+    std::vector<std::uint32_t> stack{root.nodeIndex()};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        if (result[idx].isValid()) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = src.nodes_[idx];
+        if (n.extVar != kNoVar) {
+            result[idx] = variable(n.extVar);
+            stack.pop_back();
+            continue;
+        }
+        const std::uint32_t i0 = n.fanin0.nodeIndex();
+        const std::uint32_t i1 = n.fanin1.nodeIndex();
+        if (!result[i0].isValid()) {
+            stack.push_back(i0);
+            continue;
+        }
+        if (!result[i1].isValid()) {
+            stack.push_back(i1);
+            continue;
+        }
+        const AigEdge a = result[i0] ^ n.fanin0.complemented();
+        const AigEdge b = result[i1] ^ n.fanin1.complemented();
+        result[idx] = mkAnd(a, b);
+        stack.pop_back();
+    }
+    return result[root.nodeIndex()] ^ root.complemented();
 }
 
 void Aig::garbageCollect(std::vector<AigEdge*> roots)
 {
+    const std::size_t oldSize = nodes_.size();
+    stats_.peakAllocatedNodes = std::max<std::uint64_t>(stats_.peakAllocatedNodes, oldSize);
+
     // Mark reachable nodes.
-    std::vector<bool> reachable(nodes_.size(), false);
+    std::vector<bool> reachable(oldSize, false);
     reachable[0] = true;
     std::vector<std::uint32_t> stack;
     for (AigEdge* r : roots) stack.push_back(r->nodeIndex());
@@ -247,13 +394,13 @@ void Aig::garbageCollect(std::vector<AigEdge*> roots)
         }
     }
 
-    // Rebuild node pool in index order (fanins always precede fanouts).
-    std::vector<std::uint32_t> remap(nodes_.size(), 0);
+    // Compact the node pool in index order (fanins always precede fanouts).
+    std::vector<std::uint32_t> remap(oldSize, 0);
     std::vector<Node> newNodes;
-    newNodes.reserve(nodes_.size());
-    std::unordered_map<std::uint64_t, std::uint32_t> newStrash;
+    newNodes.reserve(oldSize);
     std::unordered_map<Var, std::uint32_t> newInputs;
-    for (std::uint32_t idx = 0; idx < nodes_.size(); ++idx) {
+    std::size_t liveAnds = 0;
+    for (std::uint32_t idx = 0; idx < oldSize; ++idx) {
         if (!reachable[idx]) continue;
         const Node& n = nodes_[idx];
         const auto newIdx = static_cast<std::uint32_t>(newNodes.size());
@@ -262,18 +409,75 @@ void Aig::garbageCollect(std::vector<AigEdge*> roots)
         if (idx != 0 && n.extVar == kNoVar) {
             m.fanin0 = AigEdge(remap[n.fanin0.nodeIndex()], n.fanin0.complemented());
             m.fanin1 = AigEdge(remap[n.fanin1.nodeIndex()], n.fanin1.complemented());
-            newStrash.emplace(andKey(m.fanin0, m.fanin1), newIdx);
+            ++liveAnds;
         } else if (n.extVar != kNoVar) {
             newInputs.emplace(n.extVar, newIdx);
         }
         newNodes.push_back(m);
     }
     nodes_ = std::move(newNodes);
-    strash_ = std::move(newStrash);
     inputOfVar_ = std::move(newInputs);
+
+    // Rehash the strash over the surviving AND nodes at <= 0.5 load.
+    strash_.assign(nextPow2(liveAnds * 2 + 1, kStrashInitialSize), 0u);
+    strashCount_ = liveAnds;
+    for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+        if (nodes_[idx].extVar == kNoVar) strashInsertNew(idx);
+    }
+
+    // Remap surviving operation-cache entries instead of discarding them:
+    // an entry whose node, argument, and result cones all survived is still
+    // a valid memo under the new indices.
+    if (!opCache_.empty()) {
+        std::vector<OpEntry> newCache(opCache_.size());
+        for (const OpEntry& e : opCache_) {
+            if (e.key == kOpEmptyKey) continue;
+            const auto nodeIdx = static_cast<std::uint32_t>(e.key >> 32);
+            const AigEdge g = AigEdge::fromCode(static_cast<std::uint32_t>(e.key));
+            const AigEdge res = AigEdge::fromCode(e.res);
+            if (nodeIdx >= oldSize || !reachable[nodeIdx]) continue;
+            if (g.nodeIndex() >= oldSize || !reachable[g.nodeIndex()]) continue;
+            if (res.nodeIndex() >= oldSize || !reachable[res.nodeIndex()]) continue;
+            const std::uint32_t newNode = remap[nodeIdx];
+            const AigEdge newG = AigEdge(remap[g.nodeIndex()], g.complemented());
+            const AigEdge newRes = AigEdge(remap[res.nodeIndex()], res.complemented());
+            OpEntry m;
+            m.key = (static_cast<std::uint64_t>(newNode) << 32) | newG.code();
+            m.var = e.var;
+            m.res = newRes.code();
+            const std::size_t slot =
+                static_cast<std::size_t>(opHash(newNode, e.var, newG.code())) &
+                (newCache.size() - 1);
+            newCache[slot] = m;
+        }
+        opCache_ = std::move(newCache);
+    }
+
     for (AigEdge* r : roots) {
         *r = AigEdge(remap[r->nodeIndex()], r->complemented());
     }
+
+    ++stats_.gcRuns;
+    stats_.gcReclaimedNodes += oldSize - nodes_.size();
+    stats_.peakLiveNodes = std::max<std::uint64_t>(stats_.peakLiveNodes, nodes_.size());
+    publishKernelStats();
+}
+
+void Aig::publishKernelStats()
+{
+    stats_.peakAllocatedNodes = std::max<std::uint64_t>(stats_.peakAllocatedNodes, nodes_.size());
+    const AigKernelStats& s = stats_;
+    AigKernelStats& p = published_;
+    OBS_COUNT("aig.strash.probes", static_cast<std::int64_t>(s.strashProbes - p.strashProbes));
+    OBS_COUNT("aig.strash.resizes", static_cast<std::int64_t>(s.strashResizes - p.strashResizes));
+    OBS_COUNT("aig.opcache.hits", static_cast<std::int64_t>(s.opCacheHits - p.opCacheHits));
+    OBS_COUNT("aig.opcache.misses", static_cast<std::int64_t>(s.opCacheMisses - p.opCacheMisses));
+    OBS_COUNT("aig.gc.runs", static_cast<std::int64_t>(s.gcRuns - p.gcRuns));
+    OBS_COUNT("aig.gc.reclaimed",
+              static_cast<std::int64_t>(s.gcReclaimedNodes - p.gcReclaimedNodes));
+    OBS_GAUGE_MAX("aig.nodes.peak_live", static_cast<std::int64_t>(s.peakLiveNodes));
+    OBS_GAUGE_MAX("aig.nodes.peak_alloc", static_cast<std::int64_t>(s.peakAllocatedNodes));
+    published_ = stats_;
 }
 
 std::ostream& operator<<(std::ostream& os, AigEdge e)

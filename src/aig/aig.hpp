@@ -7,14 +7,35 @@
 // folding and structural hashing, so structurally identical functions share
 // nodes (full functional reduction — FRAIGing — is in fraig.hpp).
 //
+// The kernel follows the classic AIG/BDD-package disciplines (ABC's AIG
+// manager; CUDD's unique/computed tables):
+//   * the strash is a power-of-two open-addressing table in one flat
+//     vector (linear probing, value = node index + 1, 0 = empty);
+//   * traversals (substitute, cofactor, support, simulate, evaluate, the
+//     Theorem-6 unit/pure walk) run on a manager-owned, generation-stamped
+//     TraversalCache — bumping the generation invalidates in O(1), so the
+//     hot paths do no per-call heap allocation;
+//   * single-variable compose/cofactor results are memoized per *node* in
+//     a lossy direct-mapped operation cache that persists across calls
+//     (and across eliminations within one solver run) and is remapped —
+//     not discarded — by garbage collection;
+//   * garbageCollect is a mark-and-compact pass: callers register their
+//     live roots, dead cones are reclaimed, the strash is rehashed, and
+//     the registered AigEdge handles are rewired through a remap table.
+//
 // On top of the core the manager provides the operations HQS needs:
 // cofactor/compose/parallel substitution (quantify.cpp), single-variable
 // existential and universal quantification, support computation, evaluation
-// and 64-way parallel simulation, mark-and-rebuild garbage collection, the
-// Theorem-6 syntactic unit/pure detection (unit_pure.hpp), and a CNF bridge
-// (cnf_bridge.hpp).
+// and 64-way parallel simulation, the Theorem-6 syntactic unit/pure
+// detection (unit_pure.hpp), and a CNF bridge (cnf_bridge.hpp).
+//
+// Thread-safety: a manager is single-threaded, except for cofactorInto,
+// which is read-only on the source manager and uses only local scratch —
+// several threads may cofactor out of one frozen manager into private
+// destination managers concurrently (the Theorem-1 parallel path).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <unordered_map>
@@ -66,9 +87,72 @@ struct UnitPureInfo {
     std::vector<Var> negPure;
 };
 
+/// Reusable simultaneous-substitution map Var -> AigEdge for
+/// Aig::substitute.  Dense and generation-stamped: clear() is O(1) and
+/// leaves capacity in place, so one Substitution can be rebuilt every
+/// elimination without heap churn.  Obtain a manager-owned scratch instance
+/// through Aig::scratchSubstitution(), or hold your own.
+class Substitution {
+public:
+    Substitution() = default;
+
+    /// Map @p v to @p g (overwrites an earlier image of v).
+    void set(Var v, AigEdge g)
+    {
+        if (v >= stamp_.size()) {
+            stamp_.resize(v + 1, 0);
+            image_.resize(v + 1);
+        }
+        if (stamp_[v] != gen_) {
+            stamp_[v] = gen_;
+            domain_.push_back(v);
+        }
+        image_[v] = g;
+    }
+
+    /// Forget every mapping; capacity is retained.
+    void clear()
+    {
+        domain_.clear();
+        if (++gen_ == 0) {
+            std::fill(stamp_.begin(), stamp_.end(), 0u);
+            gen_ = 1;
+        }
+    }
+
+    bool empty() const { return domain_.empty(); }
+    std::size_t size() const { return domain_.size(); }
+    bool maps(Var v) const { return v < stamp_.size() && stamp_[v] == gen_; }
+    /// Image of @p v (precondition: maps(v)).
+    AigEdge image(Var v) const { return image_[v]; }
+    /// Mapped variables in insertion order.
+    const std::vector<Var>& domain() const { return domain_; }
+
+private:
+    std::vector<std::uint32_t> stamp_;
+    std::vector<AigEdge> image_;
+    std::vector<Var> domain_;
+    std::uint32_t gen_ = 1;
+};
+
+/// Cumulative kernel instrumentation (monotonic over the manager's life).
+/// Mirrored into the obs registry as aig.strash.*, aig.opcache.*, aig.gc.*
+/// and the aig.nodes.peak_* gauges by publishKernelStats()/garbageCollect.
+struct AigKernelStats {
+    std::uint64_t strashProbes = 0;   ///< table slots inspected by mkAnd
+    std::uint64_t strashResizes = 0;  ///< doublings of the strash table
+    std::uint64_t opCacheHits = 0;    ///< per-node compose/cofactor hits
+    std::uint64_t opCacheMisses = 0;  ///< per-node compose/cofactor misses
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcReclaimedNodes = 0;
+    std::uint64_t peakLiveNodes = 0;  ///< max live nodes seen at a GC mark
+    std::uint64_t peakAllocatedNodes = 0; ///< max pool size ever
+};
+
 class SatSolver; // cnf_bridge / fraig use the SAT solver
 
-/// AIG manager: owns the node pool and the structural-hashing table.
+/// AIG manager: owns the node pool, the structural-hashing table, the
+/// traversal cache, and the compose/cofactor operation cache.
 class Aig {
 public:
     Aig();
@@ -107,16 +191,39 @@ public:
     AigEdge mkOrN(const std::vector<AigEdge>& es);
 
     // ----- substitution and quantification (quantify.cpp) -------------------
-    /// phi[value/v].
+    /// phi[value/v].  Memoized per node in the operation cache.
     AigEdge cofactor(AigEdge root, Var v, bool value);
-    /// phi[g/v] (single composition).
+    /// phi[g/v] (single composition).  Memoized per node in the operation
+    /// cache.
     AigEdge compose(AigEdge root, Var v, AigEdge g);
-    /// Simultaneous substitution var -> function for every map entry.
+    /// Simultaneous substitution var -> function for every entry of @p sub.
+    AigEdge substitute(AigEdge root, const Substitution& sub);
+    /// Deprecated map-based overload; builds a Substitution and forwards.
+    [[deprecated("pass a hqs::Substitution (see README migration note)")]]
     AigEdge substitute(AigEdge root, const std::unordered_map<Var, AigEdge>& map);
     /// ∃v. phi  =  phi[0/v] | phi[1/v].
     AigEdge existsVar(AigEdge root, Var v);
     /// ∀v. phi  =  phi[0/v] & phi[1/v].
     AigEdge forallVar(AigEdge root, Var v);
+
+    /// Manager-owned scratch Substitution, cleared on every call.  The
+    /// returned reference stays valid until the manager dies; do not nest
+    /// two scratchSubstitution() builds.
+    Substitution& scratchSubstitution()
+    {
+        scratchSub_.clear();
+        return scratchSub_;
+    }
+
+    // ----- cross-manager rebuilds (parallel Theorem-1 path) -----------------
+    /// Rebuild the cone of @p root inside @p dst with @p v fixed to
+    /// @p value; inputs carry over by external variable.  Read-only on
+    /// *this* and allocation-local: several threads may call it on one
+    /// frozen source manager concurrently, each with a private @p dst.
+    AigEdge cofactorInto(Aig& dst, AigEdge root, Var v, bool value) const;
+    /// Copy the cone of @p root from @p src into this manager (structural
+    /// hashing deduplicates against existing nodes).
+    AigEdge importCone(const Aig& src, AigEdge root);
 
     // ----- inspection -------------------------------------------------------
     /// External variables the cone of @p root structurally depends on
@@ -140,9 +247,19 @@ public:
     UnitPureInfo detectUnitPure(AigEdge root) const;
 
     // ----- garbage collection ----------------------------------------------
-    /// Drop every node not reachable from @p roots, rebuilding the manager.
-    /// The edges in @p roots are updated in place.
+    /// Drop every node not reachable from @p roots, rebuilding the node
+    /// pool, rehashing the strash, and remapping surviving operation-cache
+    /// entries.  The edges in @p roots are updated in place.
     void garbageCollect(std::vector<AigEdge*> roots);
+
+    // ----- instrumentation --------------------------------------------------
+    const AigKernelStats& kernelStats() const { return stats_; }
+    /// Push the deltas since the last publish into the obs registry
+    /// (aig.strash.probes, aig.strash.resizes, aig.opcache.hits,
+    /// aig.opcache.misses, aig.gc.runs, aig.gc.reclaimed and the
+    /// aig.nodes.peak_live / aig.nodes.peak_alloc gauges).  Called by
+    /// garbageCollect; call once more when a solve finishes.
+    void publishKernelStats();
 
 private:
     struct Node {
@@ -151,18 +268,82 @@ private:
         Var extVar = kNoVar; // set for input nodes only
     };
 
+    /// Generation-stamped dense per-node scratch: reset() bumps the
+    /// generation (O(1)) instead of clearing, and sizes the arrays to the
+    /// current pool.  Slots hold whatever the traversal needs (an edge
+    /// code, a simulation word, mark bits).  Not reentrant: one traversal
+    /// at a time (traversals never call other traversals).
+    struct TraversalCache {
+        std::vector<std::uint32_t> stamp;
+        std::vector<std::uint64_t> slot;
+        std::uint32_t gen = 0;
+
+        void reset(std::size_t n)
+        {
+            if (stamp.size() < n) {
+                stamp.resize(n, 0u);
+                slot.resize(n);
+            }
+            if (++gen == 0) {
+                std::fill(stamp.begin(), stamp.end(), 0u);
+                gen = 1;
+            }
+        }
+        bool has(std::uint32_t i) const { return stamp[i] == gen; }
+        std::uint64_t get(std::uint32_t i) const { return slot[i]; }
+        void set(std::uint32_t i, std::uint64_t v)
+        {
+            stamp[i] = gen;
+            slot[i] = v;
+        }
+        void orBits(std::uint32_t i, std::uint64_t bits)
+        {
+            if (stamp[i] == gen) {
+                slot[i] |= bits;
+            } else {
+                stamp[i] = gen;
+                slot[i] = bits;
+            }
+        }
+    };
+
+    /// One lossy direct-mapped computed-table entry for single-variable
+    /// substitution: node `idx` with `v := g` rebuilt as edge `res`.
+    struct OpEntry {
+        std::uint64_t key = kOpEmptyKey; // (node index << 32) | g.code
+        std::uint32_t var = 0;
+        std::uint32_t res = 0;
+    };
+    static constexpr std::uint64_t kOpEmptyKey = ~0ull;
+
     AigEdge mkAndRaw(AigEdge a, AigEdge b);
 
-    static std::uint64_t andKey(AigEdge a, AigEdge b)
-    {
-        return (static_cast<std::uint64_t>(a.code()) << 32) | b.code();
-    }
+    // strash helpers (aig.cpp)
+    void strashGrow();
+    void strashInsertNew(std::uint32_t idx); ///< insert without duplicate check
+    static std::uint64_t strashHash(std::uint32_t aCode, std::uint32_t bCode);
+
+    // op-cache helpers (quantify.cpp)
+    static std::uint64_t opHash(std::uint32_t nodeIdx, Var v, std::uint32_t gCode);
+    bool opLookup(std::uint32_t idx, Var v, std::uint32_t gCode, std::uint32_t* resCode);
+    void opInsert(std::uint32_t idx, Var v, std::uint32_t gCode, std::uint32_t resCode);
+    AigEdge substituteOne(AigEdge root, Var v, AigEdge g);
+    template <class Lookup> AigEdge substituteImpl(AigEdge root, Lookup&& lookup);
 
     const Node& node(AigEdge e) const { return nodes_[e.nodeIndex()]; }
 
     std::vector<Node> nodes_;
-    std::unordered_map<std::uint64_t, std::uint32_t> strash_; // (f0,f1) -> node
+    std::vector<std::uint32_t> strash_; ///< pow2 open addressing; node index + 1; 0 empty
+    std::size_t strashCount_ = 0;       ///< AND nodes stored in strash_
     std::unordered_map<Var, std::uint32_t> inputOfVar_;
+
+    mutable TraversalCache trav_;
+    mutable std::vector<std::uint32_t> stack_; ///< reused DFS stack (same non-reentrancy rule)
+    std::vector<OpEntry> opCache_;             ///< lazily sized to kOpCacheSize
+    Substitution scratchSub_;
+
+    AigKernelStats stats_;
+    AigKernelStats published_; ///< stats_ snapshot at the last obs publish
 
     friend class AigCnfBridge;
 };

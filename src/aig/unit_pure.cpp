@@ -12,10 +12,19 @@
 //     edge (the "only negation right at the variable" case)
 //   * positive pure  iff reachEven and not reachOdd
 //   * negative pure  iff reachOdd  and not reachEven
-// Cost: O(|phi| + |V|), as stated in the paper.
+// Cost: O(|phi| + |V|), as stated in the paper.  The per-node flags live
+// as bits in the manager's generation-stamped TraversalCache, so the sweep
+// allocates nothing.
 #include "src/aig/aig.hpp"
 
 namespace hqs {
+
+namespace {
+constexpr std::uint64_t kReachEven = 1;
+constexpr std::uint64_t kReachOdd = 2;
+constexpr std::uint64_t kClean = 4;
+constexpr std::uint64_t kNegUnit = 8;
+} // namespace
 
 UnitPureInfo Aig::detectUnitPure(AigEdge root) const
 {
@@ -23,43 +32,42 @@ UnitPureInfo Aig::detectUnitPure(AigEdge root) const
     if (isConstant(root)) return info;
 
     const std::uint32_t rootIdx = root.nodeIndex();
-    std::vector<std::uint8_t> reachEven(rootIdx + 1, 0);
-    std::vector<std::uint8_t> reachOdd(rootIdx + 1, 0);
-    std::vector<std::uint8_t> clean(rootIdx + 1, 0);
-    std::vector<std::uint8_t> negUnit(rootIdx + 1, 0);
+    trav_.reset(nodes_.size());
 
     if (root.complemented()) {
-        reachOdd[rootIdx] = 1;
+        std::uint64_t bits = kReachOdd;
         // phi = ~v: assigning v = 1 falsifies phi, so v is negative unit.
-        if (nodes_[rootIdx].extVar != kNoVar) negUnit[rootIdx] = 1;
+        if (nodes_[rootIdx].extVar != kNoVar) bits |= kNegUnit;
+        trav_.set(rootIdx, bits);
     } else {
-        reachEven[rootIdx] = 1;
-        clean[rootIdx] = 1;
+        trav_.set(rootIdx, kReachEven | kClean);
     }
 
     for (std::uint32_t idx = rootIdx; idx > 0; --idx) {
-        if (!reachEven[idx] && !reachOdd[idx]) continue; // outside the cone
+        if (!trav_.has(idx)) continue; // outside the cone
+        const std::uint64_t bits = trav_.get(idx);
+        if ((bits & (kReachEven | kReachOdd)) == 0) continue;
         const Node& n = nodes_[idx];
         if (n.extVar != kNoVar) {
             const Var v = n.extVar;
-            if (clean[idx]) info.posUnit.push_back(v);
-            if (negUnit[idx]) info.negUnit.push_back(v);
-            if (reachEven[idx] && !reachOdd[idx]) info.posPure.push_back(v);
-            if (reachOdd[idx] && !reachEven[idx]) info.negPure.push_back(v);
+            if (bits & kClean) info.posUnit.push_back(v);
+            if (bits & kNegUnit) info.negUnit.push_back(v);
+            if ((bits & kReachEven) && !(bits & kReachOdd)) info.posPure.push_back(v);
+            if ((bits & kReachOdd) && !(bits & kReachEven)) info.negPure.push_back(v);
             continue;
         }
         for (const AigEdge f : {n.fanin0, n.fanin1}) {
             const std::uint32_t child = f.nodeIndex();
             if (child == 0) continue; // constant
+            std::uint64_t childBits = 0;
             if (f.complemented()) {
-                if (reachEven[idx]) reachOdd[child] = 1;
-                if (reachOdd[idx]) reachEven[child] = 1;
-                if (clean[idx] && nodes_[child].extVar != kNoVar) negUnit[child] = 1;
+                if (bits & kReachEven) childBits |= kReachOdd;
+                if (bits & kReachOdd) childBits |= kReachEven;
+                if ((bits & kClean) && nodes_[child].extVar != kNoVar) childBits |= kNegUnit;
             } else {
-                if (reachEven[idx]) reachEven[child] = 1;
-                if (reachOdd[idx]) reachOdd[child] = 1;
-                if (clean[idx]) clean[child] = 1;
+                childBits |= bits & (kReachEven | kReachOdd | kClean);
             }
+            if (childBits != 0) trav_.orBits(child, childBits);
         }
     }
     return info;

@@ -1,12 +1,15 @@
 #include "src/dqbf/hqs_solver.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/aig/cnf_bridge.hpp"
 #include "src/aig/fraig.hpp"
 #include "src/obs/obs.hpp"
+#include "src/runtime/thread_pool.hpp"
 #include "src/sat/sat_solver.hpp"
 #include "src/dqbf/dependency_graph.hpp"
 #include "src/qbf/bdd_qbf_solver.hpp"
@@ -100,6 +103,8 @@ SolveResult HqsSolver::solve(DqbfFormula f)
     auto finish = [&](SolveResult r, const char* stage) {
         stats_.totalMilliseconds = total.elapsedMilliseconds();
         stats_.decidedBy = stage;
+        stats_.aigKernel = aig.kernelStats();
+        aig.publishKernelStats();
         if (r == SolveResult::Sat && rec) {
             skolemCertificate_ = reconstructSkolem(*original, aigPtr, *recorder);
         }
@@ -177,36 +182,44 @@ SolveResult HqsSolver::solve(DqbfFormula f)
 
     // ----- helpers for the main loop -----------------------------------------
     std::size_t lastFraigSize = 0;
-    auto housekeeping = [&]() -> SolveResult {
-        const std::size_t cone = aig.coneSize(matrix);
-        stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
-        OBS_GAUGE_MAX("aig.peak_cone", cone);
-        if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
-        if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
-        if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
-            FraigOptions fopts;
-            fopts.deadline = opts_.deadline;
-            matrix = fraigReduce(aig, matrix, fopts);
-            lastFraigSize = aig.coneSize(matrix);
-            ++stats_.fraigRuns;
-        }
-        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
-            std::vector<AigEdge*> roots{&matrix};
-            if (rec) rec->appendGcRoots(roots);
-            aig.garbageCollect(std::move(roots));
-        }
-        return SolveResult::Unknown;
+    auto collectGarbage = [&]() {
+        std::vector<AigEdge*> roots{&matrix};
+        if (rec) rec->appendGcRoots(roots);
+        aig.garbageCollect(std::move(roots));
     };
 
     // Each cofactor in the loops below leaves O(cone) garbage; without
     // collection a long unit/pure chain multiplies memory by the number of
     // eliminations.  Collect whenever garbage dominates.
     auto collectIfBloated = [&]() {
-        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
-            std::vector<AigEdge*> roots{&matrix};
-            if (rec) rec->appendGcRoots(roots);
-            aig.garbageCollect(std::move(roots));
+        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) collectGarbage();
+    };
+
+    auto housekeeping = [&]() -> SolveResult {
+        const std::size_t cone = aig.coneSize(matrix);
+        stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
+        OBS_GAUGE_MAX("aig.peak_cone", cone);
+        if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
+        // The node limit is a *live*-node budget.  The live cone alone
+        // over budget is a definitive memout; a pool over budget may be
+        // mostly garbage, so compact before judging (a shrinking AIG with a
+        // long allocation history must not trip the limit).
+        if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
+        if (opts_.nodeLimit != 0 && aig.numNodes() > opts_.nodeLimit) {
+            collectGarbage();
+            if (aig.numNodes() > opts_.nodeLimit) return SolveResult::Memout;
         }
+        if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
+            FraigOptions fopts;
+            fopts.deadline = opts_.deadline;
+            matrix = fraigReduce(aig, matrix, fopts);
+            lastFraigSize = aig.coneSize(matrix);
+            ++stats_.fraigRuns;
+            // The sweep strands the entire pre-sweep cone as garbage.
+            if (aig.numNodes() > 2 * lastFraigSize + 1000) collectGarbage();
+        }
+        collectIfBloated();
+        return SolveResult::Unknown;
     };
 
     // Theorem 5 applied to Theorem-6 detections.  Returns Unsat on a
@@ -360,21 +373,85 @@ SolveResult HqsSolver::solve(DqbfFormula f)
         {
             OBS_PHASE(unSpan, "hqs.elim_universal", "phase.elim_universal.us");
             const std::size_t nodesBefore = aig.numNodes();
-            const AigEdge cof0 = aig.cofactor(matrix, pick, false);
-            if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
-            AigEdge cof1 = aig.cofactor(matrix, pick, true);
+            const std::size_t cone = aig.coneSize(matrix);
+            AigEdge cof0, cof1;
+            bool built = false;
+            if (opts_.parallelCofactorNodes != 0 && cone >= opts_.parallelCofactorNodes) {
+                // Build the two cofactors concurrently: the manager is
+                // frozen while two cofactorInto traversals rebuild into
+                // private side managers (read-only on the source, local
+                // scratch), then both cones are imported back sequentially
+                // — structural hashing re-establishes sharing.  The helper
+                // pool is process-wide and never runs solves, so blocking
+                // on the future cannot deadlock a solve pool.
+                // Hand the result back through an explicit mutex/condvar
+                // slot rather than std::promise: libstdc++'s future-ready
+                // flag is an atomic futex that uninstrumented TSan builds
+                // cannot see, which turns this (correct) handoff into a
+                // false race report.
+                Aig side0, side1;
+                struct CofactorSlot {
+                    std::mutex mu;
+                    std::condition_variable ready;
+                    bool done = false;
+                    AigEdge result;
+                    std::exception_ptr error;
+                } slot;
+                const bool dispatched = ThreadPool::sharedHelperPool().submit([&] {
+                    AigEdge e;
+                    std::exception_ptr err;
+                    try {
+                        e = aig.cofactorInto(side1, matrix, pick, true);
+                    } catch (...) {
+                        err = std::current_exception();
+                    }
+                    std::lock_guard<std::mutex> lock(slot.mu);
+                    slot.result = e;
+                    slot.error = err;
+                    slot.done = true;
+                    slot.ready.notify_one();
+                });
+                if (dispatched) {
+                    auto awaitWorker = [&slot] {
+                        std::unique_lock<std::mutex> lock(slot.mu);
+                        slot.ready.wait(lock, [&slot] { return slot.done; });
+                    };
+                    AigEdge e0;
+                    try {
+                        e0 = aig.cofactorInto(side0, matrix, pick, false);
+                    } catch (...) {
+                        // The worker still holds references into this frame;
+                        // wait for it to resolve before unwinding.
+                        awaitWorker();
+                        throw;
+                    }
+                    awaitWorker();
+                    if (slot.error) std::rethrow_exception(slot.error);
+                    cof0 = aig.importCone(side0, e0);
+                    cof1 = aig.importCone(side1, slot.result);
+                    ++stats_.parallelCofactorBuilds;
+                    OBS_COUNT("hqs.elim.parallel_cofactor", 1);
+                    built = true;
+                }
+            }
+            if (!built) {
+                cof0 = aig.cofactor(matrix, pick, false);
+                if (opts_.deadline.expired())
+                    return finish(deadlineExceededResult(opts_.deadline), "elimination");
+                cof1 = aig.cofactor(matrix, pick, true);
+            }
             if (opts_.deadline.expired()) return finish(deadlineExceededResult(opts_.deadline), "elimination");
             const std::vector<Var> supp1 = aig.support(cof1);
             const std::unordered_set<Var> supp1Set(supp1.begin(), supp1.end());
 
-            std::unordered_map<Var, AigEdge> renaming;
+            Substitution& renaming = aig.scratchSubstitution();
             SkolemRecorder::UniversalSplit split{pick, {}};
             for (Var y : std::vector<Var>(f.dependersOf(pick))) {
                 if (!supp1Set.contains(y)) continue; // a copy would not occur
                 std::vector<Var> deps = f.dependencies(y);
                 std::erase(deps, pick);
                 const Var fresh = f.addExistential(std::move(deps));
-                renaming.emplace(y, aig.variable(fresh));
+                renaming.set(y, aig.variable(fresh));
                 split.copies.emplace_back(y, fresh);
                 ++stats_.copiesIntroduced;
             }
@@ -392,6 +469,8 @@ SolveResult HqsSolver::solve(DqbfFormula f)
             OBS_OBSERVE("hqs.elim.node_delta", delta);
             unSpan.arg("copies", copies);
             unSpan.arg("node_delta", delta);
+            // The Theorem-1 rebuild strands both cofactor sources.
+            collectIfBloated();
         }
     }
 

@@ -50,8 +50,16 @@ struct HqsOptions {
     /// FRAIG sweeping during the main loop and the backend.
     bool fraig = true;
     std::size_t fraigThresholdNodes = 10000;
-    /// AND-node budget standing in for the paper's 8 GB memout (0 = none).
+    /// Live-AIG-node budget standing in for the paper's 8 GB memout
+    /// (0 = none).  Compared against *live* nodes: when the pool crosses
+    /// the limit the solver garbage-collects first and only reports Memout
+    /// if the reachable graph itself is over budget — a shrinking AIG with
+    /// a large allocation history never trips it.
     std::size_t nodeLimit = 0;
+    /// Build the two Theorem-1 cofactors concurrently on the shared helper
+    /// pool when the matrix cone is at least this many AND nodes
+    /// (0 disables the parallel path).
+    std::size_t parallelCofactorNodes = 50000;
     Deadline deadline = Deadline::unlimited();
 
     /// Backend for the linearized QBF.  BddElimination converts the AIG
@@ -84,7 +92,12 @@ struct HqsStats {
 
     std::size_t peakConeSize = 0;
     std::size_t fraigRuns = 0;
+    std::size_t parallelCofactorBuilds = 0; ///< Theorem-1 pairs built on the pool
     double totalMilliseconds = 0.0;
+
+    /// Snapshot of the AIG manager's kernel counters at the end of solve
+    /// (strash probes/resizes, op-cache hits, GC runs, peak live nodes).
+    AigKernelStats aigKernel;
 
     bool usedQbfBackend = false;
     AigQbfStats qbfStats;

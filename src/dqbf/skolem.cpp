@@ -141,8 +141,8 @@ bool verifySkolemCertificate(const DqbfFormula& f, const SkolemCertificate& cert
         return layer[0];
     };
 
-    std::unordered_map<Var, AigEdge> subst;
-    for (const SkolemFunction& s : cert.functions) subst.emplace(s.var, tableAig(s));
+    Substitution& subst = aig.scratchSubstitution();
+    for (const SkolemFunction& s : cert.functions) subst.set(s.var, tableAig(s));
     const AigEdge substituted = aig.substitute(matrix, subst);
 
     // No existential variable may survive the substitution.

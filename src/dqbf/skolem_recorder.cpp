@@ -73,9 +73,9 @@ AigSkolemCertificate reconstructSkolem(const DqbfFormula& original, std::shared_
                 } else if constexpr (std::is_same_v<T, SkolemRecorder::Exists>) {
                     // Replace every existential in the stored cofactor by
                     // its (later-eliminated, hence already known) Skolem.
-                    std::unordered_map<Var, AigEdge> subst;
+                    Substitution& subst = mgr.scratchSubstitution();
                     for (Var v : mgr.support(r.cofactor1)) {
-                        if (!original.isUniversal(v)) subst.emplace(v, lookup(v));
+                        if (!original.isUniversal(v)) subst.set(v, lookup(v));
                     }
                     skolem[r.var] = mgr.substitute(r.cofactor1, subst);
                 } else if constexpr (std::is_same_v<T, SkolemRecorder::UniversalSplit>) {
@@ -101,7 +101,7 @@ bool verifyAigSkolemCertificate(const DqbfFormula& f, const AigSkolemCertificate
 {
     Aig& mgr = *cert.aig;
 
-    std::unordered_map<Var, AigEdge> subst;
+    Substitution& subst = mgr.scratchSubstitution();
     for (Var y : f.existentials()) {
         auto it = cert.functions.find(y);
         if (it == cert.functions.end()) return false;
@@ -109,7 +109,7 @@ bool verifyAigSkolemCertificate(const DqbfFormula& f, const AigSkolemCertificate
         for (Var v : mgr.support(it->second)) {
             if (!f.dependsOn(y, v)) return false;
         }
-        subst.emplace(y, it->second);
+        subst.set(y, it->second);
     }
 
     AigEdge matrix = buildFromCnf(mgr, f.matrix());

@@ -129,11 +129,11 @@ SolveResult IdqSolver::solve(const DqbfFormula& f)
         // Candidate Skolem table from the ground model; unseen entries
         // default to false.  Build val_y(sigma) = OR over true table rows of
         // "sigma|D_y == tau".
-        std::unordered_map<Var, AigEdge> skolemOf;
-        for (Var y : f.existentials()) skolemOf.emplace(y, aig.constFalse());
+        Substitution& skolemOf = aig.scratchSubstitution();
+        for (Var y : f.existentials()) skolemOf.set(y, aig.constFalse());
         for (Var v = 0; v < f.matrix().numVars(); ++v) {
             if (f.kindOf(v) == DqbfVarKind::Unquantified) {
-                skolemOf.emplace(v, aig.constFalse());
+                skolemOf.set(v, aig.constFalse());
             }
         }
         for (const auto& [key, satVar] : copyVar) {
@@ -144,7 +144,7 @@ SolveResult IdqSolver::solve(const DqbfFormula& f)
             for (std::size_t i = 0; i < deps.size(); ++i) {
                 match = aig.mkAnd(match, aig.variable(deps[i]) ^ !tau[i]);
             }
-            skolemOf[y] = aig.mkOr(skolemOf[y], match);
+            skolemOf.set(y, aig.mkOr(skolemOf.image(y), match));
         }
 
         // Counterexample search: a universal assignment falsifying the

@@ -240,7 +240,10 @@ void writeBenchMicroJson(std::ostream& os, const BenchMicroReport& report)
 {
     JsonWriter w(os);
     w.beginObject();
-    w.key("schema").value("hqs-bench-micro/v1");
+    // v2: the benchmark list grew the AIG-kernel rows (strash hit path,
+    // Substitution-based compose, mark-compact GC) introduced with the
+    // dense-strash manager.
+    w.key("schema").value("hqs-bench-micro/v2");
     w.key("overhead_ns").beginObject();
     for (const auto& [name, ns] : report.overheadNs) w.key(name).value(ns);
     w.endObject();

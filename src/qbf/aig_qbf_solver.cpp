@@ -54,24 +54,35 @@ SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
         stats_.peakConeSize = std::max(stats_.peakConeSize, aig.coneSize(matrix));
     };
 
+    auto collectGarbage = [&]() {
+        std::vector<AigEdge*> roots{&matrix};
+        if (opts_.recorder) opts_.recorder->appendGcRoots(roots);
+        aig.garbageCollect(std::move(roots));
+    };
+
     // Returns Unknown to continue, or a final resource-limit result.
     auto housekeeping = [&]() -> SolveResult {
         const std::size_t cone = aig.coneSize(matrix);
         stats_.peakConeSize = std::max(stats_.peakConeSize, cone);
         if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
+        // nodeLimit is a *live*-node budget: the cone is a lower bound on
+        // live nodes, so an oversized cone is an immediate memout, while a
+        // bloated pool gets one garbage collection before the verdict.
         if (opts_.nodeLimit != 0 && cone > opts_.nodeLimit) return SolveResult::Memout;
+        if (opts_.nodeLimit != 0 && aig.numNodes() > opts_.nodeLimit) {
+            collectGarbage();
+            if (aig.numNodes() > opts_.nodeLimit) return SolveResult::Memout;
+        }
         if (opts_.fraig && cone > opts_.fraigThresholdNodes && cone > 2 * lastFraigSize) {
             FraigOptions fopts;
             fopts.deadline = opts_.deadline;
             matrix = fraigReduce(aig, matrix, fopts);
             lastFraigSize = aig.coneSize(matrix);
             ++stats_.fraigRuns;
+            // FRAIG merges strand the losing cones; reclaim them eagerly.
+            if (aig.numNodes() > 2 * lastFraigSize + 1000) collectGarbage();
         }
-        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
-            std::vector<AigEdge*> roots{&matrix};
-            if (opts_.recorder) opts_.recorder->appendGcRoots(roots);
-            aig.garbageCollect(std::move(roots));
-        }
+        if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) collectGarbage();
         return SolveResult::Unknown;
     };
 
@@ -82,11 +93,7 @@ SolveResult AigQbfSolver::solve(Aig& aig, AigEdge matrix, QbfPrefix prefix)
         bool changed = true;
         while (changed && !aig.isConstant(matrix) && !opts_.deadline.expired()) {
             changed = false;
-            if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) {
-                std::vector<AigEdge*> roots{&matrix};
-                if (opts_.recorder) opts_.recorder->appendGcRoots(roots);
-                aig.garbageCollect(std::move(roots));
-            }
+            if (aig.numNodes() > 4 * aig.coneSize(matrix) + 20000) collectGarbage();
             const UnitPureInfo info = aig.detectUnitPure(matrix);
             // Units first: a universal unit decides the formula.
             for (const auto& [vars, positive] :

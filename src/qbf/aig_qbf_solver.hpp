@@ -28,8 +28,9 @@ struct AigQbfOptions {
     /// threshold (and has doubled since the last sweep).
     bool fraig = true;
     std::size_t fraigThresholdNodes = 10000;
-    /// Abort with Memout when the matrix cone exceeds this many AND nodes
-    /// (0 = unlimited).  Proxy for the paper's 8 GB memory limit.
+    /// Live-AIG-node budget (0 = unlimited), the proxy for the paper's 8 GB
+    /// memory limit.  Checked against the matrix cone and — after a garbage
+    /// collection — the node pool, so stranded allocations never trip it.
     std::size_t nodeLimit = 0;
     Deadline deadline = Deadline::unlimited();
     /// When set, existential eliminations are logged for Skolem

@@ -1,0 +1,118 @@
+#include "src/runtime/api.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace hqs::api {
+
+const char* toString(EngineSpec::Kind kind)
+{
+    switch (kind) {
+        case EngineSpec::Kind::Hqs: return "hqs";
+        case EngineSpec::Kind::HqsBdd: return "hqs-bdd";
+        case EngineSpec::Kind::Idq: return "idq";
+        case EngineSpec::Kind::Expand: return "expand";
+        case EngineSpec::Kind::Portfolio: return "portfolio";
+    }
+    return "?";
+}
+
+std::optional<EngineSpec> parseEngineSpec(const std::string& text)
+{
+    EngineSpec spec;
+    if (text.empty() || text == "hqs") return spec;
+    if (text == "hqs-bdd") {
+        spec.kind = EngineSpec::Kind::HqsBdd;
+        return spec;
+    }
+    if (text == "idq") {
+        spec.kind = EngineSpec::Kind::Idq;
+        return spec;
+    }
+    if (text == "expand") {
+        spec.kind = EngineSpec::Kind::Expand;
+        return spec;
+    }
+    if (text == "portfolio") {
+        spec.kind = EngineSpec::Kind::Portfolio;
+        return spec;
+    }
+    if (text.rfind("portfolio:", 0) == 0) {
+        std::size_t n = 0;
+        if (!parseSize(text.substr(10), &n) || n == 0) return std::nullopt;
+        spec.kind = EngineSpec::Kind::Portfolio;
+        spec.portfolioEngines = n;
+        return spec;
+    }
+    return std::nullopt;
+}
+
+std::vector<RequestError> SolveRequest::validate() const
+{
+    std::vector<RequestError> errors;
+    if (!parsedEngine()) {
+        errors.push_back({"engine", "unknown engine \"" + engine +
+                                        "\" (hqs | hqs-bdd | idq | expand | "
+                                        "portfolio[:N])"});
+    }
+    // The one non-finite/negative budget gate: every front end funnels its
+    // timeout here, whether it arrived as --timeout seconds, a timeout-ms
+    // header, or a JSONL field.
+    if (!std::isfinite(timeoutSeconds)) {
+        errors.push_back({"timeout", "timeout must be finite"});
+    } else if (timeoutSeconds < 0) {
+        errors.push_back({"timeout", "timeout must be >= 0"});
+    }
+    return errors;
+}
+
+std::string SolveRequest::firstError() const
+{
+    const std::vector<RequestError> errors = validate();
+    if (errors.empty()) return {};
+    return errors.front().field + ": " + errors.front().message;
+}
+
+bool parseSeconds(const std::string& text, double* out)
+{
+    if (text.empty()) return false;
+    try {
+        std::size_t pos = 0;
+        *out = std::stod(text, &pos);
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parseMilliseconds(const std::string& text, double* outSeconds)
+{
+    double ms = 0;
+    if (!parseSeconds(text, &ms)) return false;
+    *outSeconds = ms / 1000.0;
+    return true;
+}
+
+bool parseSize(const std::string& text, std::size_t* out)
+{
+    if (text.empty()) return false;
+    try {
+        std::size_t pos = 0;
+        *out = static_cast<std::size_t>(std::stoul(text, &pos));
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parseMegabytes(const std::string& text, std::size_t* outBytes)
+{
+    std::size_t mb = 0;
+    if (!parseSize(text, &mb)) return false;
+    if (mb > std::numeric_limits<std::size_t>::max() / (1024 * 1024)) return false;
+    *outBytes = mb * 1024 * 1024;
+    return true;
+}
+
+} // namespace hqs::api

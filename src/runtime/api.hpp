@@ -1,0 +1,100 @@
+// The unified solve-request surface shared by every entry point.
+//
+// dqbf_solve, dqbf_batch, the portfolio, and the solver service each accept
+// the same small set of budgets and an engine selector, but historically
+// each hand-rolled its own parsing and validation — PR 4's review found the
+// same non-finite-timeout bug twice in two parsers.  SolveRequest is the
+// single place those options live now:
+//
+//   * the parse*() helpers convert header/flag text into typed values and
+//     reject malformed text (trailing garbage, overflow) — but deliberately
+//     accept any syntactically valid double, including "nan" and "inf";
+//   * validate() is the one gate that rejects semantically invalid
+//     requests (non-finite or negative budgets, unknown engines) with
+//     structured, field-tagged errors every front end can render.
+//
+// Entry points construct a SolveRequest, call validate(), and only then
+// translate it into engine options (HqsOptions, PortfolioOptions,
+// GuardOptions...).  Nothing downstream of validate() re-checks budgets.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.hpp"
+
+namespace hqs::api {
+
+/// Engine selector parsed from a request's engine string.
+struct EngineSpec {
+    enum class Kind {
+        Hqs,       ///< quantifier elimination (the paper's solver)
+        HqsBdd,    ///< HQS with the BDD QBF backend ("hqs-bdd")
+        Idq,       ///< instantiation-based baseline
+        Expand,    ///< one-shot universal expansion
+        Portfolio, ///< race the default engine lineup ("portfolio[:N]")
+    };
+    Kind kind = Kind::Hqs;
+    std::size_t portfolioEngines = 0; ///< lineup cap; 0 = all (Portfolio only)
+};
+
+const char* toString(EngineSpec::Kind kind);
+
+/// "hqs" | "hqs-bdd" | "idq" | "expand" | "portfolio" | "portfolio:N"
+/// (empty selects hqs, the service default).  nullopt on anything else.
+std::optional<EngineSpec> parseEngineSpec(const std::string& text);
+
+/// One structured validation failure: which request field, and why.
+struct RequestError {
+    std::string field;
+    std::string message;
+};
+
+/// A validated solve request: formula source plus budgets and toggles.
+struct SolveRequest {
+    /// Where the formula comes from — a path, "-" for stdin, or a
+    /// front-end-specific tag (the service uses the request id).  Purely
+    /// descriptive; the caller loads the text itself.
+    std::string source;
+
+    std::string engine = "hqs";  ///< see parseEngineSpec
+    double timeoutSeconds = 0;   ///< wall-clock budget; 0 = none
+    std::size_t rssLimitBytes = 0; ///< cooperative-memout watchdog; 0 = off
+    std::size_t nodeLimit = 0;   ///< live-AIG-node / ground-clause budget
+    bool stats = false;          ///< emit statistics with the verdict
+    bool trace = false;          ///< record span traces
+
+    /// Semantic validation: every violated rule yields one field-tagged
+    /// error (empty vector = valid).  The only place in the tree that
+    /// rejects non-finite or negative budgets.
+    std::vector<RequestError> validate() const;
+
+    /// parseEngineSpec(engine).
+    std::optional<EngineSpec> parsedEngine() const { return parseEngineSpec(engine); }
+
+    /// First validation error rendered as "field: message", or "" if valid.
+    std::string firstError() const;
+};
+
+/// Outcome summary an entry point can render uniformly.
+struct SolveReport {
+    SolveResult result = SolveResult::Unknown;
+    std::string engine;          ///< engine (or portfolio winner) that decided
+    double wallMilliseconds = 0;
+    std::string failure;         ///< structured failure text; empty when clean
+};
+
+// ----- text -> value helpers (syntax only; validate() judges semantics) ----
+
+/// Full-string parses; false on trailing garbage, overflow, or empty text.
+bool parseSeconds(const std::string& text, double* out);
+/// Milliseconds text (HTTP `timeout-ms` header) into seconds.
+bool parseMilliseconds(const std::string& text, double* outSeconds);
+/// Megabytes text (HTTP `rss-limit-mb` header / --rss-limit=MB) into bytes.
+bool parseMegabytes(const std::string& text, std::size_t* outBytes);
+/// Unsigned integer, full string.
+bool parseSize(const std::string& text, std::size_t* out);
+
+} // namespace hqs::api

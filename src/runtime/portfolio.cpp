@@ -14,6 +14,18 @@
 
 namespace hqs {
 
+PortfolioOptions PortfolioSolver::optionsFromRequest(const api::SolveRequest& request)
+{
+    PortfolioOptions opts;
+    if (request.timeoutSeconds > 0) opts.deadline = Deadline::in(request.timeoutSeconds);
+    opts.nodeLimit = request.nodeLimit;
+    if (const std::optional<api::EngineSpec> spec = request.parsedEngine();
+        spec && spec->kind == api::EngineSpec::Kind::Portfolio) {
+        opts.maxEngines = spec->portfolioEngines;
+    }
+    return opts;
+}
+
 std::vector<PortfolioEngine> PortfolioSolver::defaultEngines(std::size_t nodeLimit, bool fraig)
 {
     auto hqsEngine = [nodeLimit, fraig](HqsOptions::Selection sel, HqsOptions::Backend backend) {

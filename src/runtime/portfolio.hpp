@@ -19,6 +19,7 @@
 #include "src/base/result.hpp"
 #include "src/base/timer.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
+#include "src/runtime/api.hpp"
 #include "src/runtime/guard.hpp"
 
 namespace hqs {
@@ -92,6 +93,12 @@ public:
     /// batch scheduler's degraded memout-retry configuration.
     static std::vector<PortfolioEngine> defaultEngines(std::size_t nodeLimit = 0,
                                                        bool fraig = true);
+
+    /// Translate a *validated* api::SolveRequest into portfolio options:
+    /// timeout -> deadline, node limit, and the portfolio:N lineup cap.
+    /// Precondition: request.validate() returned no errors.  Callers racing
+    /// under an outer guard overwrite the deadline with the guarded one.
+    static PortfolioOptions optionsFromRequest(const api::SolveRequest& request);
 
 private:
     PortfolioOptions opts_;

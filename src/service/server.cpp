@@ -27,6 +27,7 @@
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/report.hpp"
+#include "src/runtime/api.hpp"
 #include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
 #include "src/runtime/thread_pool.hpp"
@@ -34,36 +35,21 @@
 namespace hqs::service {
 namespace {
 
-/// Which engine a request asked for (`engine` header / row field).
-struct EngineSpec {
-    enum class Kind { Hqs, HqsBdd, Portfolio };
-    Kind kind = Kind::Hqs;
-    std::size_t maxEngines = 0; ///< portfolio lineup cap (0 = all)
-};
+using api::EngineSpec;
 
-bool parseEngineSpec(const std::string& s, EngineSpec& out)
+/// Shared request validation plus the service's own engine policy: the
+/// parsers fill an api::SolveRequest, validate() applies the one
+/// non-finite/negative-budget and unknown-engine gate, and this rejects the
+/// engines the service does not expose.  Returns the problem text ("" = ok)
+/// and the parsed engine in @p spec.
+std::string vetRequest(const api::SolveRequest& request, EngineSpec& spec)
 {
-    if (s.empty() || s == "hqs") {
-        out.kind = EngineSpec::Kind::Hqs;
-        return true;
-    }
-    if (s == "hqs-bdd") {
-        out.kind = EngineSpec::Kind::HqsBdd;
-        return true;
-    }
-    if (s == "portfolio") {
-        out.kind = EngineSpec::Kind::Portfolio;
-        return true;
-    }
-    if (s.rfind("portfolio:", 0) == 0) {
-        char* end = nullptr;
-        const unsigned long n = std::strtoul(s.c_str() + 10, &end, 10);
-        if (end != s.c_str() + s.size() || n == 0) return false;
-        out.kind = EngineSpec::Kind::Portfolio;
-        out.maxEngines = n;
-        return true;
-    }
-    return false;
+    const std::string err = request.firstError();
+    if (!err.empty()) return err;
+    spec = *request.parsedEngine();
+    if (spec.kind == EngineSpec::Kind::Idq || spec.kind == EngineSpec::Kind::Expand)
+        return "engine not available over the service";
+    return {};
 }
 
 /// Header-block cap handed to HttpParser and used to bound per-connection
@@ -512,20 +498,20 @@ struct SolverService::Impl {
 
     bool handleSolveRequest(Conn& c, const HttpRequest& req, bool keepAlive)
     {
-        SolveRequestOptions ropts;
+        api::SolveRequest request;
         EngineSpec spec;
         std::string problem;
         if (req.body.empty()) {
             problem = "empty body";
         } else if (const std::string* v = req.header("timeout-ms");
-                   v && !parseMilliseconds(*v, ropts.timeoutSeconds)) {
+                   v && !api::parseMilliseconds(*v, &request.timeoutSeconds)) {
             problem = "malformed timeout-ms";
         } else if (const std::string* r = req.header("rss-limit-mb");
-                   r && !parseMegabytes(*r, ropts.rssLimitBytes)) {
+                   r && !api::parseMegabytes(*r, &request.rssLimitBytes)) {
             problem = "malformed rss-limit-mb";
-        } else if (const std::string* e = req.header("engine");
-                   !parseEngineSpec(e ? *e : "", spec)) {
-            problem = "unknown engine";
+        } else {
+            if (const std::string* e = req.header("engine")) request.engine = *e;
+            problem = vetRequest(request, spec);
         }
         if (!problem.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
@@ -542,6 +528,9 @@ struct SolverService::Impl {
                                        extraHeaders));
             return flushOrKeep(c);
         }
+        SolveRequestOptions ropts;
+        ropts.timeoutSeconds = request.timeoutSeconds;
+        ropts.rssLimitBytes = request.rssLimitBytes;
         admit(c, /*rowId=*/"", keepAlive, req.body, ropts, spec);
         return true;
     }
@@ -559,23 +548,32 @@ struct SolverService::Impl {
             id.empty() ? std::string() : "\"id\":\"" + jsonEscape(id) + "\",";
 
         std::string formula;
-        SolveRequestOptions ropts;
+        api::SolveRequest request;
         EngineSpec spec;
-        std::string engine;
+        std::string problem;
         double num = 0;
-        if (jsonNumberField(line, "timeout_ms", num) && std::isfinite(num) && num > 0)
-            ropts.timeoutSeconds = num / 1000.0;
-        if (jsonNumberField(line, "rss_limit_mb", num) && std::isfinite(num) && num > 0)
-            ropts.rssLimitBytes = static_cast<std::size_t>(num) * 1024 * 1024;
-        jsonStringField(line, "engine", engine);
+        // Field extraction is syntax-only; validate() below judges the
+        // values.  The double->size_t narrowing for rss_limit_mb is the one
+        // conversion validate() cannot see, so it keeps its own guard.
+        if (jsonNumberField(line, "timeout_ms", num)) request.timeoutSeconds = num / 1000.0;
+        if (jsonNumberField(line, "rss_limit_mb", num)) {
+            if (!std::isfinite(num) || num < 0) {
+                problem = "malformed rss_limit_mb";
+            } else if (num > 0) {
+                request.rssLimitBytes = static_cast<std::size_t>(num) * 1024 * 1024;
+            }
+        }
+        jsonStringField(line, "engine", request.engine);
+        if (request.engine.empty()) request.engine = "hqs";
         if (!jsonStringField(line, "formula", formula) || formula.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
             return flushOrKeep(c);
         }
-        if (!parseEngineSpec(engine, spec)) {
+        if (problem.empty()) problem = vetRequest(request, spec);
+        if (!problem.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
-            queueWrite(c, "{" + idPrefix + "\"error\":\"unknown engine\"}\n");
+            queueWrite(c, "{" + idPrefix + "\"error\":\"" + jsonEscape(problem) + "\"}\n");
             return flushOrKeep(c);
         }
         std::string reject;
@@ -584,6 +582,9 @@ struct SolverService::Impl {
             queueWrite(c, "{" + idPrefix + reject.substr(1) + "\n"); // splice id in
             return flushOrKeep(c);
         }
+        SolveRequestOptions ropts;
+        ropts.timeoutSeconds = request.timeoutSeconds;
+        ropts.rssLimitBytes = request.rssLimitBytes;
         admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
         return true;
     }
@@ -663,7 +664,7 @@ struct SolverService::Impl {
                 PortfolioOptions popts;
                 popts.deadline = dl;
                 popts.nodeLimit = opts.nodeLimit;
-                popts.maxEngines = spec.maxEngines;
+                popts.maxEngines = spec.portfolioEngines;
                 PortfolioSolver solver(popts);
                 const SolveResult r = solver.solve(f);
                 engineName = solver.stats().winnerName;
@@ -839,25 +840,6 @@ struct SolverService::Impl {
     {
         const std::uint64_t one = 1;
         [[maybe_unused]] const ssize_t n = ::write(wakeFd, &one, sizeof one);
-    }
-
-    bool parseMilliseconds(const std::string& text, double& outSeconds)
-    {
-        char* end = nullptr;
-        const double ms = std::strtod(text.c_str(), &end);
-        if (end != text.c_str() + text.size() || !std::isfinite(ms) || ms < 0)
-            return false;
-        outSeconds = ms / 1000.0;
-        return true;
-    }
-
-    bool parseMegabytes(const std::string& text, std::size_t& outBytes)
-    {
-        char* end = nullptr;
-        const unsigned long long mb = std::strtoull(text.c_str(), &end, 10);
-        if (end != text.c_str() + text.size()) return false;
-        outBytes = static_cast<std::size_t>(mb) * 1024 * 1024;
-        return true;
     }
 
     ~Impl()

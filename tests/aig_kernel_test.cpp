@@ -1,0 +1,386 @@
+// Differential and invariant tests for the rebuilt AIG kernel: the dense
+// open-addressing strash, the generation-stamped traversal cache, the
+// compose/cofactor operation cache, mark-compact garbage collection, the
+// concurrent cofactorInto/importCone pair, and the live-node budget
+// semantics built on top of them.  Substitute/cofactor results are checked
+// two ways: point-wise against semantic evaluation over every assignment,
+// and via SAT equivalence through the CNF bridge.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/aig/aig.hpp"
+#include "src/aig/cnf_bridge.hpp"
+#include "src/base/rng.hpp"
+#include "src/dqbf/dqbf_oracle.hpp"
+#include "src/dqbf/hqs_solver.hpp"
+#include "src/qbf/aig_qbf_solver.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+namespace {
+
+constexpr Var kVars = 6; // 64 assignments: exhaustive checks stay cheap
+
+/// Random cone over variables 0..kVars-1 built from @p ops and/xor steps.
+AigEdge randomCone(Aig& aig, Rng& rng, std::size_t ops)
+{
+    std::vector<AigEdge> pool;
+    for (Var v = 0; v < kVars; ++v) pool.push_back(aig.variable(v));
+    pool.push_back(aig.constTrue());
+    for (std::size_t i = 0; i < ops; ++i) {
+        const AigEdge a = pool[rng.below(pool.size())] ^ rng.flip();
+        const AigEdge b = pool[rng.below(pool.size())] ^ rng.flip();
+        pool.push_back(rng.flip() ? aig.mkAnd(a, b) : aig.mkXor(a, b));
+    }
+    return pool.back() ^ rng.flip();
+}
+
+std::vector<bool> assignmentFromBits(unsigned bits)
+{
+    std::vector<bool> a(kVars);
+    for (Var v = 0; v < kVars; ++v) a[v] = (bits >> v) & 1u;
+    return a;
+}
+
+std::uint64_t truthTable(const Aig& aig, AigEdge root)
+{
+    std::uint64_t tt = 0;
+    for (unsigned bits = 0; bits < (1u << kVars); ++bits) {
+        if (aig.evaluate(root, assignmentFromBits(bits))) tt |= 1ull << bits;
+    }
+    return tt;
+}
+
+bool satEquivalent(Aig& aig, AigEdge a, AigEdge b)
+{
+    const AigEdge diff = aig.mkXor(a, b);
+    if (aig.isConstant(diff)) return !aig.constantValue(diff);
+    SatSolver sat;
+    AigCnfBridge bridge(aig, sat);
+    return sat.solve({bridge.litFor(diff)}) == SolveResult::Unsat;
+}
+
+// ---------------------------------------------------------------- strash --
+
+TEST(AigKernel, StrashDeduplicatesAndCountsProbes)
+{
+    Aig aig;
+    const AigEdge x = aig.variable(0);
+    const AigEdge y = aig.variable(1);
+    const AigEdge e = aig.mkAnd(x, y);
+    const std::size_t n = aig.numNodes();
+    // Same fanins (in either order) must return the identical node.
+    EXPECT_EQ(aig.mkAnd(x, y), e);
+    EXPECT_EQ(aig.mkAnd(y, x), e);
+    EXPECT_EQ(aig.numNodes(), n);
+    EXPECT_GT(aig.kernelStats().strashProbes, 0u);
+}
+
+TEST(AigKernel, StrashGrowsUnderLoad)
+{
+    Aig aig;
+    Rng rng(7);
+    randomCone(aig, rng, 20000);
+    const AigKernelStats& st = aig.kernelStats();
+    EXPECT_GE(st.strashResizes, 1u); // initial table is 1024 slots
+    EXPECT_EQ(st.peakAllocatedNodes, aig.numNodes());
+}
+
+// ----------------------------------------------- substitute / cofactor ---
+
+TEST(AigKernel, SubstituteMatchesSemanticEvaluation)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Aig aig;
+        Rng rng(seed);
+        const AigEdge f = randomCone(aig, rng, 60);
+
+        Substitution sub;
+        std::vector<AigEdge> images(kVars);
+        for (Var v = 0; v < kVars; ++v) {
+            images[v] = aig.variable(v);
+            if (rng.flip()) {
+                images[v] = randomCone(aig, rng, 10);
+                sub.set(v, images[v]);
+            }
+        }
+        const AigEdge g = aig.substitute(f, sub);
+
+        for (unsigned bits = 0; bits < (1u << kVars); ++bits) {
+            const std::vector<bool> a = assignmentFromBits(bits);
+            std::vector<bool> mapped(kVars);
+            for (Var v = 0; v < kVars; ++v) mapped[v] = aig.evaluate(images[v], a);
+            EXPECT_EQ(aig.evaluate(g, a), aig.evaluate(f, mapped))
+                << "seed " << seed << " bits " << bits;
+        }
+    }
+}
+
+TEST(AigKernel, CofactorMatchesSemanticEvaluation)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Aig aig;
+        Rng rng(seed * 31);
+        const AigEdge f = randomCone(aig, rng, 60);
+        const Var v = static_cast<Var>(rng.below(kVars));
+        const bool value = rng.flip();
+        const AigEdge cof = aig.cofactor(f, v, value);
+
+        for (unsigned bits = 0; bits < (1u << kVars); ++bits) {
+            std::vector<bool> a = assignmentFromBits(bits);
+            a[v] = value;
+            EXPECT_EQ(aig.evaluate(cof, assignmentFromBits(bits)), aig.evaluate(f, a))
+                << "seed " << seed << " bits " << bits;
+        }
+    }
+}
+
+TEST(AigKernel, DoubleSwapIsSatEquivalentToOriginal)
+{
+    // Swapping two variables twice must give back the original function;
+    // checked through the CNF bridge rather than point-wise evaluation.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Aig aig;
+        Rng rng(seed * 97);
+        const AigEdge f = randomCone(aig, rng, 80);
+        Substitution swap;
+        swap.set(0, aig.variable(1));
+        swap.set(1, aig.variable(0));
+        const AigEdge once = aig.substitute(f, swap);
+        swap.clear();
+        swap.set(0, aig.variable(1));
+        swap.set(1, aig.variable(0));
+        const AigEdge twice = aig.substitute(once, swap);
+        EXPECT_TRUE(satEquivalent(aig, f, twice)) << "seed " << seed;
+    }
+}
+
+TEST(AigKernel, OpCacheHitsOnRepeatedCofactors)
+{
+    Aig aig;
+    Rng rng(11);
+    const AigEdge f = randomCone(aig, rng, 200);
+    const AigEdge first = aig.cofactor(f, 0, true);
+    const std::uint64_t missesAfterFirst = aig.kernelStats().opCacheMisses;
+    const AigEdge second = aig.cofactor(f, 0, true);
+    EXPECT_EQ(first, second);
+    EXPECT_GT(aig.kernelStats().opCacheHits, 0u);
+    // The repeat run must be answered from the cache, not recomputed.
+    EXPECT_EQ(aig.kernelStats().opCacheMisses, missesAfterFirst);
+}
+
+// ---------------------------------------------------------------- GC -----
+
+TEST(AigKernel, GcPreservesSemanticsAndReclaimsGarbage)
+{
+    Aig aig;
+    Rng rng(23);
+    AigEdge f = randomCone(aig, rng, 120);
+    const std::uint64_t ttBefore = truthTable(aig, f);
+    randomCone(aig, rng, 3000); // stranded garbage
+    const std::size_t before = aig.numNodes();
+
+    aig.garbageCollect({&f});
+
+    EXPECT_LT(aig.numNodes(), before);
+    EXPECT_EQ(truthTable(aig, f), ttBefore);
+    const AigKernelStats& st = aig.kernelStats();
+    EXPECT_EQ(st.gcRuns, 1u);
+    EXPECT_EQ(st.gcReclaimedNodes, before - aig.numNodes());
+    EXPECT_LE(st.peakLiveNodes, st.peakAllocatedNodes);
+}
+
+TEST(AigKernel, GcRehashesStrashAndRewiresRoots)
+{
+    Aig aig;
+    AigEdge x = aig.variable(0);
+    AigEdge y = aig.variable(1);
+    AigEdge e = aig.mkAnd(x, y);
+    Rng rng(5);
+    randomCone(aig, rng, 500); // garbage so indices actually move
+
+    aig.garbageCollect({&x, &y, &e});
+
+    // Registered edges were rewired to the compacted pool...
+    EXPECT_EQ(aig.variable(0), x);
+    EXPECT_EQ(aig.variable(1), y);
+    // ...and the rebuilt strash finds the surviving AND instead of
+    // allocating a duplicate.
+    const std::size_t n = aig.numNodes();
+    EXPECT_EQ(aig.mkAnd(x, y), e);
+    EXPECT_EQ(aig.numNodes(), n);
+}
+
+TEST(AigKernel, RepeatedSubstituteGcCyclesStaySound)
+{
+    // The long-haul invariant the solver relies on: interleaving
+    // substitutions, cofactors, and GCs never changes the function.
+    Aig aig;
+    Rng rng(41);
+    AigEdge f = randomCone(aig, rng, 100);
+    std::uint64_t tt = truthTable(aig, f);
+    for (int round = 0; round < 8; ++round) {
+        // Swap a random pair of variables twice: a semantic no-op.
+        const Var a = static_cast<Var>(rng.below(kVars));
+        const Var b = static_cast<Var>((a + 1 + rng.below(kVars - 1)) % kVars);
+        for (int rep = 0; rep < 2; ++rep) {
+            Substitution& sub = aig.scratchSubstitution();
+            sub.set(a, aig.variable(b));
+            sub.set(b, aig.variable(a));
+            f = aig.substitute(f, sub);
+        }
+        randomCone(aig, rng, 400); // strand garbage
+        aig.garbageCollect({&f});
+        ASSERT_EQ(truthTable(aig, f), tt) << "round " << round;
+        // A cofactor answered through the (GC-remapped) op cache must agree
+        // with semantic evaluation as well.
+        const AigEdge cof = aig.cofactor(f, 0, true);
+        for (unsigned bits = 0; bits < (1u << kVars); ++bits) {
+            std::vector<bool> asg = assignmentFromBits(bits);
+            asg[0] = true;
+            ASSERT_EQ(aig.evaluate(cof, assignmentFromBits(bits)), aig.evaluate(f, asg))
+                << "round " << round << " bits " << bits;
+        }
+    }
+}
+
+// ----------------------------------------- cofactorInto / importCone -----
+
+TEST(AigKernel, CofactorIntoMatchesInManagerCofactor)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Aig aig;
+        Rng rng(seed * 13);
+        const AigEdge f = randomCone(aig, rng, 80);
+        const Var v = static_cast<Var>(rng.below(kVars));
+        const bool value = rng.flip();
+
+        Aig side;
+        const AigEdge out = aig.cofactorInto(side, f, v, value);
+        const AigEdge ref = aig.cofactor(f, v, value);
+        EXPECT_EQ(truthTable(side, out), truthTable(aig, ref)) << "seed " << seed;
+
+        // Importing the side cone back re-establishes sharing in the main
+        // manager and preserves the function.
+        const AigEdge back = aig.importCone(side, out);
+        EXPECT_TRUE(satEquivalent(aig, back, ref)) << "seed " << seed;
+    }
+}
+
+TEST(AigKernel, ParallelCofactorPathAgreesWithOracle)
+{
+    // Force every Theorem-1 elimination down the concurrent build path and
+    // cross-check verdicts against the expansion oracle.
+    auto randomDqbf = [](Rng& rng) {
+        DqbfFormula f;
+        std::vector<Var> xs, ys;
+        for (int i = 0; i < 3; ++i) xs.push_back(f.addUniversal());
+        for (int i = 0; i < 3; ++i) {
+            std::vector<Var> deps;
+            for (Var x : xs)
+                if (rng.flip()) deps.push_back(x);
+            ys.push_back(f.addExistential(std::move(deps)));
+        }
+        std::vector<Var> all = xs;
+        all.insert(all.end(), ys.begin(), ys.end());
+        for (int c = 0; c < 10; ++c) {
+            Clause cl;
+            for (int j = 0; j < 3; ++j)
+                cl.push(Lit(all[rng.below(all.size())], rng.flip()));
+            f.matrix().addClause(std::move(cl));
+        }
+        return f;
+    };
+
+    Rng rng(2026);
+    for (int round = 0; round < 15; ++round) {
+        const DqbfFormula f = randomDqbf(rng);
+        const SolveResult expected = expansionDqbf(f, Deadline::unlimited());
+        HqsOptions opts;
+        opts.parallelCofactorNodes = 1; // every Theorem-1 pair goes parallel
+        HqsSolver solver(opts);
+        EXPECT_EQ(solver.solve(f), expected) << "round " << round;
+    }
+
+    // Random instances are often decided by preprocessing before any
+    // universal elimination, so pin the stat down with an instance that
+    // provably reaches Theorem 1: incomparable dependency sets ({x1} vs
+    // {x2}) rule out an equivalent QBF prefix, the biconditionals leave no
+    // unit or pure literal, and neither existential sees every universal.
+    DqbfFormula forced;
+    const Var x1 = forced.addUniversal();
+    const Var x2 = forced.addUniversal();
+    const Var y1 = forced.addExistential({x1});
+    const Var y2 = forced.addExistential({x2});
+    auto iff = [&forced](Var a, Var b) {
+        Clause c1;
+        c1.push(Lit::neg(a));
+        c1.push(Lit::pos(b));
+        forced.matrix().addClause(std::move(c1));
+        Clause c2;
+        c2.push(Lit::pos(a));
+        c2.push(Lit::neg(b));
+        forced.matrix().addClause(std::move(c2));
+    };
+    iff(y1, x1); // y1 <-> x1 — realizable, y1 sees x1
+    iff(y2, x2); // y2 <-> x2 — realizable, y2 sees x2
+    HqsOptions opts;
+    opts.parallelCofactorNodes = 1;
+    // The biconditionals are Theorem-6 units (and CNF preprocessing finds
+    // the same equivalences); switch those passes off so the elimination
+    // loop, not preprocessing, decides the instance.
+    opts.preprocess = false;
+    opts.unitPure = false;
+    opts.satProbe = false;
+    HqsSolver solver(opts);
+    EXPECT_EQ(solver.solve(forced), expansionDqbf(forced, Deadline::unlimited()));
+    EXPECT_GT(solver.stats().parallelCofactorBuilds, 0u);
+}
+
+// ------------------------------------------------------- node budget -----
+
+TEST(AigKernel, NodeLimitIgnoresReclaimableGarbage)
+{
+    // Regression: the node budget reads *live* nodes.  A manager bloated
+    // with stranded allocations but holding a tiny live cone must garbage
+    // collect and keep solving, not report Memout.
+    Aig aig;
+    Rng rng(3);
+    randomCone(aig, rng, 5000); // dropped on the floor
+    AigEdge matrix = aig.mkAnd(aig.variable(0), aig.variable(1));
+    ASSERT_GT(aig.numNodes(), 1000u);
+
+    QbfPrefix prefix;
+    prefix.addBlock(QuantKind::Exists, {0, 1});
+    AigQbfOptions opts;
+    opts.nodeLimit = 1000;
+    opts.fraig = false;
+    opts.unitPure = false;
+    AigQbfSolver solver(opts);
+    EXPECT_EQ(solver.solve(aig, matrix, prefix), SolveResult::Sat);
+    EXPECT_LE(aig.numNodes(), 1000u); // the GC actually ran
+}
+
+TEST(AigKernel, NodeLimitStillTripsOnOversizedLiveCone)
+{
+    Aig aig;
+    AigEdge matrix = aig.constTrue();
+    for (Var v = 0; v < 300; ++v) {
+        matrix = aig.mkAnd(matrix, aig.variable(v) ^ (v % 2 == 0));
+    }
+    QbfPrefix prefix;
+    std::vector<Var> vars;
+    for (Var v = 0; v < 300; ++v) vars.push_back(v);
+    prefix.addBlock(QuantKind::Exists, std::move(vars));
+
+    AigQbfOptions opts;
+    opts.nodeLimit = 100;
+    opts.fraig = false;
+    opts.unitPure = false; // units would legitimately shrink the cone
+    AigQbfSolver solver(opts);
+    EXPECT_EQ(solver.solve(aig, matrix, prefix), SolveResult::Memout);
+}
+
+} // namespace
+} // namespace hqs

@@ -133,8 +133,43 @@ TEST(Aig, ParallelSubstituteIsSimultaneous)
     const AigEdge x = aig.variable(0);
     const AigEdge y = aig.variable(1);
     const AigEdge f = aig.mkAnd(x, ~y);
-    const AigEdge g = aig.substitute(f, {{0u, y}, {1u, x}});
+    Substitution swap;
+    swap.set(0, y);
+    swap.set(1, x);
+    const AigEdge g = aig.substitute(f, swap);
     EXPECT_EQ(truthTable(aig, g, 2), truthTable(aig, aig.mkAnd(y, ~x), 2));
+}
+
+TEST(Aig, DeprecatedMapSubstituteStillWorks)
+{
+    // Compatibility shim for the pre-Substitution API; scheduled for
+    // removal once downstream users have migrated.
+    Aig aig;
+    const AigEdge x = aig.variable(0);
+    const AigEdge y = aig.variable(1);
+    const AigEdge f = aig.mkAnd(x, ~y);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const AigEdge g = aig.substitute(f, {{0u, y}, {1u, x}});
+#pragma GCC diagnostic pop
+    EXPECT_EQ(truthTable(aig, g, 2), truthTable(aig, aig.mkAnd(y, ~x), 2));
+}
+
+TEST(Aig, ScratchSubstitutionResetsBetweenUses)
+{
+    Aig aig;
+    const AigEdge x = aig.variable(0);
+    const AigEdge y = aig.variable(1);
+    Substitution& first = aig.scratchSubstitution();
+    first.set(0, y);
+    EXPECT_EQ(first.size(), 1u);
+    // A second acquisition clears the previous mappings in O(1).
+    Substitution& second = aig.scratchSubstitution();
+    EXPECT_TRUE(second.empty());
+    EXPECT_FALSE(second.maps(0));
+    second.set(1, x);
+    EXPECT_TRUE(second.maps(1));
+    EXPECT_EQ(second.image(1), x);
 }
 
 TEST(Aig, QuantificationSemantics)

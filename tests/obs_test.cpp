@@ -412,6 +412,13 @@ TEST(ObsReport, BenchMicroMatchesGoldenSchema)
     bare.realNs = 1500000.5;
     bare.cpuNs = 1499000.25;
     report.benchmarks.push_back(bare);
+    obs::BenchMicroRow kernel;
+    kernel.name = "BM_GcMarkCompact/10000";
+    kernel.iterations = 128;
+    kernel.realNs = 80000.0;
+    kernel.cpuNs = 79500.0;
+    kernel.itemsPerSecond = 125000000.0;
+    report.benchmarks.push_back(kernel);
 
     std::ostringstream os;
     obs::writeBenchMicroJson(os, report);

@@ -283,7 +283,9 @@ TEST(ServiceLoopback, RejectsNonFiniteTimeoutHeader)
     BlockingClient client;
     ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
 
-    // strtod happily parses "nan" and "inf"; both must bounce as 400, not
+    // strtod happily parses "nan" and "inf"; the parse layer passes them
+    // through and api::SolveRequest::validate() — the one non-finite-budget
+    // gate shared by every entry point — bounces them as 400, so they never
     // become an undefined Deadline.
     for (const char* bad : {"nan", "inf", "-inf"}) {
         const std::string body = kSatFormula;
@@ -294,7 +296,7 @@ TEST(ServiceLoopback, RejectsNonFiniteTimeoutHeader)
         HttpResponseMsg rsp;
         ASSERT_TRUE(client.readResponse(rsp)) << bad;
         EXPECT_EQ(rsp.status, 400) << bad;
-        EXPECT_NE(rsp.body.find("malformed timeout-ms"), std::string::npos) << bad;
+        EXPECT_NE(rsp.body.find("timeout must be finite"), std::string::npos) << bad;
     }
     service.stop();
     EXPECT_EQ(service.counters().solvesAdmitted.load(), 0u);
