@@ -10,6 +10,9 @@
 //   --node-limit=N        per-job AIG-node budget, the 8 GB memout stand-in
 //   --rss-limit=MB        cooperative memout when process RSS crosses MB
 //   --portfolio[=N]       race the first N default engines per instance
+//   --certify             extract a Skolem certificate for every SAT verdict
+//                         and self-check it through the independent checker;
+//                         the outcome lands in the row's "certificate" block
 //   --no-retry            disable the degradation ladder (single attempt)
 //   --jsonl=FILE          stream one JSON object per result to FILE
 //                         (default: stdout, prefixed lines suppressed)
@@ -26,10 +29,15 @@
 //    "error"?: str,
 //    "metrics"?: {"preprocess_ms": num, "elim_ms": num, "qbf_ms": num,
 //                 "fraig_ms": num, "peak_aig_nodes": int,
-//                 "eliminations": int, "copies": int}}
+//                 "eliminations": int, "copies": int},
+//    "certificate"?: {"valid": bool, "status": str, "extract_ms": num,
+//                     "check_ms": num, "size_nodes": int}}
 // The "metrics" block comes from the per-job metrics-registry scope
 // (src/obs/); it survives the JSONL round-trip, so --resume keeps the
-// fields recorded for already-conclusive instances.
+// fields recorded for already-conclusive instances.  The "certificate"
+// block appears for SAT verdicts under --certify; on a portfolio
+// disagreement the "failure" block's site is "portfolio.certcheck" and its
+// what-text names the engine the checker vindicated.
 //
 // Exit code: 0 when every instance was definitively decided, 1 otherwise.
 #include <algorithm>
@@ -50,7 +58,7 @@ int usage()
 {
     std::cerr << "usage: dqbf_batch [--workers=N] [--timeout=SECONDS] "
                  "[--node-limit=N] [--rss-limit=MB] [--portfolio[=N]] "
-                 "[--no-retry] [--jsonl=FILE] [--resume=FILE] "
+                 "[--certify] [--no-retry] [--jsonl=FILE] [--resume=FILE] "
                  "<dir | file.dqdimacs ...>\n";
     return 1;
 }
@@ -81,6 +89,8 @@ int main(int argc, char** argv)
             request.engine = "portfolio";
         } else if (arg.rfind("--portfolio=", 0) == 0) {
             request.engine = "portfolio:" + arg.substr(12);
+        } else if (arg == "--certify") {
+            request.certify = true;
         } else if (arg == "--no-retry") {
             opts.ladder.resize(1);
         } else if (arg.rfind("--jsonl=", 0) == 0) {
@@ -101,6 +111,7 @@ int main(int argc, char** argv)
     opts.jobTimeoutSeconds = request.timeoutSeconds;
     opts.nodeLimit = request.nodeLimit;
     opts.rssLimitBytes = request.rssLimitBytes;
+    opts.certify = request.certify;
     if (const api::EngineSpec spec = *request.parsedEngine();
         spec.kind == api::EngineSpec::Kind::Portfolio) {
         opts.portfolio = true;

@@ -1,0 +1,121 @@
+// dqbf_check: independent verifier for DQBF Skolem certificates.
+//
+//   dqbf_check [options] <file.cert>
+//   dqbf_check [options] -            (read the certificate from stdin)
+//
+// Options:
+//   --formula=FILE     additionally require the certificate to be bound to
+//                      this DQDIMACS formula (hash comparison)
+//   --timeout=SECONDS  wall-clock limit for the single SAT call
+//   --quiet            suppress the `c` summary lines
+//
+// The checker re-derives the verdict from the certificate alone: it parses
+// the embedded formula, checks the hash binding, checks every Skolem
+// function's support against its declared dependency set, substitutes the
+// functions into the matrix, and asserts the negation is UNSAT with one SAT
+// call.  It deliberately links none of the DQBF/QBF solver code (enforced
+// by the cert/link-audit test), so a solver bug cannot self-certify.
+//
+// Exit code: 0 = certificate VALID, 2 = certificate INVALID (a structured
+// reason is printed), 1 = usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/cert/certificate.hpp"
+#include "src/cnf/dimacs.hpp"
+
+using namespace hqs;
+
+namespace {
+
+int usage()
+{
+    std::cerr << "usage: dqbf_check [--formula=FILE] [--timeout=SECONDS] [--quiet] "
+                 "<file.cert|->\n";
+    return 1;
+}
+
+int reject(cert::CheckStatus status, const std::string& detail)
+{
+    std::cout << "s INVALID\n";
+    std::cout << "c reason " << cert::toString(status)
+              << (detail.empty() ? "" : ": " + detail) << "\n";
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string certPath;
+    std::string formulaPath;
+    double timeoutSeconds = 0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--formula=", 0) == 0) {
+            formulaPath = arg.substr(10);
+            if (formulaPath.empty()) return usage();
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            try {
+                timeoutSeconds = std::stod(arg.substr(10));
+            } catch (...) {
+                return usage();
+            }
+            if (!(timeoutSeconds > 0)) return usage();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            return usage();
+        } else if (certPath.empty()) {
+            certPath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (certPath.empty()) return usage();
+
+    cert::Certificate certificate;
+    std::string detail;
+    cert::CheckStatus parsed;
+    if (certPath == "-") {
+        parsed = cert::parseCertificate(std::cin, certificate, detail);
+    } else {
+        std::ifstream in(certPath);
+        if (!in) {
+            std::cerr << "dqbf_check: cannot open " << certPath << "\n";
+            return 1;
+        }
+        parsed = cert::parseCertificate(in, certificate, detail);
+    }
+    if (parsed != cert::CheckStatus::Ok) return reject(parsed, detail);
+
+    if (!formulaPath.empty()) {
+        ParsedQdimacs expected;
+        try {
+            expected = parseDqdimacsFile(formulaPath);
+        } catch (const ParseError& e) {
+            std::cerr << "dqbf_check: cannot parse " << formulaPath << ": " << e.what()
+                      << "\n";
+            return 1;
+        }
+        if (cert::formulaHash(expected) != certificate.hash) {
+            return reject(cert::CheckStatus::HashMismatch,
+                          "certificate is not bound to " + formulaPath);
+        }
+    }
+
+    const Deadline deadline =
+        timeoutSeconds > 0 ? Deadline::in(timeoutSeconds) : Deadline::unlimited();
+    const cert::CheckResult res = cert::checkCertificate(certificate, deadline);
+    if (!quiet) {
+        std::cout << "c functions           : " << certificate.functions.size() << "\n"
+                  << "c certificate size    : " << res.sizeNodes << " AIG nodes\n"
+                  << "c check time          : " << res.checkMs << " ms\n";
+    }
+    if (!res.ok()) return reject(res.status, res.detail);
+    std::cout << "s VALID\n";
+    return 0;
+}

@@ -12,6 +12,9 @@
 //   --timeout-ms=N       per-request solver budget header/field
 //   --rss-limit-mb=N     per-request memory budget header/field
 //   --engine=NAME        hqs | hqs-bdd | portfolio[:N]
+//   --certify            request a Skolem certificate with each SAT verdict
+//                        (tallied under certs=; a 413 over-cap response
+//                        still counts as a verdict)
 //
 // Each connection sends its share of requests back to back (JSONL mode
 // pipelines them) and tallies verdicts, busy rejections, and errors.  Exact
@@ -39,7 +42,7 @@ int usage()
 {
     std::cerr << "usage: dqbf_client --file=FORMULA.dqdimacs [--host=ADDR] "
                  "[--port=N] [--jsonl] [--connections=N] [--requests=N] "
-                 "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME]\n";
+                 "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME] [--certify]\n";
     return 1;
 }
 
@@ -58,6 +61,7 @@ struct Tally {
     std::size_t ok = 0;      ///< verdict received (any SolveResult)
     std::size_t busy = 0;    ///< 429 / busy row
     std::size_t errors = 0;  ///< transport failures, non-200 responses
+    std::size_t certs = 0;   ///< responses carrying certificate bytes
     std::vector<double> latenciesUs;
 };
 
@@ -101,6 +105,8 @@ int main(int argc, char** argv)
             ropts.rssLimitBytes = n * 1024 * 1024;
         } else if (arg.rfind("--engine=", 0) == 0) {
             ropts.engine = val("--engine=");
+        } else if (arg == "--certify") {
+            ropts.certify = true;
         } else {
             return usage();
         }
@@ -159,23 +165,34 @@ int main(int argc, char** argv)
                     gotReply = client.readLine(row);
                     if (gotReply) {
                         std::string verdict;
-                        if (jsonStringField(row, "result", verdict))
+                        if (jsonStringField(row, "result", verdict)) {
                             local.ok += 1;
-                        else if (row.find("\"busy\"") != std::string::npos)
+                            if (row.find("\"certificate\":{") != std::string::npos)
+                                local.certs += 1;
+                        } else if (row.find("\"busy\"") != std::string::npos) {
                             local.busy += 1;
-                        else
+                        } else {
                             local.errors += 1;
+                        }
                     }
                 } else {
                     HttpResponseMsg rsp;
                     gotReply = client.readResponse(rsp);
                     if (gotReply) {
-                        if (rsp.status == 200)
+                        // 413 on a certify request means "verdict delivered,
+                        // certificate over the server's byte cap" — a
+                        // verdict, not a transport error.
+                        if (rsp.status == 200 ||
+                            (rsp.status == 413 &&
+                             rsp.body.find("\"result\"") != std::string::npos)) {
                             local.ok += 1;
-                        else if (rsp.status == 429)
+                            if (rsp.body.find("\"certificate\":{") != std::string::npos)
+                                local.certs += 1;
+                        } else if (rsp.status == 429) {
                             local.busy += 1;
-                        else
+                        } else {
                             local.errors += 1;
+                        }
                     }
                 }
                 if (!gotReply) {
@@ -188,6 +205,7 @@ int main(int argc, char** argv)
             total.ok += local.ok;
             total.busy += local.busy;
             total.errors += local.errors;
+            total.certs += local.certs;
             total.latenciesUs.insert(total.latenciesUs.end(), local.latenciesUs.begin(),
                                      local.latenciesUs.end());
         });
@@ -203,7 +221,9 @@ int main(int argc, char** argv)
         return total.latenciesUs[idx];
     };
     std::cout << "requests=" << requests << " ok=" << total.ok << " busy=" << total.busy
-              << " errors=" << total.errors << " wall_ms=" << wallMs << "\n";
+              << " errors=" << total.errors;
+    if (ropts.certify) std::cout << " certs=" << total.certs;
+    std::cout << " wall_ms=" << wallMs << "\n";
     if (!total.latenciesUs.empty()) {
         std::cout << "latency_us p50=" << pct(0.50) << " p90=" << pct(0.90)
                   << " p99=" << pct(0.99) << " max=" << total.latenciesUs.back() << "\n";

@@ -14,10 +14,16 @@
 //   --rss-limit=MB        default cooperative memout budget (0 = none)
 //   --node-limit=N        AIG-node budget forwarded to the engines
 //   --retry-after=SECONDS advisory Retry-After on 429 (default 1)
+//   --cert-max-bytes=N    largest certificate returned to a `certify`
+//                         request (default 4 MiB; past it HTTP answers 413,
+//                         JSONL rows carry a certificate_error field)
+//   --cert-self-check     run the independent certificate checker on every
+//                         certificate before replying; a failing artifact is
+//                         withheld and counted in /stats
 //
-// Endpoints: POST /solve (DQDIMACS body; timeout-ms / rss-limit-mb / engine
-// headers), GET /metrics (Prometheus), GET /healthz, GET /stats.  The JSONL
-// port takes one {"id":...,"formula":...} row per line.
+// Endpoints: POST /solve (DQDIMACS body; timeout-ms / rss-limit-mb / engine /
+// certify headers), GET /metrics (Prometheus), GET /healthz, GET /stats.  The
+// JSONL port takes one {"id":...,"formula":...,"certify":true} row per line.
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight solves,
 // flush every response, exit 0.  A second signal cancels in-flight solves.
@@ -39,7 +45,8 @@ int usage()
     std::cerr << "usage: dqbf_serve [--host=ADDR] [--port=N] [--jsonl-port=N] "
                  "[--no-jsonl] [--max-inflight=N] [--queue=N] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--node-limit=N] "
-                 "[--retry-after=SECONDS]\n";
+                 "[--retry-after=SECONDS] [--cert-max-bytes=N] "
+                 "[--cert-self-check]\n";
     return 1;
 }
 
@@ -90,6 +97,11 @@ int main(int argc, char** argv)
                    api::parseSeconds(val("--retry-after="), &secs) &&
                    std::isfinite(secs) && secs >= 0) {
             opts.retryAfterSeconds = secs;
+        } else if (arg.rfind("--cert-max-bytes=", 0) == 0 &&
+                   api::parseSize(val("--cert-max-bytes="), &n)) {
+            opts.maxCertificateBytes = n;
+        } else if (arg == "--cert-self-check") {
+            opts.certSelfCheck = true;
         } else {
             return usage();
         }

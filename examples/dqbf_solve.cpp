@@ -16,8 +16,16 @@
 //   --no-unitpure         disable Theorem-6 unit/pure detection
 //   --selection=maxsat|greedy|all
 //                         universal-selection strategy (default maxsat)
-//   --skolem              on SAT, compute, verify, and summarize Skolem
-//                         functions (hqs engine only)
+//   --skolem              on SAT, compute Skolem functions, round-trip them
+//                         through the certification subsystem (extract ->
+//                         serialize -> independent check), and summarize
+//                         them (hqs engine only)
+//   --skolem=FILE         additionally dump the reconstructed functions as
+//                         ASCII AIGER (aag) to FILE
+//   --certify=FILE        write a self-contained certificate artifact to
+//                         FILE on SAT (hqs and portfolio engines); the
+//                         artifact is self-checked through the independent
+//                         parser+checker before it is reported
 //   --rss-limit=MB        guard the run with an RSS watchdog: cooperative
 //                         MEMOUT when process RSS crosses MB
 //   --stats               print solver statistics, including machine-readable
@@ -36,6 +44,9 @@
 #include <iostream>
 #include <string>
 
+#include "src/aig/aiger.hpp"
+#include "src/cert/certificate.hpp"
+#include "src/cert/extract.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/dqbf/dqbf_oracle.hpp"
 #include "src/dqbf/hqs_solver.hpp"
@@ -55,9 +66,27 @@ int usage()
 {
     std::cerr << "usage: dqbf_solve [--solver=hqs|hqs-bdd|idq|expand] [--portfolio[=N]] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--no-preprocess] "
-                 "[--no-unitpure] [--selection=maxsat|greedy|all] [--skolem] "
+                 "[--no-unitpure] [--selection=maxsat|greedy|all] "
+                 "[--skolem[=FILE]] [--certify=FILE] "
                  "[--stats] [--trace=FILE] <file.dqdimacs|->\n";
     return 1;
+}
+
+/// Round-trip a serialized certificate through the independent parser and
+/// checker — the same code path dqbf_check runs, so "VALID" here means the
+/// artifact would be accepted downstream.
+cert::CheckResult selfCheck(const std::string& text)
+{
+    cert::Certificate reparsed;
+    std::string detail;
+    const cert::CheckStatus parsed = cert::parseCertificateString(text, reparsed, detail);
+    if (parsed != cert::CheckStatus::Ok) {
+        cert::CheckResult res;
+        res.status = parsed;
+        res.detail = std::move(detail);
+        return res;
+    }
+    return cert::checkCertificate(reparsed);
 }
 
 } // namespace
@@ -70,6 +99,8 @@ int main(int argc, char** argv)
     // by the single validate() below.
     api::SolveRequest request;
     std::string tracePath;
+    std::string skolemPath;
+    std::string certifyPath;
     HqsOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -102,6 +133,14 @@ int main(int argc, char** argv)
             }
         } else if (arg == "--skolem") {
             opts.computeSkolem = true;
+        } else if (arg.rfind("--skolem=", 0) == 0) {
+            skolemPath = arg.substr(9);
+            if (skolemPath.empty()) return usage();
+            opts.computeSkolem = true;
+        } else if (arg.rfind("--certify=", 0) == 0) {
+            certifyPath = arg.substr(10);
+            if (certifyPath.empty()) return usage();
+            request.certify = true;
         } else if (arg == "--stats") {
             request.stats = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -120,6 +159,8 @@ int main(int argc, char** argv)
         return usage();
     }
     const api::EngineSpec spec = *request.parsedEngine();
+    // Certification needs the Skolem-recording elimination run.
+    if (request.certify) opts.computeSkolem = true;
     const bool wantStats = request.stats;
     const std::string& path = request.source;
     if (request.timeoutSeconds > 0) opts.deadline = Deadline::in(request.timeoutSeconds);
@@ -173,20 +214,53 @@ int main(int argc, char** argv)
         });
         if (!solverSlot) solverSlot.emplace(opts); // body died before construction
         HqsSolver& solver = *solverSlot;
-        if (opts.computeSkolem && result == SolveResult::Sat) {
-            const auto& cert = solver.skolemCertificate();
-            if (cert) {
-                const bool valid = verifyAigSkolemCertificate(original, *cert);
-                std::cout << "c skolem certificate  : " << cert->functions.size()
-                          << " functions, independently verified: "
-                          << (valid ? "VALID" : "INVALID") << "\n";
-                for (Var y : original.existentials()) {
-                    auto it = cert->functions.find(y);
-                    if (it == cert->functions.end()) continue;
-                    std::cout << "c   s_" << (y + 1) << " : "
-                              << cert->aig->coneSize(it->second) << " AIG nodes over";
-                    for (Var x : cert->aig->support(it->second)) std::cout << ' ' << (x + 1);
-                    std::cout << "\n";
+        if (opts.computeSkolem && result == SolveResult::Sat &&
+            solver.skolemCertificate()) {
+            // Production certification path: extract the certificate, then
+            // judge it through the independent serializer/parser/checker —
+            // exactly what dqbf_check would see.
+            const cert::Certificate certificate =
+                cert::extractCertificate(original, *solver.skolemCertificate());
+            const std::string artifact = cert::toCertificateString(certificate);
+            const cert::CheckResult check = selfCheck(artifact);
+            if (!check.ok()) OBS_COUNT("cert.selfcheck_fail", 1);
+            std::cout << "c skolem certificate  : " << certificate.functions.size()
+                      << " functions, independently checked: "
+                      << (check.ok() ? std::string("VALID")
+                                     : "INVALID (" + std::string(cert::toString(check.status)) +
+                                           (check.detail.empty() ? "" : ": " + check.detail) +
+                                           ")")
+                      << "\n";
+            const std::vector<Var>& ys = original.existentials();
+            for (std::size_t k = 0; k < ys.size(); ++k) {
+                const AigEdge fn = certificate.functions[k];
+                std::cout << "c   s_" << (ys[k] + 1) << " : "
+                          << certificate.aig->coneSize(fn) << " AIG nodes over";
+                for (Var x : certificate.aig->support(fn)) std::cout << ' ' << (x + 1);
+                std::cout << "\n";
+            }
+            if (!skolemPath.empty()) {
+                std::ofstream out(skolemPath);
+                if (out) {
+                    writeAiger(out, *certificate.aig, certificate.functions);
+                    std::cout << "c skolem aag          : " << skolemPath << "\n";
+                } else {
+                    std::cerr << "cannot write skolem file: " << skolemPath << "\n";
+                }
+            }
+            if (!certifyPath.empty()) {
+                std::ofstream out(certifyPath);
+                if (out) {
+                    out << artifact;
+                    std::cout << "c certificate         : " << artifact.size()
+                              << " bytes, "
+                              << cert::countAndNodes(*certificate.aig,
+                                                     certificate.functions)
+                              << " AIG nodes, self-check "
+                              << (check.ok() ? "ok" : "FAILED") << " -> " << certifyPath
+                              << "\n";
+                } else {
+                    std::cerr << "cannot write certificate file: " << certifyPath << "\n";
                 }
             }
         }
@@ -231,6 +305,25 @@ int main(int argc, char** argv)
         const PortfolioStats& st = solver.stats();
         std::cout << "c portfolio winner    : "
                   << (st.winnerName.empty() ? "(none)" : st.winnerName) << "\n";
+        if (request.certify && result == SolveResult::Sat) {
+            if (!st.winnerCertificate.empty() && !certifyPath.empty()) {
+                const cert::CheckResult check = selfCheck(st.winnerCertificate);
+                if (!check.ok()) OBS_COUNT("cert.selfcheck_fail", 1);
+                std::ofstream out(certifyPath);
+                if (out) {
+                    out << st.winnerCertificate;
+                    std::cout << "c certificate         : " << st.winnerCertificate.size()
+                              << " bytes from " << st.winnerName << ", self-check "
+                              << (check.ok() ? "ok" : "FAILED") << " -> " << certifyPath
+                              << "\n";
+                } else {
+                    std::cerr << "cannot write certificate file: " << certifyPath << "\n";
+                }
+            } else if (st.winnerCertificate.empty()) {
+                std::cout << "c certificate         : unavailable (winning engine "
+                             "cannot certify)\n";
+            }
+        }
         if (wantStats) {
             for (const EngineRunStats& es : st.engines) {
                 std::cout << "c engine " << es.name << " : " << toString(es.result)
@@ -241,6 +334,8 @@ int main(int argc, char** argv)
                     std::cout << "  (cancel latency " << es.cancelLatencyMilliseconds
                               << " ms)";
                 }
+                if (!es.certCheck.empty())
+                    std::cout << "  (cert-check " << es.certCheck << ")";
                 std::cout << "\n";
             }
             std::cout << "c total time          : " << st.totalMilliseconds << " ms\n";

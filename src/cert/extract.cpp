@@ -1,0 +1,27 @@
+#include "src/cert/extract.hpp"
+
+#include "src/obs/obs.hpp"
+
+namespace hqs::cert {
+
+Certificate extractCertificate(const DqbfFormula& original,
+                               const AigSkolemCertificate& skolem)
+{
+    Timer timer;
+    Certificate cert;
+    cert.formula = original.toParsed();
+    cert.hash = formulaHash(cert.formula);
+    cert.aig = skolem.aig;
+    for (Var y : original.existentials()) {
+        const auto it = skolem.functions.find(y);
+        // reconstructSkolem guarantees coverage; constant false keeps the
+        // artifact well-formed even if a caller hands a partial map.
+        cert.functions.push_back(it != skolem.functions.end() ? it->second
+                                                              : cert.aig->constFalse());
+    }
+    OBS_OBSERVE("cert.extract_ms", timer.elapsedMilliseconds());
+    OBS_GAUGE_MAX("cert.size_nodes", countAndNodes(*cert.aig, cert.functions));
+    return cert;
+}
+
+} // namespace hqs::cert

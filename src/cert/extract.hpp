@@ -1,0 +1,20 @@
+// Certificate extraction: turn the solver's reconstructed Skolem AIG into a
+// serializable, independently checkable artifact.
+//
+// This is the only part of the certification subsystem that links solver
+// code (it needs DqbfFormula and AigSkolemCertificate); the checker side in
+// certificate.hpp deliberately does not.
+#pragma once
+
+#include "src/cert/certificate.hpp"
+#include "src/dqbf/skolem_recorder.hpp"
+
+namespace hqs::cert {
+
+/// Build a certificate for @p original from the solver's Skolem
+/// reconstruction.  The AIG manager is shared (no copy); functions follow
+/// the formula's existential declaration order.  Records cert.extract_ms.
+Certificate extractCertificate(const DqbfFormula& original,
+                               const AigSkolemCertificate& skolem);
+
+} // namespace hqs::cert

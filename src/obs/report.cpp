@@ -199,7 +199,10 @@ void writeBenchTable1Json(std::ostream& os, const BenchTable1Report& report)
 {
     JsonWriter w(os);
     w.beginObject();
-    w.key("schema").value("hqs-bench-table1/v1");
+    // v2: the report grew the per-instance "instances" array — certification
+    // outcome, extract/check time, and certificate size for every benched
+    // instance — alongside the unchanged family rows and aggregates.
+    w.key("schema").value("hqs-bench-table1/v2");
     w.key("params").beginObject();
     w.key("timeout_seconds").value(report.timeoutSeconds);
     w.key("hqs_node_limit").value(report.hqsNodeLimit);
@@ -215,6 +218,20 @@ void writeBenchTable1Json(std::ostream& os, const BenchTable1Report& report)
         w.key("idq");
         writeSolverCells(w, row.idq);
         w.key("wrong_results").value(row.wrongResults);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("instances").beginArray();
+    for (const BenchInstanceRow& row : report.instances) {
+        w.beginObject();
+        w.key("name").value(row.name);
+        w.key("family").value(row.family);
+        w.key("hqs_result").value(row.hqsResult);
+        w.key("certified").value(row.certified);
+        w.key("cert_valid").value(row.certValid);
+        w.key("cert_extract_ms").value(row.certExtractMs);
+        w.key("cert_check_ms").value(row.certCheckMs);
+        w.key("cert_size_nodes").value(row.certSizeNodes);
         w.endObject();
     }
     w.endArray();

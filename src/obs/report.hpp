@@ -119,7 +119,7 @@ struct BenchServiceReport {
 void writeBenchServiceJson(std::ostream& os, const BenchServiceReport& report);
 
 // ---------------------------------------------------------------------------
-// BENCH_table1.json  (schema "hqs-bench-table1/v1")
+// BENCH_table1.json  (schema "hqs-bench-table1/v2")
 // ---------------------------------------------------------------------------
 
 /// One solver's cells of a Table I row.
@@ -139,6 +139,21 @@ struct BenchFamilyRow {
     int wrongResults = 0;
 };
 
+/// One instance's certification cells of the v2 report: whether a Skolem
+/// certificate was extracted for the HQS verdict, whether the independent
+/// checker accepted it, and what it cost.  All-default on UNSAT/unresolved
+/// instances (certified stays false).
+struct BenchInstanceRow {
+    std::string name;       ///< instance file stem
+    std::string family;     ///< family the instance was benched under
+    std::string hqsResult;  ///< "SAT", "UNSAT", ...
+    bool certified = false; ///< a certificate was extracted
+    bool certValid = false; ///< the independent checker accepted it
+    double certExtractMs = 0;      ///< extraction + serialization
+    double certCheckMs = 0;        ///< independent check (one SAT call)
+    std::int64_t certSizeNodes = 0; ///< AND nodes across the function cones
+};
+
 struct BenchTable1Report {
     // Suite parameters (the scaled-down regime the numbers were produced in).
     double timeoutSeconds = 0;
@@ -146,6 +161,9 @@ struct BenchTable1Report {
     std::uint64_t idqGroundClauseLimit = 0;
 
     std::vector<BenchFamilyRow> families; ///< per-family rows + computed total
+    /// v2: per-instance certification outcomes (one row per benched
+    /// instance, in bench order).
+    std::vector<BenchInstanceRow> instances;
 
     // Section IV aggregates.
     int hqsSolvedTotal = 0;

@@ -64,6 +64,18 @@ std::vector<RequestError> SolveRequest::validate() const
     } else if (timeoutSeconds < 0) {
         errors.push_back({"timeout", "timeout must be >= 0"});
     }
+    // Certification needs the Skolem-recording AIG elimination backend:
+    // idq/expand never build Skolem functions and hqs-bdd replays through a
+    // backend that does not record.
+    if (certify) {
+        if (const auto spec = parsedEngine();
+            spec && spec->kind != EngineSpec::Kind::Hqs &&
+            spec->kind != EngineSpec::Kind::Portfolio) {
+            errors.push_back({"certify", "certification requires an elimination "
+                                         "engine (hqs or portfolio), not \"" +
+                                             engine + "\""});
+        }
+    }
     return errors;
 }
 

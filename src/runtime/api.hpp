@@ -65,6 +65,7 @@ struct SolveRequest {
     std::size_t nodeLimit = 0;   ///< live-AIG-node / ground-clause budget
     bool stats = false;          ///< emit statistics with the verdict
     bool trace = false;          ///< record span traces
+    bool certify = false;        ///< extract a Skolem certificate on SAT
 
     /// Semantic validation: every violated rule yields one field-tagged
     /// error (empty vector = valid).  The only place in the tree that

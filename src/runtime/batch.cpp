@@ -11,6 +11,8 @@
 #include <unordered_map>
 
 #include "src/base/timer.hpp"
+#include "src/cert/certificate.hpp"
+#include "src/cert/extract.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/obs/obs.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
@@ -105,7 +107,32 @@ struct SolveOutcome {
     std::string engine;
     FailureInfo failure;
     BatchJobMetrics metrics;
+    BatchJobCertificate certificate;
 };
+
+/// Judge a serialized certificate through the independent parser/checker
+/// and record the outcome — the batch-side self-check before a row claims
+/// its SAT verdict is certified.
+void checkSerializedCertificate(BatchJobCertificate& c, const std::string& text,
+                                const Deadline& deadline)
+{
+    c.present = true;
+    cert::Certificate parsed;
+    std::string detail;
+    const cert::CheckStatus st = cert::parseCertificateString(text, parsed, detail);
+    cert::CheckResult res;
+    if (st == cert::CheckStatus::Ok) {
+        res = cert::checkCertificate(parsed, deadline);
+    } else {
+        res.status = st;
+        res.detail = std::move(detail);
+    }
+    c.valid = res.ok();
+    c.status = cert::toString(res.status);
+    c.checkMs = res.checkMs;
+    c.sizeNodes = static_cast<std::int64_t>(res.sizeNodes);
+    if (!c.valid) OBS_COUNT("cert.selfcheck_fail", 1);
+}
 
 /// Distill one job's registry scope into the JSONL metric fields.
 BatchJobMetrics collectJobMetrics(const obs::MetricScope& scope)
@@ -159,10 +186,15 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
             popts.deadline = dl;
             popts.nodeLimit = nodeLimit;
             popts.engines = PortfolioSolver::defaultEngines(nodeLimit, rung.fraig);
+            popts.certify = opts.certify;
             PortfolioSolver solver(popts);
             const SolveResult r = solver.solve(formula);
             out.engine = solver.stats().winnerName;
             if (solver.stats().failure) out.failure = solver.stats().failure;
+            if (opts.certify && !solver.stats().winnerCertificate.empty()) {
+                checkSerializedCertificate(out.certificate,
+                                           solver.stats().winnerCertificate, dl);
+            }
             return r;
         }
         HqsOptions hopts;
@@ -172,9 +204,20 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
         if (opts.fraigThresholdNodes != 0)
             hopts.fraigThresholdNodes = opts.fraigThresholdNodes;
         if (rung.bddBackend) hopts.backend = HqsOptions::Backend::BddElimination;
+        // Certification needs the Skolem-recording AIG elimination run; BDD
+        // fallback rungs answer uncertified rather than not at all.
+        if (opts.certify && !rung.bddBackend) hopts.computeSkolem = true;
         HqsSolver solver(hopts);
         const SolveResult r = solver.solve(formula);
         out.engine = "hqs";
+        if (r == SolveResult::Sat && hopts.computeSkolem && solver.skolemCertificate()) {
+            Timer extractTimer;
+            const cert::Certificate extracted =
+                cert::extractCertificate(formula, *solver.skolemCertificate());
+            const std::string text = cert::toCertificateString(extracted);
+            out.certificate.extractMs = extractTimer.elapsedMilliseconds();
+            checkSerializedCertificate(out.certificate, text, dl);
+        }
         return r;
     });
     out.result = guarded.result;
@@ -237,6 +280,14 @@ std::string toJsonlLine(const BatchJobResult& r)
            << ",\"eliminations\":" << m.eliminations << ",\"copies\":" << m.copies
            << '}';
     }
+    if (r.certificate.present) {
+        const BatchJobCertificate& c = r.certificate;
+        os << ",\"certificate\":{\"valid\":" << (c.valid ? "true" : "false")
+           << ",\"status\":";
+        writeJsonString(os, c.status);
+        os << ",\"extract_ms\":" << c.extractMs << ",\"check_ms\":" << c.checkMs
+           << ",\"size_nodes\":" << c.sizeNodes << '}';
+    }
     os << "}\n";
     return std::move(os).str();
 }
@@ -285,6 +336,15 @@ bool readJsonl(const std::string& line, BatchJobResult& out)
         r.metrics.eliminations = static_cast<std::int64_t>(num);
     if (readJsonNumberField(line, "copies", num))
         r.metrics.copies = static_cast<std::int64_t>(num);
+    if (line.find("\"certificate\":{") != std::string::npos) {
+        r.certificate.present = true;
+        r.certificate.valid = line.find("\"valid\":true") != std::string::npos;
+        readJsonStringField(line, "status", r.certificate.status);
+        if (readJsonNumberField(line, "extract_ms", num)) r.certificate.extractMs = num;
+        if (readJsonNumberField(line, "check_ms", num)) r.certificate.checkMs = num;
+        if (readJsonNumberField(line, "size_nodes", num))
+            r.certificate.sizeNodes = static_cast<std::int64_t>(num);
+    }
     out = std::move(r);
     return true;
 }
@@ -399,6 +459,7 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                     r.engine = out.engine;
                     r.failure = out.failure;
                     r.metrics = out.metrics;
+                    r.certificate = out.certificate;
                     r.rung = ladder[rungIdx].name;
                     r.degraded = rungIdx > 0;
                     if (opts_.cancel.cancelled() && !isConclusive(r.result) && !r.failure)

@@ -51,6 +51,11 @@ struct BatchOptions {
     std::size_t fraigThresholdNodes = 0;
     /// Solve each instance with a portfolio race instead of single HQS.
     bool portfolio = false;
+    /// Extract a Skolem certificate for every SAT verdict and self-check it
+    /// through the independent parser/checker; the outcome lands in each
+    /// row's `certificate` block.  BDD-backend rungs cannot record Skolem
+    /// traces and skip extraction.
+    bool certify = false;
     /// In portfolio mode: race only the first N default engines (0 = all).
     std::size_t portfolioEngines = 0;
     /// Degradation ladder; rung 0 is the primary configuration.  An attempt
@@ -82,6 +87,18 @@ struct BatchJobMetrics {
     }
 };
 
+/// Certificate outcome of one SAT verdict under BatchOptions::certify.
+struct BatchJobCertificate {
+    bool present = false;    ///< a certificate was extracted for this verdict
+    bool valid = false;      ///< independent checker accepted it
+    std::string status;      ///< checker status ("ok", "refuted", ...)
+    double extractMs = 0.0;  ///< extraction + serialization time
+    double checkMs = 0.0;    ///< independent check time
+    std::int64_t sizeNodes = 0; ///< AND nodes across the function cones
+
+    bool any() const { return present; }
+};
+
 /// Result of one instance, in input order.
 struct BatchJobResult {
     std::string instance;  ///< path as given
@@ -99,6 +116,9 @@ struct BatchJobResult {
     /// Registry metrics of the final attempt; survives a JSONL round-trip,
     /// so --resume keeps the fields of already-solved instances.
     BatchJobMetrics metrics;
+    /// Certificate outcome (present only under BatchOptions::certify on a
+    /// SAT verdict); survives a JSONL round-trip like `metrics`.
+    BatchJobCertificate certificate;
 };
 
 /// Serialize @p r as one JSONL row, terminating newline included.  The row

@@ -6,6 +6,8 @@
 #include <optional>
 #include <thread>
 
+#include "src/cert/certificate.hpp"
+#include "src/cert/extract.hpp"
 #include "src/dqbf/dqbf_oracle.hpp"
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/idq/idq_solver.hpp"
@@ -23,6 +25,7 @@ PortfolioOptions PortfolioSolver::optionsFromRequest(const api::SolveRequest& re
         spec && spec->kind == api::EngineSpec::Kind::Portfolio) {
         opts.maxEngines = spec->portfolioEngines;
     }
+    opts.certify = request.certify;
     return opts;
 }
 
@@ -40,27 +43,107 @@ std::vector<PortfolioEngine> PortfolioSolver::defaultEngines(std::size_t nodeLim
             return solver.solve(f);
         };
     };
+    // Certifying variant for the AIG-elimination configurations: Skolem
+    // recording on, and on Sat the reconstructed functions are serialized
+    // into the caller's slot as a checkable artifact.
+    auto hqsCertifyEngine = [nodeLimit, fraig](HqsOptions::Selection sel) {
+        return [nodeLimit, fraig, sel](const DqbfFormula& f, const Deadline& dl,
+                                       std::string* certOut) {
+            HqsOptions opts;
+            opts.selection = sel;
+            opts.backend = HqsOptions::Backend::AigElimination;
+            opts.nodeLimit = nodeLimit;
+            opts.fraig = fraig;
+            opts.deadline = dl;
+            opts.computeSkolem = true;
+            HqsSolver solver(opts);
+            const SolveResult r = solver.solve(f);
+            if (r == SolveResult::Sat && certOut && solver.skolemCertificate()) {
+                *certOut = cert::toCertificateString(
+                    cert::extractCertificate(f, *solver.skolemCertificate()));
+            }
+            return r;
+        };
+    };
     std::vector<PortfolioEngine> engines;
-    engines.push_back({"hqs-maxsat", hqsEngine(HqsOptions::Selection::MaxSat,
-                                               HqsOptions::Backend::AigElimination)});
-    engines.push_back({"hqs-greedy", hqsEngine(HqsOptions::Selection::Greedy,
-                                               HqsOptions::Backend::AigElimination)});
-    engines.push_back({"hqs-bdd", hqsEngine(HqsOptions::Selection::MaxSat,
-                                            HqsOptions::Backend::BddElimination)});
-    engines.push_back({"idq", [nodeLimit](const DqbfFormula& f, const Deadline& dl) {
+    engines.push_back({"hqs-maxsat",
+                       hqsEngine(HqsOptions::Selection::MaxSat,
+                                 HqsOptions::Backend::AigElimination),
+                       hqsCertifyEngine(HqsOptions::Selection::MaxSat)});
+    engines.push_back({"hqs-greedy",
+                       hqsEngine(HqsOptions::Selection::Greedy,
+                                 HqsOptions::Backend::AigElimination),
+                       hqsCertifyEngine(HqsOptions::Selection::Greedy)});
+    engines.push_back({"hqs-bdd",
+                       hqsEngine(HqsOptions::Selection::MaxSat,
+                                 HqsOptions::Backend::BddElimination),
+                       {}});
+    engines.push_back({"idq",
+                       [nodeLimit](const DqbfFormula& f, const Deadline& dl) {
                            IdqOptions opts;
                            opts.deadline = dl;
                            opts.groundClauseLimit = nodeLimit;
                            IdqSolver solver(opts);
                            return solver.solve(f);
-                       }});
-    engines.push_back({"expand", [](const DqbfFormula& f, const Deadline& dl) {
+                       },
+                       {}});
+    engines.push_back({"expand",
+                       [](const DqbfFormula& f, const Deadline& dl) {
                            // Full expansion is exponential in the universal
                            // count; beyond ~22 it would only burn a core.
                            if (f.universals().size() > 22) return SolveResult::Unknown;
                            return expansionDqbf(f, dl);
-                       }});
+                       },
+                       {}});
     return engines;
+}
+
+SolveResult PortfolioSolver::judgeDisagreement(const std::string& contradiction)
+{
+    // A conclusive contradiction always pits Sat against Unsat.  A valid
+    // certificate proves the Sat side outright; a certificate the checker
+    // rejects means the Sat claim failed its own proof obligation, and the
+    // Unsat side is vindicated.  Timeouts and absent certificates decide
+    // nothing.
+    bool sawRejected = false;
+    std::string rejectedWhat;
+    for (EngineRunStats& es : stats_.engines) {
+        if (es.result != SolveResult::Sat || es.certificate.empty()) continue;
+        cert::Certificate parsed;
+        std::string detail;
+        cert::CheckStatus status =
+            cert::parseCertificateString(es.certificate, parsed, detail);
+        if (status == cert::CheckStatus::Ok) {
+            status = cert::checkCertificate(parsed, opts_.deadline).status;
+        }
+        es.certCheck = cert::toString(status);
+        OBS_COUNT("portfolio.disagreement_certchecks", 1);
+        if (status == cert::CheckStatus::Ok) {
+            es.winner = true;
+            stats_.winnerName = es.name;
+            stats_.winnerCertificate = es.certificate;
+            stats_.failure = {FailureKind::Disagreement, "portfolio.certcheck",
+                              contradiction + "; certificate check vindicated " +
+                                  es.name};
+            return SolveResult::Sat;
+        }
+        if (status != cert::CheckStatus::SolverTimeout) {
+            sawRejected = true;
+            rejectedWhat = contradiction + "; certificate of " + es.name +
+                           " rejected (" + cert::toString(status) + ")";
+        }
+    }
+    if (sawRejected) {
+        for (EngineRunStats& es : stats_.engines) {
+            if (es.result != SolveResult::Unsat) continue;
+            es.winner = true;
+            stats_.winnerName = es.name;
+            stats_.failure = {FailureKind::Disagreement, "portfolio.certcheck",
+                              rejectedWhat + ", vindicated " + es.name};
+            return SolveResult::Unsat;
+        }
+    }
+    return SolveResult::Unknown;
 }
 
 SolveResult PortfolioSolver::solve(const DqbfFormula& f)
@@ -107,8 +190,13 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
                 Timer t;
                 SolveResult r = SolveResult::Unknown;
                 FailureInfo failure;
+                std::string certText;
                 try {
-                    r = engines[i].run(f, dl);
+                    if (opts_.certify && engines[i].runCertify) {
+                        r = engines[i].runCertify(f, dl, &certText);
+                    } else {
+                        r = engines[i].run(f, dl);
+                    }
                 } catch (...) {
                     // An engine crashing must not take the race down; record
                     // what it died on so the stats tell the story.
@@ -122,6 +210,7 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
                 EngineRunStats& es = stats_.engines[i];
                 es.result = r;
                 es.failure = std::move(failure);
+                es.certificate = std::move(certText);
                 es.elapsedMilliseconds = elapsed;
                 if (isConclusive(r) && !winner) {
                     winner = i;
@@ -194,18 +283,26 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
     // Cross-check every conclusive racer before answering: two engines
     // contradicting each other means at least one solver is wrong, and
     // answering with whichever happened to finish first would silently
-    // launder the bug into a verdict.  Report Unknown with a structured
-    // disagreement record instead.
+    // launder the bug into a verdict.  When a Sat racer carries a
+    // certificate, the independent checker re-judges it and its verdict
+    // breaks the tie; otherwise report Unknown with a structured
+    // disagreement record.
     for (const EngineRunStats& a : stats_.engines) {
         if (!isConclusive(a.result)) continue;
         for (const EngineRunStats& b : stats_.engines) {
             if (isConclusive(b.result) && a.result != b.result) {
                 stats_.disagreement = true;
-                stats_.failure = {FailureKind::Disagreement, "portfolio",
-                                  a.name + "=" + toString(a.result) + " vs " + b.name +
-                                      "=" + toString(b.result)};
+                const std::string contradiction = a.name + "=" + toString(a.result) +
+                                                  " vs " + b.name + "=" +
+                                                  toString(b.result);
                 stats_.winnerName.clear();
                 for (EngineRunStats& es : stats_.engines) es.winner = false;
+                if (const SolveResult judged = judgeDisagreement(contradiction);
+                    isConclusive(judged)) {
+                    return judged;
+                }
+                stats_.failure = {FailureKind::Disagreement, "portfolio",
+                                  contradiction};
                 return SolveResult::Unknown;
             }
         }
@@ -213,6 +310,7 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
 
     if (winner) {
         stats_.winnerName = engines[*winner].name;
+        stats_.winnerCertificate = stats_.engines[*winner].certificate;
 #if HQS_OBS_ENABLED
         // Dynamic metric name (one counter per engine), so the per-call-site
         // static cache of OBS_COUNT does not apply.

@@ -30,6 +30,12 @@ namespace hqs {
 struct PortfolioEngine {
     std::string name;
     std::function<SolveResult(const DqbfFormula&, const Deadline&)> run;
+    /// Optional certifying variant: like run(), but on Sat additionally
+    /// serializes a Skolem certificate artifact into *certOut.  Engines that
+    /// cannot certify (BDD backend, idq, expand) leave this empty; the race
+    /// falls back to run() for them even under PortfolioOptions::certify.
+    std::function<SolveResult(const DqbfFormula&, const Deadline&, std::string* certOut)>
+        runCertify;
 };
 
 struct PortfolioOptions {
@@ -45,6 +51,11 @@ struct PortfolioOptions {
     /// External kill switch for the whole race (batch scheduler shutdown).
     /// When set, a monitor thread forwards it to every racer mid-run.
     std::optional<CancelToken> cancel;
+    /// Ask certificate-capable racers to extract Skolem certificates on Sat.
+    /// Also arms the disagreement tie-breaker: contradictory verdicts are
+    /// re-judged by the independent certificate checker when a certificate
+    /// is available, instead of unconditionally degrading to Unknown.
+    bool certify = false;
 };
 
 /// Outcome of a single racer within one solve() call.
@@ -60,15 +71,27 @@ struct EngineRunStats {
     /// Structured record of the exception this racer died on (kind None for
     /// a racer that returned normally).
     FailureInfo failure;
+    /// Serialized certificate artifact (empty unless this racer returned Sat
+    /// under PortfolioOptions::certify with a certificate-capable engine).
+    std::string certificate;
+    /// Independent checker's verdict on this racer's certificate, when it
+    /// was consulted to break a disagreement ("ok", "refuted", ...).
+    std::string certCheck;
 };
 
 struct PortfolioStats {
     std::vector<EngineRunStats> engines;
     std::string winnerName;            ///< empty when no engine was definitive
+    /// The winner's serialized certificate (empty when not certifying or the
+    /// winning engine cannot certify).
+    std::string winnerCertificate;
     double totalMilliseconds = 0.0;
     /// Two racers returned contradictory definitive answers — a solver bug.
-    /// The race then reports Unknown (never a coin-flip verdict) and
-    /// `failure` names the contradicting engines.
+    /// Without a certificate the race then reports Unknown (never a
+    /// coin-flip verdict) and `failure` names the contradicting engines.
+    /// When a Sat racer produced a certificate, the independent checker
+    /// re-judges it and its verdict breaks the tie; `failure.site` becomes
+    /// "portfolio.certcheck" and `failure.what` names the vindicated engine.
     bool disagreement = false;
     /// Race-level failure: Disagreement, or Cancelled when the external
     /// kill switch fired before any verdict.
@@ -101,6 +124,12 @@ public:
     static PortfolioOptions optionsFromRequest(const api::SolveRequest& request);
 
 private:
+    /// Re-judge a Sat-vs-Unsat contradiction with the independent
+    /// certificate checker.  Returns Sat or Unsat when a certificate settles
+    /// the tie (stats_ updated: vindicated winner, failure record with site
+    /// "portfolio.certcheck"), Unknown when no certificate is conclusive.
+    SolveResult judgeDisagreement(const std::string& contradiction);
+
     PortfolioOptions opts_;
     PortfolioStats stats_;
 };

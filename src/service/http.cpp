@@ -287,6 +287,23 @@ bool jsonNumberField(const std::string& obj, const std::string& key, double& out
     return true;
 }
 
+bool jsonBoolField(const std::string& obj, const std::string& key, bool& out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t start = obj.find(needle);
+    if (start == std::string::npos) return false;
+    const std::size_t pos = start + needle.size();
+    if (obj.compare(pos, 4, "true") == 0) {
+        out = true;
+        return true;
+    }
+    if (obj.compare(pos, 5, "false") == 0) {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
 // ------------------------------------------------------ solve protocol ---
 
 std::string buildHttpSolveRequest(const std::string& formula,
@@ -313,6 +330,7 @@ std::string buildHttpSolveRequest(const std::string& formula,
         out += opts.engine;
         out += "\r\n";
     }
+    if (opts.certify) out += "certify: 1\r\n";
     if (!keepAlive) out += "Connection: close\r\n";
     out += "\r\n";
     out += formula;
@@ -329,6 +347,7 @@ std::string buildJsonlSolveRequest(const std::string& id, const std::string& for
     if (opts.rssLimitBytes > 0)
         out += ",\"rss_limit_mb\":" + std::to_string(opts.rssLimitBytes / (1024 * 1024));
     if (!opts.engine.empty()) out += ",\"engine\":\"" + jsonEscape(opts.engine) + "\"";
+    if (opts.certify) out += ",\"certify\":true";
     out += ",\"formula\":\"" + jsonEscape(formula) + "\"}\n";
     return out;
 }

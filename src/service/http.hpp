@@ -101,15 +101,23 @@ bool jsonStringField(const std::string& obj, const std::string& key, std::string
 /// Extract the number following `"key":`.  False when absent or malformed.
 bool jsonNumberField(const std::string& obj, const std::string& key, double& out);
 
+/// Extract the boolean following `"key":`.  False when absent or malformed.
+bool jsonBoolField(const std::string& obj, const std::string& key, bool& out);
+
 // ------------------------------------------------------ solve protocol ---
 
 /// Per-request solver options, carried as HTTP headers (`timeout-ms`,
-/// `rss-limit-mb`, `engine`) or as the same-named JSONL row fields
-/// (`timeout_ms`, `rss_limit_mb`, `engine`).
+/// `rss-limit-mb`, `engine`, `certify`) or as the same-named JSONL row
+/// fields (`timeout_ms`, `rss_limit_mb`, `engine`, `certify`).
 struct SolveRequestOptions {
     double timeoutSeconds = 0;      ///< 0 = server default
     std::size_t rssLimitBytes = 0;  ///< 0 = server default
     std::string engine;             ///< "" = server default ("hqs")
+    /// Request a Skolem certificate with a SAT verdict.  The response gains
+    /// a `certificate` object (serialized artifact plus metadata) unless the
+    /// artifact exceeds the server's byte cap — then HTTP callers get 413
+    /// and JSONL rows a `certificate_error` field.
+    bool certify = false;
 };
 
 /// One `POST /solve` request with @p formula (DQDIMACS text) as the body.

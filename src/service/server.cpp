@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "src/base/cancel.hpp"
+#include "src/cert/certificate.hpp"
+#include "src/cert/extract.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
 #include "src/dqbf/hqs_solver.hpp"
@@ -109,6 +111,9 @@ struct SolverService::Impl {
     struct Completion {
         std::uint64_t reqId = 0;
         std::string bodyFragment; ///< `"result":...` JSON fields, no braces
+        /// HTTP status of the response (JSONL rows ignore it): 200, or 413
+        /// when a requested certificate exceeded maxCertificateBytes.
+        int status = 200;
     };
     std::mutex completionMu;
     std::vector<Completion> completions;
@@ -511,7 +516,12 @@ struct SolverService::Impl {
             problem = "malformed rss-limit-mb";
         } else {
             if (const std::string* e = req.header("engine")) request.engine = *e;
-            problem = vetRequest(request, spec);
+            if (const std::string* z = req.header("certify")) {
+                if (*z == "1" || *z == "true") request.certify = true;
+                else if (*z == "0" || *z == "false") request.certify = false;
+                else problem = "malformed certify";
+            }
+            if (problem.empty()) problem = vetRequest(request, spec);
         }
         if (!problem.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
@@ -531,6 +541,7 @@ struct SolverService::Impl {
         SolveRequestOptions ropts;
         ropts.timeoutSeconds = request.timeoutSeconds;
         ropts.rssLimitBytes = request.rssLimitBytes;
+        ropts.certify = request.certify;
         admit(c, /*rowId=*/"", keepAlive, req.body, ropts, spec);
         return true;
     }
@@ -565,6 +576,7 @@ struct SolverService::Impl {
         }
         jsonStringField(line, "engine", request.engine);
         if (request.engine.empty()) request.engine = "hqs";
+        jsonBoolField(line, "certify", request.certify);
         if (!jsonStringField(line, "formula", formula) || formula.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
@@ -585,6 +597,7 @@ struct SolverService::Impl {
         SolveRequestOptions ropts;
         ropts.timeoutSeconds = request.timeoutSeconds;
         ropts.rssLimitBytes = request.rssLimitBytes;
+        ropts.certify = request.certify;
         admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
         return true;
     }
@@ -652,6 +665,7 @@ struct SolverService::Impl {
         Timer t;
         std::string engineName = spec.kind == EngineSpec::Kind::HqsBdd ? "hqs-bdd" : "hqs";
         FailureInfo raceFailure;
+        std::string certText; ///< serialized certificate of a certify+Sat solve
 
         GuardOptions gopts;
         gopts.deadline = Deadline::in(ropts.timeoutSeconds);
@@ -665,10 +679,12 @@ struct SolverService::Impl {
                 popts.deadline = dl;
                 popts.nodeLimit = opts.nodeLimit;
                 popts.maxEngines = spec.portfolioEngines;
+                popts.certify = ropts.certify;
                 PortfolioSolver solver(popts);
                 const SolveResult r = solver.solve(f);
                 engineName = solver.stats().winnerName;
                 if (solver.stats().failure) raceFailure = solver.stats().failure;
+                certText = solver.stats().winnerCertificate;
                 return r;
             }
             HqsOptions hopts;
@@ -676,8 +692,15 @@ struct SolverService::Impl {
             hopts.nodeLimit = opts.nodeLimit;
             if (spec.kind == EngineSpec::Kind::HqsBdd)
                 hopts.backend = HqsOptions::Backend::BddElimination;
+            // vetRequest rejected certify+hqs-bdd, so this never overrides
+            // the BDD backend choice above.
+            if (ropts.certify) hopts.computeSkolem = true;
             HqsSolver solver(hopts);
-            return solver.solve(f);
+            const SolveResult r = solver.solve(f);
+            if (ropts.certify && r == SolveResult::Sat && solver.skolemCertificate())
+                certText = cert::toCertificateString(
+                    cert::extractCertificate(f, *solver.skolemCertificate()));
+            return r;
         });
 
         const double wallMs = t.elapsedMilliseconds();
@@ -699,11 +722,59 @@ struct SolverService::Impl {
                     "\",\"site\":\"" + jsonEscape(failure.site) + "\",\"what\":\"" +
                     jsonEscape(failure.what) + "\"}";
         }
+        int status = 200;
+        if (ropts.certify && outcome.result == SolveResult::Sat)
+            status = appendCertificate(body, certText, gopts.deadline);
         {
             std::lock_guard<std::mutex> lock(completionMu);
-            completions.push_back({reqId, std::move(body)});
+            completions.push_back({reqId, std::move(body), status});
         }
         wake();
+    }
+
+    /// Attach the certificate of a certify+Sat solve to @p body: the
+    /// size-capped `certificate` object (optionally self-checked through the
+    /// independent parser/checker first), or a `certificate_error` field.
+    /// Returns the HTTP status for the response (JSONL rows ignore it).
+    int appendCertificate(std::string& body, const std::string& certText,
+                          const Deadline& deadline)
+    {
+        if (certText.empty()) {
+            // A portfolio race can be won by an engine that cannot certify.
+            body += ",\"certificate_error\":\"unavailable\"";
+            return 200;
+        }
+        if (certText.size() > opts.maxCertificateBytes) {
+            counters.certTooLarge.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("service.cert.too_large", 1);
+            body += ",\"certificate_error\":\"certificate size " +
+                    std::to_string(certText.size()) + " exceeds cap " +
+                    std::to_string(opts.maxCertificateBytes) + "\"";
+            return 413;
+        }
+        std::string selfCheck;
+        if (opts.certSelfCheck) {
+            cert::Certificate parsed;
+            std::string detail;
+            cert::CheckStatus st = cert::parseCertificateString(certText, parsed, detail);
+            if (st == cert::CheckStatus::Ok) st = cert::checkCertificate(parsed, deadline).status;
+            selfCheck = cert::toString(st);
+            if (st != cert::CheckStatus::Ok) {
+                // Never ship a certificate the server itself could not
+                // validate; the verdict still goes out, bytes withheld.
+                counters.certSelfCheckFails.fetch_add(1, std::memory_order_relaxed);
+                OBS_COUNT("cert.selfcheck_fail", 1);
+                body += ",\"certificate\":{\"self_check\":\"" + selfCheck +
+                        "\",\"error\":\"self-check failed; certificate withheld\"}";
+                return 200;
+            }
+        }
+        counters.certificatesIssued.fetch_add(1, std::memory_order_relaxed);
+        OBS_COUNT("service.cert.issued", 1);
+        body += ",\"certificate\":{\"size_bytes\":" + std::to_string(certText.size());
+        if (!selfCheck.empty()) body += ",\"self_check\":\"" + selfCheck + "\"";
+        body += ",\"bytes\":\"" + jsonEscape(certText) + "\"}";
+        return 200;
     }
 
     // -------------------------------------------------- loop: responses --
@@ -735,7 +806,7 @@ struct SolverService::Impl {
                 row += "}\n";
                 queueWrite(c, row);
             } else {
-                queueWrite(c, httpResponse(200, "application/json",
+                queueWrite(c, httpResponse(done.status, "application/json",
                                            "{" + done.bodyFragment + "}", p.keepAlive));
                 if (!p.keepAlive) c.closeAfterFlush = true;
             }
@@ -827,10 +898,15 @@ struct SolverService::Impl {
         put("bad_requests", counters.badRequests);
         put("disconnects", counters.disconnects);
         put("disconnect_cancels", counters.disconnectCancels);
+        put("certificates_issued", counters.certificatesIssued);
+        put("cert_selfcheck_fails", counters.certSelfCheckFails);
+        put("cert_too_large", counters.certTooLarge);
         w.endObject();
         w.key("limits").beginObject();
         w.key("max_inflight").value(static_cast<std::int64_t>(opts.maxInflight));
         w.key("max_queue").value(static_cast<std::int64_t>(opts.maxQueue));
+        w.key("max_certificate_bytes")
+            .value(static_cast<std::int64_t>(opts.maxCertificateBytes));
         w.endObject();
         w.endObject();
         return os.str();

@@ -9,7 +9,7 @@
 //
 // Two listeners:
 //   * HTTP/1.1 — `POST /solve` (DQDIMACS body; per-request `timeout-ms`,
-//     `rss-limit-mb`, `engine` headers) plus `GET /metrics` (Prometheus
+//     `rss-limit-mb`, `engine`, `certify` headers) plus `GET /metrics` (Prometheus
 //     text from the obs registry), `GET /healthz`, and `GET /stats`;
 //   * JSONL — one JSON request row per line, pipelined responses tagged by
 //     the row's `id`, for batch clients that want many solves per
@@ -66,6 +66,18 @@ struct ServiceOptions {
 
     std::size_t maxBodyBytes = 16u << 20;
 
+    /// Largest serialized Skolem certificate the service will return.  A
+    /// `certify` solve whose artifact exceeds this answers 413 over HTTP
+    /// (the verdict still included in the body) and a `certificate_error`
+    /// field on a JSONL row — the solve itself is never discarded.
+    std::size_t maxCertificateBytes = 4u << 20;
+    /// Self-check-before-reply: run the independent certificate checker on
+    /// every certificate before attaching it to a response.  A certificate
+    /// that fails its own check is withheld (the verdict still ships, with
+    /// the failing status in the `certificate` object) and counted in
+    /// ServiceCounters::certSelfCheckFails / `cert.selfcheck_fail`.
+    bool certSelfCheck = false;
+
     /// Test hook: when set, replaces the real parse+solve of every request.
     /// Receives the raw formula text and the request's Deadline (which
     /// carries the disconnect/drain CancelToken); must poll the deadline
@@ -90,6 +102,9 @@ struct ServiceCounters {
     std::atomic<std::uint64_t> disconnectCancels{0};  ///< solves cancelled by one
     std::atomic<std::uint64_t> pendingSolves{0};      ///< admitted, not yet answered
     std::atomic<std::uint64_t> openConnections{0};
+    std::atomic<std::uint64_t> certificatesIssued{0};  ///< certificate bytes shipped
+    std::atomic<std::uint64_t> certSelfCheckFails{0};  ///< withheld by self-check
+    std::atomic<std::uint64_t> certTooLarge{0};        ///< 413 / certificate_error rows
 };
 
 class SolverService {

@@ -1,0 +1,56 @@
+# cert/cli-roundtrip: end-to-end certification through the binaries.
+#   1. dqbf_solve --certify=FILE on the SAT sample must exit 10 (SAT) and
+#      write a certificate that dqbf_check accepts (exit 0).
+#   2. dqbf_check --formula must enforce the hash binding against the
+#      original instance.
+#   3. Every corpus mutation under data/cert/ must be rejected with exit 2
+#      (structured rejection), never a crash or an accept.
+#
+# Invoked as: cmake -DDQBF_SOLVE=... -DDQBF_CHECK=... -DDATA_DIR=...
+#             -DWORK_DIR=... -P cert_cli_roundtrip.cmake
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cert "${WORK_DIR}/example1_sat.cert")
+set(instance "${DATA_DIR}/example1_sat.dqdimacs")
+
+execute_process(COMMAND "${DQBF_SOLVE}" "--certify=${cert}" "${instance}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 10)
+  message(FATAL_ERROR "dqbf_solve --certify exited ${rc} (want 10/SAT): ${out}")
+endif()
+
+execute_process(COMMAND "${DQBF_CHECK}" "${cert}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqbf_check rejected a fresh certificate (exit ${rc}): ${out}")
+endif()
+
+execute_process(COMMAND "${DQBF_CHECK}" "--formula=${instance}" "${cert}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqbf_check --formula rejected the matching instance "
+                      "(exit ${rc}): ${out}")
+endif()
+
+execute_process(COMMAND "${DQBF_CHECK}"
+                "--formula=${DATA_DIR}/example1_unsat.dqdimacs" "${cert}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "dqbf_check --formula accepted a certificate for a "
+                      "different instance (exit ${rc}): ${out}")
+endif()
+
+file(GLOB corpus "${DATA_DIR}/cert/*.cert")
+list(LENGTH corpus n)
+if(n LESS 5)
+  message(FATAL_ERROR "corrupt-certificate corpus is missing files (found ${n})")
+endif()
+foreach(bad ${corpus})
+  execute_process(COMMAND "${DQBF_CHECK}" "${bad}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "dqbf_check on ${bad} exited ${rc} (want 2): ${out}")
+  endif()
+endforeach()
+
+message(STATUS "cert/cli-roundtrip: solve -> check round trip and corpus rejections ok")

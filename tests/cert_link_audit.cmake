@@ -1,0 +1,43 @@
+# cert/link-audit: assert that the dqbf_check binary links no solver
+# objects.  The checker's trust model (see src/cert/ and DESIGN.md §8) only
+# holds if a bug in the elimination engines cannot also be a bug in the
+# checker — so its link line may contain the AIG kernel, the CNF bridge,
+# the SAT backend, and obs, but never hqs_dqbf / hqs_qbf / hqs_idq /
+# hqs_bdd / hqs_pec / hqs_runtime.
+#
+# Invoked as: cmake -DBUILD_DIR=<build> -P cert_link_audit.cmake
+# Reads the Makefile generator's link.txt for the dqbf_check target, falling
+# back to build.ninja for the Ninja generator.
+
+set(link_line "")
+file(GLOB_RECURSE link_files "${BUILD_DIR}/examples/CMakeFiles/dqbf_check.dir/link.txt")
+if(link_files)
+  list(GET link_files 0 link_file)
+  file(READ "${link_file}" link_line)
+elseif(EXISTS "${BUILD_DIR}/build.ninja")
+  # Ninja: extract the build statement block for the dqbf_check link.
+  file(READ "${BUILD_DIR}/build.ninja" ninja)
+  string(REGEX MATCH "build [^\n]*dqbf_check[^\n]*: CXX_EXECUTABLE_LINKER[^\n]*\n([ ]+[^\n]*\n)*" link_line "${ninja}")
+endif()
+
+if(link_line STREQUAL "")
+  message(FATAL_ERROR "cert/link-audit: cannot find the dqbf_check link line "
+                      "under ${BUILD_DIR} (neither link.txt nor build.ninja)")
+endif()
+
+foreach(forbidden hqs_dqbf hqs_qbf hqs_idq hqs_bdd hqs_pec hqs_runtime)
+  if(link_line MATCHES "${forbidden}")
+    message(FATAL_ERROR "cert/link-audit: dqbf_check links ${forbidden} — the "
+                        "independent checker must not share solver code "
+                        "(link line: ${link_line})")
+  endif()
+endforeach()
+
+# Sanity: the line we audited really is a link line for the checker.
+if(NOT link_line MATCHES "hqs_cert")
+  message(FATAL_ERROR "cert/link-audit: the audited line does not mention "
+                      "hqs_cert; the audit is looking at the wrong artifact: "
+                      "${link_line}")
+endif()
+
+message(STATUS "cert/link-audit: dqbf_check links no solver objects")

@@ -338,8 +338,10 @@ TEST(PortfolioGuard, ContradictoryVerdictsYieldUnknownNotACoinFlip)
 {
     PortfolioOptions opts;
     opts.engines = {
-        {"says-sat", [](const DqbfFormula&, const Deadline&) { return SolveResult::Sat; }},
-        {"says-unsat", [](const DqbfFormula&, const Deadline&) { return SolveResult::Unsat; }},
+        {"says-sat", [](const DqbfFormula&, const Deadline&) { return SolveResult::Sat; },
+         {}},
+        {"says-unsat", [](const DqbfFormula&, const Deadline&) { return SolveResult::Unsat; },
+         {}},
     };
     PortfolioSolver solver(opts);
     const DqbfFormula f =
@@ -361,8 +363,10 @@ TEST(PortfolioGuard, ThrowingEngineIsRecordedAndTheRaceStillAnswers)
         {"crasher",
          [](const DqbfFormula&, const Deadline&) -> SolveResult {
              throw std::runtime_error("engine bug");
-         }},
-        {"steady", [](const DqbfFormula&, const Deadline&) { return SolveResult::Sat; }},
+         },
+         {}},
+        {"steady", [](const DqbfFormula&, const Deadline&) { return SolveResult::Sat; },
+         {}},
     };
     PortfolioSolver solver(opts);
     const DqbfFormula f =

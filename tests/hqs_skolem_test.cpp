@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "src/base/rng.hpp"
+#include "src/cert/certificate.hpp"
+#include "src/cert/extract.hpp"
 #include "src/dqbf/dqbf_oracle.hpp"
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/pec/box_synthesis.hpp"
@@ -12,6 +14,30 @@
 
 namespace hqs {
 namespace {
+
+/// Production-path verification: extract the certificate artifact, serialize
+/// it, re-parse, and run the independent checker — the same pipeline that
+/// `dqbf_solve --certify` + `dqbf_check` exercise.  Replaces the old
+/// test-only verifyAigSkolemCertificate route, so every Skolem test is also
+/// an end-to-end certification test.
+::testing::AssertionResult certifiesThroughProduction(const DqbfFormula& f,
+                                                      const AigSkolemCertificate& skolem)
+{
+    const std::string text =
+        cert::toCertificateString(cert::extractCertificate(f, skolem));
+    cert::Certificate parsed;
+    std::string detail;
+    const cert::CheckStatus st = cert::parseCertificateString(text, parsed, detail);
+    if (st != cert::CheckStatus::Ok)
+        return ::testing::AssertionFailure()
+               << "parse failed: " << cert::toString(st) << " (" << detail << ")";
+    const cert::CheckResult res = cert::checkCertificate(parsed);
+    if (!res.ok())
+        return ::testing::AssertionFailure()
+               << "check failed: " << cert::toString(res.status) << " (" << res.detail
+               << ")";
+    return ::testing::AssertionSuccess();
+}
 
 DqbfFormula randomDqbf(Rng& rng, unsigned numUniv, unsigned numExist, unsigned numClauses)
 {
@@ -50,7 +76,7 @@ TEST(HqsSkolem, CopycatCertificateIsIdentity)
     ASSERT_EQ(solver.solve(f), SolveResult::Sat);
     ASSERT_TRUE(solver.skolemCertificate().has_value());
     const auto& cert = *solver.skolemCertificate();
-    EXPECT_TRUE(verifyAigSkolemCertificate(f, cert));
+    EXPECT_TRUE(certifiesThroughProduction(f, cert));
     // s_y must be the identity on x.
     const SkolemFunction table = cert.toTable(y, {x});
     EXPECT_EQ(table.table, (std::vector<bool>{false, true}));
@@ -97,7 +123,7 @@ TEST(HqsSkolem, CrossDependencyCertificate)
     HqsSolver solver(opts);
     ASSERT_EQ(solver.solve(f), SolveResult::Sat);
     ASSERT_TRUE(solver.skolemCertificate().has_value());
-    EXPECT_TRUE(verifyAigSkolemCertificate(f, *solver.skolemCertificate()));
+    EXPECT_TRUE(certifiesThroughProduction(f, *solver.skolemCertificate()));
 }
 
 struct SkolemConfig {
@@ -136,7 +162,7 @@ TEST_P(HqsSkolemSweep, CertificatesVerifyUnderAllConfigurations)
         ASSERT_EQ(solver.solve(f), expected) << cfg.name;
         if (expected == SolveResult::Sat) {
             ASSERT_TRUE(solver.skolemCertificate().has_value()) << cfg.name;
-            EXPECT_TRUE(verifyAigSkolemCertificate(f, *solver.skolemCertificate()))
+            EXPECT_TRUE(certifiesThroughProduction(f, *solver.skolemCertificate()))
                 << cfg.name;
         } else {
             EXPECT_FALSE(solver.skolemCertificate().has_value()) << cfg.name;
@@ -165,7 +191,7 @@ TEST_P(HqsSkolemFamilies, CertificatesSynthesizeBoxes)
     ASSERT_EQ(r, SolveResult::Sat) << inst.name;
     ASSERT_TRUE(solver.skolemCertificate().has_value());
     const AigSkolemCertificate& cert = *solver.skolemCertificate();
-    EXPECT_TRUE(verifyAigSkolemCertificate(enc.formula, cert)) << inst.name;
+    EXPECT_TRUE(certifiesThroughProduction(enc.formula, cert)) << inst.name;
 
     // Convert the box-output functions to tables and run the completed
     // implementation against the spec.

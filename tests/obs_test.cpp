@@ -377,6 +377,23 @@ TEST(ObsReport, BenchTable1MatchesGoldenSchema)
     row.idq = {1, 1, 1, 1, 980.25};
     row.wrongResults = 0;
     report.families.push_back(row);
+    // v2: per-instance certification rows (one certified SAT, one UNSAT
+    // with the certification cells at their defaults).
+    obs::BenchInstanceRow sat;
+    sat.name = "adder_w3_sat";
+    sat.family = "adder";
+    sat.hqsResult = "SAT";
+    sat.certified = true;
+    sat.certValid = true;
+    sat.certExtractMs = 1.5;
+    sat.certCheckMs = 2.25;
+    sat.certSizeNodes = 169;
+    report.instances.push_back(sat);
+    obs::BenchInstanceRow unsat;
+    unsat.name = "adder_w3_unsat";
+    unsat.family = "adder";
+    unsat.hqsResult = "UNSAT";
+    report.instances.push_back(unsat);
     report.hqsSolvedTotal = 3;
     report.idqSolvedTotal = 2;
     report.solvedUnderOneSecond = 3;

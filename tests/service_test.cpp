@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cert/certificate.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
 #include "src/service/client.hpp"
@@ -270,6 +271,140 @@ TEST(ServiceLoopback, JsonlPipelinedRoundTrip)
     EXPECT_NE(row.find("\"error\""), std::string::npos);
 
     service.stop();
+}
+
+// --- certification over the wire --------------------------------------------
+
+// The certify header turns a SAT response into verdict + checkable artifact:
+// the returned bytes must parse and pass the independent checker on the
+// client side, not just claim a self_check on the server side.
+TEST(ServiceLoopback, CertifyHttpRoundTripDeliversACheckableCertificate)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    opts.certSelfCheck = true;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    SolveRequestOptions ropts;
+    ropts.certify = true;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    EXPECT_NE(rsp.body.find("\"self_check\":\"ok\""), std::string::npos) << rsp.body;
+
+    // Recover the artifact and check it with the independent checker.
+    std::string certText;
+    ASSERT_TRUE(jsonStringField(rsp.body, "bytes", certText)) << rsp.body;
+    cert::Certificate parsed;
+    std::string detail;
+    ASSERT_EQ(cert::parseCertificateString(certText, parsed, detail), cert::CheckStatus::Ok)
+        << detail;
+    const cert::CheckResult check = cert::checkCertificate(parsed);
+    EXPECT_TRUE(check.ok()) << cert::toString(check.status) << ": " << check.detail;
+
+    // UNSAT with certify is still a plain verdict — no certificate block.
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kUnsatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "UNSAT");
+    EXPECT_EQ(rsp.body.find("\"certificate\""), std::string::npos) << rsp.body;
+
+    // A malformed certify header is a 400, not a silent default.
+    ASSERT_TRUE(client.sendAll("POST /solve HTTP/1.1\r\nContent-Length: 0\r\n"
+                               "certify: maybe\r\n\r\n"));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 400);
+
+    service.stop();
+    EXPECT_EQ(service.counters().certificatesIssued.load(), 1u);
+    EXPECT_EQ(service.counters().certSelfCheckFails.load(), 0u);
+}
+
+TEST(ServiceLoopback, CertifyOverCapKeepsTheVerdictAndReturns413)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    opts.defaultTimeoutSeconds = 30;
+    opts.maxCertificateBytes = 10; // every real certificate exceeds this
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    SolveRequestOptions ropts;
+    ropts.certify = true;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, true)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 413);
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict)) << rsp.body;
+    EXPECT_EQ(verdict, "SAT"); // the verdict survives even when the cert cannot
+    std::string reason;
+    ASSERT_TRUE(jsonStringField(rsp.body, "certificate_error", reason)) << rsp.body;
+    EXPECT_NE(reason.find("exceeds cap"), std::string::npos) << reason;
+
+    // The cap and the rejection both show up in /stats.
+    ASSERT_TRUE(client.sendAll("GET /stats HTTP/1.1\r\n\r\n"));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    EXPECT_NE(rsp.body.find("\"cert_too_large\": 1"), std::string::npos) << rsp.body;
+    EXPECT_NE(rsp.body.find("\"max_certificate_bytes\": 10"), std::string::npos)
+        << rsp.body;
+
+    service.stop();
+    EXPECT_EQ(service.counters().certTooLarge.load(), 1u);
+    EXPECT_EQ(service.counters().certificatesIssued.load(), 0u);
+}
+
+TEST(ServiceLoopback, JsonlCertifyRowCarriesTheCertificateBlock)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+
+    SolveRequestOptions ropts;
+    ropts.certify = true;
+    ASSERT_TRUE(client.sendAll(buildJsonlSolveRequest("c-1", kSatFormula, ropts)));
+    std::string row;
+    ASSERT_TRUE(client.readLine(row));
+    std::string id, verdict;
+    ASSERT_TRUE(jsonStringField(row, "id", id));
+    EXPECT_EQ(id, "c-1");
+    ASSERT_TRUE(jsonStringField(row, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    double sizeBytes = 0;
+    ASSERT_TRUE(jsonNumberField(row, "size_bytes", sizeBytes)) << row;
+    EXPECT_GT(sizeBytes, 0);
+    std::string certText;
+    ASSERT_TRUE(jsonStringField(row, "bytes", certText)) << row;
+    cert::Certificate parsed;
+    std::string detail;
+    EXPECT_EQ(cert::parseCertificateString(certText, parsed, detail), cert::CheckStatus::Ok)
+        << detail;
+    EXPECT_EQ(static_cast<double>(certText.size()), sizeBytes);
+
+    service.stop();
+    EXPECT_EQ(service.counters().certificatesIssued.load(), 1u);
 }
 
 TEST(ServiceLoopback, RejectsNonFiniteTimeoutHeader)
