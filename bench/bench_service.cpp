@@ -1,15 +1,23 @@
 // bench_service: throughput and latency of the solver service under load.
 //
 //   bench_service [--connections=N] [--requests=N] [--max-inflight=N]
-//                 [--queue=N] [--jsonl] [--json=FILE]
+//                 [--queue=N] [--jsonl] [--workers=LIST] [--json=FILE]
 //
-// Starts an in-process SolverService on a loopback ephemeral port, floods it
-// from N client threads solving a small DQDIMACS instance, and reports
-// throughput plus p50/p90/p99 latency taken from the service's own
-// `service.solve_latency_us` log2 histogram in the obs registry (the same
-// histogram GET /metrics exposes).  --json=FILE additionally writes the
-// schema-versioned report consumed by the golden-file test and committed as
+// Runs one row per fleet size in --workers (default "0,1,2,4"; 0 = the
+// in-process SolverService baseline, N = a supervised fork fleet sharing the
+// ports via SO_REUSEPORT), floods it from N client threads solving a small
+// DQDIMACS instance, and reports throughput plus exact p50/p90/p99 latency
+// from the client-observed per-request times.  Fleet rows use the bounded
+// retry-with-backoff client path so worker startup races count as retries,
+// not errors.  --json=FILE writes the schema-versioned multi-run report
+// ("hqs-bench-service/v2") consumed by the golden-file test and committed as
 // BENCH_service.json.
+//
+// Note: scaling across workers is bounded by the machine.  On a single-core
+// host the 1->4 worker rows measure isolation overhead, not speedup.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -22,6 +30,7 @@
 #include "src/obs/report.hpp"
 #include "src/service/client.hpp"
 #include "src/service/server.hpp"
+#include "src/service/supervisor.hpp"
 
 using namespace hqs;
 using namespace hqs::service;
@@ -52,17 +61,217 @@ bool parseSize(const std::string& text, std::size_t& out)
     }
 }
 
+bool parseWorkerList(const std::string& text, std::vector<int>& out)
+{
+    out.clear();
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? comma : comma - start);
+        std::size_t n = 0;
+        if (!parseSize(item, n) || n > 64) return false;
+        out.push_back(static_cast<int>(n));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return !out.empty();
+}
+
+struct LoadParams {
+    std::size_t connections = 8;
+    std::size_t requests = 256;
+    std::size_t maxInflight = 4;
+    std::size_t maxQueue = 64;
+    bool jsonl = false;
+};
+
+obs::BenchServiceLatency latencyFromSamples(std::vector<double>& us)
+{
+    obs::BenchServiceLatency lat;
+    if (us.empty()) return lat;
+    std::sort(us.begin(), us.end());
+    const auto pct = [&](double q) {
+        const auto idx =
+            static_cast<std::size_t>(q * static_cast<double>(us.size() - 1) + 0.5);
+        return us[idx];
+    };
+    lat.p50Us = pct(0.50);
+    lat.p90Us = pct(0.90);
+    lat.p99Us = pct(0.99);
+    lat.maxUs = us.back();
+    double sum = 0;
+    for (double v : us) sum += v;
+    lat.meanUs = sum / static_cast<double>(us.size());
+    return lat;
+}
+
+/// Flood 127.0.0.1:@p port with @p params.requests solves from
+/// @p params.connections threads.  @p retries > 0 enables the bounded
+/// retry-with-backoff path on transport failures and 429/503 (fleet rows:
+/// worker startup races are retries, not errors).
+void runLoad(std::uint16_t port, const LoadParams& params, std::size_t retries,
+             obs::BenchServiceReport& report)
+{
+    std::mutex mu;
+    std::size_t ok = 0, rejected = 0, errors = 0, resent = 0;
+    std::vector<double> latenciesUs;
+    std::atomic<std::size_t> nextRequest{0};
+    Timer wall;
+
+    std::vector<std::thread> threads;
+    threads.reserve(params.connections);
+    for (std::size_t t = 0; t < params.connections; ++t) {
+        threads.emplace_back([&, t] {
+            std::size_t localOk = 0, localRejected = 0, localErrors = 0,
+                        localResent = 0;
+            std::vector<double> localUs;
+            BlockingClient client;
+            SolveRequestOptions ropts;
+            const double base = 0.02, cap = 0.5;
+            while (true) {
+                const std::size_t seq = nextRequest.fetch_add(1);
+                if (seq >= params.requests) break;
+                Timer perRequest;
+                // 0 = verdict, 1 = rejected, 2 = transport/fatal
+                int outcome = 2;
+                for (std::size_t attempt = 0; attempt <= retries; ++attempt) {
+                    outcome = 2;
+                    double hint = 0;
+                    if (!client.connected() && !client.connect("127.0.0.1", port)) {
+                        // fall through to the retry decision
+                    } else {
+                        bool sent;
+                        if (params.jsonl) {
+                            sent = client.sendAll(buildJsonlSolveRequest(
+                                std::to_string(t) + "-" + std::to_string(seq), kFormula,
+                                ropts));
+                        } else {
+                            sent = client.sendAll(buildHttpSolveRequest(
+                                kFormula, ropts, /*keepAlive=*/true));
+                        }
+                        if (sent && params.jsonl) {
+                            std::string row;
+                            if (client.readLine(row)) {
+                                std::string verdict;
+                                if (jsonStringField(row, "result", verdict)) {
+                                    outcome = 0;
+                                } else {
+                                    outcome = 1;
+                                    hint = parseRetryAfterSeconds("", row, base);
+                                    if (row.find("\"error\"") != std::string::npos)
+                                        client.close();
+                                }
+                            } else {
+                                client.close();
+                            }
+                        } else if (sent) {
+                            HttpResponseMsg rsp;
+                            if (client.readResponse(rsp)) {
+                                const std::string* conn = rsp.header("connection");
+                                if (conn && conn->find("close") != std::string::npos)
+                                    client.close();
+                                if (rsp.status == 200) {
+                                    outcome = 0;
+                                } else if (rsp.status == 429 || rsp.status == 503) {
+                                    outcome = 1;
+                                    const std::string* ra = rsp.header("retry-after");
+                                    hint = parseRetryAfterSeconds(ra ? *ra : "",
+                                                                  rsp.body, base);
+                                }
+                            } else {
+                                client.close();
+                            }
+                        }
+                    }
+                    if (outcome == 0 || attempt == retries) break;
+                    ++localResent;
+                    std::this_thread::sleep_for(std::chrono::duration<double>(
+                        retryDelaySeconds(static_cast<int>(attempt), base, cap, hint,
+                                          (t << 20) ^ seq ^ (attempt << 40))));
+                }
+                if (outcome == 0)
+                    ++localOk;
+                else if (outcome == 1)
+                    ++localRejected;
+                else
+                    ++localErrors;
+                localUs.push_back(perRequest.elapsedSeconds() * 1e6);
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            ok += localOk;
+            rejected += localRejected;
+            errors += localErrors;
+            resent += localResent;
+            latenciesUs.insert(latenciesUs.end(), localUs.begin(), localUs.end());
+        });
+    }
+    for (std::thread& th : threads) th.join();
+    const double wallMs = wall.elapsedMilliseconds();
+
+    report.connections = static_cast<int>(params.connections);
+    report.requests = static_cast<int>(params.requests);
+    report.maxInflight = params.maxInflight;
+    report.maxQueue = params.maxQueue;
+    report.jsonlMode = params.jsonl;
+    report.ok = static_cast<int>(ok);
+    report.rejected = static_cast<int>(rejected);
+    report.errors = static_cast<int>(errors);
+    report.retries = resent;
+    report.wallMs = wallMs;
+    report.throughputRps = wallMs > 0 ? static_cast<double>(ok) * 1000.0 / wallMs : 0;
+    report.latency = latencyFromSamples(latenciesUs);
+}
+
+bool runRow(int workers, const LoadParams& params, obs::BenchServiceReport& report)
+{
+    report = obs::BenchServiceReport{};
+    report.workers = workers;
+
+    ServiceOptions sopts;
+    sopts.maxInflight = params.maxInflight;
+    sopts.maxQueue = params.maxQueue;
+    sopts.defaultTimeoutSeconds = 10.0;
+
+    if (workers == 0) {
+        obs::globalRegistry().reset();
+        SolverService service(sopts);
+        std::string error;
+        if (!service.start(&error)) {
+            std::cerr << "bench_service: " << error << "\n";
+            return false;
+        }
+        runLoad(params.jsonl ? service.jsonlPort() : service.httpPort(), params,
+                /*retries=*/0, report);
+        service.stop();
+        report.metrics = obs::globalRegistry().snapshot();
+        return true;
+    }
+
+    SupervisorOptions fopts;
+    fopts.service = sopts;
+    fopts.workers = workers;
+    Supervisor fleet(fopts);
+    std::string error;
+    if (!fleet.start(&error)) {
+        std::cerr << "bench_service: " << error << "\n";
+        return false;
+    }
+    runLoad(params.jsonl ? fleet.jsonlPort() : fleet.httpPort(), params,
+            /*retries=*/5, report);
+    fleet.beginDrain();
+    if (!fleet.waitForExit(20.0)) fleet.stop();
+    return true;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
     ignoreSigpipe();
 
-    std::size_t connections = 8;
-    std::size_t requests = 256;
-    std::size_t maxInflight = 4;
-    std::size_t maxQueue = 64;
-    bool jsonl = false;
+    LoadParams params;
+    std::vector<int> workerRows = {0, 1, 2, 4};
     std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -72,129 +281,48 @@ int main(int argc, char** argv)
         std::size_t n = 0;
         if (arg.rfind("--connections=", 0) == 0 && parseSize(val("--connections="), n) &&
             n > 0) {
-            connections = n;
+            params.connections = n;
         } else if (arg.rfind("--requests=", 0) == 0 && parseSize(val("--requests="), n)) {
-            requests = n;
+            params.requests = n;
         } else if (arg.rfind("--max-inflight=", 0) == 0 &&
                    parseSize(val("--max-inflight="), n)) {
-            maxInflight = n;
+            params.maxInflight = n;
         } else if (arg.rfind("--queue=", 0) == 0 && parseSize(val("--queue="), n)) {
-            maxQueue = n;
+            params.maxQueue = n;
         } else if (arg == "--jsonl") {
-            jsonl = true;
+            params.jsonl = true;
+        } else if (arg.rfind("--workers=", 0) == 0 &&
+                   parseWorkerList(val("--workers="), workerRows)) {
+            // rows to run, e.g. --workers=0,1,2,4 or --workers=2
         } else if (arg.rfind("--json=", 0) == 0) {
             jsonPath = val("--json=");
         } else {
             std::cerr << "usage: bench_service [--connections=N] [--requests=N] "
-                         "[--max-inflight=N] [--queue=N] [--jsonl] [--json=FILE]\n";
+                         "[--max-inflight=N] [--queue=N] [--jsonl] "
+                         "[--workers=LIST] [--json=FILE]\n";
             return 1;
         }
     }
 
-    ServiceOptions sopts;
-    sopts.maxInflight = maxInflight;
-    sopts.maxQueue = maxQueue;
-    sopts.defaultTimeoutSeconds = 10.0;
-    SolverService service(sopts);
-    std::string error;
-    if (!service.start(&error)) {
-        std::cerr << "bench_service: " << error << "\n";
-        return 1;
+    std::vector<obs::BenchServiceReport> runs;
+    bool allResolved = true;
+    for (int workers : workerRows) {
+        obs::BenchServiceReport report;
+        if (!runRow(workers, params, report)) return 1;
+        runs.push_back(report);
+        std::cout << "workers=" << workers << " mode="
+                  << (params.jsonl ? "jsonl" : "http")
+                  << " connections=" << report.connections
+                  << " requests=" << report.requests << " ok=" << report.ok
+                  << " rejected=" << report.rejected << " errors=" << report.errors
+                  << " retries=" << report.retries << "\n";
+        std::cout << "  wall_ms=" << report.wallMs
+                  << " throughput_rps=" << report.throughputRps
+                  << " latency_us p50=" << report.latency.p50Us
+                  << " p99=" << report.latency.p99Us << "\n";
+        allResolved = allResolved &&
+                      report.ok + report.rejected == static_cast<int>(params.requests);
     }
-    const std::uint16_t port = jsonl ? service.jsonlPort() : service.httpPort();
-
-    std::mutex mu;
-    std::size_t ok = 0, rejected = 0, errors = 0;
-    std::atomic<std::size_t> nextRequest{0};
-    Timer wall;
-
-    std::vector<std::thread> threads;
-    threads.reserve(connections);
-    for (std::size_t t = 0; t < connections; ++t) {
-        threads.emplace_back([&, t] {
-            std::size_t localOk = 0, localRejected = 0, localErrors = 0;
-            BlockingClient client;
-            if (!client.connect("127.0.0.1", port)) {
-                std::lock_guard<std::mutex> lock(mu);
-                ++errors;
-                return;
-            }
-            SolveRequestOptions ropts;
-            while (true) {
-                const std::size_t seq = nextRequest.fetch_add(1);
-                if (seq >= requests) break;
-                bool sent;
-                if (jsonl) {
-                    sent = client.sendAll(buildJsonlSolveRequest(
-                        std::to_string(t) + "-" + std::to_string(seq), kFormula, ropts));
-                } else {
-                    sent = client.sendAll(
-                        buildHttpSolveRequest(kFormula, ropts, /*keepAlive=*/true));
-                }
-                if (!sent) {
-                    ++localErrors;
-                    break;
-                }
-                if (jsonl) {
-                    std::string row;
-                    if (!client.readLine(row)) {
-                        ++localErrors;
-                        break;
-                    }
-                    std::string verdict;
-                    if (jsonStringField(row, "result", verdict))
-                        ++localOk;
-                    else if (row.find("\"busy\"") != std::string::npos)
-                        ++localRejected;
-                    else
-                        ++localErrors;
-                } else {
-                    HttpResponseMsg rsp;
-                    if (!client.readResponse(rsp)) {
-                        ++localErrors;
-                        break;
-                    }
-                    if (rsp.status == 200)
-                        ++localOk;
-                    else if (rsp.status == 429)
-                        ++localRejected;
-                    else
-                        ++localErrors;
-                }
-            }
-            std::lock_guard<std::mutex> lock(mu);
-            ok += localOk;
-            rejected += localRejected;
-            errors += localErrors;
-        });
-    }
-    for (std::thread& th : threads) th.join();
-    const double wallMs = wall.elapsedMilliseconds();
-    service.stop();
-
-    obs::BenchServiceReport report;
-    report.connections = static_cast<std::int64_t>(connections);
-    report.requests = static_cast<std::int64_t>(requests);
-    report.maxInflight = static_cast<std::int64_t>(maxInflight);
-    report.maxQueue = static_cast<std::int64_t>(maxQueue);
-    report.jsonlMode = jsonl;
-    report.ok = static_cast<std::int64_t>(ok);
-    report.rejected = static_cast<std::int64_t>(rejected);
-    report.errors = static_cast<std::int64_t>(errors);
-    report.wallMs = wallMs;
-    report.throughputRps = wallMs > 0 ? static_cast<double>(ok) * 1000.0 / wallMs : 0;
-    report.metrics = obs::globalRegistry().snapshot();
-    for (const obs::MetricValue& m : report.metrics) {
-        if (m.name == "service.solve_latency_us")
-            report.latency = obs::latencyFromHistogram(m);
-    }
-
-    std::cout << "mode=" << (jsonl ? "jsonl" : "http") << " connections=" << connections
-              << " requests=" << requests << " ok=" << ok << " rejected=" << rejected
-              << " errors=" << errors << "\n";
-    std::cout << "wall_ms=" << wallMs << " throughput_rps=" << report.throughputRps
-              << " latency_us p50=" << report.latency.p50Us
-              << " p99=" << report.latency.p99Us << "\n";
 
     if (!jsonPath.empty()) {
         std::ofstream out(jsonPath);
@@ -202,8 +330,8 @@ int main(int argc, char** argv)
             std::cerr << "bench_service: cannot write " << jsonPath << "\n";
             return 1;
         }
-        obs::writeBenchServiceJson(out, report);
+        obs::writeBenchServiceJson(out, runs);
         std::cout << "wrote " << jsonPath << "\n";
     }
-    return ok + rejected == requests ? 0 : 1;
+    return allResolved ? 0 : 1;
 }

@@ -15,13 +15,23 @@
 //   --certify            request a Skolem certificate with each SAT verdict
 //                        (tallied under certs=; a 413 over-cap response
 //                        still counts as a verdict)
+//   --retries=N          retry budget per request for transport failures
+//                        (connection refused/reset) and 429/503 rejections
+//                        (default 3; 0 = fail fast).  Each retry reconnects
+//                        and backs off exponentially with +/-25% jitter,
+//                        never below the server's Retry-After.
+//   --retry-base-ms=N    first retry delay (default 100, doubling per
+//                        attempt, capped at 20x the base)
 //
 // Each connection sends its share of requests back to back (JSONL mode
 // pipelines them) and tallies verdicts, busy rejections, and errors.  Exact
-// latency percentiles are computed from the recorded per-request times.
-// Exit code 0 when every request got a verdict, 1 otherwise.
+// latency percentiles are computed from the recorded per-request times;
+// retried requests count their full wall time including backoff, which is
+// what a caller of a supervised fleet actually observes across a worker
+// respawn.  Exit code 0 when every request got a verdict, 1 otherwise.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -42,7 +52,8 @@ int usage()
 {
     std::cerr << "usage: dqbf_client --file=FORMULA.dqdimacs [--host=ADDR] "
                  "[--port=N] [--jsonl] [--connections=N] [--requests=N] "
-                 "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME] [--certify]\n";
+                 "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME] [--certify] "
+                 "[--retries=N] [--retry-base-ms=N]\n";
     return 1;
 }
 
@@ -59,10 +70,19 @@ bool parseSize(const std::string& text, std::size_t& out)
 
 struct Tally {
     std::size_t ok = 0;      ///< verdict received (any SolveResult)
-    std::size_t busy = 0;    ///< 429 / busy row
+    std::size_t busy = 0;    ///< 429 / busy row after the retry budget
     std::size_t errors = 0;  ///< transport failures, non-200 responses
     std::size_t certs = 0;   ///< responses carrying certificate bytes
+    std::size_t retries = 0; ///< re-sent attempts (transport + 429/503)
     std::vector<double> latenciesUs;
+};
+
+/// One attempt's outcome, deciding whether the retry loop continues.
+enum class Attempt {
+    Verdict,   ///< ok (200 / 413-with-verdict / JSONL result row)
+    Rejected,  ///< 429/503/busy row — retry after the server's hint
+    Transport, ///< connect/send/read failure — reconnect and retry
+    Fatal,     ///< non-retryable response (4xx etc.) — count an error
 };
 
 } // namespace
@@ -78,6 +98,8 @@ int main(int argc, char** argv)
     std::size_t requests = 0;
     std::string file;
     SolveRequestOptions ropts;
+    std::size_t retries = 3;
+    std::size_t retryBaseMs = 100;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto val = [&](const std::string& prefix) {
@@ -107,6 +129,11 @@ int main(int argc, char** argv)
             ropts.engine = val("--engine=");
         } else if (arg == "--certify") {
             ropts.certify = true;
+        } else if (arg.rfind("--retries=", 0) == 0 && parseSize(val("--retries="), n)) {
+            retries = n;
+        } else if (arg.rfind("--retry-base-ms=", 0) == 0 &&
+                   parseSize(val("--retry-base-ms="), n) && n > 0) {
+            retryBaseMs = n;
         } else {
             return usage();
         }
@@ -133,17 +160,16 @@ int main(int argc, char** argv)
         threads.emplace_back([&, t] {
             Tally local;
             BlockingClient client;
-            std::string error;
-            if (!client.connect(host, port, &error)) {
-                std::lock_guard<std::mutex> lock(mu);
-                std::cerr << "dqbf_client: " << error << "\n";
-                total.errors += 1;
-                return;
-            }
-            while (true) {
-                const std::size_t seq = nextRequest.fetch_add(1);
-                if (seq >= requests) break;
-                Timer perRequest;
+            const double baseSeconds = static_cast<double>(retryBaseMs) / 1000.0;
+            const double capSeconds = baseSeconds * 20.0;
+            // One attempt: (re)connect if needed, send, read, classify.
+            // Fills @p hintSeconds with the server's Retry-After on Rejected.
+            const auto attemptOnce = [&](std::size_t seq, double& hintSeconds) {
+                hintSeconds = 0;
+                if (!client.connected()) {
+                    std::string error;
+                    if (!client.connect(host, port, &error)) return Attempt::Transport;
+                }
                 bool sent;
                 if (jsonl) {
                     sent = client.sendAll(buildJsonlSolveRequest(
@@ -153,51 +179,76 @@ int main(int argc, char** argv)
                     sent = client.sendAll(
                         buildHttpSolveRequest(formula, ropts, /*keepAlive=*/true));
                 }
-                if (!sent) {
-                    // Short or failed write: the server went away — count a
-                    // disconnect and stop this connection, never abort.
-                    local.errors += 1;
-                    break;
-                }
-                bool gotReply = false;
+                if (!sent) return Attempt::Transport;
                 if (jsonl) {
                     std::string row;
-                    gotReply = client.readLine(row);
-                    if (gotReply) {
-                        std::string verdict;
-                        if (jsonStringField(row, "result", verdict)) {
-                            local.ok += 1;
-                            if (row.find("\"certificate\":{") != std::string::npos)
-                                local.certs += 1;
-                        } else if (row.find("\"busy\"") != std::string::npos) {
-                            local.busy += 1;
-                        } else {
-                            local.errors += 1;
-                        }
+                    if (!client.readLine(row)) {
+                        client.close();
+                        return Attempt::Transport;
                     }
-                } else {
-                    HttpResponseMsg rsp;
-                    gotReply = client.readResponse(rsp);
-                    if (gotReply) {
-                        // 413 on a certify request means "verdict delivered,
-                        // certificate over the server's byte cap" — a
-                        // verdict, not a transport error.
-                        if (rsp.status == 200 ||
-                            (rsp.status == 413 &&
-                             rsp.body.find("\"result\"") != std::string::npos)) {
-                            local.ok += 1;
-                            if (rsp.body.find("\"certificate\":{") != std::string::npos)
-                                local.certs += 1;
-                        } else if (rsp.status == 429) {
-                            local.busy += 1;
-                        } else {
-                            local.errors += 1;
-                        }
+                    std::string verdict;
+                    if (jsonStringField(row, "result", verdict)) {
+                        if (row.find("\"certificate\":{") != std::string::npos)
+                            local.certs += 1;
+                        return Attempt::Verdict;
                     }
+                    if (row.find("\"busy\"") != std::string::npos ||
+                        row.find("\"degraded\"") != std::string::npos ||
+                        row.find("\"draining\"") != std::string::npos) {
+                        hintSeconds = parseRetryAfterSeconds("", row, baseSeconds);
+                        // Degraded/draining rows come from the supervisor's
+                        // one-shot responder, which closes after answering.
+                        if (row.find("\"error\"") != std::string::npos) client.close();
+                        return Attempt::Rejected;
+                    }
+                    return Attempt::Fatal;
                 }
-                if (!gotReply) {
-                    local.errors += 1;
-                    break;
+                HttpResponseMsg rsp;
+                if (!client.readResponse(rsp)) {
+                    client.close();
+                    return Attempt::Transport;
+                }
+                const std::string* conn = rsp.header("connection");
+                if (conn && conn->find("close") != std::string::npos) client.close();
+                // 413 on a certify request means "verdict delivered,
+                // certificate over the server's byte cap" — a verdict, not a
+                // transport error.
+                if (rsp.status == 200 ||
+                    (rsp.status == 413 &&
+                     rsp.body.find("\"result\"") != std::string::npos)) {
+                    if (rsp.body.find("\"certificate\":{") != std::string::npos)
+                        local.certs += 1;
+                    return Attempt::Verdict;
+                }
+                if (rsp.status == 429 || rsp.status == 503) {
+                    const std::string* ra = rsp.header("retry-after");
+                    hintSeconds =
+                        parseRetryAfterSeconds(ra ? *ra : "", rsp.body, baseSeconds);
+                    return Attempt::Rejected;
+                }
+                return Attempt::Fatal;
+            };
+
+            while (true) {
+                const std::size_t seq = nextRequest.fetch_add(1);
+                if (seq >= requests) break;
+                Timer perRequest;
+                Attempt outcome = Attempt::Transport;
+                for (std::size_t attempt = 0; attempt <= retries; ++attempt) {
+                    double hintSeconds = 0;
+                    outcome = attemptOnce(seq, hintSeconds);
+                    if (outcome == Attempt::Verdict || outcome == Attempt::Fatal) break;
+                    if (attempt == retries) break; // budget exhausted
+                    local.retries += 1;
+                    const double delay = retryDelaySeconds(
+                        static_cast<int>(attempt), baseSeconds, capSeconds, hintSeconds,
+                        /*jitterSeed=*/(t << 20) ^ seq ^ (attempt << 40));
+                    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+                }
+                switch (outcome) {
+                case Attempt::Verdict: local.ok += 1; break;
+                case Attempt::Rejected: local.busy += 1; break;
+                default: local.errors += 1; break;
                 }
                 local.latenciesUs.push_back(perRequest.elapsedSeconds() * 1e6);
             }
@@ -206,6 +257,7 @@ int main(int argc, char** argv)
             total.busy += local.busy;
             total.errors += local.errors;
             total.certs += local.certs;
+            total.retries += local.retries;
             total.latenciesUs.insert(total.latenciesUs.end(), local.latenciesUs.begin(),
                                      local.latenciesUs.end());
         });
@@ -221,7 +273,7 @@ int main(int argc, char** argv)
         return total.latenciesUs[idx];
     };
     std::cout << "requests=" << requests << " ok=" << total.ok << " busy=" << total.busy
-              << " errors=" << total.errors;
+              << " errors=" << total.errors << " retries=" << total.retries;
     if (ropts.certify) std::cout << " certs=" << total.certs;
     std::cout << " wall_ms=" << wallMs << "\n";
     if (!total.latenciesUs.empty()) {

@@ -21,12 +21,26 @@
 //                         certificate before replying; a failing artifact is
 //                         withheld and counted in /stats
 //
+// Fleet mode (see README "Operations"):
+//   --workers=N           fork N supervised worker processes sharing the
+//                         service ports via SO_REUSEPORT; the master only
+//                         supervises (death classification, respawn with
+//                         backoff, crash-loop breaker, merged metrics).
+//                         0 (default) = single-process serve.
+//   --admin-port=N        master admin listener: merged GET /metrics, fleet
+//                         GET /healthz + /stats (default 8082; 0 = ephemeral)
+//   --worker-as-limit=MB  hard per-worker address-space cap
+//                         (setrlimit(RLIMIT_AS)) under the cooperative
+//                         --rss-limit watchdog (0 = none)
+//
 // Endpoints: POST /solve (DQDIMACS body; timeout-ms / rss-limit-mb / engine /
 // certify headers), GET /metrics (Prometheus), GET /healthz, GET /stats.  The
 // JSONL port takes one {"id":...,"formula":...,"certify":true} row per line.
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight solves,
 // flush every response, exit 0.  A second signal cancels in-flight solves.
+// In fleet mode the drain propagates SIGTERM to every worker and the master
+// exits after the last worker is reaped.
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -34,6 +48,7 @@
 #include "src/runtime/api.hpp"
 #include "src/service/client.hpp"
 #include "src/service/server.hpp"
+#include "src/service/supervisor.hpp"
 
 using namespace hqs;
 using namespace hqs::service;
@@ -46,8 +61,40 @@ int usage()
                  "[--no-jsonl] [--max-inflight=N] [--queue=N] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--node-limit=N] "
                  "[--retry-after=SECONDS] [--cert-max-bytes=N] "
-                 "[--cert-self-check]\n";
+                 "[--cert-self-check] [--workers=N] [--admin-port=N] "
+                 "[--worker-as-limit=MB]\n";
     return 1;
+}
+
+int runFleet(const ServiceOptions& opts, int workers, std::uint16_t adminPort,
+             std::size_t workerAsLimitBytes)
+{
+    SupervisorOptions sopts;
+    sopts.service = opts;
+    sopts.workers = workers;
+    sopts.adminPort = adminPort;
+    sopts.workerAddressSpaceLimitBytes = workerAsLimitBytes;
+    Supervisor fleet(sopts);
+    std::string error;
+    if (!fleet.start(&error)) {
+        std::cerr << "dqbf_serve: " << error << "\n";
+        return 1;
+    }
+    Supervisor::installSignalDrain(&fleet);
+
+    std::cout << "dqbf_serve fleet: workers=" << workers << " http="
+              << opts.bindAddress << ":" << fleet.httpPort();
+    if (opts.enableJsonl)
+        std::cout << " jsonl=" << opts.bindAddress << ":" << fleet.jsonlPort();
+    std::cout << " admin=" << opts.bindAddress << ":" << fleet.adminPort()
+              << std::endl;
+
+    fleet.waitForExit();
+    std::cout << "dqbf_serve fleet drained: respawns=" << fleet.totalRespawns()
+              << " crashes=" << fleet.totalCrashes()
+              << " oomkills=" << fleet.totalOomKills()
+              << " crashed_requests=" << fleet.crashReports().size() << std::endl;
+    return 0;
 }
 
 } // namespace
@@ -63,6 +110,9 @@ int main(int argc, char** argv)
     // validation as per-request budgets, so `--timeout=nan` is rejected here
     // exactly as a `timeout-ms: nan` header would be.
     api::SolveRequest defaults;
+    std::size_t workers = 0;
+    std::size_t adminPort = 8082;
+    std::size_t workerAsLimitBytes = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto val = [&](const std::string& prefix) {
@@ -102,6 +152,16 @@ int main(int argc, char** argv)
             opts.maxCertificateBytes = n;
         } else if (arg == "--cert-self-check") {
             opts.certSelfCheck = true;
+        } else if (arg.rfind("--workers=", 0) == 0 &&
+                   api::parseSize(val("--workers="), &workers)) {
+            // 0 = single-process
+        } else if (arg.rfind("--admin-port=", 0) == 0 &&
+                   api::parseSize(val("--admin-port="), &adminPort)) {
+            // fleet mode only
+        } else if (arg.rfind("--worker-as-limit=", 0) == 0 &&
+                   api::parseMegabytes(val("--worker-as-limit="),
+                                       &workerAsLimitBytes)) {
+            // fleet mode only
         } else {
             return usage();
         }
@@ -113,6 +173,10 @@ int main(int argc, char** argv)
     opts.defaultTimeoutSeconds = defaults.timeoutSeconds;
     opts.defaultRssLimitBytes = defaults.rssLimitBytes;
     opts.nodeLimit = defaults.nodeLimit;
+
+    if (workers > 0)
+        return runFleet(opts, static_cast<int>(workers),
+                        static_cast<std::uint16_t>(adminPort), workerAsLimitBytes);
 
     SolverService service(opts);
     std::string error;

@@ -1,5 +1,10 @@
 #include "src/base/fault.hpp"
 
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -11,49 +16,119 @@ std::atomic<bool> enabled{false};
 namespace {
 
 std::mutex mu;
-std::string armedSiteName;       // under mu
-unsigned long armedNth = 1;      // under mu
-unsigned long hits = 0;          // under mu
+std::string armedSiteName;            // under mu
+unsigned long armedNth = 1;           // under mu
+FaultKind armedKind = FaultKind::Throw; // under mu
+unsigned long hits = 0;               // under mu
 std::once_flag envOnce;
 
-void armLocked(const std::string& site, unsigned long nth)
+void armLocked(const std::string& site, unsigned long nth, FaultKind kind)
 {
     armedSiteName = site;
     armedNth = nth == 0 ? 1 : nth;
+    armedKind = kind;
     hits = 0;
     enabled.store(!site.empty(), std::memory_order_relaxed);
 }
 
+bool isAllDigits(const std::string& s)
+{
+    if (s.empty()) return false;
+    for (const char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    return true;
+}
+
 } // namespace
+
+bool parseSpec(const std::string& spec, std::string* site, unsigned long* nth,
+               FaultKind* kind, std::string* error)
+{
+    *nth = 1;
+    *kind = FaultKind::Throw;
+    error->clear();
+
+    const auto firstColon = spec.find(':');
+    *site = spec.substr(0, firstColon);
+    if (site->empty()) {
+        *error = "empty site in HQS_FAULT spec '" + spec +
+                 "' (expected site[:nth][:crash])";
+        return false;
+    }
+    if (firstColon == std::string::npos) return true;
+
+    std::string rest = spec.substr(firstColon + 1);
+    const auto secondColon = rest.find(':');
+    std::string nthTok = rest.substr(0, secondColon);
+    std::string kindTok =
+        secondColon == std::string::npos ? "" : rest.substr(secondColon + 1);
+
+    // `site:crash` is the nth-less shorthand for `site:1:crash`.
+    if (kindTok.empty() && nthTok == "crash") {
+        *kind = FaultKind::Crash;
+        return true;
+    }
+    if (!isAllDigits(nthTok)) {
+        *error = "bad hit count '" + nthTok + "' in HQS_FAULT spec '" + spec +
+                 "' (expected a positive integer)";
+        return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(nthTok.c_str(), &end, 10);
+    if (errno == ERANGE || parsed == 0) {
+        *error = "bad hit count '" + nthTok + "' in HQS_FAULT spec '" + spec +
+                 "' (expected a positive integer)";
+        return false;
+    }
+    *nth = parsed;
+    if (kindTok.empty()) return true;
+    if (kindTok == "crash") {
+        *kind = FaultKind::Crash;
+        return true;
+    }
+    *error = "unknown fault kind '" + kindTok + "' in HQS_FAULT spec '" + spec +
+             "' (supported: crash)";
+    return false;
+}
 
 void initFromEnvOnce()
 {
     std::call_once(envOnce, [] {
         const char* spec = std::getenv("HQS_FAULT");
         if (!spec || !*spec) return;
-        std::string site(spec);
+        std::string site;
         unsigned long nth = 1;
-        if (const auto colon = site.find(':'); colon != std::string::npos) {
-            try {
-                nth = std::stoul(site.substr(colon + 1));
-            } catch (const std::logic_error&) {
-                nth = 1; // malformed count: fire on the first hit
-            }
-            site.resize(colon);
+        FaultKind kind = FaultKind::Throw;
+        std::string error;
+        if (!parseSpec(spec, &site, &nth, &kind, &error)) {
+            std::fprintf(stderr, "hqs: %s; fault injection disabled\n",
+                         error.c_str());
+            return;
         }
         std::lock_guard<std::mutex> lock(mu);
         // Programmatic arm() before first checkpoint wins over the env var.
-        if (armedSiteName.empty()) armLocked(site, nth);
+        if (armedSiteName.empty()) armLocked(site, nth, kind);
     });
 }
 
 unsigned long hitSlow(const char* site)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    std::unique_lock<std::mutex> lock(mu);
     if (armedSiteName.empty() || armedSiteName != site) return 0;
     if (++hits < armedNth) return 0;
     const unsigned long firedAt = hits;
-    armLocked("", 1); // one-shot: disarm so retries run clean
+    const FaultKind kind = armedKind;
+    armLocked("", 1, FaultKind::Throw); // one-shot: disarm so retries run clean
+    if (kind == FaultKind::Crash) {
+        // Simulate a hard kill (the OOM killer's SIGKILL leaves status 137
+        // from the shell's point of view): no unwinding, no atexit hooks —
+        // exactly what the supervisor must be able to contain.
+        lock.unlock();
+        std::fprintf(stderr, "hqs: injected crash at site '%s' (hit %lu)\n",
+                     site, firedAt);
+        _exit(137);
+    }
     return firedAt;
 }
 
@@ -69,18 +144,18 @@ namespace {
 
 } // namespace detail
 
-void arm(const std::string& site, unsigned long nth)
+void arm(const std::string& site, unsigned long nth, FaultKind kind)
 {
     detail::initFromEnvOnce();
     std::lock_guard<std::mutex> lock(detail::mu);
-    detail::armLocked(site, nth);
+    detail::armLocked(site, nth, kind);
 }
 
 void disarm()
 {
     detail::initFromEnvOnce();
     std::lock_guard<std::mutex> lock(detail::mu);
-    detail::armLocked("", 1);
+    detail::armLocked("", 1, FaultKind::Throw);
 }
 
 std::string armedSite()

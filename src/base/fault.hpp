@@ -7,11 +7,24 @@
 //
 // Exactly one site may be armed at a time, either programmatically
 // (fault::arm / fault::ScopedFault in tests) or through the environment
-// variable `HQS_FAULT=site[:nth]`, read once at first use.  An armed site
-// fires exactly once, at its @p nth dynamic hit (1-based, default 1), and
-// then disarms itself — so a recovery path that retries the failed work
+// variable `HQS_FAULT=site[:nth][:crash]`, read once at first use.  An armed
+// site fires exactly once, at its @p nth dynamic hit (1-based, default 1),
+// and then disarms itself — so a recovery path that retries the failed work
 // observes exactly one fault, which is what makes ladder/retry tests
 // deterministic.
+//
+// Fault kinds:
+//   * FaultKind::Throw (default) — the checkpoint throws (InjectedFault or
+//     std::bad_alloc depending on the checkpoint flavour), exercising the
+//     in-process recovery path;
+//   * FaultKind::Crash — the checkpoint calls _exit(137) without unwinding,
+//     simulating an OOM-kill / hard crash of the whole process.  This is
+//     what the supervisor tests use to kill a worker mid-solve
+//     deterministically (`HQS_FAULT=sat:1:crash`).
+//
+// A malformed HQS_FAULT spec (empty site, non-numeric or negative `:nth`,
+// unknown trailing token) is rejected with a diagnostic on stderr and arms
+// nothing — a typo must not silently disable the fault a test relies on.
 //
 // When nothing is armed a checkpoint costs one relaxed atomic load, cheap
 // enough for hot paths like AIG node allocation.
@@ -47,9 +60,16 @@ private:
     std::string site_;
 };
 
+/// What an armed site does when it fires.
+enum class FaultKind {
+    Throw, ///< checkpoint throws; the process recovers through runGuarded
+    Crash, ///< _exit(137) at the checkpoint: a hard, non-unwinding death
+};
+
 /// Arm @p site to fire at its @p nth dynamic hit (1-based).  Replaces any
 /// previously armed site and resets the hit counter.
-void arm(const std::string& site, unsigned long nth = 1);
+void arm(const std::string& site, unsigned long nth = 1,
+         FaultKind kind = FaultKind::Throw);
 
 /// Disarm whatever is armed (idempotent).
 void disarm();
@@ -62,9 +82,17 @@ std::string armedSite();
 namespace detail {
 extern std::atomic<bool> enabled;
 /// Returns the 1-based hit number if this call is the armed site's nth hit
-/// (and disarms), 0 otherwise.
+/// (and disarms), 0 otherwise.  A FaultKind::Crash site _exit(137)s here
+/// instead of returning.
 unsigned long hitSlow(const char* site);
 void initFromEnvOnce();
+
+/// Parse a `site[:nth][:crash]` spec.  On success fills @p site / @p nth /
+/// @p kind and returns true; on failure returns false with a one-line
+/// diagnostic in @p error.  Exposed for unit tests; initFromEnvOnce routes
+/// HQS_FAULT through it.
+bool parseSpec(const std::string& spec, std::string* site, unsigned long* nth,
+               FaultKind* kind, std::string* error);
 } // namespace detail
 
 /// True exactly once: at the armed site's nth hit.  Free when disarmed.
@@ -91,7 +119,11 @@ inline void checkpointAlloc(const char* site)
 /// (even when the fault never fired).
 class ScopedFault {
 public:
-    explicit ScopedFault(const std::string& site, unsigned long nth = 1) { arm(site, nth); }
+    explicit ScopedFault(const std::string& site, unsigned long nth = 1,
+                         FaultKind kind = FaultKind::Throw)
+    {
+        arm(site, nth, kind);
+    }
     ~ScopedFault() { disarm(); }
     ScopedFault(const ScopedFault&) = delete;
     ScopedFault& operator=(const ScopedFault&) = delete;

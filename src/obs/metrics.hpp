@@ -84,6 +84,12 @@ public:
     /// Gauge update with high-water-mark semantics.
     void setMax(MetricId id, std::int64_t value) { cellMax(cells_[id.cell], value); }
 
+    /// Gauge update with last-writer-wins semantics (live level, not peak).
+    void set(MetricId id, std::int64_t value)
+    {
+        cells_[id.cell].store(value, std::memory_order_relaxed);
+    }
+
     void observe(MetricId id, std::int64_t value)
     {
         std::atomic<std::int64_t>* h = &cells_[id.cell];

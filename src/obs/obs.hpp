@@ -83,6 +83,14 @@ private:
                                              static_cast<std::int64_t>(value));   \
     } while (0)
 
+#define OBS_GAUGE_SET(name, value)                                                \
+    do {                                                                          \
+        static const ::hqs::obs::MetricId obs_id_ =                               \
+            ::hqs::obs::metric((name), ::hqs::obs::MetricKind::Gauge);            \
+        ::hqs::obs::currentRegistry().set(obs_id_,                                \
+                                          static_cast<std::int64_t>(value));      \
+    } while (0)
+
 #define OBS_OBSERVE(name, value)                                                  \
     do {                                                                          \
         static const ::hqs::obs::MetricId obs_id_ =                               \
@@ -101,6 +109,8 @@ private:
 #define OBS_COUNT(name, delta) \
     do { (void)sizeof(char[1]); (void)sizeof((delta)); } while (0)
 #define OBS_GAUGE_MAX(name, value) \
+    do { (void)sizeof(char[1]); (void)sizeof((value)); } while (0)
+#define OBS_GAUGE_SET(name, value) \
     do { (void)sizeof(char[1]); (void)sizeof((value)); } while (0)
 #define OBS_OBSERVE(name, value) \
     do { (void)sizeof(char[1]); (void)sizeof((value)); } while (0)

@@ -363,34 +363,42 @@ BenchServiceLatency latencyFromHistogram(const MetricValue& h)
 // BENCH_service.json
 // --------------------------------------------------------------------------
 
-void writeBenchServiceJson(std::ostream& os, const BenchServiceReport& report)
+void writeBenchServiceJson(std::ostream& os, const std::vector<BenchServiceReport>& runs)
 {
     JsonWriter w(os);
     w.beginObject();
-    w.key("schema").value("hqs-bench-service/v1");
-    w.key("params").beginObject();
-    w.key("connections").value(report.connections);
-    w.key("requests").value(report.requests);
-    w.key("max_inflight").value(report.maxInflight);
-    w.key("max_queue").value(report.maxQueue);
-    w.key("mode").value(report.jsonlMode ? "jsonl" : "http");
-    w.endObject();
-    w.key("results").beginObject();
-    w.key("ok").value(report.ok);
-    w.key("rejected").value(report.rejected);
-    w.key("errors").value(report.errors);
-    w.key("wall_ms").value(report.wallMs);
-    w.key("throughput_rps").value(report.throughputRps);
-    w.key("latency_us").beginObject();
-    w.key("p50").value(report.latency.p50Us);
-    w.key("p90").value(report.latency.p90Us);
-    w.key("p99").value(report.latency.p99Us);
-    w.key("max").value(report.latency.maxUs);
-    w.key("mean").value(report.latency.meanUs);
-    w.endObject();
-    w.endObject();
-    w.key("metrics");
-    writeMetricsJson(w, report.metrics);
+    w.key("schema").value("hqs-bench-service/v2");
+    w.key("runs").beginArray();
+    for (const BenchServiceReport& report : runs) {
+        w.beginObject();
+        w.key("params").beginObject();
+        w.key("workers").value(report.workers);
+        w.key("connections").value(report.connections);
+        w.key("requests").value(report.requests);
+        w.key("max_inflight").value(report.maxInflight);
+        w.key("max_queue").value(report.maxQueue);
+        w.key("mode").value(report.jsonlMode ? "jsonl" : "http");
+        w.endObject();
+        w.key("results").beginObject();
+        w.key("ok").value(report.ok);
+        w.key("rejected").value(report.rejected);
+        w.key("errors").value(report.errors);
+        w.key("retries").value(report.retries);
+        w.key("wall_ms").value(report.wallMs);
+        w.key("throughput_rps").value(report.throughputRps);
+        w.key("latency_us").beginObject();
+        w.key("p50").value(report.latency.p50Us);
+        w.key("p90").value(report.latency.p90Us);
+        w.key("p99").value(report.latency.p99Us);
+        w.key("max").value(report.latency.maxUs);
+        w.key("mean").value(report.latency.meanUs);
+        w.endObject();
+        w.endObject();
+        w.key("metrics");
+        writeMetricsJson(w, report.metrics);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 }
 

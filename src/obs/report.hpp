@@ -80,7 +80,7 @@ std::string prometheusName(const std::string& name);
 double histogramQuantile(const MetricValue& h, double q);
 
 // ---------------------------------------------------------------------------
-// BENCH_service.json  (schema "hqs-bench-service/v1")
+// BENCH_service.json  (schema "hqs-bench-service/v2")
 // ---------------------------------------------------------------------------
 
 /// Latency quantiles in microseconds, distilled from a log2 histogram via
@@ -102,21 +102,31 @@ struct BenchServiceReport {
     std::uint64_t maxInflight = 0;
     std::uint64_t maxQueue = 0;
     bool jsonlMode = false;
+    /// Supervised worker processes serving the run; 0 = in-process service
+    /// (no fleet, the PR-4-compatible baseline row).
+    int workers = 0;
 
     // Outcome counts: every request resolved into exactly one of these.
     int ok = 0;
     int rejected = 0; ///< 429 / busy rows
     int errors = 0;   ///< transport failures, non-2xx other than 429
+    /// Client re-sent attempts: fleet rows ride through worker startup and
+    /// respawn windows on the bounded-retry path.
+    std::uint64_t retries = 0;
 
     double wallMs = 0;
     double throughputRps = 0;
     BenchServiceLatency latency; ///< client-observed request latency
 
     /// Registry snapshot of the run (service.* counters, solve latency).
+    /// Empty on fleet rows: the solves happen in forked workers, whose
+    /// registries die with them.
     std::vector<MetricValue> metrics;
 };
 
-void writeBenchServiceJson(std::ostream& os, const BenchServiceReport& report);
+/// v2 report: one entry in "runs":[...] per fleet size.
+void writeBenchServiceJson(std::ostream& os,
+                           const std::vector<BenchServiceReport>& runs);
 
 // ---------------------------------------------------------------------------
 // BENCH_table1.json  (schema "hqs-bench-table1/v2")

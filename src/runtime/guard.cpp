@@ -30,6 +30,7 @@ const char* toString(FailureKind k)
         case FailureKind::Disagreement: return "disagreement";
         case FailureKind::Cancelled: return "cancelled";
         case FailureKind::ClientGone: return "client-gone";
+        case FailureKind::WorkerCrash: return "worker-crash";
     }
     return "invalid";
 }

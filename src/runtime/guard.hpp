@@ -42,6 +42,7 @@ enum class FailureKind {
     Disagreement,  ///< two engines returned contradictory conclusive verdicts
     Cancelled,     ///< run abandoned by an external kill switch
     ClientGone,    ///< caller disconnected mid-run (CancelReason::Disconnected)
+    WorkerCrash,   ///< the worker process executing the run died (supervisor)
 };
 
 const char* toString(FailureKind k);

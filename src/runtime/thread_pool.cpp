@@ -30,12 +30,16 @@ ThreadPool::~ThreadPool()
 bool ThreadPool::submit(std::function<void()> job)
 {
     const std::uint64_t now = HQS_OBS_ENABLED ? obs::detail::nowNs() : 0;
+    std::size_t depth = 0;
     {
         std::unique_lock<std::mutex> lock(mu_);
         spaceReady_.wait(lock, [this] { return stop_ || queue_.size() < capacity_; });
         if (stop_) return false;
         queue_.push_back({std::move(job), now});
+        depth = queue_.size();
     }
+    OBS_GAUGE_SET("pool.queue_depth", depth);
+    OBS_GAUGE_MAX("pool.queue_depth.max", depth);
     workReady_.notify_one();
     return true;
 }
@@ -58,6 +62,18 @@ std::size_t ThreadPool::failedJobs() const
     return failures_.size();
 }
 
+std::size_t ThreadPool::queueDepth() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+std::size_t ThreadPool::activeCount() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return active_;
+}
+
 void ThreadPool::workerLoop()
 {
     for (;;) {
@@ -71,6 +87,9 @@ void ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
             ++active_;
+            OBS_GAUGE_SET("pool.queue_depth", queue_.size());
+            OBS_GAUGE_SET("pool.active", active_);
+            OBS_GAUGE_MAX("pool.active.max", active_);
         }
         spaceReady_.notify_one();
         if (job.enqueueNs != 0) {
@@ -95,6 +114,7 @@ void ThreadPool::workerLoop()
             std::unique_lock<std::mutex> lock(mu_);
             if (failure) failures_.push_back(std::move(failure));
             --active_;
+            OBS_GAUGE_SET("pool.active", active_);
             if (queue_.empty() && active_ == 0) allIdle_.notify_all();
         }
     }

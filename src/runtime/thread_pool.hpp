@@ -63,6 +63,11 @@ public:
     std::vector<FailureInfo> failures() const;
     std::size_t failedJobs() const;
 
+    /// Live saturation gauges (also exported as obs metrics `pool.queue_depth`
+    /// / `pool.active` so a worker's /metrics shows fleet saturation).
+    std::size_t queueDepth() const;
+    std::size_t activeCount() const;
+
     static constexpr std::size_t kDefaultQueueCapacity = 1024;
 
     /// Process-wide helper pool for kernel-internal parallelism (the

@@ -4,10 +4,16 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -64,6 +70,39 @@ bool BlockingClient::connect(const std::string& host, std::uint16_t port,
     }
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+}
+
+bool BlockingClient::connectUnix(const std::string& path, double timeoutSeconds,
+                                 std::string* error)
+{
+    close();
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error) *error = "uds path too long: " + path;
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        if (error) *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    while (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (errno == EINTR) continue;
+        if (error) *error = std::string("connect ") + path + ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    if (timeoutSeconds > 0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(timeoutSeconds);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (timeoutSeconds - static_cast<double>(tv.tv_sec)) * 1e6);
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
     return true;
 }
 
@@ -135,6 +174,41 @@ void BlockingClient::close()
         fd_ = -1;
     }
     buf_.clear();
+}
+
+double parseRetryAfterSeconds(const std::string& retryAfterHeader,
+                              const std::string& body, double fallbackSeconds)
+{
+    if (!retryAfterHeader.empty()) {
+        char* end = nullptr;
+        const double secs = std::strtod(retryAfterHeader.c_str(), &end);
+        if (end != retryAfterHeader.c_str() && std::isfinite(secs) && secs >= 0)
+            return secs;
+    }
+    const auto pos = body.find("\"retry_after_ms\":");
+    if (pos != std::string::npos) {
+        char* end = nullptr;
+        const double ms = std::strtod(body.c_str() + pos + 17, &end);
+        if (std::isfinite(ms) && ms >= 0) return ms / 1000.0;
+    }
+    return fallbackSeconds < 0 ? 0 : fallbackSeconds;
+}
+
+double retryDelaySeconds(int attempt, double baseSeconds, double capSeconds,
+                         double serverHintSeconds, std::uint64_t jitterSeed)
+{
+    double delay = baseSeconds * std::pow(2.0, std::max(0, attempt));
+    delay = std::min(delay, capSeconds);
+    delay = std::max(delay, serverHintSeconds);
+    // splitmix64 finisher: a cheap, stateless hash of (seed, attempt) into
+    // a [-0.25, +0.25] jitter factor.
+    std::uint64_t z = jitterSeed + 0x9e3779b97f4a7c15ull * (attempt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double unit = static_cast<double>(z % 10'000) / 10'000.0; // [0,1)
+    const double jitter = 1.0 + (unit - 0.5) * 0.5;
+    return std::min(delay * jitter, capSeconds * 1.25);
 }
 
 } // namespace hqs::service

@@ -33,6 +33,12 @@ public:
     bool connect(const std::string& host, std::uint16_t port,
                  std::string* error = nullptr);
 
+    /// Connect to a Unix-domain stream socket at @p path (the per-worker
+    /// metrics channel the supervisor scrapes).  @p timeoutSeconds > 0 arms
+    /// SO_RCVTIMEO so a wedged worker cannot stall the caller forever.
+    bool connectUnix(const std::string& path, double timeoutSeconds = 0,
+                     std::string* error = nullptr);
+
     bool connected() const { return fd_ >= 0; }
     int fd() const { return fd_; }
 
@@ -58,5 +64,22 @@ private:
     std::string buf_;
     HttpParser parser_;
 };
+
+// ------------------------------------------------------------------ retry --
+// Shared by dqbf_client and the soak harness: bounded retry with capped
+// exponential backoff + jitter on transport failures and 429/503 rejections.
+
+/// Retry-After seconds advertised by a response: the Retry-After header
+/// when present, else the JSON body's retry_after_ms field, else
+/// @p fallbackSeconds.  Returns a non-negative value.
+double parseRetryAfterSeconds(const std::string& retryAfterHeader,
+                              const std::string& body, double fallbackSeconds);
+
+/// Backoff before retry @p attempt (0-based): min(base * 2^attempt, cap),
+/// never below @p serverHintSeconds (the Retry-After the server asked for),
+/// with ±25% deterministic jitter derived from @p jitterSeed so a thundering
+/// herd of retrying clients decorrelates.
+double retryDelaySeconds(int attempt, double baseSeconds, double capSeconds,
+                         double serverHintSeconds, std::uint64_t jitterSeed);
 
 } // namespace hqs::service

@@ -1,0 +1,102 @@
+// Worker scoreboard: a lock-free, crash-tolerant journal of what each worker
+// process is executing, living in a MAP_SHARED|MAP_ANONYMOUS region mapped
+// before the supervisor forks.  When a worker dies, the supervisor reads the
+// victim's journal to stamp every in-flight request with a structured
+// FailureInfo{kind=worker-crash, site=<last obs span>} instead of letting it
+// vanish as a silent connection reset.
+//
+// Consistency model: the worker is the only writer of its slot; the
+// supervisor reads after waitpid() has proven the writer dead, so torn
+// in-progress entries are the only hazard.  Each journal entry carries an
+// atomic state word written last (Filled) / first (Free), so the supervisor
+// only trusts entries it observes in Filled state.  No pthread primitives —
+// a robust mutex would survive crashes too, but plain atomics are simpler
+// and cannot deadlock the supervisor on a corpse's lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hqs::service {
+
+/// One in-flight request journaled by a worker.  `site` is the solver's
+/// current obs span (best effort, written at claim time).
+struct ScoreboardEntry {
+    enum : std::uint32_t { Free = 0, Claimed = 1, Filled = 2 };
+
+    std::atomic<std::uint32_t> state{Free};
+    std::atomic<std::uint64_t> requestHash{0}; ///< FNV-1a 64 of the formula text
+    char site[48] = {};                        ///< NUL-terminated span label
+};
+
+/// Per-worker-slot scoreboard page.  Sized so a handful of slots fit well
+/// under one page each; journal slots cover maxInflight + maxQueue for any
+/// sane worker configuration.
+struct WorkerScoreboard {
+    static constexpr std::size_t kJournalSlots = 64;
+
+    ScoreboardEntry journal[kJournalSlots];
+    std::atomic<std::uint64_t> solvesStarted{0};
+    std::atomic<std::uint64_t> solvesFinished{0};
+    /// Worker's self-reported RSS, refreshed from the event loop roughly
+    /// every 250 ms; the supervisor reads it post-mortem to classify
+    /// SIGKILL deaths as OOM kills.
+    std::atomic<std::uint64_t> rssBytes{0};
+
+    /// Worker side: claim a journal entry for @p hash.  Returns the entry
+    /// index, or kJournalSlots when the journal is full (the request simply
+    /// goes unjournaled — containment degrades gracefully, never blocks).
+    std::size_t claim(std::uint64_t hash, const char* siteLabel)
+    {
+        for (std::size_t i = 0; i < kJournalSlots; ++i) {
+            std::uint32_t expected = ScoreboardEntry::Free;
+            if (!journal[i].state.compare_exchange_strong(
+                    expected, ScoreboardEntry::Claimed, std::memory_order_acq_rel))
+                continue;
+            journal[i].requestHash.store(hash, std::memory_order_relaxed);
+            std::strncpy(journal[i].site, siteLabel ? siteLabel : "",
+                         sizeof(journal[i].site) - 1);
+            journal[i].site[sizeof(journal[i].site) - 1] = '\0';
+            journal[i].state.store(ScoreboardEntry::Filled, std::memory_order_release);
+            solvesStarted.fetch_add(1, std::memory_order_relaxed);
+            return i;
+        }
+        return kJournalSlots;
+    }
+
+    /// Worker side: release a previously claimed entry.
+    void release(std::size_t index)
+    {
+        if (index >= kJournalSlots) return;
+        journal[index].state.store(ScoreboardEntry::Free, std::memory_order_release);
+        solvesFinished.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Supervisor side: wipe the slot before handing it to a respawned
+    /// worker (the previous corpse's journal has already been harvested).
+    void reset()
+    {
+        for (auto& e : journal) {
+            e.state.store(ScoreboardEntry::Free, std::memory_order_relaxed);
+            e.requestHash.store(0, std::memory_order_relaxed);
+            e.site[0] = '\0';
+        }
+        rssBytes.store(0, std::memory_order_relaxed);
+    }
+};
+
+/// FNV-1a 64 over the request formula text — the hash workers journal and
+/// crash reports carry, small enough for clients to correlate.
+inline std::uint64_t scoreboardHash(const std::string& text)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace hqs::service

@@ -6,6 +6,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -33,6 +34,7 @@
 #include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
 #include "src/runtime/thread_pool.hpp"
+#include "src/service/scoreboard.hpp"
 
 namespace hqs::service {
 namespace {
@@ -93,8 +95,10 @@ struct SolverService::Impl {
     int wakeFd = -1;
     int httpListenFd = -1;
     int jsonlListenFd = -1;
+    int udsListenFd = -1;
     std::uint16_t boundHttpPort = 0;
     std::uint16_t boundJsonlPort = 0;
+    Timer rssReport; ///< rate-limits the scoreboard RSS self-report
 
     std::thread loopThread;
     bool started = false;
@@ -102,7 +106,11 @@ struct SolverService::Impl {
     std::atomic<bool> drainRequested{false};
     std::atomic<bool> hardStopRequested{false};
     std::atomic<bool> drainOnSignal{false};
-    unsigned signalsSeen = 0; ///< loop-thread-only: consumed gSignalCount
+    /// gSignalCount value at installSignalDrain() time — signals delivered
+    /// before this instance took over the handler (earlier instances in the
+    /// same process, or a master process pre-fork) must not count against it.
+    std::atomic<unsigned> signalBaseline{0};
+    unsigned signalsSeen = 0; ///< loop-thread-only: signals consumed past the baseline
 
     std::mutex drainMu;
     std::condition_variable drainCv;
@@ -155,6 +163,7 @@ struct SolverService::Impl {
         }
         const int one = 1;
         ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (opts.reusePort) ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(port);
@@ -172,6 +181,33 @@ struct SolverService::Impl {
         socklen_t len = sizeof addr;
         ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
         boundPort = ntohs(addr.sin_port);
+        return fd;
+    }
+
+    /// Bind + listen the metrics/stats Unix-domain socket.  A stale socket
+    /// file from a crashed predecessor is unlinked first — the supervisor
+    /// hands every respawn the same per-slot path.
+    int listenOnUds(const std::string& path, std::string* error)
+    {
+        sockaddr_un addr{};
+        if (path.size() >= sizeof(addr.sun_path)) {
+            if (error) *error = "metrics UDS path too long: " + path;
+            return -1;
+        }
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+        if (fd < 0) {
+            if (error) *error = std::string("uds socket: ") + std::strerror(errno);
+            return -1;
+        }
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        ::unlink(path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+            ::listen(fd, 16) != 0) {
+            if (error) *error = std::string("uds bind/listen: ") + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
         return fd;
     }
 
@@ -205,8 +241,13 @@ struct SolverService::Impl {
             jsonlListenFd = listenOn(opts.jsonlPort, boundJsonlPort, error);
             if (jsonlListenFd < 0) return false;
         }
+        if (!opts.metricsUdsPath.empty()) {
+            udsListenFd = listenOnUds(opts.metricsUdsPath, error);
+            if (udsListenFd < 0) return false;
+        }
         if (!epollAdd(wakeFd, EPOLLIN) || !epollAdd(httpListenFd, EPOLLIN) ||
-            (jsonlListenFd >= 0 && !epollAdd(jsonlListenFd, EPOLLIN))) {
+            (jsonlListenFd >= 0 && !epollAdd(jsonlListenFd, EPOLLIN)) ||
+            (udsListenFd >= 0 && !epollAdd(udsListenFd, EPOLLIN))) {
             if (error) *error = std::string("epoll_ctl: ") + std::strerror(errno);
             return false;
         }
@@ -232,7 +273,8 @@ struct SolverService::Impl {
                 const std::uint32_t ev = events[i].events;
                 if (fd == wakeFd) {
                     drainWakeups();
-                } else if (fd == httpListenFd || fd == jsonlListenFd) {
+                } else if (fd == httpListenFd || fd == jsonlListenFd ||
+                           fd == udsListenFd) {
                     acceptAll(fd, fd == jsonlListenFd);
                 } else {
                     auto it = conns.find(fd);
@@ -252,6 +294,11 @@ struct SolverService::Impl {
             }
             handleSignals();
             processCompletions();
+            if (opts.scoreboard && rssReport.elapsedMilliseconds() >= 250.0) {
+                opts.scoreboard->rssBytes.store(readRssBytes(),
+                                                std::memory_order_relaxed);
+                rssReport.reset();
+            }
             if (hardStopRequested.load(std::memory_order_acquire)) cancelAllPending();
             running = !readyToExit();
         }
@@ -269,7 +316,8 @@ struct SolverService::Impl {
     void handleSignals()
     {
         if (!drainOnSignal.load(std::memory_order_relaxed)) return;
-        const unsigned seen = gSignalCount.load(std::memory_order_relaxed);
+        const unsigned seen = gSignalCount.load(std::memory_order_relaxed) -
+                              signalBaseline.load(std::memory_order_relaxed);
         if (seen == signalsSeen) return;
         signalsSeen = seen;
         // First signal: graceful drain.  Any further signal: cancel the
@@ -311,6 +359,12 @@ struct SolverService::Impl {
     void shutdownLoop()
     {
         closeListeners();
+        if (udsListenFd >= 0) {
+            ::epoll_ctl(epollFd, EPOLL_CTL_DEL, udsListenFd, nullptr);
+            ::close(udsListenFd);
+            udsListenFd = -1;
+            ::unlink(opts.metricsUdsPath.c_str());
+        }
         std::vector<int> fds;
         fds.reserve(conns.size());
         for (const auto& [fd, c] : conns) fds.push_back(fd);
@@ -667,6 +721,18 @@ struct SolverService::Impl {
         FailureInfo raceFailure;
         std::string certText; ///< serialized certificate of a certify+Sat solve
 
+        // Crash containment: journal this request in the shared-memory
+        // scoreboard so the supervisor can stamp a worker-crash FailureInfo
+        // if this process dies mid-solve.  The site label is the engine the
+        // request entered — the finest-grained span a dead process can
+        // still be attributed to.
+        std::size_t sbEntry = WorkerScoreboard::kJournalSlots;
+        if (opts.scoreboard) {
+            const char* siteLabel =
+                spec.kind == EngineSpec::Kind::Portfolio ? "portfolio" : engineName.c_str();
+            sbEntry = opts.scoreboard->claim(scoreboardHash(formula), siteLabel);
+        }
+
         GuardOptions gopts;
         gopts.deadline = Deadline::in(ropts.timeoutSeconds);
         gopts.cancel = token;
@@ -725,6 +791,7 @@ struct SolverService::Impl {
         int status = 200;
         if (ropts.certify && outcome.result == SolveResult::Sat)
             status = appendCertificate(body, certText, gopts.deadline);
+        if (opts.scoreboard) opts.scoreboard->release(sbEntry);
         {
             std::lock_guard<std::mutex> lock(completionMu);
             completions.push_back({reqId, std::move(body), status});
@@ -944,7 +1011,8 @@ bool SolverService::start(std::string* error)
         // Release any fds a partial start left behind.
         if (impl_->httpListenFd >= 0) ::close(impl_->httpListenFd);
         if (impl_->jsonlListenFd >= 0) ::close(impl_->jsonlListenFd);
-        impl_->httpListenFd = impl_->jsonlListenFd = -1;
+        if (impl_->udsListenFd >= 0) ::close(impl_->udsListenFd);
+        impl_->httpListenFd = impl_->jsonlListenFd = impl_->udsListenFd = -1;
         return false;
     }
     return true;
@@ -994,6 +1062,8 @@ void SolverService::installSignalDrain(SolverService* s)
         gSignalWakeFd.store(-1, std::memory_order_relaxed);
         return;
     }
+    s->impl_->signalBaseline.store(gSignalCount.load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
     s->impl_->drainOnSignal.store(true, std::memory_order_relaxed);
     gSignalWakeFd.store(s->impl_->wakeFd, std::memory_order_relaxed);
     struct sigaction sa{};

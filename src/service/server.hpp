@@ -41,6 +41,8 @@
 
 namespace hqs::service {
 
+struct WorkerScoreboard; // scoreboard.hpp
+
 struct ServiceOptions {
     std::string bindAddress = "127.0.0.1";
     /// HTTP listener port; 0 binds an ephemeral port (read it back through
@@ -49,6 +51,24 @@ struct ServiceOptions {
     /// JSONL listener; disable with enableJsonl = false.
     bool enableJsonl = true;
     std::uint16_t jsonlPort = 0;
+
+    /// Join an SO_REUSEPORT listener group instead of owning the port —
+    /// how supervisor workers share one service port (the kernel load
+    /// balances accepts across the group).
+    bool reusePort = false;
+
+    /// When non-empty, additionally serve the HTTP GET endpoints
+    /// (/metrics, /stats, /healthz) on a Unix-domain socket at this path —
+    /// the per-worker scrape channel the supervisor merges fleet metrics
+    /// from without consuming service-port capacity.
+    std::string metricsUdsPath;
+
+    /// Supervisor crash-containment hook: when set, every admitted solve is
+    /// journaled (request hash + engine site) in this shared-memory slot for
+    /// the lifetime of the solve, and the worker self-reports its RSS there
+    /// every ~250 ms.  The pointed-to page must outlive the service (the
+    /// supervisor owns the mapping).
+    WorkerScoreboard* scoreboard = nullptr;
 
     /// Concurrent solves (worker threads); 0 = hardware concurrency.
     std::size_t maxInflight = 0;

@@ -1,0 +1,1125 @@
+#include "src/service/supervisor.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/report.hpp"
+#include "src/service/client.hpp"
+#include "src/service/scoreboard.hpp"
+#include "src/service/worker.hpp"
+
+namespace hqs::service {
+
+const char* toString(SlotStatus::State s)
+{
+    switch (s) {
+        case SlotStatus::State::Starting: return "starting";
+        case SlotStatus::State::Up: return "up";
+        case SlotStatus::State::Backoff: return "backoff";
+        case SlotStatus::State::Degraded: return "degraded";
+        case SlotStatus::State::Exited: return "exited";
+    }
+    return "invalid";
+}
+
+namespace {
+
+/// Self-pipe signal hook, mirroring the service's eventfd pattern: the
+/// handler only bumps a counter and writes one byte.
+std::atomic<int> gSupervisorSignalFd{-1};
+std::atomic<unsigned> gSupervisorSignalCount{0};
+
+extern "C" void supervisorSignalHandler(int)
+{
+    gSupervisorSignalCount.fetch_add(1, std::memory_order_relaxed);
+    const int fd = gSupervisorSignalFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+/// One async-signal-safe-ish stderr line (single write of a stack buffer).
+void supervisorLog(const char* fmt, ...)
+#ifdef __GNUC__
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+void supervisorLog(const char* fmt, ...)
+{
+    char line[512];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(line, sizeof line - 1, fmt, ap);
+    va_end(ap);
+    if (n <= 0) return;
+    if (n > static_cast<int>(sizeof line) - 2) n = sizeof line - 2;
+    line[n] = '\n';
+    [[maybe_unused]] const ssize_t w =
+        ::write(STDERR_FILENO, line, static_cast<std::size_t>(n) + 1);
+}
+
+std::string describeDeath(int status, bool oomKill, std::uint64_t rssBytes)
+{
+    std::string what;
+    if (WIFEXITED(status))
+        what = "worker exited with status " + std::to_string(WEXITSTATUS(status));
+    else if (WIFSIGNALED(status))
+        what = std::string("worker killed by signal ") +
+               std::to_string(WTERMSIG(status)) + " (" +
+               strsignal(WTERMSIG(status)) + ")";
+    else
+        what = "worker died (status " + std::to_string(status) + ")";
+    if (oomKill)
+        what += "; likely OOM kill (last RSS " + std::to_string(rssBytes >> 20) + " MiB)";
+    return what;
+}
+
+} // namespace
+
+struct Supervisor::Impl {
+    explicit Impl(SupervisorOptions o) : opts(std::move(o))
+    {
+        if (opts.workers < 1) opts.workers = 1;
+    }
+
+    // ------------------------------------------------------------ state --
+
+    SupervisorOptions opts;
+    Timer uptime;
+
+    struct Slot {
+        int index = 0;
+        pid_t pid = -1;
+        SlotStatus::State state = SlotStatus::State::Backoff;
+        int readyFd = -1; ///< read end of the readiness pipe (-1 once up)
+        std::uint64_t respawns = 0;
+        std::uint64_t crashes = 0;
+        std::uint64_t oomKills = 0;
+        int lastExitStatus = 0;
+        std::uint64_t lastRssBytes = 0;
+        double backoffSeconds = 0;
+        double nextSpawnAt = 0;  ///< uptime seconds; Backoff only
+        double upSince = 0;
+        double degradedUntil = 0;
+        std::deque<double> deathTimes; ///< breaker window
+    };
+
+    mutable std::mutex mu;
+    std::vector<Slot> slots;                  // under mu
+    std::vector<WorkerCrashReport> reports;   // under mu
+    std::uint64_t respawnsTotal = 0;          // under mu
+    std::uint64_t crashesTotal = 0;           // under mu
+    std::uint64_t oomKillsTotal = 0;          // under mu
+
+    WorkerScoreboard* boards = nullptr;
+    std::size_t boardsBytes = 0;
+
+    int selfPipe[2] = {-1, -1};
+    int httpReserveFd = -1;   ///< SO_REUSEPORT bind, never listened: holds the port
+    int jsonlReserveFd = -1;
+    int adminListenFd = -1;
+    int responderHttpFd = -1; ///< master's own 503 listener, degraded/drain only
+    int responderJsonlFd = -1;
+    std::uint16_t boundHttpPort = 0;
+    std::uint16_t boundJsonlPort = 0;
+    std::uint16_t boundAdminPort = 0;
+    std::string runDir;
+    bool madeRunDir = false;
+
+    struct Conn {
+        int fd = -1;
+        bool responder = false; ///< canned-503 conn (vs admin HTTP)
+        bool jsonl = false;     ///< responder flavor
+        bool shutdownSent = false;
+        double deadline = 0; ///< uptime seconds; responder conns only
+        std::string in;
+        std::string out;
+        HttpParser parser{16 * 1024, 1 << 20};
+    };
+    std::unordered_map<int, Conn> conns;
+
+    std::thread loopThread;
+    bool started = false;
+    std::atomic<bool> drainFlag{false};
+    std::atomic<bool> escalateFlag{false};
+    bool drainPropagated = false; ///< loop-thread-only
+    /// gSupervisorSignalCount at installSignalDrain() time — signals from
+    /// before this instance took over the handler must not count.
+    std::atomic<unsigned> signalBaseline{0};
+    unsigned signalsSeen = 0; ///< loop-thread-only: consumed past the baseline
+
+    std::mutex exitMu;
+    std::condition_variable exitCv;
+    bool exited = false;
+
+    // ------------------------------------------------------------ setup --
+
+    double now() const { return uptime.elapsedSeconds(); }
+
+    int reservePort(std::uint16_t port, std::uint16_t* bound, std::string* error)
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            if (error) *error = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        if (::inet_pton(AF_INET, opts.service.bindAddress.c_str(), &addr.sin_addr) != 1) {
+            if (error) *error = "bad bind address: " + opts.service.bindAddress;
+            ::close(fd);
+            return -1;
+        }
+        // Bind WITHOUT listen: a non-listening SO_REUSEPORT member never
+        // receives connections, so this socket only pins the port number
+        // (and the group) for the workers across respawns.
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            if (error) *error = std::string("bind: ") + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        socklen_t len = sizeof addr;
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+        *bound = ntohs(addr.sin_port);
+        return fd;
+    }
+
+    /// A listening TCP socket on @p port (SO_REUSEPORT iff @p reusePort) —
+    /// used for the admin listener and the degraded responders.
+    int listenTcp(std::uint16_t port, bool reusePort, std::uint16_t* bound,
+                  std::string* error)
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+        if (fd < 0) {
+            if (error) *error = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (reusePort) ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        if (::inet_pton(AF_INET, opts.service.bindAddress.c_str(), &addr.sin_addr) != 1) {
+            if (error) *error = "bad bind address: " + opts.service.bindAddress;
+            ::close(fd);
+            return -1;
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+            ::listen(fd, 64) != 0) {
+            if (error) *error = std::string("bind/listen: ") + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        if (bound) {
+            socklen_t len = sizeof addr;
+            ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+            *bound = ntohs(addr.sin_port);
+        }
+        return fd;
+    }
+
+    std::string udsPath(int slot) const
+    {
+        return runDir + "/worker-" + std::to_string(slot) + ".sock";
+    }
+
+    ServiceOptions workerOptions(int slot) const
+    {
+        ServiceOptions o = opts.service;
+        o.httpPort = boundHttpPort;
+        o.jsonlPort = boundJsonlPort;
+        o.reusePort = true;
+        o.metricsUdsPath = udsPath(slot);
+        o.scoreboard = boards + slot;
+        return o;
+    }
+
+    bool start(std::string* error)
+    {
+        if (::pipe2(selfPipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+            if (error) *error = std::string("pipe2: ") + std::strerror(errno);
+            return false;
+        }
+        httpReserveFd = reservePort(opts.service.httpPort, &boundHttpPort, error);
+        if (httpReserveFd < 0) return false;
+        if (opts.service.enableJsonl) {
+            jsonlReserveFd = reservePort(opts.service.jsonlPort, &boundJsonlPort, error);
+            if (jsonlReserveFd < 0) return false;
+        }
+        adminListenFd = listenTcp(opts.adminPort, false, &boundAdminPort, error);
+        if (adminListenFd < 0) return false;
+
+        runDir = opts.runDir;
+        if (runDir.empty())
+            runDir = "/tmp/hqs-serve-" + std::to_string(::getpid());
+        if (::mkdir(runDir.c_str(), 0700) != 0 && errno != EEXIST) {
+            if (error) *error = "mkdir " + runDir + ": " + std::strerror(errno);
+            return false;
+        }
+        madeRunDir = true;
+
+        boardsBytes = sizeof(WorkerScoreboard) * static_cast<std::size_t>(opts.workers);
+        void* mem = ::mmap(nullptr, boardsBytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+        if (mem == MAP_FAILED) {
+            if (error) *error = std::string("mmap scoreboard: ") + std::strerror(errno);
+            return false;
+        }
+        boards = new (mem) WorkerScoreboard[static_cast<std::size_t>(opts.workers)];
+
+        slots.resize(static_cast<std::size_t>(opts.workers));
+        const double t0 = now();
+        for (int i = 0; i < opts.workers; ++i) {
+            Slot& s = slots[static_cast<std::size_t>(i)];
+            s.index = i;
+            s.backoffSeconds = opts.backoffInitialSeconds;
+            s.nextSpawnAt = t0;
+        }
+        // Fork the initial fleet before the supervision thread exists: the
+        // master is still single-threaded here, the safest point to fork.
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            for (Slot& s : slots)
+                if (!spawnLocked(s, /*isRespawn=*/false, error)) return false;
+        }
+        loopThread = std::thread([this] { runLoop(); });
+        started = true;
+        return true;
+    }
+
+    /// Fork one worker for @p s.  Caller holds mu.
+    bool spawnLocked(Slot& s, bool isRespawn, std::string* error)
+    {
+        boards[s.index].reset();
+        // Everything the child needs is built before fork so the child's
+        // pre-service work is minimal.
+        WorkerConfig wc;
+        wc.service = workerOptions(s.index);
+        wc.slot = s.index;
+        wc.addressSpaceLimitBytes = opts.workerAddressSpaceLimitBytes;
+        int pfd[2];
+        if (::pipe2(pfd, O_CLOEXEC | O_NONBLOCK) != 0) {
+            if (error) *error = std::string("pipe2: ") + std::strerror(errno);
+            return false;
+        }
+        std::vector<int> childCloses = {selfPipe[0], selfPipe[1], adminListenFd,
+                                        responderHttpFd, responderJsonlFd, pfd[0]};
+        for (const auto& [fd, c] : conns) childCloses.push_back(fd);
+        for (const Slot& other : slots)
+            if (other.readyFd >= 0) childCloses.push_back(other.readyFd);
+
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            // --- child ---
+            for (const int fd : childCloses)
+                if (fd >= 0) ::close(fd);
+            // Default dispositions until the worker's own drain hook is in:
+            // the inherited master handler would write the master self-pipe.
+            struct sigaction dfl{};
+            dfl.sa_handler = SIG_DFL;
+            sigemptyset(&dfl.sa_mask);
+            ::sigaction(SIGTERM, &dfl, nullptr);
+            ::sigaction(SIGINT, &dfl, nullptr);
+            wc.readyFd = pfd[1];
+            runWorker(wc); // noreturn
+        }
+        if (pid < 0) {
+            if (error) *error = std::string("fork: ") + std::strerror(errno);
+            ::close(pfd[0]);
+            ::close(pfd[1]);
+            return false;
+        }
+        ::close(pfd[1]);
+        s.pid = pid;
+        s.readyFd = pfd[0];
+        s.state = SlotStatus::State::Starting;
+        s.upSince = now();
+        if (isRespawn) {
+            ++s.respawns;
+            ++respawnsTotal;
+            OBS_COUNT("service.worker.respawns", 1);
+            supervisorLog("hqs-serve: respawned worker slot %d as pid %d", s.index,
+                          static_cast<int>(pid));
+        }
+        return true;
+    }
+
+    // ------------------------------------------------------------- loop --
+
+    void runLoop()
+    {
+        bool running = true;
+        while (running) {
+            pollOnce(50);
+            handleSignals();
+            bool allExited;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                propagateDrainLocked();
+                reapAndManageLocked();
+                allExited = true;
+                for (const Slot& s : slots)
+                    if (s.state != SlotStatus::State::Exited) allExited = false;
+                updateResponderLocked();
+            }
+            expireResponderConns();
+            running = !(allExited &&
+                        (drainFlag.load(std::memory_order_acquire) ||
+                         escalateFlag.load(std::memory_order_acquire)));
+        }
+        shutdownLoop();
+    }
+
+    void pollOnce(int timeoutMs)
+    {
+        std::vector<pollfd> pfds;
+        std::vector<int> readyFds; ///< parallel: readiness fds polled this round
+        pfds.push_back({selfPipe[0], POLLIN, 0});
+        if (adminListenFd >= 0) pfds.push_back({adminListenFd, POLLIN, 0});
+        if (responderHttpFd >= 0) pfds.push_back({responderHttpFd, POLLIN, 0});
+        if (responderJsonlFd >= 0) pfds.push_back({responderJsonlFd, POLLIN, 0});
+        for (const auto& [fd, c] : conns) {
+            short ev = POLLIN;
+            if (!c.out.empty()) ev |= POLLOUT;
+            pfds.push_back({fd, ev, 0});
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            for (const Slot& s : slots)
+                if (s.readyFd >= 0) pfds.push_back({s.readyFd, POLLIN, 0});
+        }
+        const int n = ::poll(pfds.data(), pfds.size(), timeoutMs);
+        if (n <= 0) return;
+        for (const pollfd& p : pfds) {
+            if (p.revents == 0) continue;
+            if (p.fd == selfPipe[0]) {
+                char buf[64];
+                while (::read(selfPipe[0], buf, sizeof buf) > 0) {
+                }
+            } else if (p.fd == adminListenFd) {
+                acceptConns(adminListenFd, /*responder=*/false, /*jsonl=*/false);
+            } else if (p.fd == responderHttpFd) {
+                acceptConns(responderHttpFd, /*responder=*/true, /*jsonl=*/false);
+            } else if (p.fd == responderJsonlFd) {
+                acceptConns(responderJsonlFd, /*responder=*/true, /*jsonl=*/true);
+            } else if (conns.count(p.fd)) {
+                handleConnEvent(p.fd, p.revents);
+            }
+            // Readiness fds are handled by reapAndManageLocked's
+            // nonblocking reads; poll() only wakes the loop for them.
+        }
+    }
+
+    void handleSignals()
+    {
+        const unsigned seen = gSupervisorSignalCount.load(std::memory_order_relaxed) -
+                              signalBaseline.load(std::memory_order_relaxed);
+        if (seen == signalsSeen) return;
+        const unsigned delta = seen - signalsSeen;
+        signalsSeen = seen;
+        if (!drainFlag.load(std::memory_order_acquire)) {
+            drainFlag.store(true, std::memory_order_release);
+            if (delta > 1) escalateFlag.store(true, std::memory_order_release);
+        } else {
+            escalateFlag.store(true, std::memory_order_release);
+        }
+    }
+
+    /// Forward drain/escalate to the children.  Caller holds mu.
+    void propagateDrainLocked()
+    {
+        const bool draining = drainFlag.load(std::memory_order_acquire);
+        const bool escalate = escalateFlag.load(std::memory_order_acquire);
+        if (draining && !drainPropagated) {
+            drainPropagated = true;
+            supervisorLog("hqs-serve: drain requested; signalling %d workers",
+                          static_cast<int>(slots.size()));
+            for (Slot& s : slots)
+                if (s.pid > 0 && (s.state == SlotStatus::State::Starting ||
+                                  s.state == SlotStatus::State::Up))
+                    ::kill(s.pid, SIGTERM);
+        }
+        if (escalate) {
+            for (Slot& s : slots)
+                if (s.pid > 0 && (s.state == SlotStatus::State::Starting ||
+                                  s.state == SlotStatus::State::Up))
+                    ::kill(s.pid, SIGKILL);
+        }
+    }
+
+    /// Reap deaths, read readiness bytes, run the breaker/backoff state
+    /// machine, spawn due slots.  Caller holds mu.
+    void reapAndManageLocked()
+    {
+        const double t = now();
+        const bool winding = drainFlag.load(std::memory_order_acquire) ||
+                             escalateFlag.load(std::memory_order_acquire);
+        for (Slot& s : slots) {
+            if (s.pid > 0) {
+                int status = 0;
+                const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+                if (r == s.pid) {
+                    onDeathLocked(s, status, t);
+                    continue;
+                }
+            }
+            if (s.state == SlotStatus::State::Starting && s.readyFd >= 0) {
+                char byte = 0;
+                const ssize_t r = ::read(s.readyFd, &byte, 1);
+                if (r == 1) {
+                    ::close(s.readyFd);
+                    s.readyFd = -1;
+                    if (byte == 'R') {
+                        s.state = SlotStatus::State::Up;
+                        s.upSince = t;
+                    }
+                    // 'F': leave Starting; waitpid classifies the exit.
+                }
+            }
+            if (s.state == SlotStatus::State::Up) {
+                s.lastRssBytes =
+                    boards[s.index].rssBytes.load(std::memory_order_relaxed);
+                // A worker that survived a full breaker window earns its
+                // slot a clean bill: backoff and the death window reset.
+                if (t - s.upSince >= opts.breakerWindowSeconds &&
+                    (s.backoffSeconds > opts.backoffInitialSeconds ||
+                     !s.deathTimes.empty())) {
+                    s.backoffSeconds = opts.backoffInitialSeconds;
+                    s.deathTimes.clear();
+                }
+            }
+            if (winding) {
+                if (s.state == SlotStatus::State::Backoff ||
+                    s.state == SlotStatus::State::Degraded)
+                    s.state = SlotStatus::State::Exited;
+                continue;
+            }
+            if (s.state == SlotStatus::State::Degraded && t >= s.degradedUntil) {
+                // Half-open: one respawn attempt; a fresh death inside the
+                // (pruned) window re-trips the breaker immediately.
+                s.state = SlotStatus::State::Backoff;
+                s.nextSpawnAt = t;
+            }
+            if (s.state == SlotStatus::State::Backoff && t >= s.nextSpawnAt) {
+                std::string error;
+                if (!spawnLocked(s, /*isRespawn=*/true, &error)) {
+                    supervisorLog("hqs-serve: respawn slot %d failed: %s", s.index,
+                                  error.c_str());
+                    s.nextSpawnAt = t + s.backoffSeconds;
+                }
+            }
+        }
+    }
+
+    void onDeathLocked(Slot& s, int status, double t)
+    {
+        if (s.readyFd >= 0) {
+            ::close(s.readyFd);
+            s.readyFd = -1;
+        }
+        const pid_t deadPid = s.pid;
+        s.pid = -1;
+        s.lastExitStatus = status;
+        WorkerScoreboard& board = boards[s.index];
+        s.lastRssBytes = board.rssBytes.load(std::memory_order_relaxed);
+
+        const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        const bool hardKill = (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ||
+                              (WIFEXITED(status) && WEXITSTATUS(status) == 137);
+        const bool oomKill = hardKill && opts.workerAddressSpaceLimitBytes > 0 &&
+                             s.lastRssBytes >=
+                                 static_cast<std::uint64_t>(
+                                     0.9 * static_cast<double>(
+                                               opts.workerAddressSpaceLimitBytes));
+        if (!clean) {
+            ++s.crashes;
+            ++crashesTotal;
+            OBS_COUNT("service.worker.crashes", 1);
+            if (oomKill) {
+                ++s.oomKills;
+                ++oomKillsTotal;
+                OBS_COUNT("service.worker.oomkills", 1);
+            }
+            const std::string what = describeDeath(status, oomKill, s.lastRssBytes);
+            supervisorLog("hqs-serve: {\"event\":\"worker-death\",\"slot\":%d,"
+                          "\"pid\":%d,\"detail\":\"%s\"}",
+                          s.index, static_cast<int>(deadPid), what.c_str());
+            // Harvest the victim's journal: every request it was executing
+            // becomes a structured worker-crash failure.
+            for (const ScoreboardEntry& e : board.journal) {
+                if (e.state.load(std::memory_order_acquire) != ScoreboardEntry::Filled)
+                    continue;
+                WorkerCrashReport report;
+                report.slot = s.index;
+                report.pid = static_cast<int>(deadPid);
+                report.requestHash = e.requestHash.load(std::memory_order_relaxed);
+                report.oomKill = oomKill;
+                report.failure.kind = FailureKind::WorkerCrash;
+                report.failure.site.assign(e.site,
+                                           strnlen(e.site, sizeof e.site));
+                report.failure.what = what;
+                reports.push_back(std::move(report));
+                OBS_COUNT("service.worker.crashed_requests", 1);
+            }
+        }
+        board.reset();
+
+        if (drainFlag.load(std::memory_order_acquire) ||
+            escalateFlag.load(std::memory_order_acquire)) {
+            s.state = SlotStatus::State::Exited;
+            return;
+        }
+        // Breaker + backoff (clean-but-unexpected exits respawn too: a
+        // worker has no business exiting on its own outside a drain).
+        s.deathTimes.push_back(t);
+        while (!s.deathTimes.empty() &&
+               s.deathTimes.front() < t - opts.breakerWindowSeconds)
+            s.deathTimes.pop_front();
+        if (static_cast<int>(s.deathTimes.size()) >= opts.breakerDeaths) {
+            s.state = SlotStatus::State::Degraded;
+            s.degradedUntil = t + opts.breakerCooldownSeconds;
+            supervisorLog("hqs-serve: slot %d crash-looping (%zu deaths in %.1fs); "
+                          "degraded for %.1fs",
+                          s.index, s.deathTimes.size(), opts.breakerWindowSeconds,
+                          opts.breakerCooldownSeconds);
+        } else {
+            s.state = SlotStatus::State::Backoff;
+            s.nextSpawnAt = t + s.backoffSeconds;
+            s.backoffSeconds =
+                std::min(s.backoffSeconds * 2.0, opts.backoffMaxSeconds);
+        }
+    }
+
+    // ------------------------------------------------- degraded responder --
+
+    /// The master's own 503 listeners exist exactly while no worker can
+    /// accept: every slot dead/parked, or the fleet is draining (workers
+    /// close their listeners on SIGTERM).  Caller holds mu.
+    void updateResponderLocked()
+    {
+        int live = 0;
+        for (const Slot& s : slots)
+            if (s.state == SlotStatus::State::Starting ||
+                s.state == SlotStatus::State::Up)
+                ++live;
+        const bool want = live == 0 || drainFlag.load(std::memory_order_acquire);
+        if (want && responderHttpFd < 0) {
+            std::string error;
+            responderHttpFd = listenTcp(boundHttpPort, true, nullptr, &error);
+            if (responderHttpFd < 0)
+                supervisorLog("hqs-serve: degraded responder: %s", error.c_str());
+            if (opts.service.enableJsonl)
+                responderJsonlFd = listenTcp(boundJsonlPort, true, nullptr, &error);
+        } else if (!want && responderHttpFd >= 0) {
+            ::close(responderHttpFd);
+            responderHttpFd = -1;
+            if (responderJsonlFd >= 0) {
+                ::close(responderJsonlFd);
+                responderJsonlFd = -1;
+            }
+        }
+    }
+
+    std::string responderBody(bool jsonl) const
+    {
+        const bool draining = drainFlag.load(std::memory_order_acquire);
+        const auto retryMs = static_cast<long long>(
+            opts.degradedRetryAfterSeconds * 1000.0 + 0.5);
+        const std::string payload = std::string("{\"error\":\"") +
+                                    (draining ? "draining" : "degraded") +
+                                    "\",\"retry_after_ms\":" +
+                                    std::to_string(retryMs) + "}";
+        if (jsonl) return payload + "\n";
+        const long long secs = (retryMs + 999) / 1000;
+        return httpResponse(503, "application/json", payload, /*keepAlive=*/false,
+                            "Retry-After: " + std::to_string(secs) + "\r\n");
+    }
+
+    // ------------------------------------------------------ connections --
+
+    void acceptConns(int listenFd, bool responder, bool jsonl)
+    {
+        while (true) {
+            const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                     SOCK_CLOEXEC | SOCK_NONBLOCK);
+            if (fd < 0) {
+                if (errno == EINTR) continue;
+                return;
+            }
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            Conn& c = conns[fd];
+            c.fd = fd;
+            c.responder = responder;
+            c.jsonl = jsonl;
+            if (responder) {
+                // Answer immediately; linger briefly draining the request
+                // bytes so close() sends FIN, not RST-on-unread-data.
+                c.out = responderBody(jsonl);
+                c.deadline = now() + 0.5;
+                OBS_COUNT("service.worker.shed", 1);
+                flushConn(fd);
+            }
+        }
+    }
+
+    void handleConnEvent(int fd, short revents)
+    {
+        auto it = conns.find(fd);
+        if (it == conns.end()) return;
+        Conn& c = it->second;
+        if (revents & (POLLHUP | POLLERR)) {
+            closeConn(fd);
+            return;
+        }
+        if (revents & POLLIN) {
+            char buf[16 * 1024];
+            while (true) {
+                const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+                if (n > 0) {
+                    if (!c.responder) c.in.append(buf, static_cast<std::size_t>(n));
+                    continue; // responder conns: read and discard
+                }
+                if (n == 0) {
+                    closeConn(fd);
+                    return;
+                }
+                if (errno == EINTR) continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                closeConn(fd);
+                return;
+            }
+            if (!c.responder && !parseAdmin(c)) {
+                closeConn(fd);
+                return;
+            }
+        }
+        if (revents & POLLOUT) flushConn(fd);
+    }
+
+    /// Parse and answer every complete admin request buffered on @p c.
+    /// Returns false on a protocol error (caller closes).
+    bool parseAdmin(Conn& c)
+    {
+        while (true) {
+            HttpRequest req;
+            const HttpParser::Status st = c.parser.consumeRequest(c.in, req);
+            if (st == HttpParser::Status::NeedMore) return true;
+            if (st == HttpParser::Status::Error) {
+                c.out += httpResponse(c.parser.errorStatus(), "application/json",
+                                      "{\"error\":\"bad request\"}",
+                                      /*keepAlive=*/false);
+                flushConn(c.fd);
+                return false;
+            }
+            const bool keepAlive = req.keepAlive();
+            std::string body;
+            std::string type = "application/json";
+            int status = 200;
+            if (req.method == "GET" && req.target == "/healthz") {
+                body = healthzJson();
+            } else if (req.method == "GET" && req.target == "/metrics") {
+                body = mergedMetricsText();
+                type = "text/plain; version=0.0.4";
+            } else if (req.method == "GET" && req.target == "/stats") {
+                body = statsJson();
+            } else {
+                status = 404;
+                body = "{\"error\":\"no such endpoint\"}";
+            }
+            c.out += httpResponse(status, type, body, keepAlive);
+            if (!flushConn(c.fd)) return true; // conn gone; stop parsing
+            if (!keepAlive) {
+                closeConn(c.fd);
+                return true;
+            }
+        }
+    }
+
+    /// Returns false when the connection was closed.
+    bool flushConn(int fd)
+    {
+        auto it = conns.find(fd);
+        if (it == conns.end()) return false;
+        Conn& c = it->second;
+        while (!c.out.empty()) {
+            const ssize_t n = ::send(fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+            if (n > 0) {
+                c.out.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+            closeConn(fd);
+            return false;
+        }
+        if (c.responder && !c.shutdownSent) {
+            c.shutdownSent = true;
+            ::shutdown(fd, SHUT_WR); // FIN now; the linger drains stragglers
+        }
+        return true;
+    }
+
+    void expireResponderConns()
+    {
+        const double t = now();
+        std::vector<int> dead;
+        for (const auto& [fd, c] : conns)
+            if (c.responder && t >= c.deadline) dead.push_back(fd);
+        for (const int fd : dead) closeConn(fd);
+    }
+
+    void closeConn(int fd)
+    {
+        auto it = conns.find(fd);
+        if (it == conns.end()) return;
+        ::close(fd);
+        conns.erase(it);
+    }
+
+    // ---------------------------------------------------- observability --
+
+    std::string healthzJson() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return healthzJsonLocked();
+    }
+
+    std::string healthzJsonLocked() const
+    {
+        const bool draining = drainFlag.load(std::memory_order_acquire);
+        std::size_t degraded = 0, up = 0;
+        for (const Slot& s : slots) {
+            if (s.state == SlotStatus::State::Degraded) ++degraded;
+            if (s.state == SlotStatus::State::Up ||
+                s.state == SlotStatus::State::Starting)
+                ++up;
+        }
+        const char* status =
+            draining ? "draining" : (degraded > 0 || up == 0 ? "degraded" : "ok");
+        std::ostringstream os;
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.key("status").value(status);
+        w.key("workers").value(static_cast<std::int64_t>(slots.size()));
+        w.key("live").value(static_cast<std::int64_t>(up));
+        w.key("degraded_slots").value(static_cast<std::int64_t>(degraded));
+        w.key("slots").beginArray();
+        for (const Slot& s : slots) {
+            w.beginObject();
+            w.key("slot").value(s.index);
+            w.key("state").value(toString(s.state));
+            w.key("pid").value(static_cast<std::int64_t>(s.pid > 0 ? s.pid : 0));
+            w.key("respawns").value(s.respawns);
+            w.key("crashes").value(s.crashes);
+            w.key("rss_bytes").value(s.lastRssBytes);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        return os.str();
+    }
+
+    std::string statsJson() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        std::ostringstream os;
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.key("draining").value(drainFlag.load(std::memory_order_acquire));
+        w.key("uptime_s").value(uptime.elapsedSeconds());
+        w.key("workers").value(static_cast<std::int64_t>(slots.size()));
+        w.key("respawns").value(respawnsTotal);
+        w.key("crashes").value(crashesTotal);
+        w.key("oomkills").value(oomKillsTotal);
+        w.key("crash_reports").value(static_cast<std::int64_t>(reports.size()));
+        w.endObject();
+        return os.str();
+    }
+
+    /// Re-emit one worker's Prometheus text with worker="N" injected into
+    /// every sample line; # metadata lines are deduplicated across workers
+    /// via @p seenMeta.
+    static std::string injectWorkerLabel(const std::string& text, int slot,
+                                         std::unordered_set<std::string>& seenMeta)
+    {
+        std::string out;
+        out.reserve(text.size() + 256);
+        std::size_t pos = 0;
+        const std::string label = "worker=\"" + std::to_string(slot) + "\"";
+        while (pos < text.size()) {
+            std::size_t eol = text.find('\n', pos);
+            if (eol == std::string::npos) eol = text.size();
+            const std::string line = text.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.empty()) continue;
+            if (line[0] == '#') {
+                if (seenMeta.insert(line).second) out += line + "\n";
+                continue;
+            }
+            const std::size_t space = line.find(' ');
+            const std::size_t brace = line.find('{');
+            if (brace != std::string::npos && brace < space) {
+                out += line.substr(0, brace + 1) + label + "," +
+                       line.substr(brace + 1) + "\n";
+            } else if (space != std::string::npos) {
+                out += line.substr(0, space) + "{" + label + "}" +
+                       line.substr(space) + "\n";
+            } else {
+                out += line + "\n";
+            }
+        }
+        return out;
+    }
+
+    std::string mergedMetricsText()
+    {
+        // Fleet-level gauges refresh at scrape time; the event counters
+        // (respawns/crashes/oomkills/shed) accumulate where they happen.
+        std::vector<std::pair<int, std::string>> targets;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            std::size_t degraded = 0;
+            for (const Slot& s : slots) {
+                if (s.state == SlotStatus::State::Degraded) ++degraded;
+                if (s.state == SlotStatus::State::Up)
+                    targets.emplace_back(s.index, udsPath(s.index));
+            }
+            OBS_GAUGE_SET("service.worker.degraded_slots", degraded);
+            OBS_GAUGE_SET("service.worker.uptime_s",
+                          static_cast<std::int64_t>(uptime.elapsedSeconds()));
+            OBS_GAUGE_SET("service.worker.live", targets.size());
+        }
+        std::ostringstream os;
+        obs::writePrometheusText(os, obs::globalRegistry().snapshot());
+        std::string out = os.str();
+        std::unordered_set<std::string> seenMeta;
+        for (const auto& [slot, path] : targets) {
+            BlockingClient scrape;
+            if (!scrape.connectUnix(path, /*timeoutSeconds=*/0.5)) continue;
+            if (!scrape.sendAll("GET /metrics HTTP/1.1\r\nHost: hqs\r\n"
+                                "Connection: close\r\n\r\n"))
+                continue;
+            HttpResponseMsg resp;
+            if (!scrape.readResponse(resp) || resp.status != 200) continue;
+            out += injectWorkerLabel(resp.body, slot, seenMeta);
+        }
+        return out;
+    }
+
+    // --------------------------------------------------------- shutdown --
+
+    void shutdownLoop()
+    {
+        std::vector<int> fds;
+        for (const auto& [fd, c] : conns) fds.push_back(fd);
+        for (const int fd : fds) closeConn(fd);
+        for (int* fd : {&adminListenFd, &responderHttpFd, &responderJsonlFd}) {
+            if (*fd >= 0) {
+                ::close(*fd);
+                *fd = -1;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            for (const Slot& s : slots) ::unlink(udsPath(s.index).c_str());
+        }
+        if (madeRunDir) ::rmdir(runDir.c_str()); // fails harmlessly if non-empty
+        {
+            std::lock_guard<std::mutex> lock(exitMu);
+            exited = true;
+        }
+        exitCv.notify_all();
+    }
+
+    void wake()
+    {
+        const char byte = 'w';
+        [[maybe_unused]] const ssize_t n = ::write(selfPipe[1], &byte, 1);
+    }
+
+    ~Impl()
+    {
+        for (const int fd : {selfPipe[0], selfPipe[1], httpReserveFd, jsonlReserveFd,
+                             adminListenFd, responderHttpFd, responderJsonlFd})
+            if (fd >= 0) ::close(fd);
+        if (boards) ::munmap(boards, boardsBytes);
+    }
+};
+
+Supervisor::Supervisor(SupervisorOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{
+}
+
+Supervisor::~Supervisor()
+{
+    installSignalDrain(nullptr);
+    stop();
+}
+
+bool Supervisor::start(std::string* error)
+{
+    std::string err;
+    if (!impl_->start(&err)) {
+        if (error) *error = err;
+        // Kill any children a partial start forked.
+        for (Impl::Slot& s : impl_->slots) {
+            if (s.pid > 0) {
+                ::kill(s.pid, SIGKILL);
+                ::waitpid(s.pid, nullptr, 0);
+                s.pid = -1;
+            }
+            if (s.readyFd >= 0) {
+                ::close(s.readyFd);
+                s.readyFd = -1;
+            }
+        }
+        return false;
+    }
+    return true;
+}
+
+std::uint16_t Supervisor::httpPort() const { return impl_->boundHttpPort; }
+std::uint16_t Supervisor::jsonlPort() const { return impl_->boundJsonlPort; }
+std::uint16_t Supervisor::adminPort() const { return impl_->boundAdminPort; }
+
+void Supervisor::beginDrain()
+{
+    impl_->drainFlag.store(true, std::memory_order_release);
+    impl_->wake();
+}
+
+bool Supervisor::waitForExit(double timeoutSeconds)
+{
+    std::unique_lock<std::mutex> lock(impl_->exitMu);
+    if (timeoutSeconds <= 0) {
+        impl_->exitCv.wait(lock, [this] { return impl_->exited; });
+        return true;
+    }
+    return impl_->exitCv.wait_for(lock,
+                                  std::chrono::duration<double>(timeoutSeconds),
+                                  [this] { return impl_->exited; });
+}
+
+void Supervisor::stop()
+{
+    if (!impl_->started) return;
+    impl_->drainFlag.store(true, std::memory_order_release);
+    impl_->escalateFlag.store(true, std::memory_order_release);
+    impl_->wake();
+    if (impl_->loopThread.joinable()) impl_->loopThread.join();
+    impl_->started = false;
+}
+
+bool Supervisor::draining() const
+{
+    return impl_->drainFlag.load(std::memory_order_acquire);
+}
+
+std::vector<SlotStatus> Supervisor::slots() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::vector<SlotStatus> out;
+    out.reserve(impl_->slots.size());
+    for (const Impl::Slot& s : impl_->slots) {
+        SlotStatus st;
+        st.slot = s.index;
+        st.pid = s.pid > 0 ? static_cast<int>(s.pid) : 0;
+        st.state = s.state;
+        st.respawns = s.respawns;
+        st.crashes = s.crashes;
+        st.oomKills = s.oomKills;
+        st.lastExitStatus = s.lastExitStatus;
+        st.rssBytes = s.lastRssBytes;
+        out.push_back(st);
+    }
+    return out;
+}
+
+std::vector<WorkerCrashReport> Supervisor::crashReports() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->reports;
+}
+
+std::uint64_t Supervisor::totalRespawns() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->respawnsTotal;
+}
+
+std::uint64_t Supervisor::totalCrashes() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->crashesTotal;
+}
+
+std::uint64_t Supervisor::totalOomKills() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->oomKillsTotal;
+}
+
+std::size_t Supervisor::degradedSlots() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::size_t n = 0;
+    for (const Impl::Slot& s : impl_->slots)
+        if (s.state == SlotStatus::State::Degraded) ++n;
+    return n;
+}
+
+std::string Supervisor::healthzJson() const { return impl_->healthzJson(); }
+
+void Supervisor::installSignalDrain(Supervisor* s)
+{
+    if (!s) {
+        gSupervisorSignalFd.store(-1, std::memory_order_relaxed);
+        return;
+    }
+    s->impl_->signalBaseline.store(
+        gSupervisorSignalCount.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    gSupervisorSignalFd.store(s->impl_->selfPipe[1], std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = supervisorSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+} // namespace hqs::service

@@ -1,0 +1,160 @@
+// Supervision layer: a pre-forked, crash-contained worker fleet around the
+// epoll SolverService.
+//
+// The master process never solves.  It reserves the service ports, maps one
+// shared-memory scoreboard slot per worker, forks N workers that each run
+// the existing event loop on a shared SO_REUSEPORT listener group, and then
+// only supervises:
+//
+//   * waitpid-driven death detection, classifying every exit as clean /
+//     error-exit / signal / OOM-kill (SIGKILL or exit 137 with the slot's
+//     last self-reported RSS near its budget);
+//   * respawn with per-slot exponential backoff, plus a crash-loop circuit
+//     breaker — K deaths inside a W-second window parks the slot in
+//     Degraded for a cooldown instead of flapping;
+//   * requests that die with a worker surface as structured
+//     FailureInfo{kind=worker-crash, site=<engine>} crash reports harvested
+//     from the victim's scoreboard journal, never as silent resets;
+//   * a self-pipe signal loop: first SIGTERM/SIGINT propagates a graceful
+//     drain (SIGTERM) to every worker, a second signal escalates to SIGKILL;
+//   * when no worker is alive (crash storm, full degradation, drain) the
+//     master itself answers the service ports with 503 + Retry-After so the
+//     listener never goes dark;
+//   * fleet observability on a separate admin port: GET /metrics merges
+//     every worker's Prometheus text (scraped over per-slot Unix sockets,
+//     samples labeled worker="N") with the master's own
+//     service.worker.{respawns,crashes,oomkills,degraded_slots,uptime_s};
+//     GET /healthz reports ok|degraded|draining with per-slot detail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/guard.hpp"
+#include "src/service/server.hpp"
+
+namespace hqs::service {
+
+struct SupervisorOptions {
+    /// Template for every worker's ServiceOptions.  httpPort/jsonlPort are
+    /// the ports the fleet serves on (0 = ephemeral, read back through
+    /// httpPort()/jsonlPort()); reusePort/metricsUdsPath/scoreboard are
+    /// overwritten per worker.
+    ServiceOptions service;
+
+    int workers = 2;
+
+    /// Hard per-worker address-space cap (setrlimit(RLIMIT_AS)); 0 = none.
+    std::size_t workerAddressSpaceLimitBytes = 0;
+
+    /// Respawn backoff: starts at initial, doubles per death, capped at max,
+    /// reset after a worker stays up for breakerWindowSeconds.
+    double backoffInitialSeconds = 0.25;
+    double backoffMaxSeconds = 5.0;
+
+    /// Crash-loop breaker: @p breakerDeaths deaths within
+    /// @p breakerWindowSeconds parks the slot in Degraded for
+    /// @p breakerCooldownSeconds before a half-open respawn attempt.
+    int breakerDeaths = 5;
+    double breakerWindowSeconds = 10.0;
+    double breakerCooldownSeconds = 5.0;
+
+    /// Master admin listener (merged /metrics, fleet /healthz, /stats).
+    /// 0 binds an ephemeral port.
+    std::uint16_t adminPort = 0;
+
+    /// Directory for per-worker metrics Unix sockets; "" derives
+    /// /tmp/hqs-serve-<pid>.  Created if missing, cleaned up on exit.
+    std::string runDir;
+
+    /// Advisory Retry-After (seconds) on the master's own degraded/draining
+    /// 503 responses.
+    double degradedRetryAfterSeconds = 1.0;
+};
+
+/// One request that died with its worker, stamped from the victim's
+/// scoreboard journal.
+struct WorkerCrashReport {
+    int slot = -1;
+    int pid = 0;
+    std::uint64_t requestHash = 0; ///< scoreboardHash of the formula text
+    bool oomKill = false;
+    FailureInfo failure; ///< kind == FailureKind::WorkerCrash
+};
+
+struct SlotStatus {
+    enum class State {
+        Starting, ///< forked, waiting for the readiness byte
+        Up,       ///< serving
+        Backoff,  ///< dead, respawn scheduled
+        Degraded, ///< breaker tripped, cooling down
+        Exited,   ///< reaped and not coming back (drain/stop)
+    };
+
+    int slot = 0;
+    int pid = 0;
+    State state = State::Starting;
+    std::uint64_t respawns = 0; ///< spawns after the first
+    std::uint64_t crashes = 0;  ///< non-clean deaths
+    std::uint64_t oomKills = 0;
+    int lastExitStatus = 0; ///< raw waitpid status of the last death
+    std::uint64_t rssBytes = 0; ///< last scoreboard self-report
+};
+
+const char* toString(SlotStatus::State s);
+
+class Supervisor {
+public:
+    explicit Supervisor(SupervisorOptions opts = {});
+    ~Supervisor(); ///< stop()s if still running
+
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    /// Reserve ports, map the scoreboard, fork the fleet, start the
+    /// supervision thread.  False (with @p error filled) on failure; the
+    /// supervisor is then inert.
+    bool start(std::string* error = nullptr);
+
+    /// Fleet service ports and the master admin port (valid after start()).
+    std::uint16_t httpPort() const;
+    std::uint16_t jsonlPort() const;
+    std::uint16_t adminPort() const;
+
+    /// Graceful drain: SIGTERM every worker (they finish in-flight solves
+    /// and flush), stop respawning, answer new connections 503, exit when
+    /// the last worker is reaped.  Signal-context-safe.
+    void beginDrain();
+
+    /// Block until the supervision loop has exited (all workers reaped).
+    /// @p timeoutSeconds 0 waits forever.  True when exited.
+    bool waitForExit(double timeoutSeconds = 0);
+
+    /// Hard stop: SIGKILL every worker, reap, join.  Safe to call twice.
+    void stop();
+
+    bool draining() const;
+
+    std::vector<SlotStatus> slots() const;
+    std::vector<WorkerCrashReport> crashReports() const;
+    std::uint64_t totalRespawns() const;
+    std::uint64_t totalCrashes() const;
+    std::uint64_t totalOomKills() const;
+    std::size_t degradedSlots() const;
+
+    /// The admin /healthz payload: {"status":"ok|degraded|draining",
+    /// "slots":[...]}.  Exposed for tests and the CLI.
+    std::string healthzJson() const;
+
+    /// Route SIGTERM/SIGINT to beginDrain() (second signal escalates to
+    /// SIGKILL).  Pass nullptr to detach.
+    static void installSignalDrain(Supervisor* s);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace hqs::service

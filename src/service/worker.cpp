@@ -1,0 +1,91 @@
+#include "src/service/worker.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/service/client.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HQS_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HQS_UNDER_SANITIZER 1
+#endif
+#ifndef HQS_UNDER_SANITIZER
+#define HQS_UNDER_SANITIZER 0
+#endif
+
+namespace hqs::service {
+namespace {
+
+/// Post-fork stderr logging: a single write(2) of a stack buffer — no
+/// stdio locks, which another parent thread may have held at fork time.
+void workerLog(int slot, const char* msg)
+{
+    char buf[256];
+    const int n = std::snprintf(buf, sizeof buf, "hqs-worker[%d]: %s\n", slot, msg);
+    if (n > 0) {
+        [[maybe_unused]] const ssize_t w =
+            ::write(STDERR_FILENO, buf, static_cast<std::size_t>(n));
+    }
+}
+
+void signalReady(int fd, char byte)
+{
+    if (fd < 0) return;
+    while (::write(fd, &byte, 1) < 0 && errno == EINTR) {
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+void runWorker(const WorkerConfig& config)
+{
+    ignoreSigpipe();
+    // The fork snapshotted the master's metrics registry; reset it so this
+    // worker's /metrics reports only its own activity (the supervisor
+    // re-labels and merges per-worker samples, double counts would lie).
+    obs::globalRegistry().reset();
+
+    if (config.addressSpaceLimitBytes > 0 && !HQS_UNDER_SANITIZER) {
+        // Layered under the cooperative RSS watchdog: the watchdog degrades
+        // the solve gracefully, this rlimit is the hard backstop that makes
+        // an escaped allocation die as std::bad_alloc / SIGKILL inside this
+        // process only.
+        rlimit rl{};
+        rl.rlim_cur = config.addressSpaceLimitBytes;
+        rl.rlim_max = config.addressSpaceLimitBytes;
+        if (::setrlimit(RLIMIT_AS, &rl) != 0)
+            workerLog(config.slot, "setrlimit(RLIMIT_AS) failed");
+    }
+
+    SolverService service(config.service);
+    std::string error;
+    if (!service.start(&error)) {
+        workerLog(config.slot, ("start failed: " + error).c_str());
+        signalReady(config.readyFd, 'F');
+        _exit(2);
+    }
+    // SIGTERM/SIGINT drain exactly like single-process dqbf_serve: finish
+    // in-flight solves, flush responses, then fall through waitForDrained.
+    SolverService::installSignalDrain(&service);
+    signalReady(config.readyFd, 'R');
+
+    service.waitForDrained(0);
+    SolverService::installSignalDrain(nullptr);
+    // _exit, not exit: the child shares atexit/static state with the
+    // supervisor image and must not run its destructors.  Drained responses
+    // are already flushed by the loop thread before waitForDrained returns.
+    _exit(0);
+}
+
+} // namespace hqs::service

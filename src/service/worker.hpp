@@ -1,0 +1,37 @@
+// Worker side of the supervised fleet: what runs in each forked child.
+//
+// A worker is the existing single-process SolverService, re-parented: it
+// joins the shared SO_REUSEPORT listener group on the ports the supervisor
+// reserved, journals every solve in its shared-memory scoreboard slot,
+// serves /metrics///stats on a per-slot Unix socket for fleet scraping, and
+// caps its own address space with setrlimit(RLIMIT_AS) so a runaway
+// elimination dies inside its own process instead of taking the machine to
+// the OOM killer.  SIGTERM drains it exactly like the single-process serve
+// path; a worker that finishes draining _exit(0)s and the supervisor
+// classifies that as a clean exit.
+#pragma once
+
+#include "src/service/server.hpp"
+
+namespace hqs::service {
+
+struct WorkerConfig {
+    /// Fully resolved service options: fixed ports, reusePort = true,
+    /// scoreboard slot pointer and metrics UDS path already set by the
+    /// supervisor.
+    ServiceOptions service;
+    int slot = 0;
+    /// Hard address-space cap (RLIMIT_AS) applied before serving;
+    /// 0 = unlimited.  Skipped under ASan/TSan, whose shadow mappings
+    /// cannot live under an address-space rlimit.
+    std::size_t addressSpaceLimitBytes = 0;
+    /// Write end of the readiness pipe: one 'R' byte after a successful
+    /// start, 'F' on failure, then closed.  -1 = no readiness protocol.
+    int readyFd = -1;
+};
+
+/// Run the worker until drained; never returns (always _exit).
+/// Exit codes: 0 after a clean drain, 2 when the service failed to start.
+[[noreturn]] void runWorker(const WorkerConfig& config);
+
+} // namespace hqs::service

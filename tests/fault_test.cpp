@@ -4,6 +4,9 @@
 // the faults/* ctest partition drives through HQS_FAULT.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -122,6 +125,79 @@ TEST(FaultRegistry, ScopedFaultDisarmsOnDestruction)
     }
     EXPECT_EQ(fault::armedSite(), "");
     EXPECT_NO_THROW(fault::checkpoint("sat"));
+}
+
+// ----------------------------------------------------------- HQS_FAULT specs
+
+TEST(FaultSpec, ParsesSiteNthAndKind)
+{
+    std::string site, error;
+    unsigned long nth = 0;
+    fault::FaultKind kind = fault::FaultKind::Crash;
+
+    ASSERT_TRUE(fault::detail::parseSpec("sat", &site, &nth, &kind, &error)) << error;
+    EXPECT_EQ(site, "sat");
+    EXPECT_EQ(nth, 1u);
+    EXPECT_EQ(kind, fault::FaultKind::Throw);
+
+    ASSERT_TRUE(fault::detail::parseSpec("aig-alloc:10", &site, &nth, &kind, &error));
+    EXPECT_EQ(site, "aig-alloc");
+    EXPECT_EQ(nth, 10u);
+    EXPECT_EQ(kind, fault::FaultKind::Throw);
+
+    ASSERT_TRUE(fault::detail::parseSpec("sat:3:crash", &site, &nth, &kind, &error));
+    EXPECT_EQ(site, "sat");
+    EXPECT_EQ(nth, 3u);
+    EXPECT_EQ(kind, fault::FaultKind::Crash);
+
+    // `site:crash` is shorthand for `site:1:crash`.
+    ASSERT_TRUE(fault::detail::parseSpec("fraig:crash", &site, &nth, &kind, &error));
+    EXPECT_EQ(site, "fraig");
+    EXPECT_EQ(nth, 1u);
+    EXPECT_EQ(kind, fault::FaultKind::Crash);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecsWithADiagnostic)
+{
+    const char* bad[] = {
+        "",          // empty site
+        ":1",        // empty site with nth
+        "sat:0",     // nth is 1-based
+        "sat:-1",    // negative
+        "sat:two",   // non-numeric nth
+        "sat:1:boom",                 // unknown kind token
+        "sat:1:crash:extra",          // trailing garbage
+        "sat:99999999999999999999",   // out of range
+    };
+    for (const char* spec : bad) {
+        std::string site, error;
+        unsigned long nth = 0;
+        fault::FaultKind kind = fault::FaultKind::Throw;
+        EXPECT_FALSE(fault::detail::parseSpec(spec, &site, &nth, &kind, &error))
+            << "accepted: '" << spec << "'";
+        EXPECT_FALSE(error.empty()) << "no diagnostic for: '" << spec << "'";
+    }
+}
+
+TEST(FaultSpec, CrashKindExitsTheProcessWith137)
+{
+    // The crash kind must not unwind: fork a victim, arm the site, hit the
+    // checkpoint, and expect the supervisor-recognizable exit code 137.
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        fault::arm("sat", 1, fault::FaultKind::Crash);
+        try {
+            fault::checkpoint("sat"); // _exit(137)s; must not throw
+        } catch (...) {
+            _exit(3); // unwound — wrong
+        }
+        _exit(4); // returned — wrong
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << status;
+    EXPECT_EQ(WEXITSTATUS(status), 137);
 }
 
 // --------------------------------------------------------- failure taxonomy

@@ -791,6 +791,56 @@ TEST(ServiceLoopback, SigtermDrainsAndSecondSignalCancels)
     std::signal(SIGINT, SIG_DFL);
 }
 
+// The supervised-fleet drain path leans on this guarantee: a SIGTERM
+// arriving while a certify solve is in flight must still deliver the full
+// response with an intact, independently checkable certificate — never a
+// torn artifact, never a dropped connection.
+TEST(ServiceLoopback, SigtermDrainFlushesInFlightCertifyIntact)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 1;
+    opts.defaultTimeoutSeconds = 30;
+    opts.certSelfCheck = true;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+    SolverService::installSignalDrain(&service);
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ropts.certify = true;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, false)));
+    // Drain the moment the solve is admitted (or already done — either way
+    // the response must be flushed complete before the loop exits).
+    ASSERT_TRUE(eventually([&] {
+        return service.counters().solvesAdmitted.load() >= 1;
+    }));
+    std::raise(SIGTERM);
+
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp)) << "certify response torn by drain";
+    EXPECT_EQ(rsp.status, 200);
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    EXPECT_NE(rsp.body.find("\"self_check\":\"ok\""), std::string::npos) << rsp.body;
+    std::string certText;
+    ASSERT_TRUE(jsonStringField(rsp.body, "bytes", certText)) << rsp.body;
+    cert::Certificate parsed;
+    std::string detail;
+    ASSERT_EQ(cert::parseCertificateString(certText, parsed, detail),
+              cert::CheckStatus::Ok)
+        << detail;
+    const cert::CheckResult check = cert::checkCertificate(parsed);
+    EXPECT_TRUE(check.ok()) << cert::toString(check.status) << ": " << check.detail;
+
+    EXPECT_TRUE(service.waitForDrained(/*timeoutSeconds=*/10));
+    SolverService::installSignalDrain(nullptr);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+}
+
 // --- metrics ----------------------------------------------------------------
 
 TEST(ServiceLoopback, MetricsEndpointSpeaksPrometheus)
@@ -897,28 +947,33 @@ TEST(ServicePrometheus, HistogramQuantilesFromLog2Buckets)
 
 TEST(ServiceReport, BenchServiceMatchesGoldenSchema)
 {
-    obs::BenchServiceReport report;
-    report.connections = 8;
-    report.requests = 256;
-    report.maxInflight = 4;
-    report.maxQueue = 64;
-    report.jsonlMode = false;
-    report.ok = 250;
-    report.rejected = 6;
-    report.errors = 0;
-    report.wallMs = 1234.5;
-    report.throughputRps = 202.5;
-    report.latency.p50Us = 2048;
-    report.latency.p90Us = 4096;
-    report.latency.p99Us = 8192;
-    report.latency.maxUs = 9000;
-    report.latency.meanUs = 2500.25;
+    // v2 is a multi-run report: one "runs" entry per fleet size.  The
+    // baseline row (workers=0, in-process service) carries a registry
+    // snapshot; fleet rows do not — the solves happen in forked workers.
+    obs::BenchServiceReport baseline;
+    baseline.connections = 8;
+    baseline.requests = 256;
+    baseline.maxInflight = 4;
+    baseline.maxQueue = 64;
+    baseline.jsonlMode = false;
+    baseline.workers = 0;
+    baseline.ok = 250;
+    baseline.rejected = 6;
+    baseline.errors = 0;
+    baseline.retries = 0;
+    baseline.wallMs = 1234.5;
+    baseline.throughputRps = 202.5;
+    baseline.latency.p50Us = 2048;
+    baseline.latency.p90Us = 4096;
+    baseline.latency.p99Us = 8192;
+    baseline.latency.maxUs = 9000;
+    baseline.latency.meanUs = 2500.25;
 
     obs::MetricValue counter;
     counter.name = "service.requests";
     counter.kind = obs::MetricKind::Counter;
     counter.value = 256;
-    report.metrics.push_back(counter);
+    baseline.metrics.push_back(counter);
     obs::MetricValue hist;
     hist.name = "service.solve_latency_us";
     hist.kind = obs::MetricKind::Histogram;
@@ -928,9 +983,18 @@ TEST(ServiceReport, BenchServiceMatchesGoldenSchema)
     hist.buckets[11] = 200;
     hist.buckets[12] = 40;
     hist.buckets[13] = 10;
-    report.metrics.push_back(hist);
+    baseline.metrics.push_back(hist);
+
+    obs::BenchServiceReport fleet = baseline;
+    fleet.metrics.clear();
+    fleet.workers = 2;
+    fleet.ok = 256;
+    fleet.rejected = 0;
+    fleet.retries = 3;
+    fleet.wallMs = 1500.25;
+    fleet.throughputRps = 170.6;
 
     std::ostringstream os;
-    obs::writeBenchServiceJson(os, report);
+    obs::writeBenchServiceJson(os, {baseline, fleet});
     expectMatchesGolden(os.str(), "bench_service.json");
 }

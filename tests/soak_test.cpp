@@ -1,0 +1,203 @@
+// service/soak: crash-storm soak against a live supervised fleet.
+//
+// For ~8 seconds a killer thread SIGKILLs random Up workers while client
+// threads keep solving through the bounded-retry path.  The serving
+// guarantees under that storm:
+//
+//   * zero unserved requests — every request ends in a verdict or a
+//     structured 503/busy rejection, never a final transport failure (the
+//     listener never goes dark: live workers, or the master's degraded
+//     responder, always answer);
+//   * respawns recover monotonically and keep pace with the kills;
+//   * after drain, no orphan worker processes remain.
+//
+// The breaker is configured wide open (the storm is meant to exercise
+// respawn, not degradation) and backoff is fast, so the storm stays a storm.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/service/client.hpp"
+#include "src/service/http.hpp"
+#include "src/service/supervisor.hpp"
+
+using namespace hqs;
+using namespace hqs::service;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Forall u1 u2 exists e3(u1) e4(u2): (u1 <-> e3) and (u2 <-> e4) — SAT.
+const char* kSatFormula =
+    "p cnf 4 4\n"
+    "a 1 2 0\n"
+    "d 3 1 0\n"
+    "d 4 2 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+constexpr double kStormSeconds = 8.0;
+
+/// One request through the bounded-retry path.  Returns true when the
+/// request was SERVED: a 200 verdict, or a structured 429/503 rejection
+/// (the listener answered; admission said no).  False only when every
+/// attempt died at the transport level — the downtime the soak forbids.
+bool solveServed(std::uint16_t port, std::atomic<std::uint64_t>& retries,
+                 std::atomic<std::uint64_t>& verdicts, std::uint64_t seed)
+{
+    const int kAttempts = 40;
+    const double base = 0.01, cap = 0.25;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        BlockingClient client;
+        SolveRequestOptions ropts;
+        HttpResponseMsg rsp;
+        double hint = 0;
+        if (client.connect("127.0.0.1", port) &&
+            client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, false)) &&
+            client.readResponse(rsp)) {
+            if (rsp.status == 200) {
+                verdicts.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+            if (rsp.status == 429 || rsp.status == 503) {
+                const std::string* ra = rsp.header("retry-after");
+                hint = parseRetryAfterSeconds(ra ? *ra : "", rsp.body, base);
+                // Served (structurally rejected) — but keep retrying for a
+                // verdict while the budget lasts; the last rejection still
+                // counts as served below.
+                if (attempt == kAttempts - 1) return true;
+            }
+        }
+        retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            retryDelaySeconds(attempt, base, cap, hint, seed ^ attempt)));
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(ServiceSoak, CrashStormKeepsServingRespawnsMonotonicNoOrphans)
+{
+    SupervisorOptions opts;
+    opts.workers = 2;
+    opts.service.maxInflight = 2;
+    opts.backoffInitialSeconds = 0.02;
+    opts.backoffMaxSeconds = 0.2;
+    opts.breakerDeaths = 1000; // the storm must exercise respawn, not trip
+    opts.breakerWindowSeconds = 1.0;
+    Supervisor fleet(opts);
+    std::string error;
+    ASSERT_TRUE(fleet.start(&error)) << error;
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> served{0}, unserved{0}, verdicts{0}, retries{0};
+    std::atomic<std::uint64_t> kills{0};
+    std::vector<int> killedPids;
+    std::mutex killedMu;
+
+    // The storm: SIGKILL a random Up worker every ~300 ms.
+    std::thread killer([&] {
+        std::mt19937 rng(12345);
+        while (!stop.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(300ms);
+            std::vector<SlotStatus> slots = fleet.slots();
+            std::vector<int> up;
+            for (const SlotStatus& s : slots)
+                if (s.state == SlotStatus::State::Up && s.pid > 0) up.push_back(s.pid);
+            if (up.empty()) continue;
+            const int pid = up[rng() % up.size()];
+            if (::kill(pid, SIGKILL) == 0) {
+                kills.fetch_add(1, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(killedMu);
+                killedPids.push_back(pid);
+            }
+        }
+    });
+
+    // Respawn counter samples must be non-decreasing (checked live, while
+    // the storm runs — not just at the end).
+    std::atomic<bool> monotonic{true};
+    std::thread sampler([&] {
+        std::uint64_t last = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            const std::uint64_t now = fleet.totalRespawns();
+            if (now < last) monotonic.store(false, std::memory_order_relaxed);
+            last = now;
+            std::this_thread::sleep_for(50ms);
+        }
+    });
+
+    const std::size_t kClients = 2;
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            Timer t;
+            std::uint64_t seq = 0;
+            while (t.elapsedSeconds() < kStormSeconds) {
+                if (solveServed(fleet.httpPort(), retries, verdicts,
+                                (c + 1) * 1000003ull + seq))
+                    served.fetch_add(1, std::memory_order_relaxed);
+                else
+                    unserved.fetch_add(1, std::memory_order_relaxed);
+                ++seq;
+            }
+        });
+    }
+    for (std::thread& th : clients) th.join();
+    stop.store(true, std::memory_order_release);
+    killer.join();
+    sampler.join();
+
+    EXPECT_GE(kills.load(), 3u) << "storm too weak to mean anything";
+    EXPECT_EQ(unserved.load(), 0u)
+        << "listener went dark: " << unserved.load() << " of "
+        << served.load() + unserved.load() << " requests got no answer at all";
+    EXPECT_GE(verdicts.load(), 1u);
+    EXPECT_TRUE(monotonic.load());
+    // Every kill is a crash the supervisor saw; respawns keep pace.
+    ASSERT_TRUE([&] {
+        Timer t;
+        while (t.elapsedSeconds() < 10.0) {
+            if (fleet.totalCrashes() >= kills.load()) return true;
+            std::this_thread::sleep_for(5ms);
+        }
+        return fleet.totalCrashes() >= kills.load();
+    }()) << "crashes=" << fleet.totalCrashes() << " kills=" << kills.load();
+
+    fleet.beginDrain();
+    ASSERT_TRUE(fleet.waitForExit(20.0));
+
+    // No orphans: every pid the fleet ever ran is gone.  (The supervisor
+    // reaped them; kill(pid, 0) must fail with ESRCH.  PID reuse inside a
+    // 10-second test is not a realistic hazard.)
+    std::vector<int> pids;
+    {
+        std::lock_guard<std::mutex> lock(killedMu);
+        pids = killedPids;
+    }
+    for (const SlotStatus& s : fleet.slots())
+        if (s.pid > 0) pids.push_back(s.pid);
+    for (int pid : pids) {
+        errno = 0;
+        EXPECT_NE(::kill(pid, 0), 0) << "orphan worker pid " << pid;
+        EXPECT_EQ(errno, ESRCH) << "pid " << pid;
+    }
+    // And the supervisor has no unreaped children left behind.
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}

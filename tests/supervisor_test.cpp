@@ -1,0 +1,348 @@
+// Supervised-fleet tests: pre-fork serving over a shared SO_REUSEPORT
+// group, SIGKILL crash containment (the acceptance scenario: a worker dying
+// mid-solve leaves the fleet serving and surfaces the killed request as a
+// structured worker-crash failure), respawn with backoff, the crash-loop
+// circuit breaker and its 503 degraded responder, drain propagation, and
+// the shared-memory scoreboard the containment is built on.
+//
+// Everything runs real fork()ed workers against loopback sockets, so these
+// cases are registered RUN_SERIAL and sized in hundreds of milliseconds,
+// not CI-hostile sleeps.  The file also compiles into the asan/* runtime
+// binary (not tsan/*: TSan refuses threads after a multithreaded fork).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/timer.hpp"
+#include "src/service/client.hpp"
+#include "src/service/http.hpp"
+#include "src/service/scoreboard.hpp"
+#include "src/service/supervisor.hpp"
+
+using namespace hqs;
+using namespace hqs::service;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Forall u1 u2 exists e3(u1) e4(u2): (u1 <-> e3) and (u2 <-> e4) — SAT.
+const char* kSatFormula =
+    "p cnf 4 4\n"
+    "a 1 2 0\n"
+    "d 3 1 0\n"
+    "d 4 2 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+/// Marker body for the fork-safe slow override below.  Never parsed — the
+/// override replaces parse+solve entirely.
+const char* kSlowFormula = "slow";
+
+/// Poll @p cond for up to @p seconds.
+bool eventually(const std::function<bool()>& cond, double seconds = 10.0)
+{
+    Timer t;
+    while (t.elapsedSeconds() < seconds) {
+        if (cond()) return true;
+        std::this_thread::sleep_for(1ms);
+    }
+    return cond();
+}
+
+/// Fork-safe solve override: no captures, so it works identically in the
+/// forked workers (captured test-process state would be a silent copy).
+/// "slow" requests hold their admission slot for several seconds — long
+/// enough to SIGKILL the worker underneath them, short enough to bound a
+/// hung test.
+SolveResult forkSafeSolve(const std::string& formula, const SolveRequestOptions&,
+                          const Deadline& deadline)
+{
+    if (formula == "slow") {
+        Timer t;
+        while (t.elapsedSeconds() < 8.0 && !deadline.expired())
+            std::this_thread::sleep_for(1ms);
+    }
+    return SolveResult::Sat;
+}
+
+SupervisorOptions fastFleetOptions(int workers)
+{
+    SupervisorOptions opts;
+    opts.workers = workers;
+    opts.service.maxInflight = 2;
+    opts.service.solveOverride = forkSafeSolve;
+    opts.backoffInitialSeconds = 0.05;
+    opts.backoffMaxSeconds = 0.5;
+    return opts;
+}
+
+/// One-shot GET against 127.0.0.1:@p port.
+bool httpGet(std::uint16_t port, const std::string& target, HttpResponseMsg& rsp)
+{
+    BlockingClient client;
+    if (!client.connect("127.0.0.1", port)) return false;
+    if (!client.sendAll("GET " + target +
+                        " HTTP/1.1\r\nHost: hqs\r\nConnection: close\r\n\r\n"))
+        return false;
+    return client.readResponse(rsp);
+}
+
+/// POST /solve with the bounded-retry client path (riding through worker
+/// startup and respawn windows).  Returns the final status, or 0 when every
+/// attempt failed at the transport level.
+int solveWithRetry(std::uint16_t port, const std::string& formula, int retries = 8)
+{
+    for (int attempt = 0; attempt <= retries; ++attempt) {
+        BlockingClient client;
+        SolveRequestOptions ropts;
+        HttpResponseMsg rsp;
+        if (client.connect("127.0.0.1", port) &&
+            client.sendAll(buildHttpSolveRequest(formula, ropts, false)) &&
+            client.readResponse(rsp)) {
+            if (rsp.status != 503 && rsp.status != 429) return rsp.status;
+        }
+        if (attempt == retries) break;
+        double hint = 0;
+        if (rsp.status == 503 || rsp.status == 429) {
+            const std::string* ra = rsp.header("retry-after");
+            hint = parseRetryAfterSeconds(ra ? *ra : "", rsp.body, 0.02);
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(retryDelaySeconds(
+            attempt, 0.02, 0.25, hint, static_cast<std::uint64_t>(attempt) + 1)));
+    }
+    return 0;
+}
+
+bool allSlotsUp(const Supervisor& fleet)
+{
+    const std::vector<SlotStatus> slots = fleet.slots();
+    for (const SlotStatus& s : slots)
+        if (s.state != SlotStatus::State::Up) return false;
+    return !slots.empty();
+}
+
+} // namespace
+
+// --- scoreboard -------------------------------------------------------------
+
+TEST(Scoreboard, ClaimFillReleaseLifecycle)
+{
+    WorkerScoreboard board;
+    const std::uint64_t hash = scoreboardHash("p cnf 1 1\n1 0\n");
+    const std::size_t idx = board.claim(hash, "portfolio");
+    ASSERT_LT(idx, WorkerScoreboard::kJournalSlots);
+    EXPECT_EQ(board.journal[idx].state.load(), ScoreboardEntry::Filled);
+    EXPECT_EQ(board.journal[idx].requestHash.load(), hash);
+    EXPECT_STREQ(board.journal[idx].site, "portfolio");
+    EXPECT_EQ(board.solvesStarted.load(), 1u);
+
+    board.release(idx);
+    EXPECT_EQ(board.journal[idx].state.load(), ScoreboardEntry::Free);
+    EXPECT_EQ(board.solvesFinished.load(), 1u);
+}
+
+TEST(Scoreboard, FullJournalDegradesGracefully)
+{
+    WorkerScoreboard board;
+    for (std::size_t i = 0; i < WorkerScoreboard::kJournalSlots; ++i)
+        ASSERT_LT(board.claim(i, "s"), WorkerScoreboard::kJournalSlots);
+    // The 65th in-flight solve goes unjournaled, it does not block or evict.
+    EXPECT_EQ(board.claim(999, "s"), WorkerScoreboard::kJournalSlots);
+    board.release(WorkerScoreboard::kJournalSlots); // no-op, no crash
+    board.release(3);
+    EXPECT_LT(board.claim(1000, "s"), WorkerScoreboard::kJournalSlots);
+}
+
+TEST(Scoreboard, SiteLabelTruncatesNotOverflows)
+{
+    WorkerScoreboard board;
+    const std::string longSite(200, 'x');
+    const std::size_t idx = board.claim(1, longSite.c_str());
+    ASSERT_LT(idx, WorkerScoreboard::kJournalSlots);
+    EXPECT_EQ(std::string(board.journal[idx].site).size(),
+              sizeof(board.journal[idx].site) - 1);
+}
+
+TEST(Scoreboard, HashIsFnv1a64)
+{
+    // Known FNV-1a 64 vectors: empty = offset basis, "a" = 0xaf63dc4c8601ec8c.
+    EXPECT_EQ(scoreboardHash(""), 14695981039346656037ull);
+    EXPECT_EQ(scoreboardHash("a"), 0xaf63dc4c8601ec8cull);
+}
+
+// --- fleet serving ----------------------------------------------------------
+
+TEST(SupervisorFleet, ServesHttpAndJsonlAcrossWorkers)
+{
+    Supervisor fleet(fastFleetOptions(2));
+    std::string error;
+    ASSERT_TRUE(fleet.start(&error)) << error;
+    ASSERT_TRUE(eventually([&] { return allSlotsUp(fleet); }, 15.0));
+
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(solveWithRetry(fleet.httpPort(), kSatFormula), 200) << "i=" << i;
+
+    // JSONL port serves through the same REUSEPORT group.
+    BlockingClient jsonl;
+    ASSERT_TRUE(jsonl.connect("127.0.0.1", fleet.jsonlPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(jsonl.sendAll(buildJsonlSolveRequest("j1", kSatFormula, ropts)));
+    std::string row, verdict;
+    ASSERT_TRUE(jsonl.readLine(row));
+    ASSERT_TRUE(jsonStringField(row, "result", verdict)) << row;
+
+    // Fleet health and merged metrics on the admin port.
+    HttpResponseMsg health;
+    ASSERT_TRUE(httpGet(fleet.adminPort(), "/healthz", health));
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"status\": \"ok\""), std::string::npos) << health.body;
+
+    HttpResponseMsg metrics;
+    ASSERT_TRUE(httpGet(fleet.adminPort(), "/metrics", metrics));
+    EXPECT_EQ(metrics.status, 200);
+    // Master-side fleet gauges plus per-worker samples tagged worker="N".
+    EXPECT_NE(metrics.body.find("hqs_service_worker_live"), std::string::npos);
+    EXPECT_NE(metrics.body.find("worker=\"0\""), std::string::npos) << metrics.body;
+    EXPECT_NE(metrics.body.find("worker=\"1\""), std::string::npos);
+
+    fleet.beginDrain();
+    EXPECT_TRUE(fleet.waitForExit(15.0));
+    EXPECT_EQ(fleet.totalCrashes(), 0u);
+}
+
+// --- crash containment (the acceptance scenario) ----------------------------
+
+TEST(SupervisorFleet, SigkillMidSolveIsContainedAndReported)
+{
+    Supervisor fleet(fastFleetOptions(2));
+    std::string error;
+    ASSERT_TRUE(fleet.start(&error)) << error;
+    ASSERT_TRUE(eventually([&] { return allSlotsUp(fleet); }, 15.0));
+
+    // Hold a solve open in whichever worker the kernel hashed us to...
+    BlockingClient victim;
+    ASSERT_TRUE(victim.connect("127.0.0.1", fleet.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(victim.sendAll(buildHttpSolveRequest(kSlowFormula, ropts, false)));
+    // ...give the worker a moment to admit and journal it, then SIGKILL the
+    // whole fleet (we cannot know which worker holds the solve; killing both
+    // is strictly harsher than the scenario demands).
+    std::this_thread::sleep_for(300ms);
+    for (const SlotStatus& s : fleet.slots()) {
+        ASSERT_GT(s.pid, 0);
+        ASSERT_EQ(::kill(s.pid, SIGKILL), 0);
+    }
+
+    // The victim request dies with its worker: connection reset, and the
+    // supervisor stamps it as a structured worker-crash failure carrying the
+    // request's journal hash.
+    HttpResponseMsg rsp;
+    EXPECT_FALSE(victim.readResponse(rsp));
+    ASSERT_TRUE(eventually([&] { return !fleet.crashReports().empty(); }, 10.0));
+    const std::vector<WorkerCrashReport> reports = fleet.crashReports();
+    bool found = false;
+    for (const WorkerCrashReport& r : reports) {
+        EXPECT_EQ(r.failure.kind, FailureKind::WorkerCrash);
+        EXPECT_FALSE(r.failure.what.empty());
+        if (r.requestHash == scoreboardHash(kSlowFormula)) {
+            found = true;
+            EXPECT_FALSE(r.failure.site.empty());
+        }
+    }
+    EXPECT_TRUE(found) << "no crash report carries the in-flight request hash; "
+                       << reports.size() << " reports";
+
+    // Containment: both slots respawn within the backoff bound and the fleet
+    // is serving again — the listener never went away.
+    ASSERT_TRUE(eventually([&] { return allSlotsUp(fleet); }, 10.0));
+    EXPECT_GE(fleet.totalRespawns(), 2u);
+    EXPECT_GE(fleet.totalCrashes(), 2u);
+    EXPECT_EQ(solveWithRetry(fleet.httpPort(), kSatFormula), 200);
+
+    fleet.beginDrain();
+    EXPECT_TRUE(fleet.waitForExit(15.0));
+}
+
+// --- crash-loop breaker -----------------------------------------------------
+
+TEST(SupervisorFleet, CrashLoopTripsBreakerInto503Degraded)
+{
+    SupervisorOptions opts = fastFleetOptions(1);
+    opts.breakerDeaths = 3;
+    opts.breakerWindowSeconds = 60.0;
+    opts.breakerCooldownSeconds = 30.0; // long: the test must see Degraded
+    Supervisor fleet(opts);
+    std::string error;
+    ASSERT_TRUE(fleet.start(&error)) << error;
+
+    // Kill the worker every time it comes up until the breaker trips.
+    for (int death = 0; death < 3; ++death) {
+        ASSERT_TRUE(eventually([&] { return allSlotsUp(fleet); }, 15.0))
+            << "death " << death;
+        const int pid = fleet.slots()[0].pid;
+        ASSERT_GT(pid, 0);
+        ASSERT_EQ(::kill(pid, SIGKILL), 0);
+        ASSERT_TRUE(eventually([&] { return fleet.totalCrashes() >= death + 1u; }, 10.0));
+    }
+    ASSERT_TRUE(eventually([&] { return fleet.degradedSlots() == 1; }, 10.0));
+    EXPECT_NE(fleet.healthzJson().find("\"status\": \"degraded\""), std::string::npos)
+        << fleet.healthzJson();
+
+    // With zero live workers the master itself answers the service port:
+    // 503 + Retry-After, never a dark listener.
+    BlockingClient client;
+    ASSERT_TRUE(eventually(
+        [&] { return client.connect("127.0.0.1", fleet.httpPort()); }, 5.0));
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSatFormula, ropts, false)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 503);
+    ASSERT_NE(rsp.header("retry-after"), nullptr);
+
+    // /healthz on the admin port tells the same story.
+    HttpResponseMsg health;
+    ASSERT_TRUE(httpGet(fleet.adminPort(), "/healthz", health));
+    EXPECT_NE(health.body.find("\"status\": \"degraded\""), std::string::npos);
+    EXPECT_NE(health.body.find("\"state\": \"degraded\""), std::string::npos);
+
+    fleet.stop();
+}
+
+// --- drain propagation ------------------------------------------------------
+
+TEST(SupervisorFleet, DrainPropagatesAndFlushesInFlightSolves)
+{
+    Supervisor fleet(fastFleetOptions(2));
+    std::string error;
+    ASSERT_TRUE(fleet.start(&error)) << error;
+    ASSERT_TRUE(eventually([&] { return allSlotsUp(fleet); }, 15.0));
+
+    // Hold a solve open, then drain mid-flight: the worker must finish and
+    // flush it before exiting, exactly like single-process SIGTERM drain.
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", fleet.httpPort(), &error)) << error;
+    SolveRequestOptions ropts;
+    ropts.timeoutSeconds = 2.0; // bounds the "slow" override via the deadline
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kSlowFormula, ropts, false)));
+    std::this_thread::sleep_for(200ms);
+
+    fleet.beginDrain();
+    EXPECT_TRUE(fleet.draining());
+
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp)) << "in-flight solve was torn by drain";
+    EXPECT_EQ(rsp.status, 200);
+
+    EXPECT_TRUE(fleet.waitForExit(15.0));
+    EXPECT_EQ(fleet.totalCrashes(), 0u);
+    for (const SlotStatus& s : fleet.slots())
+        EXPECT_EQ(s.state, SlotStatus::State::Exited);
+}
