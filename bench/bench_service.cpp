@@ -1,31 +1,44 @@
 // bench_service: throughput and latency of the solver service under load.
 //
 //   bench_service [--connections=N] [--requests=N] [--max-inflight=N]
-//                 [--queue=N] [--jsonl] [--workers=LIST] [--json=FILE]
+//                 [--queue=N] [--jsonl] [--workers=LIST] [--cache=MODE]
+//                 [--json=FILE]
 //
-// Runs one row per fleet size in --workers (default "0,1,2,4"; 0 = the
-// in-process SolverService baseline, N = a supervised fork fleet sharing the
-// ports via SO_REUSEPORT), floods it from N client threads solving a small
-// DQDIMACS instance, and reports throughput plus exact p50/p90/p99 latency
-// from the client-observed per-request times.  Fleet rows use the bounded
+// Runs one row per (fleet size, cache) cell: fleet sizes come from
+// --workers (default "0,1,2,4"; 0 = the in-process SolverService baseline,
+// N = a supervised fork fleet sharing the ports via SO_REUSEPORT) and
+// --cache picks the cache dimension ("off", "on", or the default "both").
+// Each cell floods the service from N client threads solving the *same*
+// small DQDIMACS instance — a repeated workload, so cache-on rows measure
+// the result cache's steady-state hit path (every request after the warm-up
+// solve is answered from the canonical-hash cache; fleet workers share a
+// persistent --cache-dir, so each worker warms from the first solve in the
+// whole fleet, not one per process) while cache-off rows measure the full
+// solve path.  Reports throughput plus exact p50/p90/p99 latency from the
+// client-observed per-request times.  Fleet rows use the bounded
 // retry-with-backoff client path so worker startup races count as retries,
 // not errors.  --json=FILE writes the schema-versioned multi-run report
-// ("hqs-bench-service/v2") consumed by the golden-file test and committed as
+// ("hqs-bench-service/v3") consumed by the golden-file test and committed as
 // BENCH_service.json.
 //
 // Note: scaling across workers is bounded by the machine.  On a single-core
 // host the 1->4 worker rows measure isolation overhead, not speedup.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/base/timer.hpp"
+#include "src/cache/result_cache.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
 #include "src/service/client.hpp"
@@ -37,18 +50,50 @@ using namespace hqs::service;
 
 namespace {
 
-// Forall u1 u2 exists e3(u1) e4(u2): (u1 <-> e3) and (u2 <-> e4) — SAT, and
-// small enough that one solve is dominated by service overhead, which is the
-// thing this benchmark measures.
+// An 8-universal XOR chain whose aux existentials each miss one universal
+// from their dependency set — genuine DQBF, UNSAT, and a few tens of
+// milliseconds of real elimination work per solve.  Solve-bound on the
+// cache-off rows (they measure full-solve throughput) while cache-on rows
+// collapse to the service-overhead hit path, which is exactly the contrast
+// the cache matrix is after.
 const char* kFormula =
-    "p cnf 4 4\n"
-    "a 1 2 0\n"
-    "d 3 1 0\n"
-    "d 4 2 0\n"
-    "1 -3 0\n"
-    "-1 3 0\n"
-    "2 -4 0\n"
-    "-2 4 0\n";
+    "p cnf 15 28\n"
+    "a 1 2 3 4 5 6 7 8 0\n"
+    "d 9 1 2 3 5 6 7 8 0\n"
+    "d 10 1 2 3 4 6 7 8 0\n"
+    "d 11 1 2 3 4 5 7 8 0\n"
+    "d 12 1 2 3 4 5 6 8 0\n"
+    "d 13 1 2 3 4 5 6 7 0\n"
+    "d 14 2 3 4 5 6 7 8 0\n"
+    "d 15 1 3 4 5 6 7 8 0\n"
+    "-1 -2 -9 0\n"
+    "1 2 -9 0\n"
+    "1 -2 9 0\n"
+    "-1 2 9 0\n"
+    "-9 -3 -10 0\n"
+    "9 3 -10 0\n"
+    "9 -3 10 0\n"
+    "-9 3 10 0\n"
+    "-10 -4 -11 0\n"
+    "10 4 -11 0\n"
+    "10 -4 11 0\n"
+    "-10 4 11 0\n"
+    "-11 -5 -12 0\n"
+    "11 5 -12 0\n"
+    "11 -5 12 0\n"
+    "-11 5 12 0\n"
+    "-12 -6 -13 0\n"
+    "12 6 -13 0\n"
+    "12 -6 13 0\n"
+    "-12 6 13 0\n"
+    "-13 -7 -14 0\n"
+    "13 7 -14 0\n"
+    "13 -7 14 0\n"
+    "-13 7 14 0\n"
+    "-14 -8 -15 0\n"
+    "14 8 -15 0\n"
+    "14 -8 15 0\n"
+    "-14 8 15 0\n";
 
 bool parseSize(const std::string& text, std::size_t& out)
 {
@@ -223,15 +268,47 @@ void runLoad(std::uint16_t port, const LoadParams& params, std::size_t retries,
     report.latency = latencyFromSamples(latenciesUs);
 }
 
-bool runRow(int workers, const LoadParams& params, obs::BenchServiceReport& report)
+/// RAII scratch directory for the fleet rows' shared persistent cache.
+struct ScratchDir {
+    std::filesystem::path path;
+
+    ScratchDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("hqs-bench-cache-" + std::to_string(::getpid()));
+        std::filesystem::create_directories(path);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+bool runRow(int workers, bool cacheOn, const LoadParams& params,
+            obs::BenchServiceReport& report)
 {
     report = obs::BenchServiceReport{};
     report.workers = workers;
+    report.cacheEnabled = cacheOn;
 
     ServiceOptions sopts;
     sopts.maxInflight = params.maxInflight;
     sopts.maxQueue = params.maxQueue;
     sopts.defaultTimeoutSeconds = 10.0;
+
+    // Fleet rows share entries through a persistent directory (each forked
+    // worker owns a copy-on-write in-memory shard); the in-process row
+    // needs only the shard.
+    std::unique_ptr<ScratchDir> scratch;
+    if (cacheOn) {
+        cache::CacheConfig cfg;
+        if (workers > 0) {
+            scratch = std::make_unique<ScratchDir>();
+            cfg.dir = scratch->path.string();
+        }
+        sopts.resultCache = std::make_shared<cache::ResultCache>(cfg);
+    }
 
     if (workers == 0) {
         obs::globalRegistry().reset();
@@ -243,6 +320,7 @@ bool runRow(int workers, const LoadParams& params, obs::BenchServiceReport& repo
         }
         runLoad(params.jsonl ? service.jsonlPort() : service.httpPort(), params,
                 /*retries=*/0, report);
+        report.cacheHits = service.counters().cacheHits.load();
         service.stop();
         report.metrics = obs::globalRegistry().snapshot();
         return true;
@@ -272,6 +350,7 @@ int main(int argc, char** argv)
 
     LoadParams params;
     std::vector<int> workerRows = {0, 1, 2, 4};
+    std::vector<bool> cacheRows = {false, true};
     std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -294,12 +373,18 @@ int main(int argc, char** argv)
         } else if (arg.rfind("--workers=", 0) == 0 &&
                    parseWorkerList(val("--workers="), workerRows)) {
             // rows to run, e.g. --workers=0,1,2,4 or --workers=2
+        } else if (arg == "--cache=off") {
+            cacheRows = {false};
+        } else if (arg == "--cache=on") {
+            cacheRows = {true};
+        } else if (arg == "--cache=both") {
+            cacheRows = {false, true};
         } else if (arg.rfind("--json=", 0) == 0) {
             jsonPath = val("--json=");
         } else {
             std::cerr << "usage: bench_service [--connections=N] [--requests=N] "
                          "[--max-inflight=N] [--queue=N] [--jsonl] "
-                         "[--workers=LIST] [--json=FILE]\n";
+                         "[--workers=LIST] [--cache=off|on|both] [--json=FILE]\n";
             return 1;
         }
     }
@@ -307,21 +392,29 @@ int main(int argc, char** argv)
     std::vector<obs::BenchServiceReport> runs;
     bool allResolved = true;
     for (int workers : workerRows) {
-        obs::BenchServiceReport report;
-        if (!runRow(workers, params, report)) return 1;
-        runs.push_back(report);
-        std::cout << "workers=" << workers << " mode="
-                  << (params.jsonl ? "jsonl" : "http")
-                  << " connections=" << report.connections
-                  << " requests=" << report.requests << " ok=" << report.ok
-                  << " rejected=" << report.rejected << " errors=" << report.errors
-                  << " retries=" << report.retries << "\n";
-        std::cout << "  wall_ms=" << report.wallMs
-                  << " throughput_rps=" << report.throughputRps
-                  << " latency_us p50=" << report.latency.p50Us
-                  << " p99=" << report.latency.p99Us << "\n";
-        allResolved = allResolved &&
-                      report.ok + report.rejected == static_cast<int>(params.requests);
+        for (bool cacheOn : cacheRows) {
+            obs::BenchServiceReport report;
+            if (!runRow(workers, cacheOn, params, report)) return 1;
+            runs.push_back(report);
+            std::cout << "workers=" << workers
+                      << " cache=" << (cacheOn ? "on" : "off")
+                      << " mode=" << (params.jsonl ? "jsonl" : "http")
+                      << " connections=" << report.connections
+                      << " requests=" << report.requests << " ok=" << report.ok
+                      << " rejected=" << report.rejected
+                      << " errors=" << report.errors
+                      << " retries=" << report.retries;
+            if (cacheOn && workers == 0)
+                std::cout << " cache_hits=" << report.cacheHits;
+            std::cout << "\n";
+            std::cout << "  wall_ms=" << report.wallMs
+                      << " throughput_rps=" << report.throughputRps
+                      << " latency_us p50=" << report.latency.p50Us
+                      << " p99=" << report.latency.p99Us << "\n";
+            allResolved =
+                allResolved &&
+                report.ok + report.rejected == static_cast<int>(params.requests);
+        }
     }
 
     if (!jsonPath.empty()) {

@@ -14,6 +14,16 @@
 //                         and self-check it through the independent checker;
 //                         the outcome lands in the row's "certificate" block
 //   --no-retry            disable the degradation ladder (single attempt)
+//   --no-dedup            solve canonically identical instances separately
+//                         instead of once (default: the first occurrence is
+//                         solved and later duplicates copy its row, with a
+//                         "dedup_of" field naming the representative)
+//   --strategy=FILE       solve under a strategy spec (JSON): engine lineup,
+//                         degradation ladder, and cache policy come from the
+//                         spec (see README "Result cache & strategy specs")
+//   --cache-dir=DIR       consult/update a persistent result cache in DIR;
+//                         rows answered from it carry "cached":true and
+//                         rung "cache"
 //   --jsonl=FILE          stream one JSON object per result to FILE
 //                         (default: stdout, prefixed lines suppressed)
 //   --resume=FILE         treat FILE as the journal of an earlier run:
@@ -47,8 +57,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/cache/result_cache.hpp"
 #include "src/runtime/api.hpp"
 #include "src/runtime/batch.hpp"
+#include "src/strategy/spec.hpp"
 
 using namespace hqs;
 
@@ -58,7 +70,8 @@ int usage()
 {
     std::cerr << "usage: dqbf_batch [--workers=N] [--timeout=SECONDS] "
                  "[--node-limit=N] [--rss-limit=MB] [--portfolio[=N]] "
-                 "[--certify] [--no-retry] [--jsonl=FILE] [--resume=FILE] "
+                 "[--certify] [--no-retry] [--no-dedup] [--strategy=FILE] "
+                 "[--cache-dir=DIR] [--jsonl=FILE] [--resume=FILE] "
                  "<dir | file.dqdimacs ...>\n";
     return 1;
 }
@@ -73,6 +86,8 @@ int main(int argc, char** argv)
     api::SolveRequest request;
     std::string jsonlPath;
     std::string resumePath;
+    std::string strategyPath;
+    std::string cacheDir;
     std::vector<std::string> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -93,6 +108,12 @@ int main(int argc, char** argv)
             request.certify = true;
         } else if (arg == "--no-retry") {
             opts.ladder.resize(1);
+        } else if (arg == "--no-dedup") {
+            opts.dedup = false;
+        } else if (arg.rfind("--strategy=", 0) == 0) {
+            strategyPath = arg.substr(11);
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cacheDir = arg.substr(12);
         } else if (arg.rfind("--jsonl=", 0) == 0) {
             jsonlPath = arg.substr(8);
         } else if (arg.rfind("--resume=", 0) == 0) {
@@ -116,6 +137,25 @@ int main(int argc, char** argv)
         spec.kind == api::EngineSpec::Kind::Portfolio) {
         opts.portfolio = true;
         opts.portfolioEngines = spec.portfolioEngines;
+    }
+    if (!strategyPath.empty()) {
+        strategy::StrategySpec spec;
+        std::vector<strategy::SpecError> errors;
+        if (!strategy::loadStrategySpecFile(strategyPath, &spec, &errors)) {
+            std::cerr << "dqbf_batch: invalid strategy spec " << strategyPath
+                      << ":\n" << strategy::toString(errors);
+            return 1;
+        }
+        opts.strategy = spec;
+    }
+    if (!cacheDir.empty()) {
+        cache::CacheConfig cfg;
+        cfg.dir = cacheDir;
+        if (opts.strategy) {
+            cfg.maxBytes = opts.strategy->cache.maxBytes;
+            cfg.ttlSeconds = opts.strategy->cache.ttlSeconds;
+        }
+        opts.resultCache = std::make_shared<cache::ResultCache>(cfg);
     }
 
     // The journal of the interrupted run: its conclusive verdicts stand,

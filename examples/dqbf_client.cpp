@@ -15,6 +15,9 @@
 //   --certify            request a Skolem certificate with each SAT verdict
 //                        (tallied under certs=; a 413 over-cap response
 //                        still counts as a verdict)
+//   --cache-control=on|off|bypass
+//                        per-request result-cache override header/field
+//   --strategy=NAME      solve under the server's strategy spec NAME
 //   --retries=N          retry budget per request for transport failures
 //                        (connection refused/reset) and 429/503 rejections
 //                        (default 3; 0 = fail fast).  Each retry reconnects
@@ -53,6 +56,7 @@ int usage()
     std::cerr << "usage: dqbf_client --file=FORMULA.dqdimacs [--host=ADDR] "
                  "[--port=N] [--jsonl] [--connections=N] [--requests=N] "
                  "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME] [--certify] "
+                 "[--cache-control=on|off|bypass] [--strategy=NAME] "
                  "[--retries=N] [--retry-base-ms=N]\n";
     return 1;
 }
@@ -129,6 +133,10 @@ int main(int argc, char** argv)
             ropts.engine = val("--engine=");
         } else if (arg == "--certify") {
             ropts.certify = true;
+        } else if (arg.rfind("--cache-control=", 0) == 0) {
+            ropts.cacheControl = val("--cache-control=");
+        } else if (arg.rfind("--strategy=", 0) == 0) {
+            ropts.strategy = val("--strategy=");
         } else if (arg.rfind("--retries=", 0) == 0 && parseSize(val("--retries="), n)) {
             retries = n;
         } else if (arg.rfind("--retry-base-ms=", 0) == 0 &&

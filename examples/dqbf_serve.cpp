@@ -21,6 +21,20 @@
 //                         certificate before replying; a failing artifact is
 //                         withheld and counted in /stats
 //
+// Request shaping (see README "Result cache & strategy specs"):
+//   --strategy=FILE       load a strategy spec (JSON) and make it the
+//                         server's default: engine lineup, degradation
+//                         ladder, and cache policy come from the spec.
+//                         Requests select it by name or leave `strategy`
+//                         empty.
+//   --cache               enable the in-memory result cache
+//   --cache-dir=DIR       enable the cache and persist entries in DIR (one
+//                         file per canonical hash; shared by fleet workers)
+//   --cache-bytes=N       in-memory shard byte budget (default 64 MiB or
+//                         the spec's cache.max_bytes)
+//   --cache-ttl=SECONDS   entry lifetime (default: no expiry or the spec's
+//                         cache.ttl_seconds)
+//
 // Fleet mode (see README "Operations"):
 //   --workers=N           fork N supervised worker processes sharing the
 //                         service ports via SO_REUSEPORT; the master only
@@ -43,12 +57,15 @@
 // exits after the last worker is reaped.
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "src/cache/result_cache.hpp"
 #include "src/runtime/api.hpp"
 #include "src/service/client.hpp"
 #include "src/service/server.hpp"
 #include "src/service/supervisor.hpp"
+#include "src/strategy/spec.hpp"
 
 using namespace hqs;
 using namespace hqs::service;
@@ -61,8 +78,9 @@ int usage()
                  "[--no-jsonl] [--max-inflight=N] [--queue=N] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--node-limit=N] "
                  "[--retry-after=SECONDS] [--cert-max-bytes=N] "
-                 "[--cert-self-check] [--workers=N] [--admin-port=N] "
-                 "[--worker-as-limit=MB]\n";
+                 "[--cert-self-check] [--strategy=FILE] [--cache] "
+                 "[--cache-dir=DIR] [--cache-bytes=N] [--cache-ttl=SECONDS] "
+                 "[--workers=N] [--admin-port=N] [--worker-as-limit=MB]\n";
     return 1;
 }
 
@@ -113,6 +131,11 @@ int main(int argc, char** argv)
     std::size_t workers = 0;
     std::size_t adminPort = 8082;
     std::size_t workerAsLimitBytes = 0;
+    std::string strategyPath;
+    std::string cacheDir;
+    std::size_t cacheBytes = 0; // 0 = spec / built-in default
+    double cacheTtl = -1;       // <0 = spec / built-in default
+    bool cacheOn = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto val = [&](const std::string& prefix) {
@@ -152,6 +175,20 @@ int main(int argc, char** argv)
             opts.maxCertificateBytes = n;
         } else if (arg == "--cert-self-check") {
             opts.certSelfCheck = true;
+        } else if (arg.rfind("--strategy=", 0) == 0) {
+            strategyPath = val("--strategy=");
+        } else if (arg == "--cache") {
+            cacheOn = true;
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cacheDir = val("--cache-dir=");
+            cacheOn = true;
+        } else if (arg.rfind("--cache-bytes=", 0) == 0 &&
+                   api::parseSize(val("--cache-bytes="), &cacheBytes)) {
+            cacheOn = true;
+        } else if (arg.rfind("--cache-ttl=", 0) == 0 &&
+                   api::parseSeconds(val("--cache-ttl="), &cacheTtl) &&
+                   std::isfinite(cacheTtl) && cacheTtl >= 0) {
+            cacheOn = true;
         } else if (arg.rfind("--workers=", 0) == 0 &&
                    api::parseSize(val("--workers="), &workers)) {
             // 0 = single-process
@@ -173,6 +210,31 @@ int main(int argc, char** argv)
     opts.defaultTimeoutSeconds = defaults.timeoutSeconds;
     opts.defaultRssLimitBytes = defaults.rssLimitBytes;
     opts.nodeLimit = defaults.nodeLimit;
+
+    strategy::StrategySpec spec;
+    bool haveSpec = false;
+    if (!strategyPath.empty()) {
+        std::vector<strategy::SpecError> errors;
+        if (!strategy::loadStrategySpecFile(strategyPath, &spec, &errors)) {
+            std::cerr << "dqbf_serve: invalid strategy spec " << strategyPath
+                      << ":\n" << strategy::toString(errors);
+            return 1;
+        }
+        haveSpec = true;
+        opts.strategies["default"] = spec;
+        opts.strategies[spec.name] = spec;
+    }
+    if (cacheOn) {
+        cache::CacheConfig cfg;
+        cfg.dir = cacheDir;
+        if (haveSpec) {
+            cfg.maxBytes = spec.cache.maxBytes;
+            cfg.ttlSeconds = spec.cache.ttlSeconds;
+        }
+        if (cacheBytes > 0) cfg.maxBytes = cacheBytes;
+        if (cacheTtl >= 0) cfg.ttlSeconds = cacheTtl;
+        opts.resultCache = std::make_shared<cache::ResultCache>(cfg);
+    }
 
     if (workers > 0)
         return runFleet(opts, static_cast<int>(workers),

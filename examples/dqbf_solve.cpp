@@ -28,6 +28,15 @@
 //                         parser+checker before it is reported
 //   --rss-limit=MB        guard the run with an RSS watchdog: cooperative
 //                         MEMOUT when process RSS crosses MB
+//   --strategy=FILE       solve under a strategy spec (JSON): --portfolio
+//                         races the spec's engine lineup, and the spec's
+//                         cache policy governs --cache-dir (see README
+//                         "Result cache & strategy specs")
+//   --cache-dir=DIR       consult/update a persistent result cache in DIR;
+//                         a hit answers without solving (`c cache : hit`)
+//   --cache-control=on|off|bypass
+//                         per-run cache override: `off` skips the cache,
+//                         `bypass` solves fresh but refreshes the entry
 //   --stats               print solver statistics, including machine-readable
 //                         `c stat <name> <value>` lines from the metrics
 //                         registry (DIMACS-comment-safe)
@@ -42,9 +51,11 @@
 // Exit code: 10 = SAT, 20 = UNSAT (SAT-competition convention), 1 = other.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/aig/aiger.hpp"
+#include "src/cache/result_cache.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/cert/extract.hpp"
 #include "src/cnf/dimacs.hpp"
@@ -57,6 +68,7 @@
 #include "src/runtime/api.hpp"
 #include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
+#include "src/strategy/spec.hpp"
 
 using namespace hqs;
 
@@ -67,7 +79,8 @@ int usage()
     std::cerr << "usage: dqbf_solve [--solver=hqs|hqs-bdd|idq|expand] [--portfolio[=N]] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--no-preprocess] "
                  "[--no-unitpure] [--selection=maxsat|greedy|all] "
-                 "[--skolem[=FILE]] [--certify=FILE] "
+                 "[--skolem[=FILE]] [--certify=FILE] [--strategy=FILE] "
+                 "[--cache-dir=DIR] [--cache-control=on|off|bypass] "
                  "[--stats] [--trace=FILE] <file.dqdimacs|->\n";
     return 1;
 }
@@ -101,6 +114,8 @@ int main(int argc, char** argv)
     std::string tracePath;
     std::string skolemPath;
     std::string certifyPath;
+    std::string strategyPath;
+    std::string cacheDir;
     HqsOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -141,6 +156,14 @@ int main(int argc, char** argv)
             certifyPath = arg.substr(10);
             if (certifyPath.empty()) return usage();
             request.certify = true;
+        } else if (arg.rfind("--strategy=", 0) == 0) {
+            strategyPath = arg.substr(11);
+            if (strategyPath.empty()) return usage();
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cacheDir = arg.substr(12);
+            if (cacheDir.empty()) return usage();
+        } else if (arg.rfind("--cache-control=", 0) == 0) {
+            request.cacheControl = arg.substr(16);
         } else if (arg == "--stats") {
             request.stats = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -165,10 +188,45 @@ int main(int argc, char** argv)
     const std::string& path = request.source;
     if (request.timeoutSeconds > 0) opts.deadline = Deadline::in(request.timeoutSeconds);
 
+    std::optional<strategy::StrategySpec> strategySpec;
+    if (!strategyPath.empty()) {
+        strategy::StrategySpec loaded;
+        std::vector<strategy::SpecError> errors;
+        if (!strategy::loadStrategySpecFile(strategyPath, &loaded, &errors)) {
+            std::cerr << "dqbf_solve: invalid strategy spec " << strategyPath
+                      << ":\n" << strategy::toString(errors);
+            return 1;
+        }
+        strategySpec = std::move(loaded);
+    }
+    std::shared_ptr<cache::ResultCache> rcache;
+    if (!cacheDir.empty()) {
+        cache::CacheConfig cfg;
+        cfg.dir = cacheDir;
+        if (strategySpec) {
+            cfg.maxBytes = strategySpec->cache.maxBytes;
+            cfg.ttlSeconds = strategySpec->cache.ttlSeconds;
+        }
+        rcache = std::make_shared<cache::ResultCache>(cfg);
+    }
+    using CacheMode = strategy::CachePolicy::Mode;
+    CacheMode cmode = strategySpec ? strategySpec->cache.mode : CacheMode::On;
+    if (request.cacheControl == "on") cmode = CacheMode::On;
+    else if (request.cacheControl == "off") cmode = CacheMode::Off;
+    else if (request.cacheControl == "bypass") cmode = CacheMode::Bypass;
+    const bool cacheRead = rcache && cmode == CacheMode::On;
+    const bool cacheWrite = rcache && cmode != CacheMode::Off;
+
     DqbfFormula formula;
+    cache::CanonicalKey cacheKey;
+    std::uint64_t certHash = 0;
     try {
         const ParsedQdimacs parsed =
             (path == "-") ? parseDqdimacs(std::cin) : parseDqdimacsFile(path);
+        if (cacheRead || cacheWrite) {
+            cacheKey = cache::canonicalKey(parsed);
+            certHash = cert::formulaHash(parsed);
+        }
         formula = DqbfFormula::fromParsed(parsed);
     } catch (...) {
         // Not only ParseError: an injected parse-site fault (HQS_FAULT=parse)
@@ -183,6 +241,74 @@ int main(int argc, char** argv)
               << formula.existentials().size() << " existentials, "
               << formula.matrix().numClauses() << " clauses\n";
 
+    if (cacheRead) {
+        try {
+            if (std::optional<cache::CacheEntry> entry = rcache->lookup(cacheKey);
+                entry && isConclusive(entry->result)) {
+                bool serveFromCache = true;
+                if (request.certify && entry->result == SolveResult::Sat) {
+                    // Re-verify the hash binding before reusing the cached
+                    // artifact; a mismatch withholds it (typed rejection).
+                    // A certify request that the entry cannot satisfy falls
+                    // through to a fresh solve rather than serving a bare
+                    // verdict the caller asked to see certified.
+                    switch (cache::vetCachedCertificate(*entry, certHash)) {
+                        case cache::CertReuse::Served: {
+                            const cert::CheckResult check =
+                                selfCheck(entry->certificate);
+                            std::ofstream out(certifyPath);
+                            if (out) {
+                                std::cout << "c cache               : hit ("
+                                          << (entry->engine.empty() ? "?"
+                                                                    : entry->engine)
+                                          << ", " << entry->solveMilliseconds
+                                          << " ms original solve)\n";
+                                out << entry->certificate;
+                                std::cout << "c certificate         : "
+                                          << entry->certificate.size()
+                                          << " bytes from cache, self-check "
+                                          << (check.ok() ? "ok" : "FAILED")
+                                          << " -> " << certifyPath << "\n";
+                            } else {
+                                std::cerr << "cannot write certificate file: "
+                                          << certifyPath << "\n";
+                            }
+                            break;
+                        }
+                        case cache::CertReuse::None:
+                            std::cout << "c cache               : verdict hit, no "
+                                         "cached artifact; solving fresh to "
+                                         "certify\n";
+                            serveFromCache = false;
+                            break;
+                        case cache::CertReuse::HashMismatch:
+                        case cache::CertReuse::MalformedArtifact:
+                            std::cout << "c cache               : cached artifact "
+                                         "rejected (hash binding failed); solving "
+                                         "fresh to certify\n";
+                            serveFromCache = false;
+                            break;
+                    }
+                } else {
+                    std::cout << "c cache               : hit ("
+                              << (entry->engine.empty() ? "?" : entry->engine)
+                              << ", " << entry->solveMilliseconds
+                              << " ms original solve)\n";
+                }
+                if (serveFromCache) {
+                    std::cout << "s " << entry->result << "\n";
+                    if (entry->result == SolveResult::Sat) return 10;
+                    if (entry->result == SolveResult::Unsat) return 20;
+                }
+            }
+        } catch (const std::exception& e) {
+            // A cache-layer failure (real or injected HQS_FAULT=cache-load)
+            // degrades to a miss: report it and solve normally.
+            std::cout << "c cache               : error, solving fresh (" << e.what()
+                      << ")\n";
+        }
+    }
+
     if (!tracePath.empty()) obs::enableTracing(true);
     // Metric updates of this solve (including portfolio racer threads) land
     // in a local scope, so the `c stat` lines describe this instance alone.
@@ -190,6 +316,9 @@ int main(int argc, char** argv)
 
     SolveResult result = SolveResult::Unknown;
     FailureInfo failure;
+    Timer solveTimer;
+    std::string cacheEngineName = request.engine;
+    std::string cacheCertText;
     // Every engine call runs guarded: exceptions become a structured
     // `c failure` line, and --rss-limit arms the cooperative-memout
     // watchdog.
@@ -222,6 +351,7 @@ int main(int argc, char** argv)
             const cert::Certificate certificate =
                 cert::extractCertificate(original, *solver.skolemCertificate());
             const std::string artifact = cert::toCertificateString(certificate);
+            cacheCertText = artifact;
             const cert::CheckResult check = selfCheck(artifact);
             if (!check.ok()) OBS_COUNT("cert.selfcheck_fail", 1);
             std::cout << "c skolem certificate  : " << certificate.functions.size()
@@ -296,6 +426,11 @@ int main(int argc, char** argv)
         result = guarded([&](const Deadline& dl) {
             PortfolioOptions popts = PortfolioSolver::optionsFromRequest(request);
             popts.deadline = dl; // the guard owns the timeout
+            if (strategySpec) {
+                popts.engines = PortfolioSolver::enginesFromSpec(*strategySpec,
+                                                                 popts.nodeLimit);
+                popts.strategyName = strategySpec->name;
+            }
             solverSlot.emplace(std::move(popts));
             return solverSlot->solve(formula);
         });
@@ -303,6 +438,8 @@ int main(int argc, char** argv)
         PortfolioSolver& solver = *solverSlot;
         if (solver.stats().failure && !failure) failure = solver.stats().failure;
         const PortfolioStats& st = solver.stats();
+        if (!st.winnerName.empty()) cacheEngineName = st.winnerName;
+        cacheCertText = st.winnerCertificate;
         std::cout << "c portfolio winner    : "
                   << (st.winnerName.empty() ? "(none)" : st.winnerName) << "\n";
         if (request.certify && result == SolveResult::Sat) {
@@ -376,6 +513,22 @@ int main(int argc, char** argv)
         std::cout << "c failure             : kind=" << toString(failure.kind)
                   << (failure.site.empty() ? "" : " site=" + failure.site) << " what=\""
                   << failure.what << "\"\n";
+    }
+    if (cacheWrite && isConclusive(result)) {
+        try {
+            cache::CacheEntry entry;
+            entry.result = result;
+            entry.engine = cacheEngineName;
+            entry.solveMilliseconds = solveTimer.elapsedMilliseconds();
+            entry.certFormulaHash = certHash;
+            entry.certificate = cacheCertText;
+            rcache->store(cacheKey, entry);
+            std::cout << "c cache               : stored\n";
+        } catch (const std::exception& e) {
+            // A cache write failure (real or injected HQS_FAULT=cache-store)
+            // never taints the verdict.
+            std::cout << "c cache               : store failed (" << e.what() << ")\n";
+        }
     }
     std::cout << "s " << result << "\n";
     if (result == SolveResult::Sat) return 10;

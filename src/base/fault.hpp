@@ -35,6 +35,8 @@
 //   fraig          FRAIG sweep entry                -> std::bad_alloc
 //   sat            CDCL SAT solve entry             -> InjectedFault
 //   pool-dispatch  thread-pool job dispatch         -> InjectedFault
+//   cache-load     result-cache persistent read     -> InjectedFault
+//   cache-store    result-cache persistent write    -> InjectedFault
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,257 @@
+#include "src/cache/canonical.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/cert/certificate.hpp"
+
+namespace hqs::cache {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvOffsetAlt = 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& text, std::uint64_t h)
+{
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/// Order-independent and order-dependent 64-bit mixers for the refinement
+/// colors.  mix() is a sequential combiner (splitmix-style finalizer keeps
+/// adjacent integer inputs from producing adjacent colors); unordered() is
+/// commutative, for multisets whose element order must not matter.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    v ^= v >> 31;
+    return (h ^ v) * kFnvPrime;
+}
+
+std::uint64_t unordered(std::uint64_t a, std::uint64_t b)
+{
+    // Sum of strongly mixed elements: addition is commutative and
+    // associative, so the fold result depends only on the multiset, never
+    // on the order the elements arrive in.
+    return a + mix(0, b);
+}
+
+} // namespace
+
+std::string toHex(const CanonicalKey& key)
+{
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(key.hi),
+                  static_cast<unsigned long long>(key.lo));
+    return std::string(buf, 32);
+}
+
+bool keyFromHex(const std::string& text, CanonicalKey* out)
+{
+    if (text.size() != 32) return false;
+    std::uint64_t words[2] = {0, 0};
+    for (std::size_t i = 0; i < 32; ++i) {
+        const char c = text[i];
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+        words[i / 16] = (words[i / 16] << 4) | digit;
+    }
+    if (out) *out = {words[0], words[1]};
+    return true;
+}
+
+CanonicalForm canonicalize(const ParsedQdimacs& parsed)
+{
+    // Resolve the prefix to solver semantics: explicit dependency sets for
+    // every existential, universals in declaration order, unquantified
+    // matrix variables as zero-dependency existentials.
+    const cert::NormalizedPrefix prefix = cert::normalizePrefix(parsed);
+
+    Var maxVar = parsed.matrix.numVars();
+    for (Var v : prefix.universals) maxVar = std::max<Var>(maxVar, v + 1);
+    for (Var v : prefix.existentials) maxVar = std::max<Var>(maxVar, v + 1);
+    const std::size_t n = maxVar;
+
+    // Per-variable structure that is invariant under renaming: quantifier
+    // kind, dependency-set size, and the signed occurrence counts.
+    std::vector<std::uint8_t> isUniversal(n, 0), isQuantified(n, 0);
+    std::vector<const std::vector<Var>*> deps(n, nullptr);
+    for (Var v : prefix.universals) {
+        isUniversal[v] = 1;
+        isQuantified[v] = 1;
+    }
+    for (std::size_t i = 0; i < prefix.existentials.size(); ++i) {
+        const Var v = prefix.existentials[i];
+        isQuantified[v] = 1;
+        deps[v] = &prefix.deps[i];
+    }
+
+    // Normalize the clause list before anything looks at it: literals
+    // sorted and deduplicated within each clause, exact duplicate clauses
+    // dropped.  Doing this up front keeps the occurrence profile (and with
+    // it the refinement colors) independent of duplicates that the rendered
+    // form would discard anyway.
+    std::vector<std::vector<Lit>> clauses;
+    clauses.reserve(parsed.matrix.clauses().size());
+    for (const Clause& c : parsed.matrix.clauses()) {
+        std::vector<Lit> lits(c.begin(), c.end());
+        std::sort(lits.begin(), lits.end());
+        lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+        clauses.push_back(std::move(lits));
+    }
+    std::sort(clauses.begin(), clauses.end());
+    clauses.erase(std::unique(clauses.begin(), clauses.end()), clauses.end());
+
+    std::vector<std::uint32_t> posOcc(n, 0), negOcc(n, 0);
+    std::vector<std::vector<std::size_t>> occurrences(n);
+    for (std::size_t ci = 0; ci < clauses.size(); ++ci) {
+        for (Lit l : clauses[ci]) {
+            (l.negative() ? negOcc : posOcc)[l.var()]++;
+            occurrences[l.var()].push_back(ci);
+        }
+    }
+
+    // Color refinement.  Initial colors see only local structure; each
+    // round folds in the colors of the clauses a variable occurs in (as an
+    // unordered multiset keyed by sign) and of its dependency set, so after
+    // a few rounds the color captures the variable's neighborhood.  Three
+    // rounds separate everything the cache cares about in practice; deeper
+    // symmetric ties degrade to first-occurrence tie-breaks (false miss at
+    // worst, see canonical.hpp).
+    std::vector<std::uint64_t> color(n), next(n), clauseColor(clauses.size());
+    for (std::size_t v = 0; v < n; ++v) {
+        std::uint64_t h = mix(0, isQuantified[v] ? (isUniversal[v] ? 2 : 1) : 0);
+        h = mix(h, deps[v] ? deps[v]->size() + 1 : 0);
+        h = mix(h, posOcc[v]);
+        h = mix(h, negOcc[v]);
+        color[v] = h;
+    }
+    for (int round = 0; round < 3; ++round) {
+        for (std::size_t ci = 0; ci < clauses.size(); ++ci) {
+            std::uint64_t h = mix(0, clauses[ci].size());
+            std::uint64_t bag = 0;
+            for (Lit l : clauses[ci])
+                bag = unordered(bag, mix(color[l.var()], l.negative() ? 1 : 2));
+            clauseColor[ci] = mix(h, bag);
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            std::uint64_t bag = 0;
+            for (std::size_t ci : occurrences[v]) bag = unordered(bag, clauseColor[ci]);
+            std::uint64_t h = mix(color[v], bag);
+            if (deps[v]) {
+                std::uint64_t depBag = 0;
+                for (Var d : *deps[v]) depBag = unordered(depBag, color[d]);
+                h = mix(h, depBag);
+            }
+            next[v] = h;
+        }
+        color.swap(next);
+    }
+
+    // Dense renaming: order variables by color, then first occurrence in
+    // the matrix (occurrence order is itself presentation-dependent, but
+    // only reached for color ties).
+    std::vector<std::uint32_t> firstOcc(n, static_cast<std::uint32_t>(-1));
+    std::uint32_t tick = 0;
+    for (const std::vector<Lit>& c : clauses)
+        for (Lit l : c)
+            if (firstOcc[l.var()] == static_cast<std::uint32_t>(-1))
+                firstOcc[l.var()] = tick++;
+    std::vector<Var> order;
+    order.reserve(n);
+    for (Var v = 0; v < n; ++v) order.push_back(v);
+    std::sort(order.begin(), order.end(), [&](Var a, Var b) {
+        if (color[a] != color[b]) return color[a] < color[b];
+        if (firstOcc[a] != firstOcc[b]) return firstOcc[a] < firstOcc[b];
+        return a < b;
+    });
+    std::vector<Var> rename(n, kNoVar);
+    for (std::size_t rank = 0; rank < order.size(); ++rank)
+        rename[order[rank]] = static_cast<Var>(rank);
+
+    // Render: sorted prefix lines, then sorted deduplicated clauses, all
+    // under the dense renaming and 1-based like DQDIMACS.
+    std::vector<int> universals;
+    for (Var v : prefix.universals)
+        universals.push_back(static_cast<int>(rename[v]) + 1);
+    std::sort(universals.begin(), universals.end());
+
+    std::vector<std::vector<int>> depLines;
+    for (std::size_t i = 0; i < prefix.existentials.size(); ++i) {
+        std::vector<int> line;
+        line.push_back(static_cast<int>(rename[prefix.existentials[i]]) + 1);
+        for (Var d : prefix.deps[i]) line.push_back(static_cast<int>(rename[d]) + 1);
+        std::sort(line.begin() + 1, line.end());
+        depLines.push_back(std::move(line));
+    }
+    std::sort(depLines.begin(), depLines.end());
+
+    std::vector<std::vector<int>> rows;
+    rows.reserve(clauses.size());
+    for (const std::vector<Lit>& c : clauses) {
+        std::vector<int> row;
+        row.reserve(c.size());
+        for (Lit l : c) {
+            const int v = static_cast<int>(rename[l.var()]) + 1;
+            row.push_back(l.negative() ? -v : v);
+        }
+        std::sort(row.begin(), row.end(), [](int a, int b) {
+            const int va = a < 0 ? -a : a, vb = b < 0 ? -b : b;
+            return va != vb ? va < vb : a > b;
+        });
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+    CanonicalForm form;
+    form.numVars = n;
+    form.numClauses = rows.size();
+    std::string& text = form.text;
+    text = "dqbf-canon 1\np cnf " + std::to_string(n) + " " +
+           std::to_string(rows.size()) + "\n";
+    const auto appendInts = [&text](const char* tag, const std::vector<int>& xs) {
+        text += tag;
+        for (int x : xs) {
+            text += ' ';
+            text += std::to_string(x);
+        }
+        text += " 0\n";
+    };
+    if (!universals.empty()) appendInts("a", universals);
+    for (const std::vector<int>& line : depLines) appendInts("d", line);
+    for (const std::vector<int>& row : rows) {
+        bool first = true;
+        for (int x : row) {
+            if (!first) text += ' ';
+            first = false;
+            text += std::to_string(x);
+        }
+        text += " 0\n";
+    }
+
+    form.key.hi = fnv1a(text, kFnvOffset);
+    form.key.lo = fnv1a(text, kFnvOffsetAlt);
+    return form;
+}
+
+CanonicalKey canonicalKey(const ParsedQdimacs& parsed)
+{
+    return canonicalize(parsed).key;
+}
+
+} // namespace hqs::cache

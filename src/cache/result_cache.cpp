@@ -1,0 +1,440 @@
+#include "src/cache/result_cache.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "src/base/fault.hpp"
+#include "src/obs/obs.hpp"
+
+namespace hqs::cache {
+
+namespace {
+
+constexpr const char* kMagic = "hqs-cache 1";
+constexpr const char* kEnd = "end hqs-cache";
+
+std::uint64_t fnv1a(const std::string& text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return std::string(buf, 16);
+}
+
+bool parseHex64(const std::string& text, std::uint64_t* out)
+{
+    if (text.size() != 16) return false;
+    std::uint64_t v = 0;
+    for (char c : text) {
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+        v = (v << 4) | digit;
+    }
+    *out = v;
+    return true;
+}
+
+/// Next '\n'-terminated line starting at @p pos; false at end of text.
+/// Advances @p pos past the newline.
+bool nextLine(const std::string& text, std::size_t* pos, std::string* line)
+{
+    if (*pos >= text.size()) return false;
+    const std::size_t nl = text.find('\n', *pos);
+    if (nl == std::string::npos) return false; // no unterminated final lines
+    *line = text.substr(*pos, nl - *pos);
+    *pos = nl + 1;
+    return true;
+}
+
+/// "tag value" line split; false when the line does not start with @p tag.
+bool taggedValue(const std::string& line, const std::string& tag, std::string* value)
+{
+    if (line.size() < tag.size() + 2 || line.compare(0, tag.size(), tag) != 0 ||
+        line[tag.size()] != ' ')
+        return false;
+    *value = line.substr(tag.size() + 1);
+    return true;
+}
+
+} // namespace
+
+const char* toString(LoadStatus s)
+{
+    switch (s) {
+    case LoadStatus::Hit: return "hit";
+    case LoadStatus::Miss: return "miss";
+    case LoadStatus::Expired: return "expired";
+    case LoadStatus::Truncated: return "truncated";
+    case LoadStatus::BadFormat: return "bad-format";
+    case LoadStatus::KeyMismatch: return "key-mismatch";
+    case LoadStatus::ChecksumMismatch: return "checksum-mismatch";
+    case LoadStatus::IoError: return "io-error";
+    }
+    return "?";
+}
+
+const char* toString(CertReuse r)
+{
+    switch (r) {
+    case CertReuse::Served: return "served";
+    case CertReuse::None: return "none";
+    case CertReuse::HashMismatch: return "hash-mismatch";
+    case CertReuse::MalformedArtifact: return "malformed-artifact";
+    }
+    return "?";
+}
+
+// ----------------------------------------------------------- serialization
+
+std::string serializeEntry(const CanonicalKey& key, const CacheEntry& entry)
+{
+    char solveMs[64];
+    std::snprintf(solveMs, sizeof solveMs, "%.6g", entry.solveMilliseconds);
+    std::string payload;
+    payload += kMagic;
+    payload += "\nkey " + toHex(key);
+    payload += "\nresult " + hqs::toString(entry.result);
+    payload += "\nengine " + entry.engine;
+    payload += "\nsolve_ms ";
+    payload += solveMs;
+    payload += "\nstored_unix_ms " + std::to_string(entry.storedUnixMs);
+    payload += "\ncert_hash " + hex64(entry.certFormulaHash);
+    payload += "\ncert_bytes " + std::to_string(entry.certificate.size()) + "\n";
+    payload += entry.certificate;
+    payload += "\n";
+    return payload + "fnv " + hex64(fnv1a(payload)) + "\n" + kEnd + "\n";
+}
+
+LoadStatus parseEntry(const std::string& text, const CanonicalKey& key,
+                      CacheEntry* out)
+{
+    std::size_t pos = 0;
+    std::string line, value;
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (line != kMagic) return LoadStatus::BadFormat;
+
+    CacheEntry entry;
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    CanonicalKey storedKey;
+    if (!taggedValue(line, "key", &value) || !keyFromHex(value, &storedKey))
+        return LoadStatus::BadFormat;
+    if (!(storedKey == key)) return LoadStatus::KeyMismatch;
+
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (!taggedValue(line, "result", &value)) return LoadStatus::BadFormat;
+    const std::optional<SolveResult> result = solveResultFromString(value);
+    if (!result) return LoadStatus::BadFormat;
+    entry.result = *result;
+
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (!taggedValue(line, "engine", &entry.engine)) return LoadStatus::BadFormat;
+
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (!taggedValue(line, "solve_ms", &value)) return LoadStatus::BadFormat;
+    try {
+        std::size_t used = 0;
+        entry.solveMilliseconds = std::stod(value, &used);
+        if (used != value.size()) return LoadStatus::BadFormat;
+    } catch (const std::exception&) {
+        return LoadStatus::BadFormat;
+    }
+
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (!taggedValue(line, "stored_unix_ms", &value)) return LoadStatus::BadFormat;
+    try {
+        std::size_t used = 0;
+        entry.storedUnixMs = std::stoll(value, &used);
+        if (used != value.size()) return LoadStatus::BadFormat;
+    } catch (const std::exception&) {
+        return LoadStatus::BadFormat;
+    }
+
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (!taggedValue(line, "cert_hash", &value) ||
+        !parseHex64(value, &entry.certFormulaHash))
+        return LoadStatus::BadFormat;
+
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    std::size_t certBytes = 0;
+    if (!taggedValue(line, "cert_bytes", &value)) return LoadStatus::BadFormat;
+    try {
+        std::size_t used = 0;
+        certBytes = std::stoul(value, &used);
+        if (used != value.size()) return LoadStatus::BadFormat;
+    } catch (const std::exception&) {
+        return LoadStatus::BadFormat;
+    }
+    if (pos + certBytes + 1 > text.size()) return LoadStatus::Truncated;
+    entry.certificate = text.substr(pos, certBytes);
+    pos += certBytes;
+    if (text[pos] != '\n') return LoadStatus::BadFormat;
+    ++pos;
+
+    const std::string payload = text.substr(0, pos);
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    std::uint64_t storedFnv = 0;
+    if (!taggedValue(line, "fnv", &value) || !parseHex64(value, &storedFnv))
+        return LoadStatus::BadFormat;
+    if (storedFnv != fnv1a(payload)) return LoadStatus::ChecksumMismatch;
+    if (!nextLine(text, &pos, &line)) return LoadStatus::Truncated;
+    if (line != kEnd) return LoadStatus::BadFormat;
+
+    if (out) *out = std::move(entry);
+    return LoadStatus::Hit;
+}
+
+// ----------------------------------------------------------------- cache
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config))
+{
+    if (!config_.clock) {
+        config_.clock = [] {
+            return static_cast<std::int64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count());
+        };
+    }
+    if (!config_.dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.dir, ec);
+    }
+}
+
+std::int64_t ResultCache::nowMs() const { return config_.clock(); }
+
+std::size_t ResultCache::entryBytes(const CacheEntry& e)
+{
+    // Certificates dominate; the constant covers the fixed fields plus the
+    // LRU/index bookkeeping per entry.
+    return e.certificate.size() + e.engine.size() + 128;
+}
+
+bool ResultCache::expired(const CacheEntry& e, std::int64_t now) const
+{
+    return config_.ttlSeconds > 0 &&
+           static_cast<double>(now - e.storedUnixMs) >
+               config_.ttlSeconds * 1000.0;
+}
+
+std::string ResultCache::pathFor(const CanonicalKey& key) const
+{
+    return config_.dir + "/" + toHex(key) + ".hqscache";
+}
+
+std::optional<CacheEntry> ResultCache::lookup(const CanonicalKey& key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            if (expired(it->second->second, nowMs())) {
+                bytes_ -= entryBytes(it->second->second);
+                lru_.erase(it->second);
+                index_.erase(it);
+                ++stats_.expired;
+                ++stats_.misses;
+                stats_.bytes = bytes_;
+                OBS_COUNT("cache.expired", 1);
+                OBS_COUNT("cache.miss", 1);
+                OBS_GAUGE_SET("cache.bytes", bytes_);
+                return std::nullopt;
+            }
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            OBS_COUNT("cache.hit", 1);
+            return it->second->second;
+        }
+    }
+
+    if (!config_.dir.empty()) {
+        CacheEntry entry;
+        const LoadStatus status = loadPersistent(key, &entry);
+        if (status == LoadStatus::Hit) {
+            std::lock_guard<std::mutex> lock(mu_);
+            insertLocked(key, entry);
+            ++stats_.hits;
+            ++stats_.persistHits;
+            OBS_COUNT("cache.hit", 1);
+            OBS_COUNT("cache.persist.hit", 1);
+            return entry;
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    OBS_COUNT("cache.miss", 1);
+    return std::nullopt;
+}
+
+LoadStatus ResultCache::loadPersistent(const CanonicalKey& key, CacheEntry* out)
+{
+    if (config_.dir.empty()) return LoadStatus::Miss;
+    // Injection point: a fleet-shared directory going bad must surface as a
+    // structured failure in the requesting run, not kill the worker.
+    fault::checkpoint("cache-load");
+    const std::string path = pathFor(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return LoadStatus::Miss;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.persistErrors;
+        OBS_COUNT("cache.persist.error", 1);
+        return LoadStatus::IoError;
+    }
+    CacheEntry entry;
+    LoadStatus status = parseEntry(buf.str(), key, &entry);
+    if (status == LoadStatus::Hit && expired(entry, nowMs()))
+        status = LoadStatus::Expired;
+    if (status == LoadStatus::Hit) {
+        if (out) *out = std::move(entry);
+        return status;
+    }
+    // Corrupt or stale files are dead weight for every worker sharing the
+    // directory; drop them best-effort.
+    std::remove(path.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status == LoadStatus::Expired) {
+        ++stats_.expired;
+        OBS_COUNT("cache.expired", 1);
+    } else {
+        ++stats_.persistErrors;
+        OBS_COUNT("cache.persist.error", 1);
+    }
+    return status;
+}
+
+void ResultCache::store(const CanonicalKey& key, CacheEntry entry)
+{
+    entry.storedUnixMs = nowMs();
+    // Injection point mirroring cache-load, armed before any state changes.
+    fault::checkpoint("cache-store");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        insertLocked(key, entry);
+        ++stats_.stores;
+        OBS_COUNT("cache.store", 1);
+    }
+    if (!config_.dir.empty()) storePersistent(key, entry);
+}
+
+void ResultCache::insertLocked(const CanonicalKey& key, CacheEntry entry)
+{
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= entryBytes(it->second->second);
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    bytes_ += entryBytes(entry);
+    lru_.emplace_front(key, std::move(entry));
+    index_[key] = lru_.begin();
+    evictOverBudgetLocked();
+    stats_.bytes = bytes_;
+    OBS_GAUGE_SET("cache.bytes", bytes_);
+}
+
+void ResultCache::evictOverBudgetLocked()
+{
+    if (config_.maxBytes == 0) return;
+    // Never evict the entry just inserted, even when it alone exceeds the
+    // budget: an over-sized answer is still worth one serving.
+    while (bytes_ > config_.maxBytes && lru_.size() > 1) {
+        bytes_ -= entryBytes(lru_.back().second);
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+        OBS_COUNT("cache.evict", 1);
+    }
+}
+
+void ResultCache::storePersistent(const CanonicalKey& key, const CacheEntry& entry)
+{
+    const std::string path = pathFor(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out.is_open()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.persistErrors;
+            OBS_COUNT("cache.persist.error", 1);
+            return;
+        }
+        out << serializeEntry(key, entry);
+        out.flush();
+        if (!out.good()) {
+            std::remove(tmp.c_str());
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.persistErrors;
+            OBS_COUNT("cache.persist.error", 1);
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.persistErrors;
+        OBS_COUNT("cache.persist.error", 1);
+    }
+}
+
+CacheStats ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t ResultCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+// ------------------------------------------------------- certificate reuse
+
+CertReuse vetCachedCertificate(const CacheEntry& entry, std::uint64_t requestHash)
+{
+    if (entry.certificate.empty()) return CertReuse::None;
+    // The artifact opens with "dqbf-cert 1\nhash <16 hex>\n"; read the
+    // embedded hash straight off the text so vetting never pays a full
+    // certificate parse.
+    constexpr const char* kCertMagic = "dqbf-cert 1\nhash ";
+    const std::size_t magicLen = 17;
+    std::uint64_t embedded = 0;
+    if (entry.certificate.compare(0, magicLen, kCertMagic) != 0 ||
+        entry.certificate.size() < magicLen + 16 ||
+        !parseHex64(entry.certificate.substr(magicLen, 16), &embedded)) {
+        OBS_COUNT("cache.cert_rejects", 1);
+        return CertReuse::MalformedArtifact;
+    }
+    if (embedded != requestHash || entry.certFormulaHash != requestHash) {
+        OBS_COUNT("cache.cert_rejects", 1);
+        return CertReuse::HashMismatch;
+    }
+    OBS_COUNT("cache.cert_hits", 1);
+    return CertReuse::Served;
+}
+
+} // namespace hqs::cache

@@ -1,0 +1,156 @@
+// Content-addressed result cache: verdicts, solve metadata, and Skolem
+// certificates keyed by the canonical formula hash.
+//
+// The cache has two layers.  The in-process shard is an LRU map under a
+// byte budget with optional TTL — one mutex, entries counted by their
+// certificate/metadata footprint, least-recently-used entries evicted when
+// a store pushes the shard over budget.  The optional persistent store
+// (`CacheConfig::dir`) keeps one file per canonical hash, written to a
+// temporary name and atomically renamed into place, so concurrent writers
+// (the forked worker fleet sharing one --cache-dir) can only ever race
+// whole files, never interleave bytes.  Loads re-verify the stored key and
+// a whole-payload checksum; anything truncated, corrupt, or mismatched is
+// reported with a typed status and treated as a miss — a damaged cache can
+// cost a re-solve, never a wrong answer.
+//
+// Certificates ride along with the verdict, but a cached certificate is
+// only ever re-served after vetCachedCertificate() re-checks the hash
+// binding: the requesting formula's cert::formulaHash must equal both the
+// hash recorded at store time and the hash embedded in the artifact itself.
+// A mismatch is a typed rejection (`cache.cert_rejects`); the verdict may
+// still be served (canonically equal formulas share a verdict but not
+// necessarily a variable numbering).
+//
+// Fault checkpoints: `cache-load` fires at persistent-store reads and
+// `cache-store` at writes (HQS_FAULT=cache-load:1 etc.), so the recovery
+// tests can prove a cache-layer failure surfaces as a structured failure
+// instead of taking the worker down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/result.hpp"
+#include "src/cache/canonical.hpp"
+
+namespace hqs::cache {
+
+/// One cached answer.
+struct CacheEntry {
+    SolveResult result = SolveResult::Unknown;
+    std::string engine;            ///< engine (or portfolio winner) that decided
+    double solveMilliseconds = 0;  ///< wall time of the original solve
+    std::uint64_t certFormulaHash = 0; ///< cert::formulaHash of the source formula
+    std::string certificate;       ///< serialized artifact; "" = none
+    std::int64_t storedUnixMs = 0; ///< stamped by store(); drives the TTL
+};
+
+/// Outcome of consulting the persistent store for one key.
+enum class LoadStatus {
+    Hit,
+    Miss,             ///< no file for this key
+    Expired,          ///< entry older than the TTL
+    Truncated,        ///< file ends before the payload is complete
+    BadFormat,        ///< malformed header or field
+    KeyMismatch,      ///< stored key differs from the requested one
+    ChecksumMismatch, ///< payload checksum failed
+    IoError,          ///< open/read failed
+};
+
+const char* toString(LoadStatus s);
+
+/// Why a cached certificate was or was not re-served.
+enum class CertReuse {
+    Served,            ///< hash binding verified; certificate is usable
+    None,              ///< entry carries no certificate
+    HashMismatch,      ///< request formula hash != stored/embedded hash
+    MalformedArtifact, ///< cached artifact lost its header or hash line
+};
+
+const char* toString(CertReuse r);
+
+struct CacheConfig {
+    /// In-memory shard budget; evict LRU entries beyond it (0 = unlimited).
+    std::size_t maxBytes = 64ull << 20;
+    /// Entry lifetime in seconds (0 = no expiry).  Applies to both layers.
+    double ttlSeconds = 0;
+    /// Persistent store directory; "" = in-memory only.  Created on demand.
+    std::string dir;
+    /// Unix-epoch milliseconds; tests inject a fake clock to age entries.
+    std::function<std::int64_t()> clock;
+};
+
+/// Per-instance counters (the obs registry carries the same signals as
+/// cache.* metrics; these feed /stats and tests without a registry).
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t persistHits = 0;   ///< hits satisfied from the directory
+    std::uint64_t persistErrors = 0; ///< corrupt/truncated/unreadable files
+    std::uint64_t bytes = 0;         ///< current in-memory footprint
+};
+
+class ResultCache {
+public:
+    explicit ResultCache(CacheConfig config = {});
+
+    /// Look @p key up in the shard, then in the persistent store.  Counts a
+    /// hit or a miss; expired and corrupt entries are misses (and expired
+    /// in-memory entries are dropped on the spot).
+    std::optional<CacheEntry> lookup(const CanonicalKey& key);
+
+    /// Insert/overwrite @p entry (storedUnixMs is stamped here), evict LRU
+    /// entries beyond the byte budget, and mirror to the persistent store
+    /// when configured.  Callers cache conclusive verdicts only; the cache
+    /// itself does not judge.
+    void store(const CanonicalKey& key, CacheEntry entry);
+
+    /// Persistent-store read for one key, bypassing the in-memory shard.
+    /// Exposed so tests can probe exactly how a damaged file is classified.
+    LoadStatus loadPersistent(const CanonicalKey& key, CacheEntry* out);
+
+    CacheStats stats() const;
+    std::size_t entryCount() const;
+    const CacheConfig& config() const { return config_; }
+
+private:
+    using LruList = std::list<std::pair<CanonicalKey, CacheEntry>>;
+
+    static std::size_t entryBytes(const CacheEntry& e);
+    bool expired(const CacheEntry& e, std::int64_t nowMs) const;
+    void evictOverBudgetLocked();
+    void insertLocked(const CanonicalKey& key, CacheEntry entry);
+    void storePersistent(const CanonicalKey& key, const CacheEntry& entry);
+    std::string pathFor(const CanonicalKey& key) const;
+    std::int64_t nowMs() const;
+
+    CacheConfig config_;
+    mutable std::mutex mu_;
+    LruList lru_; ///< front = most recently used
+    std::unordered_map<CanonicalKey, LruList::iterator> index_;
+    std::size_t bytes_ = 0;
+    CacheStats stats_;
+};
+
+/// Serialize @p entry in the persistent-store format (exposed for tests).
+std::string serializeEntry(const CanonicalKey& key, const CacheEntry& entry);
+
+/// Inverse of serializeEntry with full verification against @p key.
+LoadStatus parseEntry(const std::string& text, const CanonicalKey& key,
+                      CacheEntry* out);
+
+/// Re-verify the hash binding of a cached certificate against the
+/// requesting formula's cert::formulaHash.  Served only when @p requestHash
+/// equals both the hash recorded at store time and the `hash` line embedded
+/// in the artifact.  Counts cache.cert_hits / cache.cert_rejects.
+CertReuse vetCachedCertificate(const CacheEntry& entry, std::uint64_t requestHash);
+
+} // namespace hqs::cache

@@ -367,7 +367,7 @@ void writeBenchServiceJson(std::ostream& os, const std::vector<BenchServiceRepor
 {
     JsonWriter w(os);
     w.beginObject();
-    w.key("schema").value("hqs-bench-service/v2");
+    w.key("schema").value("hqs-bench-service/v3");
     w.key("runs").beginArray();
     for (const BenchServiceReport& report : runs) {
         w.beginObject();
@@ -378,12 +378,14 @@ void writeBenchServiceJson(std::ostream& os, const std::vector<BenchServiceRepor
         w.key("max_inflight").value(report.maxInflight);
         w.key("max_queue").value(report.maxQueue);
         w.key("mode").value(report.jsonlMode ? "jsonl" : "http");
+        w.key("cache").value(report.cacheEnabled);
         w.endObject();
         w.key("results").beginObject();
         w.key("ok").value(report.ok);
         w.key("rejected").value(report.rejected);
         w.key("errors").value(report.errors);
         w.key("retries").value(report.retries);
+        w.key("cache_hits").value(report.cacheHits);
         w.key("wall_ms").value(report.wallMs);
         w.key("throughput_rps").value(report.throughputRps);
         w.key("latency_us").beginObject();

@@ -105,6 +105,9 @@ struct BenchServiceReport {
     /// Supervised worker processes serving the run; 0 = in-process service
     /// (no fleet, the PR-4-compatible baseline row).
     int workers = 0;
+    /// Row ran with the result cache enabled: the repeated workload is
+    /// answered from the cache after the first solve.
+    bool cacheEnabled = false;
 
     // Outcome counts: every request resolved into exactly one of these.
     int ok = 0;
@@ -117,6 +120,9 @@ struct BenchServiceReport {
     double wallMs = 0;
     double throughputRps = 0;
     BenchServiceLatency latency; ///< client-observed request latency
+    /// Requests answered from the result cache (0 on fleet rows: the
+    /// counters live in the forked workers).
+    std::uint64_t cacheHits = 0;
 
     /// Registry snapshot of the run (service.* counters, solve latency).
     /// Empty on fleet rows: the solves happen in forked workers, whose
@@ -124,7 +130,7 @@ struct BenchServiceReport {
     std::vector<MetricValue> metrics;
 };
 
-/// v2 report: one entry in "runs":[...] per fleet size.
+/// v3 report: one entry in "runs":[...] per (fleet size, cache) cell.
 void writeBenchServiceJson(std::ostream& os,
                            const std::vector<BenchServiceReport>& runs);
 

@@ -1,5 +1,6 @@
 #include "src/runtime/api.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -74,6 +75,19 @@ std::vector<RequestError> SolveRequest::validate() const
             errors.push_back({"certify", "certification requires an elimination "
                                          "engine (hqs or portfolio), not \"" +
                                              engine + "\""});
+        }
+    }
+    if (!cacheControl.empty() && cacheControl != "on" && cacheControl != "off" &&
+        cacheControl != "bypass") {
+        errors.push_back({"cache-control", "must be on, off, or bypass, not \"" +
+                                               cacheControl + "\""});
+    }
+    for (char c : strategy) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+              c == '_' || c == '.')) {
+            errors.push_back({"strategy",
+                              "strategy names use [A-Za-z0-9._-] only"});
+            break;
         }
     }
     return errors;

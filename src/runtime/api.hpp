@@ -66,6 +66,14 @@ struct SolveRequest {
     bool stats = false;          ///< emit statistics with the verdict
     bool trace = false;          ///< record span traces
     bool certify = false;        ///< extract a Skolem certificate on SAT
+    /// Result-cache control: "" (strategy decides) | "on" | "off" |
+    /// "bypass" (skip the read, refresh the entry).  validate() rejects
+    /// anything else.
+    std::string cacheControl;
+    /// Named strategy spec to solve under ("" = the deployment default).
+    /// The grammar is validated here; whether the name is *known* is the
+    /// front end's check, since it owns the spec table.
+    std::string strategy;
 
     /// Semantic validation: every violated rule yields one field-tagged
     /// error (empty vector = valid).  The only place in the tree that

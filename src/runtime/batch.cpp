@@ -108,6 +108,10 @@ struct SolveOutcome {
     FailureInfo failure;
     BatchJobMetrics metrics;
     BatchJobCertificate certificate;
+    /// Serialized certificate artifact of the verdict (empty when not
+    /// certifying or the winning engine could not certify) — what the
+    /// result cache stores alongside the verdict.
+    std::string certificateText;
 };
 
 /// Judge a serialized certificate through the independent parser/checker
@@ -185,13 +189,21 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
             popts.maxEngines = opts.portfolioEngines;
             popts.deadline = dl;
             popts.nodeLimit = nodeLimit;
-            popts.engines = PortfolioSolver::defaultEngines(nodeLimit, rung.fraig);
+            if (opts.strategy) {
+                popts.engines = PortfolioSolver::enginesFromSpec(
+                    *opts.strategy, nodeLimit, rung.fraig);
+                popts.strategyName = opts.strategy->name;
+            } else {
+                popts.engines =
+                    PortfolioSolver::defaultEngines(nodeLimit, rung.fraig);
+            }
             popts.certify = opts.certify;
             PortfolioSolver solver(popts);
             const SolveResult r = solver.solve(formula);
             out.engine = solver.stats().winnerName;
             if (solver.stats().failure) out.failure = solver.stats().failure;
             if (opts.certify && !solver.stats().winnerCertificate.empty()) {
+                out.certificateText = solver.stats().winnerCertificate;
                 checkSerializedCertificate(out.certificate,
                                            solver.stats().winnerCertificate, dl);
             }
@@ -216,6 +228,7 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
                 cert::extractCertificate(formula, *solver.skolemCertificate());
             const std::string text = cert::toCertificateString(extracted);
             out.certificate.extractMs = extractTimer.elapsedMilliseconds();
+            out.certificateText = text;
             checkSerializedCertificate(out.certificate, text, dl);
         }
         return r;
@@ -259,6 +272,11 @@ std::string toJsonlLine(const BatchJobResult& r)
         os << ",\"rung\":";
         writeJsonString(os, r.rung);
     }
+    if (!r.dedupOf.empty()) {
+        os << ",\"dedup_of\":";
+        writeJsonString(os, r.dedupOf);
+    }
+    if (r.cached) os << ",\"cached\":true";
     if (r.failure) {
         os << ",\"failure\":{\"kind\":";
         writeJsonString(os, toString(r.failure.kind));
@@ -312,6 +330,8 @@ bool readJsonl(const std::string& line, BatchJobResult& out)
     r.result = *parsed;
     readJsonStringField(line, "engine", r.engine);      // optional for resume
     readJsonStringField(line, "rung", r.rung);          // optional
+    readJsonStringField(line, "dedup_of", r.dedupOf);   // optional
+    r.cached = line.find("\"cached\":true") != std::string::npos;
     std::string kindText;
     if (readJsonStringField(line, "kind", kindText)) {
         for (FailureKind k : {FailureKind::ParseError, FailureKind::BadAlloc,
@@ -396,7 +416,56 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
     // AND racing wide oversubscribes, but that is the caller's knob to turn.
 
     const std::vector<DegradationRung> ladder =
-        opts_.ladder.empty() ? defaultDegradationLadder() : opts_.ladder;
+        opts_.strategy ? opts_.strategy->ladder
+        : opts_.ladder.empty() ? defaultDegradationLadder()
+                               : opts_.ladder;
+
+    // Canonical pre-scan, feeding both dedup (identical instances solve
+    // once) and the result cache (lookup/store key + the certificate's
+    // formula-hash binding).  A file that fails to parse here gets an empty
+    // key and runs as its own job — the solve path will report the
+    // ParseError with full context.
+    struct ScanInfo {
+        bool parsed = false;
+        cache::CanonicalKey key;
+        std::uint64_t certHash = 0;
+    };
+    const cache::ResultCache* cacheConfigured = opts_.resultCache.get();
+    const strategy::CachePolicy::Mode cacheMode =
+        opts_.strategy ? opts_.strategy->cache.mode
+                       : strategy::CachePolicy::Mode::On;
+    const bool cacheRead = cacheConfigured &&
+                           cacheMode == strategy::CachePolicy::Mode::On;
+    const bool cacheWrite = cacheConfigured &&
+                            cacheMode != strategy::CachePolicy::Mode::Off;
+    const bool needScan =
+        (opts_.dedup && files.size() > 1) || cacheRead || cacheWrite;
+    std::vector<ScanInfo> scan(files.size());
+    // repOf[i] == i: solve normally.  repOf[i] == j < i: copy row j.
+    std::vector<std::size_t> repOf(files.size());
+    std::vector<std::vector<std::size_t>> dupsOf(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) repOf[i] = i;
+    if (needScan) {
+        std::unordered_map<cache::CanonicalKey, std::size_t> firstWithKey;
+        for (std::size_t i = 0; i < files.size(); ++i) {
+            try {
+                const ParsedQdimacs parsed = parseDqdimacsFile(files[i]);
+                scan[i].key = cache::canonicalKey(parsed);
+                scan[i].certHash = cert::formulaHash(parsed);
+                scan[i].parsed = true;
+            } catch (const std::exception&) {
+                continue;
+            }
+            if (opts_.dedup) {
+                const auto [it, inserted] =
+                    firstWithKey.emplace(scan[i].key, i);
+                if (!inserted) {
+                    repOf[i] = it->second;
+                    dupsOf[it->second].push_back(i);
+                }
+            }
+        }
+    }
     rungStats_.assign(ladder.size(), RungStats{});
     for (std::size_t i = 0; i < ladder.size(); ++i) rungStats_[i].name = ladder[i].name;
 
@@ -404,11 +473,43 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
     {
         ThreadPool pool(workers);
         for (std::size_t i = 0; i < files.size(); ++i) {
+            if (repOf[i] != i) continue; // row is filled by its representative
             pool.submit([&, i] {
                 BatchJobResult& r = results[i];
                 r.instance = files[i];
                 Timer t;
-                if (opts_.cancel.cancelled()) {
+                bool servedFromCache = false;
+                if (cacheRead && scan[i].parsed && !opts_.cancel.cancelled()) {
+                    try {
+                        if (std::optional<cache::CacheEntry> entry =
+                                opts_.resultCache->lookup(scan[i].key);
+                            entry && isConclusive(entry->result)) {
+                            r.result = entry->result;
+                            r.engine = entry->engine;
+                            r.rung = "cache";
+                            r.cached = true;
+                            r.attempts = 0;
+                            // Re-verify the hash binding before touching the
+                            // cached artifact; a mismatched certificate is
+                            // withheld while the verdict still serves.
+                            if (opts_.certify &&
+                                cache::vetCachedCertificate(*entry,
+                                                            scan[i].certHash) ==
+                                    cache::CertReuse::Served) {
+                                checkSerializedCertificate(
+                                    r.certificate, entry->certificate,
+                                    Deadline::in(opts_.jobTimeoutSeconds));
+                            }
+                            servedFromCache = true;
+                        }
+                    } catch (const std::exception&) {
+                        // Cache-layer failure (real or injected): a miss,
+                        // never a failed job.
+                    }
+                }
+                if (servedFromCache) {
+                    // Nothing to solve.
+                } else if (opts_.cancel.cancelled()) {
                     r.result = SolveResult::Timeout;
                     r.failure = {FailureKind::Cancelled, "batch", "cancelled before start"};
                 } else {
@@ -447,6 +548,15 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                             if (out.failure)
                                 reg.add(obs::metric(base + ".failures",
                                                     MetricKind::Counter), 1);
+                            if (opts_.strategy) {
+                                const std::string sbase =
+                                    "strategy.rung." + rung.name;
+                                reg.add(obs::metric(sbase + ".attempts",
+                                                    MetricKind::Counter), 1);
+                                if (isConclusive(out.result))
+                                    reg.add(obs::metric(sbase + ".conclusive",
+                                                        MetricKind::Counter), 1);
+                            }
                         }
 #endif
                         r.attempts = static_cast<unsigned>(rungIdx + 1);
@@ -464,12 +574,34 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                     r.degraded = rungIdx > 0;
                     if (opts_.cancel.cancelled() && !isConclusive(r.result) && !r.failure)
                         r.failure = {FailureKind::Cancelled, "batch", "batch cancelled"};
+                    if (cacheWrite && scan[i].parsed && isConclusive(r.result)) {
+                        try {
+                            cache::CacheEntry entry;
+                            entry.result = r.result;
+                            entry.engine = r.engine;
+                            entry.solveMilliseconds = t.elapsedMilliseconds();
+                            entry.certFormulaHash = scan[i].certHash;
+                            entry.certificate = out.certificateText;
+                            opts_.resultCache->store(scan[i].key, entry);
+                        } catch (const std::exception&) {
+                            // A cache write failure never taints the verdict.
+                        }
+                    }
                 }
                 if (r.failure && r.error.empty()) r.error = r.failure.what;
                 r.wallMilliseconds = t.elapsedMilliseconds();
+                // Fan the representative's row out to its duplicates.  Each
+                // dup index belongs to exactly this job, so the copies race
+                // nothing; only the JSONL stream needs the lock.
+                for (std::size_t j : dupsOf[i]) {
+                    results[j] = r;
+                    results[j].instance = files[j];
+                    results[j].dedupOf = files[i];
+                }
                 if (jsonl) {
                     std::lock_guard<std::mutex> lock(outMu);
                     writeJsonl(r, *jsonl);
+                    for (std::size_t j : dupsOf[i]) writeJsonl(results[j], *jsonl);
                     jsonl->flush();
                 }
             });

@@ -21,13 +21,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/base/cancel.hpp"
 #include "src/base/result.hpp"
+#include "src/cache/result_cache.hpp"
 #include "src/runtime/guard.hpp"
+#include "src/strategy/spec.hpp"
 
 namespace hqs {
 
@@ -62,6 +66,20 @@ struct BatchOptions {
     /// that ends in Memout or a crash-style failure moves to the next rung
     /// (after that rung's backoff).  Resize to one rung to disable retries.
     std::vector<DegradationRung> ladder = defaultDegradationLadder();
+    /// Solve canonically identical instances (same cache::canonicalKey) only
+    /// once per run: the first occurrence in input order is the
+    /// representative, later duplicates copy its row with `dedup_of` naming
+    /// it.  Instances that fail to parse are never grouped.
+    bool dedup = true;
+    /// Optional cross-run result cache, consulted before the ladder and
+    /// updated after conclusive verdicts.  How it is consulted follows
+    /// `strategy`'s cache policy (default: read and write).  A cache-layer
+    /// failure degrades to a miss; it never fails the job.
+    std::shared_ptr<cache::ResultCache> resultCache;
+    /// Optional strategy spec: when set it supplies the degradation ladder,
+    /// the portfolio lineup, and the cache policy mode, and its name tags
+    /// the strategy.rung.* metrics.
+    std::optional<strategy::StrategySpec> strategy;
     /// Fires to abandon the whole batch: running jobs unwind with Timeout,
     /// queued jobs are reported as cancelled without being solved.
     CancelToken cancel;
@@ -119,6 +137,13 @@ struct BatchJobResult {
     /// Certificate outcome (present only under BatchOptions::certify on a
     /// SAT verdict); survives a JSONL round-trip like `metrics`.
     BatchJobCertificate certificate;
+    /// Instance this row was deduplicated against ("" = solved itself).
+    /// Set, the row is a copy of `dedup_of`'s row: same verdict, engine,
+    /// rung, and certificate outcome.
+    std::string dedupOf;
+    /// Verdict came from the result cache instead of a solve (rung is
+    /// "cache" and attempts is 0).
+    bool cached = false;
 };
 
 /// Serialize @p r as one JSONL row, terminating newline included.  The row

@@ -31,70 +31,100 @@ PortfolioOptions PortfolioSolver::optionsFromRequest(const api::SolveRequest& re
 
 std::vector<PortfolioEngine> PortfolioSolver::defaultEngines(std::size_t nodeLimit, bool fraig)
 {
-    auto hqsEngine = [nodeLimit, fraig](HqsOptions::Selection sel, HqsOptions::Backend backend) {
-        return [nodeLimit, fraig, sel, backend](const DqbfFormula& f, const Deadline& dl) {
-            HqsOptions opts;
-            opts.selection = sel;
-            opts.backend = backend;
-            opts.nodeLimit = nodeLimit;
-            opts.fraig = fraig;
-            opts.deadline = dl;
-            HqsSolver solver(opts);
-            return solver.solve(f);
-        };
-    };
-    // Certifying variant for the AIG-elimination configurations: Skolem
-    // recording on, and on Sat the reconstructed functions are serialized
-    // into the caller's slot as a checkable artifact.
-    auto hqsCertifyEngine = [nodeLimit, fraig](HqsOptions::Selection sel) {
-        return [nodeLimit, fraig, sel](const DqbfFormula& f, const Deadline& dl,
-                                       std::string* certOut) {
-            HqsOptions opts;
-            opts.selection = sel;
-            opts.backend = HqsOptions::Backend::AigElimination;
-            opts.nodeLimit = nodeLimit;
-            opts.fraig = fraig;
-            opts.deadline = dl;
-            opts.computeSkolem = true;
-            HqsSolver solver(opts);
-            const SolveResult r = solver.solve(f);
-            if (r == SolveResult::Sat && certOut && solver.skolemCertificate()) {
-                *certOut = cert::toCertificateString(
-                    cert::extractCertificate(f, *solver.skolemCertificate()));
-            }
-            return r;
-        };
-    };
+    return enginesFromSpec(strategy::defaultStrategySpec(), nodeLimit, fraig);
+}
+
+std::vector<PortfolioEngine> PortfolioSolver::enginesFromSpec(
+    const strategy::StrategySpec& spec, std::size_t nodeLimit, bool fraig)
+{
     std::vector<PortfolioEngine> engines;
-    engines.push_back({"hqs-maxsat",
-                       hqsEngine(HqsOptions::Selection::MaxSat,
-                                 HqsOptions::Backend::AigElimination),
-                       hqsCertifyEngine(HqsOptions::Selection::MaxSat)});
-    engines.push_back({"hqs-greedy",
-                       hqsEngine(HqsOptions::Selection::Greedy,
-                                 HqsOptions::Backend::AigElimination),
-                       hqsCertifyEngine(HqsOptions::Selection::Greedy)});
-    engines.push_back({"hqs-bdd",
-                       hqsEngine(HqsOptions::Selection::MaxSat,
-                                 HqsOptions::Backend::BddElimination),
-                       {}});
-    engines.push_back({"idq",
-                       [nodeLimit](const DqbfFormula& f, const Deadline& dl) {
-                           IdqOptions opts;
-                           opts.deadline = dl;
-                           opts.groundClauseLimit = nodeLimit;
-                           IdqSolver solver(opts);
-                           return solver.solve(f);
-                       },
-                       {}});
-    engines.push_back({"expand",
-                       [](const DqbfFormula& f, const Deadline& dl) {
-                           // Full expansion is exponential in the universal
-                           // count; beyond ~22 it would only burn a core.
-                           if (f.universals().size() > 22) return SolveResult::Unknown;
-                           return expansionDqbf(f, dl);
-                       },
-                       {}});
+    engines.reserve(spec.engines.size());
+    for (const strategy::EngineRung& rung : spec.engines) {
+        const std::optional<api::EngineSpec> parsed =
+            api::parseEngineSpec(rung.engine);
+        if (!parsed || parsed->kind == api::EngineSpec::Kind::Portfolio)
+            continue; // parseStrategySpec rejects these; belt and braces
+        const auto scaledRaw = static_cast<std::size_t>(
+            static_cast<double>(nodeLimit) * rung.nodeLimitScale);
+        const std::size_t scaledLimit =
+            nodeLimit == 0 ? 0 : std::max<std::size_t>(1, scaledRaw);
+        const bool rungFraig = fraig && rung.fraig;
+
+        PortfolioEngine engine;
+        engine.name = rung.name;
+        switch (parsed->kind) {
+        case api::EngineSpec::Kind::Hqs:
+        case api::EngineSpec::Kind::HqsBdd: {
+            const HqsOptions::Selection sel = rung.selection == "greedy"
+                                                  ? HqsOptions::Selection::Greedy
+                                                  : HqsOptions::Selection::MaxSat;
+            const HqsOptions::Backend backend =
+                parsed->kind == api::EngineSpec::Kind::HqsBdd
+                    ? HqsOptions::Backend::BddElimination
+                    : HqsOptions::Backend::AigElimination;
+            engine.run = [scaledLimit, rungFraig, sel,
+                          backend](const DqbfFormula& f, const Deadline& dl) {
+                HqsOptions opts;
+                opts.selection = sel;
+                opts.backend = backend;
+                opts.nodeLimit = scaledLimit;
+                opts.fraig = rungFraig;
+                opts.deadline = dl;
+                HqsSolver solver(opts);
+                return solver.solve(f);
+            };
+            // Certifying variant for the AIG-elimination configurations:
+            // Skolem recording on, and on Sat the reconstructed functions
+            // are serialized into the caller's slot as a checkable
+            // artifact.  The BDD backend cannot record Skolem traces.
+            if (parsed->kind == api::EngineSpec::Kind::Hqs) {
+                engine.runCertify = [scaledLimit, rungFraig,
+                                     sel](const DqbfFormula& f, const Deadline& dl,
+                                          std::string* certOut) {
+                    HqsOptions opts;
+                    opts.selection = sel;
+                    opts.backend = HqsOptions::Backend::AigElimination;
+                    opts.nodeLimit = scaledLimit;
+                    opts.fraig = rungFraig;
+                    opts.deadline = dl;
+                    opts.computeSkolem = true;
+                    HqsSolver solver(opts);
+                    const SolveResult r = solver.solve(f);
+                    if (r == SolveResult::Sat && certOut &&
+                        solver.skolemCertificate()) {
+                        *certOut = cert::toCertificateString(cert::extractCertificate(
+                            f, *solver.skolemCertificate()));
+                    }
+                    return r;
+                };
+            }
+            break;
+        }
+        case api::EngineSpec::Kind::Idq:
+            engine.run = [scaledLimit](const DqbfFormula& f, const Deadline& dl) {
+                IdqOptions opts;
+                opts.deadline = dl;
+                opts.groundClauseLimit = scaledLimit;
+                IdqSolver solver(opts);
+                return solver.solve(f);
+            };
+            break;
+        case api::EngineSpec::Kind::Expand: {
+            // Full expansion is exponential in the universal count; beyond
+            // the rung's cap it would only burn a core.
+            const std::size_t maxUniversals = rung.maxUniversals;
+            engine.run = [maxUniversals](const DqbfFormula& f, const Deadline& dl) {
+                if (f.universals().size() > maxUniversals)
+                    return SolveResult::Unknown;
+                return expansionDqbf(f, dl);
+            };
+            break;
+        }
+        case api::EngineSpec::Kind::Portfolio:
+            continue;
+        }
+        engines.push_back(std::move(engine));
+    }
     return engines;
 }
 
@@ -164,6 +194,17 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
     Timer total;
     OBS_SPAN(raceSpan, "portfolio.race");
     OBS_COUNT("portfolio.races", 1);
+#if HQS_OBS_ENABLED
+    if (!opts_.strategyName.empty()) {
+        // Spec-driven lineup: per-rung race counters under the strategy.*
+        // namespace (dynamic names, so the OBS_COUNT cache does not apply).
+        for (const PortfolioEngine& e : engines)
+            obs::currentRegistry().add(
+                obs::metric("strategy.rung." + e.name + ".races",
+                            obs::MetricKind::Counter),
+                1);
+    }
+#endif
     // Racers run on pool workers whose thread-local registry would be the
     // global one; bind them to the registry current *here* so per-solve
     // MetricScopes (batch jobs, CLI --stats) see the engines' metrics.
@@ -317,6 +358,11 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
         obs::currentRegistry().add(
             obs::metric("portfolio.win." + stats_.winnerName, obs::MetricKind::Counter),
             1);
+        if (!opts_.strategyName.empty())
+            obs::currentRegistry().add(
+                obs::metric("strategy.rung." + stats_.winnerName + ".wins",
+                            obs::MetricKind::Counter),
+                1);
 #endif
         return verdict;
     }

@@ -21,6 +21,7 @@
 #include "src/dqbf/dqbf_formula.hpp"
 #include "src/runtime/api.hpp"
 #include "src/runtime/guard.hpp"
+#include "src/strategy/spec.hpp"
 
 namespace hqs {
 
@@ -56,6 +57,11 @@ struct PortfolioOptions {
     /// re-judged by the independent certificate checker when a certificate
     /// is available, instead of unconditionally degrading to Unknown.
     bool certify = false;
+    /// Name of the strategy spec the engine lineup came from ("" when the
+    /// lineup is hard-wired).  Non-empty arms the strategy.rung.* metrics:
+    /// one .races counter per rung raced, one .wins counter for the rung
+    /// whose verdict was served.
+    std::string strategyName;
 };
 
 /// Outcome of a single racer within one solve() call.
@@ -116,6 +122,16 @@ public:
     /// batch scheduler's degraded memout-retry configuration.
     static std::vector<PortfolioEngine> defaultEngines(std::size_t nodeLimit = 0,
                                                        bool fraig = true);
+
+    /// Translate a validated strategy spec's engine rungs into runnable
+    /// racers.  Per rung, the request node budget is scaled by
+    /// nodeLimitScale and FRAIG is the AND of the rung flag and @p fraig
+    /// (so a degraded ladder rung can force sweeping off across the whole
+    /// lineup).  defaultEngines() is exactly
+    /// enginesFromSpec(strategy::defaultStrategySpec(), ...).
+    static std::vector<PortfolioEngine> enginesFromSpec(
+        const strategy::StrategySpec& spec, std::size_t nodeLimit = 0,
+        bool fraig = true);
 
     /// Translate a *validated* api::SolveRequest into portfolio options:
     /// timeout -> deadline, node limit, and the portfolio:N lineup cap.

@@ -331,6 +331,16 @@ std::string buildHttpSolveRequest(const std::string& formula,
         out += "\r\n";
     }
     if (opts.certify) out += "certify: 1\r\n";
+    if (!opts.cacheControl.empty()) {
+        out += "cache-control: ";
+        out += opts.cacheControl;
+        out += "\r\n";
+    }
+    if (!opts.strategy.empty()) {
+        out += "strategy: ";
+        out += opts.strategy;
+        out += "\r\n";
+    }
     if (!keepAlive) out += "Connection: close\r\n";
     out += "\r\n";
     out += formula;
@@ -348,6 +358,10 @@ std::string buildJsonlSolveRequest(const std::string& id, const std::string& for
         out += ",\"rss_limit_mb\":" + std::to_string(opts.rssLimitBytes / (1024 * 1024));
     if (!opts.engine.empty()) out += ",\"engine\":\"" + jsonEscape(opts.engine) + "\"";
     if (opts.certify) out += ",\"certify\":true";
+    if (!opts.cacheControl.empty())
+        out += ",\"cache_control\":\"" + jsonEscape(opts.cacheControl) + "\"";
+    if (!opts.strategy.empty())
+        out += ",\"strategy\":\"" + jsonEscape(opts.strategy) + "\"";
     out += ",\"formula\":\"" + jsonEscape(formula) + "\"}\n";
     return out;
 }

@@ -107,8 +107,9 @@ bool jsonBoolField(const std::string& obj, const std::string& key, bool& out);
 // ------------------------------------------------------ solve protocol ---
 
 /// Per-request solver options, carried as HTTP headers (`timeout-ms`,
-/// `rss-limit-mb`, `engine`, `certify`) or as the same-named JSONL row
-/// fields (`timeout_ms`, `rss_limit_mb`, `engine`, `certify`).
+/// `rss-limit-mb`, `engine`, `certify`, `cache-control`, `strategy`) or as
+/// the same-named JSONL row fields (`timeout_ms`, `rss_limit_mb`, `engine`,
+/// `certify`, `cache_control`, `strategy`).
 struct SolveRequestOptions {
     double timeoutSeconds = 0;      ///< 0 = server default
     std::size_t rssLimitBytes = 0;  ///< 0 = server default
@@ -118,6 +119,13 @@ struct SolveRequestOptions {
     /// artifact exceeds the server's byte cap — then HTTP callers get 413
     /// and JSONL rows a `certificate_error` field.
     bool certify = false;
+    /// Per-request result-cache override: "" (follow the strategy's cache
+    /// policy), "on", "off", or "bypass" (solve fresh but refresh the
+    /// entry).  A served-from-cache response carries `"cached":true`.
+    std::string cacheControl;
+    /// Strategy spec to solve under, by name ("" = the server's default).
+    /// Naming a strategy the server does not have is a 400 / error row.
+    std::string strategy;
 };
 
 /// One `POST /solve` request with @p formula (DQDIMACS text) as the body.

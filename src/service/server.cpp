@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/base/cancel.hpp"
+#include "src/cache/canonical.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/cert/extract.hpp"
 #include "src/cnf/dimacs.hpp"
@@ -575,7 +576,12 @@ struct SolverService::Impl {
                 else if (*z == "0" || *z == "false") request.certify = false;
                 else problem = "malformed certify";
             }
+            if (const std::string* cc = req.header("cache-control"))
+                request.cacheControl = *cc;
+            if (const std::string* st = req.header("strategy"))
+                request.strategy = *st;
             if (problem.empty()) problem = vetRequest(request, spec);
+            if (problem.empty()) problem = vetStrategy(request.strategy);
         }
         if (!problem.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
@@ -596,6 +602,8 @@ struct SolverService::Impl {
         ropts.timeoutSeconds = request.timeoutSeconds;
         ropts.rssLimitBytes = request.rssLimitBytes;
         ropts.certify = request.certify;
+        ropts.cacheControl = request.cacheControl;
+        ropts.strategy = request.strategy;
         admit(c, /*rowId=*/"", keepAlive, req.body, ropts, spec);
         return true;
     }
@@ -631,12 +639,15 @@ struct SolverService::Impl {
         jsonStringField(line, "engine", request.engine);
         if (request.engine.empty()) request.engine = "hqs";
         jsonBoolField(line, "certify", request.certify);
+        jsonStringField(line, "cache_control", request.cacheControl);
+        jsonStringField(line, "strategy", request.strategy);
         if (!jsonStringField(line, "formula", formula) || formula.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
             return flushOrKeep(c);
         }
         if (problem.empty()) problem = vetRequest(request, spec);
+        if (problem.empty()) problem = vetStrategy(request.strategy);
         if (!problem.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"" + jsonEscape(problem) + "\"}\n");
@@ -652,8 +663,27 @@ struct SolverService::Impl {
         ropts.timeoutSeconds = request.timeoutSeconds;
         ropts.rssLimitBytes = request.rssLimitBytes;
         ropts.certify = request.certify;
+        ropts.cacheControl = request.cacheControl;
+        ropts.strategy = request.strategy;
         admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
         return true;
+    }
+
+    /// The strategy spec a request named ("" = "default"), or nullptr when
+    /// the server has no such entry (for "" that means: keep the hard-wired
+    /// engine behavior).
+    const strategy::StrategySpec* findStrategy(const std::string& name) const
+    {
+        const auto it = opts.strategies.find(name.empty() ? "default" : name);
+        return it == opts.strategies.end() ? nullptr : &it->second;
+    }
+
+    /// Reject requests naming a strategy the server does not have ("" is
+    /// always acceptable — it falls back to hard-wired behavior).
+    std::string vetStrategy(const std::string& name) const
+    {
+        if (name.empty() || findStrategy(name)) return {};
+        return "unknown strategy \"" + name + "\"";
     }
 
     /// 200 when a solve may be admitted right now; otherwise the rejection
@@ -721,6 +751,90 @@ struct SolverService::Impl {
         FailureInfo raceFailure;
         std::string certText; ///< serialized certificate of a certify+Sat solve
 
+        // Request shaping: resolve the strategy spec, then the effective
+        // cache mode (strategy policy, overridden by the request's
+        // cache-control).  The solveOverride test hook replaces the real
+        // solve, so its fabricated verdicts never enter the cache.
+        const strategy::StrategySpec* strat = findStrategy(ropts.strategy);
+        cache::ResultCache* rcache =
+            opts.solveOverride ? nullptr : opts.resultCache.get();
+        using CacheMode = strategy::CachePolicy::Mode;
+        CacheMode cmode = strat ? strat->cache.mode : CacheMode::On;
+        if (ropts.cacheControl == "on") cmode = CacheMode::On;
+        else if (ropts.cacheControl == "off") cmode = CacheMode::Off;
+        else if (ropts.cacheControl == "bypass") cmode = CacheMode::Bypass;
+        const bool cacheRead = rcache && cmode == CacheMode::On;
+        const bool cacheWrite = rcache && cmode != CacheMode::Off;
+
+        cache::CanonicalKey ckey;
+        std::uint64_t chash = 0;
+        bool keyed = false;
+        if (cacheRead || cacheWrite) {
+            try {
+                const ParsedQdimacs parsed = parseDqdimacsString(formula);
+                ckey = cache::canonicalKey(parsed);
+                chash = cert::formulaHash(parsed);
+                keyed = true;
+            } catch (const std::exception&) {
+                // Unparsable body: the solve path below reports the
+                // ParseError with full context; no cache involvement.
+            }
+        }
+        if (cacheRead && keyed && !token.cancelled()) {
+            try {
+                if (std::optional<cache::CacheEntry> entry = rcache->lookup(ckey);
+                    entry && isConclusive(entry->result)) {
+                    counters.cacheHits.fetch_add(1, std::memory_order_relaxed);
+                    OBS_COUNT("service.cache.hit", 1);
+                    std::string body =
+                        "\"result\":\"" + std::string(toString(entry->result)) + "\"";
+                    body += ",\"wall_ms\":" + std::to_string(t.elapsedMilliseconds());
+                    if (!entry->engine.empty())
+                        body += ",\"engine\":\"" + jsonEscape(entry->engine) + "\"";
+                    body += ",\"cached\":true";
+                    int status = 200;
+                    if (ropts.certify && entry->result == SolveResult::Sat) {
+                        // Re-verify the certificate's formula-hash binding
+                        // before reuse; a mismatch withholds the artifact
+                        // (typed rejection) while the verdict still serves.
+                        switch (cache::vetCachedCertificate(*entry, chash)) {
+                            case cache::CertReuse::Served:
+                                counters.cacheCertServed.fetch_add(
+                                    1, std::memory_order_relaxed);
+                                status = appendCertificate(
+                                    body, entry->certificate,
+                                    Deadline::in(ropts.timeoutSeconds));
+                                break;
+                            case cache::CertReuse::None:
+                                body += ",\"certificate_error\":\"unavailable\"";
+                                break;
+                            case cache::CertReuse::HashMismatch:
+                                counters.cacheCertRejects.fetch_add(
+                                    1, std::memory_order_relaxed);
+                                body += ",\"certificate_error\":\"cached certificate "
+                                        "rejected: formula hash mismatch\"";
+                                break;
+                            case cache::CertReuse::MalformedArtifact:
+                                counters.cacheCertRejects.fetch_add(
+                                    1, std::memory_order_relaxed);
+                                body += ",\"certificate_error\":\"cached certificate "
+                                        "rejected: malformed artifact\"";
+                                break;
+                        }
+                    }
+                    {
+                        std::lock_guard<std::mutex> lock(completionMu);
+                        completions.push_back({reqId, std::move(body), status});
+                    }
+                    wake();
+                    return;
+                }
+            } catch (const std::exception&) {
+                // A cache-layer failure (real or injected) is a miss, never
+                // a failed request.
+            }
+        }
+
         // Crash containment: journal this request in the shared-memory
         // scoreboard so the supervisor can stamp a worker-crash FailureInfo
         // if this process dies mid-solve.  The site label is the engine the
@@ -746,6 +860,11 @@ struct SolverService::Impl {
                 popts.nodeLimit = opts.nodeLimit;
                 popts.maxEngines = spec.portfolioEngines;
                 popts.certify = ropts.certify;
+                if (strat) {
+                    popts.engines =
+                        PortfolioSolver::enginesFromSpec(*strat, opts.nodeLimit);
+                    popts.strategyName = strat->name;
+                }
                 PortfolioSolver solver(popts);
                 const SolveResult r = solver.solve(f);
                 engineName = solver.stats().winnerName;
@@ -791,6 +910,20 @@ struct SolverService::Impl {
         int status = 200;
         if (ropts.certify && outcome.result == SolveResult::Sat)
             status = appendCertificate(body, certText, gopts.deadline);
+        if (cacheWrite && keyed && isConclusive(outcome.result)) {
+            try {
+                cache::CacheEntry entry;
+                entry.result = outcome.result;
+                entry.engine = engineName;
+                entry.solveMilliseconds = wallMs;
+                entry.certFormulaHash = chash;
+                entry.certificate = certText;
+                rcache->store(ckey, entry);
+                counters.cacheStores.fetch_add(1, std::memory_order_relaxed);
+            } catch (const std::exception&) {
+                // A cache write failure never taints the verdict.
+            }
+        }
         if (opts.scoreboard) opts.scoreboard->release(sbEntry);
         {
             std::lock_guard<std::mutex> lock(completionMu);
@@ -968,7 +1101,25 @@ struct SolverService::Impl {
         put("certificates_issued", counters.certificatesIssued);
         put("cert_selfcheck_fails", counters.certSelfCheckFails);
         put("cert_too_large", counters.certTooLarge);
+        put("cache_hits", counters.cacheHits);
+        put("cache_stores", counters.cacheStores);
+        put("cache_cert_served", counters.cacheCertServed);
+        put("cache_cert_rejects", counters.cacheCertRejects);
         w.endObject();
+        if (opts.resultCache) {
+            const cache::CacheStats cs = opts.resultCache->stats();
+            w.key("cache").beginObject();
+            w.key("entries")
+                .value(static_cast<std::int64_t>(opts.resultCache->entryCount()));
+            w.key("bytes").value(static_cast<std::int64_t>(cs.bytes));
+            w.key("hits").value(static_cast<std::int64_t>(cs.hits));
+            w.key("misses").value(static_cast<std::int64_t>(cs.misses));
+            w.key("evictions").value(static_cast<std::int64_t>(cs.evictions));
+            w.key("stores").value(static_cast<std::int64_t>(cs.stores));
+            w.key("persist_hits").value(static_cast<std::int64_t>(cs.persistHits));
+            w.key("persist_errors").value(static_cast<std::int64_t>(cs.persistErrors));
+            w.endObject();
+        }
         w.key("limits").beginObject();
         w.key("max_inflight").value(static_cast<std::int64_t>(opts.maxInflight));
         w.key("max_queue").value(static_cast<std::int64_t>(opts.maxQueue));

@@ -32,12 +32,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "src/base/result.hpp"
 #include "src/base/timer.hpp"
+#include "src/cache/result_cache.hpp"
 #include "src/service/http.hpp"
+#include "src/strategy/spec.hpp"
 
 namespace hqs::service {
 
@@ -98,6 +101,20 @@ struct ServiceOptions {
     /// ServiceCounters::certSelfCheckFails / `cert.selfcheck_fail`.
     bool certSelfCheck = false;
 
+    /// Content-addressed result cache, consulted before and updated after
+    /// every real solve (the solveOverride test hook bypasses it).  Shared
+    /// by reference inside one process; across a forked fleet each worker
+    /// gets a copy-on-write in-memory shard while the persistent directory
+    /// (CacheConfig::dir) stays shared.  Null = no caching.
+    std::shared_ptr<cache::ResultCache> resultCache;
+
+    /// Named strategy specs selectable per request through the `strategy`
+    /// header / JSONL field.  The entry named "default" (when present)
+    /// governs requests that name no strategy; with no entry at all the
+    /// service keeps its hard-wired engine behavior.  Requests naming an
+    /// absent strategy are rejected with 400 / an error row.
+    std::map<std::string, strategy::StrategySpec> strategies;
+
     /// Test hook: when set, replaces the real parse+solve of every request.
     /// Receives the raw formula text and the request's Deadline (which
     /// carries the disconnect/drain CancelToken); must poll the deadline
@@ -125,6 +142,10 @@ struct ServiceCounters {
     std::atomic<std::uint64_t> certificatesIssued{0};  ///< certificate bytes shipped
     std::atomic<std::uint64_t> certSelfCheckFails{0};  ///< withheld by self-check
     std::atomic<std::uint64_t> certTooLarge{0};        ///< 413 / certificate_error rows
+    std::atomic<std::uint64_t> cacheHits{0};       ///< verdicts served from cache
+    std::atomic<std::uint64_t> cacheStores{0};     ///< verdicts written to cache
+    std::atomic<std::uint64_t> cacheCertServed{0}; ///< cached certificates reused
+    std::atomic<std::uint64_t> cacheCertRejects{0}; ///< hash-mismatch/malformed, withheld
 };
 
 class SolverService {

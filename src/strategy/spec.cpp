@@ -1,0 +1,557 @@
+#include "src/strategy/spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/runtime/api.hpp"
+
+namespace hqs::strategy {
+
+namespace {
+
+// --------------------------------------------------------- tiny JSON reader
+//
+// The repo's other JSON surfaces are line-oriented (JSONL rows, the bench
+// report writer); strategy specs are the first multi-line nested JSON we
+// consume, so this file carries a ~150-line recursive-descent reader for
+// the JSON subset a spec needs: objects, arrays, strings with the common
+// escapes, numbers, booleans, null.  Parse failures surface as a SpecError
+// tagged "(json)" with a byte offset, the same shape as field validation.
+
+struct JsonValue {
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue* find(const std::string& key) const
+    {
+        for (const auto& [k, v] : object)
+            if (k == key) return &v;
+        return nullptr;
+    }
+};
+
+struct JsonReader {
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string& what)
+    {
+        if (error.empty())
+            error = what + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                     text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool literal(const char* word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0) return fail("invalid token");
+        pos += n;
+        return true;
+    }
+
+    bool parseString(std::string* out)
+    {
+        if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+        ++pos;
+        out->clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos >= text.size()) break;
+            const char esc = text[pos++];
+            switch (esc) {
+            case '"': out->push_back('"'); break;
+            case '\\': out->push_back('\\'); break;
+            case '/': out->push_back('/'); break;
+            case 'b': out->push_back('\b'); break;
+            case 'f': out->push_back('\f'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            case 'u': {
+                if (pos + 4 > text.size()) return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                if (cp < 0x80) {
+                    out->push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+            }
+            default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseValue(JsonValue* out)
+    {
+        skipWs();
+        if (pos >= text.size()) return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out->type = JsonValue::Type::Object;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key)) return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                JsonValue value;
+                if (!parseValue(&value)) return false;
+                out->object.emplace_back(std::move(key), std::move(value));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out->type = JsonValue::Type::Array;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                if (!parseValue(&item)) return false;
+                out->array.push_back(std::move(item));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out->type = JsonValue::Type::String;
+            return parseString(&out->string);
+        }
+        if (c == 't') {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out->type = JsonValue::Type::Null;
+            return literal("null");
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            const std::size_t start = pos;
+            if (text[pos] == '-') ++pos;
+            while (pos < text.size() &&
+                   ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+                    text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+                    text[pos] == '-'))
+                ++pos;
+            try {
+                std::size_t used = 0;
+                const std::string token = text.substr(start, pos - start);
+                out->number = std::stod(token, &used);
+                if (used != token.size()) return fail("malformed number");
+            } catch (const std::exception&) {
+                return fail("malformed number");
+            }
+            out->type = JsonValue::Type::Number;
+            return true;
+        }
+        return fail("unexpected character");
+    }
+
+    bool parseDocument(JsonValue* out)
+    {
+        if (!parseValue(out)) return false;
+        skipWs();
+        if (pos != text.size()) return fail("trailing content");
+        return true;
+    }
+};
+
+// ----------------------------------------------------------- field helpers
+
+struct Validator {
+    std::vector<SpecError>* errors;
+
+    void addError(const std::string& field, const std::string& message)
+    {
+        errors->push_back({field, message});
+    }
+
+    bool getString(const JsonValue& obj, const std::string& path,
+                   const std::string& key, std::string* out, bool required)
+    {
+        const JsonValue* v = obj.find(key);
+        if (!v) {
+            if (required) addError(path + "." + key, "required field is missing");
+            return false;
+        }
+        if (v->type != JsonValue::Type::String) {
+            addError(path + "." + key, "must be a string");
+            return false;
+        }
+        *out = v->string;
+        return true;
+    }
+
+    bool getBool(const JsonValue& obj, const std::string& path,
+                 const std::string& key, bool* out)
+    {
+        const JsonValue* v = obj.find(key);
+        if (!v) return false;
+        if (v->type != JsonValue::Type::Bool) {
+            addError(path + "." + key, "must be a boolean");
+            return false;
+        }
+        *out = v->boolean;
+        return true;
+    }
+
+    bool getNumber(const JsonValue& obj, const std::string& path,
+                   const std::string& key, double* out, double min)
+    {
+        const JsonValue* v = obj.find(key);
+        if (!v) return false;
+        if (v->type != JsonValue::Type::Number || !std::isfinite(v->number)) {
+            addError(path + "." + key, "must be a finite number");
+            return false;
+        }
+        if (v->number < min) {
+            addError(path + "." + key,
+                     "must be >= " + std::to_string(min).substr(0, 3));
+            return false;
+        }
+        *out = v->number;
+        return true;
+    }
+
+    bool getSize(const JsonValue& obj, const std::string& path,
+                 const std::string& key, std::size_t* out)
+    {
+        const JsonValue* v = obj.find(key);
+        if (!v) return false;
+        if (v->type != JsonValue::Type::Number || !std::isfinite(v->number) ||
+            v->number < 0 || v->number != std::floor(v->number)) {
+            addError(path + "." + key, "must be a non-negative integer");
+            return false;
+        }
+        *out = static_cast<std::size_t>(v->number);
+        return true;
+    }
+
+    void rejectUnknownKeys(const JsonValue& obj, const std::string& path,
+                           std::initializer_list<const char*> known)
+    {
+        for (const auto& [key, value] : obj.object) {
+            bool found = false;
+            for (const char* k : known) found = found || key == k;
+            if (!found) addError(path + "." + key, "unknown field");
+        }
+    }
+};
+
+} // namespace
+
+const char* toString(CachePolicy::Mode m)
+{
+    switch (m) {
+    case CachePolicy::Mode::On: return "on";
+    case CachePolicy::Mode::Off: return "off";
+    case CachePolicy::Mode::Bypass: return "bypass";
+    }
+    return "?";
+}
+
+bool cacheModeFromString(const std::string& text, CachePolicy::Mode* out)
+{
+    if (text == "on") {
+        *out = CachePolicy::Mode::On;
+    } else if (text == "off") {
+        *out = CachePolicy::Mode::Off;
+    } else if (text == "bypass") {
+        *out = CachePolicy::Mode::Bypass;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+StrategySpec defaultStrategySpec()
+{
+    StrategySpec spec;
+    spec.name = "default";
+    spec.engines = {
+        {"hqs-maxsat", "hqs", "maxsat", /*fraig=*/true, 1.0, 22},
+        {"hqs-greedy", "hqs", "greedy", /*fraig=*/true, 1.0, 22},
+        {"hqs-bdd", "hqs-bdd", "maxsat", /*fraig=*/true, 1.0, 22},
+        {"idq", "idq", "maxsat", /*fraig=*/true, 1.0, 22},
+        {"expand", "expand", "maxsat", /*fraig=*/true, 1.0, 22},
+    };
+    spec.ladder = defaultDegradationLadder();
+    return spec;
+}
+
+std::string toString(const std::vector<SpecError>& errors)
+{
+    std::string out;
+    for (const SpecError& e : errors) {
+        if (!out.empty()) out += "; ";
+        out += e.field + ": " + e.message;
+    }
+    return out;
+}
+
+bool parseStrategySpec(const std::string& text, StrategySpec* out,
+                       std::vector<SpecError>* errors)
+{
+    std::vector<SpecError> localErrors;
+    if (!errors) errors = &localErrors;
+    errors->clear();
+    StrategySpec spec = defaultStrategySpec();
+
+    JsonValue root;
+    JsonReader reader{text, 0, {}};
+    if (!reader.parseDocument(&root)) {
+        errors->push_back({"(json)", reader.error});
+        return false;
+    }
+    if (root.type != JsonValue::Type::Object) {
+        errors->push_back({"(json)", "spec must be a JSON object"});
+        return false;
+    }
+
+    Validator v{errors};
+    v.rejectUnknownKeys(root, "spec",
+                        {"name", "engines", "ladder", "cache", "defaults"});
+
+    std::string name;
+    if (v.getString(root, "spec", "name", &name, /*required=*/false)) {
+        if (name.empty())
+            v.addError("spec.name", "must not be empty");
+        else
+            spec.name = name;
+    }
+
+    if (const JsonValue* engines = root.find("engines")) {
+        if (engines->type != JsonValue::Type::Array) {
+            v.addError("engines", "must be an array");
+        } else if (engines->array.empty()) {
+            v.addError("engines", "must name at least one engine rung");
+        } else {
+            spec.engines.clear();
+            for (std::size_t i = 0; i < engines->array.size(); ++i) {
+                const JsonValue& rung = engines->array[i];
+                const std::string path = "engines[" + std::to_string(i) + "]";
+                if (rung.type != JsonValue::Type::Object) {
+                    v.addError(path, "must be an object");
+                    continue;
+                }
+                v.rejectUnknownKeys(rung, path,
+                                    {"name", "engine", "selection", "fraig",
+                                     "node_limit_scale", "max_universals"});
+                EngineRung er;
+                if (v.getString(rung, path, "engine", &er.engine,
+                                /*required=*/true)) {
+                    const std::optional<api::EngineSpec> parsed =
+                        api::parseEngineSpec(er.engine);
+                    if (er.engine.empty() || !parsed ||
+                        parsed->kind == api::EngineSpec::Kind::Portfolio) {
+                        v.addError(path + ".engine",
+                                   "must be one of hqs, hqs-bdd, idq, expand");
+                    }
+                }
+                er.name = er.engine;
+                std::string rungName;
+                if (v.getString(rung, path, "name", &rungName,
+                                /*required=*/false)) {
+                    if (rungName.empty())
+                        v.addError(path + ".name", "must not be empty");
+                    else
+                        er.name = rungName;
+                }
+                std::string selection;
+                if (v.getString(rung, path, "selection", &selection,
+                                /*required=*/false)) {
+                    if (selection != "maxsat" && selection != "greedy")
+                        v.addError(path + ".selection",
+                                   "must be maxsat or greedy");
+                    else
+                        er.selection = selection;
+                }
+                v.getBool(rung, path, "fraig", &er.fraig);
+                double scale = er.nodeLimitScale;
+                if (v.getNumber(rung, path, "node_limit_scale", &scale, 0) &&
+                    scale <= 0)
+                    v.addError(path + ".node_limit_scale", "must be > 0");
+                else
+                    er.nodeLimitScale = scale;
+                v.getSize(rung, path, "max_universals", &er.maxUniversals);
+                spec.engines.push_back(std::move(er));
+            }
+            for (std::size_t i = 0; i < spec.engines.size(); ++i)
+                for (std::size_t j = i + 1; j < spec.engines.size(); ++j)
+                    if (spec.engines[i].name == spec.engines[j].name)
+                        v.addError("engines[" + std::to_string(j) + "].name",
+                                   "duplicate rung name '" +
+                                       spec.engines[j].name + "'");
+        }
+    }
+
+    if (const JsonValue* ladder = root.find("ladder")) {
+        if (ladder->type != JsonValue::Type::Array) {
+            v.addError("ladder", "must be an array");
+        } else if (ladder->array.empty()) {
+            v.addError("ladder", "must name at least one rung");
+        } else {
+            spec.ladder.clear();
+            for (std::size_t i = 0; i < ladder->array.size(); ++i) {
+                const JsonValue& rung = ladder->array[i];
+                const std::string path = "ladder[" + std::to_string(i) + "]";
+                if (rung.type != JsonValue::Type::Object) {
+                    v.addError(path, "must be an object");
+                    continue;
+                }
+                v.rejectUnknownKeys(rung, path,
+                                    {"name", "fraig", "node_limit_scale",
+                                     "bdd_backend", "backoff_seconds"});
+                DegradationRung dr;
+                if (v.getString(rung, path, "name", &dr.name,
+                                /*required=*/true) &&
+                    dr.name.empty())
+                    v.addError(path + ".name", "must not be empty");
+                v.getBool(rung, path, "fraig", &dr.fraig);
+                double scale = dr.nodeLimitScale;
+                if (v.getNumber(rung, path, "node_limit_scale", &scale, 0) &&
+                    scale <= 0)
+                    v.addError(path + ".node_limit_scale", "must be > 0");
+                else
+                    dr.nodeLimitScale = scale;
+                v.getBool(rung, path, "bdd_backend", &dr.bddBackend);
+                v.getNumber(rung, path, "backoff_seconds", &dr.backoffSeconds, 0);
+                spec.ladder.push_back(std::move(dr));
+            }
+            for (std::size_t i = 0; i < spec.ladder.size(); ++i)
+                for (std::size_t j = i + 1; j < spec.ladder.size(); ++j)
+                    if (spec.ladder[i].name == spec.ladder[j].name)
+                        v.addError("ladder[" + std::to_string(j) + "].name",
+                                   "duplicate rung name '" +
+                                       spec.ladder[j].name + "'");
+        }
+    }
+
+    if (const JsonValue* cachePolicy = root.find("cache")) {
+        if (cachePolicy->type != JsonValue::Type::Object) {
+            v.addError("cache", "must be an object");
+        } else {
+            v.rejectUnknownKeys(*cachePolicy, "cache",
+                                {"mode", "ttl_seconds", "max_bytes"});
+            std::string mode;
+            if (v.getString(*cachePolicy, "cache", "mode", &mode,
+                            /*required=*/false) &&
+                !cacheModeFromString(mode, &spec.cache.mode))
+                v.addError("cache.mode", "must be on, off, or bypass");
+            v.getNumber(*cachePolicy, "cache", "ttl_seconds",
+                        &spec.cache.ttlSeconds, 0);
+            v.getSize(*cachePolicy, "cache", "max_bytes", &spec.cache.maxBytes);
+        }
+    }
+
+    if (const JsonValue* defaults = root.find("defaults")) {
+        if (defaults->type != JsonValue::Type::Object) {
+            v.addError("defaults", "must be an object");
+        } else {
+            v.rejectUnknownKeys(*defaults, "defaults",
+                                {"timeout_seconds", "rss_limit_mb", "node_limit"});
+            v.getNumber(*defaults, "defaults", "timeout_seconds",
+                        &spec.defaults.timeoutSeconds, 0);
+            std::size_t rssMb = 0;
+            if (v.getSize(*defaults, "defaults", "rss_limit_mb", &rssMb))
+                spec.defaults.rssLimitBytes = rssMb << 20;
+            v.getSize(*defaults, "defaults", "node_limit",
+                      &spec.defaults.nodeLimit);
+        }
+    }
+
+    if (!errors->empty()) return false;
+    if (out) *out = std::move(spec);
+    return true;
+}
+
+bool loadStrategySpecFile(const std::string& path, StrategySpec* out,
+                          std::vector<SpecError>* errors)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        if (errors) errors->assign(1, {"(file)", "cannot open " + path});
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        if (errors) errors->assign(1, {"(file)", "cannot read " + path});
+        return false;
+    }
+    return parseStrategySpec(buf.str(), out, errors);
+}
+
+} // namespace hqs::strategy

@@ -1,0 +1,108 @@
+// Declarative strategy specs: the deployment-facing description of how a
+// solve runs.
+//
+// PR 1-7 hard-coded the portfolio lineup, the memout degradation ladder,
+// and every admission default; changing any of them meant a recompile.
+// A StrategySpec carries all of that as data, loaded from a JSON file
+// (`--strategy=spec.json`) and validated up front with field-tagged errors
+// (the api::SolveRequest::validate() discipline):
+//
+//   {
+//     "name": "default",
+//     "engines": [
+//       {"name": "hqs-maxsat", "engine": "hqs", "selection": "maxsat"},
+//       {"name": "hqs-bdd",    "engine": "hqs-bdd"},
+//       {"name": "expand",     "engine": "expand", "max_universals": 22}
+//     ],
+//     "ladder": [
+//       {"name": "full"},
+//       {"name": "no-fraig", "fraig": false, "backoff_seconds": 0.01}
+//     ],
+//     "cache":    {"mode": "on", "ttl_seconds": 0, "max_bytes": 67108864},
+//     "defaults": {"timeout_seconds": 0, "rss_limit_mb": 0, "node_limit": 0}
+//   }
+//
+// Every section is optional; omitted sections inherit the defaults below,
+// and defaultStrategySpec() reproduces the historical hard-coded behavior
+// exactly (PortfolioSolver::defaultEngines is built from it).  The spec is
+// pure data: translating engine rungs into runnable racers happens in
+// hqs_runtime (PortfolioSolver::enginesFromSpec), so this library never
+// links solver code and front ends can validate specs cheaply.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/runtime/guard.hpp"
+
+namespace hqs::strategy {
+
+/// One named engine rung of the portfolio lineup, in priority order.
+struct EngineRung {
+    std::string name;      ///< metric/JSONL label; defaults to `engine`
+    std::string engine;    ///< "hqs" | "hqs-bdd" | "idq" | "expand"
+    std::string selection = "maxsat"; ///< hqs variable selection: maxsat|greedy
+    bool fraig = true;                ///< FRAIG sweeping (hqs engines)
+    double nodeLimitScale = 1.0;      ///< multiplies the request node budget
+    std::size_t maxUniversals = 22;   ///< expand only: sit out above this
+};
+
+/// When and how solves consult the result cache.
+struct CachePolicy {
+    enum class Mode {
+        On,     ///< read and write
+        Off,    ///< neither read nor write
+        Bypass, ///< write-only: skip the read, refresh the entry
+    };
+    Mode mode = Mode::On;
+    double ttlSeconds = 0;            ///< entry lifetime; 0 = no expiry
+    std::size_t maxBytes = 64ull << 20; ///< in-memory shard budget
+};
+
+const char* toString(CachePolicy::Mode m);
+bool cacheModeFromString(const std::string& text, CachePolicy::Mode* out);
+
+/// Admission defaults applied when neither the request nor the front end
+/// flag sets a budget.
+struct AdmissionDefaults {
+    double timeoutSeconds = 0;
+    std::size_t rssLimitBytes = 0;
+    std::size_t nodeLimit = 0;
+};
+
+struct StrategySpec {
+    std::string name = "default";
+    std::vector<EngineRung> engines;     ///< portfolio lineup, priority order
+    std::vector<DegradationRung> ladder; ///< memout degradation ladder
+    CachePolicy cache;
+    AdmissionDefaults defaults;
+};
+
+/// The shipped spec: the exact engine lineup of
+/// PortfolioSolver::defaultEngines and the defaultDegradationLadder().
+StrategySpec defaultStrategySpec();
+
+/// One structured validation failure: which spec field, and why.  The
+/// field uses JSON-path-ish addressing ("engines[2].engine").
+struct SpecError {
+    std::string field;
+    std::string message;
+};
+
+/// Render errors as "field: message; field: message" for logs/CLI.
+std::string toString(const std::vector<SpecError>& errors);
+
+/// Parse and validate a JSON spec.  Returns true and fills @p out when the
+/// text is well-formed and every field validates; otherwise returns false
+/// with at least one field-tagged error.  Sections absent from the JSON
+/// keep their defaultStrategySpec() values.
+bool parseStrategySpec(const std::string& text, StrategySpec* out,
+                       std::vector<SpecError>* errors);
+
+/// parseStrategySpec over a file's contents; unreadable file -> one error
+/// tagged "(file)".
+bool loadStrategySpecFile(const std::string& path, StrategySpec* out,
+                          std::vector<SpecError>* errors);
+
+} // namespace hqs::strategy

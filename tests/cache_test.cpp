@@ -1,0 +1,952 @@
+// Result-cache and strategy-spec tests: canonicalization invariance (the
+// syntactic permutations PEC workloads actually produce must collide on one
+// key; semantically distinct formulas must not), the LRU/TTL/byte-budget
+// eviction discipline under an injected clock, typed rejection of damaged
+// persistent entries, certificate hash-binding re-verification, field-tagged
+// strategy-spec validation, batch dedup/cache behavior, and a service
+// loopback proving a repeated instance is answered from the cache with its
+// certificate intact.  The EnvFaultCache suite at the bottom runs only under
+// the faults/* ctest partition (HQS_FAULT=cache-load:1 / cache-store:1) and
+// asserts a cache-layer fault degrades to a miss instead of failing the job.
+//
+// The whole file also compiles into the tsan/* and asan/* runtime binaries,
+// so the cache's one-mutex shard and the shared persistent directory are
+// sanitizer-checked under the concurrent batch scheduler.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/fault.hpp"
+#include "src/cache/canonical.hpp"
+#include "src/cache/result_cache.hpp"
+#include "src/cert/certificate.hpp"
+#include "src/cnf/dimacs.hpp"
+#include "src/runtime/batch.hpp"
+#include "src/runtime/portfolio.hpp"
+#include "src/service/client.hpp"
+#include "src/service/http.hpp"
+#include "src/service/server.hpp"
+#include "src/strategy/spec.hpp"
+
+using namespace hqs;
+
+namespace {
+
+// Forall u1 u2 exists e3(u1) e4(u2): (u1 <-> e3) and (u2 <-> e4) — SAT.
+const char* kBaseFormula =
+    "p cnf 4 4\n"
+    "a 1 2 0\n"
+    "d 3 1 0\n"
+    "d 4 2 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+// Forall u1 exists e2 with empty support: e2 <-> u1 — UNSAT.
+const char* kUnsatFormula =
+    "p cnf 2 2\n"
+    "a 1 0\n"
+    "d 2 0\n"
+    "1 -2 0\n"
+    "-1 2 0\n";
+
+// kBaseFormula with clauses reordered and literals shuffled inside clauses.
+const char* kClausePermuted =
+    "p cnf 4 4\n"
+    "a 1 2 0\n"
+    "d 3 1 0\n"
+    "d 4 2 0\n"
+    "-4 2 0\n"
+    "3 -1 0\n"
+    "4 -2 0\n"
+    "-3 1 0\n";
+
+// kBaseFormula under the variable renaming 1->2, 2->4, 3->1, 4->3.
+const char* kRenumbered =
+    "p cnf 4 4\n"
+    "a 2 4 0\n"
+    "d 1 2 0\n"
+    "d 3 4 0\n"
+    "2 -1 0\n"
+    "-2 1 0\n"
+    "4 -3 0\n"
+    "-4 3 0\n";
+
+// Same dependencies, but the `d` lines list their sets in another order.
+const char* kDepOrder =
+    "p cnf 5 4\n"
+    "a 1 2 0\n"
+    "d 3 1 2 0\n"
+    "d 4 2 1 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+const char* kDepOrderSwapped =
+    "p cnf 5 4\n"
+    "a 1 2 0\n"
+    "d 4 1 2 0\n"
+    "d 3 2 1 0\n"
+    "1 -3 0\n"
+    "-1 3 0\n"
+    "2 -4 0\n"
+    "-2 4 0\n";
+
+cache::CanonicalKey keyOf(const std::string& text)
+{
+    return cache::canonicalKey(parseDqdimacsString(text));
+}
+
+/// Self-deleting temporary directory for persistent-store tests.
+struct TempDir {
+    std::filesystem::path path;
+
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("hqs-cache-test-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter()++));
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    static int& counter()
+    {
+        static int n = 0;
+        return n;
+    }
+
+    std::string str() const { return path.string(); }
+};
+
+std::string writeInstance(const TempDir& dir, const std::string& name,
+                          const std::string& text)
+{
+    const std::string p = (dir.path / name).string();
+    std::ofstream out(p);
+    out << text;
+    return p;
+}
+
+/// 16 lowercase hex digits, matching the certificate's `hash` line format.
+std::string hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// A syntactically plausible artifact opening: enough for the cheap
+/// hash-binding vet, which never parses past the second line.
+std::string fakeArtifact(std::uint64_t embeddedHash)
+{
+    return "dqbf-cert 1\nhash " + hex16(embeddedHash) +
+           "\nvars 1\nfunctions 0\nend dqbf-cert\n";
+}
+
+} // namespace
+
+// --- canonicalization -------------------------------------------------------
+
+TEST(Canonical, ClausePermutationCollides)
+{
+    EXPECT_FALSE(keyOf(kBaseFormula).empty());
+    EXPECT_EQ(keyOf(kBaseFormula), keyOf(kClausePermuted));
+}
+
+TEST(Canonical, VariableRenumberingCollides)
+{
+    EXPECT_EQ(keyOf(kBaseFormula), keyOf(kRenumbered));
+}
+
+TEST(Canonical, DependencySetOrderCollides)
+{
+    EXPECT_EQ(keyOf(kDepOrder), keyOf(kDepOrderSwapped));
+}
+
+TEST(Canonical, EBlockAndDLineSpellingsCollide)
+{
+    // `e 3 4` after `a 1 2` gives both existentials the full implicit
+    // dependency set {1,2}; the same semantics spelled with explicit `d`
+    // lines must land on the same key.
+    const char* eBlock =
+        "p cnf 4 2\n"
+        "a 1 2 0\n"
+        "e 3 4 0\n"
+        "1 -3 0\n"
+        "2 -4 0\n";
+    const char* dLines =
+        "p cnf 4 2\n"
+        "a 1 2 0\n"
+        "d 3 1 2 0\n"
+        "d 4 1 2 0\n"
+        "1 -3 0\n"
+        "2 -4 0\n";
+    EXPECT_EQ(keyOf(eBlock), keyOf(dLines));
+}
+
+TEST(Canonical, DuplicateClausesCollapse)
+{
+    const char* doubled =
+        "p cnf 4 5\n"
+        "a 1 2 0\n"
+        "d 3 1 0\n"
+        "d 4 2 0\n"
+        "1 -3 0\n"
+        "1 -3 0\n"
+        "-1 3 0\n"
+        "2 -4 0\n"
+        "-2 4 0\n";
+    EXPECT_EQ(keyOf(kBaseFormula), keyOf(doubled));
+}
+
+TEST(Canonical, SignFlipDiffers)
+{
+    const char* flipped =
+        "p cnf 4 4\n"
+        "a 1 2 0\n"
+        "d 3 1 0\n"
+        "d 4 2 0\n"
+        "1 3 0\n" // was 1 -3
+        "-1 3 0\n"
+        "2 -4 0\n"
+        "-2 4 0\n";
+    EXPECT_NE(keyOf(kBaseFormula), keyOf(flipped));
+}
+
+TEST(Canonical, DependencySetContentDiffers)
+{
+    const char* crossed =
+        "p cnf 4 4\n"
+        "a 1 2 0\n"
+        "d 3 2 0\n" // was d 3 1
+        "d 4 2 0\n"
+        "1 -3 0\n"
+        "-1 3 0\n"
+        "2 -4 0\n"
+        "-2 4 0\n";
+    EXPECT_NE(keyOf(kBaseFormula), keyOf(crossed));
+}
+
+TEST(Canonical, HexRoundTrip)
+{
+    const cache::CanonicalKey key = keyOf(kBaseFormula);
+    const std::string hex = cache::toHex(key);
+    EXPECT_EQ(hex.size(), 32u);
+    cache::CanonicalKey back;
+    ASSERT_TRUE(cache::keyFromHex(hex, &back));
+    EXPECT_EQ(key, back);
+    EXPECT_FALSE(cache::keyFromHex("not-a-key", &back));
+    EXPECT_FALSE(cache::keyFromHex(hex.substr(1), &back));
+}
+
+TEST(Canonical, FormRecordsShape)
+{
+    const cache::CanonicalForm form =
+        cache::canonicalize(parseDqdimacsString(kBaseFormula));
+    EXPECT_EQ(form.numVars, 4u);
+    EXPECT_EQ(form.numClauses, 4u);
+    EXPECT_FALSE(form.text.empty());
+    EXPECT_EQ(form.key, keyOf(kBaseFormula));
+}
+
+// --- in-memory shard --------------------------------------------------------
+
+namespace {
+
+cache::CacheEntry satEntry(const std::string& engine = "hqs",
+                           std::size_t padBytes = 0)
+{
+    cache::CacheEntry e;
+    e.result = SolveResult::Sat;
+    e.engine = engine;
+    e.solveMilliseconds = 1.5;
+    e.certificate = std::string(padBytes, 'x');
+    return e;
+}
+
+cache::CanonicalKey syntheticKey(std::uint64_t n)
+{
+    return cache::CanonicalKey{n * 0x9e37u + 1, n + 1};
+}
+
+} // namespace
+
+TEST(ResultCache, HitMissAndStats)
+{
+    cache::ResultCache c;
+    const cache::CanonicalKey key = keyOf(kBaseFormula);
+    EXPECT_FALSE(c.lookup(key).has_value());
+    c.store(key, satEntry("hqs-bdd"));
+    const auto hit = c.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->result, SolveResult::Sat);
+    EXPECT_EQ(hit->engine, "hqs-bdd");
+    EXPECT_GT(hit->storedUnixMs, 0);
+
+    const cache::CacheStats s = c.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(c.entryCount(), 1u);
+    EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(ResultCache, ByteBudgetEvictsLeastRecentlyUsed)
+{
+    cache::CacheConfig cfg;
+    // Each padded entry is ~4KB + overhead; budget fits two, never three.
+    cfg.maxBytes = 10 * 1024;
+    cache::ResultCache c(cfg);
+
+    c.store(syntheticKey(1), satEntry("e1", 4096));
+    c.store(syntheticKey(2), satEntry("e2", 4096));
+    // Touch 1 so 2 becomes the LRU victim.
+    ASSERT_TRUE(c.lookup(syntheticKey(1)).has_value());
+    c.store(syntheticKey(3), satEntry("e3", 4096));
+
+    EXPECT_TRUE(c.lookup(syntheticKey(1)).has_value());
+    EXPECT_FALSE(c.lookup(syntheticKey(2)).has_value());
+    EXPECT_TRUE(c.lookup(syntheticKey(3)).has_value());
+    EXPECT_GE(c.stats().evictions, 1u);
+    EXPECT_LE(c.stats().bytes, cfg.maxBytes);
+}
+
+TEST(ResultCache, TtlExpiresEntriesUnderInjectedClock)
+{
+    std::int64_t now = 1'000'000;
+    cache::CacheConfig cfg;
+    cfg.ttlSeconds = 10;
+    cfg.clock = [&now] { return now; };
+    cache::ResultCache c(cfg);
+
+    c.store(syntheticKey(7), satEntry());
+    EXPECT_TRUE(c.lookup(syntheticKey(7)).has_value());
+
+    now += 9'000; // within the TTL
+    EXPECT_TRUE(c.lookup(syntheticKey(7)).has_value());
+
+    now += 2'000; // 11s after the store
+    EXPECT_FALSE(c.lookup(syntheticKey(7)).has_value());
+    EXPECT_GE(c.stats().expired, 1u);
+    EXPECT_EQ(c.entryCount(), 0u);
+}
+
+TEST(ResultCache, StoreOverwritesInPlace)
+{
+    cache::ResultCache c;
+    c.store(syntheticKey(5), satEntry("first"));
+    c.store(syntheticKey(5), satEntry("second"));
+    EXPECT_EQ(c.entryCount(), 1u);
+    const auto hit = c.lookup(syntheticKey(5));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->engine, "second");
+}
+
+// --- persistent store -------------------------------------------------------
+
+TEST(ResultCache, PersistentRoundTripAcrossInstances)
+{
+    TempDir dir;
+    const cache::CanonicalKey key = keyOf(kBaseFormula);
+    {
+        cache::CacheConfig cfg;
+        cfg.dir = dir.str();
+        cache::ResultCache writer(cfg);
+        cache::CacheEntry e = satEntry("hqs");
+        e.certFormulaHash = 0xabcdef;
+        e.certificate = fakeArtifact(0xabcdef);
+        writer.store(key, e);
+    }
+    // A fresh instance sharing the directory (a forked fleet worker) sees
+    // the entry even though its in-memory shard is empty.
+    cache::CacheConfig cfg;
+    cfg.dir = dir.str();
+    cache::ResultCache reader(cfg);
+    const auto hit = reader.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->result, SolveResult::Sat);
+    EXPECT_EQ(hit->certFormulaHash, 0xabcdefu);
+    EXPECT_EQ(hit->certificate, fakeArtifact(0xabcdef));
+    EXPECT_EQ(reader.stats().persistHits, 1u);
+
+    // And the hit was promoted into the shard: a second lookup stays local.
+    ASSERT_TRUE(reader.lookup(key).has_value());
+    EXPECT_EQ(reader.stats().persistHits, 1u);
+}
+
+TEST(ResultCache, PersistentMissAndExpiry)
+{
+    TempDir dir;
+    std::int64_t now = 5'000'000;
+    cache::CacheConfig cfg;
+    cfg.dir = dir.str();
+    cfg.ttlSeconds = 10;
+    cfg.clock = [&now] { return now; };
+    cache::ResultCache c(cfg);
+
+    cache::CacheEntry out;
+    EXPECT_EQ(c.loadPersistent(syntheticKey(9), &out), cache::LoadStatus::Miss);
+
+    c.store(syntheticKey(9), satEntry());
+    EXPECT_EQ(c.loadPersistent(syntheticKey(9), &out), cache::LoadStatus::Hit);
+    now += 11'000;
+    EXPECT_EQ(c.loadPersistent(syntheticKey(9), &out), cache::LoadStatus::Expired);
+}
+
+TEST(ResultCache, DamagedPersistentEntriesRejectTyped)
+{
+    TempDir dir;
+    cache::CacheConfig cfg;
+    cfg.dir = dir.str();
+    cache::ResultCache c(cfg);
+    const cache::CanonicalKey key = syntheticKey(11);
+    c.store(key, satEntry("hqs", 64));
+
+    const std::string path =
+        dir.str() + "/" + cache::toHex(key) + ".hqscache";
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string good = buf.str();
+    in.close();
+
+    const auto rewrite = [&](const std::string& bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    };
+    cache::CacheEntry entry;
+
+    // Truncated: the payload ends early.
+    rewrite(good.substr(0, good.size() / 2));
+    EXPECT_EQ(c.loadPersistent(key, &entry), cache::LoadStatus::Truncated);
+
+    // Corrupt a byte inside the checksummed payload (the stored
+    // certificate bytes): structurally the file still parses, so only the
+    // whole-payload checksum can catch it.
+    {
+        std::string bad = good;
+        const std::size_t pad = bad.find("xxxx");
+        ASSERT_NE(pad, std::string::npos);
+        bad[pad + 1] ^= 0x5a;
+        rewrite(bad);
+        EXPECT_EQ(c.loadPersistent(key, &entry), cache::LoadStatus::ChecksumMismatch);
+    }
+
+    // Garbage header.
+    rewrite("not a cache entry at all\n");
+    EXPECT_EQ(c.loadPersistent(key, &entry), cache::LoadStatus::BadFormat);
+
+    // Every damaged load counted as a persist error, and none of them
+    // produced a hit.
+    EXPECT_GE(c.stats().persistErrors, 3u);
+
+    // A wrong-key file (e.g. a collision-renamed artifact) is refused even
+    // when its bytes are internally consistent.
+    rewrite(good);
+    EXPECT_EQ(c.loadPersistent(key, &entry), cache::LoadStatus::Hit);
+    EXPECT_EQ(cache::parseEntry(good, syntheticKey(12), &entry),
+              cache::LoadStatus::KeyMismatch);
+}
+
+TEST(ResultCache, SerializeParseRoundTrip)
+{
+    const cache::CanonicalKey key = keyOf(kBaseFormula);
+    cache::CacheEntry e = satEntry("portfolio:hqs-bdd");
+    e.certFormulaHash = 0x1234;
+    e.certificate = fakeArtifact(0x1234);
+    e.storedUnixMs = 42;
+    const std::string bytes = cache::serializeEntry(key, e);
+
+    cache::CacheEntry back;
+    ASSERT_EQ(cache::parseEntry(bytes, key, &back), cache::LoadStatus::Hit);
+    EXPECT_EQ(back.result, e.result);
+    EXPECT_EQ(back.engine, e.engine);
+    EXPECT_EQ(back.certFormulaHash, e.certFormulaHash);
+    EXPECT_EQ(back.certificate, e.certificate);
+    EXPECT_EQ(back.storedUnixMs, e.storedUnixMs);
+}
+
+// --- certificate hash binding -----------------------------------------------
+
+TEST(CacheCertificate, VetServesOnlyOnFullHashAgreement)
+{
+    const std::uint64_t h = cert::formulaHash(parseDqdimacsString(kBaseFormula));
+
+    cache::CacheEntry e = satEntry();
+    e.certFormulaHash = h;
+    e.certificate = fakeArtifact(h);
+    EXPECT_EQ(cache::vetCachedCertificate(e, h), cache::CertReuse::Served);
+
+    // No certificate at all: nothing to vet.
+    cache::CacheEntry bare = satEntry();
+    EXPECT_EQ(cache::vetCachedCertificate(bare, h), cache::CertReuse::None);
+
+    // Request hash differs from the recorded one: typed rejection, never a
+    // served artifact.
+    EXPECT_EQ(cache::vetCachedCertificate(e, h ^ 1), cache::CertReuse::HashMismatch);
+
+    // Recorded hash matches but the artifact embeds another formula's hash
+    // (canonically equal instances with different variable numbering).
+    cache::CacheEntry crossed = satEntry();
+    crossed.certFormulaHash = h;
+    crossed.certificate = fakeArtifact(h ^ 1);
+    EXPECT_EQ(cache::vetCachedCertificate(crossed, h),
+              cache::CertReuse::HashMismatch);
+
+    // An artifact that lost its header cannot be vetted.
+    cache::CacheEntry mangled = satEntry();
+    mangled.certFormulaHash = h;
+    mangled.certificate = "garbage bytes";
+    EXPECT_EQ(cache::vetCachedCertificate(mangled, h),
+              cache::CertReuse::MalformedArtifact);
+}
+
+// --- strategy specs ---------------------------------------------------------
+
+TEST(StrategySpec, DefaultSpecReproducesHardWiredBehavior)
+{
+    const strategy::StrategySpec spec = strategy::defaultStrategySpec();
+    EXPECT_EQ(spec.name, "default");
+
+    // The hard-coded portfolio lineup is *built from* the default spec, so
+    // the two can only agree; this test pins the equivalence against future
+    // edits to either side.
+    const std::vector<PortfolioEngine> wired = PortfolioSolver::defaultEngines();
+    const std::vector<PortfolioEngine> specd =
+        PortfolioSolver::enginesFromSpec(spec, /*nodeLimit=*/0);
+    ASSERT_EQ(wired.size(), specd.size());
+    for (std::size_t i = 0; i < wired.size(); ++i)
+        EXPECT_EQ(wired[i].name, specd[i].name) << "rung " << i;
+
+    const std::vector<DegradationRung> ladder = defaultDegradationLadder();
+    ASSERT_EQ(spec.ladder.size(), ladder.size());
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        EXPECT_EQ(spec.ladder[i].name, ladder[i].name) << "rung " << i;
+        EXPECT_EQ(spec.ladder[i].fraig, ladder[i].fraig) << "rung " << i;
+        EXPECT_EQ(spec.ladder[i].nodeLimitScale, ladder[i].nodeLimitScale)
+            << "rung " << i;
+    }
+    EXPECT_EQ(spec.cache.mode, strategy::CachePolicy::Mode::On);
+}
+
+TEST(StrategySpec, ParsesFullSpec)
+{
+    const std::string text = R"({
+      "name": "lean",
+      "engines": [
+        {"name": "fast", "engine": "hqs", "selection": "greedy", "fraig": false},
+        {"engine": "hqs-bdd", "node_limit_scale": 0.5}
+      ],
+      "ladder": [
+        {"name": "full"},
+        {"name": "half", "node_limit_scale": 0.5, "backoff_seconds": 0.01}
+      ],
+      "cache": {"mode": "bypass", "ttl_seconds": 60, "max_bytes": 1048576},
+      "defaults": {"timeout_seconds": 5, "rss_limit_mb": 512, "node_limit": 100000}
+    })";
+    strategy::StrategySpec spec;
+    std::vector<strategy::SpecError> errors;
+    ASSERT_TRUE(strategy::parseStrategySpec(text, &spec, &errors))
+        << strategy::toString(errors);
+    EXPECT_EQ(spec.name, "lean");
+    ASSERT_EQ(spec.engines.size(), 2u);
+    EXPECT_EQ(spec.engines[0].name, "fast");
+    EXPECT_EQ(spec.engines[0].selection, "greedy");
+    EXPECT_FALSE(spec.engines[0].fraig);
+    EXPECT_EQ(spec.engines[1].name, "hqs-bdd"); // defaults to the engine id
+    EXPECT_EQ(spec.engines[1].nodeLimitScale, 0.5);
+    ASSERT_EQ(spec.ladder.size(), 2u);
+    EXPECT_EQ(spec.ladder[1].nodeLimitScale, 0.5);
+    EXPECT_EQ(spec.cache.mode, strategy::CachePolicy::Mode::Bypass);
+    EXPECT_EQ(spec.cache.ttlSeconds, 60);
+    EXPECT_EQ(spec.cache.maxBytes, 1048576u);
+    EXPECT_EQ(spec.defaults.timeoutSeconds, 5);
+    EXPECT_EQ(spec.defaults.rssLimitBytes, 512u << 20);
+    EXPECT_EQ(spec.defaults.nodeLimit, 100000u);
+}
+
+namespace {
+
+/// True when some error's field exactly matches @p field.
+bool hasErrorField(const std::vector<strategy::SpecError>& errors,
+                   const std::string& field)
+{
+    for (const strategy::SpecError& e : errors)
+        if (e.field == field) return true;
+    return false;
+}
+
+} // namespace
+
+TEST(StrategySpec, ValidationErrorsAreFieldTagged)
+{
+    strategy::StrategySpec spec;
+    std::vector<strategy::SpecError> errors;
+
+    // Unknown engine id, tagged with its array position.
+    EXPECT_FALSE(strategy::parseStrategySpec(
+        R"({"engines": [{"engine": "warp-drive"}]})", &spec, &errors));
+    EXPECT_TRUE(hasErrorField(errors, "engines[0].engine"))
+        << strategy::toString(errors);
+
+    // Bad cache mode.
+    errors.clear();
+    EXPECT_FALSE(strategy::parseStrategySpec(
+        R"({"cache": {"mode": "sometimes"}})", &spec, &errors));
+    EXPECT_TRUE(hasErrorField(errors, "cache.mode")) << strategy::toString(errors);
+
+    // Empty ladder array: a spec must keep at least one rung.
+    errors.clear();
+    EXPECT_FALSE(strategy::parseStrategySpec(R"({"ladder": []})", &spec, &errors));
+    EXPECT_TRUE(hasErrorField(errors, "ladder")) << strategy::toString(errors);
+
+    // Duplicate rung names are ambiguous metric labels.
+    errors.clear();
+    EXPECT_FALSE(strategy::parseStrategySpec(
+        R"({"engines": [{"engine": "hqs", "name": "a"},
+                        {"engine": "hqs-bdd", "name": "a"}]})",
+        &spec, &errors));
+    EXPECT_TRUE(hasErrorField(errors, "engines[1].name"))
+        << strategy::toString(errors);
+
+    // Malformed JSON is one "(json)" error, not a crash.
+    errors.clear();
+    EXPECT_FALSE(strategy::parseStrategySpec("{nope", &spec, &errors));
+    EXPECT_TRUE(hasErrorField(errors, "(json)")) << strategy::toString(errors);
+
+    // Unreadable file path.
+    errors.clear();
+    EXPECT_FALSE(strategy::loadStrategySpecFile("/nonexistent/spec.json", &spec,
+                                                &errors));
+    EXPECT_TRUE(hasErrorField(errors, "(file)")) << strategy::toString(errors);
+}
+
+TEST(StrategySpec, OmittedSectionsInheritDefaults)
+{
+    strategy::StrategySpec spec;
+    std::vector<strategy::SpecError> errors;
+    ASSERT_TRUE(strategy::parseStrategySpec(R"({"name": "tiny"})", &spec, &errors))
+        << strategy::toString(errors);
+    const strategy::StrategySpec dflt = strategy::defaultStrategySpec();
+    EXPECT_EQ(spec.engines.size(), dflt.engines.size());
+    EXPECT_EQ(spec.ladder.size(), dflt.ladder.size());
+    EXPECT_EQ(spec.cache.mode, dflt.cache.mode);
+    EXPECT_EQ(spec.cache.maxBytes, dflt.cache.maxBytes);
+}
+
+// --- batch dedup and cache --------------------------------------------------
+
+TEST(BatchCache, DedupSolvesOnceAndFansTheRowOut)
+{
+    TempDir dir;
+    const std::string a = writeInstance(dir, "a.dqdimacs", kBaseFormula);
+    const std::string b = writeInstance(dir, "b.dqdimacs", kClausePermuted);
+    const std::string c = writeInstance(dir, "c.dqdimacs", kRenumbered);
+
+    BatchOptions opts;
+    opts.numWorkers = 2;
+    BatchScheduler scheduler(opts);
+    const auto results = scheduler.run({a, b, c});
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_EQ(results[0].dedupOf, "");
+    EXPECT_EQ(results[0].result, SolveResult::Sat);
+    for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+        EXPECT_EQ(results[i].dedupOf, a) << i;
+        EXPECT_EQ(results[i].result, SolveResult::Sat) << i;
+        EXPECT_EQ(results[i].engine, results[0].engine) << i;
+        EXPECT_EQ(results[i].instance, i == 1 ? b : c);
+    }
+}
+
+TEST(BatchCache, NoDedupSolvesEveryRowItself)
+{
+    TempDir dir;
+    const std::string a = writeInstance(dir, "a.dqdimacs", kBaseFormula);
+    const std::string b = writeInstance(dir, "b.dqdimacs", kClausePermuted);
+
+    BatchOptions opts;
+    opts.dedup = false;
+    BatchScheduler scheduler(opts);
+    const auto results = scheduler.run({a, b});
+    ASSERT_EQ(results.size(), 2u);
+    for (const BatchJobResult& r : results) {
+        EXPECT_EQ(r.dedupOf, "");
+        EXPECT_FALSE(r.cached);
+        EXPECT_EQ(r.result, SolveResult::Sat);
+        EXPECT_GE(r.attempts, 1u);
+    }
+}
+
+TEST(BatchCache, SecondRunIsAnsweredFromThePersistentCache)
+{
+    TempDir dir;
+    TempDir cacheDir;
+    const std::string a = writeInstance(dir, "a.dqdimacs", kBaseFormula);
+    const std::string u = writeInstance(dir, "u.dqdimacs", kUnsatFormula);
+
+    BatchOptions opts;
+    cache::CacheConfig cfg;
+    cfg.dir = cacheDir.str();
+    opts.resultCache = std::make_shared<cache::ResultCache>(cfg);
+
+    {
+        BatchScheduler first(opts);
+        const auto results = first.run({a, u});
+        ASSERT_EQ(results.size(), 2u);
+        EXPECT_FALSE(results[0].cached);
+        EXPECT_FALSE(results[1].cached);
+        EXPECT_EQ(results[0].result, SolveResult::Sat);
+        EXPECT_EQ(results[1].result, SolveResult::Unsat);
+    }
+
+    // A brand-new scheduler and cache instance: only the directory is
+    // shared, exactly like a fleet worker starting cold.
+    BatchOptions again;
+    again.resultCache = std::make_shared<cache::ResultCache>(cfg);
+    BatchScheduler second(again);
+    const auto results = second.run({a, u});
+    ASSERT_EQ(results.size(), 2u);
+    for (const BatchJobResult& r : results) {
+        EXPECT_TRUE(r.cached) << r.instance;
+        EXPECT_EQ(r.rung, "cache") << r.instance;
+        EXPECT_EQ(r.attempts, 0u) << r.instance;
+    }
+    EXPECT_EQ(results[0].result, SolveResult::Sat);
+    EXPECT_EQ(results[1].result, SolveResult::Unsat);
+}
+
+TEST(BatchCache, CachedCertifiedVerdictReverifiesTheBinding)
+{
+    TempDir dir;
+    const std::string a = writeInstance(dir, "a.dqdimacs", kBaseFormula);
+
+    BatchOptions opts;
+    opts.certify = true;
+    opts.resultCache = std::make_shared<cache::ResultCache>();
+
+    {
+        BatchScheduler first(opts);
+        const auto results = first.run({a});
+        ASSERT_EQ(results.size(), 1u);
+        ASSERT_TRUE(results[0].certificate.present);
+        EXPECT_TRUE(results[0].certificate.valid);
+    }
+
+    BatchScheduler second(opts);
+    const auto results = second.run({a});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].cached);
+    // The cached artifact passed vetCachedCertificate *and* the independent
+    // checker before being re-attached to the row.
+    ASSERT_TRUE(results[0].certificate.present);
+    EXPECT_TRUE(results[0].certificate.valid) << results[0].certificate.status;
+}
+
+TEST(BatchCache, CacheOffStrategyNeverConsultsTheCache)
+{
+    TempDir dir;
+    const std::string a = writeInstance(dir, "a.dqdimacs", kBaseFormula);
+
+    BatchOptions opts;
+    opts.resultCache = std::make_shared<cache::ResultCache>();
+    strategy::StrategySpec spec = strategy::defaultStrategySpec();
+    spec.cache.mode = strategy::CachePolicy::Mode::Off;
+    opts.strategy = spec;
+
+    BatchScheduler first(opts);
+    ASSERT_EQ(first.run({a}).size(), 1u);
+    BatchScheduler second(opts);
+    const auto results = second.run({a});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].cached);
+    EXPECT_EQ(opts.resultCache->entryCount(), 0u);
+    EXPECT_EQ(opts.resultCache->stats().stores, 0u);
+}
+
+// --- service loopback -------------------------------------------------------
+
+TEST(CacheService, RepeatedInstanceIsAnsweredFromCacheWithCertificateIntact)
+{
+    service::ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    opts.resultCache = std::make_shared<cache::ResultCache>();
+    service::SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    service::BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    service::SolveRequestOptions ropts;
+    ropts.certify = true;
+
+    // First request solves and stores.
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kBaseFormula, ropts, true)));
+    service::HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200) << rsp.body;
+    std::string verdict;
+    ASSERT_TRUE(service::jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    EXPECT_EQ(rsp.body.find("\"cached\":true"), std::string::npos) << rsp.body;
+    std::string firstCert;
+    ASSERT_TRUE(service::jsonStringField(rsp.body, "bytes", firstCert)) << rsp.body;
+
+    // A canonically equal (renumbered) resubmission is served from the
+    // cache.  Variable numbering matches the stored artifact's formula here
+    // (hash binding re-verified server-side), so the certificate rides
+    // along byte-for-byte.
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kBaseFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200) << rsp.body;
+    ASSERT_TRUE(service::jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    EXPECT_NE(rsp.body.find("\"cached\":true"), std::string::npos) << rsp.body;
+    std::string secondCert;
+    ASSERT_TRUE(service::jsonStringField(rsp.body, "bytes", secondCert)) << rsp.body;
+    EXPECT_EQ(firstCert, secondCert);
+
+    // The re-served artifact still passes the independent checker.
+    cert::Certificate parsed;
+    std::string detail;
+    ASSERT_EQ(cert::parseCertificateString(secondCert, parsed, detail),
+              cert::CheckStatus::Ok)
+        << detail;
+    EXPECT_TRUE(cert::checkCertificate(parsed).ok());
+
+    EXPECT_EQ(service.counters().cacheHits.load(), 1u);
+    EXPECT_EQ(service.counters().cacheStores.load(), 1u);
+    EXPECT_EQ(service.counters().cacheCertServed.load(), 1u);
+    EXPECT_EQ(service.counters().cacheCertRejects.load(), 0u);
+
+    // /stats reports the cache block.
+    ASSERT_TRUE(client.sendAll("GET /stats HTTP/1.1\r\n\r\n"));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_NE(rsp.body.find("\"cache_hits\": 1"), std::string::npos) << rsp.body;
+    EXPECT_NE(rsp.body.find("\"cache\": {"), std::string::npos) << rsp.body;
+
+    service.stop();
+}
+
+TEST(CacheService, CacheControlOffForcesAFreshSolve)
+{
+    service::ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    opts.resultCache = std::make_shared<cache::ResultCache>();
+    service::SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    service::BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    service::SolveRequestOptions ropts;
+    service::HttpResponseMsg rsp;
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kUnsatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200) << rsp.body;
+
+    // `cache-control: off` skips both the read and the write.
+    ropts.cacheControl = "off";
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kUnsatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200) << rsp.body;
+    EXPECT_EQ(rsp.body.find("\"cached\":true"), std::string::npos) << rsp.body;
+    EXPECT_EQ(service.counters().cacheHits.load(), 0u);
+
+    // An unknown mode is a 400 from the shared request validation.
+    ropts.cacheControl = "bogus";
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kUnsatFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 400) << rsp.body;
+
+    service.stop();
+}
+
+TEST(CacheService, StrategySelectionByNameAndUnknownStrategyRejected)
+{
+    service::ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    strategy::StrategySpec lean = strategy::defaultStrategySpec();
+    lean.name = "lean";
+    opts.strategies["default"] = strategy::defaultStrategySpec();
+    opts.strategies["lean"] = lean;
+    service::SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    service::BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    service::SolveRequestOptions ropts;
+    ropts.engine = "portfolio:2";
+    ropts.strategy = "lean";
+    service::HttpResponseMsg rsp;
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kBaseFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    ASSERT_EQ(rsp.status, 200) << rsp.body;
+    std::string verdict;
+    ASSERT_TRUE(service::jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+
+    ropts.strategy = "nosuch";
+    ASSERT_TRUE(client.sendAll(service::buildHttpSolveRequest(kBaseFormula, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 400) << rsp.body;
+    EXPECT_NE(rsp.body.find("unknown strategy"), std::string::npos) << rsp.body;
+
+    service.stop();
+}
+
+// --- fault injection (faults/* partition) ------------------------------------
+
+// Run only under the faults/* ctest rows (HQS_FAULT=cache-load:1 or
+// cache-store:1).  Whatever the armed cache checkpoint throws, the batch
+// must still decide every instance — a damaged cache layer degrades to a
+// miss; it never takes a verdict down with it.
+TEST(EnvFaultCache, CacheLayerFaultDegradesToAMiss)
+{
+    const std::string site = fault::armedSite();
+    if (site.empty())
+        GTEST_SKIP() << "HQS_FAULT not set; run via the faults/* partition";
+    ASSERT_TRUE(site == "cache-load" || site == "cache-store")
+        << "unexpected armed site " << site;
+
+    TempDir dir;
+    TempDir cacheDir;
+    const std::string a = writeInstance(dir, "a.dqdimacs", kBaseFormula);
+    const std::string b = writeInstance(dir, "b.dqdimacs", kUnsatFormula);
+
+    cache::CacheConfig cfg;
+    cfg.dir = cacheDir.str();
+    BatchOptions opts;
+    opts.dedup = false;
+    opts.resultCache = std::make_shared<cache::ResultCache>(cfg);
+
+    // Warm run (under cache-load:1 the first read throws; under
+    // cache-store:1 the first write throws) followed by a reuse run.  Both
+    // must answer everything conclusively either way.
+    for (int round = 0; round < 2; ++round) {
+        BatchScheduler scheduler(opts);
+        const auto results = scheduler.run({a, b});
+        ASSERT_EQ(results.size(), 2u) << "round " << round;
+        EXPECT_EQ(results[0].result, SolveResult::Sat) << "round " << round;
+        EXPECT_EQ(results[1].result, SolveResult::Unsat) << "round " << round;
+    }
+}

@@ -988,6 +988,8 @@ TEST(ServiceReport, BenchServiceMatchesGoldenSchema)
     obs::BenchServiceReport fleet = baseline;
     fleet.metrics.clear();
     fleet.workers = 2;
+    fleet.cacheEnabled = true;
+    fleet.cacheHits = 254;
     fleet.ok = 256;
     fleet.rejected = 0;
     fleet.retries = 3;
