@@ -9,9 +9,11 @@
 // but the shape of Table I — HQS solving a strict superset of the baseline
 // and being orders of magnitude faster on commonly solved instances —
 // reproduces.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "bench/bench_common.hpp"
@@ -19,6 +21,8 @@
 #include "src/cert/extract.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
+#include "src/runtime/portfolio.hpp"
+#include "src/strategy/spec.hpp"
 
 using namespace hqs;
 using namespace hqs::bench;
@@ -75,6 +79,42 @@ void certifyInstance(const InstanceSpec& spec, const SuiteParams& params,
     inst.certSizeNodes = check.sizeNodes;
 }
 
+/// v3 per-engine-family portfolio columns: race the default strategy lineup
+/// on @p spec and tally which family's racer decided the race (wins) and
+/// which families reached a conclusive verdict before cancellation (solved).
+///
+/// The race runs in the degradation regime — a node budget two orders of
+/// magnitude below the suite's memout proxy — because at the full budget
+/// the race is a foregone conclusion (elimination wins every instance it
+/// solves, which the Table I columns already report).  Under pressure the
+/// families complement: elimination keeps the instances whose cone fits
+/// the reduced budget, and the decision-list CEGAR engine takes over where
+/// elimination memouts but the learned lists stay small (e.g. wide adder
+/// instances).
+void raceFamilies(const InstanceSpec& spec, const SuiteParams& params,
+                  obs::BenchInstanceRow& inst, std::map<std::string, int>& familySolved,
+                  std::map<std::string, int>& familyWins)
+{
+    const std::size_t pressureLimit = std::max<std::size_t>(256, params.hqsNodeLimit / 128);
+    PecEncoding enc = encodePec(makeInstance(spec.family, spec.width, spec.realizable));
+    PortfolioOptions popts;
+    popts.deadline = Deadline::in(params.timeoutSeconds);
+    popts.nodeLimit = pressureLimit;
+    popts.engines = PortfolioSolver::enginesFromSpec(strategy::defaultStrategySpec(),
+                                                     pressureLimit);
+    PortfolioSolver solver(popts);
+    solver.solve(enc.formula);
+    const PortfolioStats& st = solver.stats();
+    if (!st.winnerFamily.empty()) {
+        inst.portfolioWinnerFamily = st.winnerFamily;
+        ++familyWins[st.winnerFamily];
+    }
+    std::set<std::string> solved;
+    for (const EngineRunStats& es : st.engines)
+        if (isConclusive(es.result)) solved.insert(es.family);
+    for (const std::string& f : solved) ++familySolved[f];
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -96,6 +136,7 @@ int main(int argc, char** argv)
                 params.timeoutSeconds, params.hqsNodeLimit, params.idqGroundClauseLimit);
 
     std::map<Family, FamilyRow> rows;
+    std::map<std::string, int> familySolved, familyWins;
     int solvedUnderOneSecond = 0, hqsSolvedTotal = 0;
     int idqSolvedTotal = 0, hqsOnlySolved = 0;
     double maxMaxSatMs = 0;
@@ -116,6 +157,9 @@ int main(int argc, char** argv)
             inst.family = toString(r.family);
             inst.hqsResult = toString(r.hqs);
             if (r.hqs == SolveResult::Sat) certifyInstance(spec, params, inst);
+            // v3 engine-family columns: every instance is additionally raced
+            // across the default portfolio lineup.
+            raceFamilies(spec, params, inst, familySolved, familyWins);
             report.instances.push_back(inst);
         }
 
@@ -203,6 +247,13 @@ int main(int argc, char** argv)
     std::printf("  results contradicting ground truth: %d (must be 0)\n", wrongTotal);
 
     if (!jsonPath.empty()) {
+        std::printf("  portfolio race by engine family  :");
+        for (const auto& [family, n] : familyWins)
+            std::printf(" %s %d/%d", family.c_str(), n,
+                        familySolved.count(family) ? familySolved.at(family) : 0);
+        std::printf(" (wins/solved)\n");
+        report.familySolved.assign(familySolved.begin(), familySolved.end());
+        report.familyWins.assign(familyWins.begin(), familyWins.end());
         total.wrongResults = wrongTotal;
         report.families.push_back(toReportRow("total", total));
         report.timeoutSeconds = params.timeoutSeconds;

@@ -1,8 +1,10 @@
-// dqbf_batch: solve a directory (or explicit list) of DQDIMACS instances in
-// parallel and stream structured results.
+// dqbf_batch: solve a directory (or explicit list) of DQDIMACS and DQCIR
+// instances in parallel and stream structured results.  Circuit instances
+// (*.dqcir) lower through the Tseitin front end at solve time and never
+// touch --cache-dir (cache.bypass.format).
 //
-//   dqbf_batch [options] <dir | file.dqdimacs ...>
-//   dqbf_batch --resume=out.jsonl [options] [dir | file.dqdimacs ...]
+//   dqbf_batch [options] <dir | file.dqdimacs | file.dqcir ...>
+//   dqbf_batch --resume=out.jsonl [options] [dir | file ...]
 //
 // Options:
 //   --workers=N           worker threads (default: hardware concurrency)
@@ -41,13 +43,16 @@
 //                 "fraig_ms": num, "peak_aig_nodes": int,
 //                 "eliminations": int, "copies": int},
 //    "certificate"?: {"valid": bool, "status": str, "extract_ms": num,
-//                     "check_ms": num, "size_nodes": int}}
+//                     "check_ms": num, "size_nodes": int},
+//    "families"?: {"winner": str, "raced": {family: best_result, ...}}}
 // The "metrics" block comes from the per-job metrics-registry scope
 // (src/obs/); it survives the JSONL round-trip, so --resume keeps the
 // fields recorded for already-conclusive instances.  The "certificate"
 // block appears for SAT verdicts under --certify; on a portfolio
 // disagreement the "failure" block's site is "portfolio.certcheck" and its
-// what-text names the engine the checker vindicated.
+// what-text names the engine the checker vindicated.  The "families" block
+// records the engine-family accounting of a portfolio race (which family's
+// racer won, and the best result each family reached).
 //
 // Exit code: 0 when every instance was definitively decided, 1 otherwise.
 #include <algorithm>
@@ -72,7 +77,7 @@ int usage()
                  "[--node-limit=N] [--rss-limit=MB] [--portfolio[=N]] "
                  "[--certify] [--no-retry] [--no-dedup] [--strategy=FILE] "
                  "[--cache-dir=DIR] [--jsonl=FILE] [--resume=FILE] "
-                 "<dir | file.dqdimacs ...>\n";
+                 "<dir | file.dqdimacs | file.dqcir ...>\n";
     return 1;
 }
 
@@ -173,13 +178,14 @@ int main(int argc, char** argv)
         alreadyDone = conclusiveInstances(journal);
     }
 
-    // A single directory argument expands to its *.dqdimacs files; with
-    // --resume and no inputs, the journal supplies the instance list.
+    // A single directory argument expands to its *.dqdimacs and *.dqcir
+    // files; with --resume and no inputs, the journal supplies the list.
     std::vector<std::string> files;
     if (inputs.empty()) {
         for (const BatchJobResult& r : journal) files.push_back(r.instance);
         std::sort(files.begin(), files.end());
-    } else if (inputs.size() == 1 && !inputs[0].ends_with(".dqdimacs")) {
+    } else if (inputs.size() == 1 && !inputs[0].ends_with(".dqdimacs") &&
+               !inputs[0].ends_with(".dqcir")) {
         try {
             files = BatchScheduler::collectInstances(inputs[0]);
         } catch (const std::exception& e) {
@@ -187,7 +193,8 @@ int main(int argc, char** argv)
             return 1;
         }
         if (files.empty()) {
-            std::cerr << "dqbf_batch: no .dqdimacs files in " << inputs[0] << "\n";
+            std::cerr << "dqbf_batch: no .dqdimacs or .dqcir files in " << inputs[0]
+                      << "\n";
             return 1;
         }
     } else {

@@ -1,13 +1,20 @@
-// dqbf_solve: command-line DQBF/QBF solver over DQDIMACS files.
+// dqbf_solve: command-line DQBF/QBF solver over DQDIMACS and DQCIR files.
 //
-//   dqbf_solve [options] <file.dqdimacs>
+//   dqbf_solve [options] <file.dqdimacs|file.dqcir>
 //   dqbf_solve [options] -            (read from stdin)
 //
 // Options:
-//   --solver=hqs|hqs-bdd|idq|expand
+//   --solver=hqs|hqs-bdd|idq|expand|cegar
 //                         solving engine (default hqs); `hqs-bdd` swaps in
 //                         the BDD QBF backend, `expand` decides by one SAT
-//                         call on the full universal expansion
+//                         call on the full universal expansion, `cegar`
+//                         learns per-existential decision lists against a
+//                         counterexample oracle
+//   --format=dqdimacs|dqcir
+//                         input format (default: content-sniffed — a
+//                         '#QCIR' header line means DQCIR).  Circuit input
+//                         lowers through the Tseitin front end and never
+//                         touches --cache-dir (cache.bypass.format)
 //   --portfolio[=N]       race the first N default engine configurations
 //                         (all 5 when N is omitted) and answer with the
 //                         first definitive result, cancelling the losers
@@ -19,7 +26,7 @@
 //   --skolem              on SAT, compute Skolem functions, round-trip them
 //                         through the certification subsystem (extract ->
 //                         serialize -> independent check), and summarize
-//                         them (hqs engine only)
+//                         them (hqs and cegar engines only)
 //   --skolem=FILE         additionally dump the reconstructed functions as
 //                         ASCII AIGER (aag) to FILE
 //   --certify=FILE        write a self-contained certificate artifact to
@@ -52,10 +59,13 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/aig/aiger.hpp"
 #include "src/cache/result_cache.hpp"
+#include "src/cegar/cegar_solver.hpp"
+#include "src/circuit/dqcir_parser.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/cert/extract.hpp"
 #include "src/cnf/dimacs.hpp"
@@ -76,12 +86,13 @@ namespace {
 
 int usage()
 {
-    std::cerr << "usage: dqbf_solve [--solver=hqs|hqs-bdd|idq|expand] [--portfolio[=N]] "
+    std::cerr << "usage: dqbf_solve [--solver=hqs|hqs-bdd|idq|expand|cegar] "
+                 "[--portfolio[=N]] [--format=dqdimacs|dqcir] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--no-preprocess] "
                  "[--no-unitpure] [--selection=maxsat|greedy|all] "
                  "[--skolem[=FILE]] [--certify=FILE] [--strategy=FILE] "
                  "[--cache-dir=DIR] [--cache-control=on|off|bypass] "
-                 "[--stats] [--trace=FILE] <file.dqdimacs|->\n";
+                 "[--stats] [--trace=FILE] <file.dqdimacs|file.dqcir|->\n";
     return 1;
 }
 
@@ -164,6 +175,8 @@ int main(int argc, char** argv)
             if (cacheDir.empty()) return usage();
         } else if (arg.rfind("--cache-control=", 0) == 0) {
             request.cacheControl = arg.substr(16);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            request.format = arg.substr(9);
         } else if (arg == "--stats") {
             request.stats = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -214,15 +227,36 @@ int main(int argc, char** argv)
     if (request.cacheControl == "on") cmode = CacheMode::On;
     else if (request.cacheControl == "off") cmode = CacheMode::Off;
     else if (request.cacheControl == "bypass") cmode = CacheMode::Bypass;
-    const bool cacheRead = rcache && cmode == CacheMode::On;
-    const bool cacheWrite = rcache && cmode != CacheMode::Off;
+    bool cacheRead = rcache && cmode == CacheMode::On;
+    bool cacheWrite = rcache && cmode != CacheMode::Off;
 
     DqbfFormula formula;
     cache::CanonicalKey cacheKey;
     std::uint64_t certHash = 0;
     try {
-        const ParsedQdimacs parsed =
-            (path == "-") ? parseDqdimacs(std::cin) : parseDqdimacsFile(path);
+        std::string text;
+        if (path == "-") {
+            std::stringstream ss;
+            ss << std::cin.rdbuf();
+            text = ss.str();
+        } else {
+            std::ifstream in(path);
+            if (!in) throw ParseError("cannot open file: " + path);
+            std::stringstream ss;
+            ss << in.rdbuf();
+            text = ss.str();
+        }
+        const bool dqcir = request.format == "dqcir" ||
+                           (request.format.empty() && looksLikeDqcir(text));
+        if (dqcir && (cacheRead || cacheWrite)) {
+            // The cache key canonicalizes CNF; a lowering's Tseitin
+            // numbering is an implementation detail not worth persisting.
+            OBS_COUNT("cache.bypass.format", 1);
+            std::cout << "c cache               : bypassed (circuit input)\n";
+            cacheRead = cacheWrite = false;
+        }
+        const ParsedQdimacs parsed = dqcir ? lowerDqcir(parseDqcirString(text))
+                                           : parseDqdimacsString(text);
         if (cacheRead || cacheWrite) {
             cacheKey = cache::canonicalKey(parsed);
             certHash = cert::formulaHash(parsed);
@@ -478,6 +512,66 @@ int main(int argc, char** argv)
             std::cout << "c total time          : " << st.totalMilliseconds << " ms\n";
             if (st.disagreement)
                 std::cout << "c WARNING             : engines disagreed on the verdict\n";
+        }
+    } else if (spec.kind == api::EngineSpec::Kind::Cegar) {
+        std::optional<CegarSolver> solverSlot;
+        result = guarded([&](const Deadline& dl) {
+            CegarOptions copts;
+            copts.deadline = dl;
+            copts.computeSkolem = opts.computeSkolem;
+            solverSlot.emplace(copts);
+            return solverSlot->solve(formula);
+        });
+        if (!solverSlot) solverSlot.emplace();
+        CegarSolver& solver = *solverSlot;
+        if (opts.computeSkolem && result == SolveResult::Sat &&
+            solver.skolemCertificate()) {
+            // Same production certification path as the hqs engine, fed by
+            // the learned decision lists instead of an elimination trace.
+            const cert::Certificate certificate =
+                cert::extractCertificate(formula, *solver.skolemCertificate());
+            const std::string artifact = cert::toCertificateString(certificate);
+            cacheCertText = artifact;
+            const cert::CheckResult check = selfCheck(artifact);
+            if (!check.ok()) OBS_COUNT("cert.selfcheck_fail", 1);
+            std::cout << "c skolem certificate  : " << certificate.functions.size()
+                      << " functions, independently checked: "
+                      << (check.ok() ? std::string("VALID")
+                                     : "INVALID (" + std::string(cert::toString(check.status)) +
+                                           (check.detail.empty() ? "" : ": " + check.detail) +
+                                           ")")
+                      << "\n";
+            if (!skolemPath.empty()) {
+                std::ofstream out(skolemPath);
+                if (out) {
+                    writeAiger(out, *certificate.aig, certificate.functions);
+                    std::cout << "c skolem aag          : " << skolemPath << "\n";
+                } else {
+                    std::cerr << "cannot write skolem file: " << skolemPath << "\n";
+                }
+            }
+            if (!certifyPath.empty()) {
+                std::ofstream out(certifyPath);
+                if (out) {
+                    out << artifact;
+                    std::cout << "c certificate         : " << artifact.size()
+                              << " bytes, "
+                              << cert::countAndNodes(*certificate.aig,
+                                                     certificate.functions)
+                              << " AIG nodes, self-check "
+                              << (check.ok() ? "ok" : "FAILED") << " -> " << certifyPath
+                              << "\n";
+                } else {
+                    std::cerr << "cannot write certificate file: " << certifyPath << "\n";
+                }
+            }
+        }
+        if (wantStats) {
+            const CegarStats& st = solver.stats();
+            std::cout << "c refinements         : " << st.refinements << "\n"
+                      << "c rules learned       : " << st.rulesLearned << "\n"
+                      << "c counterexamples     : " << st.counterexamples << "\n"
+                      << "c abstraction vars    : " << st.abstractionVars << "\n";
         }
     } else {
         std::optional<IdqSolver> solverSlot;

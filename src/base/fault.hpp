@@ -31,9 +31,11 @@
 //
 // Registered sites (keep in sync with README "Failure handling"):
 //   parse          DQDIMACS parser entry            -> InjectedFault
+//   dqcir-parse    DQCIR circuit parser entry       -> InjectedFault
 //   aig-alloc      every AIG AND-node allocation    -> std::bad_alloc
 //   fraig          FRAIG sweep entry                -> std::bad_alloc
 //   sat            CDCL SAT solve entry             -> InjectedFault
+//   cegar-refine   CEGAR refinement-loop iteration  -> InjectedFault
 //   pool-dispatch  thread-pool job dispatch         -> InjectedFault
 //   cache-load     result-cache persistent read     -> InjectedFault
 //   cache-store    result-cache persistent write    -> InjectedFault

@@ -1,0 +1,309 @@
+#include "src/cegar/cegar_solver.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/fault.hpp"
+#include "src/obs/obs.hpp"
+#include "src/sat/sat_solver.hpp"
+
+namespace hqs {
+
+namespace {
+
+/// One learned rule: a projection class (y, pi) over D_y with its
+/// counterexample-solver encoding (fire/value variables) and its repair-
+/// solver value variable z, shared by every counterexample agreeing on pi.
+struct RuleClass {
+    Var fire = kNoVar;  ///< CES: F <-> cube(pi)
+    Var value = kNoVar; ///< CES: F -> (y <-> value), pinned by assumption
+    Var z = kNoVar;     ///< RS: the rule's output value
+    std::vector<Lit> cube; ///< pi as literals over D_y (formula variables)
+    bool currentValue = false; ///< latest repair-model value of z
+};
+
+struct ExistState {
+    Var y = kNoVar;
+    const std::vector<Var>* deps = nullptr; ///< sorted D_y
+    std::vector<RuleClass> classes;
+    /// CES: no-rule-fired chain after the last class; kNoVar while the
+    /// list is empty (the chain is vacuously true then).
+    Var chain = kNoVar;
+    std::unordered_map<std::string, std::size_t> classIndex; ///< pi -> class
+};
+
+} // namespace
+
+struct CegarSolver::Impl {
+    const DqbfFormula* f = nullptr;
+    SatSolver ces; ///< counterexample solver: -matrix + decision lists
+    SatSolver rs;  ///< repair solver: instantiation constraints over z
+    bool cesTopConflict = false;
+    bool rsTopConflict = false;
+
+    std::vector<ExistState> exist;
+    std::unordered_map<Var, std::size_t> existIdx;
+    Var guard = kNoVar; ///< CES: current refinement's default-clause guard
+    /// Dedup of instantiation constraints already in the repair solver.
+    std::unordered_set<std::string> rsSeen;
+    /// Scratch: universal assignment of the latest counterexample,
+    /// indexed by formula variable.
+    std::vector<std::uint8_t> uValue;
+
+    ExistState& stateOf(Var y) { return exist[existIdx.at(y)]; }
+
+    /// Build the negated matrix in the counterexample solver: selector
+    /// s_i -> every literal of clause i false, plus "some selector".
+    /// Returns false when the matrix has no clauses (trivially TRUE).
+    bool encodeNegatedMatrix()
+    {
+        ces.ensureVars(f->numVars());
+        std::vector<Lit> some;
+        some.reserve(f->matrix().numClauses());
+        for (const Clause& c : f->matrix().clauses()) {
+            const Var s = ces.newVar();
+            for (Lit l : c.lits()) {
+                if (!ces.addClause({Lit::neg(s), ~l})) return false;
+            }
+            some.push_back(Lit::pos(s));
+        }
+        return ces.addClause(std::move(some));
+    }
+
+    /// Class lookup key: pi rendered over the sorted dependency set.
+    static std::string projectionKey(const std::vector<Var>& deps,
+                                     const std::vector<std::uint8_t>& u)
+    {
+        std::string key(deps.size(), '0');
+        for (std::size_t i = 0; i < deps.size(); ++i)
+            if (u[deps[i]]) key[i] = '1';
+        return key;
+    }
+
+    /// Find or create the projection class of @p y under the recorded
+    /// counterexample, emitting its permanent CES encoding on creation.
+    RuleClass& classOf(ExistState& st, CegarStats& stats)
+    {
+        std::string key = projectionKey(*st.deps, uValue);
+        if (auto it = st.classIndex.find(key); it != st.classIndex.end())
+            return st.classes[it->second];
+
+        RuleClass rule;
+        rule.cube.reserve(st.deps->size());
+        for (std::size_t i = 0; i < st.deps->size(); ++i)
+            rule.cube.push_back(Lit((*st.deps)[i], key[i] == '0'));
+
+        rule.fire = ces.newVar();
+        rule.value = ces.newVar();
+        rule.z = rs.newVar();
+        const Lit fire = Lit::pos(rule.fire);
+        // F <-> cube(pi).
+        std::vector<Lit> back{fire};
+        for (Lit l : rule.cube) {
+            if (!ces.addClause({~fire, l})) cesTopConflict = true;
+            back.push_back(~l);
+        }
+        if (!ces.addClause(std::move(back))) cesTopConflict = true;
+        // F -> (y <-> V).
+        const Lit y = Lit::pos(st.y);
+        const Lit v = Lit::pos(rule.value);
+        if (!ces.addClause({~fire, ~v, y})) cesTopConflict = true;
+        if (!ces.addClause({~fire, v, ~y})) cesTopConflict = true;
+        // Extend the no-rule-fired chain: N_k <-> N_{k-1} & -F_k.
+        const Var next = ces.newVar();
+        const Lit n = Lit::pos(next);
+        if (st.chain == kNoVar) {
+            // First class: N_0 is vacuously true, so N_1 <-> -F_1.
+            if (!ces.addClause({~n, ~fire})) cesTopConflict = true;
+            if (!ces.addClause({n, fire})) cesTopConflict = true;
+        } else {
+            const Lit prev = Lit::pos(st.chain);
+            if (!ces.addClause({~n, prev})) cesTopConflict = true;
+            if (!ces.addClause({~n, ~fire})) cesTopConflict = true;
+            if (!ces.addClause({n, ~prev, fire})) cesTopConflict = true;
+        }
+        st.chain = next;
+
+        st.classIndex.emplace(std::move(key), st.classes.size());
+        st.classes.push_back(std::move(rule));
+        ++stats.rulesLearned;
+        OBS_COUNT("cegar.rules_learned", 1);
+        return st.classes.back();
+    }
+
+    /// Arm the next refinement's decision-list defaults: retire the old
+    /// guard permanently, then emit per-existential guarded default
+    /// clauses (guard & no-rule-fired -> y = false) under a fresh guard.
+    void armDefaults()
+    {
+        if (guard != kNoVar && !ces.addClause({Lit::neg(guard)}))
+            cesTopConflict = true;
+        guard = ces.newVar();
+        for (const ExistState& st : exist) {
+            std::vector<Lit> def{Lit::neg(guard)};
+            if (st.chain != kNoVar) def.push_back(Lit::neg(st.chain));
+            def.push_back(Lit::neg(st.y)); // default value: false
+            if (!ces.addClause(std::move(def))) cesTopConflict = true;
+        }
+    }
+
+    /// Assumptions for the next counterexample query: the guard plus the
+    /// latest repair-model value of every rule.
+    std::vector<Lit> cesAssumptions() const
+    {
+        std::vector<Lit> assume{Lit::pos(guard)};
+        for (const ExistState& st : exist)
+            for (const RuleClass& rule : st.classes)
+                assume.push_back(Lit(rule.value, !rule.currentValue));
+        return assume;
+    }
+
+    /// Record the counterexample solver's model as a universal assignment.
+    void extractCounterexample()
+    {
+        uValue.assign(f->numVars(), 0);
+        for (Var x : f->universals())
+            uValue[x] = ces.modelValue(x).isTrue() ? 1 : 0;
+    }
+
+    /// Instantiate every matrix clause the counterexample's universal part
+    /// falsifies over the repair variables.  Returns false when the repair
+    /// solver derives top-level unsatisfiability (the formula is FALSE).
+    bool addRepairConstraints(CegarStats& stats)
+    {
+        for (const Clause& c : f->matrix().clauses()) {
+            bool satByUniversal = false;
+            for (Lit l : c.lits()) {
+                if (f->isUniversal(l.var()) &&
+                    (uValue[l.var()] != 0) != l.negative()) {
+                    satByUniversal = true;
+                    break;
+                }
+            }
+            if (satByUniversal) continue;
+
+            std::vector<Lit> inst;
+            std::string key;
+            for (Lit l : c.lits()) {
+                if (f->isUniversal(l.var())) continue;
+                ExistState& st = stateOf(l.var());
+                RuleClass& rule = classOf(st, stats);
+                inst.push_back(Lit(rule.z, l.negative()));
+            }
+            key.reserve(inst.size() * 9);
+            for (Lit l : inst) {
+                key += std::to_string(l.code());
+                key += ',';
+            }
+            if (!rsSeen.insert(std::move(key)).second) continue;
+            if (!rs.addClause(std::move(inst))) return false;
+        }
+        return true;
+    }
+
+    /// Pull the latest repair model into every rule's current value.
+    void syncRuleValues()
+    {
+        for (ExistState& st : exist)
+            for (RuleClass& rule : st.classes)
+                rule.currentValue = rs.modelValue(rule.z).isTrue();
+    }
+
+    /// The learned lists as AIG Skolem functions: an ITE chain over the
+    /// (mutually exclusive) class cubes with the false default at the
+    /// bottom.  Support is structurally inside D_y.
+    AigSkolemCertificate buildSkolem() const
+    {
+        AigSkolemCertificate cert;
+        cert.aig = std::make_shared<Aig>();
+        Aig& aig = *cert.aig;
+        for (const ExistState& st : exist) {
+            AigEdge fn = aig.constFalse();
+            for (const RuleClass& rule : st.classes) {
+                AigEdge cube = aig.constTrue();
+                for (Lit l : rule.cube)
+                    cube = aig.mkAnd(cube, aig.variable(l.var()) ^ l.negative());
+                const AigEdge val =
+                    rule.currentValue ? aig.constTrue() : aig.constFalse();
+                fn = aig.mkIte(cube, val, fn);
+            }
+            cert.functions.emplace(st.y, fn);
+        }
+        return cert;
+    }
+};
+
+CegarSolver::CegarSolver(CegarOptions opts)
+    : impl_(std::make_unique<Impl>()), opts_(std::move(opts))
+{
+}
+
+CegarSolver::~CegarSolver() = default;
+
+SolveResult CegarSolver::solve(const DqbfFormula& f)
+{
+    OBS_SPAN(span, "cegar.solve");
+    impl_ = std::make_unique<Impl>(); // solve() is restartable
+    Impl& im = *impl_;
+    im.f = &f;
+    stats_ = CegarStats{};
+    skolem_.reset();
+
+    im.exist.reserve(f.existentials().size());
+    for (Var y : f.existentials()) {
+        ExistState st;
+        st.y = y;
+        st.deps = &f.dependencies(y);
+        im.existIdx.emplace(y, im.exist.size());
+        im.exist.push_back(std::move(st));
+    }
+
+    // An empty or selector-conflicting negated matrix means no universal
+    // assignment can falsify anything: trivially TRUE.
+    const bool negatedMatrixConsistent = im.encodeNegatedMatrix();
+
+    for (;;) {
+        fault::checkpoint("cegar-refine");
+        if (opts_.deadline.expired()) return deadlineExceededResult(opts_.deadline);
+        ++stats_.refinements;
+        OBS_COUNT("cegar.refinements", 1);
+
+        SolveResult ce = SolveResult::Unsat;
+        if (negatedMatrixConsistent && !im.cesTopConflict) {
+            im.armDefaults();
+            if (im.cesTopConflict) {
+                ce = SolveResult::Unsat;
+            } else {
+                ce = im.ces.solve(im.cesAssumptions(), opts_.deadline);
+            }
+        }
+        stats_.abstractionVars = im.ces.numVars() + im.rs.numVars();
+        OBS_GAUGE_MAX("cegar.abstraction_vars", stats_.abstractionVars);
+        if (ce == SolveResult::Timeout)
+            return deadlineExceededResult(opts_.deadline);
+        if (ce == SolveResult::Unsat) {
+            // No counterexample left: the lists are Skolem functions.
+            if (opts_.computeSkolem) skolem_ = im.buildSkolem();
+            return SolveResult::Sat;
+        }
+
+        im.extractCounterexample();
+        ++stats_.counterexamples;
+        if (!im.addRepairConstraints(stats_) || im.rs.inConflict())
+            return SolveResult::Unsat;
+        stats_.abstractionVars = im.ces.numVars() + im.rs.numVars();
+        OBS_GAUGE_MAX("cegar.abstraction_vars", stats_.abstractionVars);
+        if (opts_.ruleLimit != 0 && stats_.rulesLearned > opts_.ruleLimit)
+            return SolveResult::Memout;
+
+        const SolveResult repair = im.rs.solve({}, opts_.deadline);
+        if (repair == SolveResult::Timeout)
+            return deadlineExceededResult(opts_.deadline);
+        if (repair == SolveResult::Unsat) return SolveResult::Unsat;
+        im.syncRuleValues();
+    }
+}
+
+} // namespace hqs

@@ -1,0 +1,97 @@
+// Clausal-abstraction CEGAR for DQBF (the "Clausal Abstraction for DQBF"
+// algorithm family): learn one ordered decision list per existential
+// variable over its dependency set, refined from counterexamples, until
+// the lists are Skolem functions (TRUE) or the accumulated constraints on
+// any candidate lists become irreducibly conflicting (FALSE).
+//
+// Two incremental SAT solvers cooperate:
+//
+//  * The counterexample solver (the abstraction oracle) holds the negated
+//    matrix — one selector variable per clause, selector -> every literal
+//    of the clause false, plus "some selector" — conjoined with the
+//    decision-list encoding: per projection class (y, pi) over D_y a
+//    rule-fire variable F (F <-> the cube pi), a value variable V with
+//    F -> (y <-> V), a no-rule-fired chain N_k <-> N_{k-1} & -F_k, and a
+//    per-refinement guarded default clause G & N & -> y = default.  The
+//    fire/value/chain clauses are permanent; only the guard unit and the
+//    V-pinning assumptions change per refinement, so the solver stays
+//    incremental.  UNSAT here means no universal assignment falsifies the
+//    matrix under the current lists: the lists ARE Skolem functions and
+//    the formula is TRUE.
+//
+//  * The repair solver decides whether ANY assignment of rule values is
+//    consistent with every counterexample seen: one variable z_{y,pi} per
+//    projection class — reused across counterexamples that agree on pi,
+//    which is exactly Henkin consistency — and, per counterexample u, the
+//    instantiation over z of every matrix clause whose universal literals
+//    u falsifies.  UNSAT here means no Skolem functions exist at all: the
+//    conflict is irreducible and the formula is FALSE.
+//
+// Each refinement adds at least one instantiation constraint the current
+// repair model falsifies (else the counterexample solver could not have
+// found the counterexample), and the constraint space is finite, so the
+// loop terminates.
+//
+// On TRUE the learned lists convert directly into AIG Skolem functions
+// (an ITE chain over the mutually exclusive class cubes with the default
+// at the bottom), feeding the existing certificate pipeline unchanged:
+// cert::extractCertificate serializes them into the artifact the
+// independent dqbf_check verifies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "src/base/timer.hpp"
+#include "src/dqbf/dqbf_formula.hpp"
+#include "src/dqbf/skolem_recorder.hpp"
+
+namespace hqs {
+
+struct CegarOptions {
+    Deadline deadline;
+    /// Budget on learned rules (projection classes) across all
+    /// existentials — the engine's nodeLimit analogue; exceeding it
+    /// returns Memout.  0 = unlimited.
+    std::size_t ruleLimit = 0;
+    /// Build the AIG Skolem certificate on Sat (skolemCertificate()).
+    bool computeSkolem = false;
+};
+
+struct CegarStats {
+    std::size_t refinements = 0;     ///< counterexample/repair rounds
+    std::size_t rulesLearned = 0;    ///< projection classes created
+    std::size_t abstractionVars = 0; ///< SAT variables across both solvers
+    std::size_t counterexamples = 0; ///< universal assignments recorded
+};
+
+class CegarSolver {
+public:
+    explicit CegarSolver(CegarOptions opts = {});
+    ~CegarSolver();
+    CegarSolver(const CegarSolver&) = delete;
+    CegarSolver& operator=(const CegarSolver&) = delete;
+
+    /// Decide @p f.  Sat/Unsat on success; Timeout/Memout on budget
+    /// exhaustion (cooperatively, at refinement granularity).
+    SolveResult solve(const DqbfFormula& f);
+
+    const CegarStats& stats() const { return stats_; }
+
+    /// The learned decision lists as AIG Skolem functions; present after
+    /// solve() returned Sat with CegarOptions::computeSkolem set.
+    const std::optional<AigSkolemCertificate>& skolemCertificate() const
+    {
+        return skolem_;
+    }
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    CegarOptions opts_;
+    CegarStats stats_;
+    std::optional<AigSkolemCertificate> skolem_;
+};
+
+} // namespace hqs

@@ -199,10 +199,12 @@ void writeBenchTable1Json(std::ostream& os, const BenchTable1Report& report)
 {
     JsonWriter w(os);
     w.beginObject();
-    // v2: the report grew the per-instance "instances" array — certification
-    // outcome, extract/check time, and certificate size for every benched
-    // instance — alongside the unchanged family rows and aggregates.
-    w.key("schema").value("hqs-bench-table1/v2");
+    // v3: the report grew the "portfolio" block (per-engine-family solved
+    // and win columns) and the per-instance "portfolio_winner_family" cell.
+    // v2 added the per-instance "instances" array — certification outcome,
+    // extract/check time, and certificate size for every benched instance —
+    // alongside the unchanged family rows and aggregates.
+    w.key("schema").value("hqs-bench-table1/v3");
     w.key("params").beginObject();
     w.key("timeout_seconds").value(report.timeoutSeconds);
     w.key("hqs_node_limit").value(report.hqsNodeLimit);
@@ -232,9 +234,18 @@ void writeBenchTable1Json(std::ostream& os, const BenchTable1Report& report)
         w.key("cert_extract_ms").value(row.certExtractMs);
         w.key("cert_check_ms").value(row.certCheckMs);
         w.key("cert_size_nodes").value(row.certSizeNodes);
+        w.key("portfolio_winner_family").value(row.portfolioWinnerFamily);
         w.endObject();
     }
     w.endArray();
+    w.key("portfolio").beginObject();
+    w.key("family_solved").beginObject();
+    for (const auto& [family, n] : report.familySolved) w.key(family).value(n);
+    w.endObject();
+    w.key("family_wins").beginObject();
+    for (const auto& [family, n] : report.familyWins) w.key(family).value(n);
+    w.endObject();
+    w.endObject();
     w.key("aggregates").beginObject();
     w.key("hqs_solved_total").value(report.hqsSolvedTotal);
     w.key("idq_solved_total").value(report.idqSolvedTotal);

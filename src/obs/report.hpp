@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/obs/metrics.hpp"
@@ -135,7 +136,7 @@ void writeBenchServiceJson(std::ostream& os,
                            const std::vector<BenchServiceReport>& runs);
 
 // ---------------------------------------------------------------------------
-// BENCH_table1.json  (schema "hqs-bench-table1/v2")
+// BENCH_table1.json  (schema "hqs-bench-table1/v3")
 // ---------------------------------------------------------------------------
 
 /// One solver's cells of a Table I row.
@@ -168,6 +169,9 @@ struct BenchInstanceRow {
     double certExtractMs = 0;      ///< extraction + serialization
     double certCheckMs = 0;        ///< independent check (one SAT call)
     std::int64_t certSizeNodes = 0; ///< AND nodes across the function cones
+    /// v3: engine family (api::engineFamily) of the racer that won this
+    /// instance's portfolio race ("" when the race was inconclusive).
+    std::string portfolioWinnerFamily;
 };
 
 struct BenchTable1Report {
@@ -180,6 +184,12 @@ struct BenchTable1Report {
     /// v2: per-instance certification outcomes (one row per benched
     /// instance, in bench order).
     std::vector<BenchInstanceRow> instances;
+    /// v3: per-engine-family portfolio columns, in sorted family order.
+    /// "solved" counts instances where a racer of that family reached a
+    /// conclusive verdict before the race cancelled it; "wins" counts the
+    /// races that family's racer decided.
+    std::vector<std::pair<std::string, int>> familySolved;
+    std::vector<std::pair<std::string, int>> familyWins;
 
     // Section IV aggregates.
     int hqsSolvedTotal = 0;

@@ -14,6 +14,20 @@ const char* toString(EngineSpec::Kind kind)
         case EngineSpec::Kind::HqsBdd: return "hqs-bdd";
         case EngineSpec::Kind::Idq: return "idq";
         case EngineSpec::Kind::Expand: return "expand";
+        case EngineSpec::Kind::Cegar: return "cegar";
+        case EngineSpec::Kind::Portfolio: return "portfolio";
+    }
+    return "?";
+}
+
+const char* engineFamily(EngineSpec::Kind kind)
+{
+    switch (kind) {
+        case EngineSpec::Kind::Hqs:
+        case EngineSpec::Kind::HqsBdd: return "elimination";
+        case EngineSpec::Kind::Idq:
+        case EngineSpec::Kind::Expand: return "instantiation";
+        case EngineSpec::Kind::Cegar: return "cegar";
         case EngineSpec::Kind::Portfolio: return "portfolio";
     }
     return "?";
@@ -33,6 +47,10 @@ std::optional<EngineSpec> parseEngineSpec(const std::string& text)
     }
     if (text == "expand") {
         spec.kind = EngineSpec::Kind::Expand;
+        return spec;
+    }
+    if (text == "cegar") {
+        spec.kind = EngineSpec::Kind::Cegar;
         return spec;
     }
     if (text == "portfolio") {
@@ -55,7 +73,7 @@ std::vector<RequestError> SolveRequest::validate() const
     if (!parsedEngine()) {
         errors.push_back({"engine", "unknown engine \"" + engine +
                                         "\" (hqs | hqs-bdd | idq | expand | "
-                                        "portfolio[:N])"});
+                                        "cegar | portfolio[:N])"});
     }
     // The one non-finite/negative budget gate: every front end funnels its
     // timeout here, whether it arrived as --timeout seconds, a timeout-ms
@@ -65,15 +83,18 @@ std::vector<RequestError> SolveRequest::validate() const
     } else if (timeoutSeconds < 0) {
         errors.push_back({"timeout", "timeout must be >= 0"});
     }
-    // Certification needs the Skolem-recording AIG elimination backend:
-    // idq/expand never build Skolem functions and hqs-bdd replays through a
-    // backend that does not record.
+    // Certification needs a Skolem-producing backend: the AIG elimination
+    // trace (hqs) or the CEGAR decision lists.  idq/expand never build
+    // Skolem functions and hqs-bdd replays through a backend that does not
+    // record.
     if (certify) {
         if (const auto spec = parsedEngine();
             spec && spec->kind != EngineSpec::Kind::Hqs &&
+            spec->kind != EngineSpec::Kind::Cegar &&
             spec->kind != EngineSpec::Kind::Portfolio) {
-            errors.push_back({"certify", "certification requires an elimination "
-                                         "engine (hqs or portfolio), not \"" +
+            errors.push_back({"certify", "certification requires a "
+                                         "Skolem-producing engine (hqs, cegar, "
+                                         "or portfolio), not \"" +
                                              engine + "\""});
         }
     }
@@ -81,6 +102,10 @@ std::vector<RequestError> SolveRequest::validate() const
         cacheControl != "bypass") {
         errors.push_back({"cache-control", "must be on, off, or bypass, not \"" +
                                                cacheControl + "\""});
+    }
+    if (!format.empty() && format != "dqdimacs" && format != "dqcir") {
+        errors.push_back({"format", "must be dqdimacs or dqcir, not \"" +
+                                        format + "\""});
     }
     for (char c : strategy) {
         if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||

@@ -34,6 +34,7 @@ struct EngineSpec {
         HqsBdd,    ///< HQS with the BDD QBF backend ("hqs-bdd")
         Idq,       ///< instantiation-based baseline
         Expand,    ///< one-shot universal expansion
+        Cegar,     ///< clausal abstraction with decision lists
         Portfolio, ///< race the default engine lineup ("portfolio[:N]")
     };
     Kind kind = Kind::Hqs;
@@ -42,8 +43,15 @@ struct EngineSpec {
 
 const char* toString(EngineSpec::Kind kind);
 
-/// "hqs" | "hqs-bdd" | "idq" | "expand" | "portfolio" | "portfolio:N"
-/// (empty selects hqs, the service default).  nullopt on anything else.
+/// Coarse engine-family taxonomy for win/loss accounting: "elimination"
+/// (hqs, hqs-bdd — the paper's quantifier-elimination family),
+/// "instantiation" (idq, expand), "cegar" (clausal abstraction), or
+/// "portfolio" for the meta-engine itself.
+const char* engineFamily(EngineSpec::Kind kind);
+
+/// "hqs" | "hqs-bdd" | "idq" | "expand" | "cegar" | "portfolio" |
+/// "portfolio:N" (empty selects hqs, the service default).  nullopt on
+/// anything else.
 std::optional<EngineSpec> parseEngineSpec(const std::string& text);
 
 /// One structured validation failure: which request field, and why.
@@ -74,6 +82,9 @@ struct SolveRequest {
     /// The grammar is validated here; whether the name is *known* is the
     /// front end's check, since it owns the spec table.
     std::string strategy;
+    /// Input format: "" (sniff the content: a leading '#' means DQCIR) |
+    /// "dqdimacs" | "dqcir".  validate() rejects anything else.
+    std::string format;
 
     /// Semantic validation: every violated rule yields one field-tagged
     /// error (empty vector = valid).  The only place in the tree that

@@ -13,6 +13,7 @@
 #include "src/base/timer.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/cert/extract.hpp"
+#include "src/circuit/dqcir_parser.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/obs/obs.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
@@ -102,12 +103,58 @@ bool readJsonNumberField(const std::string& line, const std::string& key, double
     return true;
 }
 
+/// Is @p path a circuit-form (DQCIR) instance?  Decided by extension — the
+/// batch collects files by extension, so content sniffing never applies.
+bool isDqcirPath(const std::string& path)
+{
+    return std::filesystem::path(path).extension() == ".dqcir";
+}
+
+/// Parse one instance in either input format.  DQCIR lowers through the
+/// circuit/Tseitin front end into the same ParsedQdimacs shape.
+ParsedQdimacs parseInstanceFile(const std::string& path)
+{
+    if (isDqcirPath(path)) return lowerDqcir(parseDqcirFile(path));
+    return parseDqdimacsFile(path);
+}
+
+/// Distill a finished race into the per-family JSONL block: winner family
+/// plus each family's most conclusive result.
+BatchJobFamilies collectFamilies(const PortfolioStats& stats)
+{
+    auto rank = [](SolveResult r) {
+        switch (r) {
+            case SolveResult::Sat:
+            case SolveResult::Unsat: return 3;
+            case SolveResult::Timeout: return 2;
+            case SolveResult::Memout: return 1;
+            default: return 0;
+        }
+    };
+    BatchJobFamilies out;
+    out.winner = stats.winnerFamily;
+    for (const EngineRunStats& es : stats.engines) {
+        if (es.family.empty()) continue;
+        auto it = std::find_if(out.raced.begin(), out.raced.end(),
+                               [&](const auto& p) { return p.first == es.family; });
+        if (it == out.raced.end()) {
+            out.raced.emplace_back(es.family, toString(es.result));
+        } else if (const std::optional<SolveResult> prev =
+                       solveResultFromString(it->second);
+                   !prev || rank(es.result) > rank(*prev)) {
+            it->second = toString(es.result);
+        }
+    }
+    return out;
+}
+
 struct SolveOutcome {
     SolveResult result = SolveResult::Unknown;
     std::string engine;
     FailureInfo failure;
     BatchJobMetrics metrics;
     BatchJobCertificate certificate;
+    BatchJobFamilies families;
     /// Serialized certificate artifact of the verdict (empty when not
     /// certifying or the winning engine could not certify) — what the
     /// result cache stores alongside the verdict.
@@ -183,7 +230,7 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
         // Parsing runs inside the guard too: a malformed instance becomes a
         // ParseError failure record, not a dead worker.  Re-parsing per rung
         // costs little against a solve and keeps attempts independent.
-        const DqbfFormula formula = DqbfFormula::fromParsed(parseDqdimacsFile(path));
+        const DqbfFormula formula = DqbfFormula::fromParsed(parseInstanceFile(path));
         if (opts.portfolio) {
             PortfolioOptions popts;
             popts.maxEngines = opts.portfolioEngines;
@@ -201,6 +248,7 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
             PortfolioSolver solver(popts);
             const SolveResult r = solver.solve(formula);
             out.engine = solver.stats().winnerName;
+            out.families = collectFamilies(solver.stats());
             if (solver.stats().failure) out.failure = solver.stats().failure;
             if (opts.certify && !solver.stats().winnerCertificate.empty()) {
                 out.certificateText = solver.stats().winnerCertificate;
@@ -306,6 +354,20 @@ std::string toJsonlLine(const BatchJobResult& r)
         os << ",\"extract_ms\":" << c.extractMs << ",\"check_ms\":" << c.checkMs
            << ",\"size_nodes\":" << c.sizeNodes << '}';
     }
+    if (r.families.any()) {
+        os << ",\"families\":{\"winner\":";
+        writeJsonString(os, r.families.winner);
+        os << ",\"raced\":{";
+        bool first = true;
+        for (const auto& [family, result] : r.families.raced) {
+            if (!first) os << ',';
+            first = false;
+            writeJsonString(os, family);
+            os << ':';
+            writeJsonString(os, result);
+        }
+        os << "}}";
+    }
     os << "}\n";
     return std::move(os).str();
 }
@@ -356,6 +418,11 @@ bool readJsonl(const std::string& line, BatchJobResult& out)
         r.metrics.eliminations = static_cast<std::int64_t>(num);
     if (readJsonNumberField(line, "copies", num))
         r.metrics.copies = static_cast<std::int64_t>(num);
+    if (line.find("\"families\":{") != std::string::npos) {
+        // Only the winner survives the round trip; `raced` is reporting
+        // detail a resumed run does not need.
+        readJsonStringField(line, "winner", r.families.winner);
+    }
     if (line.find("\"certificate\":{") != std::string::npos) {
         r.certificate.present = true;
         r.certificate.valid = line.find("\"valid\":true") != std::string::npos;
@@ -400,7 +467,9 @@ std::vector<std::string> BatchScheduler::collectInstances(const std::string& dir
     std::vector<std::string> files;
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
         if (!entry.is_regular_file()) continue;
-        if (entry.path().extension() == ".dqdimacs") files.push_back(entry.path().string());
+        const auto ext = entry.path().extension();
+        if (ext == ".dqdimacs" || ext == ".dqcir")
+            files.push_back(entry.path().string());
     }
     std::sort(files.begin(), files.end());
     return files;
@@ -427,6 +496,7 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
     // ParseError with full context.
     struct ScanInfo {
         bool parsed = false;
+        bool dqcir = false; ///< circuit-form instance: dedup yes, cache no
         cache::CanonicalKey key;
         std::uint64_t certHash = 0;
     };
@@ -449,10 +519,11 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
         std::unordered_map<cache::CanonicalKey, std::size_t> firstWithKey;
         for (std::size_t i = 0; i < files.size(); ++i) {
             try {
-                const ParsedQdimacs parsed = parseDqdimacsFile(files[i]);
+                const ParsedQdimacs parsed = parseInstanceFile(files[i]);
                 scan[i].key = cache::canonicalKey(parsed);
                 scan[i].certHash = cert::formulaHash(parsed);
                 scan[i].parsed = true;
+                scan[i].dqcir = isDqcirPath(files[i]);
             } catch (const std::exception&) {
                 continue;
             }
@@ -479,7 +550,15 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                 r.instance = files[i];
                 Timer t;
                 bool servedFromCache = false;
-                if (cacheRead && scan[i].parsed && !opts_.cancel.cancelled()) {
+                // Circuit-form instances never touch the result cache: the
+                // cache key is defined over the CNF canonicalization, and
+                // Tseitin variable numbering is an implementation detail we
+                // refuse to bake into persisted entries.  A typed counter
+                // keeps the bypass observable.
+                if (cacheRead && scan[i].dqcir)
+                    OBS_COUNT("cache.bypass.format", 1);
+                if (cacheRead && scan[i].parsed && !scan[i].dqcir &&
+                    !opts_.cancel.cancelled()) {
                     try {
                         if (std::optional<cache::CacheEntry> entry =
                                 opts_.resultCache->lookup(scan[i].key);
@@ -570,11 +649,13 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
                     r.failure = out.failure;
                     r.metrics = out.metrics;
                     r.certificate = out.certificate;
+                    r.families = out.families;
                     r.rung = ladder[rungIdx].name;
                     r.degraded = rungIdx > 0;
                     if (opts_.cancel.cancelled() && !isConclusive(r.result) && !r.failure)
                         r.failure = {FailureKind::Cancelled, "batch", "batch cancelled"};
-                    if (cacheWrite && scan[i].parsed && isConclusive(r.result)) {
+                    if (cacheWrite && scan[i].parsed && !scan[i].dqcir &&
+                        isConclusive(r.result)) {
                         try {
                             cache::CacheEntry entry;
                             entry.result = r.result;

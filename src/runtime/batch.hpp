@@ -105,6 +105,18 @@ struct BatchJobMetrics {
     }
 };
 
+/// Engine-family accounting of one portfolio race: which family's racer
+/// won, and the best result each family reached.  Empty outside portfolio
+/// mode (any() = false).
+struct BatchJobFamilies {
+    std::string winner; ///< api::engineFamily of the winning racer
+    /// family -> most conclusive result any of its racers returned, in
+    /// first-appearance order of the lineup.
+    std::vector<std::pair<std::string, std::string>> raced;
+
+    bool any() const { return !raced.empty(); }
+};
+
 /// Certificate outcome of one SAT verdict under BatchOptions::certify.
 struct BatchJobCertificate {
     bool present = false;    ///< a certificate was extracted for this verdict
@@ -137,6 +149,9 @@ struct BatchJobResult {
     /// Certificate outcome (present only under BatchOptions::certify on a
     /// SAT verdict); survives a JSONL round-trip like `metrics`.
     BatchJobCertificate certificate;
+    /// Engine-family win/loss block of the final portfolio race (empty in
+    /// single-engine mode); the winner survives a JSONL round-trip.
+    BatchJobFamilies families;
     /// Instance this row was deduplicated against ("" = solved itself).
     /// Set, the row is a copy of `dedup_of`'s row: same verdict, engine,
     /// rung, and certificate outcome.
@@ -174,7 +189,9 @@ class BatchScheduler {
 public:
     explicit BatchScheduler(BatchOptions opts = {}) : opts_(std::move(opts)) {}
 
-    /// All *.dqdimacs files directly inside @p dir, sorted by name.
+    /// All *.dqdimacs and *.dqcir files directly inside @p dir, sorted by
+    /// name.  DQCIR instances lower through the circuit front end at solve
+    /// time and never touch the result cache (cache.bypass.format).
     static std::vector<std::string> collectInstances(const std::string& dir);
 
     /// Solve every file, @p opts.numWorkers at a time.  Results come back in

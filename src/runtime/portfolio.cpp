@@ -1,11 +1,13 @@
 #include "src/runtime/portfolio.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "src/cegar/cegar_solver.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/cert/extract.hpp"
 #include "src/dqbf/dqbf_oracle.hpp"
@@ -52,6 +54,7 @@ std::vector<PortfolioEngine> PortfolioSolver::enginesFromSpec(
 
         PortfolioEngine engine;
         engine.name = rung.name;
+        engine.family = api::engineFamily(parsed->kind);
         switch (parsed->kind) {
         case api::EngineSpec::Kind::Hqs:
         case api::EngineSpec::Kind::HqsBdd: {
@@ -120,6 +123,32 @@ std::vector<PortfolioEngine> PortfolioSolver::enginesFromSpec(
             };
             break;
         }
+        case api::EngineSpec::Kind::Cegar:
+            // The rung's node budget caps learned rules: both grow with the
+            // engine's memory footprint, so the degradation ladder's scaling
+            // shrinks the CEGAR abstraction the same way it shrinks AIGs.
+            engine.run = [scaledLimit](const DqbfFormula& f, const Deadline& dl) {
+                CegarOptions opts;
+                opts.deadline = dl;
+                opts.ruleLimit = scaledLimit;
+                CegarSolver solver(opts);
+                return solver.solve(f);
+            };
+            engine.runCertify = [scaledLimit](const DqbfFormula& f, const Deadline& dl,
+                                              std::string* certOut) {
+                CegarOptions opts;
+                opts.deadline = dl;
+                opts.ruleLimit = scaledLimit;
+                opts.computeSkolem = true;
+                CegarSolver solver(opts);
+                const SolveResult r = solver.solve(f);
+                if (r == SolveResult::Sat && certOut && solver.skolemCertificate()) {
+                    *certOut = cert::toCertificateString(cert::extractCertificate(
+                        f, *solver.skolemCertificate()));
+                }
+                return r;
+            };
+            break;
         case api::EngineSpec::Kind::Portfolio:
             continue;
         }
@@ -187,8 +216,10 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
 
     stats_ = PortfolioStats{};
     stats_.engines.resize(engines.size());
-    for (std::size_t i = 0; i < engines.size(); ++i)
+    for (std::size_t i = 0; i < engines.size(); ++i) {
         stats_.engines[i].name = engines[i].name;
+        stats_.engines[i].family = engines[i].family;
+    }
     if (engines.empty()) return SolveResult::Unknown;
 
     Timer total;
@@ -351,6 +382,7 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
 
     if (winner) {
         stats_.winnerName = engines[*winner].name;
+        stats_.winnerFamily = engines[*winner].family;
         stats_.winnerCertificate = stats_.engines[*winner].certificate;
 #if HQS_OBS_ENABLED
         // Dynamic metric name (one counter per engine), so the per-call-site
@@ -358,6 +390,26 @@ SolveResult PortfolioSolver::solve(const DqbfFormula& f)
         obs::currentRegistry().add(
             obs::metric("portfolio.win." + stats_.winnerName, obs::MetricKind::Counter),
             1);
+        // Family-level win/loss accounting: the winner's family scores a
+        // win, every other family that raced scores a loss — win rates per
+        // engine family fall straight out of the two counters.
+        if (!stats_.winnerFamily.empty()) {
+            obs::currentRegistry().add(
+                obs::metric("portfolio.family." + stats_.winnerFamily + ".wins",
+                            obs::MetricKind::Counter),
+                1);
+            std::vector<std::string> lost;
+            for (const PortfolioEngine& e : engines) {
+                if (e.family.empty() || e.family == stats_.winnerFamily) continue;
+                if (std::find(lost.begin(), lost.end(), e.family) != lost.end())
+                    continue;
+                lost.push_back(e.family);
+                obs::currentRegistry().add(
+                    obs::metric("portfolio.family." + e.family + ".losses",
+                                obs::MetricKind::Counter),
+                    1);
+            }
+        }
         if (!opts_.strategyName.empty())
             obs::currentRegistry().add(
                 obs::metric("strategy.rung." + stats_.winnerName + ".wins",

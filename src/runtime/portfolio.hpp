@@ -37,6 +37,11 @@ struct PortfolioEngine {
     /// falls back to run() for them even under PortfolioOptions::certify.
     std::function<SolveResult(const DqbfFormula&, const Deadline&, std::string* certOut)>
         runCertify;
+    /// Engine family (api::engineFamily) for win/loss accounting; "" when
+    /// the caller hand-rolled the lineup and did not care.  Last member so
+    /// pre-existing positional {name, run, runCertify} initializers keep
+    /// compiling.
+    std::string family;
 };
 
 struct PortfolioOptions {
@@ -67,6 +72,7 @@ struct PortfolioOptions {
 /// Outcome of a single racer within one solve() call.
 struct EngineRunStats {
     std::string name;
+    std::string family; ///< engine family of this racer ("" when unset)
     SolveResult result = SolveResult::Unknown;
     double elapsedMilliseconds = 0.0;
     /// Time from the winner's cancel broadcast to this engine returning;
@@ -88,6 +94,7 @@ struct EngineRunStats {
 struct PortfolioStats {
     std::vector<EngineRunStats> engines;
     std::string winnerName;            ///< empty when no engine was definitive
+    std::string winnerFamily;          ///< family of the winner ("" when none)
     /// The winner's serialized certificate (empty when not certifying or the
     /// winning engine cannot certify).
     std::string winnerCertificate;

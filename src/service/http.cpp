@@ -341,6 +341,11 @@ std::string buildHttpSolveRequest(const std::string& formula,
         out += opts.strategy;
         out += "\r\n";
     }
+    if (!opts.format.empty()) {
+        out += "format: ";
+        out += opts.format;
+        out += "\r\n";
+    }
     if (!keepAlive) out += "Connection: close\r\n";
     out += "\r\n";
     out += formula;
@@ -362,6 +367,7 @@ std::string buildJsonlSolveRequest(const std::string& id, const std::string& for
         out += ",\"cache_control\":\"" + jsonEscape(opts.cacheControl) + "\"";
     if (!opts.strategy.empty())
         out += ",\"strategy\":\"" + jsonEscape(opts.strategy) + "\"";
+    if (!opts.format.empty()) out += ",\"format\":\"" + jsonEscape(opts.format) + "\"";
     out += ",\"formula\":\"" + jsonEscape(formula) + "\"}\n";
     return out;
 }

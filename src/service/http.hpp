@@ -107,9 +107,10 @@ bool jsonBoolField(const std::string& obj, const std::string& key, bool& out);
 // ------------------------------------------------------ solve protocol ---
 
 /// Per-request solver options, carried as HTTP headers (`timeout-ms`,
-/// `rss-limit-mb`, `engine`, `certify`, `cache-control`, `strategy`) or as
-/// the same-named JSONL row fields (`timeout_ms`, `rss_limit_mb`, `engine`,
-/// `certify`, `cache_control`, `strategy`).
+/// `rss-limit-mb`, `engine`, `certify`, `cache-control`, `strategy`,
+/// `format`) or as the same-named JSONL row fields (`timeout_ms`,
+/// `rss_limit_mb`, `engine`, `certify`, `cache_control`, `strategy`,
+/// `format`).
 struct SolveRequestOptions {
     double timeoutSeconds = 0;      ///< 0 = server default
     std::size_t rssLimitBytes = 0;  ///< 0 = server default
@@ -126,6 +127,11 @@ struct SolveRequestOptions {
     /// Strategy spec to solve under, by name ("" = the server's default).
     /// Naming a strategy the server does not have is a 400 / error row.
     std::string strategy;
+    /// Input format of the request body: "" (content-sniff: a '#QCIR'
+    /// header means DQCIR, anything else DQDIMACS), "dqdimacs", or
+    /// "dqcir".  DQCIR requests lower through the circuit front end and
+    /// never touch the result cache (cache.bypass.format).
+    std::string format;
 };
 
 /// One `POST /solve` request with @p formula (DQDIMACS text) as the body.

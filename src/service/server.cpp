@@ -24,8 +24,10 @@
 
 #include "src/base/cancel.hpp"
 #include "src/cache/canonical.hpp"
+#include "src/cegar/cegar_solver.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/cert/extract.hpp"
+#include "src/circuit/dqcir_parser.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/dqbf/dqbf_formula.hpp"
 #include "src/dqbf/hqs_solver.hpp"
@@ -580,6 +582,7 @@ struct SolverService::Impl {
                 request.cacheControl = *cc;
             if (const std::string* st = req.header("strategy"))
                 request.strategy = *st;
+            if (const std::string* fm = req.header("format")) request.format = *fm;
             if (problem.empty()) problem = vetRequest(request, spec);
             if (problem.empty()) problem = vetStrategy(request.strategy);
         }
@@ -604,6 +607,7 @@ struct SolverService::Impl {
         ropts.certify = request.certify;
         ropts.cacheControl = request.cacheControl;
         ropts.strategy = request.strategy;
+        ropts.format = request.format;
         admit(c, /*rowId=*/"", keepAlive, req.body, ropts, spec);
         return true;
     }
@@ -641,6 +645,7 @@ struct SolverService::Impl {
         jsonBoolField(line, "certify", request.certify);
         jsonStringField(line, "cache_control", request.cacheControl);
         jsonStringField(line, "strategy", request.strategy);
+        jsonStringField(line, "format", request.format);
         if (!jsonStringField(line, "formula", formula) || formula.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
             queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
@@ -665,6 +670,7 @@ struct SolverService::Impl {
         ropts.certify = request.certify;
         ropts.cacheControl = request.cacheControl;
         ropts.strategy = request.strategy;
+        ropts.format = request.format;
         admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
         return true;
     }
@@ -747,7 +753,9 @@ struct SolverService::Impl {
                      const EngineSpec& spec)
     {
         Timer t;
-        std::string engineName = spec.kind == EngineSpec::Kind::HqsBdd ? "hqs-bdd" : "hqs";
+        std::string engineName = spec.kind == EngineSpec::Kind::HqsBdd ? "hqs-bdd"
+                                 : spec.kind == EngineSpec::Kind::Cegar ? "cegar"
+                                                                        : "hqs";
         FailureInfo raceFailure;
         std::string certText; ///< serialized certificate of a certify+Sat solve
 
@@ -763,8 +771,16 @@ struct SolverService::Impl {
         if (ropts.cacheControl == "on") cmode = CacheMode::On;
         else if (ropts.cacheControl == "off") cmode = CacheMode::Off;
         else if (ropts.cacheControl == "bypass") cmode = CacheMode::Bypass;
-        const bool cacheRead = rcache && cmode == CacheMode::On;
-        const bool cacheWrite = rcache && cmode != CacheMode::Off;
+        // Circuit-form requests never touch the result cache: the cache key
+        // is defined over the canonical CNF, and the Tseitin numbering a
+        // lowering produces is an implementation detail not worth baking
+        // into persisted entries.  Typed counter so the bypass is visible.
+        const bool dqcir = ropts.format == "dqcir" ||
+                           (ropts.format.empty() && looksLikeDqcir(formula));
+        if (dqcir && rcache && cmode != CacheMode::Off)
+            OBS_COUNT("cache.bypass.format", 1);
+        const bool cacheRead = rcache && cmode == CacheMode::On && !dqcir;
+        const bool cacheWrite = rcache && cmode != CacheMode::Off && !dqcir;
 
         cache::CanonicalKey ckey;
         std::uint64_t chash = 0;
@@ -853,7 +869,9 @@ struct SolverService::Impl {
         gopts.rssLimitBytes = ropts.rssLimitBytes;
         const GuardedOutcome outcome = runGuarded(gopts, [&](const Deadline& dl) {
             if (opts.solveOverride) return opts.solveOverride(formula, ropts, dl);
-            const DqbfFormula f = DqbfFormula::fromParsed(parseDqdimacsString(formula));
+            const DqbfFormula f = DqbfFormula::fromParsed(
+                dqcir ? lowerDqcir(parseDqcirString(formula))
+                      : parseDqdimacsString(formula));
             if (spec.kind == EngineSpec::Kind::Portfolio) {
                 PortfolioOptions popts;
                 popts.deadline = dl;
@@ -870,6 +888,18 @@ struct SolverService::Impl {
                 engineName = solver.stats().winnerName;
                 if (solver.stats().failure) raceFailure = solver.stats().failure;
                 certText = solver.stats().winnerCertificate;
+                return r;
+            }
+            if (spec.kind == EngineSpec::Kind::Cegar) {
+                CegarOptions copts;
+                copts.deadline = dl;
+                copts.ruleLimit = opts.nodeLimit;
+                copts.computeSkolem = ropts.certify;
+                CegarSolver solver(copts);
+                const SolveResult r = solver.solve(f);
+                if (ropts.certify && r == SolveResult::Sat && solver.skolemCertificate())
+                    certText = cert::toCertificateString(
+                        cert::extractCertificate(f, *solver.skolemCertificate()));
                 return r;
             }
             HqsOptions hopts;

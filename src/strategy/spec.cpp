@@ -346,6 +346,7 @@ StrategySpec defaultStrategySpec()
         {"hqs-bdd", "hqs-bdd", "maxsat", /*fraig=*/true, 1.0, 22},
         {"idq", "idq", "maxsat", /*fraig=*/true, 1.0, 22},
         {"expand", "expand", "maxsat", /*fraig=*/true, 1.0, 22},
+        {"cegar", "cegar", "maxsat", /*fraig=*/true, 1.0, 22},
     };
     spec.ladder = defaultDegradationLadder();
     return spec;
@@ -417,7 +418,8 @@ bool parseStrategySpec(const std::string& text, StrategySpec* out,
                     if (er.engine.empty() || !parsed ||
                         parsed->kind == api::EngineSpec::Kind::Portfolio) {
                         v.addError(path + ".engine",
-                                   "must be one of hqs, hqs-bdd, idq, expand");
+                                   "must be one of hqs, hqs-bdd, idq, expand, "
+                                   "cegar");
                     }
                 }
                 er.name = er.engine;

@@ -388,12 +388,16 @@ TEST(ObsReport, BenchTable1MatchesGoldenSchema)
     sat.certExtractMs = 1.5;
     sat.certCheckMs = 2.25;
     sat.certSizeNodes = 169;
+    sat.portfolioWinnerFamily = "cegar";
     report.instances.push_back(sat);
     obs::BenchInstanceRow unsat;
     unsat.name = "adder_w3_unsat";
     unsat.family = "adder";
     unsat.hqsResult = "UNSAT";
     report.instances.push_back(unsat);
+    // v3: per-engine-family portfolio columns.
+    report.familySolved = {{"cegar", 1}, {"elimination", 2}};
+    report.familyWins = {{"cegar", 1}, {"elimination", 1}};
     report.hqsSolvedTotal = 3;
     report.idqSolvedTotal = 2;
     report.solvedUnderOneSecond = 3;

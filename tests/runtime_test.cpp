@@ -263,7 +263,7 @@ TEST(Portfolio, AgreesWithDefaultEngineOnSatExample)
     EXPECT_EQ(solver.solve(f), SolveResult::Sat);
     const PortfolioStats& st = solver.stats();
     EXPECT_FALSE(st.winnerName.empty());
-    EXPECT_EQ(st.engines.size(), 5u);
+    EXPECT_EQ(st.engines.size(), 6u);
     EXPECT_FALSE(st.disagreement);
     int winners = 0;
     for (const EngineRunStats& es : st.engines) {

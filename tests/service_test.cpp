@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cache/result_cache.hpp"
 #include "src/cert/certificate.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
@@ -53,6 +54,22 @@ const char* kUnsatFormula =
     "d 2 0\n"
     "1 -2 0\n"
     "-1 2 0\n";
+
+// DQCIR copycat: forall x, exists y with D_y = {x}: y <-> x — SAT.
+const char* kDqcirSat =
+    "#QCIR-G14\n"
+    "forall(x)\n"
+    "depend(y, x)\n"
+    "output(-g)\n"
+    "g = xor(x, y)\n";
+
+// Same matrix but free(y): y cannot see x it must mirror — UNSAT.
+const char* kDqcirUnsat =
+    "#QCIR-G14\n"
+    "forall(x)\n"
+    "free(y)\n"
+    "output(-g)\n"
+    "g = xor(x, y)\n";
 
 std::string goldenPath(const std::string& name)
 {
@@ -224,6 +241,93 @@ TEST(ServiceLoopback, HttpSolveRoundTrip)
     service.stop();
     EXPECT_EQ(service.counters().solvesCompleted.load(), 3u);
     EXPECT_EQ(service.counters().badRequests.load(), 1u);
+}
+
+TEST(ServiceLoopback, DqcirRoundTripSniffedExplicitAndCacheBypassed)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    opts.resultCache = std::make_shared<cache::ResultCache>();
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+
+    // Content-sniffed: no format header, the '#QCIR' header line decides.
+    SolveRequestOptions ropts;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kDqcirSat, ropts, true)));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200) << rsp.body;
+    std::string verdict;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+
+    // Resubmitting the identical circuit must solve fresh, not hit the
+    // cache: circuit requests bypass the result cache entirely.
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kDqcirSat, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200) << rsp.body;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    EXPECT_EQ(rsp.body.find("\"cached\":true"), std::string::npos) << rsp.body;
+
+    // Explicit format=dqcir, solved by the CEGAR engine with a certificate.
+    ropts.format = "dqcir";
+    ropts.engine = "cegar";
+    ropts.certify = true;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kDqcirSat, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200) << rsp.body;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "SAT");
+    std::string engine;
+    ASSERT_TRUE(jsonStringField(rsp.body, "engine", engine));
+    EXPECT_EQ(engine, "cegar");
+    std::string certBytes;
+    EXPECT_TRUE(jsonStringField(rsp.body, "bytes", certBytes)) << rsp.body;
+    EXPECT_FALSE(certBytes.empty());
+
+    ropts.certify = false;
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kDqcirUnsat, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200) << rsp.body;
+    ASSERT_TRUE(jsonStringField(rsp.body, "result", verdict));
+    EXPECT_EQ(verdict, "UNSAT");
+
+    // Forcing format=dqdimacs on a circuit body is a structured parse
+    // failure in the response, not a crash or a hang.
+    ropts.engine.clear();
+    ropts.format = "dqdimacs";
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kDqcirSat, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200) << rsp.body;
+    EXPECT_NE(rsp.body.find("\"kind\":\"parse-error\""), std::string::npos) << rsp.body;
+
+    // An unknown format is rejected up front.
+    ropts.format = "xml";
+    ASSERT_TRUE(client.sendAll(buildHttpSolveRequest(kDqcirSat, ropts, true)));
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 400) << rsp.body;
+
+    // The same circuit round-trips over the JSONL front end.
+    BlockingClient jclient;
+    ASSERT_TRUE(jclient.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+    SolveRequestOptions jropts;
+    jropts.format = "dqcir";
+    ASSERT_TRUE(jclient.sendAll(buildJsonlSolveRequest("c-1", kDqcirSat, jropts)));
+    std::string row;
+    ASSERT_TRUE(jclient.readLine(row));
+    ASSERT_TRUE(jsonStringField(row, "result", verdict)) << row;
+    EXPECT_EQ(verdict, "SAT");
+
+    service.stop();
+    // No circuit verdict entered or left the cache.
+    EXPECT_EQ(service.counters().cacheHits.load(), 0u);
+    EXPECT_EQ(service.counters().cacheStores.load(), 0u);
 }
 
 TEST(ServiceLoopback, JsonlPipelinedRoundTrip)
