@@ -2,7 +2,7 @@
 //
 //   bench_service [--connections=N] [--requests=N] [--max-inflight=N]
 //                 [--queue=N] [--jsonl] [--workers=LIST] [--cache=MODE]
-//                 [--json=FILE]
+//                 [--session=MODE] [--json=FILE]
 //
 // Runs one row per (fleet size, cache) cell: fleet sizes come from
 // --workers (default "0,1,2,4"; 0 = the in-process SolverService baseline,
@@ -18,8 +18,18 @@
 // client-observed per-request times.  Fleet rows use the bounded
 // retry-with-backoff client path so worker startup races count as retries,
 // not errors.  --json=FILE writes the schema-versioned multi-run report
-// ("hqs-bench-service/v3") consumed by the golden-file test and committed as
+// ("hqs-bench-service/v4") consumed by the golden-file test and committed as
 // BENCH_service.json.
+//
+// The report additionally carries the session matrix (--session=on, the
+// default): two rows solving the same 8-instance delta family over one
+// multi-component base formula, once cold (eight stateless JSONL solves of
+// the effective formulas) and once through a v2 solve session (one `open`
+// plus eight delta/solve/retract rounds).  Each delta touches one variable
+// connected component, so the session row re-eliminates only the touched
+// cone and answers the rest from its per-component memo; the row records
+// the reuse accounting (`session_reuses`, `cone_nodes_saved`) next to the
+// latency quantiles the cold row pays in full.
 //
 // Note: scaling across workers is bounded by the machine.  On a single-core
 // host the 1->4 worker rows measure isolation overhead, not speedup.
@@ -342,6 +352,230 @@ bool runRow(int workers, bool cacheOn, const LoadParams& params,
     return true;
 }
 
+// ------------------------------------------------------- session matrix ---
+
+constexpr int kFamilyComponents = 4; ///< variable-disjoint XOR chains
+constexpr int kFamilySize = 8;       ///< delta instances per mode
+constexpr int kCompVars = 11;        ///< 6 universals + 5 aux existentials
+
+/// Component @p c of the session base formula at variable offset @p o: a
+/// SAT (X)XOR chain in kFormula's style — aux existentials 7..11 each
+/// compute a universal-prefix (x)nor their Henkin dependency set can still
+/// express, so every component (and thus every family member) is SAT and
+/// certificate extraction has something to do.  Definition 1 + c%4 of
+/// component c is an XNOR instead of an XOR, so the four components are
+/// pairwise non-isomorphic and the session's per-component memo cannot
+/// collapse them onto one canonical entry.  Every variable appears in a
+/// clause, so each component is exactly one variable-connected component.
+void appendComponent(int c, int o, std::string& prefix, std::string& matrix)
+{
+    for (int e = 7; e <= 11; ++e) {
+        prefix += "d " + std::to_string(o + e);
+        for (int u = 1; u <= 6; ++u)
+            if (e == 11 || u != e - 4) prefix += " " + std::to_string(o + u);
+        prefix += " 0\n";
+    }
+    const auto def = [&](int z, int x, int y, bool flip) {
+        // z = x ^ y (or its negation when flip: an XNOR definition).
+        const std::string zs = (flip ? "" : "-") + std::to_string(z);
+        const std::string nz = (flip ? "-" : "") + std::to_string(z);
+        matrix += "-" + std::to_string(x) + " -" + std::to_string(y) + " " + zs + " 0\n";
+        matrix += std::to_string(x) + " " + std::to_string(y) + " " + zs + " 0\n";
+        matrix += std::to_string(x) + " -" + std::to_string(y) + " " + nz + " 0\n";
+        matrix += "-" + std::to_string(x) + " " + std::to_string(y) + " " + nz + " 0\n";
+    };
+    def(o + 7, o + 1, o + 2, c % 4 == 0);
+    for (int e = 8; e <= 11; ++e) def(o + e, o + e - 1, o + e - 5, e - 7 == 1 + c % 4);
+}
+
+/// Delta of family member @p m: two 4-literal weakenings of definition
+/// clauses of component m % kFamilyComponents — implied by the base (every
+/// member stays SAT) but not duplicates of base clauses, so they survive
+/// canonicalization and genuinely dirty the touched component.  The
+/// weakened definition rotates per round, keeping the eight effective
+/// formulas pairwise distinct.
+std::string familyDeltaClauses(int m)
+{
+    const int c = m % kFamilyComponents;
+    const int o = c * kCompVars;
+    const int e = 9 + (m / kFamilyComponents); // weakened def: e9 or e10
+    const int x = o + e - 1, y = o + e - 5, z = o + e;
+    const bool flip = 1 + c % 4 == e - 7; // that def is this component's XNOR
+    const std::string zs = (flip ? "" : "-") + std::to_string(z);
+    const std::string nz = (flip ? "-" : "") + std::to_string(z);
+    const std::string w = std::to_string(o + 11); // widening literal
+    return std::to_string(x) + " " + std::to_string(y) + " " + zs + " " + w +
+           " 0 " + std::to_string(x) + " -" + std::to_string(y) + " " + nz + " " +
+           w + " 0";
+}
+
+/// The family's base formula, or — when @p member >= 0 — the effective
+/// formula of that member (base plus its delta clauses), as the cold rows
+/// solve it.
+std::string familyText(int member)
+{
+    std::string prefix = "a";
+    for (int c = 0; c < kFamilyComponents; ++c)
+        for (int u = 1; u <= 6; ++u) prefix += " " + std::to_string(c * kCompVars + u);
+    prefix += " 0\n";
+    std::string matrix;
+    for (int c = 0; c < kFamilyComponents; ++c)
+        appendComponent(c, c * kCompVars, prefix, matrix);
+    int clauses = kFamilyComponents * 20;
+    if (member >= 0) {
+        // Delta clause text is already whitespace-separated DIMACS
+        // ("l1 l2 0 l3 l4 0"), valid as-is in the matrix body.
+        clauses += 2;
+        matrix += familyDeltaClauses(member) + "\n";
+    }
+    return "p cnf " + std::to_string(kFamilyComponents * kCompVars) + " " +
+           std::to_string(clauses) + "\n" + prefix + matrix;
+}
+
+/// One JSONL exchange: send @p row, read one response line into @p reply.
+bool exchange(BlockingClient& client, const std::string& row, std::string& reply)
+{
+    return client.sendAll(row) && client.readLine(reply);
+}
+
+/// Run the two session-matrix rows against an in-process service and append
+/// them to @p runs: cold (stateless solves of the effective formulas) then
+/// session (open + delta/solve/retract per member over one v2 session).
+bool runSessionMatrix(std::vector<obs::BenchServiceReport>& runs)
+{
+    for (int sessionMode = 0; sessionMode <= 1; ++sessionMode) {
+        obs::BenchServiceReport report;
+        report.connections = 1;
+        report.requests = kFamilySize;
+        report.jsonlMode = true;
+        report.sessionMode = sessionMode == 1;
+        report.deltaFamily = kFamilySize;
+
+        ServiceOptions sopts;
+        sopts.maxInflight = 1;
+        sopts.maxQueue = 8;
+        sopts.defaultTimeoutSeconds = 60.0;
+        report.maxInflight = sopts.maxInflight;
+        report.maxQueue = sopts.maxQueue;
+
+        obs::globalRegistry().reset();
+        SolverService service(sopts);
+        std::string error;
+        if (!service.start(&error)) {
+            std::cerr << "bench_service: " << error << "\n";
+            return false;
+        }
+
+        BlockingClient client;
+        if (!client.connect("127.0.0.1", service.jsonlPort())) {
+            std::cerr << "bench_service: cannot connect for session matrix\n";
+            service.stop();
+            return false;
+        }
+
+        std::vector<double> latenciesUs;
+        int ok = 0, errors = 0;
+        std::string sid;
+        Timer wall;
+        bool transport = true;
+        if (report.sessionMode) {
+            std::string reply;
+            transport = exchange(client, buildJsonlHandshake(2), reply);
+            if (transport) {
+                SolveRequestOptions open;
+                open.op = "open";
+                transport = exchange(
+                    client, buildJsonlSolveRequest("open", familyText(-1), open), reply);
+                if (transport && !jsonStringField(reply, "session", sid)) {
+                    std::cerr << "bench_service: open failed: " << reply;
+                    transport = false;
+                }
+            }
+        }
+        for (int m = 0; transport && m < kFamilySize; ++m) {
+            Timer per;
+            std::string reply;
+            bool solved = false;
+            if (!report.sessionMode) {
+                SolveRequestOptions ropts;
+                if (!exchange(client,
+                              buildJsonlSolveRequest("cold-" + std::to_string(m),
+                                                     familyText(m), ropts),
+                              reply)) {
+                    transport = false;
+                    break;
+                }
+                std::string verdict;
+                solved = jsonStringField(reply, "result", verdict);
+            } else {
+                // One `delta` op per member: retract the previous member's
+                // clause group, append this member's, solve the result.  The
+                // delta op answers with the verdict and reuse accounting, so
+                // a member costs one round trip in both modes.
+                SolveRequestOptions delta;
+                delta.op = "delta";
+                delta.session = sid;
+                if (m > 0) delta.retractGroup = "m" + std::to_string(m - 1);
+                delta.addGroup = "m" + std::to_string(m);
+                delta.deltaClauses = familyDeltaClauses(m);
+                if (!exchange(client,
+                              buildJsonlSolveRequest("delta-" + std::to_string(m), "",
+                                                     delta),
+                              reply)) {
+                    transport = false;
+                    break;
+                }
+                std::string verdict;
+                solved = jsonStringField(reply, "result", verdict);
+                double n = 0;
+                if (jsonNumberField(reply, "reused", n))
+                    report.sessionReuses += static_cast<std::uint64_t>(n);
+                if (jsonNumberField(reply, "cone_nodes_saved", n))
+                    report.coneNodesSaved += static_cast<std::uint64_t>(n);
+            }
+            latenciesUs.push_back(per.elapsedSeconds() * 1e6);
+            if (solved)
+                ++ok;
+            else
+                ++errors;
+        }
+        if (report.sessionMode && transport && !sid.empty()) {
+            SolveRequestOptions close;
+            close.op = "close";
+            close.session = sid;
+            std::string reply;
+            exchange(client, buildJsonlSolveRequest("close", "", close), reply);
+        }
+        const double wallMs = wall.elapsedMilliseconds();
+        client.close();
+        service.stop();
+
+        if (!transport) {
+            std::cerr << "bench_service: session matrix transport failure\n";
+            return false;
+        }
+        report.ok = ok;
+        report.errors = errors;
+        report.wallMs = wallMs;
+        report.throughputRps = wallMs > 0 ? static_cast<double>(ok) * 1000.0 / wallMs : 0;
+        report.latency = latencyFromSamples(latenciesUs);
+        report.metrics = obs::globalRegistry().snapshot();
+        runs.push_back(report);
+
+        std::cout << "session=" << (report.sessionMode ? "reuse" : "cold")
+                  << " delta_family=" << kFamilySize << " ok=" << report.ok
+                  << " errors=" << report.errors;
+        if (report.sessionMode)
+            std::cout << " reuses=" << report.sessionReuses
+                      << " cone_nodes_saved=" << report.coneNodesSaved;
+        std::cout << "\n  wall_ms=" << report.wallMs
+                  << " latency_us p50=" << report.latency.p50Us
+                  << " p99=" << report.latency.p99Us << "\n";
+        if (report.errors != 0) return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -351,6 +585,7 @@ int main(int argc, char** argv)
     LoadParams params;
     std::vector<int> workerRows = {0, 1, 2, 4};
     std::vector<bool> cacheRows = {false, true};
+    bool sessionMatrix = true;
     std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -379,12 +614,17 @@ int main(int argc, char** argv)
             cacheRows = {true};
         } else if (arg == "--cache=both") {
             cacheRows = {false, true};
+        } else if (arg == "--session=off") {
+            sessionMatrix = false;
+        } else if (arg == "--session=on") {
+            sessionMatrix = true;
         } else if (arg.rfind("--json=", 0) == 0) {
             jsonPath = val("--json=");
         } else {
             std::cerr << "usage: bench_service [--connections=N] [--requests=N] "
                          "[--max-inflight=N] [--queue=N] [--jsonl] "
-                         "[--workers=LIST] [--cache=off|on|both] [--json=FILE]\n";
+                         "[--workers=LIST] [--cache=off|on|both] "
+                         "[--session=off|on] [--json=FILE]\n";
             return 1;
         }
     }
@@ -416,6 +656,8 @@ int main(int argc, char** argv)
                 report.ok + report.rejected == static_cast<int>(params.requests);
         }
     }
+
+    if (sessionMatrix && !runSessionMatrix(runs)) allResolved = false;
 
     if (!jsonPath.empty()) {
         std::ofstream out(jsonPath);

@@ -20,6 +20,13 @@
 //                         instead of once (default: the first occurrence is
 //                         solved and later duplicates copy its row, with a
 //                         "dedup_of" field naming the representative)
+//   --session-group       solve delta families (same filename stem up to the
+//                         last '_', identical prefix) through one shared
+//                         solve session: the clause-multiset intersection is
+//                         opened once and each instance solves as an
+//                         add/solve/retract delta, reusing untouched
+//                         connected components; rows carry a "session"
+//                         block with the reuse accounting
 //   --strategy=FILE       solve under a strategy spec (JSON): engine lineup,
 //                         degradation ladder, and cache policy come from the
 //                         spec (see README "Result cache & strategy specs")
@@ -75,7 +82,8 @@ int usage()
 {
     std::cerr << "usage: dqbf_batch [--workers=N] [--timeout=SECONDS] "
                  "[--node-limit=N] [--rss-limit=MB] [--portfolio[=N]] "
-                 "[--certify] [--no-retry] [--no-dedup] [--strategy=FILE] "
+                 "[--certify] [--no-retry] [--no-dedup] [--session-group] "
+                 "[--strategy=FILE] "
                  "[--cache-dir=DIR] [--jsonl=FILE] [--resume=FILE] "
                  "<dir | file.dqdimacs | file.dqcir ...>\n";
     return 1;
@@ -115,6 +123,8 @@ int main(int argc, char** argv)
             opts.ladder.resize(1);
         } else if (arg == "--no-dedup") {
             opts.dedup = false;
+        } else if (arg == "--session-group") {
+            opts.sessionGroup = true;
         } else if (arg.rfind("--strategy=", 0) == 0) {
             strategyPath = arg.substr(11);
         } else if (arg.rfind("--cache-dir=", 0) == 0) {

@@ -15,8 +15,17 @@
 //   --certify            request a Skolem certificate with each SAT verdict
 //                        (tallied under certs=; a 413 over-cap response
 //                        still counts as a verdict)
-//   --cache-control=on|off|bypass
+//   --cache=on|off|bypass
 //                        per-request result-cache override header/field
+//                        (--cache-control= still accepted, deprecated)
+//   --format=NAME        dqdimacs | dqcir ("" = server content sniff)
+//   --session            JSONL protocol v2 session mode: each connection
+//                        opens one session on the formula (after a {"v":2}
+//                        handshake), sends its requests as `solve` ops
+//                        against it, and closes it on exit.  Reconnects
+//                        re-open (a disconnect closes server-side sessions).
+//   --assume=LITS        assumption literals for session-mode solves
+//                        (DIMACS, e.g. "1 -3")
 //   --strategy=NAME      solve under the server's strategy spec NAME
 //   --retries=N          retry budget per request for transport failures
 //                        (connection refused/reset) and 429/503 rejections
@@ -44,6 +53,7 @@
 #include <vector>
 
 #include "src/base/timer.hpp"
+#include "src/runtime/api.hpp"
 #include "src/service/client.hpp"
 
 using namespace hqs;
@@ -56,8 +66,8 @@ int usage()
     std::cerr << "usage: dqbf_client --file=FORMULA.dqdimacs [--host=ADDR] "
                  "[--port=N] [--jsonl] [--connections=N] [--requests=N] "
                  "[--timeout-ms=N] [--rss-limit-mb=N] [--engine=NAME] [--certify] "
-                 "[--cache-control=on|off|bypass] [--strategy=NAME] "
-                 "[--retries=N] [--retry-base-ms=N]\n";
+                 "[--cache=on|off|bypass] [--strategy=NAME] [--format=NAME] "
+                 "[--session] [--assume=LITS] [--retries=N] [--retry-base-ms=N]\n";
     return 1;
 }
 
@@ -101,7 +111,9 @@ int main(int argc, char** argv)
     std::size_t connections = 1;
     std::size_t requests = 0;
     std::string file;
-    SolveRequestOptions ropts;
+    api::SolveRequest request;
+    bool useSession = false;
+    std::string assume;
     std::size_t retries = 3;
     std::size_t retryBaseMs = 100;
     for (int i = 1; i < argc; ++i) {
@@ -110,6 +122,7 @@ int main(int argc, char** argv)
             return arg.substr(prefix.size());
         };
         std::size_t n = 0;
+        std::string flagProblem;
         if (arg.rfind("--host=", 0) == 0) {
             host = val("--host=");
         } else if (arg.rfind("--port=", 0) == 0 && parseSize(val("--port="), n)) {
@@ -123,20 +136,22 @@ int main(int argc, char** argv)
             requests = n;
         } else if (arg.rfind("--file=", 0) == 0) {
             file = val("--file=");
-        } else if (arg.rfind("--timeout-ms=", 0) == 0 &&
-                   parseSize(val("--timeout-ms="), n)) {
-            ropts.timeoutSeconds = static_cast<double>(n) / 1000.0;
-        } else if (arg.rfind("--rss-limit-mb=", 0) == 0 &&
-                   parseSize(val("--rss-limit-mb="), n)) {
-            ropts.rssLimitBytes = n * 1024 * 1024;
-        } else if (arg.rfind("--engine=", 0) == 0) {
-            ropts.engine = val("--engine=");
-        } else if (arg == "--certify") {
-            ropts.certify = true;
+        } else if (arg == "--session") {
+            useSession = true;
+        } else if (arg.rfind("--assume=", 0) == 0) {
+            assume = val("--assume=");
         } else if (arg.rfind("--cache-control=", 0) == 0) {
-            ropts.cacheControl = val("--cache-control=");
-        } else if (arg.rfind("--strategy=", 0) == 0) {
-            ropts.strategy = val("--strategy=");
+            // Single-release shim for the pre-v2 flag spelling.
+            std::cerr << "dqbf_client: --cache-control= is deprecated, use --cache=\n";
+            request.cacheControl = val("--cache-control=");
+        } else if (api::applyCliRequestFlag(request, arg, &flagProblem)) {
+            // Solver-request flags (--timeout-ms, --rss-limit-mb, --engine,
+            // --certify, --cache, --strategy, --format) come from the same
+            // api::requestFields() table the server parses with.
+            if (!flagProblem.empty()) {
+                std::cerr << "dqbf_client: " << flagProblem << "\n";
+                return usage();
+            }
         } else if (arg.rfind("--retries=", 0) == 0 && parseSize(val("--retries="), n)) {
             retries = n;
         } else if (arg.rfind("--retry-base-ms=", 0) == 0 &&
@@ -147,6 +162,20 @@ int main(int argc, char** argv)
         }
     }
     if (file.empty()) return usage();
+    if (useSession && !jsonl) {
+        std::cerr << "dqbf_client: --session requires --jsonl (protocol v2)\n";
+        return usage();
+    }
+    SolveRequestOptions ropts;
+    ropts.timeoutSeconds = request.timeoutSeconds;
+    ropts.rssLimitBytes = request.rssLimitBytes;
+    ropts.certify = request.certify;
+    ropts.cacheControl = request.cacheControl;
+    ropts.strategy = request.strategy;
+    ropts.format = request.format;
+    // "hqs" is both the SolveRequest default and the server default; only a
+    // non-default selection needs to go on the wire.
+    if (request.engine != "hqs") ropts.engine = request.engine;
     std::ifstream in(file);
     if (!in) {
         std::cerr << "dqbf_client: cannot read " << file << "\n";
@@ -168,21 +197,64 @@ int main(int argc, char** argv)
         threads.emplace_back([&, t] {
             Tally local;
             BlockingClient client;
+            std::string sessionId; ///< session mode: "" until opened on this conn
             const double baseSeconds = static_cast<double>(retryBaseMs) / 1000.0;
             const double capSeconds = baseSeconds * 20.0;
+            // Session mode: one handshake + open per (re)connection — the
+            // server closes a connection's sessions on disconnect, so a
+            // reconnect must re-open.  Verdict here means "session ready".
+            const auto ensureSession = [&](double& hintSeconds) {
+                if (!sessionId.empty()) return Attempt::Verdict;
+                if (!client.sendAll(buildJsonlHandshake(2))) return Attempt::Transport;
+                std::string hs;
+                if (!client.readLine(hs)) {
+                    client.close();
+                    return Attempt::Transport;
+                }
+                SolveRequestOptions oopts;
+                oopts.op = "open";
+                oopts.format = ropts.format;
+                if (!client.sendAll(buildJsonlSolveRequest("open-" + std::to_string(t),
+                                                           formula, oopts)))
+                    return Attempt::Transport;
+                std::string row;
+                if (!client.readLine(row)) {
+                    client.close();
+                    return Attempt::Transport;
+                }
+                if (jsonStringField(row, "session", sessionId) && !sessionId.empty())
+                    return Attempt::Verdict;
+                if (row.find("\"busy\"") != std::string::npos ||
+                    row.find("\"draining\"") != std::string::npos) {
+                    hintSeconds = parseRetryAfterSeconds("", row, baseSeconds);
+                    return Attempt::Rejected;
+                }
+                return Attempt::Fatal;
+            };
             // One attempt: (re)connect if needed, send, read, classify.
             // Fills @p hintSeconds with the server's Retry-After on Rejected.
             const auto attemptOnce = [&](std::size_t seq, double& hintSeconds) {
                 hintSeconds = 0;
                 if (!client.connected()) {
+                    sessionId.clear();
                     std::string error;
                     if (!client.connect(host, port, &error)) return Attempt::Transport;
                 }
                 bool sent;
                 if (jsonl) {
+                    SolveRequestOptions rowOpts = ropts;
+                    std::string rowFormula = formula;
+                    if (useSession) {
+                        const Attempt ready = ensureSession(hintSeconds);
+                        if (ready != Attempt::Verdict) return ready;
+                        rowOpts.op = "solve";
+                        rowOpts.session = sessionId;
+                        rowOpts.assume = assume;
+                        rowFormula.clear();
+                    }
                     sent = client.sendAll(buildJsonlSolveRequest(
-                        "c" + std::to_string(t) + "-" + std::to_string(seq), formula,
-                        ropts));
+                        "c" + std::to_string(t) + "-" + std::to_string(seq), rowFormula,
+                        rowOpts));
                 } else {
                     sent = client.sendAll(
                         buildHttpSolveRequest(formula, ropts, /*keepAlive=*/true));
@@ -259,6 +331,16 @@ int main(int argc, char** argv)
                 default: local.errors += 1; break;
                 }
                 local.latenciesUs.push_back(perRequest.elapsedSeconds() * 1e6);
+            }
+            if (useSession && client.connected() && !sessionId.empty()) {
+                // Best-effort close; the server also reaps on disconnect.
+                SolveRequestOptions copts;
+                copts.op = "close";
+                copts.session = sessionId;
+                std::string row;
+                if (client.sendAll(buildJsonlSolveRequest("close-" + std::to_string(t),
+                                                          "", copts)))
+                    client.readLine(row);
             }
             std::lock_guard<std::mutex> lock(mu);
             total.ok += local.ok;

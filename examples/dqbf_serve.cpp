@@ -20,6 +20,11 @@
 //   --cert-self-check     run the independent certificate checker on every
 //                         certificate before replying; a failing artifact is
 //                         withheld and counted in /stats
+//   --max-sessions=N      resident solve-session bound (JSONL protocol v2);
+//                         opening past it evicts the least recently used
+//                         session (default 64; 0 = unbounded)
+//   --session-ttl=SECONDS idle session lifetime (default 0 = no expiry);
+//                         ops on an expired session answer session-gone
 //
 // Request shaping (see README "Result cache & strategy specs"):
 //   --strategy=FILE       load a strategy spec (JSON) and make it the
@@ -78,7 +83,8 @@ int usage()
                  "[--no-jsonl] [--max-inflight=N] [--queue=N] "
                  "[--timeout=SECONDS] [--rss-limit=MB] [--node-limit=N] "
                  "[--retry-after=SECONDS] [--cert-max-bytes=N] "
-                 "[--cert-self-check] [--strategy=FILE] [--cache] "
+                 "[--cert-self-check] [--max-sessions=N] [--session-ttl=SECONDS] "
+                 "[--strategy=FILE] [--cache] "
                  "[--cache-dir=DIR] [--cache-bytes=N] [--cache-ttl=SECONDS] "
                  "[--workers=N] [--admin-port=N] [--worker-as-limit=MB]\n";
     return 1;
@@ -175,6 +181,13 @@ int main(int argc, char** argv)
             opts.maxCertificateBytes = n;
         } else if (arg == "--cert-self-check") {
             opts.certSelfCheck = true;
+        } else if (arg.rfind("--max-sessions=", 0) == 0 &&
+                   api::parseSize(val("--max-sessions="), &n)) {
+            opts.maxSessions = n;
+        } else if (arg.rfind("--session-ttl=", 0) == 0 &&
+                   api::parseSeconds(val("--session-ttl="), &secs) &&
+                   std::isfinite(secs) && secs >= 0) {
+            opts.sessionTtlSeconds = secs;
         } else if (arg.rfind("--strategy=", 0) == 0) {
             strategyPath = val("--strategy=");
         } else if (arg == "--cache") {

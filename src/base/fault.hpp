@@ -39,6 +39,7 @@
 //   pool-dispatch  thread-pool job dispatch         -> InjectedFault
 //   cache-load     result-cache persistent read     -> InjectedFault
 //   cache-store    result-cache persistent write    -> InjectedFault
+//   session-delta  session delta commit point       -> InjectedFault
 #pragma once
 
 #include <atomic>

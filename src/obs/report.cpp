@@ -378,7 +378,7 @@ void writeBenchServiceJson(std::ostream& os, const std::vector<BenchServiceRepor
 {
     JsonWriter w(os);
     w.beginObject();
-    w.key("schema").value("hqs-bench-service/v3");
+    w.key("schema").value("hqs-bench-service/v4");
     w.key("runs").beginArray();
     for (const BenchServiceReport& report : runs) {
         w.beginObject();
@@ -390,6 +390,8 @@ void writeBenchServiceJson(std::ostream& os, const std::vector<BenchServiceRepor
         w.key("max_queue").value(report.maxQueue);
         w.key("mode").value(report.jsonlMode ? "jsonl" : "http");
         w.key("cache").value(report.cacheEnabled);
+        w.key("session").value(report.sessionMode);
+        if (report.deltaFamily != 0) w.key("delta_family").value(report.deltaFamily);
         w.endObject();
         w.key("results").beginObject();
         w.key("ok").value(report.ok);
@@ -397,6 +399,10 @@ void writeBenchServiceJson(std::ostream& os, const std::vector<BenchServiceRepor
         w.key("errors").value(report.errors);
         w.key("retries").value(report.retries);
         w.key("cache_hits").value(report.cacheHits);
+        if (report.deltaFamily != 0) {
+            w.key("session_reuses").value(report.sessionReuses);
+            w.key("cone_nodes_saved").value(report.coneNodesSaved);
+        }
         w.key("wall_ms").value(report.wallMs);
         w.key("throughput_rps").value(report.throughputRps);
         w.key("latency_us").beginObject();

@@ -81,7 +81,7 @@ std::string prometheusName(const std::string& name);
 double histogramQuantile(const MetricValue& h, double q);
 
 // ---------------------------------------------------------------------------
-// BENCH_service.json  (schema "hqs-bench-service/v2")
+// BENCH_service.json  (schema "hqs-bench-service/v4")
 // ---------------------------------------------------------------------------
 
 /// Latency quantiles in microseconds, distilled from a log2 histogram via
@@ -125,13 +125,28 @@ struct BenchServiceReport {
     /// counters live in the forked workers).
     std::uint64_t cacheHits = 0;
 
+    // Session matrix (v4): cold vs session-reuse over a delta family.
+    /// Row solved its workload through one open session (`open` + delta
+    /// solves) instead of independent stateless requests.
+    bool sessionMode = false;
+    /// Number of instances in the delta family the row solved (0 = not a
+    /// session-matrix row; the plain throughput rows leave this unset).
+    int deltaFamily = 0;
+    /// session.reuse over the run: connected components answered from the
+    /// session's per-component memo instead of re-elimination.
+    std::uint64_t sessionReuses = 0;
+    /// session.cone_nodes_saved over the run: AIG nodes of the reused cones
+    /// that were never rebuilt.
+    std::uint64_t coneNodesSaved = 0;
+
     /// Registry snapshot of the run (service.* counters, solve latency).
     /// Empty on fleet rows: the solves happen in forked workers, whose
     /// registries die with them.
     std::vector<MetricValue> metrics;
 };
 
-/// v3 report: one entry in "runs":[...] per (fleet size, cache) cell.
+/// v4 report: one entry in "runs":[...] per (fleet size, cache) cell plus
+/// the session matrix (cold vs session-reuse over a delta family).
 void writeBenchServiceJson(std::ostream& os,
                            const std::vector<BenchServiceReport>& runs);
 

@@ -115,6 +115,48 @@ std::vector<RequestError> SolveRequest::validate() const
             break;
         }
     }
+    // Session ops (protocol v2).  Stateless requests must not smuggle
+    // session fields past the gate, and session solves run on the hqs
+    // engine only: elimination is what the per-component reuse saves, and
+    // the engine whose Skolem traces merged certificates are built from.
+    if (!op.empty() && op != "open" && op != "delta" && op != "solve" &&
+        op != "close") {
+        errors.push_back({"op", "unknown op \"" + op +
+                                    "\" (open | delta | solve | close)"});
+    }
+    if (op.empty()) {
+        if (!session.empty())
+            errors.push_back({"session", "session id requires an op"});
+        if (!addGroup.empty() || !deltaClauses.empty() || !retractGroup.empty() ||
+            !gate.empty() || !assume.empty()) {
+            errors.push_back({"delta",
+                              "delta fields require op \"delta\" or \"solve\""});
+        }
+    } else {
+        if (op == "open" && !session.empty()) {
+            errors.push_back({"session",
+                              "op \"open\" allocates the id; do not pass one"});
+        }
+        if (op != "open" && session.empty()) {
+            errors.push_back({"session", "op \"" + op + "\" requires a session id"});
+        }
+        if (op != "delta" && (!addGroup.empty() || !deltaClauses.empty() ||
+                              !retractGroup.empty() || !gate.empty())) {
+            errors.push_back({"delta", "group/gate deltas require op \"delta\""});
+        }
+        if (!assume.empty() && op != "delta" && op != "solve") {
+            errors.push_back({"assume",
+                              "assumptions require op \"delta\" or \"solve\""});
+        }
+        if (!deltaClauses.empty() && addGroup.empty()) {
+            errors.push_back({"delta", "clauses require an add_group name"});
+        }
+        if (const auto spec = parsedEngine();
+            spec && spec->kind != EngineSpec::Kind::Hqs) {
+            errors.push_back({"engine", "session ops run on the hqs engine, not \"" +
+                                            engine + "\""});
+        }
+    }
     return errors;
 }
 
@@ -164,6 +206,171 @@ bool parseMegabytes(const std::string& text, std::size_t* outBytes)
     if (mb > std::numeric_limits<std::size_t>::max() / (1024 * 1024)) return false;
     *outBytes = mb * 1024 * 1024;
     return true;
+}
+
+// ----- the one request-ingress table ---------------------------------------
+
+namespace {
+
+bool applyTimeoutMs(SolveRequest& r, const std::string& text)
+{
+    return parseMilliseconds(text, &r.timeoutSeconds);
+}
+
+bool applyRssLimitMb(SolveRequest& r, const std::string& text)
+{
+    // Accept the JSONL number syntax ("256" or "256.0") but keep the
+    // narrowing guard validate() cannot see.
+    double mb = 0;
+    if (!parseSeconds(text, &mb)) return false;
+    if (!std::isfinite(mb) || mb < 0) return false;
+    if (mb > 0) r.rssLimitBytes = static_cast<std::size_t>(mb) * 1024 * 1024;
+    return true;
+}
+
+bool applyEngine(SolveRequest& r, const std::string& text)
+{
+    r.engine = text.empty() ? "hqs" : text;
+    return true;
+}
+
+bool applyCertify(SolveRequest& r, const std::string& text)
+{
+    if (text == "1" || text == "true") r.certify = true;
+    else if (text == "0" || text == "false") r.certify = false;
+    else return false;
+    return true;
+}
+
+bool applyCache(SolveRequest& r, const std::string& text)
+{
+    r.cacheControl = text;
+    return true;
+}
+
+bool applyStrategy(SolveRequest& r, const std::string& text)
+{
+    r.strategy = text;
+    return true;
+}
+
+bool applyFormat(SolveRequest& r, const std::string& text)
+{
+    r.format = text;
+    return true;
+}
+
+bool applyOp(SolveRequest& r, const std::string& text) { r.op = text; return true; }
+bool applySession(SolveRequest& r, const std::string& text)
+{
+    r.session = text;
+    return true;
+}
+bool applyAddGroup(SolveRequest& r, const std::string& text)
+{
+    r.addGroup = text;
+    return true;
+}
+bool applyClauses(SolveRequest& r, const std::string& text)
+{
+    r.deltaClauses = text;
+    return true;
+}
+bool applyRetractGroup(SolveRequest& r, const std::string& text)
+{
+    r.retractGroup = text;
+    return true;
+}
+bool applyGate(SolveRequest& r, const std::string& text)
+{
+    r.gate = text;
+    return true;
+}
+bool applyAssume(SolveRequest& r, const std::string& text)
+{
+    r.assume = text;
+    return true;
+}
+
+} // namespace
+
+const std::vector<RequestFieldSpec>& requestFields()
+{
+    // canonical (JSONL) | HTTP header | CLI stem | deprecated JSONL | deprecated HTTP
+    //
+    // "cache" replaces v1's "cache_control" field and "cache-control"
+    // header (the old header shadowed standard HTTP Cache-Control
+    // semantics; its v2 spelling is "solver-cache").  Session fields are
+    // JSONL-only: the stateful protocol lives on the line-oriented surface.
+    static const std::vector<RequestFieldSpec> kFields = {
+        {"timeout_ms", "timeout-ms", "timeout-ms", "", "", &applyTimeoutMs},
+        {"rss_limit_mb", "rss-limit-mb", "rss-limit-mb", "", "", &applyRssLimitMb},
+        {"engine", "engine", "engine", "", "", &applyEngine},
+        {"certify", "certify", "certify", "", "", &applyCertify},
+        {"cache", "solver-cache", "cache", "cache_control", "cache-control",
+         &applyCache},
+        {"strategy", "strategy", "strategy", "", "", &applyStrategy},
+        {"format", "format", "format", "", "", &applyFormat},
+        {"op", "", "", "", "", &applyOp},
+        {"session", "", "", "", "", &applySession},
+        {"add_group", "", "", "", "", &applyAddGroup},
+        {"clauses", "", "", "", "", &applyClauses},
+        {"retract_group", "", "", "", "", &applyRetractGroup},
+        {"gate", "", "", "", "", &applyGate},
+        {"assume", "", "", "", "", &applyAssume},
+    };
+    return kFields;
+}
+
+std::string parseRequestFields(SolveRequest& out, RequestSurface surface,
+                               const FieldGetter& get,
+                               std::vector<FieldWarning>* warnings)
+{
+    for (const RequestFieldSpec& spec : requestFields()) {
+        const char* name = spec.canonical;
+        const char* deprecated = spec.deprecatedJsonl;
+        if (surface == RequestSurface::Http) {
+            name = spec.http;
+            deprecated = spec.deprecatedHttp;
+        } else if (surface == RequestSurface::Cli) {
+            name = spec.cli;
+            deprecated = "";
+        }
+        if (name[0] == '\0') continue;
+
+        std::optional<std::string> text = get(name);
+        if (!text && deprecated[0] != '\0') {
+            text = get(deprecated);
+            if (text && warnings) {
+                warnings->push_back({deprecated,
+                                     std::string("use ") + name + " instead"});
+            }
+            if (text) name = deprecated; // report problems under the used spelling
+        }
+        if (!text) continue;
+        if (!spec.apply(out, *text))
+            return std::string("malformed ") + name;
+    }
+    return std::string();
+}
+
+bool applyCliRequestFlag(SolveRequest& out, const std::string& arg,
+                         std::string* problem)
+{
+    for (const RequestFieldSpec& spec : requestFields()) {
+        if (spec.cli[0] == '\0') continue;
+        const std::string flag = std::string("--") + spec.cli;
+        if (arg == flag && spec.apply == &applyCertify) {
+            out.certify = true;
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            if (!spec.apply(out, arg.substr(flag.size() + 1)) && problem)
+                *problem = std::string("malformed ") + spec.cli;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace hqs::api

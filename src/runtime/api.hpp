@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,6 +87,22 @@ struct SolveRequest {
     /// "dqdimacs" | "dqcir".  validate() rejects anything else.
     std::string format;
 
+    // ----- v2 session fields (JSONL protocol ops; see DESIGN.md §12) -----
+    /// Session op: "" (stateless solve) | "open" | "delta" | "solve" |
+    /// "close".  Everything below requires a non-empty op.
+    std::string op;
+    /// Target session id ("s-1", ...).  Required for delta/solve/close;
+    /// must stay empty for open (the service allocates the id).
+    std::string session;
+    /// Delta payload (op "delta"): clause group to append with its clauses
+    /// (DIMACS text, "1 -2 0"), group to retract, DQCIR gate replacement.
+    std::string addGroup;
+    std::string deltaClauses;
+    std::string retractGroup;
+    std::string gate;
+    /// Assumption literals for this solve only (ops "delta"/"solve").
+    std::string assume;
+
     /// Semantic validation: every violated rule yields one field-tagged
     /// error (empty vector = valid).  The only place in the tree that
     /// rejects non-finite or negative budgets.
@@ -116,5 +133,56 @@ bool parseMilliseconds(const std::string& text, double* outSeconds);
 bool parseMegabytes(const std::string& text, std::size_t* outBytes);
 /// Unsigned integer, full string.
 bool parseSize(const std::string& text, std::size_t* out);
+
+// ----- the one request-ingress table ---------------------------------------
+//
+// HTTP headers, JSONL fields, and CLI flags historically each hand-rolled
+// the same field parsing; requestFields() is now the single table that
+// names every request field per surface and owns its text -> value
+// conversion, so spellings, types, and error messages cannot drift.  The
+// old per-path spellings survive one release as deprecated aliases that
+// still parse but tag the response with a field warning.
+
+/// Which ingress surface a request arrived on (selects field spellings).
+enum class RequestSurface { Http, Jsonl, Cli };
+
+/// One request field across all three surfaces.  Empty spelling = the
+/// field is not exposed on that surface (session ops are JSONL-only).
+struct RequestFieldSpec {
+    const char* canonical;       ///< v2 JSONL spelling — the field's identity
+    const char* http;            ///< header name ("" = not exposed over HTTP)
+    const char* cli;             ///< flag stem, used as "--<cli>=..." ("" = none)
+    const char* deprecatedJsonl; ///< pre-v2 JSONL alias ("" = none)
+    const char* deprecatedHttp;  ///< pre-v2 header alias ("" = none)
+    /// Parse @p text into the request; false on malformed text.
+    bool (*apply)(SolveRequest&, const std::string&);
+};
+
+const std::vector<RequestFieldSpec>& requestFields();
+
+/// A value arrived under a deprecated spelling; front ends surface these in
+/// the response (JSONL "deprecated":[...] array / HTTP Deprecation header).
+struct FieldWarning {
+    std::string field;   ///< the deprecated spelling the client used
+    std::string message; ///< "use <canonical> instead"
+};
+
+/// Raw field text by spelling; nullopt when the request has no such field.
+using FieldGetter = std::function<std::optional<std::string>(const std::string&)>;
+
+/// Fill @p out from the table: for every field exposed on @p surface, pull
+/// its text through @p get — canonical spelling first, deprecated alias as
+/// the one-release fallback (appending a FieldWarning when used) — and
+/// apply it.  Returns "" on success or the first "malformed <spelling>"
+/// problem; semantics are still validate()'s job.
+std::string parseRequestFields(SolveRequest& out, RequestSurface surface,
+                               const FieldGetter& get,
+                               std::vector<FieldWarning>* warnings);
+
+/// CLI shim over the table: handles "--<cli>=<value>" (plus bare
+/// "--certify") for every field with a CLI spelling.  Returns true when
+/// @p arg matched a table flag; a parse failure fills @p problem.
+bool applyCliRequestFlag(SolveRequest& out, const std::string& arg,
+                         std::string* problem);
 
 } // namespace hqs::api

@@ -19,6 +19,7 @@
 #include "src/dqbf/dqbf_formula.hpp"
 #include "src/dqbf/hqs_solver.hpp"
 #include "src/runtime/portfolio.hpp"
+#include "src/runtime/session.hpp"
 #include "src/runtime/thread_pool.hpp"
 
 namespace hqs {
@@ -287,6 +288,118 @@ SolveOutcome solveAtRung(const std::string& path, const BatchOptions& opts,
     return out;
 }
 
+// ------------------------------------------------- session families --
+
+/// Filename stem up to the last '_' (directory and extension stripped):
+/// "bench/ripple_3.dqdimacs" -> "ripple".  "" when the name has no usable
+/// '_' — such files never join a session family.
+std::string familyStem(const std::string& path)
+{
+    const std::string name = std::filesystem::path(path).stem().string();
+    const std::size_t us = name.rfind('_');
+    if (us == std::string::npos || us == 0) return {};
+    return name.substr(0, us);
+}
+
+/// Identical quantifier structure — the precondition for sharing a session
+/// base across a family (the base reuses the first member's prefix).
+bool samePrefix(const ParsedQdimacs& a, const ParsedQdimacs& b)
+{
+    if (a.matrix.numVars() != b.matrix.numVars()) return false;
+    if (a.blocks.size() != b.blocks.size() || a.henkin.size() != b.henkin.size())
+        return false;
+    for (std::size_t i = 0; i < a.blocks.size(); ++i)
+        if (a.blocks[i].kind != b.blocks[i].kind || a.blocks[i].vars != b.blocks[i].vars)
+            return false;
+    for (std::size_t i = 0; i < a.henkin.size(); ++i)
+        if (a.henkin[i].var != b.henkin[i].var || a.henkin[i].deps != b.henkin[i].deps)
+            return false;
+    return true;
+}
+
+/// Canonical multiset key of one clause (sorted DIMACS literals).
+std::string clauseKey(const Clause& c)
+{
+    std::vector<int> lits;
+    lits.reserve(c.size());
+    for (const Lit& l : c) lits.push_back(l.toDimacs());
+    std::sort(lits.begin(), lits.end());
+    std::string key;
+    for (const int v : lits) {
+        key += std::to_string(v);
+        key += ' ';
+    }
+    return key;
+}
+
+/// One validated session family: the base formula (clause-multiset
+/// intersection under the shared prefix) and each member's delta clauses.
+struct SessionFamily {
+    std::string stem;
+    std::vector<std::size_t> members; ///< indices into the input file list
+    std::string baseText;             ///< DQDIMACS of the shared base
+    std::vector<std::string> deltaClauses; ///< per member, DIMACS "l.. 0" text
+};
+
+/// Validate one stem group into a SessionFamily: every member must parse
+/// and share the first member's prefix, otherwise the group falls back to
+/// cold solves (nullopt).
+std::optional<SessionFamily> buildFamily(const std::vector<std::string>& files,
+                                         std::string stem,
+                                         std::vector<std::size_t> members)
+{
+    std::vector<ParsedQdimacs> parsed;
+    parsed.reserve(members.size());
+    for (const std::size_t i : members) {
+        try {
+            parsed.push_back(parseInstanceFile(files[i]));
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+        if (parsed.size() > 1 && !samePrefix(parsed.front(), parsed.back()))
+            return std::nullopt;
+    }
+    // Base = per-key minimum occurrence count across all members.
+    std::unordered_map<std::string, std::size_t> baseCount;
+    for (const Clause& c : parsed.front().matrix.clauses()) ++baseCount[clauseKey(c)];
+    for (std::size_t m = 1; m < parsed.size(); ++m) {
+        std::unordered_map<std::string, std::size_t> count;
+        for (const Clause& c : parsed[m].matrix.clauses()) ++count[clauseKey(c)];
+        for (auto& [key, n] : baseCount) {
+            const auto it = count.find(key);
+            n = std::min(n, it == count.end() ? std::size_t{0} : it->second);
+        }
+    }
+    SessionFamily fam;
+    fam.stem = std::move(stem);
+    fam.members = std::move(members);
+    ParsedQdimacs base;
+    base.blocks = parsed.front().blocks;
+    base.henkin = parsed.front().henkin;
+    base.matrix.ensureVars(parsed.front().matrix.numVars());
+    std::unordered_map<std::string, std::size_t> used;
+    for (const Clause& c : parsed.front().matrix.clauses()) {
+        const std::string key = clauseKey(c);
+        if (used[key]++ < baseCount[key]) base.matrix.addClause(c);
+    }
+    fam.baseText = toDqdimacsString(base);
+    // Each member's delta: its clauses beyond the base multiset.
+    for (const ParsedQdimacs& p : parsed) {
+        std::unordered_map<std::string, std::size_t> seen;
+        std::string delta;
+        for (const Clause& c : p.matrix.clauses()) {
+            if (seen[clauseKey(c)]++ < baseCount[clauseKey(c)]) continue;
+            for (const Lit& l : c) {
+                delta += std::to_string(l.toDimacs());
+                delta += ' ';
+            }
+            delta += "0 ";
+        }
+        fam.deltaClauses.push_back(std::move(delta));
+    }
+    return fam;
+}
+
 /// Should the ladder advance past an attempt that ended like @p out?
 /// Resource exhaustion and crash-style failures are retryable at a cheaper
 /// rung; parse errors and cancellations are terminal.
@@ -325,6 +438,13 @@ std::string toJsonlLine(const BatchJobResult& r)
         writeJsonString(os, r.dedupOf);
     }
     if (r.cached) os << ",\"cached\":true";
+    if (!r.sessionGroup.empty()) {
+        os << ",\"session\":{\"group\":";
+        writeJsonString(os, r.sessionGroup);
+        os << ",\"components\":" << r.sessionComponents
+           << ",\"reused\":" << r.sessionReused
+           << ",\"cone_nodes_saved\":" << r.sessionConeNodesSaved << '}';
+    }
     if (r.failure) {
         os << ",\"failure\":{\"kind\":";
         writeJsonString(os, toString(r.failure.kind));
@@ -418,6 +538,15 @@ bool readJsonl(const std::string& line, BatchJobResult& out)
         r.metrics.eliminations = static_cast<std::int64_t>(num);
     if (readJsonNumberField(line, "copies", num))
         r.metrics.copies = static_cast<std::int64_t>(num);
+    if (line.find("\"session\":{") != std::string::npos) {
+        readJsonStringField(line, "group", r.sessionGroup);
+        if (readJsonNumberField(line, "components", num))
+            r.sessionComponents = static_cast<std::size_t>(num);
+        if (readJsonNumberField(line, "reused", num))
+            r.sessionReused = static_cast<std::size_t>(num);
+        if (readJsonNumberField(line, "cone_nodes_saved", num))
+            r.sessionConeNodesSaved = static_cast<std::int64_t>(num);
+    }
     if (line.find("\"families\":{") != std::string::npos) {
         // Only the winner survives the round trip; `raced` is reporting
         // detail a resumed run does not need.
@@ -515,9 +644,38 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
     std::vector<std::size_t> repOf(files.size());
     std::vector<std::vector<std::size_t>> dupsOf(files.size());
     for (std::size_t i = 0; i < files.size(); ++i) repOf[i] = i;
+
+    // Session-group pre-pass: validate each filename-stem group into a
+    // shared-base family.  Members solve through one Session below and skip
+    // dedup, the cache, and the ladder; invalid groups fall back to cold.
+    std::vector<char> viaSession(files.size(), 0);
+    std::vector<SessionFamily> sessionFamilies;
+    if (opts_.sessionGroup) {
+        std::unordered_map<std::string, std::vector<std::size_t>> byStem;
+        std::vector<std::string> stemOrder;
+        for (std::size_t i = 0; i < files.size(); ++i) {
+            if (isDqcirPath(files[i])) continue;
+            const std::string stem = familyStem(files[i]);
+            if (stem.empty()) continue;
+            auto [it, inserted] = byStem.try_emplace(stem);
+            if (inserted) stemOrder.push_back(stem);
+            it->second.push_back(i);
+        }
+        for (const std::string& stem : stemOrder) {
+            std::vector<std::size_t>& members = byStem[stem];
+            if (members.size() < 2) continue;
+            if (std::optional<SessionFamily> fam =
+                    buildFamily(files, stem, std::move(members))) {
+                for (const std::size_t i : fam->members) viaSession[i] = 1;
+                sessionFamilies.push_back(std::move(*fam));
+            }
+        }
+    }
+
     if (needScan) {
         std::unordered_map<cache::CanonicalKey, std::size_t> firstWithKey;
         for (std::size_t i = 0; i < files.size(); ++i) {
+            if (viaSession[i]) continue;
             try {
                 const ParsedQdimacs parsed = parseInstanceFile(files[i]);
                 scan[i].key = cache::canonicalKey(parsed);
@@ -540,10 +698,87 @@ std::vector<BatchJobResult> BatchScheduler::run(const std::vector<std::string>& 
     rungStats_.assign(ladder.size(), RungStats{});
     for (std::size_t i = 0; i < ladder.size(); ++i) rungStats_[i].name = ladder[i].name;
 
+    // Session families solve sequentially, one Session per family: open on
+    // the shared base, then add-group/solve/retract per member so untouched
+    // connected components reuse their cached verdicts (and Skolem
+    // functions) across the whole delta family.
+    for (const SessionFamily& fam : sessionFamilies) {
+        std::unique_ptr<Session> session;
+        std::string openError;
+        try {
+            session = std::make_unique<Session>(fam.stem, fam.baseText, "dqdimacs");
+        } catch (const std::exception& e) {
+            openError = e.what();
+        }
+        for (std::size_t m = 0; m < fam.members.size(); ++m) {
+            const std::size_t i = fam.members[m];
+            BatchJobResult& r = results[i];
+            r.instance = files[i];
+            r.sessionGroup = fam.stem;
+            r.engine = "hqs";
+            r.rung = "session";
+            r.attempts = 1;
+            Timer t;
+            if (!openError.empty()) {
+                r.failure = {FailureKind::EngineError, "session", openError};
+            } else if (opts_.cancel.cancelled()) {
+                r.result = SolveResult::Timeout;
+                r.failure = {FailureKind::Cancelled, "batch", "cancelled before start"};
+            } else {
+                GuardOptions gopts;
+                gopts.deadline = Deadline::in(opts_.jobTimeoutSeconds);
+                gopts.cancel = opts_.cancel;
+                gopts.rssLimitBytes = opts_.rssLimitBytes;
+                SessionSolveOutcome outcome;
+                const GuardedOutcome guarded = runGuarded(gopts, [&](const Deadline& dl) {
+                    if (!fam.deltaClauses[m].empty()) {
+                        SessionDelta delta;
+                        delta.addGroup = "inst";
+                        delta.addClauses = fam.deltaClauses[m];
+                        session->applyDelta(delta);
+                    }
+                    SessionSolveOptions sopts;
+                    sopts.deadline = dl;
+                    sopts.nodeLimit = opts_.nodeLimit;
+                    sopts.certify = opts_.certify;
+                    outcome = session->solve(sopts);
+                    return outcome.result;
+                });
+                if (!fam.deltaClauses[m].empty() && session) {
+                    // Retract even when the solve failed; the next member
+                    // must start from the clean base.  A delta that never
+                    // committed (fault before the checkpoint) has no group.
+                    try {
+                        SessionDelta retract;
+                        retract.retractGroup = "inst";
+                        session->applyDelta(retract);
+                    } catch (const std::exception&) {
+                    }
+                }
+                r.result = guarded.result;
+                r.failure = guarded.failure;
+                r.sessionComponents = outcome.components;
+                r.sessionReused = outcome.reusedComponents;
+                r.sessionConeNodesSaved = outcome.coneNodesSaved;
+                if (opts_.certify && guarded.result == SolveResult::Sat &&
+                    !outcome.certificate.empty())
+                    checkSerializedCertificate(r.certificate, outcome.certificate,
+                                               gopts.deadline);
+            }
+            if (r.failure && r.error.empty()) r.error = r.failure.what;
+            r.wallMilliseconds = t.elapsedMilliseconds();
+            if (jsonl) {
+                writeJsonl(r, *jsonl);
+                jsonl->flush();
+            }
+        }
+    }
+
     std::mutex outMu; // serializes the JSONL stream and the rung counters
     {
         ThreadPool pool(workers);
         for (std::size_t i = 0; i < files.size(); ++i) {
+            if (viaSession[i]) continue; // solved through its session family
             if (repOf[i] != i) continue; // row is filled by its representative
             pool.submit([&, i] {
                 BatchJobResult& r = results[i];

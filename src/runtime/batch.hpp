@@ -71,6 +71,16 @@ struct BatchOptions {
     /// representative, later duplicates copy its row with `dedup_of` naming
     /// it.  Instances that fail to parse are never grouped.
     bool dedup = true;
+    /// Solve delta families through a shared solve session (`dqbf_batch
+    /// --session-group`): instances whose filename stem matches up to the
+    /// last `_` (foo_1.dqdimacs, foo_2.dqdimacs, ...) and that share an
+    /// identical quantifier prefix are grouped; the clause-multiset
+    /// intersection becomes the session's base formula and each instance
+    /// solves as an add-group/solve/retract delta, reusing untouched
+    /// connected components across the family.  Singletons, DQCIR
+    /// instances, and prefix mismatches fall back to cold solves; session
+    /// rows carry a `session` block and skip the degradation ladder.
+    bool sessionGroup = false;
     /// Optional cross-run result cache, consulted before the ladder and
     /// updated after conclusive verdicts.  How it is consulted follows
     /// `strategy`'s cache policy (default: read and write).  A cache-layer
@@ -159,6 +169,13 @@ struct BatchJobResult {
     /// Verdict came from the result cache instead of a solve (rung is
     /// "cache" and attempts is 0).
     bool cached = false;
+    /// Session-group accounting (BatchOptions::sessionGroup): the family
+    /// stem this instance solved under ("" = cold solve), and the session's
+    /// incremental reuse for this delta solve.
+    std::string sessionGroup;
+    std::size_t sessionComponents = 0;
+    std::size_t sessionReused = 0;
+    std::int64_t sessionConeNodesSaved = 0;
 };
 
 /// Serialize @p r as one JSONL row, terminating newline included.  The row

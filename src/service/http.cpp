@@ -304,6 +304,25 @@ bool jsonBoolField(const std::string& obj, const std::string& key, bool& out)
     return false;
 }
 
+bool jsonScalarField(const std::string& obj, const std::string& key, std::string& out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t start = obj.find(needle);
+    if (start == std::string::npos) return false;
+    std::size_t pos = start + needle.size();
+    while (pos < obj.size() && (obj[pos] == ' ' || obj[pos] == '\t')) ++pos;
+    if (pos < obj.size() && obj[pos] == '"')
+        return jsonStringField(obj, key, out);
+    out.clear();
+    while (pos < obj.size()) {
+        const char c = obj[pos];
+        if (c == ',' || c == '}' || c == ' ' || c == '\t') break;
+        out.push_back(c);
+        ++pos;
+    }
+    return !out.empty();
+}
+
 // ------------------------------------------------------ solve protocol ---
 
 std::string buildHttpSolveRequest(const std::string& formula,
@@ -332,7 +351,10 @@ std::string buildHttpSolveRequest(const std::string& formula,
     }
     if (opts.certify) out += "certify: 1\r\n";
     if (!opts.cacheControl.empty()) {
-        out += "cache-control: ";
+        // v2 spelling: the v1 "cache-control" header shadowed standard HTTP
+        // Cache-Control semantics; the server still accepts it as a
+        // deprecated alias for one release.
+        out += "solver-cache: ";
         out += opts.cacheControl;
         out += "\r\n";
     }
@@ -352,10 +374,18 @@ std::string buildHttpSolveRequest(const std::string& formula,
     return out;
 }
 
+std::string buildJsonlHandshake(int version)
+{
+    return "{\"v\":" + std::to_string(version) + "}\n";
+}
+
 std::string buildJsonlSolveRequest(const std::string& id, const std::string& formula,
                                    const SolveRequestOptions& opts)
 {
     std::string out = "{\"id\":\"" + jsonEscape(id) + "\"";
+    if (!opts.op.empty()) out += ",\"op\":\"" + jsonEscape(opts.op) + "\"";
+    if (!opts.session.empty())
+        out += ",\"session\":\"" + jsonEscape(opts.session) + "\"";
     if (opts.timeoutSeconds > 0)
         out += ",\"timeout_ms\":" +
                std::to_string(static_cast<long long>(opts.timeoutSeconds * 1000.0));
@@ -364,11 +394,21 @@ std::string buildJsonlSolveRequest(const std::string& id, const std::string& for
     if (!opts.engine.empty()) out += ",\"engine\":\"" + jsonEscape(opts.engine) + "\"";
     if (opts.certify) out += ",\"certify\":true";
     if (!opts.cacheControl.empty())
-        out += ",\"cache_control\":\"" + jsonEscape(opts.cacheControl) + "\"";
+        out += ",\"cache\":\"" + jsonEscape(opts.cacheControl) + "\"";
     if (!opts.strategy.empty())
         out += ",\"strategy\":\"" + jsonEscape(opts.strategy) + "\"";
     if (!opts.format.empty()) out += ",\"format\":\"" + jsonEscape(opts.format) + "\"";
-    out += ",\"formula\":\"" + jsonEscape(formula) + "\"}\n";
+    if (!opts.addGroup.empty())
+        out += ",\"add_group\":\"" + jsonEscape(opts.addGroup) + "\"";
+    if (!opts.deltaClauses.empty())
+        out += ",\"clauses\":\"" + jsonEscape(opts.deltaClauses) + "\"";
+    if (!opts.retractGroup.empty())
+        out += ",\"retract_group\":\"" + jsonEscape(opts.retractGroup) + "\"";
+    if (!opts.gate.empty()) out += ",\"gate\":\"" + jsonEscape(opts.gate) + "\"";
+    if (!opts.assume.empty())
+        out += ",\"assume\":\"" + jsonEscape(opts.assume) + "\"";
+    if (!formula.empty()) out += ",\"formula\":\"" + jsonEscape(formula) + "\"";
+    out += "}\n";
     return out;
 }
 

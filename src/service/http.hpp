@@ -104,13 +104,22 @@ bool jsonNumberField(const std::string& obj, const std::string& key, double& out
 /// Extract the boolean following `"key":`.  False when absent or malformed.
 bool jsonBoolField(const std::string& obj, const std::string& key, bool& out);
 
+/// Extract the value following `"key":` as raw text whatever its JSON
+/// type: quoted strings are unescaped (jsonStringField), numbers and
+/// booleans are returned as their literal token ("1500", "true").  The
+/// surface-agnostic getter api::parseRequestFields consumes.
+bool jsonScalarField(const std::string& obj, const std::string& key, std::string& out);
+
 // ------------------------------------------------------ solve protocol ---
 
-/// Per-request solver options, carried as HTTP headers (`timeout-ms`,
-/// `rss-limit-mb`, `engine`, `certify`, `cache-control`, `strategy`,
-/// `format`) or as the same-named JSONL row fields (`timeout_ms`,
-/// `rss_limit_mb`, `engine`, `certify`, `cache_control`, `strategy`,
-/// `format`).
+/// Per-request solver options.  Field names per surface come from the one
+/// api::requestFields() table: HTTP headers `timeout-ms`, `rss-limit-mb`,
+/// `engine`, `certify`, `solver-cache`, `strategy`, `format`; JSONL fields
+/// `timeout_ms`, `rss_limit_mb`, `engine`, `certify`, `cache`, `strategy`,
+/// `format` plus the v2 session fields (`op`, `session`, `add_group`,
+/// `clauses`, `retract_group`, `gate`, `assume`).  The v1 spellings
+/// `cache_control` / `cache-control` still parse for one release and tag
+/// the response as deprecated.
 struct SolveRequestOptions {
     double timeoutSeconds = 0;      ///< 0 = server default
     std::size_t rssLimitBytes = 0;  ///< 0 = server default
@@ -132,15 +141,31 @@ struct SolveRequestOptions {
     /// "dqcir".  DQCIR requests lower through the circuit front end and
     /// never touch the result cache (cache.bypass.format).
     std::string format;
+
+    // ----- v2 session ops (JSONL only; see DESIGN.md §12) -----
+    std::string op;           ///< "" | "open" | "delta" | "solve" | "close"
+    std::string session;      ///< target session id (delta/solve/close)
+    std::string addGroup;     ///< delta: clause group to append
+    std::string deltaClauses; ///< delta: its clauses, DIMACS text
+    std::string retractGroup; ///< delta: group to retract
+    std::string gate;         ///< delta: DQCIR gate replacement line
+    std::string assume;       ///< delta/solve: assumption literals
 };
+
+/// The v2 handshake row `{"v":N}` (newline included).  The server answers
+/// `{"protocol":"v2"}` for the current version, `{"protocol":"v1-compat"}`
+/// for v1, and an error row for anything newer.
+std::string buildJsonlHandshake(int version);
 
 /// One `POST /solve` request with @p formula (DQDIMACS text) as the body.
 std::string buildHttpSolveRequest(const std::string& formula,
                                   const SolveRequestOptions& opts, bool keepAlive);
 
-/// One JSONL request row: {"id":...,"formula":...,...options...}.
+/// One JSONL request row: {"id":...,...options...,"formula":...}.
 /// Terminating newline included; the formula's newlines are escaped, so the
-/// row is always a single line.
+/// row is always a single line.  Session ops emit their op/session/delta
+/// fields; @p formula may be "" (ops other than open and stateless solve),
+/// in which case no formula field is emitted.
 std::string buildJsonlSolveRequest(const std::string& id, const std::string& formula,
                                    const SolveRequestOptions& opts);
 

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -36,6 +37,7 @@
 #include "src/runtime/api.hpp"
 #include "src/runtime/guard.hpp"
 #include "src/runtime/portfolio.hpp"
+#include "src/runtime/session.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/service/scoreboard.hpp"
 
@@ -63,6 +65,51 @@ std::string vetRequest(const api::SolveRequest& request, EngineSpec& spec)
 /// input buffering.
 constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 
+/// Copy the validated request into the wire-options struct the worker jobs
+/// consume (including the v2 session fields).
+SolveRequestOptions toWireOptions(const api::SolveRequest& request)
+{
+    SolveRequestOptions ropts;
+    ropts.timeoutSeconds = request.timeoutSeconds;
+    ropts.rssLimitBytes = request.rssLimitBytes;
+    ropts.certify = request.certify;
+    ropts.cacheControl = request.cacheControl;
+    ropts.strategy = request.strategy;
+    ropts.format = request.format;
+    ropts.op = request.op;
+    ropts.session = request.session;
+    ropts.addGroup = request.addGroup;
+    ropts.deltaClauses = request.deltaClauses;
+    ropts.retractGroup = request.retractGroup;
+    ropts.gate = request.gate;
+    ropts.assume = request.assume;
+    return ropts;
+}
+
+/// `"deprecated":["cache_control",...]` fragment for JSONL responses whose
+/// request used pre-v2 field spellings ("" when it used none).
+std::string deprecatedFragment(const std::vector<api::FieldWarning>& warnings)
+{
+    if (warnings.empty()) return {};
+    std::string out = "\"deprecated\":[";
+    for (std::size_t i = 0; i < warnings.size(); ++i) {
+        if (i) out += ",";
+        out += "\"" + jsonEscape(warnings[i].field) + "\"";
+    }
+    out += "]";
+    return out;
+}
+
+/// The HTTP flavour of the same warning: one Deprecation header per used
+/// alias, naming the replacement.
+std::string deprecationHeaders(const std::vector<api::FieldWarning>& warnings)
+{
+    std::string out;
+    for (const api::FieldWarning& w : warnings)
+        out += "Deprecation: " + w.field + " (" + w.message + ")\r\n";
+    return out;
+}
+
 /// The signal hook (installSignalDrain): the handler only bumps a counter
 /// and writes the registered eventfd; the loop thread does the actual
 /// drain/stop when the wakeup arrives.
@@ -86,6 +133,10 @@ struct SolverService::Impl {
     {
         if (opts.maxInflight == 0)
             opts.maxInflight = std::max(1u, std::thread::hardware_concurrency());
+        SessionManagerOptions smo;
+        smo.maxSessions = opts.maxSessions;
+        smo.ttlSeconds = opts.sessionTtlSeconds;
+        sessions = std::make_unique<SessionManager>(smo);
     }
 
     // ------------------------------------------------------------ state --
@@ -125,6 +176,10 @@ struct SolverService::Impl {
         /// HTTP status of the response (JSONL rows ignore it): 200, or 413
         /// when a requested certificate exceeded maxCertificateBytes.
         int status = 200;
+        /// Session id a successful "open" op allocated; the loop thread
+        /// closes it again when the opener disconnected before the reply
+        /// (no client ever learned the id — an orphan otherwise).
+        std::string openedSession;
     };
     std::mutex completionMu;
     std::vector<Completion> completions;
@@ -147,9 +202,40 @@ struct SolverService::Impl {
         bool keepAlive = true;
         std::string rowId; ///< JSONL `id` echo
         CancelToken token;
+        /// Session this op was serialized under ("" = stateless request);
+        /// completion releases the per-session FIFO queue.
+        std::string sessionId;
+        /// JSONL protocol tag appended to the response row ("v2" /
+        /// "v1-compat"; "" = HTTP, no tag).
+        std::string protocol;
+        /// Prebuilt `"deprecated":[...]` fragment when the request used
+        /// pre-v2 field spellings ("" = none).
+        std::string deprecated;
+        /// Extra HTTP response headers (deprecation warnings).
+        std::string extraHeaders;
     };
     std::unordered_map<std::uint64_t, Pending> pending;
     std::uint64_t nextReqId = 1;
+
+    // Sessions (JSONL protocol v2).  The manager is thread-safe; the
+    // per-session FIFO op queues below are loop-thread-only, so ops against
+    // one session never run concurrently while different sessions still
+    // solve in parallel on the worker pool.
+    std::unique_ptr<SessionManager> sessions;
+    struct SessionOp {
+        std::uint64_t reqId = 0;
+        int ownerFd = -1; ///< opener connection ("open" ops; owner teardown)
+        /// Pinned at admission: an op already queued keeps its session
+        /// alive through eviction (null for "open"/"close").
+        std::shared_ptr<Session> session;
+        std::string formula; ///< "open" payload
+        SolveRequestOptions ropts;
+    };
+    struct SessionQueue {
+        bool busy = false; ///< an op for this session is on the pool
+        std::deque<SessionOp> waiting;
+    };
+    std::unordered_map<std::string, SessionQueue> sessionQueues;
 
     // Workers.  Queue capacity exceeds the admission bound so submit()
     // never blocks the event loop.
@@ -430,6 +516,10 @@ struct SolverService::Impl {
             }
         }
         const int fd = c.fd;
+        // Disconnect closes the sessions this connection opened (safe on the
+        // owner fd: teardown runs before the kernel can reuse the number).
+        // Ops already queued pinned their session shared_ptr and finish.
+        if (sessions) sessions->closeOwned(static_cast<std::uint64_t>(fd));
         ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
         ::close(fd);
         conns.erase(fd); // invalidates c
@@ -563,26 +653,17 @@ struct SolverService::Impl {
         api::SolveRequest request;
         EngineSpec spec;
         std::string problem;
+        std::vector<api::FieldWarning> warnings;
         if (req.body.empty()) {
             problem = "empty body";
-        } else if (const std::string* v = req.header("timeout-ms");
-                   v && !api::parseMilliseconds(*v, &request.timeoutSeconds)) {
-            problem = "malformed timeout-ms";
-        } else if (const std::string* r = req.header("rss-limit-mb");
-                   r && !api::parseMegabytes(*r, &request.rssLimitBytes)) {
-            problem = "malformed rss-limit-mb";
         } else {
-            if (const std::string* e = req.header("engine")) request.engine = *e;
-            if (const std::string* z = req.header("certify")) {
-                if (*z == "1" || *z == "true") request.certify = true;
-                else if (*z == "0" || *z == "false") request.certify = false;
-                else problem = "malformed certify";
-            }
-            if (const std::string* cc = req.header("cache-control"))
-                request.cacheControl = *cc;
-            if (const std::string* st = req.header("strategy"))
-                request.strategy = *st;
-            if (const std::string* fm = req.header("format")) request.format = *fm;
+            problem = api::parseRequestFields(
+                request, api::RequestSurface::Http,
+                [&req](const std::string& name) -> std::optional<std::string> {
+                    if (const std::string* v = req.header(name)) return *v;
+                    return std::nullopt;
+                },
+                &warnings);
             if (problem.empty()) problem = vetRequest(request, spec);
             if (problem.empty()) problem = vetStrategy(request.strategy);
         }
@@ -601,20 +682,20 @@ struct SolverService::Impl {
                                        extraHeaders));
             return flushOrKeep(c);
         }
-        SolveRequestOptions ropts;
-        ropts.timeoutSeconds = request.timeoutSeconds;
-        ropts.rssLimitBytes = request.rssLimitBytes;
-        ropts.certify = request.certify;
-        ropts.cacheControl = request.cacheControl;
-        ropts.strategy = request.strategy;
-        ropts.format = request.format;
-        admit(c, /*rowId=*/"", keepAlive, req.body, ropts, spec);
+        admit(c, /*rowId=*/"", keepAlive, req.body, toWireOptions(request), spec,
+              /*protocol=*/"", /*deprecated=*/"", deprecationHeaders(warnings));
         return true;
     }
 
     /// Handle one JSONL request row.  Returns false when the connection was
     /// destroyed (same contract as handleHttpRequest): the error/reject
     /// paths flush immediately, and a flush failure tears the conn down.
+    ///
+    /// Protocol versioning: a row carrying an `op` field is v2 and its
+    /// response is tagged `"protocol":"v2"`; a bare-formula row is the v1
+    /// shape, still accepted for one release and tagged
+    /// `"protocol":"v1-compat"`.  A `{"v":N}` row (no op, no formula) is the
+    /// explicit handshake.
     bool handleJsonlLine(Conn& c, const std::string& line)
     {
         counters.requests.fetch_add(1, std::memory_order_relaxed);
@@ -624,54 +705,95 @@ struct SolverService::Impl {
         const std::string idPrefix =
             id.empty() ? std::string() : "\"id\":\"" + jsonEscape(id) + "\",";
 
-        std::string formula;
-        api::SolveRequest request;
-        EngineSpec spec;
-        std::string problem;
-        double num = 0;
-        // Field extraction is syntax-only; validate() below judges the
-        // values.  The double->size_t narrowing for rss_limit_mb is the one
-        // conversion validate() cannot see, so it keeps its own guard.
-        if (jsonNumberField(line, "timeout_ms", num)) request.timeoutSeconds = num / 1000.0;
-        if (jsonNumberField(line, "rss_limit_mb", num)) {
-            if (!std::isfinite(num) || num < 0) {
-                problem = "malformed rss_limit_mb";
-            } else if (num > 0) {
-                request.rssLimitBytes = static_cast<std::size_t>(num) * 1024 * 1024;
+        double ver = 0;
+        if (jsonNumberField(line, "v", ver) && line.find("\"op\":") == std::string::npos &&
+            line.find("\"formula\":") == std::string::npos) {
+            if (ver == 2) {
+                queueWrite(c, "{" + idPrefix + "\"protocol\":\"v2\"}\n");
+            } else if (ver == 1) {
+                queueWrite(c, "{" + idPrefix + "\"protocol\":\"v1-compat\"}\n");
+            } else {
+                counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+                queueWrite(c, "{" + idPrefix +
+                                  "\"error\":\"unsupported protocol version\","
+                                  "\"protocol\":\"v2\"}\n");
             }
-        }
-        jsonStringField(line, "engine", request.engine);
-        if (request.engine.empty()) request.engine = "hqs";
-        jsonBoolField(line, "certify", request.certify);
-        jsonStringField(line, "cache_control", request.cacheControl);
-        jsonStringField(line, "strategy", request.strategy);
-        jsonStringField(line, "format", request.format);
-        if (!jsonStringField(line, "formula", formula) || formula.empty()) {
-            counters.badRequests.fetch_add(1, std::memory_order_relaxed);
-            queueWrite(c, "{" + idPrefix + "\"error\":\"missing formula\"}\n");
             return flushOrKeep(c);
         }
+
+        api::SolveRequest request;
+        EngineSpec spec;
+        std::vector<api::FieldWarning> warnings;
+        // One table-driven parse shared with the HTTP and CLI surfaces;
+        // validate() (inside vetRequest) judges the extracted values.
+        std::string problem = api::parseRequestFields(
+            request, api::RequestSurface::Jsonl,
+            [&line](const std::string& name) -> std::optional<std::string> {
+                std::string v;
+                if (jsonScalarField(line, name, v)) return v;
+                return std::nullopt;
+            },
+            &warnings);
+        const bool v2 = !request.op.empty();
+        const std::string protocol = v2 ? "v2" : "v1-compat";
+        const std::string protoSuffix = ",\"protocol\":\"" + protocol + "\"";
+        const std::string deprecated = deprecatedFragment(warnings);
+
+        std::string formula;
+        jsonStringField(line, "formula", formula);
+        const bool needsFormula = request.op.empty() || request.op == "open";
+        if (problem.empty() && needsFormula && formula.empty())
+            problem = "missing formula";
         if (problem.empty()) problem = vetRequest(request, spec);
         if (problem.empty()) problem = vetStrategy(request.strategy);
         if (!problem.empty()) {
             counters.badRequests.fetch_add(1, std::memory_order_relaxed);
-            queueWrite(c, "{" + idPrefix + "\"error\":\"" + jsonEscape(problem) + "\"}\n");
+            queueWrite(c, "{" + idPrefix + "\"error\":\"" + jsonEscape(problem) + "\"" +
+                              protoSuffix + "}\n");
             return flushOrKeep(c);
         }
-        std::string reject;
-        const int status = admissionStatus(&reject, nullptr);
-        if (status != 200) {
-            queueWrite(c, "{" + idPrefix + reject.substr(1) + "\n"); // splice id in
-            return flushOrKeep(c);
+
+        if (!v2) {
+            std::string reject;
+            const int status = admissionStatus(&reject, nullptr);
+            if (status != 200) {
+                // Splice the id and protocol tag into the prebuilt body.
+                queueWrite(c, "{" + idPrefix + reject.substr(1, reject.size() - 2) +
+                                  protoSuffix + "}\n");
+                return flushOrKeep(c);
+            }
+            admit(c, id, /*keepAlive=*/true, formula, toWireOptions(request), spec,
+                  protocol, deprecated);
+            return true;
         }
-        SolveRequestOptions ropts;
-        ropts.timeoutSeconds = request.timeoutSeconds;
-        ropts.rssLimitBytes = request.rssLimitBytes;
-        ropts.certify = request.certify;
-        ropts.cacheControl = request.cacheControl;
-        ropts.strategy = request.strategy;
-        ropts.format = request.format;
-        admit(c, id, /*keepAlive=*/true, formula, ropts, spec);
+
+        // v2 session ops.  Resolve the target session on the loop thread so
+        // an evicted/expired/unknown id answers with the typed session-gone
+        // row instead of a worker-side failure.
+        std::shared_ptr<Session> session;
+        if (request.op != "open") {
+            session = sessions->find(request.session);
+            if (!session) {
+                counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+                queueWrite(c, "{" + idPrefix + "\"error\":\"unknown or evicted session " +
+                                  jsonEscape("\"" + request.session + "\"") +
+                                  "\",\"error_kind\":\"session-gone\",\"session\":\"" +
+                                  jsonEscape(request.session) + "\"" + protoSuffix +
+                                  "}\n");
+                return flushOrKeep(c);
+            }
+        }
+        if (request.op != "close") { // close always admitted: cleanup must work under load
+            std::string reject;
+            const int status = admissionStatus(&reject, nullptr);
+            if (status != 200) {
+                queueWrite(c, "{" + idPrefix + reject.substr(1, reject.size() - 2) +
+                                  protoSuffix + "}\n");
+                return flushOrKeep(c);
+            }
+        }
+        admitSessionOp(c, id, std::move(session), formula, toWireOptions(request),
+                       protocol, deprecated);
         return true;
     }
 
@@ -721,7 +843,9 @@ struct SolverService::Impl {
     }
 
     void admit(Conn& c, const std::string& rowId, bool keepAlive, std::string formula,
-               SolveRequestOptions ropts, EngineSpec spec)
+               SolveRequestOptions ropts, EngineSpec spec,
+               const std::string& protocol = {}, const std::string& deprecated = {},
+               const std::string& extraHeaders = {})
     {
         if (ropts.timeoutSeconds <= 0) ropts.timeoutSeconds = opts.defaultTimeoutSeconds;
         if (ropts.rssLimitBytes == 0) ropts.rssLimitBytes = opts.defaultRssLimitBytes;
@@ -732,6 +856,9 @@ struct SolverService::Impl {
         p.jsonl = c.jsonl;
         p.keepAlive = keepAlive;
         p.rowId = rowId;
+        p.protocol = protocol;
+        p.deprecated = deprecated;
+        p.extraHeaders = extraHeaders;
         c.outstanding.push_back(reqId);
 
         counters.solvesAdmitted.fetch_add(1, std::memory_order_relaxed);
@@ -744,6 +871,78 @@ struct SolverService::Impl {
         pool->submit([this, reqId, token, formula = std::move(formula), ropts, spec] {
             runSolveJob(reqId, token, formula, ropts, spec);
         });
+    }
+
+    /// Admit one v2 session op.  Ops naming a session are serialized through
+    /// that session's loop-thread FIFO queue — one op per session on the
+    /// pool at a time, while distinct sessions still solve concurrently.
+    /// "open" has no queue to wait on (its id is allocated worker-side).
+    /// "close" rides the same queue so it cannot overtake a queued solve.
+    void admitSessionOp(Conn& c, const std::string& rowId, std::shared_ptr<Session> session,
+                        std::string formula, SolveRequestOptions ropts,
+                        const std::string& protocol, const std::string& deprecated)
+    {
+        if (ropts.timeoutSeconds <= 0) ropts.timeoutSeconds = opts.defaultTimeoutSeconds;
+        if (ropts.rssLimitBytes == 0) ropts.rssLimitBytes = opts.defaultRssLimitBytes;
+
+        const std::uint64_t reqId = nextReqId++;
+        Pending& p = pending[reqId];
+        p.connFd = c.fd;
+        p.jsonl = true;
+        p.keepAlive = true;
+        p.rowId = rowId;
+        p.sessionId = ropts.session;
+        p.protocol = protocol;
+        p.deprecated = deprecated;
+        c.outstanding.push_back(reqId);
+
+        counters.solvesAdmitted.fetch_add(1, std::memory_order_relaxed);
+        counters.pendingSolves.fetch_add(1, std::memory_order_relaxed);
+        OBS_COUNT("service.solves.admitted", 1);
+        OBS_GAUGE_MAX("service.pending.max",
+                      counters.pendingSolves.load(std::memory_order_relaxed));
+
+        SessionOp op;
+        op.reqId = reqId;
+        op.ownerFd = c.fd;
+        op.session = std::move(session);
+        op.formula = std::move(formula);
+        op.ropts = std::move(ropts);
+        if (op.ropts.session.empty()) {
+            startSessionOp(std::move(op));
+            return;
+        }
+        SessionQueue& q = sessionQueues[op.ropts.session];
+        if (q.busy) {
+            q.waiting.push_back(std::move(op));
+        } else {
+            q.busy = true;
+            startSessionOp(std::move(op));
+        }
+    }
+
+    void startSessionOp(SessionOp op)
+    {
+        const CancelToken token = pending[op.reqId].token;
+        pool->submit([this, op = std::move(op), token]() mutable {
+            runSessionJob(std::move(op), token);
+        });
+    }
+
+    /// Completion of a session op releases its FIFO slot: start the next
+    /// waiting op, or drop the (now idle) queue entry.
+    void finishSessionOp(const std::string& sessionId)
+    {
+        auto it = sessionQueues.find(sessionId);
+        if (it == sessionQueues.end()) return;
+        SessionQueue& q = it->second;
+        if (!q.waiting.empty()) {
+            SessionOp next = std::move(q.waiting.front());
+            q.waiting.pop_front();
+            startSessionOp(std::move(next));
+            return;
+        }
+        sessionQueues.erase(it);
     }
 
     // ----------------------------------------------------- worker side --
@@ -840,7 +1039,7 @@ struct SolverService::Impl {
                     }
                     {
                         std::lock_guard<std::mutex> lock(completionMu);
-                        completions.push_back({reqId, std::move(body), status});
+                        completions.push_back({reqId, std::move(body), status, {}});
                     }
                     wake();
                     return;
@@ -957,7 +1156,150 @@ struct SolverService::Impl {
         if (opts.scoreboard) opts.scoreboard->release(sbEntry);
         {
             std::lock_guard<std::mutex> lock(completionMu);
-            completions.push_back({reqId, std::move(body), status});
+            completions.push_back({reqId, std::move(body), status, {}});
+        }
+        wake();
+    }
+
+    /// One v2 session op on the pool.  The per-session FIFO guarantees at
+    /// most one op per session runs at a time, so Session methods need no
+    /// locking of their own.
+    void runSessionJob(SessionOp op, const CancelToken& token)
+    {
+        Timer t;
+        if (op.ropts.op == "open") {
+            std::string err;
+            const std::string sid =
+                sessions->open(op.formula, op.ropts.format,
+                               static_cast<std::uint64_t>(op.ownerFd), &err);
+            Completion done;
+            done.reqId = op.reqId;
+            if (sid.empty()) {
+                counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+                done.bodyFragment = "\"error\":\"open failed: " + jsonEscape(err) + "\"";
+            } else {
+                done.bodyFragment = "\"session\":\"" + jsonEscape(sid) + "\"";
+                if (std::shared_ptr<Session> s = sessions->find(sid)) {
+                    done.bodyFragment +=
+                        ",\"vars\":" + std::to_string(s->baseVars()) +
+                        ",\"clauses\":" + std::to_string(s->baseClauses());
+                }
+                done.bodyFragment +=
+                    ",\"wall_ms\":" + std::to_string(t.elapsedMilliseconds());
+                done.openedSession = sid;
+            }
+            {
+                std::lock_guard<std::mutex> lock(completionMu);
+                completions.push_back(std::move(done));
+            }
+            wake();
+            return;
+        }
+        if (op.ropts.op == "close") {
+            const bool closed = sessions->close(op.ropts.session);
+            std::string body = "\"session\":\"" + jsonEscape(op.ropts.session) +
+                               "\",\"closed\":" + (closed ? "true" : "false") +
+                               ",\"wall_ms\":" + std::to_string(t.elapsedMilliseconds());
+            {
+                std::lock_guard<std::mutex> lock(completionMu);
+                completions.push_back({op.reqId, std::move(body), 200, {}});
+            }
+            wake();
+            return;
+        }
+        runSessionSolve(std::move(op), token);
+    }
+
+    /// The delta/solve ops: apply the delta (transactionally, inside the
+    /// guard so an injected `session-delta` fault surfaces as a contained
+    /// FailureInfo), solve the effective formula incrementally, and report
+    /// the reuse accounting.  Client mistakes (SessionError) become a typed
+    /// `delta-invalid` row, never a guard failure.
+    void runSessionSolve(SessionOp op, const CancelToken& token)
+    {
+        Timer t;
+        GuardOptions gopts;
+        gopts.deadline = Deadline::in(op.ropts.timeoutSeconds);
+        gopts.cancel = token;
+        gopts.rssLimitBytes = op.ropts.rssLimitBytes;
+        SessionSolveOutcome outcome;
+        std::string typedError;
+        const GuardedOutcome guarded = runGuarded(gopts, [&](const Deadline& dl) {
+            try {
+                if (op.ropts.op == "delta") {
+                    SessionDelta delta;
+                    delta.addGroup = op.ropts.addGroup;
+                    delta.addClauses = op.ropts.deltaClauses;
+                    delta.retractGroup = op.ropts.retractGroup;
+                    delta.gate = op.ropts.gate;
+                    op.session->applyDelta(delta);
+                }
+                SessionSolveOptions sopts;
+                sopts.deadline = dl;
+                sopts.nodeLimit = opts.nodeLimit;
+                sopts.certify = op.ropts.certify;
+                outcome = op.session->solve(sopts, op.ropts.assume);
+            } catch (const SessionError& e) {
+                typedError = e.what();
+                return SolveResult::Unknown;
+            }
+            return outcome.result;
+        });
+
+        const double wallMs = t.elapsedMilliseconds();
+        OBS_COUNT("service.solves.completed", 1);
+        OBS_OBSERVE("service.solve_latency_us", wallMs * 1000.0);
+
+        std::string body;
+        int status = 200;
+        if (!typedError.empty()) {
+            counters.badRequests.fetch_add(1, std::memory_order_relaxed);
+            body = "\"error\":\"" + jsonEscape(typedError) +
+                   "\",\"error_kind\":\"delta-invalid\",\"session\":\"" +
+                   jsonEscape(op.ropts.session) + "\"";
+        } else {
+            body = "\"result\":\"" + toString(guarded.result) + "\"";
+            body += ",\"wall_ms\":" + std::to_string(wallMs);
+            body += ",\"engine\":\"hqs\"";
+            body += ",\"session\":\"" + jsonEscape(op.ropts.session) + "\"";
+            body += ",\"delta\":{\"components\":" + std::to_string(outcome.components) +
+                    ",\"reused\":" + std::to_string(outcome.reusedComponents) +
+                    ",\"cone_nodes_saved\":" + std::to_string(outcome.coneNodesSaved) +
+                    "}";
+            if (guarded.failure) {
+                body += ",\"failure\":{\"kind\":\"" +
+                        std::string(toString(guarded.failure.kind)) + "\",\"site\":\"" +
+                        jsonEscape(guarded.failure.site) + "\",\"what\":\"" +
+                        jsonEscape(guarded.failure.what) + "\"}";
+            }
+            if (op.ropts.certify && guarded.result == SolveResult::Sat)
+                status = appendCertificate(body, outcome.certificate, gopts.deadline);
+            // Session solves feed the shared content-addressed cache under
+            // the canonical key of the *effective* formula — a later cold
+            // solve of the same text hits.  Assumption-carrying solves are
+            // request-local and skip it (Session counted cache.bypass.session).
+            if (!outcome.usedAssumptions && isConclusive(guarded.result) &&
+                opts.resultCache && !opts.solveOverride &&
+                op.ropts.cacheControl != "off") {
+                try {
+                    const ParsedQdimacs parsed =
+                        parseDqdimacsString(outcome.effectiveText);
+                    cache::CacheEntry entry;
+                    entry.result = guarded.result;
+                    entry.engine = "hqs";
+                    entry.solveMilliseconds = wallMs;
+                    entry.certFormulaHash = cert::formulaHash(parsed);
+                    entry.certificate = outcome.certificate;
+                    opts.resultCache->store(cache::canonicalKey(parsed), entry);
+                    counters.cacheStores.fetch_add(1, std::memory_order_relaxed);
+                } catch (const std::exception&) {
+                    // A cache write failure never taints the verdict.
+                }
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(completionMu);
+            completions.push_back({op.reqId, std::move(body), status, {}});
         }
         wake();
     }
@@ -1023,21 +1365,31 @@ struct SolverService::Impl {
             pending.erase(it);
             counters.pendingSolves.fetch_sub(1, std::memory_order_relaxed);
             counters.solvesCompleted.fetch_add(1, std::memory_order_relaxed);
-            if (p.connFd < 0) continue; // client gone; verdict dropped
+            // Release the per-session FIFO slot whatever happened to the
+            // connection — a queued op behind this one must still run.
+            if (!p.sessionId.empty()) finishSessionOp(p.sessionId);
 
-            auto cit = conns.find(p.connFd);
-            if (cit == conns.end()) continue;
+            auto cit = p.connFd < 0 ? conns.end() : conns.find(p.connFd);
+            if (cit == conns.end()) {
+                // Client gone; verdict dropped — and a session opened for a
+                // gone client is closed again (no one ever learned its id).
+                if (!done.openedSession.empty()) sessions->close(done.openedSession);
+                continue;
+            }
             Conn& c = cit->second;
             std::erase(c.outstanding, done.reqId);
             if (p.jsonl) {
                 std::string row = "{";
                 if (!p.rowId.empty()) row += "\"id\":\"" + jsonEscape(p.rowId) + "\",";
                 row += done.bodyFragment;
+                if (!p.deprecated.empty()) row += "," + p.deprecated;
+                if (!p.protocol.empty()) row += ",\"protocol\":\"" + p.protocol + "\"";
                 row += "}\n";
                 queueWrite(c, row);
             } else {
                 queueWrite(c, httpResponse(done.status, "application/json",
-                                           "{" + done.bodyFragment + "}", p.keepAlive));
+                                           "{" + done.bodyFragment + "}", p.keepAlive,
+                                           p.extraHeaders));
                 if (!p.keepAlive) c.closeAfterFlush = true;
             }
             if (flushOrKeep(c) && !c.jsonl) {

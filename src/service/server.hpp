@@ -108,6 +108,13 @@ struct ServiceOptions {
     /// (CacheConfig::dir) stays shared.  Null = no caching.
     std::shared_ptr<cache::ResultCache> resultCache;
 
+    /// Solve sessions (JSONL protocol v2): resident-session bound (LRU
+    /// eviction past it; 0 = unbounded) and idle TTL in seconds (0 = no
+    /// expiry).  Evicted/expired sessions answer subsequent ops with a
+    /// typed `session-gone` row so clients can re-open and replay.
+    std::size_t maxSessions = 64;
+    double sessionTtlSeconds = 0;
+
     /// Named strategy specs selectable per request through the `strategy`
     /// header / JSONL field.  The entry named "default" (when present)
     /// governs requests that name no strategy; with no entry at all the

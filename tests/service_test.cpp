@@ -1047,6 +1047,318 @@ TEST(ServicePrometheus, HistogramQuantilesFromLog2Buckets)
     EXPECT_EQ(obs::histogramQuantile(hist, 1.0), 900);
 }
 
+// --- protocol versioning & solve sessions -----------------------------------
+
+namespace {
+
+/// Start an in-process service, connect a JSONL client, run @p body.
+void withJsonlService(const std::function<void(SolverService&, BlockingClient&)>& body,
+                      ServiceOptions opts = {})
+{
+    if (opts.maxInflight == 0) opts.maxInflight = 4;
+    if (opts.defaultTimeoutSeconds == 0) opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+    body(service, client);
+    service.stop();
+}
+
+/// Send one JSONL row, read one response row.
+std::string roundTrip(BlockingClient& client, const std::string& row)
+{
+    EXPECT_TRUE(client.sendAll(row));
+    std::string reply;
+    EXPECT_TRUE(client.readLine(reply));
+    return reply;
+}
+
+/// Open a session over @p formula and return its id ("" on failure).
+std::string openSession(BlockingClient& client, const std::string& formula)
+{
+    SolveRequestOptions open;
+    open.op = "open";
+    const std::string reply =
+        roundTrip(client, buildJsonlSolveRequest("open-1", formula, open));
+    std::string sid;
+    jsonStringField(reply, "session", sid);
+    return sid;
+}
+
+} // namespace
+
+// Locks both protocol shapes: a v1 row (formula, no op) keeps its exact v1
+// fields and gains only the "protocol":"v1-compat" tag; a v2 row is tagged
+// "v2".  Registered as the ctest entry service/protocol-compat.
+TEST(ProtocolCompat, V1RowsAnswerV1CompatAndV2RowsAnswerV2)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        // v1 shape: formula row -> verdict row tagged v1-compat.
+        SolveRequestOptions ropts;
+        std::string reply =
+            roundTrip(client, buildJsonlSolveRequest("v1-row", kSatFormula, ropts));
+        std::string verdict, protocol;
+        ASSERT_TRUE(jsonStringField(reply, "result", verdict)) << reply;
+        EXPECT_EQ(verdict, "SAT");
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v1-compat");
+
+        // v1 error rows carry the same tag.
+        reply = roundTrip(client, "{\"id\":\"bad\"}\n");
+        EXPECT_NE(reply.find("\"error\""), std::string::npos) << reply;
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v1-compat");
+
+        // v2 shape: an op row is tagged v2.
+        SolveRequestOptions open;
+        open.op = "open";
+        reply = roundTrip(client, buildJsonlSolveRequest("v2-row", kSatFormula, open));
+        std::string sid;
+        ASSERT_TRUE(jsonStringField(reply, "session", sid)) << reply;
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v2");
+    });
+}
+
+TEST(ProtocolCompat, HandshakeRowNegotiatesTheVersion)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        std::string protocol;
+        std::string reply = roundTrip(client, buildJsonlHandshake(2));
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v2");
+        EXPECT_EQ(reply.find("\"error\""), std::string::npos) << reply;
+
+        reply = roundTrip(client, buildJsonlHandshake(1));
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v1-compat");
+
+        // An unsupported version is an error row, and the connection lives.
+        reply = roundTrip(client, buildJsonlHandshake(9));
+        EXPECT_NE(reply.find("unsupported protocol version"), std::string::npos)
+            << reply;
+        reply = roundTrip(client, buildJsonlHandshake(2));
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v2");
+    });
+}
+
+TEST(ProtocolCompat, DeprecatedCacheControlSpellingStillParsesAndWarns)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        // The v1 spelling still works for one release, but the row is
+        // field-tagged deprecated.
+        const std::string reply = roundTrip(
+            client, "{\"id\":\"dep\",\"cache_control\":\"off\",\"formula\":\"" +
+                        jsonEscape(kSatFormula) + "\"}\n");
+        std::string verdict;
+        ASSERT_TRUE(jsonStringField(reply, "result", verdict)) << reply;
+        EXPECT_EQ(verdict, "SAT");
+        EXPECT_NE(reply.find("\"deprecated\":[\"cache_control\"]"), std::string::npos)
+            << reply;
+    });
+}
+
+TEST(ProtocolCompat, DeprecatedHttpCacheControlHeaderWarns)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 2;
+    opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", service.httpPort(), &error)) << error;
+    const std::string body = kSatFormula;
+    ASSERT_TRUE(client.sendAll("POST /solve HTTP/1.1\r\ncache-control: off\r\n"
+                               "Content-Length: " +
+                               std::to_string(body.size()) + "\r\n\r\n" + body));
+    HttpResponseMsg rsp;
+    ASSERT_TRUE(client.readResponse(rsp));
+    EXPECT_EQ(rsp.status, 200);
+    const std::string* dep = rsp.header("deprecation");
+    ASSERT_NE(dep, nullptr) << rsp.body;
+    EXPECT_NE(dep->find("cache-control"), std::string::npos) << *dep;
+    service.stop();
+}
+
+TEST(ServiceSession, OpenDeltaSolveCloseRoundTrip)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        const std::string sid = openSession(client, kSatFormula);
+        ASSERT_FALSE(sid.empty());
+
+        // Solve the base: SAT.
+        SolveRequestOptions solve;
+        solve.op = "solve";
+        solve.session = sid;
+        std::string reply = roundTrip(client, buildJsonlSolveRequest("s-1", "", solve));
+        std::string verdict, protocol;
+        ASSERT_TRUE(jsonStringField(reply, "result", verdict)) << reply;
+        EXPECT_EQ(verdict, "SAT");
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v2");
+
+        // Delta: contradictory units on e3 flip the verdict to UNSAT, and
+        // the delta row carries the reuse accounting block.
+        SolveRequestOptions delta;
+        delta.op = "delta";
+        delta.session = sid;
+        delta.addGroup = "conflict";
+        delta.deltaClauses = "3 0 -3 0";
+        reply = roundTrip(client, buildJsonlSolveRequest("d-1", "", delta));
+        ASSERT_TRUE(jsonStringField(reply, "result", verdict)) << reply;
+        EXPECT_EQ(verdict, "UNSAT");
+        EXPECT_NE(reply.find("\"delta\":{"), std::string::npos) << reply;
+
+        // Retracting the group restores the base verdict, now served from
+        // the session's per-component memo.
+        SolveRequestOptions retract;
+        retract.op = "delta";
+        retract.session = sid;
+        retract.retractGroup = "conflict";
+        reply = roundTrip(client, buildJsonlSolveRequest("d-2", "", retract));
+        ASSERT_TRUE(jsonStringField(reply, "result", verdict)) << reply;
+        EXPECT_EQ(verdict, "SAT");
+        double reused = 0;
+        ASSERT_TRUE(jsonNumberField(reply, "reused", reused)) << reply;
+        EXPECT_GT(reused, 0) << reply;
+
+        // Close answers closed:true once, then the id is gone.
+        SolveRequestOptions close;
+        close.op = "close";
+        close.session = sid;
+        reply = roundTrip(client, buildJsonlSolveRequest("c-1", "", close));
+        EXPECT_NE(reply.find("\"closed\":true"), std::string::npos) << reply;
+        reply = roundTrip(client, buildJsonlSolveRequest("s-2", "", solve));
+        std::string kind;
+        ASSERT_TRUE(jsonStringField(reply, "error_kind", kind)) << reply;
+        EXPECT_EQ(kind, "session-gone");
+    });
+}
+
+// The fix under test: a delta against an evicted or never-opened session is
+// a typed `session-gone` row, not a generic parse error, and the connection
+// survives.
+TEST(ServiceSession, UnknownSessionIsATypedGoneRow)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        SolveRequestOptions delta;
+        delta.op = "delta";
+        delta.session = "s-999";
+        delta.addGroup = "g";
+        delta.deltaClauses = "1 0";
+        const std::string reply =
+            roundTrip(client, buildJsonlSolveRequest("gone-1", "", delta));
+        std::string kind, protocol, sid;
+        ASSERT_TRUE(jsonStringField(reply, "error_kind", kind)) << reply;
+        EXPECT_EQ(kind, "session-gone");
+        ASSERT_TRUE(jsonStringField(reply, "session", sid)) << reply;
+        EXPECT_EQ(sid, "s-999");
+        ASSERT_TRUE(jsonStringField(reply, "protocol", protocol)) << reply;
+        EXPECT_EQ(protocol, "v2");
+
+        // Still serving: a plain v1 solve follows on the same connection.
+        SolveRequestOptions ropts;
+        const std::string next =
+            roundTrip(client, buildJsonlSolveRequest("after", kSatFormula, ropts));
+        std::string verdict;
+        ASSERT_TRUE(jsonStringField(next, "result", verdict)) << next;
+        EXPECT_EQ(verdict, "SAT");
+    });
+}
+
+TEST(ServiceSession, ClientMistakesAreTypedDeltaInvalidRows)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        const std::string sid = openSession(client, kSatFormula);
+        ASSERT_FALSE(sid.empty());
+
+        SolveRequestOptions bad;
+        bad.op = "delta";
+        bad.session = sid;
+        bad.retractGroup = "never-added";
+        std::string reply = roundTrip(client, buildJsonlSolveRequest("bad-1", "", bad));
+        std::string kind;
+        ASSERT_TRUE(jsonStringField(reply, "error_kind", kind)) << reply;
+        EXPECT_EQ(kind, "delta-invalid");
+
+        // The failed delta must not have corrupted the session.
+        SolveRequestOptions solve;
+        solve.op = "solve";
+        solve.session = sid;
+        reply = roundTrip(client, buildJsonlSolveRequest("s-1", "", solve));
+        std::string verdict;
+        ASSERT_TRUE(jsonStringField(reply, "result", verdict)) << reply;
+        EXPECT_EQ(verdict, "SAT");
+    });
+}
+
+TEST(ServiceSession, OpsOnOneSessionAnswerInSubmissionOrder)
+{
+    withJsonlService([](SolverService&, BlockingClient& client) {
+        const std::string sid = openSession(client, kSatFormula);
+        ASSERT_FALSE(sid.empty());
+
+        // Pipeline four ops without reading; the per-session FIFO must
+        // answer them strictly in submission order.
+        SolveRequestOptions solve;
+        solve.op = "solve";
+        solve.session = sid;
+        std::string burst;
+        for (int i = 0; i < 4; ++i)
+            burst += buildJsonlSolveRequest("ord-" + std::to_string(i), "", solve);
+        ASSERT_TRUE(client.sendAll(burst));
+        for (int i = 0; i < 4; ++i) {
+            std::string reply;
+            ASSERT_TRUE(client.readLine(reply));
+            std::string id;
+            ASSERT_TRUE(jsonStringField(reply, "id", id)) << reply;
+            EXPECT_EQ(id, "ord-" + std::to_string(i));
+        }
+    });
+}
+
+TEST(ServiceSession, DisconnectClosesOwnedSessions)
+{
+    ServiceOptions opts;
+    opts.maxInflight = 4;
+    opts.defaultTimeoutSeconds = 30;
+    SolverService service(opts);
+    std::string error;
+    ASSERT_TRUE(service.start(&error)) << error;
+
+    BlockingClient first;
+    ASSERT_TRUE(first.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+    SolveRequestOptions open;
+    open.op = "open";
+    std::string reply;
+    ASSERT_TRUE(first.sendAll(buildJsonlSolveRequest("open-1", kSatFormula, open)));
+    ASSERT_TRUE(first.readLine(reply));
+    std::string sid;
+    ASSERT_TRUE(jsonStringField(reply, "session", sid)) << reply;
+    first.close();
+
+    // The loop closes owned sessions when the connection dies; poll until a
+    // second connection observes the id as gone.
+    BlockingClient second;
+    ASSERT_TRUE(second.connect("127.0.0.1", service.jsonlPort(), &error)) << error;
+    SolveRequestOptions solve;
+    solve.op = "solve";
+    solve.session = sid;
+    ASSERT_TRUE(eventually([&] {
+        if (!second.sendAll(buildJsonlSolveRequest("probe", "", solve))) return false;
+        std::string row;
+        if (!second.readLine(row)) return false;
+        std::string kind;
+        return jsonStringField(row, "error_kind", kind) && kind == "session-gone";
+    }));
+    service.stop();
+}
+
 // --- bench report schema ----------------------------------------------------
 
 TEST(ServiceReport, BenchServiceMatchesGoldenSchema)
@@ -1100,7 +1412,29 @@ TEST(ServiceReport, BenchServiceMatchesGoldenSchema)
     fleet.wallMs = 1500.25;
     fleet.throughputRps = 170.6;
 
+    // v4 adds the session matrix: a session-reuse row over a delta family
+    // carries the family size in "params" and the reuse accounting
+    // ("session_reuses", "cone_nodes_saved") next to the latency block.
+    obs::BenchServiceReport session;
+    session.connections = 1;
+    session.requests = 8;
+    session.maxInflight = 1;
+    session.maxQueue = 8;
+    session.jsonlMode = true;
+    session.sessionMode = true;
+    session.deltaFamily = 8;
+    session.sessionReuses = 20;
+    session.coneNodesSaved = 1040;
+    session.ok = 8;
+    session.wallMs = 4.5;
+    session.throughputRps = 1777.7;
+    session.latency.p50Us = 480;
+    session.latency.p90Us = 900;
+    session.latency.p99Us = 1100;
+    session.latency.maxUs = 1200;
+    session.latency.meanUs = 560.5;
+
     std::ostringstream os;
-    obs::writeBenchServiceJson(os, {baseline, fleet});
+    obs::writeBenchServiceJson(os, {baseline, fleet, session});
     expectMatchesGolden(os.str(), "bench_service.json");
 }
